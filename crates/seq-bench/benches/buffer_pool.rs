@@ -1,0 +1,19 @@
+//! E11 — §3.3: the probe-heavy naive plan under LRU buffer pools of varying
+//! size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seq_bench::e11_buffer_pool::run_pool;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_pool_probe_heavy");
+    group.sample_size(10);
+    for pool in [0usize, 8, 128] {
+        group.bench_function(BenchmarkId::new("naive_fig5b_plan", pool), |b| {
+            b.iter(|| run_pool(2_000, pool).page_reads)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

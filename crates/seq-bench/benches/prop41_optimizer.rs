@@ -1,0 +1,38 @@
+//! E5 — Property 4.1: cost of the join-order DP itself as the number of
+//! inputs grows, plus the syntactic-order baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seq_bench::e5_prop41::catalog_for;
+use seq_core::Span;
+use seq_opt::{optimize, CatalogRef, OptimizerConfig};
+use seq_workload::queries;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop41_plan_generation");
+    group.sample_size(15);
+
+    for &n in &[4usize, 8, 12] {
+        let catalog = catalog_for(n);
+        let names: Vec<String> = (0..n).map(|i| format!("S{i}")).collect();
+        let query = queries::n_way_join(&names);
+        let info = CatalogRef(&catalog);
+
+        group.bench_function(BenchmarkId::new("selinger_dp", n), |b| {
+            b.iter(|| {
+                optimize(&query, &info, &OptimizerConfig::new(Span::new(1, 500)))
+                    .unwrap()
+                    .dp_stats
+                    .plans_evaluated
+            })
+        });
+        group.bench_function(BenchmarkId::new("syntactic_order", n), |b| {
+            let mut cfg = OptimizerConfig::new(Span::new(1, 500));
+            cfg.join_reordering = false;
+            b.iter(|| optimize(&query, &info, &cfg).unwrap().est_cost)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Reproduce every experiment table: `cargo run --release -p seq-bench --bin repro`
+//! (optionally `repro e1 e5 ...` for a subset).
+
+use seq_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+
+    println!("Sequence Query Processing (SIGMOD 1994) — experiment reproduction");
+    println!("==================================================================");
+
+    if want("e1") {
+        e1_motivating::print(&e1_motivating::run());
+    }
+    if want("e2") {
+        e2_span::print(&e2_span::run());
+    }
+    if want("e3") {
+        e3_access_modes::print(&e3_access_modes::run());
+    }
+    if want("e4") {
+        e4_caching::print_fig5a(&e4_caching::run_fig5a());
+        e4_caching::print_fig5b(&e4_caching::run_fig5b());
+    }
+    if want("e5") {
+        e5_prop41::print(&e5_prop41::run());
+    }
+    if want("e6") {
+        e6_stream_access::run_and_print();
+    }
+    if want("e8") {
+        e8_pushdown::print(&e8_pushdown::run());
+    }
+    if want("e9") {
+        e9_cost_model::print(&e9_cost_model::run());
+    }
+    if want("e10") {
+        e10_pipeline::run_and_print();
+    }
+    if want("e11") {
+        e11_buffer_pool::print(&e11_buffer_pool::run());
+    }
+}

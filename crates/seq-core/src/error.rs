@@ -1,0 +1,69 @@
+//! Error types shared across the sequence-processing stack.
+
+use std::fmt;
+
+/// Errors raised while building, validating, optimizing, or evaluating
+/// sequence queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqError {
+    /// A schema-level mismatch: unknown attribute, arity mismatch, or an
+    /// operator applied to an input of the wrong shape.
+    Schema(String),
+    /// A type error detected during expression type-checking or evaluation.
+    Type(String),
+    /// A named base sequence was not found in the catalog.
+    UnknownSequence(String),
+    /// A query graph is structurally invalid (wrong arity, dangling node,
+    /// cycle, or a non-tree sharing where a tree is required).
+    InvalidGraph(String),
+    /// The planner or executor was asked to do something unsupported
+    /// (e.g. incremental evaluation under probed access, §4.1.2).
+    Unsupported(String),
+    /// Arithmetic overflow or an otherwise unrepresentable position.
+    Position(String),
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::Schema(m) => write!(f, "schema error: {m}"),
+            SeqError::Type(m) => write!(f, "type error: {m}"),
+            SeqError::UnknownSequence(m) => write!(f, "unknown sequence: {m}"),
+            SeqError::InvalidGraph(m) => write!(f, "invalid query graph: {m}"),
+            SeqError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            SeqError::Position(m) => write!(f, "position error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, SeqError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = SeqError::Schema("bad attr".into());
+        assert_eq!(e.to_string(), "schema error: bad attr");
+        let e = SeqError::UnknownSequence("IBM".into());
+        assert_eq!(e.to_string(), "unknown sequence: IBM");
+        let e = SeqError::Unsupported("incremental probe".into());
+        assert!(e.to_string().contains("incremental probe"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SeqError::Type("x".into()),
+            SeqError::Type("x".into())
+        );
+        assert_ne!(
+            SeqError::Type("x".into()),
+            SeqError::Schema("x".into())
+        );
+    }
+}

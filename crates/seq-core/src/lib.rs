@@ -1,0 +1,127 @@
+//! # seq-core — the sequence data model
+//!
+//! Core types for the sequence-query-processing stack reproducing
+//! *Sequence Query Processing* (Seshadri, Livny, Ramakrishnan, SIGMOD 1994):
+//!
+//! - [`value::Value`] / [`value::AttrType`] — atomic values and types;
+//! - [`record::Record`] / [`schema::Schema`] — records `<A1:T1, ..., An:Tn>`;
+//! - [`span::Span`] — valid position ranges with ±∞ endpoints;
+//! - [`meta::SeqMeta`] — span / density / column statistics meta-data
+//!   (Table 1 of the paper);
+//! - [`sequence::Sequence`] — the probed/stream read interface, with
+//!   in-memory [`sequence::BaseSequence`] and [`sequence::ConstantSequence`].
+//!
+//! Positions are `i64`. A sequence is a function from positions to records or
+//! Null; empty positions are represented as `None` and never materialized.
+
+pub mod error;
+pub mod meta;
+pub mod record;
+pub mod schema;
+pub mod sequence;
+pub mod span;
+pub mod value;
+
+pub use error::{Result, SeqError};
+pub use meta::{CmpOp, ColumnStats, Histogram, SeqMeta};
+pub use record::Record;
+pub use schema::{schema, Field, Schema};
+pub use sequence::{BaseSequence, ConstantSequence, Sequence};
+pub use span::{Span, NEG_INF, POS_INF};
+pub use value::{AttrType, Value};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_span() -> impl Strategy<Value = Span> {
+        prop_oneof![
+            (-1000i64..1000, -1000i64..1000).prop_map(|(a, b)| Span::new(a.min(b), a.max(b))),
+            Just(Span::empty()),
+            Just(Span::all()),
+            (-1000i64..1000).prop_map(|a| Span::new(a, a).unbounded_above()),
+            (-1000i64..1000).prop_map(|a| Span::new(a, a).unbounded_below()),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn intersect_is_commutative(a in arb_span(), b in arb_span()) {
+            prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        }
+
+        #[test]
+        fn intersect_is_idempotent(a in arb_span()) {
+            prop_assert_eq!(a.intersect(&a), a);
+        }
+
+        #[test]
+        fn intersect_is_associative(a in arb_span(), b in arb_span(), c in arb_span()) {
+            prop_assert_eq!(
+                a.intersect(&b).intersect(&c),
+                a.intersect(&b.intersect(&c))
+            );
+        }
+
+        #[test]
+        fn intersection_is_subset(a in arb_span(), b in arb_span(), p in -2000i64..2000) {
+            let i = a.intersect(&b);
+            prop_assert_eq!(i.contains(p), a.contains(p) && b.contains(p));
+        }
+
+        #[test]
+        fn hull_is_superset(a in arb_span(), b in arb_span(), p in -2000i64..2000) {
+            let h = a.hull(&b);
+            if a.contains(p) || b.contains(p) {
+                prop_assert!(h.contains(p));
+            }
+        }
+
+        #[test]
+        fn shift_round_trips(a in -1000i64..1000, b in -1000i64..1000, d in -500i64..500) {
+            let s = Span::new(a.min(b), a.max(b));
+            prop_assert_eq!(s.shift(d).shift(-d), s);
+        }
+
+        #[test]
+        fn shift_preserves_membership(a in -1000i64..1000, b in -1000i64..1000,
+                                      d in -500i64..500, p in -1000i64..1000) {
+            let s = Span::new(a.min(b), a.max(b));
+            prop_assert_eq!(s.contains(p), s.shift(d).contains(p + d));
+        }
+
+        #[test]
+        fn widen_contains_window_hits(a in -200i64..200, b in -200i64..200,
+                                      lo in -20i64..20, hi in -20i64..20,
+                                      i in -300i64..300) {
+            let (lo, hi) = (lo.min(hi), lo.max(hi));
+            let s = Span::new(a.min(b), a.max(b));
+            let w = s.widen_by_window(lo, hi);
+            // i is in the widened span iff the window [i+lo, i+hi] meets s.
+            let hit = (lo..=hi).any(|d| s.contains(i + d));
+            prop_assert_eq!(w.contains(i), hit);
+        }
+
+        #[test]
+        fn value_total_cmp_is_antisymmetric(x in any::<i64>(), y in any::<i64>()) {
+            let a = Value::Int(x);
+            let b = Value::Int(y);
+            let ab = a.total_cmp(&b).unwrap();
+            let ba = b.total_cmp(&a).unwrap();
+            prop_assert_eq!(ab, ba.reverse());
+        }
+
+        #[test]
+        fn record_compose_project_inverse(xs in prop::collection::vec(any::<i64>(), 0..6),
+                                          ys in prop::collection::vec(any::<i64>(), 0..6)) {
+            let l = Record::new(xs.iter().map(|&v| Value::Int(v)).collect());
+            let r = Record::new(ys.iter().map(|&v| Value::Int(v)).collect());
+            let c = l.compose(&r);
+            let left_idx: Vec<usize> = (0..xs.len()).collect();
+            let right_idx: Vec<usize> = (xs.len()..xs.len() + ys.len()).collect();
+            prop_assert_eq!(c.project(&left_idx).unwrap(), l);
+            prop_assert_eq!(c.project(&right_idx).unwrap(), r);
+        }
+    }
+}

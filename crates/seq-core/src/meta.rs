@@ -1,0 +1,410 @@
+//! Sequence meta-data (§3, Table 1).
+//!
+//! The optimizer consumes, per sequence: its *span*, its *density* (the
+//! fraction of positions within the span mapping to non-Null records),
+//! per-column statistics used for selectivity estimation, and pairwise
+//! correlation of Null positions between sequences.
+
+use std::fmt;
+
+use crate::span::Span;
+use crate::value::{AttrType, Value};
+
+/// An equi-width histogram over a numeric column (§3: "distributions of
+/// values in the columns"). Buckets partition `[lo, hi]`; counts are
+/// record counts per bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Lowest observed value (left edge of the first bucket).
+    pub lo: f64,
+    /// Highest observed value (right edge of the last bucket).
+    pub hi: f64,
+    /// Record count per bucket.
+    pub counts: Vec<u64>,
+    /// Total records counted.
+    pub total: u64,
+}
+
+impl Histogram {
+    /// Build an equi-width histogram with `buckets` buckets from numeric
+    /// values. Returns `None` for empty or degenerate (single-point) data.
+    pub fn build(values: &[f64], buckets: usize) -> Option<Histogram> {
+        if values.is_empty() || buckets == 0 {
+            return None;
+        }
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return None;
+        }
+        let mut counts = vec![0u64; buckets];
+        let width = (hi - lo) / buckets as f64;
+        for &v in values {
+            let idx = (((v - lo) / width) as usize).min(buckets - 1);
+            counts[idx] += 1;
+        }
+        Some(Histogram { lo, hi, counts, total: values.len() as u64 })
+    }
+
+    /// Estimated fraction of values strictly below `x`, interpolating within
+    /// the bucket that contains `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.total == 0 || x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return 1.0;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+        let below: u64 = self.counts[..idx].iter().sum();
+        let within_frac = ((x - (self.lo + idx as f64 * width)) / width).clamp(0.0, 1.0);
+        (below as f64 + self.counts[idx] as f64 * within_frac) / self.total as f64
+    }
+}
+
+/// Per-column statistics used for selectivity estimation (§3: "distributions
+/// of values in the columns").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Smallest observed value (None when the column is empty or non-ordered).
+    pub min: Option<Value>,
+    /// Largest observed value.
+    pub max: Option<Value>,
+    /// Number of distinct values, approximated.
+    pub ndv: u64,
+    /// Optional value-distribution histogram (numeric columns only).
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// No information (all estimates fall back to defaults).
+    pub fn unknown() -> ColumnStats {
+        ColumnStats { min: None, max: None, ndv: 0, histogram: None }
+    }
+
+    /// Stats with bounds but no distribution information.
+    pub fn bounded(min: Value, max: Value, ndv: u64) -> ColumnStats {
+        ColumnStats { min: Some(min), max: Some(max), ndv, histogram: None }
+    }
+
+    /// Estimate the selectivity of `col <cmp> literal`. With a histogram the
+    /// estimate interpolates the observed distribution; otherwise it assumes
+    /// a uniform distribution between min and max; with no statistics at all
+    /// it falls back to the conventional defaults of 1/3 for range
+    /// predicates and 1/10 for equality (the System R defaults the paper's
+    /// Selinger framing inherits).
+    pub fn range_selectivity(&self, lit: &Value, op: CmpOp) -> f64 {
+        let (min, max) = match (&self.min, &self.max) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return op.default_selectivity(),
+        };
+        let (lo, hi, x) = match (min.as_f64(), max.as_f64(), lit.as_f64()) {
+            (Ok(lo), Ok(hi), Ok(x)) => (lo, hi, x),
+            _ => return op.default_selectivity(),
+        };
+        if hi <= lo {
+            return op.default_selectivity();
+        }
+        let frac_below = match &self.histogram {
+            Some(h) => h.fraction_below(x),
+            None => ((x - lo) / (hi - lo)).clamp(0.0, 1.0),
+        };
+        let sel = match op {
+            CmpOp::Lt | CmpOp::Le => frac_below,
+            CmpOp::Gt | CmpOp::Ge => 1.0 - frac_below,
+            CmpOp::Eq => {
+                if self.ndv > 0 {
+                    1.0 / self.ndv as f64
+                } else {
+                    0.1
+                }
+            }
+            CmpOp::Ne => {
+                if self.ndv > 0 {
+                    1.0 - 1.0 / self.ndv as f64
+                } else {
+                    0.9
+                }
+            }
+        };
+        sel.clamp(0.0, 1.0)
+    }
+}
+
+/// Comparison operators the selectivity model understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// System-R-style fallback selectivity when no statistics exist.
+    pub fn default_selectivity(self) -> f64 {
+        match self {
+            CmpOp::Eq => 0.1,
+            CmpOp::Ne => 0.9,
+            _ => 1.0 / 3.0,
+        }
+    }
+}
+
+/// Meta-data describing one (base or derived) sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqMeta {
+    /// Valid range of positions (§3: "start and end position").
+    pub span: Span,
+    /// Fraction of positions within the span mapping to non-Null records.
+    pub density: f64,
+    /// Per-attribute statistics, parallel to the schema.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl SeqMeta {
+    /// Meta-data from span, density, and per-column statistics.
+    pub fn new(span: Span, density: f64, columns: Vec<ColumnStats>) -> SeqMeta {
+        SeqMeta { span, density: density.clamp(0.0, 1.0), columns }
+    }
+
+    /// Meta-data for a sequence with no information beyond its span.
+    pub fn with_span(span: Span, density: f64) -> SeqMeta {
+        SeqMeta::new(span, density, Vec::new())
+    }
+
+    /// A constant sequence: density one, every position valid, no access cost
+    /// (§4.1.1).
+    pub fn constant() -> SeqMeta {
+        SeqMeta::new(Span::all(), 1.0, Vec::new())
+    }
+
+    /// Expected number of non-Null records within the span.
+    pub fn expected_records(&self) -> f64 {
+        if !self.span.is_bounded() {
+            return f64::INFINITY;
+        }
+        self.span.len() as f64 * self.density
+    }
+
+    /// Statistics of attribute `idx` (unknown when absent).
+    pub fn column(&self, idx: usize) -> ColumnStats {
+        self.columns.get(idx).cloned().unwrap_or_else(ColumnStats::unknown)
+    }
+
+    /// Restrict the span (top-down propagation, §3.2). Density and column
+    /// statistics are assumed position-independent and kept.
+    pub fn restrict_span(&self, to: &Span) -> SeqMeta {
+        SeqMeta {
+            span: self.span.intersect(to),
+            density: self.density,
+            columns: self.columns.clone(),
+        }
+    }
+}
+
+impl fmt::Display for SeqMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "span={} density={:.3}", self.span, self.density)
+    }
+}
+
+/// Number of buckets for automatically built column histograms.
+pub const DEFAULT_HISTOGRAM_BUCKETS: usize = 32;
+
+/// Compute exact [`ColumnStats`] from a materialized column of values,
+/// including an equi-width histogram for numeric columns.
+pub fn column_stats_from_values<'a>(values: impl Iterator<Item = &'a Value>) -> ColumnStats {
+    let mut min: Option<Value> = None;
+    let mut max: Option<Value> = None;
+    let mut distinct: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut numeric: Vec<f64> = Vec::new();
+    let mut all_numeric = true;
+    let mut any_unordered = false;
+    for v in values {
+        distinct.insert(format!("{v}"));
+        match v.as_f64() {
+            Ok(x) if x.is_finite() => numeric.push(x),
+            _ => all_numeric = false,
+        }
+        match v.attr_type() {
+            AttrType::Int | AttrType::Float | AttrType::Str | AttrType::Bool => {
+                match &min {
+                    None => min = Some(v.clone()),
+                    Some(m) => {
+                        if v.total_cmp(m).map(|o| o.is_lt()).unwrap_or_else(|_| {
+                            any_unordered = true;
+                            false
+                        }) {
+                            min = Some(v.clone());
+                        }
+                    }
+                }
+                match &max {
+                    None => max = Some(v.clone()),
+                    Some(m) => {
+                        if v.total_cmp(m).map(|o| o.is_gt()).unwrap_or(false) {
+                            max = Some(v.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if any_unordered {
+        return ColumnStats::unknown();
+    }
+    let histogram = if all_numeric {
+        Histogram::build(&numeric, DEFAULT_HISTOGRAM_BUCKETS)
+    } else {
+        None
+    };
+    ColumnStats { min, max, ndv: distinct.len() as u64, histogram }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_meta() {
+        // Table 1: IBM span [200,500] density 0.95; DEC [1,350] 0.7; HP [1,750] 1.0.
+        let ibm = SeqMeta::with_span(Span::new(200, 500), 0.95);
+        assert!((ibm.expected_records() - 301.0 * 0.95).abs() < 1e-9);
+        let hp = SeqMeta::with_span(Span::new(1, 750), 1.0);
+        assert_eq!(hp.expected_records(), 750.0);
+    }
+
+    #[test]
+    fn density_is_clamped() {
+        assert_eq!(SeqMeta::with_span(Span::point(0), 7.0).density, 1.0);
+        assert_eq!(SeqMeta::with_span(Span::point(0), -1.0).density, 0.0);
+    }
+
+    #[test]
+    fn restrict_span_keeps_density() {
+        let m = SeqMeta::with_span(Span::new(1, 350), 0.7);
+        let r = m.restrict_span(&Span::new(200, 500));
+        assert_eq!(r.span, Span::new(200, 350));
+        assert_eq!(r.density, 0.7);
+    }
+
+    #[test]
+    fn selectivity_uniform_model() {
+        let stats = ColumnStats::bounded(Value::Float(0.0), Value::Float(10.0), 100);
+        let sel = stats.range_selectivity(&Value::Float(7.0), CmpOp::Gt);
+        assert!((sel - 0.3).abs() < 1e-9);
+        let sel = stats.range_selectivity(&Value::Float(7.0), CmpOp::Lt);
+        assert!((sel - 0.7).abs() < 1e-9);
+        let sel = stats.range_selectivity(&Value::Float(3.0), CmpOp::Eq);
+        assert!((sel - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_defaults_without_stats() {
+        let stats = ColumnStats::unknown();
+        assert!((stats.range_selectivity(&Value::Int(5), CmpOp::Gt) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((stats.range_selectivity(&Value::Int(5), CmpOp::Eq) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_clamps_out_of_range_literals() {
+        let stats = ColumnStats::bounded(Value::Int(0), Value::Int(10), 10);
+        assert_eq!(stats.range_selectivity(&Value::Int(100), CmpOp::Gt), 0.0);
+        assert_eq!(stats.range_selectivity(&Value::Int(-5), CmpOp::Gt), 1.0);
+    }
+
+    #[test]
+    fn stats_from_values() {
+        let vals = [Value::Int(3), Value::Int(1), Value::Int(3), Value::Int(9)];
+        let s = column_stats_from_values(vals.iter());
+        assert_eq!(s.min, Some(Value::Int(1)));
+        assert_eq!(s.max, Some(Value::Int(9)));
+        assert_eq!(s.ndv, 3);
+    }
+
+    #[test]
+    fn constant_meta() {
+        let c = SeqMeta::constant();
+        assert_eq!(c.density, 1.0);
+        assert!(!c.span.is_bounded());
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+
+    #[test]
+    fn build_and_fraction_below() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::build(&values, 10).unwrap();
+        assert_eq!(h.total, 100);
+        assert_eq!(h.counts.iter().sum::<u64>(), 100);
+        assert!((h.fraction_below(50.0) - 0.5).abs() < 0.02);
+        assert_eq!(h.fraction_below(-1.0), 0.0);
+        assert_eq!(h.fraction_below(1000.0), 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert!(Histogram::build(&[], 10).is_none());
+        assert!(Histogram::build(&[5.0, 5.0, 5.0], 10).is_none());
+        assert!(Histogram::build(&[1.0, 2.0], 0).is_none());
+    }
+
+    #[test]
+    fn histogram_beats_uniform_on_skew() {
+        // 90% of the mass at small values, 10% spread high: the uniform
+        // model badly overestimates sel(col > 50); the histogram does not.
+        let mut values: Vec<f64> = (0..900).map(|i| (i % 10) as f64).collect();
+        values.extend((0..100).map(|i| 50.0 + (i % 50) as f64));
+        let true_sel = values.iter().filter(|&&v| v > 50.0).count() as f64 / values.len() as f64;
+
+        let with_hist = ColumnStats {
+            min: Some(Value::Float(0.0)),
+            max: Some(Value::Float(99.0)),
+            ndv: 60,
+            histogram: Histogram::build(&values, 32),
+        };
+        let uniform = ColumnStats::bounded(Value::Float(0.0), Value::Float(99.0), 60);
+
+        let est_hist = with_hist.range_selectivity(&Value::Float(50.0), CmpOp::Gt);
+        let est_unif = uniform.range_selectivity(&Value::Float(50.0), CmpOp::Gt);
+        let err_hist = (est_hist - true_sel).abs();
+        let err_unif = (est_unif - true_sel).abs();
+        assert!(
+            err_hist < err_unif / 3.0,
+            "histogram {est_hist:.3} vs uniform {est_unif:.3} vs true {true_sel:.3}"
+        );
+    }
+
+    #[test]
+    fn column_stats_builder_attaches_histograms() {
+        let values: Vec<Value> = (0..200).map(|i| Value::Float((i % 40) as f64)).collect();
+        let s = column_stats_from_values(values.iter());
+        let h = s.histogram.expect("numeric column gets a histogram");
+        assert_eq!(h.total, 200);
+        // Strings do not.
+        let strs: Vec<Value> = (0..10).map(|i| Value::str(format!("s{i}"))).collect();
+        assert!(column_stats_from_values(strs.iter()).histogram.is_none());
+    }
+
+    #[test]
+    fn interpolation_within_buckets() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64 / 10.0).collect(); // 0.0..99.9
+        let h = Histogram::build(&values, 10).unwrap();
+        // Quarter of the way through the first bucket.
+        let f = h.fraction_below(2.5);
+        assert!((f - 0.025).abs() < 0.01, "{f}");
+    }
+}

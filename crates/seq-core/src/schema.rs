@@ -1,0 +1,171 @@
+//! Record schemas.
+//!
+//! A record schema `R = <A1:T1, ..., An:Tn>` (§2) is an ordered list of named,
+//! typed attributes. Schemas are immutable and cheaply cloneable; the compose
+//! operator concatenates schemas and projection selects a subset.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Result, SeqError};
+use crate::value::AttrType;
+
+/// One named, typed attribute of a record schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Attribute name, unique within its schema by convention.
+    pub name: String,
+    /// Attribute type.
+    pub ty: AttrType,
+}
+
+impl Field {
+    /// A named, typed field.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Field {
+        Field { name: name.into(), ty }
+    }
+}
+
+/// An immutable, shareable record schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    /// A schema from ordered fields.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields: fields.into() }
+    }
+
+    /// An empty schema (used by constant sequences carrying no payload).
+    pub fn empty() -> Schema {
+        Schema { fields: Arc::from(Vec::new()) }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// All fields, in attribute order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// The field at attribute index `idx`.
+    pub fn field(&self, idx: usize) -> Result<&Field> {
+        self.fields.get(idx).ok_or_else(|| {
+            SeqError::Schema(format!(
+                "attribute index {idx} out of bounds for schema of arity {}",
+                self.arity()
+            ))
+        })
+    }
+
+    /// Resolve an attribute name to its index.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| SeqError::Schema(format!("no attribute named {name:?} in {self}")))
+    }
+
+    /// The schema obtained by projecting the given attribute indices, in order.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(indices.len());
+        for &i in indices {
+            fields.push(self.field(i)?.clone());
+        }
+        Ok(Schema::new(fields))
+    }
+
+    /// The schema of the compose (positional join) of two sequences: the
+    /// concatenation of both schemas. Name clashes are disambiguated by
+    /// suffixing the right-hand attribute with `_r`, mirroring how SQL engines
+    /// qualify join outputs.
+    pub fn compose(&self, right: &Schema) -> Schema {
+        let mut fields: Vec<Field> = self.fields.to_vec();
+        for f in right.fields.iter() {
+            let clash = fields.iter().any(|g| g.name == f.name);
+            let name = if clash { format!("{}_r", f.name) } else { f.name.clone() };
+            fields.push(Field::new(name, f.ty));
+        }
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, fd) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", fd.name, fd.ty)?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// Convenience constructor: `schema(&[("time", Int), ("close", Float)])`.
+pub fn schema(fields: &[(&str, AttrType)]) -> Schema {
+    Schema::new(fields.iter().map(|(n, t)| Field::new(*n, *t)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stock() -> Schema {
+        schema(&[("time", AttrType::Int), ("close", AttrType::Float)])
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = stock();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.index_of("close").unwrap(), 1);
+        assert!(s.index_of("open").is_err());
+        assert_eq!(s.field(0).unwrap().name, "time");
+        assert!(s.field(5).is_err());
+    }
+
+    #[test]
+    fn projection_reorders_and_subsets() {
+        let s = stock();
+        let p = s.project(&[1]).unwrap();
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.field(0).unwrap().name, "close");
+        let swapped = s.project(&[1, 0]).unwrap();
+        assert_eq!(swapped.field(0).unwrap().name, "close");
+        assert_eq!(swapped.field(1).unwrap().name, "time");
+        assert!(s.project(&[7]).is_err());
+    }
+
+    #[test]
+    fn compose_concatenates_and_disambiguates() {
+        let l = stock();
+        let r = stock();
+        let c = l.compose(&r);
+        assert_eq!(c.arity(), 4);
+        assert_eq!(c.field(2).unwrap().name, "time_r");
+        assert_eq!(c.field(3).unwrap().name, "close_r");
+        // No clash case keeps original names.
+        let r2 = schema(&[("volume", AttrType::Int)]);
+        let c2 = l.compose(&r2);
+        assert_eq!(c2.field(2).unwrap().name, "volume");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(stock().to_string(), "<time:INT, close:FLOAT>");
+        assert_eq!(Schema::empty().to_string(), "<>");
+    }
+
+    #[test]
+    fn schemas_compare_structurally() {
+        assert_eq!(stock(), stock());
+        assert_ne!(stock(), Schema::empty());
+    }
+}

@@ -1,0 +1,298 @@
+//! The sequence abstraction (§2): base, constant, and derived sequences.
+//!
+//! A sequence is a function from positions to records-or-Null. The two
+//! fundamental access operations mirror the paper's *access modes* (§3.3):
+//!
+//! - **probed** access: `get(pos)` — "get the record at a specific position";
+//! - **stream** access: `scan(span)` — "get the next non-Null record",
+//!   repeatedly, in positional order.
+//!
+//! This crate provides in-memory [`BaseSequence`] and [`ConstantSequence`];
+//! the `seq-storage` crate provides the paged, cost-accounted store used by
+//! benchmarks. Derived sequences exist as query graphs in `seq-ops` and as
+//! cursors in `seq-exec`.
+
+use std::sync::Arc;
+
+use crate::error::{Result, SeqError};
+use crate::meta::{column_stats_from_values, SeqMeta};
+use crate::record::Record;
+use crate::schema::Schema;
+use crate::span::Span;
+
+/// Read interface shared by every materialized sequence.
+pub trait Sequence: Send + Sync {
+    /// The record schema of the sequence.
+    fn schema(&self) -> &Schema;
+
+    /// Span/density/statistics meta-data (§3).
+    fn meta(&self) -> &SeqMeta;
+
+    /// Probed access: the record at position `pos`, or `None` for an empty
+    /// position.
+    fn get(&self, pos: i64) -> Option<Record>;
+
+    /// Stream access: all non-empty positions intersecting `span`, in
+    /// increasing positional order.
+    fn scan(&self, span: Span) -> Box<dyn Iterator<Item = (i64, Record)> + '_>;
+
+    /// Number of non-empty positions (exact where cheaply known).
+    fn record_count(&self) -> u64;
+}
+
+/// An explicit, materialized association of positions with records (§2,
+/// "base sequences"), held in memory and sorted by position.
+#[derive(Debug, Clone)]
+pub struct BaseSequence {
+    schema: Schema,
+    meta: SeqMeta,
+    /// Sorted by position; positions are unique.
+    entries: Arc<[(i64, Record)]>,
+}
+
+impl BaseSequence {
+    /// Build from `(position, record)` pairs. Pairs may arrive unsorted;
+    /// duplicate positions are rejected (the model maps each position to at
+    /// most one record). Records are schema-checked.
+    pub fn from_entries(schema: Schema, mut entries: Vec<(i64, Record)>) -> Result<BaseSequence> {
+        entries.sort_by_key(|(p, _)| *p);
+        for w in entries.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(SeqError::InvalidGraph(format!(
+                    "duplicate position {} in base sequence",
+                    w[0].0
+                )));
+            }
+        }
+        for (_, r) in &entries {
+            Record::checked(r.values().to_vec(), &schema)?;
+        }
+        let span = match (entries.first(), entries.last()) {
+            (Some((s, _)), Some((e, _))) => Span::new(*s, *e),
+            _ => Span::empty(),
+        };
+        let density = if span.is_empty() {
+            0.0
+        } else {
+            entries.len() as f64 / span.len() as f64
+        };
+        let columns = (0..schema.arity())
+            .map(|i| {
+                column_stats_from_values(
+                    entries.iter().map(move |(_, r)| r.value(i).expect("checked arity")),
+                )
+            })
+            .collect();
+        let meta = SeqMeta::new(span, density, columns);
+        Ok(BaseSequence { schema, meta, entries: entries.into() })
+    }
+
+    /// Override the declared span (e.g. Table 1 declares HP's span as
+    /// [1, 750] even if the first trade is later). Density is recomputed
+    /// against the declared span.
+    pub fn with_declared_span(mut self, span: Span) -> BaseSequence {
+        let density = if span.is_empty() {
+            0.0
+        } else {
+            self.entries.len() as f64 / span.len() as f64
+        };
+        self.meta.span = span;
+        self.meta.density = density;
+        self
+    }
+
+    /// The `(position, record)` pairs, sorted by position.
+    pub fn entries(&self) -> &[(i64, Record)] {
+        &self.entries
+    }
+
+    fn index_of(&self, pos: i64) -> std::result::Result<usize, usize> {
+        self.entries.binary_search_by_key(&pos, |(p, _)| *p)
+    }
+}
+
+impl Sequence for BaseSequence {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn meta(&self) -> &SeqMeta {
+        &self.meta
+    }
+
+    fn get(&self, pos: i64) -> Option<Record> {
+        self.index_of(pos).ok().map(|i| self.entries[i].1.clone())
+    }
+
+    fn scan(&self, span: Span) -> Box<dyn Iterator<Item = (i64, Record)> + '_> {
+        if span.is_empty() {
+            return Box::new(std::iter::empty());
+        }
+        let start = match self.index_of(span.start()) {
+            Ok(i) | Err(i) => i,
+        };
+        let end = span.end();
+        Box::new(
+            self.entries[start..]
+                .iter()
+                .take_while(move |(p, _)| *p <= end)
+                .map(|(p, r)| (*p, r.clone())),
+        )
+    }
+
+    fn record_count(&self) -> u64 {
+        self.entries.len() as u64
+    }
+}
+
+/// A sequence where every position maps to the same record (§2, "constant
+/// sequences"). Constants have density one and no access cost (§4.1.1).
+#[derive(Debug, Clone)]
+pub struct ConstantSequence {
+    schema: Schema,
+    meta: SeqMeta,
+    record: Record,
+}
+
+impl ConstantSequence {
+    /// A constant sequence of `record` at every position.
+    pub fn new(schema: Schema, record: Record) -> Result<ConstantSequence> {
+        Record::checked(record.values().to_vec(), &schema)?;
+        Ok(ConstantSequence { schema, meta: SeqMeta::constant(), record })
+    }
+
+    /// The record every position maps to.
+    pub fn record(&self) -> &Record {
+        &self.record
+    }
+}
+
+impl Sequence for ConstantSequence {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn meta(&self) -> &SeqMeta {
+        &self.meta
+    }
+
+    fn get(&self, _pos: i64) -> Option<Record> {
+        Some(self.record.clone())
+    }
+
+    fn scan(&self, span: Span) -> Box<dyn Iterator<Item = (i64, Record)> + '_> {
+        // Every position is non-empty; enumerating an unbounded span is a
+        // logic error guarded by the planner (constants are always probed).
+        assert!(
+            span.is_empty() || span.is_bounded(),
+            "cannot stream a constant sequence over an unbounded span"
+        );
+        let rec = self.record.clone();
+        Box::new(span.positions().map(move |p| (p, rec.clone())))
+    }
+
+    fn record_count(&self) -> u64 {
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record;
+    use crate::schema::schema;
+    use crate::value::AttrType;
+
+    fn seq(entries: Vec<(i64, Record)>) -> BaseSequence {
+        BaseSequence::from_entries(
+            schema(&[("time", AttrType::Int), ("close", AttrType::Float)]),
+            entries,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_sorted_with_meta() {
+        let s = seq(vec![
+            (5, record![5i64, 1.0]),
+            (1, record![1i64, 2.0]),
+            (3, record![3i64, 3.0]),
+        ]);
+        assert_eq!(s.meta().span, Span::new(1, 5));
+        assert!((s.meta().density - 3.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.record_count(), 3);
+        // Column stats computed.
+        assert_eq!(s.meta().column(1).ndv, 3);
+    }
+
+    #[test]
+    fn rejects_duplicate_positions() {
+        let r = BaseSequence::from_entries(
+            schema(&[("x", AttrType::Int)]),
+            vec![(1, record![1i64]), (1, record![2i64])],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        let r = BaseSequence::from_entries(
+            schema(&[("x", AttrType::Int)]),
+            vec![(1, record![1.5])],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn probed_access() {
+        let s = seq(vec![(1, record![1i64, 2.0]), (3, record![3i64, 4.0])]);
+        assert!(s.get(1).is_some());
+        assert!(s.get(2).is_none());
+        assert!(s.get(99).is_none());
+    }
+
+    #[test]
+    fn stream_access_respects_span() {
+        let s = seq(vec![
+            (1, record![1i64, 1.0]),
+            (3, record![3i64, 2.0]),
+            (5, record![5i64, 3.0]),
+            (9, record![9i64, 4.0]),
+        ]);
+        let got: Vec<i64> = s.scan(Span::new(2, 6)).map(|(p, _)| p).collect();
+        assert_eq!(got, vec![3, 5]);
+        let all: Vec<i64> = s.scan(Span::all()).map(|(p, _)| p).collect();
+        assert_eq!(all, vec![1, 3, 5, 9]);
+        assert_eq!(s.scan(Span::empty()).count(), 0);
+    }
+
+    #[test]
+    fn empty_sequence_has_empty_span() {
+        let s = BaseSequence::from_entries(schema(&[("x", AttrType::Int)]), vec![]).unwrap();
+        assert!(s.meta().span.is_empty());
+        assert_eq!(s.meta().density, 0.0);
+        assert_eq!(s.scan(Span::all()).count(), 0);
+    }
+
+    #[test]
+    fn declared_span_recomputes_density() {
+        let s = seq(vec![(10, record![10i64, 1.0]), (11, record![11i64, 2.0])])
+            .with_declared_span(Span::new(1, 20));
+        assert_eq!(s.meta().span, Span::new(1, 20));
+        assert!((s.meta().density - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_sequence_everywhere() {
+        let c = ConstantSequence::new(
+            schema(&[("threshold", AttrType::Float)]),
+            record![7.0],
+        )
+        .unwrap();
+        assert!(c.get(-100).is_some());
+        assert!(c.get(1_000_000).is_some());
+        let v: Vec<i64> = c.scan(Span::new(2, 4)).map(|(p, _)| p).collect();
+        assert_eq!(v, vec![2, 3, 4]);
+        assert_eq!(c.meta().density, 1.0);
+    }
+}

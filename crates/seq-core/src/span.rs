@@ -1,0 +1,263 @@
+//! Spans: the valid position range of a sequence (§3, Table 1).
+//!
+//! A span is a closed interval of positions `[start, end]`. Spans propagate
+//! bottom-up (each operator computes its output span from its input spans)
+//! and top-down (operators restrict their inputs' spans given the span the
+//! consumer requires) — the global span optimization of §3.2 / Figure 3.
+//!
+//! Value offsets produce semi-infinite output spans (Previous is defined at
+//! every position after the first input record), so spans support ±∞
+//! endpoints; the query template's position range (Figure 6) clamps them.
+
+use std::fmt;
+
+/// Sentinel for an unbounded lower endpoint.
+pub const NEG_INF: i64 = i64::MIN;
+/// Sentinel for an unbounded upper endpoint.
+pub const POS_INF: i64 = i64::MAX;
+
+/// A closed interval of positions, possibly empty or unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    start: i64,
+    end: i64,
+}
+
+impl Span {
+    /// `[start, end]`; an inverted pair denotes the empty span.
+    pub fn new(start: i64, end: i64) -> Span {
+        if start > end {
+            Span::empty()
+        } else {
+            Span { start, end }
+        }
+    }
+
+    /// The canonical empty span.
+    pub fn empty() -> Span {
+        Span { start: 1, end: 0 }
+    }
+
+    /// The span covering every position.
+    pub fn all() -> Span {
+        Span { start: NEG_INF, end: POS_INF }
+    }
+
+    /// A single-position span.
+    pub fn point(p: i64) -> Span {
+        Span { start: p, end: p }
+    }
+
+    /// Inclusive lower endpoint ([`NEG_INF`] when unbounded below).
+    pub fn start(&self) -> i64 {
+        self.start
+    }
+
+    /// Inclusive upper endpoint ([`POS_INF`] when unbounded above).
+    pub fn end(&self) -> i64 {
+        self.end
+    }
+
+    /// Whether the span contains no positions.
+    pub fn is_empty(&self) -> bool {
+        self.start > self.end
+    }
+
+    /// Non-empty with both endpoints finite.
+    pub fn is_bounded(&self) -> bool {
+        !self.is_empty() && self.start != NEG_INF && self.end != POS_INF
+    }
+
+    /// Number of positions in the span. Unbounded spans saturate to
+    /// `u64::MAX`; the cost model treats that as "do not enumerate".
+    pub fn len(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else if !self.is_bounded() {
+            u64::MAX
+        } else {
+            (self.end - self.start) as u64 + 1
+        }
+    }
+
+    /// Whether position `p` lies within the span.
+    pub fn contains(&self, p: i64) -> bool {
+        !self.is_empty() && self.start <= p && p <= self.end
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &Span) -> Span {
+        if self.is_empty() || other.is_empty() {
+            return Span::empty();
+        }
+        Span::new(self.start.max(other.start), self.end.min(other.end))
+    }
+
+    /// Smallest span covering both (interval hull).
+    pub fn hull(&self, other: &Span) -> Span {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// Shift every position by `delta`, saturating at the infinities.
+    /// Infinite endpoints stay infinite.
+    pub fn shift(&self, delta: i64) -> Span {
+        if self.is_empty() {
+            return Span::empty();
+        }
+        let start = if self.start == NEG_INF { NEG_INF } else { sat_add(self.start, delta) };
+        let end = if self.end == POS_INF { POS_INF } else { sat_add(self.end, delta) };
+        Span::new(start, end)
+    }
+
+    /// Widen the span by a relative window: the set of positions `i` such
+    /// that `[i+lo, i+hi]` intersects this span — i.e. `[start-hi, end-lo]`.
+    ///
+    /// This is the bottom-up span rule for a windowed aggregate (the output
+    /// at `i` is non-Null iff some input in `[i+lo, i+hi]` is), and also the
+    /// top-down rule for the *input* span a windowed operator needs
+    /// (swap/negate accordingly at the call site).
+    pub fn widen_by_window(&self, lo: i64, hi: i64) -> Span {
+        if self.is_empty() {
+            return Span::empty();
+        }
+        let start = if self.start == NEG_INF { NEG_INF } else { sat_add(self.start, -hi) };
+        let end = if self.end == POS_INF { POS_INF } else { sat_add(self.end, -lo) };
+        Span::new(start, end)
+    }
+
+    /// Extend the span to +∞ (value-offset outputs looking backward remain
+    /// defined forever after their last input).
+    pub fn unbounded_above(&self) -> Span {
+        if self.is_empty() {
+            Span::empty()
+        } else {
+            Span { start: self.start, end: POS_INF }
+        }
+    }
+
+    /// Extend the span to −∞.
+    pub fn unbounded_below(&self) -> Span {
+        if self.is_empty() {
+            Span::empty()
+        } else {
+            Span { start: NEG_INF, end: self.end }
+        }
+    }
+
+    /// Iterate the positions of a bounded span.
+    pub fn positions(&self) -> impl Iterator<Item = i64> {
+        let (s, e) = if self.is_empty() { (1, 0) } else { (self.start, self.end) };
+        debug_assert!(self.is_empty() || self.is_bounded(), "cannot enumerate an unbounded span");
+        s..=e
+    }
+}
+
+/// Saturating add that never crosses the infinity sentinels: finite
+/// arithmetic must not accidentally land exactly on a sentinel.
+fn sat_add(a: i64, b: i64) -> i64 {
+    a.saturating_add(b).clamp(NEG_INF + 1, POS_INF - 1)
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "[empty]");
+        }
+        match (self.start, self.end) {
+            (NEG_INF, POS_INF) => write!(f, "[-inf, +inf]"),
+            (NEG_INF, e) => write!(f, "[-inf, {e}]"),
+            (s, POS_INF) => write!(f, "[{s}, +inf]"),
+            (s, e) => write!(f, "[{s}, {e}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_emptiness() {
+        assert!(Span::new(5, 3).is_empty());
+        assert!(!Span::new(3, 5).is_empty());
+        assert!(Span::empty().is_empty());
+        assert_eq!(Span::point(7).len(), 1);
+        assert_eq!(Span::new(1, 10).len(), 10);
+        assert_eq!(Span::empty().len(), 0);
+        assert_eq!(Span::all().len(), u64::MAX);
+    }
+
+    #[test]
+    fn containment() {
+        let s = Span::new(200, 350);
+        assert!(s.contains(200));
+        assert!(s.contains(350));
+        assert!(!s.contains(199));
+        assert!(!Span::empty().contains(0));
+        assert!(Span::all().contains(i64::MIN + 1));
+    }
+
+    #[test]
+    fn intersection_matches_figure3() {
+        // Figure 3: DEC=[1,350], IBM=[200,500], HP=[1,750].
+        let dec = Span::new(1, 350);
+        let ibm = Span::new(200, 500);
+        let hp = Span::new(1, 750);
+        let ibm_hp = ibm.intersect(&hp);
+        assert_eq!(ibm_hp, Span::new(200, 500));
+        let final_span = dec.intersect(&ibm_hp);
+        assert_eq!(final_span, Span::new(200, 350));
+    }
+
+    #[test]
+    fn intersect_with_empty_is_empty() {
+        assert!(Span::new(1, 5).intersect(&Span::empty()).is_empty());
+        assert!(Span::new(1, 5).intersect(&Span::new(6, 9)).is_empty());
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let h = Span::new(1, 3).hull(&Span::new(10, 12));
+        assert_eq!(h, Span::new(1, 12));
+        assert_eq!(Span::empty().hull(&Span::new(2, 4)), Span::new(2, 4));
+    }
+
+    #[test]
+    fn shift_moves_finite_endpoints() {
+        assert_eq!(Span::new(10, 20).shift(-5), Span::new(5, 15));
+        let half = Span::new(10, 20).unbounded_above().shift(3);
+        assert_eq!(half.start(), 13);
+        assert_eq!(half.end(), POS_INF);
+    }
+
+    #[test]
+    fn widen_by_trailing_window() {
+        // A trailing 6-position window [-5, 0]: output span = [start, end+5].
+        let s = Span::new(100, 200).widen_by_window(-5, 0);
+        assert_eq!(s, Span::new(100, 205));
+        // A leading window [0, 3]: output span = [start-3, end].
+        let s = Span::new(100, 200).widen_by_window(0, 3);
+        assert_eq!(s, Span::new(97, 200));
+    }
+
+    #[test]
+    fn positions_enumerates_bounded_spans() {
+        let v: Vec<i64> = Span::new(3, 6).positions().collect();
+        assert_eq!(v, vec![3, 4, 5, 6]);
+        assert_eq!(Span::empty().positions().count(), 0);
+    }
+
+    #[test]
+    fn display_shows_infinities() {
+        assert_eq!(Span::new(1, 2).to_string(), "[1, 2]");
+        assert_eq!(Span::all().to_string(), "[-inf, +inf]");
+        assert_eq!(Span::new(5, 5).unbounded_above().to_string(), "[5, +inf]");
+        assert_eq!(Span::empty().to_string(), "[empty]");
+    }
+}

@@ -1,0 +1,261 @@
+//! Atomic values and their types.
+//!
+//! The paper's record schemas are tuples of "indivisible atomic types of
+//! fixed size" (§2). We support 64-bit integers, 64-bit floats, booleans,
+//! and interned strings (strings are not fixed-size on disk, but the model
+//! only requires that they be atomic — the storage layer treats them as
+//! opaque payloads).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Result, SeqError};
+
+/// The type of an atomic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// Interned UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Int => "INT",
+            AttrType::Float => "FLOAT",
+            AttrType::Bool => "BOOL",
+            AttrType::Str => "STR",
+        };
+        f.write_str(s)
+    }
+}
+
+impl AttrType {
+    /// Whether values of this type participate in arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, AttrType::Int | AttrType::Float)
+    }
+}
+
+/// An atomic value stored in a record attribute.
+///
+/// Strings are reference-counted so that records can be cloned cheaply into
+/// operator caches (§3.4–3.5 rely on caching records).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE-754 float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Interned UTF-8 string (cheap to clone).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime type of this value.
+    pub fn attr_type(&self) -> AttrType {
+        match self {
+            Value::Int(_) => AttrType::Int,
+            Value::Float(_) => AttrType::Float,
+            Value::Bool(_) => AttrType::Bool,
+            Value::Str(_) => AttrType::Str,
+        }
+    }
+
+    /// Interpret a numeric value as `f64`, for aggregate arithmetic.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(SeqError::Type(format!(
+                "expected numeric value, found {}",
+                other.attr_type()
+            ))),
+        }
+    }
+
+    /// Interpret the value as an integer.
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(SeqError::Type(format!(
+                "expected INT value, found {}",
+                other.attr_type()
+            ))),
+        }
+    }
+
+    /// Interpret the value as a boolean.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(SeqError::Type(format!(
+                "expected BOOL value, found {}",
+                other.attr_type()
+            ))),
+        }
+    }
+
+    /// Interpret the value as a string slice.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(SeqError::Type(format!(
+                "expected STR value, found {}",
+                other.attr_type()
+            ))),
+        }
+    }
+
+    /// Total-order comparison between two values of the same type.
+    ///
+    /// Floats are compared with a total order in which NaN sorts greatest;
+    /// this gives MIN/MAX aggregates deterministic results on any input.
+    /// Comparing values of different types is a type error, except that INT
+    /// and FLOAT compare numerically.
+    pub fn total_cmp(&self, other: &Value) -> Result<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => Ok(a.total_cmp(b)),
+            (Value::Int(a), Value::Float(b)) => Ok((*a as f64).total_cmp(b)),
+            (Value::Float(a), Value::Int(b)) => Ok(a.total_cmp(&(*b as f64))),
+            (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Ok(a.as_ref().cmp(b.as_ref())),
+            (a, b) => Err(SeqError::Type(format!(
+                "cannot compare {} with {}",
+                a.attr_type(),
+                b.attr_type()
+            ))),
+        }
+    }
+
+    /// Equality usable in predicates; delegates to [`Value::total_cmp`].
+    pub fn sql_eq(&self, other: &Value) -> Result<bool> {
+        Ok(self.total_cmp(other)? == Ordering::Equal)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other).map(|o| o == Ordering::Equal).unwrap_or(false)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_of_each_variant() {
+        assert_eq!(Value::Int(1).attr_type(), AttrType::Int);
+        assert_eq!(Value::Float(1.0).attr_type(), AttrType::Float);
+        assert_eq!(Value::Bool(true).attr_type(), AttrType::Bool);
+        assert_eq!(Value::str("x").attr_type(), AttrType::Str);
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::Int(3).as_f64().unwrap(), 3.0);
+        assert_eq!(Value::Float(2.5).as_f64().unwrap(), 2.5);
+        assert!(Value::str("x").as_f64().is_err());
+        assert!(Value::Bool(true).as_f64().is_err());
+    }
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        assert_eq!(
+            Value::Int(2).total_cmp(&Value::Float(2.5)).unwrap(),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Float(3.0).total_cmp(&Value::Int(3)).unwrap(),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn incompatible_comparison_is_type_error() {
+        assert!(Value::Int(1).total_cmp(&Value::str("1")).is_err());
+        assert!(Value::Bool(true).total_cmp(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn nan_sorts_greatest() {
+        let nan = Value::Float(f64::NAN);
+        let one = Value::Float(1.0);
+        assert_eq!(one.total_cmp(&nan).unwrap(), Ordering::Less);
+        assert_eq!(nan.total_cmp(&nan).unwrap(), Ordering::Equal);
+    }
+
+    #[test]
+    fn string_values_are_shared() {
+        let a = Value::str("hello");
+        let b = a.clone();
+        match (&a, &b) {
+            (Value::Str(x), Value::Str(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::str("a").to_string(), "\"a\"");
+    }
+
+    #[test]
+    fn partial_eq_uses_numeric_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_ne!(Value::Int(2), Value::str("2"));
+    }
+}

@@ -1,0 +1,832 @@
+//! Windowed-aggregate evaluation — the Figure 5.A contrast.
+//!
+//! Strategies:
+//!
+//! - **Cache-Strategy-A** ([`WindowAggCursor`]): stream the input once,
+//!   holding the records of the effective scope in a FIFO [`OpCache`] sized
+//!   to the window, so "the Sum operator at every position needs to access
+//!   the input sequence only at that position" (§3.5). The aggregate is
+//!   recomputed from the cached window, exactly as the paper describes.
+//! - **Incremental** ([`SlidingAccumulator`]): a standard refinement of
+//!   Cache-A that maintains running sums (Sum/Count/Avg) or a monotonic
+//!   deque (Min/Max) so each slide costs O(1) amortized instead of O(w).
+//! - **Naive** ([`NaiveAggCursor`] / [`AggProbe`]): for every output
+//!   position, probe the input at each window position — w probes per
+//!   output, the repeated-retrieval cost caching eliminates.
+//!
+//! Cumulative and whole-span windows get dedicated cursors
+//! ([`CumulativeAggCursor`], [`WholeSpanAggCursor`]).
+
+use std::collections::VecDeque;
+
+use seq_core::{Record, Result, SeqError, Span, Value};
+use seq_ops::{AggFunc, Window};
+
+use crate::cache::OpCache;
+use crate::cursor::{Cursor, PointAccess};
+use crate::stats::ExecStats;
+
+/// O(1)-amortized sliding-window aggregate state.
+///
+/// Entries must be pushed in increasing position order and removed in the
+/// same order (`evict_below`), matching how a sequential window slides.
+#[derive(Debug)]
+pub struct SlidingAccumulator {
+    func: AggFunc,
+    count: i64,
+    int_count: i64,
+    sum_i: i64,
+    sum_f: f64,
+    /// For Min/Max: positions+values in monotonically best-first order.
+    mono: VecDeque<(i64, Value)>,
+    /// All live positions (needed to know what `evict_below` removes).
+    live: VecDeque<(i64, Value)>,
+}
+
+impl SlidingAccumulator {
+    /// Empty state for the given aggregate function.
+    pub fn new(func: AggFunc) -> SlidingAccumulator {
+        SlidingAccumulator {
+            func,
+            count: 0,
+            int_count: 0,
+            sum_i: 0,
+            sum_f: 0.0,
+            mono: VecDeque::new(),
+            live: VecDeque::new(),
+        }
+    }
+
+    /// Live entries in the window.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether the window holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Add the value at `pos` (positions strictly increasing).
+    pub fn push(&mut self, pos: i64, v: &Value) -> Result<()> {
+        debug_assert!(self.live.back().map(|(p, _)| *p < pos).unwrap_or(true));
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => match v {
+                Value::Int(i) => {
+                    self.int_count += 1;
+                    self.sum_i = self.sum_i.wrapping_add(*i);
+                    self.sum_f += *i as f64;
+                }
+                Value::Float(f) => self.sum_f += f,
+                other => {
+                    return Err(SeqError::Type(format!(
+                        "{} requires numeric values, found {}",
+                        self.func,
+                        other.attr_type()
+                    )))
+                }
+            },
+            AggFunc::Min | AggFunc::Max => {
+                // Pop dominated entries from the back of the monotonic deque.
+                while let Some((_, back)) = self.mono.back() {
+                    let ord = v.total_cmp(back)?;
+                    let dominated = if self.func == AggFunc::Min { ord.is_le() } else { ord.is_ge() };
+                    if dominated {
+                        self.mono.pop_back();
+                    } else {
+                        break;
+                    }
+                }
+                self.mono.push_back((pos, v.clone()));
+            }
+        }
+        self.live.push_back((pos, v.clone()));
+        Ok(())
+    }
+
+    /// Remove entries at positions strictly below `pos`.
+    pub fn evict_below(&mut self, pos: i64) {
+        while self.live.front().map(|(p, _)| *p < pos).unwrap_or(false) {
+            let (p, v) = self.live.pop_front().expect("checked front");
+            self.count -= 1;
+            match self.func {
+                AggFunc::Count | AggFunc::Min | AggFunc::Max => {}
+                AggFunc::Sum | AggFunc::Avg => match v {
+                    Value::Int(i) => {
+                        self.int_count -= 1;
+                        self.sum_i = self.sum_i.wrapping_sub(i);
+                        self.sum_f -= i as f64;
+                    }
+                    Value::Float(f) => self.sum_f -= f,
+                    _ => unreachable!("push rejected non-numeric values"),
+                },
+            }
+            if let Some((mp, _)) = self.mono.front() {
+                if *mp == p {
+                    self.mono.pop_front();
+                }
+            }
+        }
+    }
+
+    /// The current aggregate, or `None` when the window is empty.
+    pub fn current(&self) -> Option<Value> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(match self.func {
+            AggFunc::Count => Value::Int(self.count),
+            AggFunc::Avg => Value::Float(self.sum_f / self.count as f64),
+            AggFunc::Sum => {
+                if self.int_count == self.count {
+                    Value::Int(self.sum_i)
+                } else {
+                    Value::Float(self.sum_f)
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                self.mono.front().map(|(_, v)| v.clone()).expect("non-empty window")
+            }
+        })
+    }
+}
+
+/// Cache-Strategy-A over a sliding window `[i+lo, i+hi]`.
+pub struct WindowAggCursor {
+    input: Box<dyn Cursor>,
+    func: AggFunc,
+    attr_index: usize,
+    lo: i64,
+    hi: i64,
+    cache: OpCache,
+    /// Incremental accumulator (kept in lock-step with the cache) when the
+    /// strategy asks for O(1) slides; otherwise the aggregate is recomputed
+    /// from the cache window on every emit, which is bit-for-bit identical
+    /// to the reference semantics.
+    accumulator: Option<SlidingAccumulator>,
+    pending: Option<(i64, Record)>,
+    input_done: bool,
+    cur: i64,
+    span: Span,
+}
+
+impl WindowAggCursor {
+    /// Cache-Strategy-A over a sliding window; `incremental` switches the
+    /// per-emit recompute to O(1) accumulators.
+    pub fn new(
+        input: Box<dyn Cursor>,
+        func: AggFunc,
+        attr_index: usize,
+        window: Window,
+        span: Span,
+        incremental: bool,
+        stats: ExecStats,
+    ) -> Result<WindowAggCursor> {
+        let Window::Sliding { lo, hi } = window else {
+            return Err(SeqError::Unsupported(
+                "WindowAggCursor handles sliding windows; use the cumulative/whole-span cursors"
+                    .into(),
+            ));
+        };
+        if !span.is_empty() && !span.is_bounded() {
+            return Err(SeqError::Unsupported(
+                "stream evaluation of an aggregate needs a bounded output span".into(),
+            ));
+        }
+        let capacity = (hi - lo).unsigned_abs() as usize + 1;
+        Ok(WindowAggCursor {
+            input,
+            func,
+            attr_index,
+            lo,
+            hi,
+            cache: OpCache::new(capacity, stats),
+            accumulator: incremental.then(|| SlidingAccumulator::new(func)),
+            pending: None,
+            input_done: false,
+            cur: if span.is_empty() { 1 } else { span.start() },
+            span,
+        })
+    }
+
+    fn pull_input(&mut self) -> Result<Option<(i64, Record)>> {
+        if let Some(item) = self.pending.take() {
+            return Ok(Some(item));
+        }
+        if self.input_done {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            Some(item) => Ok(Some(item)),
+            None => {
+                self.input_done = true;
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl Cursor for WindowAggCursor {
+    fn next(&mut self) -> Result<Option<(i64, Record)>> {
+        loop {
+            if self.span.is_empty() || self.cur > self.span.end() {
+                return Ok(None);
+            }
+            let o = self.cur;
+            // Fold every input record visible at o (pos <= o + hi).
+            loop {
+                match self.pull_input()? {
+                    Some((p, r)) if p <= o.saturating_add(self.hi) => {
+                        if let Some(acc) = &mut self.accumulator {
+                            acc.push(p, r.value(self.attr_index)?)?;
+                        }
+                        self.cache.push(p, r);
+                    }
+                    Some(item) => {
+                        self.pending = Some(item);
+                        break;
+                    }
+                    None => break,
+                }
+            }
+            // Slide the window: drop records below o + lo.
+            self.cache.evict_below(o.saturating_add(self.lo));
+            if let Some(acc) = &mut self.accumulator {
+                acc.evict_below(o.saturating_add(self.lo));
+            }
+            self.cur += 1;
+
+            if !self.cache.is_empty() {
+                let value = match &self.accumulator {
+                    Some(acc) => acc.current(),
+                    None => {
+                        let values: Vec<Value> = self
+                            .cache
+                            .range(o.saturating_add(self.lo), o.saturating_add(self.hi))
+                            .map(|(_, r)| r.value(self.attr_index).cloned())
+                            .collect::<Result<_>>()?;
+                        self.func.apply(values.iter())?
+                    }
+                };
+                if let Some(v) = value {
+                    return Ok(Some((o, Record::new(vec![v]))));
+                }
+            }
+            // Empty window: skip ahead to the first position whose window can
+            // contain the pending input record, instead of walking the gap.
+            match (&self.pending, self.input_done) {
+                (Some((q, _)), _) => {
+                    self.cur = self.cur.max(q - self.hi);
+                }
+                (None, true) => return Ok(None),
+                (None, false) => {
+                    // Force a pull on the next iteration.
+                }
+            }
+        }
+    }
+
+    fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
+        self.cur = self.cur.max(lower);
+        self.next()
+    }
+}
+
+/// Cumulative aggregate: the running value over all inputs up to `i`.
+/// Incremental by construction (only additions), which is the
+/// Cache-Strategy-B analogue for cumulative windows.
+pub struct CumulativeAggCursor {
+    input: Box<dyn Cursor>,
+    attr_index: usize,
+    acc: SlidingAccumulator,
+    pending: Option<(i64, Record)>,
+    input_done: bool,
+    cur: i64,
+    span: Span,
+}
+
+impl CumulativeAggCursor {
+    /// Running aggregate from the input's start.
+    pub fn new(
+        input: Box<dyn Cursor>,
+        func: AggFunc,
+        attr_index: usize,
+        span: Span,
+    ) -> Result<CumulativeAggCursor> {
+        if !span.is_empty() && !span.is_bounded() {
+            return Err(SeqError::Unsupported(
+                "stream evaluation of a cumulative aggregate needs a bounded output span".into(),
+            ));
+        }
+        Ok(CumulativeAggCursor {
+            input,
+            attr_index,
+            acc: SlidingAccumulator::new(func),
+            pending: None,
+            input_done: false,
+            cur: if span.is_empty() { 1 } else { span.start() },
+            span,
+        })
+    }
+}
+
+impl Cursor for CumulativeAggCursor {
+    fn next(&mut self) -> Result<Option<(i64, Record)>> {
+        loop {
+            if self.span.is_empty() || self.cur > self.span.end() {
+                return Ok(None);
+            }
+            let o = self.cur;
+            loop {
+                let item = match self.pending.take() {
+                    Some(item) => Some(item),
+                    None if self.input_done => None,
+                    None => {
+                        let nxt = self.input.next()?;
+                        if nxt.is_none() {
+                            self.input_done = true;
+                        }
+                        nxt
+                    }
+                };
+                match item {
+                    Some((p, r)) if p <= o => self.acc.push(p, r.value(self.attr_index)?)?,
+                    Some(item) => {
+                        self.pending = Some(item);
+                        break;
+                    }
+                    None => break,
+                }
+            }
+            self.cur += 1;
+            if let Some(v) = self.acc.current() {
+                return Ok(Some((o, Record::new(vec![v]))));
+            }
+            // Nothing accumulated yet: jump to the first input position.
+            match (&self.pending, self.input_done) {
+                (Some((q, _)), _) => self.cur = self.cur.max(*q),
+                (None, true) => return Ok(None),
+                (None, false) => {}
+            }
+        }
+    }
+
+    fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
+        self.cur = self.cur.max(lower);
+        self.next()
+    }
+}
+
+/// Whole-span aggregate: one value, emitted at every position of the output
+/// span. The entire input is drained on the first pull.
+pub struct WholeSpanAggCursor {
+    input: Option<Box<dyn Cursor>>,
+    func: AggFunc,
+    attr_index: usize,
+    value: Option<Value>,
+    cur: i64,
+    span: Span,
+}
+
+impl WholeSpanAggCursor {
+    /// One aggregate over the whole input, replicated across the span.
+    pub fn new(
+        input: Box<dyn Cursor>,
+        func: AggFunc,
+        attr_index: usize,
+        span: Span,
+    ) -> Result<WholeSpanAggCursor> {
+        if !span.is_empty() && !span.is_bounded() {
+            return Err(SeqError::Unsupported(
+                "stream evaluation of a whole-span aggregate needs a bounded output span".into(),
+            ));
+        }
+        Ok(WholeSpanAggCursor {
+            input: Some(input),
+            func,
+            attr_index,
+            value: None,
+            cur: if span.is_empty() { 1 } else { span.start() },
+            span,
+        })
+    }
+
+    fn ensure_value(&mut self) -> Result<()> {
+        if let Some(mut input) = self.input.take() {
+            let mut values = Vec::new();
+            while let Some((_, r)) = input.next()? {
+                values.push(r.value(self.attr_index)?.clone());
+            }
+            self.value = self.func.apply(values.iter())?;
+        }
+        Ok(())
+    }
+}
+
+impl Cursor for WholeSpanAggCursor {
+    fn next(&mut self) -> Result<Option<(i64, Record)>> {
+        self.ensure_value()?;
+        let Some(v) = &self.value else { return Ok(None) };
+        if self.span.is_empty() || self.cur > self.span.end() {
+            return Ok(None);
+        }
+        let o = self.cur;
+        self.cur += 1;
+        Ok(Some((o, Record::new(vec![v.clone()]))))
+    }
+
+    fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
+        self.cur = self.cur.max(lower);
+        self.next()
+    }
+}
+
+/// Probed access to an aggregate: compute the window at `pos` by probing the
+/// input position by position (the naive algorithm; §4.1.2 prices this as
+/// the probed input cost times the scope size).
+pub struct AggProbe {
+    input: Box<dyn PointAccess>,
+    func: AggFunc,
+    attr_index: usize,
+    window: Window,
+    input_span: Span,
+    span: Span,
+    stats: ExecStats,
+}
+
+impl AggProbe {
+    /// Probed aggregate: per-position window probing (§4.1.2's naive cost).
+    pub fn new(
+        input: Box<dyn PointAccess>,
+        func: AggFunc,
+        attr_index: usize,
+        window: Window,
+        input_span: Span,
+        span: Span,
+        stats: ExecStats,
+    ) -> AggProbe {
+        AggProbe { input, func, attr_index, window, input_span, span, stats }
+    }
+}
+
+impl PointAccess for AggProbe {
+    fn get(&mut self, pos: i64) -> Result<Option<Record>> {
+        if !self.span.contains(pos) {
+            return Ok(None);
+        }
+        let probe_span = match self.window {
+            Window::Sliding { lo, hi } => {
+                Span::new(pos.saturating_add(lo), pos.saturating_add(hi))
+                    .intersect(&self.input_span)
+            }
+            Window::Cumulative => {
+                Span::new(self.input_span.start(), pos).intersect(&self.input_span)
+            }
+            Window::WholeSpan => self.input_span,
+        };
+        if !probe_span.is_empty() && !probe_span.is_bounded() {
+            return Err(SeqError::Unsupported(
+                "probed aggregate over an unbounded window".into(),
+            ));
+        }
+        let mut values = Vec::new();
+        for p in probe_span.positions() {
+            self.stats.record_naive_walk_step();
+            if let Some(r) = self.input.get(p)? {
+                values.push(r.value(self.attr_index)?.clone());
+            }
+        }
+        Ok(self.func.apply(values.iter())?.map(|v| Record::new(vec![v])))
+    }
+}
+
+/// The naive algorithm as a stream: per-output-position probing.
+pub struct NaiveAggCursor {
+    probe: AggProbe,
+    cur: i64,
+    span: Span,
+}
+
+impl NaiveAggCursor {
+    /// Naive per-output-position window probing as a stream.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        input: Box<dyn PointAccess>,
+        func: AggFunc,
+        attr_index: usize,
+        window: Window,
+        input_span: Span,
+        span: Span,
+        stats: ExecStats,
+    ) -> Result<NaiveAggCursor> {
+        if !span.is_empty() && !span.is_bounded() {
+            return Err(SeqError::Unsupported(
+                "naive evaluation of an aggregate needs a bounded output span".into(),
+            ));
+        }
+        Ok(NaiveAggCursor {
+            probe: AggProbe::new(input, func, attr_index, window, input_span, span, stats),
+            cur: if span.is_empty() { 1 } else { span.start() },
+            span,
+        })
+    }
+}
+
+impl Cursor for NaiveAggCursor {
+    fn next(&mut self) -> Result<Option<(i64, Record)>> {
+        while !self.span.is_empty() && self.cur <= self.span.end() {
+            let o = self.cur;
+            self.cur += 1;
+            if let Some(rec) = self.probe.get(o)? {
+                return Ok(Some((o, rec)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
+        self.cur = self.cur.max(lower);
+        self.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::{BaseProbe, BaseStreamCursor};
+    use seq_core::{record, schema, AttrType, BaseSequence};
+    use seq_storage::Catalog;
+
+    fn catalog(entries: &[(i64, f64)]) -> Catalog {
+        let mut c = Catalog::new();
+        c.set_page_capacity(4);
+        let base = BaseSequence::from_entries(
+            schema(&[("time", AttrType::Int), ("close", AttrType::Float)]),
+            entries.iter().map(|&(p, v)| (p, record![p, v])).collect(),
+        )
+        .unwrap();
+        c.register("S", &base);
+        c
+    }
+
+    fn collect(mut cur: impl Cursor) -> Vec<(i64, Value)> {
+        let mut out = Vec::new();
+        while let Some((p, r)) = cur.next().unwrap() {
+            out.push((p, r.value(0).unwrap().clone()));
+        }
+        out
+    }
+
+    #[test]
+    fn accumulator_sum_and_count() {
+        let mut acc = SlidingAccumulator::new(AggFunc::Sum);
+        acc.push(1, &Value::Float(1.0)).unwrap();
+        acc.push(2, &Value::Float(2.0)).unwrap();
+        acc.push(3, &Value::Float(4.0)).unwrap();
+        assert_eq!(acc.current(), Some(Value::Float(7.0)));
+        acc.evict_below(2);
+        assert_eq!(acc.current(), Some(Value::Float(6.0)));
+        acc.evict_below(10);
+        assert_eq!(acc.current(), None);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn accumulator_int_sum_stays_int() {
+        let mut acc = SlidingAccumulator::new(AggFunc::Sum);
+        acc.push(1, &Value::Int(2)).unwrap();
+        acc.push(2, &Value::Int(3)).unwrap();
+        assert_eq!(acc.current(), Some(Value::Int(5)));
+        acc.push(3, &Value::Float(0.5)).unwrap();
+        assert_eq!(acc.current(), Some(Value::Float(5.5)));
+        acc.evict_below(3);
+        assert_eq!(acc.current(), Some(Value::Float(0.5)));
+    }
+
+    #[test]
+    fn accumulator_monotonic_min_max() {
+        let mut mn = SlidingAccumulator::new(AggFunc::Min);
+        let mut mx = SlidingAccumulator::new(AggFunc::Max);
+        for (p, v) in [(1, 3.0), (2, 1.0), (3, 2.0), (4, 5.0)] {
+            mn.push(p, &Value::Float(v)).unwrap();
+            mx.push(p, &Value::Float(v)).unwrap();
+        }
+        assert_eq!(mn.current(), Some(Value::Float(1.0)));
+        assert_eq!(mx.current(), Some(Value::Float(5.0)));
+        mn.evict_below(3);
+        mx.evict_below(3);
+        assert_eq!(mn.current(), Some(Value::Float(2.0)));
+        assert_eq!(mx.current(), Some(Value::Float(5.0)));
+    }
+
+    #[test]
+    fn accumulator_rejects_non_numeric_sum() {
+        let mut acc = SlidingAccumulator::new(AggFunc::Avg);
+        assert!(acc.push(1, &Value::str("x")).is_err());
+    }
+
+    #[test]
+    fn window_sum_matches_hand_computation() {
+        // Figure 5.A shape: moving sum over a trailing window of 3.
+        let c = catalog(&[(1, 1.0), (2, 2.0), (4, 4.0)]);
+        let store = c.get("S").unwrap();
+        let cur = WindowAggCursor::new(
+            Box::new(BaseStreamCursor::new(&store, Span::new(1, 4))),
+            AggFunc::Sum,
+            1,
+            Window::trailing(3),
+            Span::new(1, 6),
+            false,
+            ExecStats::new(),
+        )
+        .unwrap();
+        let out = collect(cur);
+        let expect = vec![
+            (1, Value::Float(1.0)),
+            (2, Value::Float(3.0)),
+            (3, Value::Float(3.0)),
+            (4, Value::Float(6.0)),
+            (5, Value::Float(4.0)),
+            (6, Value::Float(4.0)),
+        ];
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn incremental_matches_recompute() {
+        let data: Vec<(i64, f64)> = (1..=60).filter(|p| p % 3 != 0).map(|p| (p, (p as f64) * 0.25)).collect();
+        let c = catalog(&data);
+        let store = c.get("S").unwrap();
+        for func in [AggFunc::Sum, AggFunc::Avg, AggFunc::Count, AggFunc::Min, AggFunc::Max] {
+            let mk = |incremental: bool| {
+                WindowAggCursor::new(
+                    Box::new(BaseStreamCursor::new(&store, Span::new(1, 60))),
+                    func,
+                    1,
+                    Window::Sliding { lo: -4, hi: 0 },
+                    Span::new(1, 70),
+                    incremental,
+                    ExecStats::new(),
+                )
+                .unwrap()
+            };
+            let plain = collect(mk(false));
+            let inc = collect(mk(true));
+            assert_eq!(plain.len(), inc.len(), "{func}");
+            for ((p1, v1), (p2, v2)) in plain.iter().zip(inc.iter()) {
+                assert_eq!(p1, p2, "{func}");
+                let a = v1.as_f64().unwrap();
+                let b = v2.as_f64().unwrap();
+                assert!((a - b).abs() < 1e-9, "{func} at {p1}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn leading_window_lookahead() {
+        let c = catalog(&[(1, 1.0), (2, 2.0), (3, 3.0)]);
+        let store = c.get("S").unwrap();
+        let cur = WindowAggCursor::new(
+            Box::new(BaseStreamCursor::new(&store, Span::new(1, 3))),
+            AggFunc::Sum,
+            1,
+            Window::Sliding { lo: 0, hi: 1 },
+            Span::new(0, 3),
+            false,
+            ExecStats::new(),
+        )
+        .unwrap();
+        let out = collect(cur);
+        let expect = vec![
+            (0, Value::Float(1.0)),
+            (1, Value::Float(3.0)),
+            (2, Value::Float(5.0)),
+            (3, Value::Float(3.0)),
+        ];
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn cumulative_running_sum() {
+        let c = catalog(&[(2, 1.0), (4, 2.0), (6, 4.0)]);
+        let store = c.get("S").unwrap();
+        let cur = CumulativeAggCursor::new(
+            Box::new(BaseStreamCursor::new(&store, Span::new(2, 6))),
+            AggFunc::Sum,
+            1,
+            Span::new(1, 8),
+        )
+        .unwrap();
+        let out = collect(cur);
+        let expect = vec![
+            (2, Value::Float(1.0)),
+            (3, Value::Float(1.0)),
+            (4, Value::Float(3.0)),
+            (5, Value::Float(3.0)),
+            (6, Value::Float(7.0)),
+            (7, Value::Float(7.0)),
+            (8, Value::Float(7.0)),
+        ];
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn whole_span_constant_output() {
+        let c = catalog(&[(1, 1.0), (2, 9.0), (3, 4.0)]);
+        let store = c.get("S").unwrap();
+        let cur = WholeSpanAggCursor::new(
+            Box::new(BaseStreamCursor::new(&store, Span::new(1, 3))),
+            AggFunc::Max,
+            1,
+            Span::new(1, 3),
+        )
+        .unwrap();
+        let out = collect(cur);
+        assert_eq!(
+            out,
+            vec![
+                (1, Value::Float(9.0)),
+                (2, Value::Float(9.0)),
+                (3, Value::Float(9.0))
+            ]
+        );
+    }
+
+    #[test]
+    fn naive_matches_cache_a() {
+        let data: Vec<(i64, f64)> = (1..=40).filter(|p| p % 4 != 0).map(|p| (p, p as f64)).collect();
+        let c = catalog(&data);
+        let store = c.get("S").unwrap();
+        let span = Span::new(1, 45);
+        let input_span = Span::new(1, 39);
+
+        let cache_a = WindowAggCursor::new(
+            Box::new(BaseStreamCursor::new(&store, input_span)),
+            AggFunc::Sum,
+            1,
+            Window::trailing(6),
+            span,
+            false,
+            ExecStats::new(),
+        )
+        .unwrap();
+        let naive_stats = ExecStats::new();
+        let naive = NaiveAggCursor::new(
+            Box::new(BaseProbe::new(store.clone(), input_span)),
+            AggFunc::Sum,
+            1,
+            Window::trailing(6),
+            input_span,
+            span,
+            naive_stats.clone(),
+        )
+        .unwrap();
+        assert_eq!(collect(cache_a), collect(naive));
+        // Naive probes ~6 positions per output; Cache-A touches each input
+        // record once.
+        assert!(naive_stats.snapshot().naive_walk_steps > 6 * 30);
+    }
+
+    #[test]
+    fn agg_probe_point_lookup() {
+        let c = catalog(&[(1, 1.0), (2, 2.0), (3, 3.0)]);
+        let store = c.get("S").unwrap();
+        let mut probe = AggProbe::new(
+            Box::new(BaseProbe::new(store, Span::new(1, 3))),
+            AggFunc::Avg,
+            1,
+            Window::trailing(2),
+            Span::new(1, 3),
+            Span::new(1, 4),
+            ExecStats::new(),
+        );
+        let r = probe.get(2).unwrap().unwrap();
+        assert_eq!(r.value(0).unwrap(), &Value::Float(1.5));
+        let r = probe.get(4).unwrap().unwrap();
+        assert_eq!(r.value(0).unwrap(), &Value::Float(3.0));
+        assert!(probe.get(9).unwrap().is_none());
+    }
+
+    #[test]
+    fn sparse_input_skips_empty_stretches() {
+        // Two clusters far apart: the cursor must not walk the whole gap.
+        let c = catalog(&[(1, 1.0), (1_000_000, 5.0)]);
+        let store = c.get("S").unwrap();
+        let cur = WindowAggCursor::new(
+            Box::new(BaseStreamCursor::new(&store, Span::new(1, 1_000_000))),
+            AggFunc::Sum,
+            1,
+            Window::trailing(2),
+            Span::new(1, 1_000_001),
+            false,
+            ExecStats::new(),
+        )
+        .unwrap();
+        let out = collect(cur);
+        // Outputs: positions 1,2 (window sees record at 1), then 1e6, 1e6+1.
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[2].0, 1_000_000);
+    }
+}

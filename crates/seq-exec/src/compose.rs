@@ -1,0 +1,384 @@
+//! Positional-join (Compose) evaluation — the Figure 4 contrast.
+//!
+//! §3.3 identifies the strategies:
+//!
+//! - **Join-Strategy-A** ([`StreamProbeJoin`]): stream one input and probe
+//!   the other at each non-Null position. Two variants, depending on which
+//!   side streams.
+//! - **Join-Strategy-B** ([`LockStepJoin`]): stream both inputs in lock
+//!   step, joining at common positions (the paper's Example 1.1 evaluation
+//!   is this strategy plus a cached Previous).
+//!
+//! Which wins depends on the densities, their correlation, the per-record
+//! access costs, and the selectivity of the operators below (§3.3) — the
+//! cost model in `seq-opt` prices all three and the Figure 4 experiment
+//! sweeps the crossover.
+
+use seq_core::{Record, Result};
+use seq_ops::Expr;
+
+use crate::cursor::{Cursor, PointAccess};
+use crate::stats::ExecStats;
+
+/// Which input of the compose streams (the other is probed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamSide {
+    /// The left input streams; the right is probed.
+    Left,
+    /// The right input streams; the left is probed.
+    Right,
+}
+
+/// Join-Strategy-A: stream `outer`, probe `inner` at each outer position.
+pub struct StreamProbeJoin {
+    outer: Box<dyn Cursor>,
+    inner: Box<dyn PointAccess>,
+    outer_side: StreamSide,
+    predicate: Option<Expr>,
+    stats: ExecStats,
+}
+
+impl StreamProbeJoin {
+    /// Join-Strategy-A: stream `outer`, probe `inner` per outer record.
+    pub fn new(
+        outer: Box<dyn Cursor>,
+        inner: Box<dyn PointAccess>,
+        outer_side: StreamSide,
+        predicate: Option<Expr>,
+        stats: ExecStats,
+    ) -> StreamProbeJoin {
+        StreamProbeJoin { outer, inner, outer_side, predicate, stats }
+    }
+
+    fn join(&self, outer_rec: &Record, inner_rec: &Record) -> Record {
+        // Output schema order is always left ∘ right.
+        match self.outer_side {
+            StreamSide::Left => outer_rec.compose(inner_rec),
+            StreamSide::Right => inner_rec.compose(outer_rec),
+        }
+    }
+
+    fn emit(&mut self, pos: i64, outer_rec: Record) -> Result<Option<(i64, Record)>> {
+        let Some(inner_rec) = self.inner.get(pos)? else { return Ok(None) };
+        let joined = self.join(&outer_rec, &inner_rec);
+        if let Some(p) = &self.predicate {
+            self.stats.record_predicate_eval();
+            if !p.eval_predicate(&joined)? {
+                return Ok(None);
+            }
+        }
+        Ok(Some((pos, joined)))
+    }
+}
+
+impl Cursor for StreamProbeJoin {
+    fn next(&mut self) -> Result<Option<(i64, Record)>> {
+        while let Some((pos, outer_rec)) = self.outer.next()? {
+            if let Some(out) = self.emit(pos, outer_rec)? {
+                return Ok(Some(out));
+            }
+        }
+        Ok(None)
+    }
+
+    fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
+        let mut item = self.outer.next_from(lower)?;
+        while let Some((pos, outer_rec)) = item {
+            if let Some(out) = self.emit(pos, outer_rec)? {
+                return Ok(Some(out));
+            }
+            item = self.outer.next()?;
+        }
+        Ok(None)
+    }
+}
+
+/// Join-Strategy-B: stream both inputs in lock step. Each side's skip hint
+/// (`next_from`) lets the merge jump over stretches where the other side has
+/// nothing — crucial when one input is a dense derived sequence (Previous,
+/// aggregates) whose records should never be materialized in the gaps.
+pub struct LockStepJoin {
+    left: Box<dyn Cursor>,
+    right: Box<dyn Cursor>,
+    litem: Option<(i64, Record)>,
+    ritem: Option<(i64, Record)>,
+    started: bool,
+    predicate: Option<Expr>,
+    stats: ExecStats,
+}
+
+impl LockStepJoin {
+    /// Join-Strategy-B: stream both inputs in lock step.
+    pub fn new(
+        left: Box<dyn Cursor>,
+        right: Box<dyn Cursor>,
+        predicate: Option<Expr>,
+        stats: ExecStats,
+    ) -> LockStepJoin {
+        LockStepJoin { left, right, litem: None, ritem: None, started: false, predicate, stats }
+    }
+}
+
+impl Cursor for LockStepJoin {
+    fn next(&mut self) -> Result<Option<(i64, Record)>> {
+        if !self.started {
+            self.started = true;
+            self.litem = self.left.next()?;
+            if let Some((lp, _)) = &self.litem {
+                // Let the right side skip directly to the left's position.
+                self.ritem = self.right.next_from(*lp)?;
+            }
+        }
+        loop {
+            let (Some((lp, _)), Some((rp, _))) = (&self.litem, &self.ritem) else {
+                return Ok(None);
+            };
+            let (lp, rp) = (*lp, *rp);
+            if lp < rp {
+                self.litem = self.left.next_from(rp)?;
+            } else if rp < lp {
+                self.ritem = self.right.next_from(lp)?;
+            } else {
+                let (_, lrec) = self.litem.take().expect("present");
+                let (_, rrec) = self.ritem.take().expect("present");
+                let joined = lrec.compose(&rrec);
+                self.litem = self.left.next()?;
+                self.ritem = self.right.next()?;
+                let pass = match &self.predicate {
+                    Some(p) => {
+                        self.stats.record_predicate_eval();
+                        p.eval_predicate(&joined)?
+                    }
+                    None => true,
+                };
+                if pass {
+                    return Ok(Some((lp, joined)));
+                }
+            }
+        }
+    }
+
+    fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
+        if !self.started {
+            self.started = true;
+            self.litem = self.left.next_from(lower)?;
+            if let Some((lp, _)) = &self.litem {
+                self.ritem = self.right.next_from((*lp).max(lower))?;
+            }
+            return self.next_started();
+        }
+        if self.litem.as_ref().map(|(p, _)| *p < lower).unwrap_or(false) {
+            self.litem = self.left.next_from(lower)?;
+        }
+        if self.ritem.as_ref().map(|(p, _)| *p < lower).unwrap_or(false) {
+            self.ritem = self.right.next_from(lower)?;
+        }
+        self.next_started()
+    }
+}
+
+impl LockStepJoin {
+    fn next_started(&mut self) -> Result<Option<(i64, Record)>> {
+        debug_assert!(self.started);
+        self.next()
+    }
+}
+
+/// Probed access to a compose: probe both inputs at the position.
+pub struct ComposeProbe {
+    left: Box<dyn PointAccess>,
+    right: Box<dyn PointAccess>,
+    predicate: Option<Expr>,
+    stats: ExecStats,
+}
+
+impl ComposeProbe {
+    /// Probed compose: probe both inputs at each requested position.
+    pub fn new(
+        left: Box<dyn PointAccess>,
+        right: Box<dyn PointAccess>,
+        predicate: Option<Expr>,
+        stats: ExecStats,
+    ) -> ComposeProbe {
+        ComposeProbe { left, right, predicate, stats }
+    }
+}
+
+impl PointAccess for ComposeProbe {
+    fn get(&mut self, pos: i64) -> Result<Option<Record>> {
+        let Some(l) = self.left.get(pos)? else { return Ok(None) };
+        let Some(r) = self.right.get(pos)? else { return Ok(None) };
+        let joined = l.compose(&r);
+        if let Some(p) = &self.predicate {
+            self.stats.record_predicate_eval();
+            if !p.eval_predicate(&joined)? {
+                return Ok(None);
+            }
+        }
+        Ok(Some(joined))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::{BaseProbe, BaseStreamCursor};
+    use seq_core::{record, schema, AttrType, BaseSequence, Value};
+    use seq_storage::Catalog;
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.set_page_capacity(4);
+        let sch = schema(&[("time", AttrType::Int), ("v", AttrType::Float)]);
+        let a = BaseSequence::from_entries(
+            sch.clone(),
+            vec![
+                (1, record![1i64, 10.0]),
+                (3, record![3i64, 30.0]),
+                (5, record![5i64, 50.0]),
+                (9, record![9i64, 90.0]),
+            ],
+        )
+        .unwrap();
+        let b = BaseSequence::from_entries(
+            sch,
+            vec![
+                (2, record![2i64, 2.0]),
+                (3, record![3i64, 3.0]),
+                (5, record![5i64, 500.0]),
+                (8, record![8i64, 8.0]),
+            ],
+        )
+        .unwrap();
+        c.register("A", &a);
+        c.register("B", &b);
+        c
+    }
+
+    fn stream(c: &Catalog, name: &str) -> Box<dyn Cursor> {
+        let store = c.get(name).unwrap();
+        let span = seq_core::Sequence::meta(store.as_ref()).span;
+        Box::new(BaseStreamCursor::new(&store, span))
+    }
+
+    fn probe(c: &Catalog, name: &str) -> Box<dyn PointAccess> {
+        let store: Arc<seq_storage::StoredSequence> = c.get(name).unwrap();
+        let span = seq_core::Sequence::meta(store.as_ref()).span;
+        Box::new(BaseProbe::new(store, span))
+    }
+
+    fn collect(mut cur: impl Cursor) -> Vec<(i64, usize)> {
+        let mut out = Vec::new();
+        while let Some((p, r)) = cur.next().unwrap() {
+            out.push((p, r.arity()));
+        }
+        out
+    }
+
+    #[test]
+    fn lockstep_joins_common_positions() {
+        let c = catalog();
+        let j = LockStepJoin::new(stream(&c, "A"), stream(&c, "B"), None, ExecStats::new());
+        assert_eq!(collect(j), vec![(3, 4), (5, 4)]);
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let c = catalog();
+        let lockstep =
+            LockStepJoin::new(stream(&c, "A"), stream(&c, "B"), None, ExecStats::new());
+        let sp = StreamProbeJoin::new(
+            stream(&c, "A"),
+            probe(&c, "B"),
+            StreamSide::Left,
+            None,
+            ExecStats::new(),
+        );
+        let ps = StreamProbeJoin::new(
+            stream(&c, "B"),
+            probe(&c, "A"),
+            StreamSide::Right,
+            None,
+            ExecStats::new(),
+        );
+        let a = collect(lockstep);
+        assert_eq!(a, collect(sp));
+        assert_eq!(a, collect(ps));
+    }
+
+    #[test]
+    fn schema_order_is_left_then_right_for_both_variants() {
+        let c = catalog();
+        let mut sp = StreamProbeJoin::new(
+            stream(&c, "A"),
+            probe(&c, "B"),
+            StreamSide::Left,
+            None,
+            ExecStats::new(),
+        );
+        let (_, r1) = sp.next().unwrap().unwrap();
+        let mut ps = StreamProbeJoin::new(
+            stream(&c, "B"),
+            probe(&c, "A"),
+            StreamSide::Right,
+            None,
+            ExecStats::new(),
+        );
+        let (_, r2) = ps.next().unwrap().unwrap();
+        // Both at position 3: A's value 30.0 first, B's 3.0 third.
+        assert_eq!(r1.value(1).unwrap(), &Value::Float(30.0));
+        assert_eq!(r1.value(3).unwrap(), &Value::Float(3.0));
+        assert_eq!(r2.value(1).unwrap(), &Value::Float(30.0));
+        assert_eq!(r2.value(3).unwrap(), &Value::Float(3.0));
+    }
+
+    #[test]
+    fn join_predicate_filters_and_counts() {
+        let c = catalog();
+        let sch = schema(&[("time", AttrType::Int), ("v", AttrType::Float)]);
+        let composed = sch.compose(&sch);
+        let pred = Expr::attr("v").gt(Expr::attr("v_r")).bind(&composed).unwrap();
+        let stats = ExecStats::new();
+        let j = LockStepJoin::new(
+            stream(&c, "A"),
+            stream(&c, "B"),
+            Some(pred),
+            stats.clone(),
+        );
+        // Position 3: 30 > 3 ✓. Position 5: 50 > 500 ✗.
+        assert_eq!(collect(j), vec![(3, 4)]);
+        assert_eq!(stats.snapshot().predicate_evals, 2);
+    }
+
+    #[test]
+    fn next_from_skips_join_output() {
+        let c = catalog();
+        let mut j = LockStepJoin::new(stream(&c, "A"), stream(&c, "B"), None, ExecStats::new());
+        let item = j.next_from(4).unwrap().unwrap();
+        assert_eq!(item.0, 5);
+        assert!(j.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn compose_probe_point_lookup() {
+        let c = catalog();
+        let mut p = ComposeProbe::new(probe(&c, "A"), probe(&c, "B"), None, ExecStats::new());
+        assert!(p.get(3).unwrap().is_some());
+        assert!(p.get(1).unwrap().is_none()); // A only
+        assert!(p.get(8).unwrap().is_none()); // B only
+        assert!(p.get(100).unwrap().is_none());
+    }
+
+    #[test]
+    fn lockstep_probes_nothing_on_disjoint_inputs() {
+        let mut c = Catalog::new();
+        let sch = schema(&[("x", AttrType::Int)]);
+        let a = BaseSequence::from_entries(sch.clone(), vec![(1, record![1i64])]).unwrap();
+        let b = BaseSequence::from_entries(sch, vec![(100, record![100i64])]).unwrap();
+        c.register("A", &a);
+        c.register("B", &b);
+        let j = LockStepJoin::new(stream(&c, "A"), stream(&c, "B"), None, ExecStats::new());
+        assert!(collect(j).is_empty());
+    }
+}

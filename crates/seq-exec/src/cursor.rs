@@ -1,0 +1,469 @@
+//! Access-mode interfaces (§3.3) and the simple (unit-scope) cursors.
+//!
+//! Every physical operator can be opened in one of the two access modes the
+//! paper distinguishes:
+//!
+//! - **stream** ([`Cursor`]): "get the next non-Null record", in positional
+//!   order, optionally skipping forward ([`Cursor::next_from`]) — the skip is
+//!   what lets a lock-step positional join avoid materializing the dense
+//!   output of value offsets and aggregates;
+//! - **probed** ([`PointAccess`]): "get the record at a specific position".
+
+use seq_core::{Record, Result, Span};
+use seq_ops::Expr;
+
+use crate::stats::ExecStats;
+
+/// Stream access to a (base or derived) sequence.
+pub trait Cursor {
+    /// The next non-Null `(position, record)` in increasing positional order.
+    fn next(&mut self) -> Result<Option<(i64, Record)>>;
+
+    /// The next non-Null record at a position `>= lower`. Implementations
+    /// override this to skip without doing per-position work; the default
+    /// simply discards smaller positions.
+    fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
+        loop {
+            match self.next()? {
+                Some((p, r)) if p >= lower => return Ok(Some((p, r))),
+                Some(_) => continue,
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Probed access to a (base or derived) sequence.
+pub trait PointAccess {
+    /// The record at `pos`, or `None` for an empty position.
+    fn get(&mut self, pos: i64) -> Result<Option<Record>>;
+}
+
+/// Stream over a stored base sequence (wraps the storage layer's owning
+/// scan, which charges page/record counters itself).
+pub struct BaseStreamCursor {
+    scan: seq_storage::OwnedScan,
+}
+
+impl BaseStreamCursor {
+    /// A stream over `store` restricted to `span`.
+    pub fn new(store: &std::sync::Arc<seq_storage::StoredSequence>, span: Span) -> Self {
+        BaseStreamCursor { scan: store.scan_owned(span) }
+    }
+}
+
+impl Cursor for BaseStreamCursor {
+    fn next(&mut self) -> Result<Option<(i64, Record)>> {
+        Ok(self.scan.next_record())
+    }
+
+    fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
+        self.scan.skip_to(lower);
+        Ok(self.scan.next_record())
+    }
+}
+
+/// Probed access to a stored base sequence.
+pub struct BaseProbe {
+    store: std::sync::Arc<seq_storage::StoredSequence>,
+    span: Span,
+}
+
+impl BaseProbe {
+    /// Probed access to `store` restricted to `span`.
+    pub fn new(store: std::sync::Arc<seq_storage::StoredSequence>, span: Span) -> Self {
+        BaseProbe { store, span }
+    }
+}
+
+impl PointAccess for BaseProbe {
+    fn get(&mut self, pos: i64) -> Result<Option<Record>> {
+        if !self.span.contains(pos) {
+            return Ok(None);
+        }
+        Ok(seq_core::Sequence::get(self.store.as_ref(), pos))
+    }
+}
+
+/// A constant sequence streamed over a bounded span.
+pub struct ConstCursor {
+    record: Record,
+    next_pos: i64,
+    end: i64,
+    done: bool,
+}
+
+impl ConstCursor {
+    /// Enumerate `record` at every position of the (bounded) span.
+    pub fn new(record: Record, span: Span) -> Result<ConstCursor> {
+        if !span.is_empty() && !span.is_bounded() {
+            return Err(seq_core::SeqError::Unsupported(
+                "cannot stream a constant sequence over an unbounded span".into(),
+            ));
+        }
+        Ok(ConstCursor {
+            record,
+            next_pos: span.start(),
+            end: span.end(),
+            done: span.is_empty(),
+        })
+    }
+}
+
+impl Cursor for ConstCursor {
+    fn next(&mut self) -> Result<Option<(i64, Record)>> {
+        if self.done || self.next_pos > self.end {
+            self.done = true;
+            return Ok(None);
+        }
+        let p = self.next_pos;
+        self.next_pos += 1;
+        Ok(Some((p, self.record.clone())))
+    }
+
+    fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
+        self.next_pos = self.next_pos.max(lower);
+        self.next()
+    }
+}
+
+/// Probed access to a constant sequence.
+pub struct ConstProbe {
+    record: Record,
+    span: Span,
+}
+
+impl ConstProbe {
+    /// Probe `record` at any position within `span`.
+    pub fn new(record: Record, span: Span) -> ConstProbe {
+        ConstProbe { record, span }
+    }
+}
+
+impl PointAccess for ConstProbe {
+    fn get(&mut self, pos: i64) -> Result<Option<Record>> {
+        if self.span.contains(pos) {
+            Ok(Some(self.record.clone()))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// σ over a stream.
+pub struct SelectCursor {
+    input: Box<dyn Cursor>,
+    predicate: Expr,
+    stats: ExecStats,
+}
+
+impl SelectCursor {
+    /// Filter the input stream by a bound predicate.
+    pub fn new(input: Box<dyn Cursor>, predicate: Expr, stats: ExecStats) -> SelectCursor {
+        SelectCursor { input, predicate, stats }
+    }
+}
+
+impl Cursor for SelectCursor {
+    fn next(&mut self) -> Result<Option<(i64, Record)>> {
+        while let Some((p, r)) = self.input.next()? {
+            self.stats.record_predicate_eval();
+            if self.predicate.eval_predicate(&r)? {
+                return Ok(Some((p, r)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
+        let mut item = self.input.next_from(lower)?;
+        while let Some((p, r)) = item {
+            self.stats.record_predicate_eval();
+            if self.predicate.eval_predicate(&r)? {
+                return Ok(Some((p, r)));
+            }
+            item = self.input.next()?;
+        }
+        Ok(None)
+    }
+}
+
+/// σ over probed access.
+pub struct SelectProbe {
+    input: Box<dyn PointAccess>,
+    predicate: Expr,
+    stats: ExecStats,
+}
+
+impl SelectProbe {
+    /// Filter probed lookups by a bound predicate.
+    pub fn new(input: Box<dyn PointAccess>, predicate: Expr, stats: ExecStats) -> SelectProbe {
+        SelectProbe { input, predicate, stats }
+    }
+}
+
+impl PointAccess for SelectProbe {
+    fn get(&mut self, pos: i64) -> Result<Option<Record>> {
+        let Some(r) = self.input.get(pos)? else { return Ok(None) };
+        self.stats.record_predicate_eval();
+        if self.predicate.eval_predicate(&r)? {
+            Ok(Some(r))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// π over a stream.
+pub struct ProjectCursor {
+    input: Box<dyn Cursor>,
+    indices: Vec<usize>,
+}
+
+impl ProjectCursor {
+    /// Project each streamed record to `indices`.
+    pub fn new(input: Box<dyn Cursor>, indices: Vec<usize>) -> ProjectCursor {
+        ProjectCursor { input, indices }
+    }
+}
+
+impl Cursor for ProjectCursor {
+    fn next(&mut self) -> Result<Option<(i64, Record)>> {
+        match self.input.next()? {
+            Some((p, r)) => Ok(Some((p, r.project(&self.indices)?))),
+            None => Ok(None),
+        }
+    }
+
+    fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
+        match self.input.next_from(lower)? {
+            Some((p, r)) => Ok(Some((p, r.project(&self.indices)?))),
+            None => Ok(None),
+        }
+    }
+}
+
+/// π over probed access.
+pub struct ProjectProbe {
+    input: Box<dyn PointAccess>,
+    indices: Vec<usize>,
+}
+
+impl ProjectProbe {
+    /// Project each probed record to `indices`.
+    pub fn new(input: Box<dyn PointAccess>, indices: Vec<usize>) -> ProjectProbe {
+        ProjectProbe { input, indices }
+    }
+}
+
+impl PointAccess for ProjectProbe {
+    fn get(&mut self, pos: i64) -> Result<Option<Record>> {
+        match self.input.get(pos)? {
+            Some(r) => Ok(Some(r.project(&self.indices)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Positional offset over a stream: `Out(i) = In(i + offset)`, so an input
+/// record at position `p` surfaces at output position `p - offset`. Order is
+/// preserved; the output is clamped to `span`.
+pub struct PosOffsetCursor {
+    input: Box<dyn Cursor>,
+    offset: i64,
+    span: Span,
+}
+
+impl PosOffsetCursor {
+    /// Shift the input stream: `Out(i) = In(i + offset)`, clamped to `span`.
+    pub fn new(input: Box<dyn Cursor>, offset: i64, span: Span) -> PosOffsetCursor {
+        PosOffsetCursor { input, offset, span }
+    }
+}
+
+impl Cursor for PosOffsetCursor {
+    fn next(&mut self) -> Result<Option<(i64, Record)>> {
+        while let Some((p, r)) = self.input.next()? {
+            let out = p - self.offset;
+            if out > self.span.end() {
+                return Ok(None);
+            }
+            if self.span.contains(out) {
+                return Ok(Some((out, r)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
+        match self.input.next_from(lower.saturating_add(self.offset))? {
+            Some((p, r)) => {
+                let out = p - self.offset;
+                if self.span.contains(out) {
+                    Ok(Some((out, r)))
+                } else if out > self.span.end() {
+                    Ok(None)
+                } else {
+                    self.next_from(lower)
+                }
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Positional offset over probed access.
+pub struct PosOffsetProbe {
+    input: Box<dyn PointAccess>,
+    offset: i64,
+    span: Span,
+}
+
+impl PosOffsetProbe {
+    /// Shift probed lookups: `Out(i) = In(i + offset)`.
+    pub fn new(input: Box<dyn PointAccess>, offset: i64, span: Span) -> PosOffsetProbe {
+        PosOffsetProbe { input, offset, span }
+    }
+}
+
+impl PointAccess for PosOffsetProbe {
+    fn get(&mut self, pos: i64) -> Result<Option<Record>> {
+        if !self.span.contains(pos) {
+            return Ok(None);
+        }
+        self.input.get(pos.saturating_add(self.offset))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::{record, schema, AttrType, BaseSequence};
+    use seq_storage::Catalog;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.set_page_capacity(4);
+        let base = BaseSequence::from_entries(
+            schema(&[("time", AttrType::Int), ("close", AttrType::Float)]),
+            (1..=10).map(|p| (p, record![p, p as f64])).collect(),
+        )
+        .unwrap();
+        c.register("S", &base);
+        c
+    }
+
+    #[test]
+    fn base_stream_and_skip() {
+        let c = catalog();
+        let store = c.get("S").unwrap();
+        let mut cur = BaseStreamCursor::new(&store, Span::new(1, 10));
+        assert_eq!(cur.next().unwrap().unwrap().0, 1);
+        assert_eq!(cur.next_from(7).unwrap().unwrap().0, 7);
+        assert_eq!(cur.next().unwrap().unwrap().0, 8);
+    }
+
+    #[test]
+    fn base_probe_respects_span() {
+        let c = catalog();
+        let mut p = BaseProbe::new(c.get("S").unwrap(), Span::new(3, 5));
+        assert!(p.get(4).unwrap().is_some());
+        assert!(p.get(2).unwrap().is_none()); // outside the clamped span
+    }
+
+    #[test]
+    fn const_cursor_enumerates_span() {
+        let mut cur = ConstCursor::new(record![7.0], Span::new(2, 4)).unwrap();
+        let mut got = Vec::new();
+        while let Some((p, _)) = cur.next().unwrap() {
+            got.push(p);
+        }
+        assert_eq!(got, vec![2, 3, 4]);
+        assert!(ConstCursor::new(record![7.0], Span::all()).is_err());
+        let mut empty = ConstCursor::new(record![7.0], Span::empty()).unwrap();
+        assert!(empty.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn select_cursor_filters_and_counts() {
+        let c = catalog();
+        let stats = ExecStats::new();
+        let store = c.get("S").unwrap();
+        let base = Box::new(BaseStreamCursor::new(&store, Span::new(1, 10)));
+        let sch = schema(&[("time", AttrType::Int), ("close", AttrType::Float)]);
+        let pred = Expr::attr("close").gt(Expr::lit(7.5)).bind(&sch).unwrap();
+        let mut cur = SelectCursor::new(base, pred, stats.clone());
+        let mut got = Vec::new();
+        while let Some((p, _)) = cur.next().unwrap() {
+            got.push(p);
+        }
+        assert_eq!(got, vec![8, 9, 10]);
+        assert_eq!(stats.snapshot().predicate_evals, 10);
+    }
+
+    #[test]
+    fn project_cursor_narrows() {
+        let c = catalog();
+        let store = c.get("S").unwrap();
+        let base = Box::new(BaseStreamCursor::new(&store, Span::new(1, 2)));
+        let mut cur = ProjectCursor::new(base, vec![1]);
+        let (_, r) = cur.next().unwrap().unwrap();
+        assert_eq!(r.arity(), 1);
+    }
+
+    #[test]
+    fn pos_offset_cursor_shifts() {
+        let c = catalog();
+        let store = c.get("S").unwrap();
+        // Out(i) = In(i + 2): input 1..=10 surfaces at outputs -1..=8.
+        let base = Box::new(BaseStreamCursor::new(&store, Span::new(1, 10)));
+        let mut cur = PosOffsetCursor::new(base, 2, Span::new(0, 8));
+        assert_eq!(cur.next().unwrap().unwrap().0, 0); // input pos 2
+        assert_eq!(cur.next_from(5).unwrap().unwrap().0, 5); // input pos 7
+        let mut rest = Vec::new();
+        while let Some((p, _)) = cur.next().unwrap() {
+            rest.push(p);
+        }
+        assert_eq!(rest, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn pos_offset_probe() {
+        let c = catalog();
+        let probe = Box::new(BaseProbe::new(c.get("S").unwrap(), Span::new(1, 10)));
+        let mut p = PosOffsetProbe::new(probe, -3, Span::new(4, 13));
+        // Out(4) = In(1).
+        let r = p.get(4).unwrap().unwrap();
+        assert_eq!(r.value(0).unwrap().as_i64().unwrap(), 1);
+        assert!(p.get(3).unwrap().is_none()); // outside output span
+        assert!(p.get(20).unwrap().is_none());
+    }
+
+    #[test]
+    fn select_probe() {
+        let c = catalog();
+        let sch = schema(&[("time", AttrType::Int), ("close", AttrType::Float)]);
+        let pred = Expr::attr("close").gt(Expr::lit(5.0)).bind(&sch).unwrap();
+        let probe = Box::new(BaseProbe::new(c.get("S").unwrap(), Span::new(1, 10)));
+        let mut p = SelectProbe::new(probe, pred, ExecStats::new());
+        assert!(p.get(6).unwrap().is_some());
+        assert!(p.get(5).unwrap().is_none());
+    }
+
+    #[test]
+    fn default_next_from_skips() {
+        // Exercise the trait's default next_from through a minimal cursor.
+        struct Fixed(Vec<(i64, Record)>, usize);
+        impl Cursor for Fixed {
+            fn next(&mut self) -> Result<Option<(i64, Record)>> {
+                let item = self.0.get(self.1).cloned();
+                self.1 += 1;
+                Ok(item)
+            }
+        }
+        let mut f = Fixed(vec![(1, record![1i64]), (4, record![4i64]), (9, record![9i64])], 0);
+        assert_eq!(f.next_from(2).unwrap().unwrap().0, 4);
+        assert_eq!(f.next_from(5).unwrap().unwrap().0, 9);
+        assert!(f.next_from(10).unwrap().is_none());
+    }
+}

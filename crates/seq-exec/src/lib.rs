@@ -1,0 +1,34 @@
+//! # seq-exec — physical evaluation of sequence queries
+//!
+//! The execution layer of the stack (§3.3–§3.5, §4.1.4 of the paper):
+//!
+//! - [`cursor`] — the two access modes of §3.3 as traits
+//!   ([`cursor::Cursor`] for stream access, [`cursor::PointAccess`] for
+//!   probed access) plus the unit-scope cursors;
+//! - [`cache`] — the FIFO operator caches of §3.4 (cache-finite evaluation);
+//! - [`offset`] — value offsets: naive walks vs. Cache-Strategy-B
+//!   (Figure 5.B);
+//! - [`aggregate`] — windowed aggregates: naive probing vs. Cache-Strategy-A,
+//!   plus incremental sliding accumulators (Figure 5.A);
+//! - [`compose`] — positional joins: Join-Strategy-A (stream+probe, both
+//!   variants) and Join-Strategy-B (lock-step) (Figure 4, §3.3);
+//! - [`plan`] / [`exec`] — physical plans carrying per-operator strategies
+//!   and spans, and the Start operator that drives them (Figure 6).
+
+pub mod aggregate;
+pub mod cache;
+pub mod compose;
+pub mod cursor;
+pub mod exec;
+pub mod incremental;
+pub mod offset;
+pub mod plan;
+pub mod stats;
+
+pub use cache::OpCache;
+pub use compose::StreamSide;
+pub use cursor::{Cursor, PointAccess};
+pub use exec::{execute, execute_within, materialize_into, probe_positions};
+pub use incremental::{replay, Emission, TriggerEngine};
+pub use plan::{AggStrategy, ExecContext, JoinStrategy, PhysNode, PhysPlan, ValueOffsetStrategy};
+pub use stats::{ExecSnapshot, ExecStats};

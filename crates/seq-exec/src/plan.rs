@@ -1,0 +1,474 @@
+//! Physical query evaluation plans.
+//!
+//! A [`PhysPlan`] is the executable counterpart of a resolved query graph:
+//! every node carries its (top-down restricted) output span, and every
+//! non-unit-scope operator and compose carries the strategy the optimizer
+//! chose — join strategy (§3.3), caching strategy (§3.5), and implicitly the
+//! access mode of each child (a `StreamProbeRight` compose opens its right
+//! child in probed mode, etc.).
+//!
+//! Plans are self-contained: expressions are bound, attributes resolved, and
+//! the only external dependency is the catalog the executor supplies.
+
+use std::fmt;
+
+use seq_core::{Record, Result, Span};
+use seq_ops::{AggFunc, Expr, Window};
+
+use crate::aggregate::{AggProbe, CumulativeAggCursor, NaiveAggCursor, WholeSpanAggCursor, WindowAggCursor};
+use crate::compose::{ComposeProbe, LockStepJoin, StreamProbeJoin, StreamSide};
+use crate::cursor::{
+    BaseProbe, BaseStreamCursor, ConstCursor, ConstProbe, Cursor, PointAccess, PosOffsetCursor,
+    PosOffsetProbe, ProjectCursor, ProjectProbe, SelectCursor, SelectProbe,
+};
+use crate::offset::{IncrementalValueOffsetCursor, NaiveValueOffsetCursor, ValueOffsetProbe};
+use crate::stats::ExecStats;
+
+/// How a compose is evaluated (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Join-Strategy-B: stream both inputs in lock step.
+    LockStep,
+    /// Join-Strategy-A: stream the left input, probe the right.
+    StreamLeftProbeRight,
+    /// Join-Strategy-A: stream the right input, probe the left.
+    StreamRightProbeLeft,
+}
+
+/// How an aggregate is evaluated (§3.5 / §4.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggStrategy {
+    /// Cache-Strategy-A: cache the effective scope; recompute per position.
+    CacheA,
+    /// Cache-Strategy-A with incremental accumulators (O(1) slides).
+    CacheAIncremental,
+    /// The naive algorithm: probe the input at every window position.
+    NaiveProbe,
+}
+
+/// How a value offset is evaluated (§3.5 / §4.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueOffsetStrategy {
+    /// Cache-Strategy-B: single input scan, |offset|-record cache.
+    IncrementalCacheB,
+    /// The naive algorithm: walk backward/forward per output position.
+    NaiveProbe,
+}
+
+/// A physical plan node. `span` is the node's output span after top-down
+/// restriction (§3.2); stream cursors emit only within it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysNode {
+    /// Scan or probe a stored base sequence.
+    Base {
+        /// Catalog name.
+        name: String,
+        /// Restricted access span.
+        span: Span,
+    },
+    /// A constant sequence.
+    Constant {
+        /// The record at every position.
+        record: Record,
+        /// Span the constant is materialized over.
+        span: Span,
+    },
+    /// σ with a bound predicate.
+    Select {
+        /// The filtered input.
+        input: Box<PhysNode>,
+        /// Bound boolean predicate.
+        predicate: Expr,
+        /// Output span.
+        span: Span,
+    },
+    /// π with resolved indices.
+    Project {
+        /// The projected input.
+        input: Box<PhysNode>,
+        /// Attribute indices to keep, in output order.
+        indices: Vec<usize>,
+        /// Output span.
+        span: Span,
+    },
+    /// Positional shift: `Out(i) = In(i + offset)`.
+    PosOffset {
+        /// The shifted input.
+        input: Box<PhysNode>,
+        /// The shift amount.
+        offset: i64,
+        /// Output span.
+        span: Span,
+    },
+    /// Previous/Next-style value offset.
+    ValueOffset {
+        /// The input sequence.
+        input: Box<PhysNode>,
+        /// Non-zero offset; sign is the direction.
+        offset: i64,
+        /// Naive walking vs Cache-Strategy-B.
+        strategy: ValueOffsetStrategy,
+        /// Output span.
+        span: Span,
+    },
+    /// Windowed aggregate.
+    Aggregate {
+        /// The input sequence.
+        input: Box<PhysNode>,
+        /// The aggregate function.
+        func: AggFunc,
+        /// Resolved input attribute index.
+        attr_index: usize,
+        /// The `agg_pos` window.
+        window: Window,
+        /// Naive probing vs Cache-Strategy-A (± incremental).
+        strategy: AggStrategy,
+        /// Output span.
+        span: Span,
+    },
+    /// Positional join.
+    Compose {
+        /// Left input (schema order is left ∘ right).
+        left: Box<PhysNode>,
+        /// Right input.
+        right: Box<PhysNode>,
+        /// Bound join predicate, if any.
+        predicate: Option<Expr>,
+        /// Join-Strategy-A (either orientation) or B.
+        strategy: JoinStrategy,
+        /// Output span.
+        span: Span,
+    },
+}
+
+impl PhysNode {
+    /// The node's (restricted) output span.
+    pub fn span(&self) -> Span {
+        match self {
+            PhysNode::Base { span, .. }
+            | PhysNode::Constant { span, .. }
+            | PhysNode::Select { span, .. }
+            | PhysNode::Project { span, .. }
+            | PhysNode::PosOffset { span, .. }
+            | PhysNode::ValueOffset { span, .. }
+            | PhysNode::Aggregate { span, .. }
+            | PhysNode::Compose { span, .. } => *span,
+        }
+    }
+
+    /// Open the node in stream mode.
+    pub fn open_stream(&self, ctx: &ExecContext<'_>) -> Result<Box<dyn Cursor>> {
+        Ok(match self {
+            PhysNode::Base { name, span } => {
+                let store = ctx.catalog.get(name)?;
+                let clamped = span.intersect(&seq_core::Sequence::meta(store.as_ref()).span);
+                Box::new(BaseStreamCursor::new(&store, clamped))
+            }
+            PhysNode::Constant { record, span } => {
+                Box::new(ConstCursor::new(record.clone(), *span)?)
+            }
+            PhysNode::Select { input, predicate, .. } => Box::new(SelectCursor::new(
+                input.open_stream(ctx)?,
+                predicate.clone(),
+                ctx.stats.clone(),
+            )),
+            PhysNode::Project { input, indices, .. } => {
+                Box::new(ProjectCursor::new(input.open_stream(ctx)?, indices.clone()))
+            }
+            PhysNode::PosOffset { input, offset, span } => {
+                Box::new(PosOffsetCursor::new(input.open_stream(ctx)?, *offset, *span))
+            }
+            PhysNode::ValueOffset { input, offset, strategy, span } => match strategy {
+                ValueOffsetStrategy::IncrementalCacheB => {
+                    Box::new(IncrementalValueOffsetCursor::new(
+                        input.open_stream(ctx)?,
+                        *offset,
+                        *span,
+                        ctx.stats.clone(),
+                    )?)
+                }
+                ValueOffsetStrategy::NaiveProbe => Box::new(NaiveValueOffsetCursor::new(
+                    input.open_probe(ctx)?,
+                    *offset,
+                    input.span(),
+                    *span,
+                    ctx.stats.clone(),
+                )?),
+            },
+            PhysNode::Aggregate { input, func, attr_index, window, strategy, span } => {
+                match (strategy, window) {
+                    (AggStrategy::NaiveProbe, _) => Box::new(NaiveAggCursor::new(
+                        input.open_probe(ctx)?,
+                        *func,
+                        *attr_index,
+                        *window,
+                        input.span(),
+                        *span,
+                        ctx.stats.clone(),
+                    )?),
+                    (_, Window::Sliding { .. }) => Box::new(WindowAggCursor::new(
+                        input.open_stream(ctx)?,
+                        *func,
+                        *attr_index,
+                        *window,
+                        *span,
+                        *strategy == AggStrategy::CacheAIncremental,
+                        ctx.stats.clone(),
+                    )?),
+                    (_, Window::Cumulative) => Box::new(CumulativeAggCursor::new(
+                        input.open_stream(ctx)?,
+                        *func,
+                        *attr_index,
+                        *span,
+                    )?),
+                    (_, Window::WholeSpan) => Box::new(WholeSpanAggCursor::new(
+                        input.open_stream(ctx)?,
+                        *func,
+                        *attr_index,
+                        *span,
+                    )?),
+                }
+            }
+            PhysNode::Compose { left, right, predicate, strategy, .. } => match strategy {
+                JoinStrategy::LockStep => Box::new(LockStepJoin::new(
+                    left.open_stream(ctx)?,
+                    right.open_stream(ctx)?,
+                    predicate.clone(),
+                    ctx.stats.clone(),
+                )),
+                JoinStrategy::StreamLeftProbeRight => Box::new(StreamProbeJoin::new(
+                    left.open_stream(ctx)?,
+                    right.open_probe(ctx)?,
+                    StreamSide::Left,
+                    predicate.clone(),
+                    ctx.stats.clone(),
+                )),
+                JoinStrategy::StreamRightProbeLeft => Box::new(StreamProbeJoin::new(
+                    right.open_stream(ctx)?,
+                    left.open_probe(ctx)?,
+                    StreamSide::Right,
+                    predicate.clone(),
+                    ctx.stats.clone(),
+                )),
+            },
+        })
+    }
+
+    /// Open the node in probed mode. Derived nodes recompute on each probe
+    /// (the incremental algorithms are not usable under probed access,
+    /// §4.1.2, so value offsets and aggregates fall back to naive walks).
+    pub fn open_probe(&self, ctx: &ExecContext<'_>) -> Result<Box<dyn PointAccess>> {
+        Ok(match self {
+            PhysNode::Base { name, span } => {
+                let store = ctx.catalog.get(name)?;
+                let clamped = span.intersect(&seq_core::Sequence::meta(store.as_ref()).span);
+                Box::new(BaseProbe::new(store, clamped))
+            }
+            PhysNode::Constant { record, span } => {
+                Box::new(ConstProbe::new(record.clone(), *span))
+            }
+            PhysNode::Select { input, predicate, .. } => Box::new(SelectProbe::new(
+                input.open_probe(ctx)?,
+                predicate.clone(),
+                ctx.stats.clone(),
+            )),
+            PhysNode::Project { input, indices, .. } => {
+                Box::new(ProjectProbe::new(input.open_probe(ctx)?, indices.clone()))
+            }
+            PhysNode::PosOffset { input, offset, span } => {
+                Box::new(PosOffsetProbe::new(input.open_probe(ctx)?, *offset, *span))
+            }
+            PhysNode::ValueOffset { input, offset, span, .. } => Box::new(ValueOffsetProbe::new(
+                input.open_probe(ctx)?,
+                *offset,
+                input.span(),
+                *span,
+                ctx.stats.clone(),
+            )),
+            PhysNode::Aggregate { input, func, attr_index, window, span, .. } => {
+                Box::new(AggProbe::new(
+                    input.open_probe(ctx)?,
+                    *func,
+                    *attr_index,
+                    *window,
+                    input.span(),
+                    *span,
+                    ctx.stats.clone(),
+                ))
+            }
+            PhysNode::Compose { left, right, predicate, .. } => Box::new(ComposeProbe::new(
+                left.open_probe(ctx)?,
+                right.open_probe(ctx)?,
+                predicate.clone(),
+                ctx.stats.clone(),
+            )),
+        })
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysNode::Base { name, span } => {
+                let _ = writeln!(out, "{pad}BaseScan({name}) span={span}");
+            }
+            PhysNode::Constant { record, span } => {
+                let _ = writeln!(out, "{pad}Constant({record}) span={span}");
+            }
+            PhysNode::Select { input, predicate, span } => {
+                let _ = writeln!(out, "{pad}Select({predicate}) span={span}");
+                input.render_into(depth + 1, out);
+            }
+            PhysNode::Project { input, indices, span } => {
+                let idx: Vec<String> = indices.iter().map(|i| format!("${i}")).collect();
+                let _ = writeln!(out, "{pad}Project({}) span={span}", idx.join(", "));
+                input.render_into(depth + 1, out);
+            }
+            PhysNode::PosOffset { input, offset, span } => {
+                let _ = writeln!(out, "{pad}PosOffset({offset:+}) span={span}");
+                input.render_into(depth + 1, out);
+            }
+            PhysNode::ValueOffset { input, offset, strategy, span } => {
+                let _ = writeln!(out, "{pad}ValueOffset({offset:+}) [{strategy:?}] span={span}");
+                input.render_into(depth + 1, out);
+            }
+            PhysNode::Aggregate { input, func, attr_index, window, strategy, span } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{func}(${attr_index}) over {window} [{strategy:?}] span={span}"
+                );
+                input.render_into(depth + 1, out);
+            }
+            PhysNode::Compose { left, right, predicate, strategy, span } => {
+                let p = predicate
+                    .as_ref()
+                    .map(|p| format!("[{p}] "))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "{pad}Compose {p}[{strategy:?}] span={span}");
+                left.render_into(depth + 1, out);
+                right.render_into(depth + 1, out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for PhysNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render_into(0, &mut s);
+        f.write_str(&s)
+    }
+}
+
+/// A complete physical plan: a node tree plus the Start operator's position
+/// range (Figure 6) bounding the output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysPlan {
+    /// The plan tree.
+    pub root: PhysNode,
+    /// The Start operator's position range (Figure 6).
+    pub range: Span,
+}
+
+impl PhysPlan {
+    /// A plan from its root node and the Start operator's position range.
+    pub fn new(root: PhysNode, range: Span) -> PhysPlan {
+        PhysPlan { root, range }
+    }
+
+    /// EXPLAIN-style rendering.
+    pub fn render(&self) -> String {
+        let mut s = format!("Start range={}\n", self.range);
+        self.root.render_into(1, &mut s);
+        s
+    }
+}
+
+/// The executor's environment: the catalog that resolves base sequences and
+/// the shared executor statistics.
+pub struct ExecContext<'a> {
+    /// The catalog resolving base-sequence names.
+    pub catalog: &'a seq_storage::Catalog,
+    /// Shared executor counters.
+    pub stats: ExecStats,
+}
+
+impl<'a> ExecContext<'a> {
+    /// A context over `catalog` with fresh executor counters.
+    pub fn new(catalog: &'a seq_storage::Catalog) -> ExecContext<'a> {
+        ExecContext { catalog, stats: ExecStats::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::{record, schema, AttrType, BaseSequence};
+    use seq_storage::Catalog;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let base = BaseSequence::from_entries(
+            schema(&[("time", AttrType::Int), ("close", AttrType::Float)]),
+            (1..=20).map(|p| (p, record![p, p as f64])).collect(),
+        )
+        .unwrap();
+        c.register("S", &base);
+        c
+    }
+
+    #[test]
+    fn render_shows_strategies_and_spans() {
+        let plan = PhysPlan::new(
+            PhysNode::Aggregate {
+                input: Box::new(PhysNode::Base { name: "S".into(), span: Span::new(1, 20) }),
+                func: AggFunc::Sum,
+                attr_index: 1,
+                window: Window::trailing(6),
+                strategy: AggStrategy::CacheA,
+                span: Span::new(1, 25),
+            },
+            Span::new(1, 25),
+        );
+        let text = plan.render();
+        assert!(text.contains("Start range=[1, 25]"));
+        assert!(text.contains("CacheA"));
+        assert!(text.contains("BaseScan(S)"));
+    }
+
+    #[test]
+    fn stream_open_respects_base_span_clamp() {
+        let c = catalog();
+        let ctx = ExecContext::new(&c);
+        let node = PhysNode::Base { name: "S".into(), span: Span::new(5, 8) };
+        let mut cur = node.open_stream(&ctx).unwrap();
+        let mut got = Vec::new();
+        while let Some((p, _)) = cur.next().unwrap() {
+            got.push(p);
+        }
+        assert_eq!(got, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn probe_open_on_derived_node() {
+        let c = catalog();
+        let ctx = ExecContext::new(&c);
+        let node = PhysNode::Select {
+            input: Box::new(PhysNode::Base { name: "S".into(), span: Span::new(1, 20) }),
+            predicate: Expr::Col(1).gt(Expr::lit(10.0)),
+            span: Span::new(1, 20),
+        };
+        let mut probe = node.open_probe(&ctx).unwrap();
+        assert!(probe.get(15).unwrap().is_some());
+        assert!(probe.get(5).unwrap().is_none());
+    }
+
+    #[test]
+    fn unknown_base_fails_at_open() {
+        let c = catalog();
+        let ctx = ExecContext::new(&c);
+        let node = PhysNode::Base { name: "NOPE".into(), span: Span::all() };
+        assert!(node.open_stream(&ctx).is_err());
+        assert!(node.open_probe(&ctx).is_err());
+    }
+}

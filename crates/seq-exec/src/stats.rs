@@ -1,0 +1,157 @@
+//! Executor-side statistics.
+//!
+//! Storage-level counters (pages, probes) live in `seq-storage`; this module
+//! counts the executor-level quantities the paper's caching discussion (§3.5)
+//! contrasts: cache traffic, naive re-derivation work, and predicate
+//! applications (the `K`-cost term of §4.1.3).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct ExecStatsInner {
+    /// Records produced at the plan root.
+    output_records: AtomicU64,
+    /// Records inserted into operator caches.
+    cache_stores: AtomicU64,
+    /// Associative cache lookups.
+    cache_probes: AtomicU64,
+    /// Join/selection predicate evaluations (the paper's K term).
+    predicate_evals: AtomicU64,
+    /// Positions visited by naive value-offset walks and naive per-output
+    /// aggregate probing — the "repeated retrievals / recomputation" that
+    /// Cache-Strategy-A/B eliminate (§3.5).
+    naive_walk_steps: AtomicU64,
+}
+
+/// Cheaply cloneable handle to shared executor counters.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    inner: Arc<ExecStatsInner>,
+}
+
+impl ExecStats {
+    /// Fresh shared counters.
+    pub fn new() -> ExecStats {
+        ExecStats::default()
+    }
+
+    /// Charge one record produced at the plan root.
+    pub fn record_output(&self) {
+        self.inner.output_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge one record stored in an operator cache.
+    pub fn record_cache_store(&self) {
+        self.inner.cache_stores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge one associative cache lookup.
+    pub fn record_cache_probe(&self) {
+        self.inner.cache_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge one predicate application (the K term).
+    pub fn record_predicate_eval(&self) {
+        self.inner.predicate_evals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge one position visited by a naive walk.
+    pub fn record_naive_walk_step(&self) {
+        self.inner.naive_walk_steps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> ExecSnapshot {
+        ExecSnapshot {
+            output_records: self.inner.output_records.load(Ordering::Relaxed),
+            cache_stores: self.inner.cache_stores.load(Ordering::Relaxed),
+            cache_probes: self.inner.cache_probes.load(Ordering::Relaxed),
+            predicate_evals: self.inner.predicate_evals.load(Ordering::Relaxed),
+            naive_walk_steps: self.inner.naive_walk_steps.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.inner.output_records.store(0, Ordering::Relaxed);
+        self.inner.cache_stores.store(0, Ordering::Relaxed);
+        self.inner.cache_probes.store(0, Ordering::Relaxed);
+        self.inner.predicate_evals.store(0, Ordering::Relaxed);
+        self.inner.naive_walk_steps.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of [`ExecStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecSnapshot {
+    /// Records produced at the plan root.
+    pub output_records: u64,
+    /// Records inserted into operator caches.
+    pub cache_stores: u64,
+    /// Associative cache lookups.
+    pub cache_probes: u64,
+    /// Predicate applications (the K term of §4.1.3).
+    pub predicate_evals: u64,
+    /// Positions visited by naive walks.
+    pub naive_walk_steps: u64,
+}
+
+impl ExecSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &ExecSnapshot) -> ExecSnapshot {
+        ExecSnapshot {
+            output_records: self.output_records.saturating_sub(earlier.output_records),
+            cache_stores: self.cache_stores.saturating_sub(earlier.cache_stores),
+            cache_probes: self.cache_probes.saturating_sub(earlier.cache_probes),
+            predicate_evals: self.predicate_evals.saturating_sub(earlier.predicate_evals),
+            naive_walk_steps: self.naive_walk_steps.saturating_sub(earlier.naive_walk_steps),
+        }
+    }
+}
+
+impl fmt::Display for ExecSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out={} cache_stores={} cache_probes={} preds={} naive_steps={}",
+            self.output_records,
+            self.cache_stores,
+            self.cache_probes,
+            self.predicate_evals,
+            self.naive_walk_steps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_counters() {
+        let a = ExecStats::new();
+        let b = a.clone();
+        a.record_output();
+        b.record_output();
+        b.record_naive_walk_step();
+        let s = a.snapshot();
+        assert_eq!(s.output_records, 2);
+        assert_eq!(s.naive_walk_steps, 1);
+    }
+
+    #[test]
+    fn reset_and_diff() {
+        let s = ExecStats::new();
+        s.record_predicate_eval();
+        let before = s.snapshot();
+        s.record_predicate_eval();
+        s.record_cache_store();
+        let d = s.snapshot().since(&before);
+        assert_eq!(d.predicate_evals, 1);
+        assert_eq!(d.cache_stores, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), ExecSnapshot::default());
+    }
+}

@@ -1,0 +1,20 @@
+//! # seq-group — groupings, correlated queries, and ordering domains
+//!
+//! The §5.1–§5.2 extensions of *Sequence Query Processing*:
+//!
+//! - [`grouping`] — sequence groupings: partition a sequence on an attribute
+//!   into same-schema members and apply query templates collectively;
+//! - [`correlated`] — correlated queries ("the most recent earthquake *in
+//!   the same region*") evaluated by instantiating the inner query per
+//!   correlation group, recovering a stream-access evaluation per group;
+//! - [`ordering`] — ordering-domain conversion: collapse a fine-grained
+//!   sequence to a coarser domain (daily → weekly, with per-attribute
+//!   aggregation) and expand back.
+
+pub mod correlated;
+pub mod grouping;
+pub mod ordering;
+
+pub use correlated::correlated_join;
+pub use grouping::{partition_by, SequenceGroup};
+pub use ordering::{collapse, expand, CollapseAttr};

@@ -1,0 +1,270 @@
+//! Tokenizer for the textual sequence algebra.
+//!
+//! The surface syntax is S-expression shaped:
+//!
+//! ```text
+//! (select (> close 7.0)
+//!   (compose (base Volcanos) (prev (base Quakes))))
+//! ```
+
+use std::fmt;
+
+use seq_core::{Result, SeqError};
+
+/// A token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset in the source text.
+    pub offset: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+/// Token kinds of the textual algebra.
+pub enum TokenKind {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// Bare word: operator names, attribute names, booleans.
+    Symbol(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Quoted string literal.
+    Str(String),
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::Symbol(s) => write!(f, "symbol {s:?}"),
+            TokenKind::Int(i) => write!(f, "integer {i}"),
+            TokenKind::Float(x) => write!(f, "float {x}"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+        }
+    }
+}
+
+fn err(offset: usize, msg: impl fmt::Display) -> SeqError {
+    SeqError::InvalidGraph(format!("parse error at byte {offset}: {msg}"))
+}
+
+/// Whether a character may appear in a bare symbol. Comparison operators are
+/// symbols too (`>`, `<=`, `!=`, ...), as are arithmetic ones.
+fn is_symbol_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '+' | '*' | '/' | '<' | '>' | '=' | '!' | '.')
+}
+
+/// Tokenize the input; `;` starts a comment running to end of line.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' | ',' => i += 1,
+            ';' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, offset: i });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token { kind: TokenKind::LBracket, offset: i });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token { kind: TokenKind::RBracket, offset: i });
+                i += 1;
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(err(start, "unterminated string literal")),
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            match bytes.get(i + 1) {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some('n') => s.push('\n'),
+                                other => {
+                                    return Err(err(
+                                        i,
+                                        format!("unknown escape {:?}", other),
+                                    ))
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            _ if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).map(|d| d.is_ascii_digit()).unwrap_or(false)) =>
+            {
+                let start = i;
+                let mut text = String::new();
+                if c == '-' {
+                    text.push('-');
+                    i += 1;
+                }
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E'
+                        || ((bytes[i] == '-' || bytes[i] == '+')
+                            && matches!(bytes.get(i.wrapping_sub(1)), Some('e') | Some('E'))))
+                {
+                    if bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E' {
+                        is_float = true;
+                    }
+                    text.push(bytes[i]);
+                    i += 1;
+                }
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse::<f64>().map_err(|e| err(start, format!("bad float: {e}")))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse::<i64>().map_err(|e| err(start, format!("bad integer: {e}")))?,
+                    )
+                };
+                out.push(Token { kind, offset: start });
+            }
+            _ if is_symbol_char(c) => {
+                let start = i;
+                let mut s = String::new();
+                while i < bytes.len() && is_symbol_char(bytes[i]) {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                out.push(Token { kind: TokenKind::Symbol(s), offset: start });
+            }
+            other => return Err(err(i, format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("(select close)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Symbol("select".into()),
+                TokenKind::Symbol("close".into()),
+                TokenKind::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_negatives() {
+        assert_eq!(
+            kinds("42 -7 3.5 -1.25e2"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(-7),
+                TokenKind::Float(3.5),
+                TokenKind::Float(-125.0)
+            ]
+        );
+        // A bare minus is a symbol (subtraction operator).
+        assert_eq!(kinds("- close"), vec![
+            TokenKind::Symbol("-".into()),
+            TokenKind::Symbol("close".into())
+        ]);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(kinds(r#""abc""#), vec![TokenKind::Str("abc".into())]);
+        assert_eq!(kinds(r#""a\"b\\c""#), vec![TokenKind::Str("a\"b\\c".into())]);
+        assert!(tokenize(r#""unterminated"#).is_err());
+        assert!(tokenize(r#""bad\q""#).is_err());
+    }
+
+    #[test]
+    fn comments_and_commas_are_whitespace() {
+        assert_eq!(
+            kinds("(a, b) ; trailing comment\n c"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Symbol("a".into()),
+                TokenKind::Symbol("b".into()),
+                TokenKind::RParen,
+                TokenKind::Symbol("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_are_symbols() {
+        assert_eq!(
+            kinds(">= != <"),
+            vec![
+                TokenKind::Symbol(">=".into()),
+                TokenKind::Symbol("!=".into()),
+                TokenKind::Symbol("<".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn offsets_reported_on_error() {
+        let e = tokenize("abc $").unwrap_err();
+        assert!(e.to_string().contains("byte 4"), "{e}");
+    }
+
+    #[test]
+    fn brackets() {
+        assert_eq!(
+            kinds("[close time]"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Symbol("close".into()),
+                TokenKind::Symbol("time".into()),
+                TokenKind::RBracket
+            ]
+        );
+    }
+}

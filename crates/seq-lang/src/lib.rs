@@ -1,0 +1,68 @@
+//! # seq-lang — a textual surface syntax for the sequence algebra
+//!
+//! The paper deliberately leaves query-language design out of scope (§5);
+//! this crate provides the minimal textual surface a user needs to write
+//! queries without the Rust builder: an S-expression algebra with a
+//! tokenizer ([`lexer`]), parser ([`parser::parse_query`]), and faithful
+//! pretty-printer ([`print::print_query`]).
+//!
+//! ```
+//! use seq_lang::{parse_query, print_query};
+//!
+//! let q = parse_query(
+//!     "(select (> strength 7.0)
+//!        (compose (base Volcanos) (prev (base Quakes))))",
+//! ).unwrap();
+//! let text = print_query(&q).unwrap();
+//! assert_eq!(parse_query(&text).unwrap(), q);
+//! ```
+
+pub mod lexer;
+pub mod parser;
+pub mod print;
+
+pub use parser::parse_query;
+pub use print::print_query;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use seq_ops::{AggFunc, Expr, SeqQuery, Window};
+
+    /// Random (unbound) queries through the builder, round-tripped through
+    /// print → parse.
+    fn arb_query(depth: u32) -> BoxedStrategy<SeqQuery> {
+        if depth == 0 {
+            return prop_oneof![
+                Just(SeqQuery::base("A")),
+                Just(SeqQuery::base("B")),
+            ]
+            .boxed();
+        }
+        let sub = arb_query(depth - 1);
+        prop_oneof![
+            arb_query(0),
+            (sub.clone(), -50.0f64..50.0)
+                .prop_map(|(q, lit)| q.select(Expr::attr("close").gt(Expr::lit(lit)))),
+            (sub.clone(), -6i64..6).prop_map(|(q, l)| q.positional_offset(l)),
+            (sub.clone(), 1i64..4, any::<bool>())
+                .prop_map(|(q, l, neg)| q.value_offset(if neg { -l } else { l })),
+            (sub.clone(), 1u32..8).prop_map(|(q, w)| {
+                q.aggregate(AggFunc::Avg, "close", Window::trailing(w))
+            }),
+            (sub.clone(), arb_query(depth - 1)).prop_map(|(l, r)| l.compose_with(r)),
+        ]
+        .boxed()
+    }
+
+    proptest! {
+        #[test]
+        fn print_parse_round_trip(q in arb_query(3)) {
+            let g = q.build();
+            let text = print_query(&g).unwrap();
+            let g2 = parse_query(&text).unwrap();
+            prop_assert_eq!(g, g2);
+        }
+    }
+}

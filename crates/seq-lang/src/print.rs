@@ -1,0 +1,222 @@
+//! Pretty-printer: [`seq_ops::QueryGraph`] → the textual algebra.
+//!
+//! `parse_query(print_query(g))` reconstructs `g` exactly (round-trip
+//! property-tested), so the textual form is a faithful serialization of
+//! queries — useful for logging, golden tests, and the `seqsh` shell.
+
+use seq_core::{Result, SeqError, Value};
+use seq_ops::{AggFunc, Expr, QueryGraph, QueryNode, SeqOperator, Window};
+
+/// Render a query graph in the surface syntax.
+pub fn print_query(graph: &QueryGraph) -> Result<String> {
+    let mut out = String::new();
+    render_node(graph, graph.root()?, &mut out)?;
+    Ok(out)
+}
+
+fn render_node(graph: &QueryGraph, id: usize, out: &mut String) -> Result<()> {
+    match graph.node(id) {
+        QueryNode::Base { name } => {
+            out.push_str("(base ");
+            out.push_str(name);
+            out.push(')');
+        }
+        QueryNode::Constant { schema, record } => {
+            out.push_str("(const [");
+            for (i, field) in schema.fields().iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(&field.name);
+                out.push(' ');
+                render_value(record.value(i)?, out);
+            }
+            out.push_str("])");
+        }
+        QueryNode::Op { op, inputs } => {
+            match op {
+                SeqOperator::Select { predicate } => {
+                    out.push_str("(select ");
+                    render_expr(predicate, out)?;
+                    out.push(' ');
+                    render_node(graph, inputs[0], out)?;
+                    out.push(')');
+                }
+                SeqOperator::Project { attrs } => {
+                    out.push_str("(project [");
+                    out.push_str(&attrs.join(" "));
+                    out.push_str("] ");
+                    render_node(graph, inputs[0], out)?;
+                    out.push(')');
+                }
+                SeqOperator::PositionalOffset { offset } => {
+                    out.push_str(&format!("(offset {offset} "));
+                    render_node(graph, inputs[0], out)?;
+                    out.push(')');
+                }
+                SeqOperator::ValueOffset { offset } => {
+                    match offset {
+                        -1 => out.push_str("(prev "),
+                        1 => out.push_str("(next "),
+                        l => out.push_str(&format!("(voffset {l} ")),
+                    }
+                    render_node(graph, inputs[0], out)?;
+                    out.push(')');
+                }
+                SeqOperator::Aggregate { func, attr, window, .. } => {
+                    let f = match func {
+                        AggFunc::Sum => "sum",
+                        AggFunc::Avg => "avg",
+                        AggFunc::Count => "count",
+                        AggFunc::Min => "min",
+                        AggFunc::Max => "max",
+                    };
+                    out.push_str(&format!("(agg {f} {attr} "));
+                    match window {
+                        Window::Sliding { lo, hi } => {
+                            // Prefer the sugar forms when they round-trip.
+                            if *hi == 0 && *lo <= 0 {
+                                out.push_str(&format!("(trailing {})", 1 - lo));
+                            } else if *lo == 0 && *hi >= 0 {
+                                out.push_str(&format!("(leading {})", hi + 1));
+                            } else {
+                                out.push_str(&format!("(sliding {lo} {hi})"));
+                            }
+                        }
+                        Window::Cumulative => out.push_str("cumulative"),
+                        Window::WholeSpan => out.push_str("wholespan"),
+                    }
+                    out.push(' ');
+                    render_node(graph, inputs[0], out)?;
+                    out.push(')');
+                }
+                SeqOperator::Compose { predicate } => {
+                    out.push_str("(compose ");
+                    if let Some(p) = predicate {
+                        render_expr(p, out)?;
+                        out.push(' ');
+                    }
+                    render_node(graph, inputs[0], out)?;
+                    out.push(' ');
+                    render_node(graph, inputs[1], out)?;
+                    out.push(')');
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn render_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            // Keep a decimal point so the token re-lexes as a float.
+            let s = format!("{f}");
+            out.push_str(&s);
+            if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("NaN") {
+                out.push_str(".0");
+            }
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+    }
+}
+
+fn render_expr(e: &Expr, out: &mut String) -> Result<()> {
+    match e {
+        Expr::Attr(a) => out.push_str(a),
+        Expr::Col(_) => {
+            return Err(SeqError::Unsupported(
+                "cannot print bound column references; print before binding".into(),
+            ))
+        }
+        Expr::Lit(v) => render_value(v, out),
+        Expr::Not(inner) => {
+            out.push_str("(not ");
+            render_expr(inner, out)?;
+            out.push(')');
+        }
+        Expr::Bin(op, l, r) => {
+            use seq_ops::BinOp::*;
+            let sym = match op {
+                Add => "+",
+                Sub => "-",
+                Mul => "*",
+                Div => "/",
+                Eq => "=",
+                Ne => "!=",
+                Lt => "<",
+                Le => "<=",
+                Gt => ">",
+                Ge => ">=",
+                And => "and",
+                Or => "or",
+            };
+            out.push('(');
+            out.push_str(sym);
+            out.push(' ');
+            render_expr(l, out)?;
+            out.push(' ');
+            render_expr(r, out)?;
+            out.push(')');
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn round_trip(src: &str) {
+        let g1 = parse_query(src).unwrap();
+        let printed = print_query(&g1).unwrap();
+        let g2 = parse_query(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+        assert_eq!(g1, g2, "round trip changed the graph:\n{src}\n-> {printed}");
+    }
+
+    #[test]
+    fn round_trips() {
+        for src in [
+            "(base IBM)",
+            "(select (> close 7.0) (base IBM))",
+            "(project [name time] (base Volcanos))",
+            "(offset -5 (base IBM))",
+            "(prev (base IBM))",
+            "(next (base IBM))",
+            "(voffset -3 (base IBM))",
+            "(agg sum close (trailing 6) (base IBM))",
+            "(agg avg close (leading 4) (base IBM))",
+            "(agg max close (sliding -3 -1) (base IBM))",
+            "(agg count close cumulative (base IBM))",
+            "(agg min close wholespan (base IBM))",
+            "(compose (base IBM) (base HP))",
+            "(compose (> close close_r) (base IBM) (base HP))",
+            r#"(const [k 1 x 2.5 s "a\"b" flag true])"#,
+            "(select (and (> (* close 2.0) 100.0) (not (= time 5))) (base IBM))",
+            "(compose (base DEC) (compose (> close close_r) (base IBM) (prev (base HP))))",
+        ] {
+            round_trip(src);
+        }
+    }
+
+    #[test]
+    fn bound_expressions_are_rejected() {
+        use seq_ops::SeqQuery;
+        let g = SeqQuery::base("X").select(Expr::Col(0).gt(Expr::lit(1i64))).build();
+        assert!(print_query(&g).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! A fluent builder for sequence queries.
+//!
+//! ```
+//! use seq_ops::builder::SeqQuery;
+//! use seq_ops::expr::Expr;
+//! use seq_ops::operator::{AggFunc, Window};
+//!
+//! // Figure 5.A: six-position moving sum of IBM's close.
+//! let query = SeqQuery::base("IBM")
+//!     .aggregate(AggFunc::Sum, "close", Window::trailing(6))
+//!     .build();
+//! assert_eq!(query.len(), 2);
+//!
+//! // Figure 3: DEC price when IBM's close beats HP's close.
+//! let query = SeqQuery::base("DEC")
+//!     .compose_with(
+//!         SeqQuery::base("IBM").compose_filtered(
+//!             SeqQuery::base("HP"),
+//!             Expr::attr("close").gt(Expr::attr("close_r")),
+//!         ),
+//!     )
+//!     .build();
+//! assert_eq!(query.len(), 5);
+//! ```
+
+use seq_core::{Record, Schema};
+
+use crate::expr::Expr;
+use crate::graph::{NodeId, QueryGraph};
+use crate::operator::{AggFunc, SeqOperator, Window};
+
+/// A query under construction: a graph plus the id of the current tip.
+#[derive(Debug, Clone)]
+pub struct SeqQuery {
+    graph: QueryGraph,
+    tip: NodeId,
+}
+
+impl SeqQuery {
+    /// Start from a named base sequence.
+    pub fn base(name: impl Into<String>) -> SeqQuery {
+        let mut graph = QueryGraph::new();
+        let tip = graph.add_base(name);
+        SeqQuery { graph, tip }
+    }
+
+    /// Start from an inline constant sequence.
+    pub fn constant(schema: Schema, record: Record) -> SeqQuery {
+        let mut graph = QueryGraph::new();
+        let tip = graph.add_constant(schema, record);
+        SeqQuery { graph, tip }
+    }
+
+    fn apply(mut self, op: SeqOperator) -> SeqQuery {
+        let tip = self
+            .graph
+            .add_op(op, vec![self.tip])
+            .expect("unary operator over existing tip");
+        SeqQuery { graph: self.graph, tip }
+    }
+
+    /// σ — keep records satisfying `predicate`.
+    pub fn select(self, predicate: Expr) -> SeqQuery {
+        self.apply(SeqOperator::Select { predicate })
+    }
+
+    /// π — keep the named attributes.
+    pub fn project<S: Into<String>>(self, attrs: impl IntoIterator<Item = S>) -> SeqQuery {
+        self.apply(SeqOperator::Project { attrs: attrs.into_iter().map(Into::into).collect() })
+    }
+
+    /// Shift by `offset` positions: `Out(i) = In(i + offset)`.
+    pub fn positional_offset(self, offset: i64) -> SeqQuery {
+        self.apply(SeqOperator::PositionalOffset { offset })
+    }
+
+    /// Value offset (Previous = −1, Next = +1).
+    pub fn value_offset(self, offset: i64) -> SeqQuery {
+        self.apply(SeqOperator::ValueOffset { offset })
+    }
+
+    /// The Previous operator.
+    pub fn previous(self) -> SeqQuery {
+        self.value_offset(-1)
+    }
+
+    /// The Next operator.
+    pub fn next_record(self) -> SeqQuery {
+        self.value_offset(1)
+    }
+
+    /// Windowed aggregate over one attribute.
+    pub fn aggregate(self, func: AggFunc, attr: impl Into<String>, window: Window) -> SeqQuery {
+        self.apply(SeqOperator::aggregate(func, attr, window))
+    }
+
+    /// Positional join with another query.
+    pub fn compose_with(self, right: SeqQuery) -> SeqQuery {
+        self.compose_impl(right, None)
+    }
+
+    /// Positional join with an additional join predicate over the composed
+    /// record (right-hand attributes that clash are suffixed `_r`).
+    pub fn compose_filtered(self, right: SeqQuery, predicate: Expr) -> SeqQuery {
+        self.compose_impl(right, Some(predicate))
+    }
+
+    fn compose_impl(mut self, right: SeqQuery, predicate: Option<Expr>) -> SeqQuery {
+        // Splice the right-hand graph into ours, remapping its node ids.
+        let offset = self.graph.len();
+        for id in 0..right.graph.len() {
+            match right.graph.node(id).clone() {
+                crate::graph::QueryNode::Base { name } => {
+                    self.graph.add_base(name);
+                }
+                crate::graph::QueryNode::Constant { schema, record } => {
+                    self.graph.add_constant(schema, record);
+                }
+                crate::graph::QueryNode::Op { op, inputs } => {
+                    let remapped = inputs.into_iter().map(|i| i + offset).collect();
+                    self.graph.add_op(op, remapped).expect("valid spliced op");
+                }
+            }
+        }
+        let right_tip = right.tip + offset;
+        let tip = self
+            .graph
+            .add_op(SeqOperator::Compose { predicate }, vec![self.tip, right_tip])
+            .expect("compose over existing tips");
+        SeqQuery { graph: self.graph, tip }
+    }
+
+    /// Finish: returns the query graph rooted at the current tip.
+    pub fn build(mut self) -> QueryGraph {
+        self.graph.set_root(self.tip).expect("tip exists");
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SchemaProvider;
+    use seq_core::{schema, AttrType};
+    use std::collections::HashMap;
+
+    fn provider() -> HashMap<String, Schema> {
+        let stock = schema(&[("time", AttrType::Int), ("close", AttrType::Float)]);
+        ["IBM", "HP", "DEC"]
+            .iter()
+            .map(|n| (n.to_string(), stock.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn linear_chain() {
+        let g = SeqQuery::base("IBM")
+            .select(Expr::attr("close").gt(Expr::lit(100.0)))
+            .project(["close"])
+            .build();
+        assert_eq!(g.len(), 3);
+        let r = g.resolve(&provider()).unwrap();
+        assert_eq!(r.output_schema().arity(), 1);
+    }
+
+    #[test]
+    fn compose_splices_graphs() {
+        let g = SeqQuery::base("DEC")
+            .compose_with(
+                SeqQuery::base("IBM")
+                    .compose_filtered(
+                        SeqQuery::base("HP"),
+                        Expr::attr("close").gt(Expr::attr("close_r")),
+                    )
+                    .project(["close"]),
+            )
+            .build();
+        assert!(g.validate_tree().is_ok());
+        let r = g.resolve(&provider()).unwrap();
+        // DEC(2) + projected(1) = 3.
+        assert_eq!(r.output_schema().arity(), 3);
+        assert_eq!(r.base_names().len(), 3);
+    }
+
+    #[test]
+    fn fig5a_moving_sum() {
+        let g = SeqQuery::base("IBM")
+            .aggregate(AggFunc::Sum, "close", Window::trailing(6))
+            .build();
+        let r = g.resolve(&provider()).unwrap();
+        assert_eq!(r.output_schema().field(0).unwrap().name, "sum_close");
+    }
+
+    #[test]
+    fn previous_and_offsets() {
+        let g = SeqQuery::base("IBM").previous().positional_offset(-5).build();
+        assert_eq!(g.len(), 3);
+        assert!(g.resolve(&provider()).is_ok());
+        let p = provider();
+        assert!(p.schema_of("IBM").is_ok());
+    }
+
+    #[test]
+    fn nested_compose_on_both_sides() {
+        let left = SeqQuery::base("IBM").select(Expr::attr("close").gt(Expr::lit(1.0)));
+        let right = SeqQuery::base("HP").previous();
+        let g = left.compose_with(right).build();
+        let r = g.resolve(&provider()).unwrap();
+        assert_eq!(r.base_names().len(), 2);
+        assert_eq!(r.output_schema().arity(), 4);
+    }
+}

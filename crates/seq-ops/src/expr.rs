@@ -1,0 +1,495 @@
+//! Scalar expressions over record attributes.
+//!
+//! Selection predicates (σ in §2.1), compose-operator join predicates, and
+//! projection expressions are all built from this small expression language.
+//! Expressions are written against attribute *names* and bound to attribute
+//! *indices* once the input schema is known; only bound expressions evaluate.
+
+use std::fmt;
+
+use seq_core::{AttrType, CmpOp, Record, Result, Schema, SeqError, SeqMeta, Value};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (always FLOAT).
+    Div,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Boolean conjunction (short-circuiting).
+    And,
+    /// Boolean disjunction (short-circuiting).
+    Or,
+}
+
+impl BinOp {
+    fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    fn is_arithmetic(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+    }
+
+    fn as_cmp(self) -> Option<CmpOp> {
+        Some(match self {
+            BinOp::Eq => CmpOp::Eq,
+            BinOp::Ne => CmpOp::Ne,
+            BinOp::Lt => CmpOp::Lt,
+            BinOp::Le => CmpOp::Le,
+            BinOp::Gt => CmpOp::Gt,
+            BinOp::Ge => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Unresolved attribute reference by name.
+    Attr(String),
+    /// Resolved attribute reference by index (post-binding).
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Boolean negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// An unresolved attribute reference.
+    pub fn attr(name: impl Into<String>) -> Expr {
+        Expr::Attr(name.into())
+    }
+
+    /// A literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// A binary operation node.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Bin(op, Box::new(l), Box::new(r))
+    }
+
+    /// `self > r`
+    pub fn gt(self, r: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, self, r)
+    }
+
+    /// `self >= r`
+    pub fn ge(self, r: Expr) -> Expr {
+        Expr::bin(BinOp::Ge, self, r)
+    }
+
+    /// `self < r`
+    pub fn lt(self, r: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, self, r)
+    }
+
+    /// `self <= r`
+    pub fn le(self, r: Expr) -> Expr {
+        Expr::bin(BinOp::Le, self, r)
+    }
+
+    /// `self = r`
+    pub fn eq(self, r: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, self, r)
+    }
+
+    /// `self != r`
+    pub fn ne(self, r: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, self, r)
+    }
+
+    /// `self AND r`
+    pub fn and(self, r: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, r)
+    }
+
+    /// `self OR r`
+    pub fn or(self, r: Expr) -> Expr {
+        Expr::bin(BinOp::Or, self, r)
+    }
+
+    /// `self + r`
+    #[allow(clippy::should_implement_trait)] // builder method, not arithmetic on Expr values
+    pub fn add(self, r: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, r)
+    }
+
+    /// `self - r`
+    #[allow(clippy::should_implement_trait)] // builder method, not arithmetic on Expr values
+    pub fn sub(self, r: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, r)
+    }
+
+    /// `self * r`
+    #[allow(clippy::should_implement_trait)] // builder method, not arithmetic on Expr values
+    pub fn mul(self, r: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, r)
+    }
+
+    /// `self / r`
+    #[allow(clippy::should_implement_trait)] // builder method, not arithmetic on Expr values
+    pub fn div(self, r: Expr) -> Expr {
+        Expr::bin(BinOp::Div, self, r)
+    }
+
+    /// `NOT self`
+    pub fn negate(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Resolve attribute names against `schema`, producing a bound expression
+    /// in which every reference is a [`Expr::Col`].
+    pub fn bind(&self, schema: &Schema) -> Result<Expr> {
+        Ok(match self {
+            Expr::Attr(name) => Expr::Col(schema.index_of(name)?),
+            Expr::Col(i) => {
+                schema.field(*i)?;
+                Expr::Col(*i)
+            }
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Bin(op, l, r) => Expr::bin(*op, l.bind(schema)?, r.bind(schema)?),
+            Expr::Not(e) => Expr::Not(Box::new(e.bind(schema)?)),
+        })
+    }
+
+    /// Infer the result type against a schema (works on bound or unbound
+    /// expressions; used for query type-checking in Step 2.a of §4).
+    pub fn infer_type(&self, schema: &Schema) -> Result<AttrType> {
+        match self {
+            Expr::Attr(name) => Ok(schema.field(schema.index_of(name)?)?.ty),
+            Expr::Col(i) => Ok(schema.field(*i)?.ty),
+            Expr::Lit(v) => Ok(v.attr_type()),
+            Expr::Not(e) => {
+                let t = e.infer_type(schema)?;
+                if t != AttrType::Bool {
+                    return Err(SeqError::Type(format!("NOT requires BOOL, found {t}")));
+                }
+                Ok(AttrType::Bool)
+            }
+            Expr::Bin(op, l, r) => {
+                let lt = l.infer_type(schema)?;
+                let rt = r.infer_type(schema)?;
+                if op.is_comparison() {
+                    let compatible = lt == rt || (lt.is_numeric() && rt.is_numeric());
+                    if !compatible {
+                        return Err(SeqError::Type(format!("cannot compare {lt} with {rt}")));
+                    }
+                    Ok(AttrType::Bool)
+                } else if op.is_arithmetic() {
+                    if !lt.is_numeric() || !rt.is_numeric() {
+                        return Err(SeqError::Type(format!("{op} requires numeric operands")));
+                    }
+                    if lt == AttrType::Float || rt == AttrType::Float || *op == BinOp::Div {
+                        Ok(AttrType::Float)
+                    } else {
+                        Ok(AttrType::Int)
+                    }
+                } else {
+                    // And / Or
+                    if lt != AttrType::Bool || rt != AttrType::Bool {
+                        return Err(SeqError::Type(format!("{op} requires BOOL operands")));
+                    }
+                    Ok(AttrType::Bool)
+                }
+            }
+        }
+    }
+
+    /// Evaluate a bound expression against a record.
+    pub fn eval(&self, rec: &Record) -> Result<Value> {
+        match self {
+            Expr::Attr(name) => Err(SeqError::Type(format!(
+                "unbound attribute {name:?}: call Expr::bind before evaluation"
+            ))),
+            Expr::Col(i) => Ok(rec.value(*i)?.clone()),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Not(e) => Ok(Value::Bool(!e.eval(rec)?.as_bool()?)),
+            Expr::Bin(op, l, r) => {
+                if *op == BinOp::And {
+                    // Short-circuit.
+                    return Ok(Value::Bool(
+                        l.eval(rec)?.as_bool()? && r.eval(rec)?.as_bool()?,
+                    ));
+                }
+                if *op == BinOp::Or {
+                    return Ok(Value::Bool(
+                        l.eval(rec)?.as_bool()? || r.eval(rec)?.as_bool()?,
+                    ));
+                }
+                let lv = l.eval(rec)?;
+                let rv = r.eval(rec)?;
+                if let Some(cmp) = op.as_cmp() {
+                    let ord = lv.total_cmp(&rv)?;
+                    let b = match cmp {
+                        CmpOp::Eq => ord.is_eq(),
+                        CmpOp::Ne => ord.is_ne(),
+                        CmpOp::Lt => ord.is_lt(),
+                        CmpOp::Le => ord.is_le(),
+                        CmpOp::Gt => ord.is_gt(),
+                        CmpOp::Ge => ord.is_ge(),
+                    };
+                    return Ok(Value::Bool(b));
+                }
+                // Arithmetic. Ints stay ints except for division.
+                match (&lv, &rv, op) {
+                    (Value::Int(a), Value::Int(b), BinOp::Add) => Ok(Value::Int(a.wrapping_add(*b))),
+                    (Value::Int(a), Value::Int(b), BinOp::Sub) => Ok(Value::Int(a.wrapping_sub(*b))),
+                    (Value::Int(a), Value::Int(b), BinOp::Mul) => Ok(Value::Int(a.wrapping_mul(*b))),
+                    _ => {
+                        let a = lv.as_f64()?;
+                        let b = rv.as_f64()?;
+                        let v = match op {
+                            BinOp::Add => a + b,
+                            BinOp::Sub => a - b,
+                            BinOp::Mul => a * b,
+                            BinOp::Div => a / b,
+                            _ => unreachable!("comparisons handled above"),
+                        };
+                        Ok(Value::Float(v))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluate a bound boolean predicate.
+    pub fn eval_predicate(&self, rec: &Record) -> Result<bool> {
+        self.eval(rec)?.as_bool()
+    }
+
+    /// The set of attribute indices a bound expression reads — the attributes
+    /// that *participate* in the operator (§3.1, footnote 4).
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            Expr::Attr(_) | Expr::Lit(_) => {}
+            Expr::Bin(_, l, r) => {
+                l.referenced_columns(out);
+                r.referenced_columns(out);
+            }
+            Expr::Not(e) => e.referenced_columns(out),
+        }
+    }
+
+    /// Rewrite the column indices of a bound expression through `mapping`
+    /// (`mapping[old] = new`), used when predicates are pushed through
+    /// projections or compose operators.
+    pub fn remap_columns(&self, mapping: &dyn Fn(usize) -> Option<usize>) -> Option<Expr> {
+        Some(match self {
+            Expr::Col(i) => Expr::Col(mapping(*i)?),
+            Expr::Attr(a) => Expr::Attr(a.clone()),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Bin(op, l, r) => {
+                Expr::bin(*op, l.remap_columns(mapping)?, r.remap_columns(mapping)?)
+            }
+            Expr::Not(e) => Expr::Not(Box::new(e.remap_columns(mapping)?)),
+        })
+    }
+
+    /// Estimate the selectivity of this (boolean) expression using column
+    /// statistics (§3: "used to determine the selectivity of predicates").
+    pub fn estimate_selectivity(&self, meta: &SeqMeta) -> f64 {
+        match self {
+            Expr::Lit(Value::Bool(true)) => 1.0,
+            Expr::Lit(Value::Bool(false)) => 0.0,
+            Expr::Not(e) => 1.0 - e.estimate_selectivity(meta),
+            Expr::Bin(BinOp::And, l, r) => {
+                l.estimate_selectivity(meta) * r.estimate_selectivity(meta)
+            }
+            Expr::Bin(BinOp::Or, l, r) => {
+                let a = l.estimate_selectivity(meta);
+                let b = r.estimate_selectivity(meta);
+                (a + b - a * b).clamp(0.0, 1.0)
+            }
+            Expr::Bin(op, l, r) if op.is_comparison() => {
+                let cmp = op.as_cmp().expect("comparison");
+                match (l.as_ref(), r.as_ref()) {
+                    (Expr::Col(i), Expr::Lit(v)) => meta.column(*i).range_selectivity(v, cmp),
+                    (Expr::Lit(v), Expr::Col(i)) => {
+                        meta.column(*i).range_selectivity(v, flip(cmp))
+                    }
+                    // Column-to-column comparisons: System R style defaults.
+                    _ => cmp.default_selectivity(),
+                }
+            }
+            _ => 1.0 / 3.0,
+        }
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Attr(a) => write!(f, "{a}"),
+            Expr::Col(i) => write!(f, "${i}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Bin(op, l, r) => write!(f, "({l} {op} {r})"),
+            Expr::Not(e) => write!(f, "NOT {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::{record, schema, ColumnStats, Span};
+
+    fn stock_schema() -> Schema {
+        schema(&[("time", AttrType::Int), ("close", AttrType::Float)])
+    }
+
+    #[test]
+    fn bind_resolves_names() {
+        let e = Expr::attr("close").gt(Expr::lit(7.0));
+        let b = e.bind(&stock_schema()).unwrap();
+        assert_eq!(b.to_string(), "($1 > 7)");
+        assert!(Expr::attr("nope").bind(&stock_schema()).is_err());
+    }
+
+    #[test]
+    fn eval_requires_binding() {
+        let e = Expr::attr("close");
+        assert!(e.eval(&record![1i64, 2.0]).is_err());
+    }
+
+    #[test]
+    fn comparison_and_arithmetic() {
+        let s = stock_schema();
+        let e = Expr::attr("close").mul(Expr::lit(2.0)).gt(Expr::lit(5.0)).bind(&s).unwrap();
+        assert!(e.eval_predicate(&record![1i64, 3.0]).unwrap());
+        assert!(!e.eval_predicate(&record![1i64, 2.0]).unwrap());
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_integer() {
+        let s = schema(&[("a", AttrType::Int), ("b", AttrType::Int)]);
+        let e = Expr::attr("a").add(Expr::attr("b")).bind(&s).unwrap();
+        assert_eq!(e.eval(&record![2i64, 3i64]).unwrap(), Value::Int(5));
+        let d = Expr::attr("a").div(Expr::attr("b")).bind(&s).unwrap();
+        assert_eq!(d.eval(&record![7i64, 2i64]).unwrap(), Value::Float(3.5));
+    }
+
+    #[test]
+    fn boolean_connectives_short_circuit() {
+        let s = schema(&[("flag", AttrType::Bool)]);
+        // Right operand would be a type error if evaluated.
+        let e = Expr::attr("flag").or(Expr::lit(1i64).eq(Expr::lit("x"))).bind(&s).unwrap();
+        assert!(e.eval_predicate(&record![true]).unwrap());
+        assert!(e.eval_predicate(&record![false]).is_err());
+    }
+
+    #[test]
+    fn type_inference() {
+        let s = stock_schema();
+        assert_eq!(
+            Expr::attr("close").gt(Expr::lit(1.0)).infer_type(&s).unwrap(),
+            AttrType::Bool
+        );
+        assert_eq!(
+            Expr::attr("time").add(Expr::lit(1i64)).infer_type(&s).unwrap(),
+            AttrType::Int
+        );
+        assert_eq!(
+            Expr::attr("time").add(Expr::attr("close")).infer_type(&s).unwrap(),
+            AttrType::Float
+        );
+        assert!(Expr::attr("close").and(Expr::lit(true)).infer_type(&s).is_err());
+        assert!(Expr::attr("close").gt(Expr::lit("x")).infer_type(&s).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_and_remap() {
+        let s = stock_schema();
+        let e = Expr::attr("close").gt(Expr::attr("close")).bind(&s).unwrap();
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols, vec![1]);
+        let remapped = e.remap_columns(&|i| if i == 1 { Some(0) } else { None }).unwrap();
+        assert_eq!(remapped.to_string(), "($0 > $0)");
+        assert!(e.remap_columns(&|_| None).is_none());
+    }
+
+    #[test]
+    fn selectivity_with_stats() {
+        let meta = SeqMeta::new(
+            Span::new(1, 100),
+            1.0,
+            vec![
+                ColumnStats::unknown(),
+                ColumnStats::bounded(Value::Float(0.0), Value::Float(10.0), 50),
+            ],
+        );
+        let e = Expr::Col(1).gt(Expr::lit(7.0));
+        assert!((e.estimate_selectivity(&meta) - 0.3).abs() < 1e-9);
+        // Flipped literal side.
+        let e = Expr::lit(7.0).lt(Expr::Col(1));
+        assert!((e.estimate_selectivity(&meta) - 0.3).abs() < 1e-9);
+        // Conjunction multiplies.
+        let e = Expr::Col(1).gt(Expr::lit(7.0)).and(Expr::Col(1).gt(Expr::lit(7.0)));
+        assert!((e.estimate_selectivity(&meta) - 0.09).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let e = Expr::attr("a").gt(Expr::lit(1i64)).and(Expr::attr("b").eq(Expr::lit("x")));
+        assert_eq!(e.to_string(), "((a > 1) AND (b = \"x\"))");
+    }
+}

@@ -1,0 +1,679 @@
+//! Sequence query graphs (§2.2).
+//!
+//! A sequence query is an acyclic graph of operators whose leaves are base or
+//! constant sequences. As in the paper, the graph is restricted to a *tree*:
+//! no operator output feeds more than one consumer (§2.2; DAGs are discussed
+//! as an extension in §5.2).
+//!
+//! Queries are built as [`QueryGraph`]s over named attributes, then
+//! [`QueryGraph::resolve`]d against a [`SchemaProvider`] into a
+//! [`ResolvedGraph`] in which every expression is bound to attribute indices
+//! and every node carries its output schema — the representation the
+//! reference evaluator, the optimizer, and the executor all share.
+
+use std::fmt;
+
+use seq_core::{Record, Result, Schema, SeqError};
+
+use crate::expr::Expr;
+use crate::operator::{AggFunc, SeqOperator, Window};
+use crate::scope::ScopeShape;
+
+/// Index of a node within its graph's arena.
+pub type NodeId = usize;
+
+/// A node of an unresolved query graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryNode {
+    /// A named base sequence (resolved through the catalog).
+    Base {
+        /// Catalog name.
+        name: String,
+    },
+    /// An inline constant sequence.
+    Constant {
+        /// The constant's record schema.
+        schema: Schema,
+        /// The record at every position.
+        record: Record,
+    },
+    /// An operator over earlier nodes.
+    Op {
+        /// The operator.
+        op: SeqOperator,
+        /// Its input node ids.
+        inputs: Vec<NodeId>,
+    },
+}
+
+/// Provides schemas for named base sequences during resolution.
+pub trait SchemaProvider {
+    /// The schema registered under `name`.
+    fn schema_of(&self, name: &str) -> Result<Schema>;
+}
+
+impl SchemaProvider for std::collections::HashMap<String, Schema> {
+    fn schema_of(&self, name: &str) -> Result<Schema> {
+        self.get(name)
+            .cloned()
+            .ok_or_else(|| SeqError::UnknownSequence(name.to_string()))
+    }
+}
+
+/// An unresolved sequence query: an arena of nodes plus a root.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryGraph {
+    nodes: Vec<QueryNode>,
+    root: Option<NodeId>,
+}
+
+impl QueryGraph {
+    /// An empty graph.
+    pub fn new() -> QueryGraph {
+        QueryGraph::default()
+    }
+
+    /// Add a base-sequence leaf.
+    pub fn add_base(&mut self, name: impl Into<String>) -> NodeId {
+        self.push(QueryNode::Base { name: name.into() })
+    }
+
+    /// Add a constant-sequence leaf.
+    pub fn add_constant(&mut self, schema: Schema, record: Record) -> NodeId {
+        self.push(QueryNode::Constant { schema, record })
+    }
+
+    /// Add an operator node. Input ids must already exist; arity is checked.
+    pub fn add_op(&mut self, op: SeqOperator, inputs: Vec<NodeId>) -> Result<NodeId> {
+        if inputs.len() != op.arity() {
+            return Err(SeqError::InvalidGraph(format!(
+                "{op} expects {} input(s), got {}",
+                op.arity(),
+                inputs.len()
+            )));
+        }
+        for &i in &inputs {
+            if i >= self.nodes.len() {
+                return Err(SeqError::InvalidGraph(format!("input node {i} does not exist")));
+            }
+        }
+        Ok(self.push(QueryNode::Op { op, inputs }))
+    }
+
+    fn push(&mut self, node: QueryNode) -> NodeId {
+        self.nodes.push(node);
+        let id = self.nodes.len() - 1;
+        self.root = Some(id);
+        id
+    }
+
+    /// Override the root (by default the most recently added node).
+    pub fn set_root(&mut self, id: NodeId) -> Result<()> {
+        if id >= self.nodes.len() {
+            return Err(SeqError::InvalidGraph(format!("node {id} does not exist")));
+        }
+        self.root = Some(id);
+        Ok(())
+    }
+
+    /// The root node (the query output).
+    pub fn root(&self) -> Result<NodeId> {
+        self.root.ok_or_else(|| SeqError::InvalidGraph("empty query graph".into()))
+    }
+
+    /// The node stored at `id`.
+    pub fn node(&self, id: NodeId) -> &QueryNode {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Check the tree restriction of §2.2: starting from the root, every node
+    /// is consumed exactly once and every arena node is reachable.
+    pub fn validate_tree(&self) -> Result<()> {
+        let root = self.root()?;
+        let mut consumers = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            if let QueryNode::Op { inputs, .. } = node {
+                for &i in inputs {
+                    consumers[i] += 1;
+                }
+            }
+        }
+        if consumers[root] != 0 {
+            return Err(SeqError::InvalidGraph("root node is consumed by another operator".into()));
+        }
+        for (id, &n) in consumers.iter().enumerate() {
+            if id != root && n == 0 {
+                return Err(SeqError::InvalidGraph(format!(
+                    "node {id} is unreachable from the root"
+                )));
+            }
+            if n > 1 {
+                return Err(SeqError::InvalidGraph(format!(
+                    "node {id} feeds {n} consumers; the query graph must be a tree (§2.2)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve the query against base-sequence schemas: type-check every
+    /// operator, bind every expression, and compute every node's output
+    /// schema (the type-checking half of Step 2.a in §4).
+    pub fn resolve(&self, provider: &dyn SchemaProvider) -> Result<ResolvedGraph> {
+        self.validate_tree()?;
+        let mut nodes: Vec<ResolvedNode> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let resolved = match node {
+                QueryNode::Base { name } => ResolvedNode {
+                    kind: ResolvedKind::Base { name: name.clone() },
+                    schema: provider.schema_of(name)?,
+                },
+                QueryNode::Constant { schema, record } => {
+                    Record::checked(record.values().to_vec(), schema)?;
+                    ResolvedNode {
+                        kind: ResolvedKind::Constant { record: record.clone() },
+                        schema: schema.clone(),
+                    }
+                }
+                QueryNode::Op { op, inputs } => {
+                    let in_schemas: Vec<Schema> =
+                        inputs.iter().map(|&i| nodes[i].schema.clone()).collect();
+                    let schema = op.output_schema(&in_schemas)?;
+                    let bound = BoundOp::bind(op, &in_schemas, &schema)?;
+                    ResolvedNode {
+                        kind: ResolvedKind::Op { op: bound, inputs: inputs.clone() },
+                        schema,
+                    }
+                }
+            };
+            nodes.push(resolved);
+        }
+        Ok(ResolvedGraph { nodes, root: self.root()? })
+    }
+}
+
+/// An operator whose expressions are bound and attributes resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundOp {
+    /// σ with a bound predicate.
+    Select {
+        /// Bound boolean predicate.
+        predicate: Expr,
+    },
+    /// π with resolved attribute indices.
+    Project {
+        /// Input attribute indices, in output order.
+        indices: Vec<usize>,
+    },
+    /// Positional shift.
+    PositionalOffset {
+        /// The shift amount.
+        offset: i64,
+    },
+    /// Previous/Next-style value offset.
+    ValueOffset {
+        /// Non-zero offset; sign is the direction.
+        offset: i64,
+    },
+    /// Windowed aggregate with a resolved input attribute.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Resolved input attribute index.
+        attr_index: usize,
+        /// The `agg_pos` window.
+        window: Window,
+        /// Output attribute name.
+        output_name: String,
+    },
+    /// Positional join with an optionally bound predicate.
+    Compose {
+        /// Bound join predicate over the composed record, if any.
+        predicate: Option<Expr>,
+    },
+}
+
+impl BoundOp {
+    fn bind(op: &SeqOperator, inputs: &[Schema], _output: &Schema) -> Result<BoundOp> {
+        Ok(match op {
+            SeqOperator::Select { predicate } => {
+                BoundOp::Select { predicate: predicate.bind(&inputs[0])? }
+            }
+            SeqOperator::Project { attrs } => BoundOp::Project {
+                indices: attrs.iter().map(|a| inputs[0].index_of(a)).collect::<Result<_>>()?,
+            },
+            SeqOperator::PositionalOffset { offset } => {
+                BoundOp::PositionalOffset { offset: *offset }
+            }
+            SeqOperator::ValueOffset { offset } => BoundOp::ValueOffset { offset: *offset },
+            SeqOperator::Aggregate { func, attr, window, output_name } => BoundOp::Aggregate {
+                func: *func,
+                attr_index: inputs[0].index_of(attr)?,
+                window: *window,
+                output_name: output_name.clone(),
+            },
+            SeqOperator::Compose { predicate } => {
+                let composed = inputs[0].compose(&inputs[1]);
+                BoundOp::Compose {
+                    predicate: predicate.as_ref().map(|p| p.bind(&composed)).transpose()?,
+                }
+            }
+        })
+    }
+
+    /// Number of input sequences.
+    pub fn arity(&self) -> usize {
+        match self {
+            BoundOp::Compose { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Scope shape over input `input_idx` (§2.3); mirrors
+    /// [`SeqOperator::scope`].
+    pub fn scope(&self, input_idx: usize) -> ScopeShape {
+        debug_assert!(input_idx < self.arity());
+        match self {
+            BoundOp::Select { .. } | BoundOp::Project { .. } | BoundOp::Compose { .. } => {
+                ScopeShape::Point(0)
+            }
+            BoundOp::PositionalOffset { offset } => ScopeShape::Point(*offset),
+            BoundOp::ValueOffset { offset } => {
+                if *offset < 0 {
+                    ScopeShape::VariableBack
+                } else {
+                    ScopeShape::VariableFwd
+                }
+            }
+            BoundOp::Aggregate { window, .. } => window.scope(),
+        }
+    }
+
+    /// Unit scope on every input (block-boundary test, §3.1).
+    pub fn is_unit_scope(&self) -> bool {
+        (0..self.arity()).all(|i| self.scope(i).size().is_unit())
+    }
+}
+
+impl fmt::Display for BoundOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundOp::Select { predicate } => write!(f, "Select({predicate})"),
+            BoundOp::Project { indices } => {
+                write!(f, "Project(")?;
+                for (i, idx) in indices.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "${idx}")?;
+                }
+                write!(f, ")")
+            }
+            BoundOp::PositionalOffset { offset } => write!(f, "PosOffset({offset:+})"),
+            BoundOp::ValueOffset { offset } => match offset {
+                -1 => write!(f, "Previous"),
+                1 => write!(f, "Next"),
+                l => write!(f, "ValueOffset({l:+})"),
+            },
+            BoundOp::Aggregate { func, attr_index, window, .. } => {
+                write!(f, "{func}(${attr_index}) over {window}")
+            }
+            BoundOp::Compose { predicate: None } => write!(f, "Compose"),
+            BoundOp::Compose { predicate: Some(p) } => write!(f, "Compose[{p}]"),
+        }
+    }
+}
+
+/// What a resolved node is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolvedKind {
+    /// A named base sequence.
+    Base {
+        /// Catalog name.
+        name: String,
+    },
+    /// An inline constant sequence.
+    Constant {
+        /// The record at every position.
+        record: Record,
+    },
+    /// A bound operator over earlier nodes.
+    Op {
+        /// The bound operator.
+        op: BoundOp,
+        /// Its input node ids.
+        inputs: Vec<NodeId>,
+    },
+}
+
+/// A resolved node: its kind plus its output schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedNode {
+    /// What the node is.
+    pub kind: ResolvedKind,
+    /// The node's output schema.
+    pub schema: Schema,
+}
+
+impl ResolvedNode {
+    /// Input node ids (empty for leaves).
+    pub fn inputs(&self) -> &[NodeId] {
+        match &self.kind {
+            ResolvedKind::Op { inputs, .. } => inputs,
+            _ => &[],
+        }
+    }
+}
+
+/// A resolved, type-checked query tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedGraph {
+    nodes: Vec<ResolvedNode>,
+    root: NodeId,
+}
+
+impl ResolvedGraph {
+    /// Reassemble a resolved graph from nodes (used by the optimizer's
+    /// rewrite rules). Checks structural validity: every input id precedes
+    /// its consumer and arities match.
+    pub fn assemble(nodes: Vec<ResolvedNode>, root: NodeId) -> Result<ResolvedGraph> {
+        if root >= nodes.len() {
+            return Err(SeqError::InvalidGraph(format!("root {root} out of bounds")));
+        }
+        for (id, node) in nodes.iter().enumerate() {
+            if let ResolvedKind::Op { op, inputs } = &node.kind {
+                if inputs.len() != op.arity() {
+                    return Err(SeqError::InvalidGraph(format!(
+                        "node {id}: {op} expects {} inputs, got {}",
+                        op.arity(),
+                        inputs.len()
+                    )));
+                }
+                for &i in inputs {
+                    if i >= id {
+                        return Err(SeqError::InvalidGraph(format!(
+                            "node {id} consumes node {i}, which does not precede it"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(ResolvedGraph { nodes, root })
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The resolved node at `id`.
+    pub fn node(&self, id: NodeId) -> &ResolvedNode {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to the resolved node at `id`.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut ResolvedNode {
+        &mut self.nodes[id]
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Output schema of node `id`.
+    pub fn schema(&self, id: NodeId) -> &Schema {
+        &self.nodes[id].schema
+    }
+
+    /// Schema of the query output.
+    pub fn output_schema(&self) -> &Schema {
+        self.schema(self.root)
+    }
+
+    /// Node ids in bottom-up (post-) order from the root.
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![(self.root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                out.push(id);
+                continue;
+            }
+            stack.push((id, true));
+            for &child in self.node(id).inputs() {
+                stack.push((child, false));
+            }
+        }
+        out
+    }
+
+    /// Names of the base sequences used, in leaf order.
+    pub fn base_names(&self) -> Vec<&str> {
+        self.postorder()
+            .into_iter()
+            .filter_map(|id| match &self.node(id).kind {
+                ResolvedKind::Base { name } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The composed scope (§2.3) of the whole query over each base leaf:
+    /// the complex-operator scope from the root down to that leaf, built with
+    /// [`ScopeShape::compose`]. Returns `(leaf NodeId, base name, shape)`.
+    pub fn composed_base_scopes(&self) -> Vec<(NodeId, String, ScopeShape)> {
+        let mut out = Vec::new();
+        self.walk_scopes(self.root, ScopeShape::Point(0), &mut out);
+        out
+    }
+
+    fn walk_scopes(&self, id: NodeId, acc: ScopeShape, out: &mut Vec<(NodeId, String, ScopeShape)>) {
+        match &self.node(id).kind {
+            ResolvedKind::Base { name } => out.push((id, name.clone(), acc)),
+            ResolvedKind::Constant { .. } => {}
+            ResolvedKind::Op { op, inputs } => {
+                for (k, &child) in inputs.iter().enumerate() {
+                    let combined = ScopeShape::compose(op.scope(k), acc);
+                    self.walk_scopes(child, combined, out);
+                }
+            }
+        }
+    }
+
+    /// Render the tree, one node per line, for EXPLAIN output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_node(self.root, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, id: NodeId, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match &self.node(id).kind {
+            ResolvedKind::Base { name } => {
+                let _ = writeln!(out, "{pad}Base({name}) :: {}", self.schema(id));
+            }
+            ResolvedKind::Constant { record } => {
+                let _ = writeln!(out, "{pad}Constant({record}) :: {}", self.schema(id));
+            }
+            ResolvedKind::Op { op, inputs } => {
+                let _ = writeln!(out, "{pad}{op} :: {}", self.schema(id));
+                for &c in inputs {
+                    self.render_node(c, depth + 1, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::{record, schema, AttrType};
+    use std::collections::HashMap;
+
+    fn provider() -> HashMap<String, Schema> {
+        let stock = schema(&[("time", AttrType::Int), ("close", AttrType::Float)]);
+        let mut m = HashMap::new();
+        m.insert("IBM".to_string(), stock.clone());
+        m.insert("HP".to_string(), stock.clone());
+        m.insert("DEC".to_string(), stock);
+        m
+    }
+
+    /// Figure 5.B's query: Compose(DEC, Previous(Select(Compose(IBM, HP)))).
+    fn fig5b() -> QueryGraph {
+        let mut g = QueryGraph::new();
+        let ibm = g.add_base("IBM");
+        let hp = g.add_base("HP");
+        let joined = g
+            .add_op(SeqOperator::Compose { predicate: None }, vec![ibm, hp])
+            .unwrap();
+        let sel = g
+            .add_op(
+                SeqOperator::Select {
+                    predicate: Expr::attr("close").gt(Expr::attr("close_r")),
+                },
+                vec![joined],
+            )
+            .unwrap();
+        let prev = g.add_op(SeqOperator::previous(), vec![sel]).unwrap();
+        let dec = g.add_base("DEC");
+        g.add_op(SeqOperator::Compose { predicate: None }, vec![dec, prev]).unwrap();
+        g
+    }
+
+    #[test]
+    fn build_and_resolve_fig5b() {
+        let g = fig5b();
+        assert!(g.validate_tree().is_ok());
+        let r = g.resolve(&provider()).unwrap();
+        // DEC(2) + [IBM ∘ HP](4) composed = 6 attributes.
+        assert_eq!(r.output_schema().arity(), 6);
+        assert_eq!(r.base_names().len(), 3);
+        let rendered = r.render();
+        assert!(rendered.contains("Previous"));
+        assert!(rendered.contains("Base(DEC)"));
+    }
+
+    #[test]
+    fn tree_validation_rejects_shared_nodes() {
+        let mut g = QueryGraph::new();
+        let ibm = g.add_base("IBM");
+        // IBM used by two composes: a DAG, not a tree.
+        let c = g.add_op(SeqOperator::Compose { predicate: None }, vec![ibm, ibm]);
+        // Arity is fine (2 inputs) but sharing violates the tree restriction.
+        assert!(c.is_ok());
+        assert!(g.validate_tree().is_err());
+    }
+
+    #[test]
+    fn rejects_unreachable_and_missing_nodes() {
+        let mut g = QueryGraph::new();
+        let a = g.add_base("IBM");
+        let _orphan = g.add_base("HP");
+        g.set_root(a).unwrap();
+        assert!(g.validate_tree().is_err());
+
+        let mut g2 = QueryGraph::new();
+        assert!(g2.root().is_err());
+        assert!(g2.set_root(0).is_err());
+        let b = g2.add_base("IBM");
+        assert!(g2.add_op(SeqOperator::previous(), vec![b + 10]).is_err());
+    }
+
+    #[test]
+    fn arity_checked_at_add() {
+        let mut g = QueryGraph::new();
+        let a = g.add_base("IBM");
+        assert!(g.add_op(SeqOperator::Compose { predicate: None }, vec![a]).is_err());
+    }
+
+    #[test]
+    fn resolve_reports_unknown_base() {
+        let mut g = QueryGraph::new();
+        g.add_base("MSFT");
+        assert!(matches!(
+            g.resolve(&provider()),
+            Err(SeqError::UnknownSequence(_))
+        ));
+    }
+
+    #[test]
+    fn resolve_binds_predicates() {
+        let g = fig5b();
+        let r = g.resolve(&provider()).unwrap();
+        // Find the Select node and check its predicate is bound (Col refs).
+        let bound = r.postorder().into_iter().find_map(|id| match &r.node(id).kind {
+            ResolvedKind::Op { op: BoundOp::Select { predicate }, .. } => Some(predicate.clone()),
+            _ => None,
+        });
+        let p = bound.expect("select node present");
+        assert_eq!(p.to_string(), "($1 > $3)");
+    }
+
+    #[test]
+    fn postorder_visits_children_first() {
+        let g = fig5b();
+        let r = g.resolve(&provider()).unwrap();
+        let order = r.postorder();
+        assert_eq!(order.len(), r.len());
+        assert_eq!(*order.last().unwrap(), r.root());
+        // Every node appears after all of its inputs.
+        let pos: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for &id in &order {
+            for &c in r.node(id).inputs() {
+                assert!(pos[&c] < pos[&id]);
+            }
+        }
+    }
+
+    #[test]
+    fn composed_scope_through_fig5b() {
+        let g = fig5b();
+        let r = g.resolve(&provider()).unwrap();
+        let scopes = r.composed_base_scopes();
+        assert_eq!(scopes.len(), 3);
+        // DEC is reached through Compose only: unit scope.
+        let dec = scopes.iter().find(|(_, n, _)| n == "DEC").unwrap();
+        assert_eq!(dec.2, ScopeShape::Point(0));
+        // IBM and HP are reached through Previous: backward-variable.
+        let ibm = scopes.iter().find(|(_, n, _)| n == "IBM").unwrap();
+        assert_eq!(ibm.2, ScopeShape::VariableBack);
+    }
+
+    #[test]
+    fn constant_nodes_resolve() {
+        let mut g = QueryGraph::new();
+        let c = g.add_constant(schema(&[("k", AttrType::Float)]), record![7.0]);
+        let ibm = g.add_base("IBM");
+        g.add_op(SeqOperator::Compose { predicate: None }, vec![ibm, c]).unwrap();
+        let r = g.resolve(&provider()).unwrap();
+        assert_eq!(r.output_schema().arity(), 3);
+    }
+
+    #[test]
+    fn constant_schema_mismatch_fails() {
+        let mut g = QueryGraph::new();
+        g.add_constant(schema(&[("k", AttrType::Int)]), record![7.0]);
+        assert!(g.resolve(&provider()).is_err());
+    }
+}

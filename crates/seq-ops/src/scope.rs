@@ -1,0 +1,322 @@
+//! Operator scope (§2.3): which input positions an operator inspects to
+//! produce the output record at a given position.
+//!
+//! A scope is characterized by three properties the optimizer reasons about:
+//!
+//! - **size** — unit, fixed, or variable (data-dependent);
+//! - **sequentiality** — `Scope(i) ⊆ Scope(i-1) ∪ {i}` for all `i`;
+//! - **relativity** — scope positions are constant offsets from `i`.
+//!
+//! Proposition 2.1 states these properties are closed under operator
+//! composition; [`ScopeShape::compose`] implements that composition and the
+//! property tests in this module verify the closure.
+
+use std::fmt;
+
+/// The size classification of a scope (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeSize {
+    /// Exactly one position (the "unit scope" special case).
+    Unit,
+    /// A fixed number of positions, independent of `i` and of the data.
+    Fixed(u64),
+    /// Data-dependent size.
+    Variable,
+}
+
+impl ScopeSize {
+    /// Unit or fixed (not data-dependent).
+    pub fn is_fixed(self) -> bool {
+        matches!(self, ScopeSize::Unit | ScopeSize::Fixed(_))
+    }
+
+    /// Exactly one position.
+    pub fn is_unit(self) -> bool {
+        matches!(self, ScopeSize::Unit) || matches!(self, ScopeSize::Fixed(1))
+    }
+}
+
+/// The shape of an operator's scope over one input, sufficient to derive all
+/// three scope properties and the *effective scope* of §3.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeShape {
+    /// A single relative offset: `Scope(i) = {i + offset}`.
+    /// Selection/projection/compose have `Point(0)`; a positional offset of
+    /// `l` has `Point(l)`.
+    Point(i64),
+    /// A dense interval of relative offsets `[lo, hi]`; `lo = None` means
+    /// unbounded below (cumulative aggregates). A trailing `w`-position
+    /// aggregate has `Interval { lo: Some(-(w-1)), hi: 0 }`.
+    Interval {
+        /// Lower relative offset (`None` = unbounded below).
+        lo: Option<i64>,
+        /// Upper relative offset.
+        hi: i64,
+    },
+    /// Data-dependent positions strictly before `i` (backward value offsets
+    /// such as Previous).
+    VariableBack,
+    /// Data-dependent positions strictly after `i` (forward value offsets
+    /// such as Next).
+    VariableFwd,
+    /// Every position in the valid range (aggregates whose `agg_pos` is
+    /// always true). The only non-relative shape in the basic algebra.
+    WholeSpan,
+}
+
+impl ScopeShape {
+    /// Scope size (§2.3).
+    pub fn size(&self) -> ScopeSize {
+        match self {
+            ScopeShape::Point(_) => ScopeSize::Unit,
+            ScopeShape::Interval { lo: Some(lo), hi } => {
+                let n = (hi - lo).unsigned_abs() + 1;
+                if n == 1 {
+                    ScopeSize::Unit
+                } else {
+                    ScopeSize::Fixed(n)
+                }
+            }
+            ScopeShape::Interval { lo: None, .. } => ScopeSize::Variable,
+            ScopeShape::VariableBack | ScopeShape::VariableFwd | ScopeShape::WholeSpan => {
+                ScopeSize::Variable
+            }
+        }
+    }
+
+    /// Strict sequentiality per Definition in §2.3:
+    /// `Scope(i) ⊆ Scope(i-1) ∪ {i}`.
+    pub fn sequential(&self) -> bool {
+        match self {
+            // {i+l} ⊆ {i-1+l} ∪ {i} only when l = 0.
+            ScopeShape::Point(l) => *l == 0,
+            // [i+lo, i+hi] ⊆ [i-1+lo, i-1+hi] ∪ {i} exactly when hi = 0.
+            ScopeShape::Interval { hi, .. } => *hi == 0,
+            // The minimal determining set for a backward value offset at i
+            // includes i-1, which Scope(i-1) excludes.
+            ScopeShape::VariableBack | ScopeShape::VariableFwd => false,
+            // Constant scope: Scope(i) = Scope(i-1).
+            ScopeShape::WholeSpan => true,
+        }
+    }
+
+    /// Relativity per §2.3: all scope positions are constant offsets from `i`.
+    pub fn relative(&self) -> bool {
+        !matches!(self, ScopeShape::WholeSpan)
+    }
+
+    /// The minimal *sequential, fixed-size effective scope* (§3.4) as a
+    /// relative window `[lo, hi]` with `hi <= 0` — after shifting output
+    /// emission so the executor lags the input by `hi` positions, a cache of
+    /// `hi - lo + 1` records suffices (Lemma 3.2). `None` when no fixed-size
+    /// effective scope exists (variable scopes).
+    ///
+    /// For the paper's example, a positional offset of −5 (`Point(-5)`) has
+    /// effective scope `[-5, 0]` of size six.
+    pub fn effective_window(&self) -> Option<(i64, i64)> {
+        match self {
+            ScopeShape::Point(l) => Some(((*l).min(0), (*l).max(0))),
+            ScopeShape::Interval { lo: Some(lo), hi } => Some(((*lo).min(0), (*hi).max(0))),
+            _ => None,
+        }
+    }
+
+    /// Whether the incremental evaluation of §3.5 (Cache-Strategy-B) applies:
+    /// the output at `i` derives from the output at `i-1` plus locally new
+    /// input — true for backward value offsets and cumulative aggregates.
+    pub fn incremental(&self) -> bool {
+        matches!(
+            self,
+            ScopeShape::VariableBack | ScopeShape::Interval { lo: None, hi: 0 }
+        )
+    }
+
+    /// Scope composition (§2.3): if operator `A` consumes the real input with
+    /// scope `inner` and operator `B` consumes `A`'s output with scope
+    /// `outer`, the complex operator `B∘A` inspects
+    /// `⋃_{k ∈ outer(i)} inner(k)`. Proposition 2.1's closure properties are
+    /// consequences of this definition.
+    pub fn compose(inner: ScopeShape, outer: ScopeShape) -> ScopeShape {
+        use ScopeShape::*;
+        match (outer, inner) {
+            (WholeSpan, _) | (_, WholeSpan) => WholeSpan,
+            (Point(b), Point(a)) => Point(a + b),
+            (Point(b), Interval { lo, hi }) => {
+                Interval { lo: lo.map(|l| l + b), hi: hi + b }
+            }
+            (Interval { lo, hi }, Point(a)) => {
+                Interval { lo: lo.map(|l| l + a), hi: hi + a }
+            }
+            (Interval { lo: blo, hi: bhi }, Interval { lo: alo, hi: ahi }) => Interval {
+                lo: match (blo, alo) {
+                    (Some(b), Some(a)) => Some(a + b),
+                    _ => None,
+                },
+                hi: ahi + bhi,
+            },
+            // Compositions involving data-dependent scopes stay variable;
+            // direction is preserved when both sides agree, otherwise we
+            // conservatively treat the result as backward-unbounded via an
+            // unbounded interval reaching the composed upper edge.
+            (VariableBack, s) | (s, VariableBack) => match s {
+                Point(l) if l <= 0 => VariableBack,
+                Interval { hi, .. } if hi <= 0 => VariableBack,
+                VariableBack => VariableBack,
+                _ => Interval { lo: None, hi: upper_edge(s).unwrap_or(0).max(0) },
+            },
+            (VariableFwd, s) | (s, VariableFwd) => match s {
+                Point(l) if l >= 0 => VariableFwd,
+                Interval { lo: Some(lo), .. } if lo >= 0 => VariableFwd,
+                VariableFwd => VariableFwd,
+                _ => Interval { lo: None, hi: i64::MAX / 4 },
+            },
+        }
+    }
+}
+
+fn upper_edge(s: ScopeShape) -> Option<i64> {
+    match s {
+        ScopeShape::Point(l) => Some(l),
+        ScopeShape::Interval { hi, .. } => Some(hi),
+        _ => None,
+    }
+}
+
+impl fmt::Display for ScopeShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScopeShape::Point(l) => write!(f, "{{i{l:+}}}"),
+            ScopeShape::Interval { lo: Some(lo), hi } => write!(f, "[i{lo:+}, i{hi:+}]"),
+            ScopeShape::Interval { lo: None, hi } => write!(f, "(-inf, i{hi:+}]"),
+            ScopeShape::VariableBack => write!(f, "variable<i"),
+            ScopeShape::VariableFwd => write!(f, "variable>i"),
+            ScopeShape::WholeSpan => write!(f, "whole-span"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ScopeShape::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Point(0).size(), ScopeSize::Unit);
+        assert_eq!(Point(-5).size(), ScopeSize::Unit);
+        assert_eq!(Interval { lo: Some(-2), hi: 0 }.size(), ScopeSize::Fixed(3));
+        assert_eq!(Interval { lo: Some(0), hi: 0 }.size(), ScopeSize::Unit);
+        assert_eq!(Interval { lo: None, hi: 0 }.size(), ScopeSize::Variable);
+        assert_eq!(VariableBack.size(), ScopeSize::Variable);
+        assert_eq!(WholeSpan.size(), ScopeSize::Variable);
+    }
+
+    #[test]
+    fn sequentiality_matches_paper_examples() {
+        // "the scope of an aggregate over the most recent three positions is
+        // sequential, while the scope of a positional offset operator is not"
+        assert!(Interval { lo: Some(-2), hi: 0 }.sequential());
+        assert!(!Point(-5).sequential());
+        assert!(Point(0).sequential());
+        assert!(!Interval { lo: Some(-2), hi: 1 }.sequential());
+        assert!(Interval { lo: None, hi: 0 }.sequential());
+        assert!(WholeSpan.sequential());
+        assert!(!VariableBack.sequential());
+    }
+
+    #[test]
+    fn relativity() {
+        assert!(Point(3).relative());
+        assert!(Interval { lo: Some(-1), hi: 1 }.relative());
+        assert!(VariableBack.relative());
+        assert!(!WholeSpan.relative());
+    }
+
+    #[test]
+    fn effective_window_broadens_to_sequential() {
+        // The paper's §3.4 example: positional offset −5 gains effective
+        // scope of the current and five most recent positions (size six).
+        assert_eq!(Point(-5).effective_window(), Some((-5, 0)));
+        assert_eq!(Point(3).effective_window(), Some((0, 3)));
+        assert_eq!(Point(0).effective_window(), Some((0, 0)));
+        assert_eq!(Interval { lo: Some(-2), hi: 0 }.effective_window(), Some((-2, 0)));
+        assert_eq!(Interval { lo: Some(1), hi: 4 }.effective_window(), Some((0, 4)));
+        assert_eq!(VariableBack.effective_window(), None);
+        assert_eq!(Interval { lo: None, hi: 0 }.effective_window(), None);
+    }
+
+    #[test]
+    fn incremental_strategies() {
+        assert!(VariableBack.incremental());
+        assert!(Interval { lo: None, hi: 0 }.incremental());
+        assert!(!Point(-1).incremental());
+        assert!(!VariableFwd.incremental());
+    }
+
+    #[test]
+    fn composition_examples() {
+        // Offset(-2) over Offset(-3) = Offset(-5).
+        assert_eq!(ScopeShape::compose(Point(-3), Point(-2)), Point(-5));
+        // Trailing 3-aggregate over Offset(-1): window shifts back by one.
+        assert_eq!(
+            ScopeShape::compose(Point(-1), Interval { lo: Some(-2), hi: 0 }),
+            Interval { lo: Some(-3), hi: -1 }
+        );
+        // Aggregate over aggregate: windows add.
+        assert_eq!(
+            ScopeShape::compose(
+                Interval { lo: Some(-2), hi: 0 },
+                Interval { lo: Some(-4), hi: 0 }
+            ),
+            Interval { lo: Some(-6), hi: 0 }
+        );
+        // Anything through a whole-span aggregate sees the whole span.
+        assert_eq!(ScopeShape::compose(Point(-1), WholeSpan), WholeSpan);
+        // Previous over a selection stays backward-variable.
+        assert_eq!(ScopeShape::compose(Point(0), VariableBack), VariableBack);
+        assert_eq!(ScopeShape::compose(VariableBack, Point(-1)), VariableBack);
+    }
+
+    fn arb_shapes() -> Vec<ScopeShape> {
+        vec![
+            Point(0),
+            Point(-5),
+            Point(3),
+            Interval { lo: Some(-2), hi: 0 },
+            Interval { lo: Some(-7), hi: -1 },
+            Interval { lo: Some(0), hi: 4 },
+            Interval { lo: None, hi: 0 },
+            VariableBack,
+            VariableFwd,
+            WholeSpan,
+        ]
+    }
+
+    /// Proposition 2.1: fixedness, sequentiality, and relativity are each
+    /// closed under composition.
+    #[test]
+    fn proposition_2_1_closure() {
+        for &a in &arb_shapes() {
+            for &b in &arb_shapes() {
+                let c = ScopeShape::compose(a, b);
+                if a.size().is_fixed() && b.size().is_fixed() {
+                    assert!(c.size().is_fixed(), "fixed closure failed: {a} ∘ {b} = {c}");
+                }
+                if a.sequential() && b.sequential() {
+                    assert!(c.sequential(), "sequential closure failed: {a} ∘ {b} = {c}");
+                }
+                if a.relative() && b.relative() {
+                    assert!(c.relative(), "relative closure failed: {a} ∘ {b} = {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Point(-5).to_string(), "{i-5}");
+        assert_eq!(Interval { lo: Some(-2), hi: 0 }.to_string(), "[i-2, i+0]");
+        assert_eq!(Interval { lo: None, hi: 0 }.to_string(), "(-inf, i+0]");
+        assert_eq!(WholeSpan.to_string(), "whole-span");
+    }
+}

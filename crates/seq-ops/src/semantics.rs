@@ -1,0 +1,485 @@
+//! The reference (denotational) evaluator.
+//!
+//! Evaluates a resolved query graph *directly from the definitions of §2.1*:
+//! the output record at position `i` is computed by structural recursion,
+//! with no caching, no access-mode selection, and no rewriting. It is
+//! deliberately naive — its only job is to be obviously correct, serving as
+//! the ground truth that the physical executor (`seq-exec`) and the optimizer
+//! (`seq-opt`) are differentially tested against.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use seq_core::{Record, Result, SeqError, Sequence, Span};
+
+use crate::graph::{BoundOp, NodeId, ResolvedGraph, ResolvedKind};
+use crate::operator::Window;
+use crate::spanrules::output_span;
+
+/// Provides materialized base sequences by name.
+pub trait SequenceProvider {
+    /// The sequence registered under `name`.
+    fn sequence(&self, name: &str) -> Result<Arc<dyn Sequence>>;
+}
+
+impl SequenceProvider for HashMap<String, Arc<dyn Sequence>> {
+    fn sequence(&self, name: &str) -> Result<Arc<dyn Sequence>> {
+        self.get(name)
+            .cloned()
+            .ok_or_else(|| SeqError::UnknownSequence(name.to_string()))
+    }
+}
+
+/// The reference evaluator over one resolved graph.
+pub struct ReferenceEvaluator<'a> {
+    graph: &'a ResolvedGraph,
+    /// Base sequence handle per node (None for non-base nodes).
+    bases: Vec<Option<Arc<dyn Sequence>>>,
+    /// Bottom-up output span per node.
+    spans: Vec<Span>,
+}
+
+impl<'a> ReferenceEvaluator<'a> {
+    /// Bind the graph's base leaves and derive per-node spans.
+    pub fn new(
+        graph: &'a ResolvedGraph,
+        provider: &dyn SequenceProvider,
+    ) -> Result<ReferenceEvaluator<'a>> {
+        let mut bases: Vec<Option<Arc<dyn Sequence>>> = vec![None; graph.len()];
+        let mut spans = vec![Span::empty(); graph.len()];
+        for id in graph.postorder() {
+            match &graph.node(id).kind {
+                ResolvedKind::Base { name } => {
+                    let seq = provider.sequence(name)?;
+                    spans[id] = seq.meta().span;
+                    bases[id] = Some(seq);
+                }
+                ResolvedKind::Constant { .. } => {
+                    spans[id] = Span::all();
+                }
+                ResolvedKind::Op { op, inputs } => {
+                    let in_spans: Vec<Span> = inputs.iter().map(|&i| spans[i]).collect();
+                    spans[id] = output_span(op, &in_spans);
+                }
+            }
+        }
+        Ok(ReferenceEvaluator { graph, bases, spans })
+    }
+
+    /// The (conservative) span of the query's output sequence.
+    pub fn output_span(&self) -> Span {
+        self.spans[self.graph.root()]
+    }
+
+    /// The span of an arbitrary node.
+    pub fn node_span(&self, id: NodeId) -> Span {
+        self.spans[id]
+    }
+
+    /// Evaluate the query output at a single position.
+    pub fn eval(&self, pos: i64) -> Result<Option<Record>> {
+        self.eval_at(self.graph.root(), pos)
+    }
+
+    /// Evaluate node `id` at position `pos` by structural recursion.
+    pub fn eval_at(&self, id: NodeId, pos: i64) -> Result<Option<Record>> {
+        match &self.graph.node(id).kind {
+            ResolvedKind::Base { .. } => {
+                Ok(self.bases[id].as_ref().expect("base resolved").get(pos))
+            }
+            ResolvedKind::Constant { record } => Ok(Some(record.clone())),
+            ResolvedKind::Op { op, inputs } => self.eval_op(op, inputs, pos),
+        }
+    }
+
+    fn eval_op(&self, op: &BoundOp, inputs: &[NodeId], pos: i64) -> Result<Option<Record>> {
+        match op {
+            BoundOp::Select { predicate } => {
+                let Some(rec) = self.eval_at(inputs[0], pos)? else { return Ok(None) };
+                if predicate.eval_predicate(&rec)? {
+                    Ok(Some(rec))
+                } else {
+                    Ok(None)
+                }
+            }
+            BoundOp::Project { indices } => {
+                let Some(rec) = self.eval_at(inputs[0], pos)? else { return Ok(None) };
+                Ok(Some(rec.project(indices)?))
+            }
+            BoundOp::PositionalOffset { offset } => {
+                self.eval_at(inputs[0], pos.saturating_add(*offset))
+            }
+            BoundOp::ValueOffset { offset } => self.eval_value_offset(inputs[0], *offset, pos),
+            BoundOp::Aggregate { func, attr_index, window, .. } => {
+                let in_span = self.spans[inputs[0]];
+                let scan = match window {
+                    Window::Sliding { lo, hi } => {
+                        Span::new(pos.saturating_add(*lo), pos.saturating_add(*hi))
+                            .intersect(&in_span)
+                    }
+                    Window::Cumulative => {
+                        Span::new(in_span.start(), pos).intersect(&in_span)
+                    }
+                    Window::WholeSpan => in_span,
+                };
+                if !scan.is_empty() && !scan.is_bounded() {
+                    return Err(SeqError::Unsupported(
+                        "reference evaluation of an aggregate over an unbounded scope".into(),
+                    ));
+                }
+                let mut values = Vec::new();
+                for p in scan.positions() {
+                    if let Some(rec) = self.eval_at(inputs[0], p)? {
+                        values.push(rec.value(*attr_index)?.clone());
+                    }
+                }
+                Ok(func.apply(values.iter())?.map(|v| Record::new(vec![v])))
+            }
+            BoundOp::Compose { .. } => {
+                let l = self.eval_at(inputs[0], pos)?;
+                let r = self.eval_at(inputs[1], pos)?;
+                op.apply_unit_records(l.as_ref(), r.as_ref())
+            }
+        }
+    }
+
+    fn eval_value_offset(&self, input: NodeId, offset: i64, pos: i64) -> Result<Option<Record>> {
+        let span = self.spans[input];
+        if span.is_empty() {
+            return Ok(None);
+        }
+        let mut remaining = offset.unsigned_abs();
+        if offset < 0 {
+            if span.start() == seq_core::NEG_INF {
+                return Err(SeqError::Unsupported(
+                    "reference evaluation of a backward value offset over an unbounded input"
+                        .into(),
+                ));
+            }
+            let mut j = pos - 1;
+            while j >= span.start() {
+                if let Some(rec) = self.eval_at(input, j)? {
+                    remaining -= 1;
+                    if remaining == 0 {
+                        return Ok(Some(rec));
+                    }
+                }
+                j -= 1;
+            }
+            Ok(None)
+        } else {
+            if span.end() == seq_core::POS_INF {
+                return Err(SeqError::Unsupported(
+                    "reference evaluation of a forward value offset over an unbounded input"
+                        .into(),
+                ));
+            }
+            let mut j = pos + 1;
+            while j <= span.end() {
+                if let Some(rec) = self.eval_at(input, j)? {
+                    remaining -= 1;
+                    if remaining == 0 {
+                        return Ok(Some(rec));
+                    }
+                }
+                j += 1;
+            }
+            Ok(None)
+        }
+    }
+
+    /// Materialize every non-Null output in `span` (bounded), in order.
+    pub fn materialize(&self, span: Span) -> Result<Vec<(i64, Record)>> {
+        let bounded = span.intersect(&self.output_span());
+        if !bounded.is_empty() && !bounded.is_bounded() {
+            return Err(SeqError::Unsupported(
+                "cannot materialize an unbounded span; supply a position range".into(),
+            ));
+        }
+        let mut out = Vec::new();
+        for pos in bounded.positions() {
+            if let Some(rec) = self.eval(pos)? {
+                out.push((pos, rec));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl BoundOp {
+    /// Apply a compose/select-style unit operator to optional records
+    /// (mirrors `SeqOperator::apply_unit` for bound operators).
+    pub fn apply_unit_records(
+        &self,
+        left: Option<&Record>,
+        right: Option<&Record>,
+    ) -> Result<Option<Record>> {
+        match self {
+            BoundOp::Compose { predicate } => {
+                let (Some(l), Some(r)) = (left, right) else { return Ok(None) };
+                let joined = l.compose(r);
+                if let Some(p) = predicate {
+                    if !p.eval_predicate(&joined)? {
+                        return Ok(None);
+                    }
+                }
+                Ok(Some(joined))
+            }
+            other => Err(SeqError::Unsupported(format!(
+                "apply_unit_records only applies to Compose, got {other}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::graph::QueryGraph;
+    use crate::operator::{AggFunc, SeqOperator, Window};
+    use seq_core::{record, schema, AttrType, BaseSequence, Schema, Value};
+
+    fn stock_schema() -> Schema {
+        schema(&[("time", AttrType::Int), ("close", AttrType::Float)])
+    }
+
+    fn db(seqs: Vec<(&str, Vec<(i64, f64)>)>) -> HashMap<String, Arc<dyn Sequence>> {
+        let mut m: HashMap<String, Arc<dyn Sequence>> = HashMap::new();
+        for (name, data) in seqs {
+            let base = BaseSequence::from_entries(
+                stock_schema(),
+                data.into_iter().map(|(p, v)| (p, record![p, v])).collect(),
+            )
+            .unwrap();
+            m.insert(name.to_string(), Arc::new(base));
+        }
+        m
+    }
+
+    fn schemas(db: &HashMap<String, Arc<dyn Sequence>>) -> HashMap<String, Schema> {
+        db.iter().map(|(k, v)| (k.clone(), v.schema().clone())).collect()
+    }
+
+    #[test]
+    fn selection_filters_positions() {
+        let db = db(vec![("S", vec![(1, 5.0), (2, 1.0), (3, 9.0)])]);
+        let mut g = QueryGraph::new();
+        let s = g.add_base("S");
+        g.add_op(
+            SeqOperator::Select { predicate: Expr::attr("close").gt(Expr::lit(4.0)) },
+            vec![s],
+        )
+        .unwrap();
+        let r = g.resolve(&schemas(&db)).unwrap();
+        let ev = ReferenceEvaluator::new(&r, &db).unwrap();
+        let out = ev.materialize(Span::all()).unwrap();
+        let pos: Vec<i64> = out.iter().map(|(p, _)| *p).collect();
+        assert_eq!(pos, vec![1, 3]);
+    }
+
+    #[test]
+    fn positional_offset_shifts() {
+        let db = db(vec![("S", vec![(1, 1.0), (2, 2.0), (3, 3.0)])]);
+        let mut g = QueryGraph::new();
+        let s = g.add_base("S");
+        g.add_op(SeqOperator::PositionalOffset { offset: 1 }, vec![s]).unwrap();
+        let r = g.resolve(&schemas(&db)).unwrap();
+        let ev = ReferenceEvaluator::new(&r, &db).unwrap();
+        // Out(i) = In(i+1): Out(0)=In(1), Out(2)=In(3).
+        assert_eq!(ev.output_span(), Span::new(0, 2));
+        let out = ev.materialize(Span::all()).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].0, 0);
+        assert_eq!(out[0].1.value(1).unwrap(), &Value::Float(1.0));
+    }
+
+    #[test]
+    fn previous_finds_most_recent() {
+        // Positions 1,3,7 — Previous at 7 must skip back over the gap to 3.
+        let db = db(vec![("S", vec![(1, 1.0), (3, 3.0), (7, 7.0)])]);
+        let mut g = QueryGraph::new();
+        let s = g.add_base("S");
+        g.add_op(SeqOperator::previous(), vec![s]).unwrap();
+        let r = g.resolve(&schemas(&db)).unwrap();
+        let ev = ReferenceEvaluator::new(&r, &db).unwrap();
+        assert!(ev.eval(1).unwrap().is_none()); // nothing before position 1
+        let at2 = ev.eval(2).unwrap().unwrap();
+        assert_eq!(at2.value(0).unwrap(), &Value::Int(1));
+        let at7 = ev.eval(7).unwrap().unwrap();
+        assert_eq!(at7.value(0).unwrap(), &Value::Int(3)); // strictly before 7
+        let at9 = ev.eval(9).unwrap().unwrap();
+        assert_eq!(at9.value(0).unwrap(), &Value::Int(7));
+    }
+
+    #[test]
+    fn value_offset_minus_two() {
+        let db = db(vec![("S", vec![(1, 1.0), (3, 3.0), (7, 7.0)])]);
+        let mut g = QueryGraph::new();
+        let s = g.add_base("S");
+        g.add_op(SeqOperator::ValueOffset { offset: -2 }, vec![s]).unwrap();
+        let r = g.resolve(&schemas(&db)).unwrap();
+        let ev = ReferenceEvaluator::new(&r, &db).unwrap();
+        assert!(ev.eval(3).unwrap().is_none()); // only one record before 3
+        let at7 = ev.eval(7).unwrap().unwrap();
+        assert_eq!(at7.value(0).unwrap(), &Value::Int(1)); // 2nd most recent
+    }
+
+    #[test]
+    fn next_looks_forward() {
+        let db = db(vec![("S", vec![(1, 1.0), (3, 3.0)])]);
+        let mut g = QueryGraph::new();
+        let s = g.add_base("S");
+        g.add_op(SeqOperator::next_op(), vec![s]).unwrap();
+        let r = g.resolve(&schemas(&db)).unwrap();
+        let ev = ReferenceEvaluator::new(&r, &db).unwrap();
+        let at1 = ev.eval(1).unwrap().unwrap();
+        assert_eq!(at1.value(0).unwrap(), &Value::Int(3));
+        assert!(ev.eval(3).unwrap().is_none());
+    }
+
+    #[test]
+    fn moving_sum_ignores_nulls() {
+        // Fig 5.A shape: six-position moving sum.
+        let db = db(vec![("IBM", vec![(1, 1.0), (2, 2.0), (4, 4.0)])]);
+        let mut g = QueryGraph::new();
+        let s = g.add_base("IBM");
+        g.add_op(
+            SeqOperator::aggregate(AggFunc::Sum, "close", Window::trailing(3)),
+            vec![s],
+        )
+        .unwrap();
+        let r = g.resolve(&schemas(&db)).unwrap();
+        let ev = ReferenceEvaluator::new(&r, &db).unwrap();
+        // At position 4: window {2,3,4} -> 2.0 + 4.0.
+        assert_eq!(ev.eval(4).unwrap().unwrap().value(0).unwrap(), &Value::Float(6.0));
+        // At position 3: window {1,2,3} -> 3.0.
+        assert_eq!(ev.eval(3).unwrap().unwrap().value(0).unwrap(), &Value::Float(3.0));
+        // At position 6: window {4,5,6} -> 4.0.
+        assert_eq!(ev.eval(6).unwrap().unwrap().value(0).unwrap(), &Value::Float(4.0));
+        // At position 7: window {5,6,7} all empty -> Null.
+        assert!(ev.eval(7).unwrap().is_none());
+    }
+
+    #[test]
+    fn cumulative_and_whole_span() {
+        let db = db(vec![("S", vec![(1, 1.0), (2, 2.0), (3, 3.0)])]);
+        let mut g = QueryGraph::new();
+        let s = g.add_base("S");
+        g.add_op(
+            SeqOperator::aggregate(AggFunc::Sum, "close", Window::Cumulative),
+            vec![s],
+        )
+        .unwrap();
+        let r = g.resolve(&schemas(&db)).unwrap();
+        let ev = ReferenceEvaluator::new(&r, &db).unwrap();
+        assert_eq!(ev.eval(2).unwrap().unwrap().value(0).unwrap(), &Value::Float(3.0));
+        assert_eq!(ev.eval(9).unwrap().unwrap().value(0).unwrap(), &Value::Float(6.0));
+
+        let db2 = db_clone_whole();
+        let mut g2 = QueryGraph::new();
+        let s2 = g2.add_base("S");
+        g2.add_op(
+            SeqOperator::aggregate(AggFunc::Max, "close", Window::WholeSpan),
+            vec![s2],
+        )
+        .unwrap();
+        let r2 = g2.resolve(&schemas(&db2)).unwrap();
+        let ev2 = ReferenceEvaluator::new(&r2, &db2).unwrap();
+        assert_eq!(ev2.eval(1).unwrap().unwrap().value(0).unwrap(), &Value::Float(3.0));
+    }
+
+    fn db_clone_whole() -> HashMap<String, Arc<dyn Sequence>> {
+        db(vec![("S", vec![(1, 1.0), (2, 2.0), (3, 3.0)])])
+    }
+
+    #[test]
+    fn compose_with_predicate() {
+        let db = db(vec![
+            ("A", vec![(1, 1.0), (2, 5.0), (3, 3.0)]),
+            ("B", vec![(2, 2.0), (3, 9.0), (4, 1.0)]),
+        ]);
+        let mut g = QueryGraph::new();
+        let a = g.add_base("A");
+        let b = g.add_base("B");
+        g.add_op(
+            SeqOperator::Compose {
+                predicate: Some(Expr::attr("close").gt(Expr::attr("close_r"))),
+            },
+            vec![a, b],
+        )
+        .unwrap();
+        let r = g.resolve(&schemas(&db)).unwrap();
+        let ev = ReferenceEvaluator::new(&r, &db).unwrap();
+        let out = ev.materialize(Span::all()).unwrap();
+        // Common positions: 2 (5.0 > 2.0 ✓), 3 (3.0 > 9.0 ✗).
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2);
+        assert_eq!(out[0].1.arity(), 4);
+    }
+
+    #[test]
+    fn example_1_1_volcano_earthquake() {
+        // Example 1.1 with compose over Previous: "for which volcano
+        // eruptions was the strength of the most recent earthquake > 7.0".
+        let quake_schema = schema(&[("time", AttrType::Int), ("strength", AttrType::Float)]);
+        let volcano_schema = schema(&[("time", AttrType::Int), ("name", AttrType::Str)]);
+        let quakes = BaseSequence::from_entries(
+            quake_schema,
+            vec![
+                (10, record![10i64, 6.0]),
+                (20, record![20i64, 8.0]),
+                (40, record![40i64, 5.0]),
+            ],
+        )
+        .unwrap();
+        let volcanos = BaseSequence::from_entries(
+            volcano_schema,
+            vec![
+                (15, record![15i64, "etna"]),   // most recent quake 6.0 — no
+                (25, record![25i64, "fuji"]),   // most recent quake 8.0 — yes
+                (45, record![45i64, "rainier"]), // most recent quake 5.0 — no
+            ],
+        )
+        .unwrap();
+        let mut dbm: HashMap<String, Arc<dyn Sequence>> = HashMap::new();
+        dbm.insert("Quakes".into(), Arc::new(quakes));
+        dbm.insert("Volcanos".into(), Arc::new(volcanos));
+
+        let mut g = QueryGraph::new();
+        let v = g.add_base("Volcanos");
+        let q = g.add_base("Quakes");
+        let prev = g.add_op(SeqOperator::previous(), vec![q]).unwrap();
+        let joined = g.add_op(SeqOperator::Compose { predicate: None }, vec![v, prev]).unwrap();
+        let sel = g
+            .add_op(
+                SeqOperator::Select { predicate: Expr::attr("strength").gt(Expr::lit(7.0)) },
+                vec![joined],
+            )
+            .unwrap();
+        g.add_op(SeqOperator::Project { attrs: vec!["name".into()] }, vec![sel]).unwrap();
+
+        let schemas: HashMap<String, Schema> =
+            dbm.iter().map(|(k, v)| (k.clone(), v.schema().clone())).collect();
+        let r = g.resolve(&schemas).unwrap();
+        let ev = ReferenceEvaluator::new(&r, &dbm).unwrap();
+        let out = ev.materialize(Span::new(0, 100)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 25);
+        assert_eq!(out[0].1.value(0).unwrap().as_str().unwrap(), "fuji");
+    }
+
+    #[test]
+    fn materialize_rejects_unbounded() {
+        let db = db(vec![("S", vec![(1, 1.0)])]);
+        let mut g = QueryGraph::new();
+        let s = g.add_base("S");
+        g.add_op(SeqOperator::previous(), vec![s]).unwrap();
+        let r = g.resolve(&schemas(&db)).unwrap();
+        let ev = ReferenceEvaluator::new(&r, &db).unwrap();
+        // Previous output span is [2, +inf): materializing all of it fails...
+        assert!(ev.materialize(Span::all()).is_err());
+        // ...but a clamped range works.
+        assert_eq!(ev.materialize(Span::new(0, 10)).unwrap().len(), 9);
+    }
+}

@@ -1,0 +1,276 @@
+//! Span and density propagation rules (§3.2, Step 2 of §4).
+//!
+//! "For every operator, given the span of the input sequences, the span of
+//! the output sequence can be determined. Similarly, if the span of the
+//! output sequence is known, the spans of the inputs may be modified, while
+//! retaining equivalence to the original query." (§3.2)
+//!
+//! These rules are *semantic* facts about the operators, so they live beside
+//! the operator definitions; the optimizer (`seq-opt`) orchestrates the
+//! bottom-up and top-down passes over them. Bottom-up spans are conservative
+//! (they contain every possibly non-Null output position); top-down spans are
+//! exact requirements (the positions the consumer could ever ask about).
+
+use seq_core::{SeqMeta, Span};
+
+use crate::graph::BoundOp;
+use crate::operator::Window;
+
+/// Bottom-up: the span of the operator's output sequence given its inputs'
+/// spans.
+pub fn output_span(op: &BoundOp, inputs: &[Span]) -> Span {
+    match op {
+        BoundOp::Select { .. } | BoundOp::Project { .. } => inputs[0],
+        // Out(i) = In(i + l): out span is the input span shifted by -l.
+        BoundOp::PositionalOffset { offset } => inputs[0].shift(-offset),
+        BoundOp::ValueOffset { offset } => {
+            let s = inputs[0];
+            if s.is_empty() {
+                return Span::empty();
+            }
+            if *offset < 0 {
+                // The |l|-th previous record exists only once |l| input
+                // positions lie strictly below i, and then remains defined at
+                // every later position.
+                Span::new(s.start().saturating_add(-offset), seq_core::POS_INF)
+            } else {
+                Span::new(seq_core::NEG_INF, s.end().saturating_sub(*offset))
+            }
+        }
+        BoundOp::Aggregate { window, .. } => match window {
+            Window::Sliding { lo, hi } => inputs[0].widen_by_window(*lo, *hi),
+            Window::Cumulative => inputs[0].unbounded_above(),
+            Window::WholeSpan => inputs[0],
+        },
+        BoundOp::Compose { .. } => inputs[0].intersect(&inputs[1]),
+    }
+}
+
+/// Top-down: the input span the operator needs on input `input_idx` in order
+/// to produce every output position in `required`, intersected with the
+/// input's own span.
+pub fn required_input_span(
+    op: &BoundOp,
+    required: &Span,
+    input_idx: usize,
+    input_span: &Span,
+) -> Span {
+    debug_assert!(input_idx < op.arity());
+    let needed = match op {
+        BoundOp::Select { .. } | BoundOp::Project { .. } | BoundOp::Compose { .. } => *required,
+        // Out(i) reads In(i + l): needed input positions are required + l.
+        BoundOp::PositionalOffset { offset } => required.shift(*offset),
+        BoundOp::ValueOffset { offset } => {
+            if required.is_empty() {
+                Span::empty()
+            } else if *offset < 0 {
+                // Outputs up to required.end read inputs strictly below it;
+                // how far back is data-dependent, so everything from the
+                // input's own start may be needed.
+                Span::new(input_span.start(), required.end().saturating_sub(1))
+            } else {
+                Span::new(required.start().saturating_add(1), input_span.end())
+            }
+        }
+        BoundOp::Aggregate { window, .. } => match window {
+            Window::Sliding { lo, hi } => {
+                if required.is_empty() {
+                    Span::empty()
+                } else {
+                    // Output at i reads [i+lo, i+hi].
+                    Span::new(
+                        required.start().saturating_add(*lo),
+                        required.end().saturating_add(*hi),
+                    )
+                }
+            }
+            Window::Cumulative => {
+                if required.is_empty() {
+                    Span::empty()
+                } else {
+                    Span::new(input_span.start(), required.end())
+                }
+            }
+            Window::WholeSpan => *input_span,
+        },
+    };
+    needed.intersect(input_span)
+}
+
+/// Bottom-up: the meta-data (span, density, column statistics) of the
+/// operator's output given its inputs' meta-data (Step 2.a of §4).
+///
+/// Density rules follow §4 Step 2.a: aggregates produce Null only when every
+/// scope record is Null; a positional join's output density is the product of
+/// the input densities and the join-predicate selectivity (independence of
+/// Null positions is assumed unless the caller supplies a correlation factor
+/// through the cost model).
+pub fn output_meta(op: &BoundOp, inputs: &[SeqMeta]) -> SeqMeta {
+    let span = output_span(op, &inputs.iter().map(|m| m.span).collect::<Vec<_>>());
+    match op {
+        BoundOp::Select { predicate } => {
+            let sel = predicate.estimate_selectivity(&inputs[0]);
+            SeqMeta::new(span, inputs[0].density * sel, inputs[0].columns.clone())
+        }
+        BoundOp::Project { indices } => {
+            let columns = indices.iter().map(|&i| inputs[0].column(i)).collect();
+            SeqMeta::new(span, inputs[0].density, columns)
+        }
+        BoundOp::PositionalOffset { .. } => {
+            SeqMeta::new(span, inputs[0].density, inputs[0].columns.clone())
+        }
+        BoundOp::ValueOffset { .. } => {
+            // Defined at (almost) every position once the first |l| records
+            // have appeared: density approaches one within the output span.
+            SeqMeta::new(span, 1.0, inputs[0].columns.clone())
+        }
+        BoundOp::Aggregate { window, .. } => {
+            let d = inputs[0].density;
+            let density = match window {
+                Window::Sliding { lo, hi } => {
+                    let w = (hi - lo).unsigned_abs() + 1;
+                    // Null only if all w scope positions are Null.
+                    1.0 - (1.0 - d).powi(w.min(1_000_000) as i32)
+                }
+                Window::Cumulative | Window::WholeSpan => 1.0,
+            };
+            // Aggregate outputs get fresh (unknown) column statistics.
+            SeqMeta::new(span, density, vec![])
+        }
+        BoundOp::Compose { predicate } => {
+            let mut columns = inputs[0].columns.clone();
+            // Right-hand columns follow the composed schema's concatenation.
+            columns.extend(inputs[1].columns.iter().cloned());
+            let composed = SeqMeta::new(span, 1.0, columns);
+            let sel = predicate
+                .as_ref()
+                .map(|p| p.estimate_selectivity(&composed))
+                .unwrap_or(1.0);
+            let density = inputs[0].density * inputs[1].density * sel;
+            SeqMeta::new(span, density, composed.columns)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::operator::AggFunc;
+    use seq_core::POS_INF;
+
+    fn meta(lo: i64, hi: i64, d: f64) -> SeqMeta {
+        SeqMeta::with_span(Span::new(lo, hi), d)
+    }
+
+    #[test]
+    fn select_keeps_span_scales_density() {
+        let op = BoundOp::Select { predicate: Expr::lit(true) };
+        let m = output_meta(&op, &[meta(1, 100, 0.8)]);
+        assert_eq!(m.span, Span::new(1, 100));
+        assert!((m.density - 0.8).abs() < 1e-9); // TRUE has selectivity 1
+    }
+
+    #[test]
+    fn positional_offset_shifts_span_both_directions() {
+        let op = BoundOp::PositionalOffset { offset: 5 };
+        assert_eq!(output_span(&op, &[Span::new(10, 20)]), Span::new(5, 15));
+        let back = BoundOp::PositionalOffset { offset: -5 };
+        assert_eq!(output_span(&back, &[Span::new(10, 20)]), Span::new(15, 25));
+        // Top-down: to produce [5,15] with offset +5 we need inputs [10,20].
+        let need = required_input_span(&op, &Span::new(5, 15), 0, &Span::new(10, 20));
+        assert_eq!(need, Span::new(10, 20));
+    }
+
+    #[test]
+    fn value_offset_spans() {
+        let prev = BoundOp::ValueOffset { offset: -1 };
+        let out = output_span(&prev, &[Span::new(10, 20)]);
+        assert_eq!(out.start(), 11);
+        assert_eq!(out.end(), POS_INF);
+        let next = BoundOp::ValueOffset { offset: 2 };
+        let out = output_span(&next, &[Span::new(10, 20)]);
+        assert_eq!(out.end(), 18);
+
+        // Top-down for Previous: everything from the input start up to one
+        // before the last required output.
+        let need = required_input_span(&prev, &Span::new(15, 30), 0, &Span::new(10, 20));
+        assert_eq!(need, Span::new(10, 20));
+        let need = required_input_span(&prev, &Span::new(15, 18), 0, &Span::new(10, 20));
+        assert_eq!(need, Span::new(10, 17));
+    }
+
+    #[test]
+    fn aggregate_spans_and_density() {
+        let agg = BoundOp::Aggregate {
+            func: AggFunc::Sum,
+            attr_index: 0,
+            window: Window::Sliding { lo: -5, hi: 0 },
+            output_name: "s".into(),
+        };
+        assert_eq!(output_span(&agg, &[Span::new(100, 200)]), Span::new(100, 205));
+        let m = output_meta(&agg, &[meta(100, 200, 0.5)]);
+        assert!((m.density - (1.0 - 0.5f64.powi(6))).abs() < 1e-9);
+        // Top-down: outputs [150, 160] read inputs [145, 160].
+        let need = required_input_span(&agg, &Span::new(150, 160), 0, &Span::new(100, 200));
+        assert_eq!(need, Span::new(145, 160));
+    }
+
+    #[test]
+    fn cumulative_aggregate_needs_history() {
+        let agg = BoundOp::Aggregate {
+            func: AggFunc::Sum,
+            attr_index: 0,
+            window: Window::Cumulative,
+            output_name: "s".into(),
+        };
+        let out = output_span(&agg, &[Span::new(10, 20)]);
+        assert_eq!(out.start(), 10);
+        assert_eq!(out.end(), POS_INF);
+        let need = required_input_span(&agg, &Span::new(15, 16), 0, &Span::new(10, 20));
+        assert_eq!(need, Span::new(10, 16));
+    }
+
+    #[test]
+    fn compose_intersects_fig3() {
+        // Figure 3: composing IBM [200,500] with HP [1,750] under DEC [1,350].
+        let comp = BoundOp::Compose { predicate: None };
+        let ibm_hp = output_span(&comp, &[Span::new(200, 500), Span::new(1, 750)]);
+        assert_eq!(ibm_hp, Span::new(200, 500));
+        let final_span = output_span(&comp, &[Span::new(1, 350), ibm_hp]);
+        assert_eq!(final_span, Span::new(200, 350));
+        // Top-down: each input is restricted to the output's span.
+        let need = required_input_span(&comp, &final_span, 1, &Span::new(200, 500));
+        assert_eq!(need, Span::new(200, 350));
+    }
+
+    #[test]
+    fn compose_density_multiplies() {
+        let comp = BoundOp::Compose { predicate: None };
+        let m = output_meta(&comp, &[meta(1, 100, 0.7), meta(1, 100, 0.5)]);
+        assert!((m.density - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn project_propagates_selected_columns() {
+        use seq_core::{ColumnStats, Value};
+        let mut m = meta(1, 10, 1.0);
+        m.columns = vec![
+            ColumnStats::bounded(Value::Int(0), Value::Int(9), 10),
+            ColumnStats::bounded(Value::Float(1.0), Value::Float(2.0), 5),
+        ];
+        let op = BoundOp::Project { indices: vec![1] };
+        let out = output_meta(&op, &[m]);
+        assert_eq!(out.columns.len(), 1);
+        assert_eq!(out.columns[0].ndv, 5);
+    }
+
+    #[test]
+    fn empty_input_spans_stay_empty() {
+        let comp = BoundOp::Compose { predicate: None };
+        assert!(output_span(&comp, &[Span::empty(), Span::new(1, 5)]).is_empty());
+        let prev = BoundOp::ValueOffset { offset: -1 };
+        assert!(output_span(&prev, &[Span::empty()]).is_empty());
+        assert!(required_input_span(&prev, &Span::empty(), 0, &Span::new(1, 5)).is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! Step 2 of the optimization algorithm (§4): meta-information propagation.
+//!
+//! - **Step 2.a — bottom-up annotation**: type checking happened during
+//!   resolution; here every node is adorned with its output meta-data (span,
+//!   density, column statistics) using the rules in `seq_ops::spanrules`.
+//! - **Step 2.b — top-down annotation**: starting from the root (whose span
+//!   is intersected with the query template's position range, Figure 6),
+//!   every operator restricts its inputs' spans to what the consumer can
+//!   ever ask about — the global span optimization of §3.2 / Figure 3.
+
+use seq_core::{Result, SeqMeta, Span};
+use seq_ops::spanrules::{output_meta, required_input_span};
+use seq_ops::{ResolvedGraph, ResolvedKind};
+
+use crate::info::CatalogInfo;
+
+/// A resolved graph adorned with meta-data and restricted spans.
+#[derive(Debug, Clone)]
+pub struct Annotated {
+    /// The (possibly transformed) resolved query tree.
+    pub graph: ResolvedGraph,
+    /// Bottom-up meta per node (full, unrestricted spans).
+    pub metas: Vec<SeqMeta>,
+    /// Top-down restricted span per node. Always a subset of the bottom-up
+    /// span; equals it when the top-down pass is disabled.
+    pub restricted: Vec<Span>,
+}
+
+impl Annotated {
+    /// The restricted meta of a node: bottom-up meta with the restricted span.
+    pub fn restricted_meta(&self, id: usize) -> SeqMeta {
+        self.metas[id].restrict_span(&self.restricted[id])
+    }
+}
+
+/// Run Step 2 over a resolved graph. `range` is the position range the Start
+/// operator requests; `top_down` toggles Step 2.b (off = the ablation the
+/// Figure 3 experiment measures).
+pub fn annotate(
+    graph: ResolvedGraph,
+    info: &dyn CatalogInfo,
+    range: Span,
+    top_down: bool,
+) -> Result<Annotated> {
+    let n = graph.len();
+    let mut metas: Vec<Option<SeqMeta>> = vec![None; n];
+
+    // Step 2.a: bottom-up.
+    for id in graph.postorder() {
+        let meta = match &graph.node(id).kind {
+            ResolvedKind::Base { name } => info.meta_of(name)?,
+            ResolvedKind::Constant { .. } => SeqMeta::constant(),
+            ResolvedKind::Op { op, inputs } => {
+                let in_metas: Vec<SeqMeta> = inputs
+                    .iter()
+                    .map(|&i| metas[i].clone().expect("postorder visits inputs first"))
+                    .collect();
+                output_meta(op, &in_metas)
+            }
+        };
+        metas[id] = Some(meta);
+    }
+    let metas: Vec<SeqMeta> = metas.into_iter().map(|m| m.expect("annotated")).collect();
+
+    // Step 2.b: top-down.
+    let mut restricted: Vec<Span> = metas.iter().map(|m| m.span).collect();
+    let root = graph.root();
+    restricted[root] = metas[root].span.intersect(&range);
+    if top_down {
+        // Pre-order: visit each node after its consumer. Reverse postorder
+        // works because the graph is a tree.
+        let mut order = graph.postorder();
+        order.reverse();
+        for id in order {
+            if let ResolvedKind::Op { op, inputs } = &graph.node(id).kind {
+                let required = restricted[id];
+                for (k, &child) in inputs.iter().enumerate() {
+                    let child_span = metas[child].span;
+                    restricted[child] = required_input_span(op, &required, k, &child_span);
+                }
+            }
+        }
+    }
+
+    Ok(Annotated { graph, metas, restricted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::StaticCatalogInfo;
+    use seq_core::{schema, AttrType, Schema};
+    use seq_ops::{AggFunc, Expr, SeqQuery, Window};
+
+    fn stock() -> Schema {
+        schema(&[("time", AttrType::Int), ("close", AttrType::Float)])
+    }
+
+    fn table1() -> StaticCatalogInfo {
+        let mut info = StaticCatalogInfo::new(64);
+        info.insert("IBM", stock(), SeqMeta::with_span(Span::new(200, 500), 0.95));
+        info.insert("DEC", stock(), SeqMeta::with_span(Span::new(1, 350), 0.7));
+        info.insert("HP", stock(), SeqMeta::with_span(Span::new(1, 750), 1.0));
+        info
+    }
+
+    /// The Figure 3 query: DEC composed with σ(IBM ∘ HP).
+    fn fig3_query() -> seq_ops::QueryGraph {
+        SeqQuery::base("DEC")
+            .compose_with(SeqQuery::base("IBM").compose_filtered(
+                SeqQuery::base("HP"),
+                Expr::attr("close").gt(Expr::attr("close_r")),
+            ))
+            .build()
+    }
+
+    #[test]
+    fn figure3_span_restriction() {
+        let info = table1();
+        let resolved = fig3_query().resolve(&info).unwrap();
+        let ann = annotate(resolved, &info, Span::all(), true).unwrap();
+
+        // Figure 3.B: every base restricted to [200, 350].
+        let g = &ann.graph;
+        for id in g.postorder() {
+            if let ResolvedKind::Base { name } = &g.node(id).kind {
+                assert_eq!(
+                    ann.restricted[id],
+                    Span::new(200, 350),
+                    "base {name} should be restricted to [200,350]"
+                );
+            }
+        }
+        // Root output span is the intersection too.
+        assert_eq!(ann.restricted[g.root()], Span::new(200, 350));
+    }
+
+    #[test]
+    fn figure3_without_top_down_keeps_full_spans() {
+        let info = table1();
+        let resolved = fig3_query().resolve(&info).unwrap();
+        let ann = annotate(resolved, &info, Span::all(), false).unwrap();
+        let g = &ann.graph;
+        for id in g.postorder() {
+            if let ResolvedKind::Base { name } = &g.node(id).kind {
+                let expected = info.meta_of(name).unwrap().span;
+                assert_eq!(ann.restricted[id], expected, "base {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_clamps_root_and_propagates() {
+        let info = table1();
+        let resolved = fig3_query().resolve(&info).unwrap();
+        let ann = annotate(resolved, &info, Span::new(300, 320), true).unwrap();
+        let g = &ann.graph;
+        assert_eq!(ann.restricted[g.root()], Span::new(300, 320));
+        for id in g.postorder() {
+            if matches!(&g.node(id).kind, ResolvedKind::Base { .. }) {
+                assert_eq!(ann.restricted[id], Span::new(300, 320));
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_widens_required_input() {
+        let info = table1();
+        let q = SeqQuery::base("IBM")
+            .aggregate(AggFunc::Sum, "close", Window::trailing(6))
+            .build();
+        let resolved = q.resolve(&info).unwrap();
+        let ann = annotate(resolved, &info, Span::new(300, 310), true).unwrap();
+        let g = &ann.graph;
+        let base = g
+            .postorder()
+            .into_iter()
+            .find(|&id| matches!(g.node(id).kind, ResolvedKind::Base { .. }))
+            .unwrap();
+        // Outputs [300, 310] over a trailing-6 window read inputs [295, 310].
+        assert_eq!(ann.restricted[base], Span::new(295, 310));
+        // Bottom-up density of the aggregate output.
+        let agg_meta = &ann.metas[g.root()];
+        assert!(agg_meta.density > 0.95);
+    }
+
+    #[test]
+    fn restricted_meta_keeps_density() {
+        let info = table1();
+        let resolved = fig3_query().resolve(&info).unwrap();
+        let ann = annotate(resolved, &info, Span::all(), true).unwrap();
+        let g = &ann.graph;
+        for id in g.postorder() {
+            if let ResolvedKind::Base { name } = &g.node(id).kind {
+                if name == "DEC" {
+                    let m = ann.restricted_meta(id);
+                    assert_eq!(m.span, Span::new(200, 350));
+                    assert!((m.density - 0.7).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn previous_requires_full_history() {
+        let info = table1();
+        let q = SeqQuery::base("IBM").previous().build();
+        let resolved = q.resolve(&info).unwrap();
+        let ann = annotate(resolved, &info, Span::new(400, 410), true).unwrap();
+        let g = &ann.graph;
+        let base = g
+            .postorder()
+            .into_iter()
+            .find(|&id| matches!(g.node(id).kind, ResolvedKind::Base { .. }))
+            .unwrap();
+        // The most recent record before 400 may lie anywhere back to the
+        // input's start: [200, 409].
+        assert_eq!(ann.restricted[base], Span::new(200, 409));
+    }
+}
+
+#[cfg(test)]
+mod histogram_estimation_tests {
+    use super::*;
+    use crate::info::CatalogRef;
+    use seq_core::{record, schema, AttrType, BaseSequence};
+    use seq_ops::{Expr, SeqQuery};
+    use seq_storage::Catalog;
+
+    /// Registered (materialized) sequences carry histograms, so the
+    /// annotated density of a selection tracks the *actual* skewed
+    /// distribution, not the uniform assumption.
+    #[test]
+    fn skewed_selection_density_estimate_uses_histogram() {
+        // 90% of closes below 10, a thin tail up to 100.
+        let entries: Vec<(i64, seq_core::Record)> = (1..=1000)
+            .map(|p| {
+                let v = if p % 10 == 0 { 50.0 + (p % 500) as f64 / 10.0 } else { (p % 10) as f64 };
+                (p, record![p, v])
+            })
+            .collect();
+        let truth = entries
+            .iter()
+            .filter(|(_, r)| r.value(1).unwrap().as_f64().unwrap() > 40.0)
+            .count() as f64
+            / 1000.0;
+        let base = BaseSequence::from_entries(
+            schema(&[("time", AttrType::Int), ("close", AttrType::Float)]),
+            entries,
+        )
+        .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register("S", &base);
+        let info = CatalogRef(&catalog);
+
+        let q = SeqQuery::base("S").select(Expr::attr("close").gt(Expr::lit(40.0))).build();
+        let resolved = q.resolve(&info).unwrap();
+        let ann = annotate(resolved, &info, Span::all(), true).unwrap();
+        let est_density = ann.metas[ann.graph.root()].density;
+        // Input density 1.0, so the estimated selection density is the
+        // estimated selectivity. The uniform model would say ~0.6; the truth
+        // (and the histogram estimate) is ~0.1.
+        assert!(
+            (est_density - truth).abs() < 0.03,
+            "histogram estimate {est_density:.3} vs truth {truth:.3}"
+        );
+    }
+}

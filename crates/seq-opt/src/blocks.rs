@@ -1,0 +1,499 @@
+//! Step 4 of the optimization algorithm: identification of query blocks.
+//!
+//! "The operators with non-unit scope divide the query into blocks ...
+//! ordered in a partial ordering: if the output sequence of a query block A
+//! is an input for another block B, then A < B." (§4)
+//!
+//! A *join block* is a maximal region of unit-scope operators (selections,
+//! projections, positional offsets, composes). It is normalized into:
+//!
+//! - an ordered list of **inputs** (base sequences, constants, or the
+//!   outputs of lower blocks), each with the accumulated positional shift of
+//!   the offsets on its path;
+//! - a conjunction of **predicates**, each expressed over the concatenation
+//!   of the input schemas (in input-discovery order) with a bitmask of the
+//!   inputs it references;
+//! - an **output layout** mapping block-output columns to `(input, attr)`.
+//!
+//! Non-unit-scope operators (aggregates, value offsets) form singleton
+//! blocks. The normalized form is what Step 5's join-order enumeration
+//! consumes.
+
+use seq_core::{Record, Result, Schema, SeqError, SeqMeta, Span};
+use seq_ops::{BoundOp, Expr, NodeId, ResolvedKind};
+
+use crate::annotate::Annotated;
+
+/// Where a block input comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputSource {
+    /// A named base sequence.
+    Base {
+        /// Catalog name.
+        name: String,
+    },
+    /// An inline constant sequence.
+    Constant {
+        /// The record at every position.
+        record: Record,
+        /// Its schema.
+        schema: Schema,
+    },
+    /// The output of a lower block (index into [`Blocks::blocks`]).
+    Block(usize),
+}
+
+/// One input of a join block.
+#[derive(Debug, Clone)]
+pub struct BlockInput {
+    /// Where the input's records come from.
+    pub source: InputSource,
+    /// Graph node of the leaf (base/constant) or of the lower block's root.
+    pub node: NodeId,
+    /// Accumulated positional offset: this input participates in the join as
+    /// `In(i + shift)`.
+    pub shift: i64,
+    /// Restricted meta-data of the underlying node.
+    pub meta: SeqMeta,
+    /// The input's span expressed in block-output coordinates
+    /// (`meta.span` shifted by `-shift`).
+    pub block_span: Span,
+    /// Number of attributes the input contributes.
+    pub arity: usize,
+}
+
+/// A predicate normalized to block coordinates: columns index into the
+/// concatenation of input schemas in discovery order.
+#[derive(Debug, Clone)]
+pub struct BlockPredicate {
+    /// The predicate over block coordinates.
+    pub expr: Expr,
+    /// Bitmask of the inputs the expression references.
+    pub mask: u32,
+}
+
+/// A normalized join block.
+#[derive(Debug, Clone)]
+pub struct JoinBlock {
+    /// Graph node producing the block's output.
+    pub root: NodeId,
+    /// The block's inputs, in discovery order.
+    pub inputs: Vec<BlockInput>,
+    /// The block's predicates, each with its input mask.
+    pub predicates: Vec<BlockPredicate>,
+    /// Output columns as `(input, attr)` pairs.
+    pub output: Vec<(usize, usize)>,
+    /// Restricted output span of the block.
+    pub span: Span,
+    /// Bottom-up meta of the block output (restricted span applied).
+    pub meta: SeqMeta,
+}
+
+impl JoinBlock {
+    /// Column offset of each input in the discovery-order concatenation.
+    pub fn input_offsets(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.inputs.len());
+        let mut acc = 0;
+        for i in &self.inputs {
+            out.push(acc);
+            acc += i.arity;
+        }
+        out
+    }
+}
+
+/// A singleton block holding one non-unit-scope operator.
+#[derive(Debug, Clone)]
+pub struct NonUnitBlock {
+    /// Graph node of the operator.
+    pub root: NodeId,
+    /// The aggregate or value-offset operator itself.
+    pub op: BoundOp,
+    /// Where its input comes from.
+    pub input: InputSource,
+    /// Graph node of the operator's input.
+    pub input_node: NodeId,
+    /// Restricted meta of the input.
+    pub input_meta: SeqMeta,
+    /// Restricted output span/meta of the operator.
+    pub span: Span,
+    /// Restricted meta of the operator's output.
+    pub meta: SeqMeta,
+}
+
+/// One block of either kind.
+#[derive(Debug, Clone)]
+pub enum Block {
+    /// A region of positional joins plus unit-scope operators.
+    Joins(JoinBlock),
+    /// A singleton aggregate/value-offset block.
+    NonUnit(NonUnitBlock),
+}
+
+impl Block {
+    /// Graph node producing this block's output.
+    pub fn root(&self) -> NodeId {
+        match self {
+            Block::Joins(b) => b.root,
+            Block::NonUnit(b) => b.root,
+        }
+    }
+
+    /// Restricted output span of the block.
+    pub fn span(&self) -> Span {
+        match self {
+            Block::Joins(b) => b.span,
+            Block::NonUnit(b) => b.span,
+        }
+    }
+}
+
+/// The block decomposition of a query: `blocks` is topologically ordered
+/// (inputs before consumers); the last entry produces the query output.
+#[derive(Debug, Clone)]
+pub struct Blocks {
+    /// Topologically ordered blocks (inputs before consumers).
+    pub blocks: Vec<Block>,
+}
+
+impl Blocks {
+    /// The block producing the query output.
+    pub fn root_block(&self) -> &Block {
+        self.blocks.last().expect("at least one block")
+    }
+}
+
+/// Decompose an annotated query into blocks.
+pub fn identify_blocks(ann: &Annotated) -> Result<Blocks> {
+    let mut blocks = Vec::new();
+    build_block(ann, ann.graph.root(), &mut blocks)?;
+    Ok(Blocks { blocks })
+}
+
+/// Whether an operator lives inside a join block. Aggregates and value
+/// offsets always form singleton blocks — note this is by operator *kind*:
+/// a single-position window aggregate technically has unit scope, but it is
+/// still not a positional-join operator.
+fn is_join_region_op(op: &BoundOp) -> bool {
+    matches!(
+        op,
+        BoundOp::Select { .. }
+            | BoundOp::Project { .. }
+            | BoundOp::PositionalOffset { .. }
+            | BoundOp::Compose { .. }
+    )
+}
+
+/// Build the block producing `node`'s output; returns its index.
+fn build_block(ann: &Annotated, node: NodeId, blocks: &mut Vec<Block>) -> Result<usize> {
+    match &ann.graph.node(node).kind {
+        ResolvedKind::Op { op, inputs } if !is_join_region_op(op) => {
+            let input_node = inputs[0];
+            let (source, input_node) = block_input_source(ann, input_node, blocks)?;
+            let b = NonUnitBlock {
+                root: node,
+                op: op.clone(),
+                input: source,
+                input_node,
+                input_meta: ann.restricted_meta(input_node),
+                span: ann.restricted[node],
+                meta: ann.restricted_meta(node),
+            };
+            blocks.push(Block::NonUnit(b));
+            Ok(blocks.len() - 1)
+        }
+        _ => {
+            // A unit-scope region (possibly a bare base/constant leaf).
+            let mut ctx = Collect { ann, blocks, inputs: Vec::new(), predicates: Vec::new() };
+            let layout = ctx.collect(node, 0)?;
+            let Collect { inputs, predicates, .. } = ctx;
+            let b = JoinBlock {
+                root: node,
+                inputs,
+                predicates,
+                output: layout,
+                span: ann.restricted[node],
+                meta: ann.restricted_meta(node),
+            };
+            blocks.push(Block::Joins(b));
+            Ok(blocks.len() - 1)
+        }
+    }
+}
+
+/// Resolve a node that acts as an input to a block: a base/constant leaf
+/// stays a leaf; anything else becomes (or already is under) a lower block.
+fn block_input_source(
+    ann: &Annotated,
+    node: NodeId,
+    blocks: &mut Vec<Block>,
+) -> Result<(InputSource, NodeId)> {
+    match &ann.graph.node(node).kind {
+        ResolvedKind::Base { name } => Ok((InputSource::Base { name: name.clone() }, node)),
+        ResolvedKind::Constant { record } => Ok((
+            InputSource::Constant {
+                record: record.clone(),
+                schema: ann.graph.node(node).schema.clone(),
+            },
+            node,
+        )),
+        ResolvedKind::Op { .. } => {
+            let id = build_block(ann, node, blocks)?;
+            Ok((InputSource::Block(id), node))
+        }
+    }
+}
+
+struct Collect<'a, 'b> {
+    ann: &'a Annotated,
+    blocks: &'b mut Vec<Block>,
+    inputs: Vec<BlockInput>,
+    predicates: Vec<BlockPredicate>,
+}
+
+impl Collect<'_, '_> {
+    /// Walk the unit-scope region below `node`, accumulating `shift` from
+    /// positional offsets. Returns the node's output layout in block
+    /// coordinates.
+    fn collect(&mut self, node: NodeId, shift: i64) -> Result<Vec<(usize, usize)>> {
+        let n = self.ann.graph.node(node);
+        match &n.kind {
+            ResolvedKind::Base { .. } | ResolvedKind::Constant { .. } => {
+                self.add_input(node, shift)
+            }
+            ResolvedKind::Op { op, inputs } => {
+                if !is_join_region_op(op) {
+                    // Aggregate/value offset: boundary — its output is a
+                    // block input.
+                    return self.add_input(node, shift);
+                }
+                match op {
+                    BoundOp::Select { predicate } => {
+                        let layout = self.collect(inputs[0], shift)?;
+                        self.add_predicate(predicate, &layout)?;
+                        Ok(layout)
+                    }
+                    BoundOp::Project { indices } => {
+                        let layout = self.collect(inputs[0], shift)?;
+                        Ok(indices.iter().map(|&i| layout[i]).collect())
+                    }
+                    BoundOp::PositionalOffset { offset } => {
+                        self.collect(inputs[0], shift + offset)
+                    }
+                    BoundOp::Compose { predicate } => {
+                        let mut layout = self.collect(inputs[0], shift)?;
+                        let right = self.collect(inputs[1], shift)?;
+                        layout.extend(right);
+                        if let Some(p) = predicate {
+                            self.add_predicate(p, &layout)?;
+                        }
+                        Ok(layout)
+                    }
+                    BoundOp::ValueOffset { .. } | BoundOp::Aggregate { .. } => unreachable!(
+                        "non-unit scope handled above"
+                    ),
+                }
+            }
+        }
+    }
+
+    fn add_input(&mut self, node: NodeId, shift: i64) -> Result<Vec<(usize, usize)>> {
+        // The input is registered once per occurrence (the tree restriction
+        // guarantees each node appears once anyway).
+        let (source, node) = block_input_source(self.ann, node, self.blocks)?;
+        let meta = self.ann.restricted_meta(node);
+        let arity = self.ann.graph.node(node).schema.arity();
+        let idx = self.inputs.len();
+        if idx >= 32 {
+            return Err(SeqError::Unsupported(
+                "join blocks of more than 32 inputs are not supported".into(),
+            ));
+        }
+        self.inputs.push(BlockInput {
+            source,
+            node,
+            shift,
+            block_span: meta.span.shift(-shift),
+            meta,
+            arity,
+        });
+        Ok((0..arity).map(|a| (idx, a)).collect())
+    }
+
+    fn add_predicate(&mut self, predicate: &Expr, layout: &[(usize, usize)]) -> Result<()> {
+        let offsets: Vec<usize> = {
+            let mut out = Vec::with_capacity(self.inputs.len());
+            let mut acc = 0;
+            for i in &self.inputs {
+                out.push(acc);
+                acc += i.arity;
+            }
+            out
+        };
+        let remapped = predicate
+            .remap_columns(&|c| {
+                layout.get(c).map(|&(input, attr)| offsets[input] + attr)
+            })
+            .ok_or_else(|| {
+                SeqError::InvalidGraph("predicate references a column outside its layout".into())
+            })?;
+        let mut mask = 0u32;
+        let mut cols = Vec::new();
+        predicate.referenced_columns(&mut cols);
+        for c in cols {
+            let (input, _) = layout[c];
+            mask |= 1 << input;
+        }
+        self.predicates.push(BlockPredicate { expr: remapped, mask });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate;
+    use crate::info::StaticCatalogInfo;
+    use seq_core::{schema, AttrType};
+    use seq_ops::{AggFunc, Expr, SeqQuery, Window};
+
+    fn info() -> StaticCatalogInfo {
+        let stock = schema(&[("time", AttrType::Int), ("close", AttrType::Float)]);
+        let mut info = StaticCatalogInfo::new(64);
+        info.insert("IBM", stock.clone(), SeqMeta::with_span(Span::new(200, 500), 0.95));
+        info.insert("DEC", stock.clone(), SeqMeta::with_span(Span::new(1, 350), 0.7));
+        info.insert("HP", stock, SeqMeta::with_span(Span::new(1, 750), 1.0));
+        info
+    }
+
+    fn blocks_for(q: seq_ops::QueryGraph) -> Blocks {
+        let i = info();
+        let resolved = q.resolve(&i).unwrap();
+        let ann = annotate(resolved, &i, Span::all(), true).unwrap();
+        identify_blocks(&ann).unwrap()
+    }
+
+    #[test]
+    fn single_base_is_one_trivial_join_block() {
+        let b = blocks_for(SeqQuery::base("IBM").build());
+        assert_eq!(b.blocks.len(), 1);
+        let Block::Joins(jb) = b.root_block() else { panic!("join block") };
+        assert_eq!(jb.inputs.len(), 1);
+        assert!(jb.predicates.is_empty());
+        assert_eq!(jb.output.len(), 2);
+        assert_eq!(jb.inputs[0].shift, 0);
+    }
+
+    #[test]
+    fn fig3_is_one_block_of_three_inputs() {
+        let q = SeqQuery::base("DEC")
+            .compose_with(SeqQuery::base("IBM").compose_filtered(
+                SeqQuery::base("HP"),
+                Expr::attr("close").gt(Expr::attr("close_r")),
+            ))
+            .build();
+        let b = blocks_for(q);
+        assert_eq!(b.blocks.len(), 1);
+        let Block::Joins(jb) = b.root_block() else { panic!() };
+        assert_eq!(jb.inputs.len(), 3);
+        assert_eq!(jb.predicates.len(), 1);
+        // Predicate references IBM (input 1) and HP (input 2).
+        assert_eq!(jb.predicates[0].mask, 0b110);
+        // Coordinates: concat is DEC(0,1) IBM(2,3) HP(4,5) — close vs close.
+        assert_eq!(jb.predicates[0].expr.to_string(), "($3 > $5)");
+        // Restricted span from Figure 3.
+        assert_eq!(jb.span, Span::new(200, 350));
+        assert_eq!(jb.output.len(), 6);
+    }
+
+    #[test]
+    fn aggregate_splits_blocks() {
+        // Fig 5.A: Sum over IBM — a non-unit block over a trivial one... the
+        // base input feeds the aggregate directly (no join block below).
+        let q = SeqQuery::base("IBM")
+            .aggregate(AggFunc::Sum, "close", Window::trailing(6))
+            .build();
+        let b = blocks_for(q);
+        assert_eq!(b.blocks.len(), 1);
+        let Block::NonUnit(nb) = b.root_block() else { panic!() };
+        assert!(matches!(nb.input, InputSource::Base { .. }));
+        assert!(matches!(nb.op, BoundOp::Aggregate { .. }));
+    }
+
+    #[test]
+    fn fig5b_block_structure() {
+        // Compose(DEC, Previous(σ(IBM ∘ HP))): three blocks —
+        // lower joins (IBM∘HP + σ), Previous, upper joins (DEC ∘ ·).
+        let q = SeqQuery::base("DEC")
+            .compose_with(
+                SeqQuery::base("IBM")
+                    .compose_filtered(
+                        SeqQuery::base("HP"),
+                        Expr::attr("close").gt(Expr::attr("close_r")),
+                    )
+                    .previous(),
+            )
+            .build();
+        let b = blocks_for(q);
+        assert_eq!(b.blocks.len(), 3);
+        let Block::Joins(lower) = &b.blocks[0] else { panic!("lower joins") };
+        assert_eq!(lower.inputs.len(), 2);
+        assert_eq!(lower.predicates.len(), 1);
+        let Block::NonUnit(prev) = &b.blocks[1] else { panic!("previous") };
+        assert!(matches!(prev.input, InputSource::Block(0)));
+        let Block::Joins(upper) = &b.blocks[2] else { panic!("upper joins") };
+        assert_eq!(upper.inputs.len(), 2);
+        assert!(matches!(upper.inputs[0].source, InputSource::Base { .. }));
+        assert!(matches!(upper.inputs[1].source, InputSource::Block(1)));
+    }
+
+    #[test]
+    fn positional_offsets_become_input_shifts() {
+        let q = SeqQuery::base("IBM")
+            .positional_offset(-5)
+            .compose_with(SeqQuery::base("HP"))
+            .build();
+        let b = blocks_for(q);
+        assert_eq!(b.blocks.len(), 1);
+        let Block::Joins(jb) = b.root_block() else { panic!() };
+        assert_eq!(jb.inputs[0].shift, -5);
+        assert_eq!(jb.inputs[1].shift, 0);
+        // Block-level span of IBM = [200,500] shifted by +5.
+        assert_eq!(jb.inputs[0].block_span, Span::new(205, 505));
+    }
+
+    #[test]
+    fn offset_above_compose_shifts_both() {
+        let q = SeqQuery::base("IBM")
+            .compose_with(SeqQuery::base("HP"))
+            .positional_offset(3)
+            .build();
+        let b = blocks_for(q);
+        let Block::Joins(jb) = b.root_block() else { panic!() };
+        assert_eq!(jb.inputs[0].shift, 3);
+        assert_eq!(jb.inputs[1].shift, 3);
+    }
+
+    #[test]
+    fn projection_narrows_output_layout() {
+        let q = SeqQuery::base("IBM")
+            .compose_with(SeqQuery::base("HP"))
+            .project(["close", "close_r"])
+            .build();
+        let b = blocks_for(q);
+        let Block::Joins(jb) = b.root_block() else { panic!() };
+        assert_eq!(jb.output, vec![(0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn single_input_select_masks_one_bit() {
+        let q = SeqQuery::base("IBM")
+            .select(Expr::attr("close").gt(Expr::lit(100.0)))
+            .compose_with(SeqQuery::base("HP"))
+            .build();
+        let b = blocks_for(q);
+        let Block::Joins(jb) = b.root_block() else { panic!() };
+        assert_eq!(jb.predicates.len(), 1);
+        assert_eq!(jb.predicates[0].mask, 0b01);
+    }
+}

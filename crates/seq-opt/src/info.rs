@@ -1,0 +1,115 @@
+//! Catalog information the optimizer consumes.
+//!
+//! The optimizer needs, per base sequence: schema, meta-data (span, density,
+//! column statistics — §3/Table 1), and the physical profile that prices the
+//! two access modes (§4.1.1). [`CatalogRef`] adapts the storage catalog.
+
+use seq_core::{Result, Schema, SeqMeta};
+use seq_ops::SchemaProvider;
+use seq_storage::Catalog;
+
+/// Everything the optimizer needs to know about the stored world.
+pub trait CatalogInfo: SchemaProvider {
+    /// Meta-data of a base sequence.
+    fn meta_of(&self, name: &str) -> Result<SeqMeta>;
+
+    /// Records per page, used to convert record counts into page I/Os.
+    fn page_capacity(&self) -> usize;
+}
+
+/// Adapter implementing the optimizer traits over a storage [`Catalog`].
+pub struct CatalogRef<'a>(pub &'a Catalog);
+
+impl SchemaProvider for CatalogRef<'_> {
+    fn schema_of(&self, name: &str) -> Result<Schema> {
+        Ok(seq_core::Sequence::schema(self.0.get(name)?.as_ref()).clone())
+    }
+}
+
+impl CatalogInfo for CatalogRef<'_> {
+    fn meta_of(&self, name: &str) -> Result<SeqMeta> {
+        self.0.meta(name)
+    }
+
+    fn page_capacity(&self) -> usize {
+        self.0.page_capacity()
+    }
+}
+
+/// A self-contained catalog description for tests and for optimizing against
+/// hypothetical data (e.g. the paper's Table 1 without materializing it).
+#[derive(Debug, Clone, Default)]
+pub struct StaticCatalogInfo {
+    entries: std::collections::HashMap<String, (Schema, SeqMeta)>,
+    page_capacity: usize,
+}
+
+impl StaticCatalogInfo {
+    /// An empty description with the given page capacity.
+    pub fn new(page_capacity: usize) -> StaticCatalogInfo {
+        StaticCatalogInfo { entries: Default::default(), page_capacity: page_capacity.max(1) }
+    }
+
+    /// Describe a (hypothetical) base sequence.
+    pub fn insert(&mut self, name: impl Into<String>, schema: Schema, meta: SeqMeta) {
+        self.entries.insert(name.into(), (schema, meta));
+    }
+}
+
+impl SchemaProvider for StaticCatalogInfo {
+    fn schema_of(&self, name: &str) -> Result<Schema> {
+        self.entries
+            .get(name)
+            .map(|(s, _)| s.clone())
+            .ok_or_else(|| seq_core::SeqError::UnknownSequence(name.to_string()))
+    }
+}
+
+impl CatalogInfo for StaticCatalogInfo {
+    fn meta_of(&self, name: &str) -> Result<SeqMeta> {
+        self.entries
+            .get(name)
+            .map(|(_, m)| m.clone())
+            .ok_or_else(|| seq_core::SeqError::UnknownSequence(name.to_string()))
+    }
+
+    fn page_capacity(&self) -> usize {
+        self.page_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::{record, schema, AttrType, BaseSequence, Span};
+
+    #[test]
+    fn catalog_ref_exposes_schema_and_meta() {
+        let mut c = Catalog::new();
+        c.set_page_capacity(16);
+        let base = BaseSequence::from_entries(
+            schema(&[("x", AttrType::Int)]),
+            (1..=10).map(|p| (p, record![p])).collect(),
+        )
+        .unwrap();
+        c.register("S", &base);
+        let info = CatalogRef(&c);
+        assert_eq!(info.schema_of("S").unwrap().arity(), 1);
+        assert_eq!(info.meta_of("S").unwrap().span, Span::new(1, 10));
+        assert_eq!(info.page_capacity(), 16);
+        assert!(info.schema_of("missing").is_err());
+    }
+
+    #[test]
+    fn static_info_for_table1() {
+        // Table 1 of the paper, without materializing any data.
+        let stock = schema(&[("time", AttrType::Int), ("close", AttrType::Float)]);
+        let mut info = StaticCatalogInfo::new(64);
+        info.insert("IBM", stock.clone(), SeqMeta::with_span(Span::new(200, 500), 0.95));
+        info.insert("DEC", stock.clone(), SeqMeta::with_span(Span::new(1, 350), 0.7));
+        info.insert("HP", stock, SeqMeta::with_span(Span::new(1, 750), 1.0));
+        assert_eq!(info.meta_of("HP").unwrap().density, 1.0);
+        assert_eq!(info.meta_of("IBM").unwrap().span, Span::new(200, 500));
+        assert!(info.meta_of("SUN").is_err());
+    }
+}

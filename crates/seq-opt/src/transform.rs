@@ -1,0 +1,577 @@
+//! Step 3 of the optimization algorithm: query transformations (§3.1).
+//!
+//! Equivalence-preserving rewrites, applied heuristically:
+//!
+//! - merge successive selections / projections / positional offsets;
+//! - push selections down through projections, positional offsets, and
+//!   compose operators (into the join predicate when they straddle sides);
+//! - push projections down through positional offsets, value offsets, and
+//!   compose operators (when every participating attribute survives);
+//! - push positional offsets through any operator of relative scope on all
+//!   its inputs (selection, projection, compose, aggregates, value offsets).
+//!
+//! The incorrect transformations the paper lists — selections through
+//! non-unit-scope operators, aggregates/value offsets through compose —
+//! are deliberately *absent*; tests pin that they are never applied.
+//!
+//! Rules only ever move operators downward or merge adjacent ones, so
+//! repeated application terminates.
+
+use std::collections::BTreeMap;
+
+use seq_core::{Field, Result, Schema, SeqError};
+use seq_ops::{BoundOp, Expr, ResolvedGraph, ResolvedKind, ResolvedNode};
+
+/// An owned operator tree (the rewrite engine's working form).
+#[derive(Debug, Clone, PartialEq)]
+enum TNode {
+    Leaf(ResolvedNode),
+    Op { op: BoundOp, schema: Schema, children: Vec<TNode> },
+}
+
+impl TNode {
+    fn schema(&self) -> &Schema {
+        match self {
+            TNode::Leaf(n) => &n.schema,
+            TNode::Op { schema, .. } => schema,
+        }
+    }
+}
+
+/// Compute an operator's output schema from its children (mirrors
+/// `SeqOperator::output_schema` for bound operators).
+fn op_schema(op: &BoundOp, children: &[TNode]) -> Result<Schema> {
+    Ok(match op {
+        BoundOp::Select { .. }
+        | BoundOp::PositionalOffset { .. }
+        | BoundOp::ValueOffset { .. } => children[0].schema().clone(),
+        BoundOp::Project { indices } => children[0].schema().project(indices)?,
+        BoundOp::Aggregate { func, attr_index, output_name, .. } => {
+            let in_ty = children[0].schema().field(*attr_index)?.ty;
+            Schema::new(vec![Field::new(output_name.clone(), func.output_type(in_ty)?)])
+        }
+        BoundOp::Compose { .. } => children[0].schema().compose(children[1].schema()),
+    })
+}
+
+fn op_node(op: BoundOp, children: Vec<TNode>) -> Result<TNode> {
+    let schema = op_schema(&op, &children)?;
+    Ok(TNode::Op { op, schema, children })
+}
+
+/// Which rewrite rules fired, by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransformReport {
+    /// Rule name → number of times it fired.
+    pub applied: BTreeMap<&'static str, usize>,
+}
+
+impl TransformReport {
+    /// Total rule applications.
+    pub fn total(&self) -> usize {
+        self.applied.values().sum()
+    }
+
+    fn bump(&mut self, rule: &'static str) {
+        *self.applied.entry(rule).or_insert(0) += 1;
+    }
+}
+
+/// Apply the §3.1 transformations to fixpoint.
+pub fn apply_transformations(graph: &ResolvedGraph) -> Result<(ResolvedGraph, TransformReport)> {
+    let mut tree = build_tree(graph, graph.root());
+    let mut report = TransformReport::default();
+    // Each rule strictly moves an operator downward or merges two operators,
+    // so a fixpoint exists; the cap is a defensive bound.
+    let cap = 16 * graph.len().max(4);
+    for _ in 0..cap {
+        let (new_tree, fired) = rewrite_once(tree, &mut report)?;
+        tree = new_tree;
+        if !fired {
+            break;
+        }
+    }
+    let rebuilt = rebuild_graph(tree)?;
+    Ok((rebuilt, report))
+}
+
+fn build_tree(graph: &ResolvedGraph, id: usize) -> TNode {
+    let node = graph.node(id);
+    match &node.kind {
+        ResolvedKind::Op { op, inputs } => TNode::Op {
+            op: op.clone(),
+            schema: node.schema.clone(),
+            children: inputs.iter().map(|&c| build_tree(graph, c)).collect(),
+        },
+        _ => TNode::Leaf(node.clone()),
+    }
+}
+
+fn rebuild_graph(tree: TNode) -> Result<ResolvedGraph> {
+    let mut nodes = Vec::new();
+    let root = push_tree(tree, &mut nodes);
+    ResolvedGraph::assemble(nodes, root)
+}
+
+fn push_tree(tree: TNode, nodes: &mut Vec<ResolvedNode>) -> usize {
+    match tree {
+        TNode::Leaf(n) => {
+            nodes.push(n);
+            nodes.len() - 1
+        }
+        TNode::Op { op, schema, children } => {
+            let inputs = children.into_iter().map(|c| push_tree(c, nodes)).collect();
+            nodes.push(ResolvedNode { kind: ResolvedKind::Op { op, inputs }, schema });
+            nodes.len() - 1
+        }
+    }
+}
+
+/// One top-down pass; returns the rewritten tree and whether any rule fired.
+fn rewrite_once(tree: TNode, report: &mut TransformReport) -> Result<(TNode, bool)> {
+    if let Some(rewritten) = try_rules(&tree, report)? {
+        return Ok((rewritten, true));
+    }
+    match tree {
+        TNode::Op { op, schema, children } => {
+            let mut fired = false;
+            let mut new_children = Vec::with_capacity(children.len());
+            for c in children {
+                let (nc, f) = rewrite_once(c, report)?;
+                fired |= f;
+                new_children.push(nc);
+            }
+            Ok((TNode::Op { op, schema, children: new_children }, fired))
+        }
+        leaf => Ok((leaf, false)),
+    }
+}
+
+/// Try every rule at the root of `tree`.
+fn try_rules(tree: &TNode, report: &mut TransformReport) -> Result<Option<TNode>> {
+    let TNode::Op { op, children, .. } = tree else { return Ok(None) };
+
+    match (op, children.as_slice()) {
+        // ---- merges -------------------------------------------------------
+        (BoundOp::Select { predicate: p1 }, [TNode::Op { op: BoundOp::Select { predicate: p2 }, children: inner, .. }]) => {
+            report.bump("merge-selects");
+            let merged = p2.clone().and(p1.clone());
+            Ok(Some(op_node(BoundOp::Select { predicate: merged }, inner.clone())?))
+        }
+        (BoundOp::Project { indices: outer }, [TNode::Op { op: BoundOp::Project { indices: inner_idx }, children: inner, .. }]) => {
+            report.bump("merge-projects");
+            let composed: Vec<usize> = outer.iter().map(|&i| inner_idx[i]).collect();
+            Ok(Some(op_node(BoundOp::Project { indices: composed }, inner.clone())?))
+        }
+        (BoundOp::PositionalOffset { offset: a }, [TNode::Op { op: BoundOp::PositionalOffset { offset: b }, children: inner, .. }]) => {
+            report.bump("merge-offsets");
+            let total = a + b;
+            if total == 0 {
+                Ok(Some(inner[0].clone()))
+            } else {
+                Ok(Some(op_node(BoundOp::PositionalOffset { offset: total }, inner.clone())?))
+            }
+        }
+
+        // ---- selection pushdown -------------------------------------------
+        (BoundOp::Select { predicate }, [TNode::Op { op: BoundOp::Project { indices }, children: inner, .. }]) => {
+            // σ(π(x)) → π(σ'(x)), remapping columns through the projection.
+            let remapped = predicate
+                .remap_columns(&|c| indices.get(c).copied())
+                .ok_or_else(|| SeqError::InvalidGraph("projection narrower than predicate".into()))?;
+            report.bump("push-select-through-project");
+            let selected = op_node(BoundOp::Select { predicate: remapped }, inner.clone())?;
+            Ok(Some(op_node(BoundOp::Project { indices: indices.clone() }, vec![selected])?))
+        }
+        (BoundOp::Select { predicate }, [TNode::Op { op: BoundOp::PositionalOffset { offset }, children: inner, .. }]) => {
+            report.bump("push-select-through-offset");
+            let selected = op_node(BoundOp::Select { predicate: predicate.clone() }, inner.clone())?;
+            Ok(Some(op_node(BoundOp::PositionalOffset { offset: *offset }, vec![selected])?))
+        }
+        (BoundOp::Select { predicate }, [TNode::Op { op: BoundOp::Compose { predicate: jp }, children: inner, .. }]) => {
+            let na = inner[0].schema().arity();
+            let mut cols = Vec::new();
+            predicate.referenced_columns(&mut cols);
+            if !cols.is_empty() && cols.iter().all(|&c| c < na) {
+                // Entirely left-side: push into the left child.
+                report.bump("push-select-into-compose-left");
+                let pushed = op_node(BoundOp::Select { predicate: predicate.clone() }, vec![inner[0].clone()])?;
+                Ok(Some(op_node(
+                    BoundOp::Compose { predicate: jp.clone() },
+                    vec![pushed, inner[1].clone()],
+                )?))
+            } else if !cols.is_empty() && cols.iter().all(|&c| c >= na) {
+                report.bump("push-select-into-compose-right");
+                let remapped = predicate
+                    .remap_columns(&|c| Some(c - na))
+                    .expect("all columns right-side");
+                let pushed = op_node(BoundOp::Select { predicate: remapped }, vec![inner[1].clone()])?;
+                Ok(Some(op_node(
+                    BoundOp::Compose { predicate: jp.clone() },
+                    vec![inner[0].clone(), pushed],
+                )?))
+            } else {
+                // Straddles both sides (or is constant): fold into the join
+                // predicate so it is applied during the positional join.
+                report.bump("merge-select-into-join-predicate");
+                let combined = match jp {
+                    Some(j) => j.clone().and(predicate.clone()),
+                    None => predicate.clone(),
+                };
+                Ok(Some(op_node(BoundOp::Compose { predicate: Some(combined) }, inner.clone())?))
+            }
+        }
+
+        // ---- projection pushdown ------------------------------------------
+        (BoundOp::Project { indices }, [TNode::Op { op: inner_op @ (BoundOp::PositionalOffset { .. } | BoundOp::ValueOffset { .. }), children: inner, .. }]) => {
+            report.bump("push-project-through-offset");
+            let projected = op_node(BoundOp::Project { indices: indices.clone() }, inner.clone())?;
+            Ok(Some(op_node(inner_op.clone(), vec![projected])?))
+        }
+        (BoundOp::Project { indices }, [TNode::Op { op: BoundOp::Compose { predicate: jp }, children: inner, .. }]) => {
+            push_project_through_compose(indices, jp, inner, report)
+        }
+
+        // ---- positional-offset pushdown ------------------------------------
+        (BoundOp::PositionalOffset { offset }, [TNode::Op { op: inner_op, children: inner, .. }]) => {
+            // A positional offset can be pushed through any operator of
+            // relative scope on all its inputs (§3.1). Whole-span aggregates
+            // are the one non-relative scope in the algebra. Selections and
+            // projections are excluded here — they commute with offsets, but
+            // the selection-pushdown rules move them *below* offsets, and
+            // pushing the offset back through them would cycle; the
+            // canonical order is select/project above offsets above
+            // composes/aggregates/value offsets.
+            if matches!(inner_op, BoundOp::Select { .. } | BoundOp::Project { .. }) {
+                return Ok(None);
+            }
+            let relative = (0..inner_op.arity()).all(|k| inner_op.scope(k).relative());
+            if !relative {
+                return Ok(None);
+            }
+            report.bump("push-offset-down");
+            let shifted: Vec<TNode> = inner
+                .iter()
+                .map(|c| op_node(BoundOp::PositionalOffset { offset: *offset }, vec![c.clone()]))
+                .collect::<Result<_>>()?;
+            Ok(Some(op_node(inner_op.clone(), shifted)?))
+        }
+
+        _ => Ok(None),
+    }
+}
+
+fn push_project_through_compose(
+    indices: &[usize],
+    jp: &Option<Expr>,
+    inner: &[TNode],
+    report: &mut TransformReport,
+) -> Result<Option<TNode>> {
+    let na = inner[0].schema().arity();
+    let nb = inner[1].schema().arity();
+    // Attributes that participate in the compose (its join predicate) must
+    // survive the pushed projections (§3.1).
+    let mut needed: Vec<usize> = indices.to_vec();
+    if let Some(p) = jp {
+        p.referenced_columns(&mut needed);
+    }
+    needed.sort_unstable();
+    needed.dedup();
+    let keep_left: Vec<usize> = needed.iter().copied().filter(|&c| c < na).collect();
+    let keep_right: Vec<usize> = needed.iter().copied().filter(|&c| c >= na).map(|c| c - na).collect();
+    if keep_left.len() == na && keep_right.len() == nb {
+        // Nothing would be dropped: the rewrite only reorders, skip it to
+        // guarantee termination.
+        return Ok(None);
+    }
+    report.bump("push-project-through-compose");
+    let left = op_node(BoundOp::Project { indices: keep_left.clone() }, vec![inner[0].clone()])?;
+    let right = op_node(BoundOp::Project { indices: keep_right.clone() }, vec![inner[1].clone()])?;
+    // Remap a pre-push column index into the narrowed composed layout.
+    let remap = |c: usize| -> Option<usize> {
+        if c < na {
+            keep_left.iter().position(|&k| k == c)
+        } else {
+            keep_right.iter().position(|&k| k == c - na).map(|p| p + keep_left.len())
+        }
+    };
+    let new_jp = match jp {
+        Some(p) => Some(
+            p.remap_columns(&remap)
+                .ok_or_else(|| SeqError::InvalidGraph("join predicate column lost in pushdown".into()))?,
+        ),
+        None => None,
+    };
+    let composed = op_node(BoundOp::Compose { predicate: new_jp }, vec![left, right])?;
+    let outer: Vec<usize> = indices
+        .iter()
+        .map(|&c| remap(c).expect("projected columns are kept"))
+        .collect();
+    Ok(Some(op_node(BoundOp::Project { indices: outer }, vec![composed])?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::{schema, AttrType, Schema};
+    use seq_ops::{AggFunc, Expr, QueryGraph, ResolvedGraph, SeqQuery, Window};
+    use std::collections::HashMap;
+
+    fn provider() -> HashMap<String, Schema> {
+        let stock = schema(&[("time", AttrType::Int), ("close", AttrType::Float)]);
+        ["IBM", "HP", "DEC"].iter().map(|n| (n.to_string(), stock.clone())).collect()
+    }
+
+    fn resolve(g: QueryGraph) -> ResolvedGraph {
+        g.resolve(&provider()).unwrap()
+    }
+
+    fn ops_of(g: &ResolvedGraph) -> Vec<String> {
+        g.postorder()
+            .into_iter()
+            .filter_map(|id| match &g.node(id).kind {
+                ResolvedKind::Op { op, .. } => Some(op.to_string()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merges_adjacent_selects() {
+        let g = resolve(
+            SeqQuery::base("IBM")
+                .select(Expr::attr("close").gt(Expr::lit(1.0)))
+                .select(Expr::attr("close").lt(Expr::lit(9.0)))
+                .build(),
+        );
+        let (t, report) = apply_transformations(&g).unwrap();
+        assert_eq!(report.applied["merge-selects"], 1);
+        let ops = ops_of(&t);
+        assert_eq!(ops.len(), 1);
+        assert!(ops[0].contains("AND"));
+    }
+
+    #[test]
+    fn merges_projects_and_offsets() {
+        let g = resolve(
+            SeqQuery::base("IBM")
+                .project(["time", "close"])
+                .project(["close"])
+                .positional_offset(3)
+                .positional_offset(-3)
+                .build(),
+        );
+        let (t, report) = apply_transformations(&g).unwrap();
+        assert_eq!(report.applied["merge-projects"], 1);
+        assert_eq!(report.applied["merge-offsets"], 1);
+        let ops = ops_of(&t);
+        // Offsets cancelled entirely; a single projection remains.
+        assert_eq!(ops, vec!["Project($1)"]);
+    }
+
+    #[test]
+    fn pushes_select_to_compose_sides() {
+        // σ(left.close > 7)(IBM ∘ HP) → (σ IBM) ∘ HP.
+        let g = resolve(
+            SeqQuery::base("IBM")
+                .compose_with(SeqQuery::base("HP"))
+                .select(Expr::attr("close").gt(Expr::lit(7.0)))
+                .build(),
+        );
+        let (t, report) = apply_transformations(&g).unwrap();
+        assert_eq!(report.applied["push-select-into-compose-left"], 1);
+        let rendered = t.render();
+        // The select must now sit under the compose.
+        let compose_line = rendered.lines().position(|l| l.contains("Compose")).unwrap();
+        let select_line = rendered.lines().position(|l| l.contains("Select")).unwrap();
+        assert!(select_line > compose_line, "select pushed below compose:\n{rendered}");
+    }
+
+    #[test]
+    fn pushes_right_side_select_with_remap() {
+        // close_r refers to HP's close (column 3 of the composed schema).
+        let g = resolve(
+            SeqQuery::base("IBM")
+                .compose_with(SeqQuery::base("HP"))
+                .select(Expr::attr("close_r").gt(Expr::lit(7.0)))
+                .build(),
+        );
+        let (t, report) = apply_transformations(&g).unwrap();
+        assert_eq!(report.applied["push-select-into-compose-right"], 1);
+        // The pushed predicate must reference HP's local column 1.
+        let pushed = t
+            .postorder()
+            .into_iter()
+            .find_map(|id| match &t.node(id).kind {
+                ResolvedKind::Op { op: BoundOp::Select { predicate }, .. } => {
+                    Some(predicate.to_string())
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(pushed, "($1 > 7)");
+    }
+
+    #[test]
+    fn straddling_select_merges_into_join_predicate() {
+        let g = resolve(
+            SeqQuery::base("IBM")
+                .compose_with(SeqQuery::base("HP"))
+                .select(Expr::attr("close").gt(Expr::attr("close_r")))
+                .build(),
+        );
+        let (t, report) = apply_transformations(&g).unwrap();
+        assert_eq!(report.applied["merge-select-into-join-predicate"], 1);
+        let ops = ops_of(&t);
+        assert_eq!(ops.len(), 1);
+        assert!(ops[0].starts_with("Compose["));
+    }
+
+    #[test]
+    fn select_does_not_cross_aggregate_or_value_offset() {
+        // σ over an aggregate must stay put (incorrect transformation, §3.1).
+        let g = resolve(
+            SeqQuery::base("IBM")
+                .aggregate(AggFunc::Sum, "close", Window::trailing(6))
+                .select(Expr::attr("sum_close").gt(Expr::lit(0.0)))
+                .build(),
+        );
+        let (t, report) = apply_transformations(&g).unwrap();
+        assert_eq!(report.total(), 0);
+        assert_eq!(ops_of(&g), ops_of(&t));
+
+        let g = resolve(
+            SeqQuery::base("IBM")
+                .previous()
+                .select(Expr::attr("close").gt(Expr::lit(0.0)))
+                .build(),
+        );
+        let (_, report) = apply_transformations(&g).unwrap();
+        assert_eq!(report.total(), 0);
+    }
+
+    #[test]
+    fn offset_pushes_through_compose_and_aggregate() {
+        let g = resolve(
+            SeqQuery::base("IBM")
+                .compose_with(SeqQuery::base("HP"))
+                .positional_offset(5)
+                .build(),
+        );
+        let (t, report) = apply_transformations(&g).unwrap();
+        assert!(report.applied["push-offset-down"] >= 1);
+        let rendered = t.render();
+        let compose_line = rendered.lines().position(|l| l.contains("Compose")).unwrap();
+        let first_offset = rendered.lines().position(|l| l.contains("PosOffset")).unwrap();
+        assert!(first_offset > compose_line, "offsets below compose:\n{rendered}");
+
+        let g = resolve(
+            SeqQuery::base("IBM")
+                .aggregate(AggFunc::Sum, "close", Window::trailing(3))
+                .positional_offset(2)
+                .build(),
+        );
+        let (t, report) = apply_transformations(&g).unwrap();
+        assert_eq!(report.applied["push-offset-down"], 1);
+        let rendered = t.render();
+        let agg_line = rendered.lines().position(|l| l.contains("SUM")).unwrap();
+        let off_line = rendered.lines().position(|l| l.contains("PosOffset")).unwrap();
+        assert!(off_line > agg_line);
+    }
+
+    #[test]
+    fn offset_does_not_push_through_whole_span_aggregate() {
+        let g = resolve(
+            SeqQuery::base("IBM")
+                .aggregate(AggFunc::Max, "close", Window::WholeSpan)
+                .positional_offset(2)
+                .build(),
+        );
+        let (_, report) = apply_transformations(&g).unwrap();
+        assert_eq!(report.applied.get("push-offset-down"), None);
+    }
+
+    #[test]
+    fn project_pushes_through_compose_narrowing_inputs() {
+        let g = resolve(
+            SeqQuery::base("IBM")
+                .compose_filtered(
+                    SeqQuery::base("HP"),
+                    Expr::attr("close").gt(Expr::attr("close_r")),
+                )
+                .project(["close"])
+                .build(),
+        );
+        let (t, report) = apply_transformations(&g).unwrap();
+        assert_eq!(report.applied["push-project-through-compose"], 1);
+        // Both inputs should now be narrowed to their close column, and the
+        // join predicate remapped to the narrowed layout.
+        let rendered = t.render();
+        assert!(rendered.contains("Project($1)"), "{rendered}");
+        let jp = t
+            .postorder()
+            .into_iter()
+            .find_map(|id| match &t.node(id).kind {
+                ResolvedKind::Op { op: BoundOp::Compose { predicate: Some(p) }, .. } => {
+                    Some(p.to_string())
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(jp, "($0 > $1)");
+        // Output schema is unchanged.
+        assert_eq!(t.output_schema().arity(), 1);
+    }
+
+    #[test]
+    fn chain_of_rules_reaches_fixpoint() {
+        // Selection over projection over compose: select pushes through the
+        // projection, then into a compose side; projection pushes through the
+        // compose; merges clean up.
+        let g = resolve(
+            SeqQuery::base("IBM")
+                .compose_with(SeqQuery::base("HP"))
+                .project(["close", "close_r"])
+                .select(Expr::attr("close").gt(Expr::lit(5.0)))
+                .build(),
+        );
+        let (t, report) = apply_transformations(&g).unwrap();
+        assert!(report.total() >= 3, "report: {:?}", report.applied);
+        // Applying again changes nothing.
+        let (t2, r2) = apply_transformations(&t).unwrap();
+        assert_eq!(r2.total(), 0);
+        assert_eq!(ops_of(&t), ops_of(&t2));
+    }
+
+    #[test]
+    fn preserves_output_schema() {
+        let queries = vec![
+            SeqQuery::base("IBM")
+                .compose_with(SeqQuery::base("HP"))
+                .project(["close", "time_r"])
+                .select(Expr::attr("close").gt(Expr::lit(5.0)))
+                .build(),
+            SeqQuery::base("DEC")
+                .compose_with(
+                    SeqQuery::base("IBM")
+                        .compose_filtered(
+                            SeqQuery::base("HP"),
+                            Expr::attr("close").gt(Expr::attr("close_r")),
+                        )
+                        .project(["close"]),
+                )
+                .build(),
+        ];
+        for q in queries {
+            let g = resolve(q);
+            let (t, _) = apply_transformations(&g).unwrap();
+            // Rewrites preserve the positional schema (arity and types).
+            // Attribute *names* may be re-derived: compose disambiguates
+            // clashes (`_r` suffix) based on its immediate inputs, which
+            // narrowing projections legitimately change. All post-binding
+            // consumers are positional, so this is invisible to execution.
+            let types = |s: &Schema| s.fields().iter().map(|f| f.ty).collect::<Vec<_>>();
+            assert_eq!(types(g.output_schema()), types(t.output_schema()));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The Example 1.1 baseline plans.
+//!
+//! The paper's SQL formulation:
+//!
+//! ```sql
+//! SELECT V.name
+//! FROM   Volcanos V, Earthquakes E
+//! WHERE  E.strength > 7.0 AND
+//!        E.time = (SELECT max(E1.time) FROM Earthquakes E1
+//!                  WHERE E1.time < V.time)
+//! ```
+//!
+//! and the plan it says a conventional optimizer would produce: "For every
+//! Volcano tuple in the outer query, the sub-query would be invoked to find
+//! the time of the most recent earthquake. Each such access to the sub-query
+//! involves an aggregate over the entire Earthquake relation. The time of
+//! the most recent earthquake is used as a join condition to probe the
+//! Earthquake relation in the outer query. Finally, the selection condition
+//! ... is applied."
+//!
+//! [`nested_subquery_plan`] executes exactly that (O(|V|·|E|)).
+//! [`indexed_nested_plan`] is the stronger relational baseline with a B-tree
+//! style index on `Earthquakes.time` (O(|V|·log|E|)); the paper notes that
+//! even sortedness knowledge "would not significantly alter the query plan" —
+//! the per-volcano subquery remains.
+
+use seq_core::{Record, Result, Value};
+
+use crate::relation::{scalar_max_where, select_int_eq, RelStats, Relation};
+
+/// Run the naive nested-subquery plan; returns `(name, eruption time)` rows.
+pub fn nested_subquery_plan(
+    volcanos: &Relation,
+    quakes: &Relation,
+    threshold: f64,
+    stats: &RelStats,
+) -> Result<Vec<(Record, i64)>> {
+    let v_time = volcanos.col("time")?;
+    let v_name = volcanos.col("name")?;
+    let q_time = quakes.col("time")?;
+    let q_strength = quakes.col("strength")?;
+    let mut out = Vec::new();
+
+    // Materialize the outer scan first so its accounting is not interleaved
+    // confusingly; the cost shape is identical.
+    let outer: Vec<Record> = volcanos.scan(stats).cloned().collect();
+    for v in outer {
+        let vt = v.value(v_time)?.as_i64()?;
+        // Correlated scalar subquery: max(E1.time) where E1.time < V.time —
+        // a full aggregate scan per volcano.
+        stats.count_subquery();
+        let most_recent =
+            scalar_max_where(quakes, "time", |e| Ok(e.value(q_time)?.as_i64()? < vt), stats)?;
+        let Some(et) = most_recent else { continue };
+        // Join condition E.time = <subquery>: another scan of Earthquakes.
+        for e in select_int_eq(quakes, "time", et, stats)? {
+            // Selection E.strength > threshold.
+            if e.value(q_strength)?.as_f64()? > threshold {
+                out.push((Record::new(vec![v.value(v_name)?.clone()]), vt));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The indexed variant: the correlated subquery and the join probe both go
+/// through a sorted index on `Earthquakes.time`.
+pub fn indexed_nested_plan(
+    volcanos: &Relation,
+    quakes: &Relation,
+    threshold: f64,
+    stats: &RelStats,
+) -> Result<Vec<(Record, i64)>> {
+    let v_time = volcanos.col("time")?;
+    let v_name = volcanos.col("name")?;
+    let q_strength = quakes.col("strength")?;
+    let index = quakes.build_int_index("time")?;
+    let mut out = Vec::new();
+
+    let outer: Vec<Record> = volcanos.scan(stats).cloned().collect();
+    for v in outer {
+        let vt = v.value(v_time)?.as_i64()?;
+        stats.count_subquery();
+        let Some((_, tuple_pos)) = index.max_below(vt, stats) else { continue };
+        let e = quakes.tuple(tuple_pos);
+        if e.value(q_strength)?.as_f64()? > threshold {
+            out.push((Record::new(vec![Value::clone(v.value(v_name)?)]), vt));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::{record, schema, AttrType};
+
+    fn world() -> (Relation, Relation) {
+        let volcanos = Relation::new(
+            schema(&[("time", AttrType::Int), ("name", AttrType::Str)]),
+            vec![
+                record![15i64, "etna"],
+                record![25i64, "fuji"],
+                record![45i64, "rainier"],
+                record![5i64, "early"], // before any earthquake
+            ],
+        )
+        .unwrap();
+        let quakes = Relation::new(
+            schema(&[("time", AttrType::Int), ("strength", AttrType::Float)]),
+            vec![
+                record![10i64, 6.0],
+                record![20i64, 8.0],
+                record![40i64, 5.0],
+            ],
+        )
+        .unwrap();
+        (volcanos, quakes)
+    }
+
+    #[test]
+    fn nested_plan_answers_example_1_1() {
+        let (v, q) = world();
+        let stats = RelStats::new();
+        let out = nested_subquery_plan(&v, &q, 7.0, &stats).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0.value(0).unwrap().as_str().unwrap(), "fuji");
+        assert_eq!(out[0].1, 25);
+        assert_eq!(stats.subquery_invocations(), 4);
+    }
+
+    #[test]
+    fn indexed_plan_agrees() {
+        let (v, q) = world();
+        let s1 = RelStats::new();
+        let s2 = RelStats::new();
+        let a = nested_subquery_plan(&v, &q, 7.0, &s1).unwrap();
+        let b = indexed_nested_plan(&v, &q, 7.0, &s2).unwrap();
+        assert_eq!(a, b);
+        // The index converts scans into probes.
+        assert!(s2.tuples_scanned() < s1.tuples_scanned());
+        assert!(s2.index_probes() > 0);
+    }
+
+    #[test]
+    fn naive_plan_access_shape_is_quadratic() {
+        // |V| volcanos each trigger ≥1 full scan of |E| quakes.
+        let n_q = 50i64;
+        let n_v = 30i64;
+        let quakes = Relation::new(
+            schema(&[("time", AttrType::Int), ("strength", AttrType::Float)]),
+            (0..n_q).map(|i| record![i * 10, 5.0 + (i % 5) as f64]).collect(),
+        )
+        .unwrap();
+        let volcanos = Relation::new(
+            schema(&[("time", AttrType::Int), ("name", AttrType::Str)]),
+            (0..n_v).map(|i| record![i * 17 + 1, format!("v{i}").as_str()]).collect(),
+        )
+        .unwrap();
+        let stats = RelStats::new();
+        nested_subquery_plan(&volcanos, &quakes, 7.0, &stats).unwrap();
+        let scans = stats.tuples_scanned();
+        assert!(
+            scans as i64 >= n_v * n_q,
+            "expected ≥ |V|·|E| = {} scanned tuples, got {scans}",
+            n_v * n_q
+        );
+    }
+
+    #[test]
+    fn threshold_filters_everything() {
+        let (v, q) = world();
+        let stats = RelStats::new();
+        let out = nested_subquery_plan(&v, &q, 10.0, &stats).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_relations() {
+        let (v, q) = world();
+        let empty_v = Relation::new(v.schema().clone(), vec![]).unwrap();
+        let empty_q = Relation::new(q.schema().clone(), vec![]).unwrap();
+        let stats = RelStats::new();
+        assert!(nested_subquery_plan(&empty_v, &q, 7.0, &stats).unwrap().is_empty());
+        assert!(nested_subquery_plan(&v, &empty_q, 7.0, &stats).unwrap().is_empty());
+        assert!(indexed_nested_plan(&v, &empty_q, 7.0, &stats).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//! # seq-relational — the relational baseline engine
+//!
+//! A deliberately conventional tuple-at-a-time relational engine implementing
+//! the plans Example 1.1 of the paper says a relational system would run:
+//! the naive correlated nested-subquery plan and its index-assisted variant.
+//! All tuple and index accesses are counted so the benchmark harness can
+//! report the O(|V|·|E|) vs O(|V|·log|E|) vs O(|V|+|E|) access shapes the
+//! paper's motivating example claims.
+
+pub mod baseline;
+pub mod relation;
+
+pub use baseline::{indexed_nested_plan, nested_subquery_plan};
+pub use relation::{scalar_max_where, select_int_eq, IntIndex, RelStats, Relation};

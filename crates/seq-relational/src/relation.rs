@@ -1,0 +1,278 @@
+//! Relations: unordered collections of records, with access accounting.
+//!
+//! This minimal engine exists to play the role of the "conventional
+//! relational query optimizer as described in \[SMALP79\]" that Example 1.1
+//! contrasts against. Relations count every tuple they hand out, so the
+//! baseline's O(|V|·|E|) access shape is measured, not asserted.
+
+use std::cell::Cell;
+
+use seq_core::{Record, Result, Schema, Value};
+
+/// Access counters for one relational execution.
+#[derive(Debug, Default)]
+pub struct RelStats {
+    tuples_scanned: Cell<u64>,
+    index_probes: Cell<u64>,
+    subquery_invocations: Cell<u64>,
+}
+
+impl RelStats {
+    /// Fresh (zeroed) counters.
+    pub fn new() -> RelStats {
+        RelStats::default()
+    }
+
+    /// Tuples handed out by full scans.
+    pub fn tuples_scanned(&self) -> u64 {
+        self.tuples_scanned.get()
+    }
+
+    /// Index lookups performed.
+    pub fn index_probes(&self) -> u64 {
+        self.index_probes.get()
+    }
+
+    /// Correlated-subquery invocations.
+    pub fn subquery_invocations(&self) -> u64 {
+        self.subquery_invocations.get()
+    }
+
+    /// Charge `n` scanned tuples.
+    pub fn count_scan(&self, n: u64) {
+        self.tuples_scanned.set(self.tuples_scanned.get() + n);
+    }
+
+    /// Charge one index probe.
+    pub fn count_probe(&self) {
+        self.index_probes.set(self.index_probes.get() + 1);
+    }
+
+    /// Charge one subquery invocation.
+    pub fn count_subquery(&self) {
+        self.subquery_invocations.set(self.subquery_invocations.get() + 1);
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.tuples_scanned.set(0);
+        self.index_probes.set(0);
+        self.subquery_invocations.set(0);
+    }
+}
+
+/// An in-memory relation.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Record>,
+}
+
+impl Relation {
+    /// A relation from schema-checked tuples.
+    pub fn new(schema: Schema, tuples: Vec<Record>) -> Result<Relation> {
+        for t in &tuples {
+            Record::checked(t.values().to_vec(), &schema)?;
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// The tuple schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Full scan, charging one tuple per record handed out.
+    pub fn scan<'a>(&'a self, stats: &'a RelStats) -> impl Iterator<Item = &'a Record> + 'a {
+        self.tuples.iter().inspect(move |_| stats.count_scan(1))
+    }
+
+    /// Attribute index lookup.
+    pub fn col(&self, name: &str) -> Result<usize> {
+        self.schema.index_of(name)
+    }
+
+    /// Build a sorted unique index on an integer attribute. Probes through
+    /// the returned index are charged as index probes, not scans.
+    pub fn build_int_index(&self, attr: &str) -> Result<IntIndex> {
+        let c = self.col(attr)?;
+        let mut keys: Vec<(i64, usize)> = self
+            .tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Ok((t.value(c)?.as_i64()?, i)))
+            .collect::<Result<_>>()?;
+        keys.sort_unstable();
+        Ok(IntIndex { keys })
+    }
+
+    /// The tuple at physical position `i`.
+    pub fn tuple(&self, i: usize) -> &Record {
+        &self.tuples[i]
+    }
+}
+
+/// A sorted integer index over one relation attribute.
+#[derive(Debug, Clone)]
+pub struct IntIndex {
+    /// (key, tuple position), sorted by key.
+    keys: Vec<(i64, usize)>,
+}
+
+impl IntIndex {
+    /// Exact-match probe.
+    pub fn probe(&self, key: i64, stats: &RelStats) -> Option<usize> {
+        stats.count_probe();
+        self.keys
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|i| self.keys[i].1)
+    }
+
+    /// Largest key strictly below `bound`.
+    pub fn max_below(&self, bound: i64, stats: &RelStats) -> Option<(i64, usize)> {
+        stats.count_probe();
+        let i = self.keys.partition_point(|(k, _)| *k < bound);
+        if i == 0 {
+            None
+        } else {
+            Some(self.keys[i - 1])
+        }
+    }
+}
+
+/// Convenience: the scalar MAX of an integer attribute under a predicate,
+/// via full scan (what the correlated subquery of Example 1.1 does).
+pub fn scalar_max_where(
+    rel: &Relation,
+    attr: &str,
+    pred: impl Fn(&Record) -> Result<bool>,
+    stats: &RelStats,
+) -> Result<Option<i64>> {
+    let c = rel.col(attr)?;
+    let mut best: Option<i64> = None;
+    for t in rel.scan(stats) {
+        if pred(t)? {
+            let v = t.value(c)?.as_i64()?;
+            best = Some(best.map_or(v, |b| b.max(v)));
+        }
+    }
+    Ok(best)
+}
+
+/// Convenience: select tuples where an integer attribute equals `key`, via
+/// full scan.
+pub fn select_int_eq<'a>(
+    rel: &'a Relation,
+    attr: &str,
+    key: i64,
+    stats: &'a RelStats,
+) -> Result<Vec<&'a Record>> {
+    let c = rel.col(attr)?;
+    let mut out = Vec::new();
+    for t in rel.scan(stats) {
+        if t.value(c)?.sql_eq(&Value::Int(key))? {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+impl Relation {
+    /// Build a relation from `(position, record)` sequence entries, exposing
+    /// the position as the leading `time` attribute if the schema already
+    /// starts with it, or as-is otherwise.
+    pub fn from_sequence_entries(schema: Schema, entries: &[(i64, Record)]) -> Result<Relation> {
+        let tuples = entries.iter().map(|(_, r)| r.clone()).collect();
+        Relation::new(schema, tuples)
+    }
+}
+
+impl std::fmt::Display for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} ({} tuples)", self.schema, self.tuples.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::{record, schema, AttrType};
+
+    fn quakes() -> Relation {
+        Relation::new(
+            schema(&[("time", AttrType::Int), ("strength", AttrType::Float)]),
+            vec![
+                record![10i64, 6.0],
+                record![20i64, 8.0],
+                record![40i64, 5.0],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_checked_construction() {
+        let bad = Relation::new(
+            schema(&[("time", AttrType::Int)]),
+            vec![record![1.5]],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn scan_counts_tuples() {
+        let r = quakes();
+        let stats = RelStats::new();
+        assert_eq!(r.scan(&stats).count(), 3);
+        assert_eq!(stats.tuples_scanned(), 3);
+        stats.reset();
+        assert_eq!(stats.tuples_scanned(), 0);
+    }
+
+    #[test]
+    fn scalar_max_under_predicate() {
+        let r = quakes();
+        let stats = RelStats::new();
+        let tcol = r.col("time").unwrap();
+        let m = scalar_max_where(&r, "time", |t| Ok(t.value(tcol)?.as_i64()? < 25), &stats)
+            .unwrap();
+        assert_eq!(m, Some(20));
+        let none = scalar_max_where(&r, "time", |t| Ok(t.value(tcol)?.as_i64()? < 5), &stats)
+            .unwrap();
+        assert_eq!(none, None);
+        assert_eq!(stats.tuples_scanned(), 6); // two full scans
+    }
+
+    #[test]
+    fn select_eq_scans() {
+        let r = quakes();
+        let stats = RelStats::new();
+        let hits = select_int_eq(&r, "time", 20, &stats).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(stats.tuples_scanned(), 3);
+    }
+
+    #[test]
+    fn int_index_probe_and_max_below() {
+        let r = quakes();
+        let idx = r.build_int_index("time").unwrap();
+        let stats = RelStats::new();
+        assert_eq!(idx.probe(20, &stats), Some(1));
+        assert_eq!(idx.probe(21, &stats), None);
+        assert_eq!(idx.max_below(25, &stats).unwrap().0, 20);
+        assert_eq!(idx.max_below(10, &stats), None);
+        assert_eq!(stats.index_probes(), 4);
+        assert_eq!(stats.tuples_scanned(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Sparse position index over the pages of a stored sequence.
+//!
+//! The paper assumes "available access paths to base sequences, and the costs
+//! of access along these paths" (§3). The sparse index maps a position to the
+//! page that could contain it, supporting both exact probes and positioned
+//! scans (`first page holding a position >= p`). The index itself is assumed
+//! resident (it is a few entries per page), so only leaf-page accesses are
+//! charged — mirroring how a B+-tree's inner nodes stay cached.
+
+use crate::page::{Page, PageId};
+
+/// One index entry: the lowest and highest positions stored on a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Lowest position stored on the page.
+    pub first_pos: i64,
+    /// Highest position stored on the page.
+    pub last_pos: i64,
+    /// The page holding those positions.
+    pub page: PageId,
+}
+
+/// Sparse, sorted position index.
+#[derive(Debug, Clone, Default)]
+pub struct SparseIndex {
+    entries: Vec<IndexEntry>,
+}
+
+impl SparseIndex {
+    /// Build from the (non-empty) pages of a sequence, in page order.
+    pub fn build(pages: &[Page]) -> SparseIndex {
+        let entries = pages
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| IndexEntry {
+                first_pos: p.first_pos().expect("non-empty"),
+                last_pos: p.last_pos().expect("non-empty"),
+                page: p.id(),
+            })
+            .collect();
+        SparseIndex { entries }
+    }
+
+    /// Whether the index covers no pages.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of indexed pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The page that would contain `pos` if present, i.e. the last page whose
+    /// `first_pos <= pos`, provided `pos <= last_pos`.
+    pub fn page_for(&self, pos: i64) -> Option<PageId> {
+        let idx = self.entries.partition_point(|e| e.first_pos <= pos);
+        if idx == 0 {
+            return None;
+        }
+        let e = &self.entries[idx - 1];
+        if pos <= e.last_pos {
+            Some(e.page)
+        } else {
+            None
+        }
+    }
+
+    /// Index (into page order) of the first page containing any position
+    /// `>= pos`; `len()` when no such page exists.
+    pub fn first_page_at_or_after(&self, pos: i64) -> usize {
+        self.entries.partition_point(|e| e.last_pos < pos)
+    }
+
+    /// The i-th index entry, in page order.
+    pub fn entry(&self, i: usize) -> Option<&IndexEntry> {
+        self.entries.get(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::record;
+
+    fn pages() -> Vec<Page> {
+        vec![
+            Page::new(0, vec![(1, record![1i64]), (3, record![3i64])]),
+            Page::new(1, vec![(7, record![7i64]), (9, record![9i64])]),
+            Page::new(2, vec![(12, record![12i64])]),
+        ]
+    }
+
+    #[test]
+    fn exact_probe_routing() {
+        let idx = SparseIndex::build(&pages());
+        assert_eq!(idx.page_for(1), Some(0));
+        assert_eq!(idx.page_for(3), Some(0));
+        assert_eq!(idx.page_for(7), Some(1));
+        assert_eq!(idx.page_for(12), Some(2));
+    }
+
+    #[test]
+    fn gaps_between_pages_route_nowhere() {
+        let idx = SparseIndex::build(&pages());
+        // Position 5 falls between page 0's last (3) and page 1's first (7):
+        // no page can contain it.
+        assert_eq!(idx.page_for(5), None);
+        assert_eq!(idx.page_for(0), None);
+        assert_eq!(idx.page_for(100), None);
+        // Position 2 is inside page 0's range, even though absent — the index
+        // routes to the page; the page lookup then misses.
+        assert_eq!(idx.page_for(2), Some(0));
+    }
+
+    #[test]
+    fn positioned_scan_start() {
+        let idx = SparseIndex::build(&pages());
+        assert_eq!(idx.first_page_at_or_after(-5), 0);
+        assert_eq!(idx.first_page_at_or_after(3), 0);
+        assert_eq!(idx.first_page_at_or_after(4), 1);
+        assert_eq!(idx.first_page_at_or_after(10), 2);
+        assert_eq!(idx.first_page_at_or_after(13), 3);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = SparseIndex::build(&[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.page_for(1), None);
+        assert_eq!(idx.first_page_at_or_after(1), 0);
+    }
+
+    #[test]
+    fn skips_empty_pages() {
+        let ps = vec![Page::new(0, vec![]), Page::new(1, vec![(5, record![5i64])])];
+        let idx = SparseIndex::build(&ps);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.page_for(5), Some(1));
+    }
+}

@@ -1,0 +1,113 @@
+//! Pages: the fixed-capacity unit of storage and of I/O accounting.
+//!
+//! A stored sequence is a vector of pages, each holding up to a fixed number
+//! of `(position, record)` entries in position order. The paper measures
+//! stream-access cost "as a product of the number of pages to be accessed and
+//! the cost of each access" (§4.1.1); the page is therefore the unit the cost
+//! model and the statistics counters agree on.
+
+use seq_core::Record;
+
+/// Identifier of a page within one stored sequence.
+pub type PageId = u32;
+
+/// One page of a stored sequence.
+#[derive(Debug, Clone)]
+pub struct Page {
+    id: PageId,
+    /// Entries sorted by position; positions unique within the sequence.
+    entries: Vec<(i64, Record)>,
+}
+
+impl Page {
+    /// A page from position-sorted entries.
+    pub fn new(id: PageId, entries: Vec<(i64, Record)>) -> Page {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "page entries must be sorted");
+        Page { id, entries }
+    }
+
+    /// Page identifier within its sequence.
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+
+    /// The page's `(position, record)` entries.
+    pub fn entries(&self) -> &[(i64, Record)] {
+        &self.entries
+    }
+
+    /// Number of records on the page.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the page holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// First (lowest) position stored on this page.
+    pub fn first_pos(&self) -> Option<i64> {
+        self.entries.first().map(|(p, _)| *p)
+    }
+
+    /// Last (highest) position stored on this page.
+    pub fn last_pos(&self) -> Option<i64> {
+        self.entries.last().map(|(p, _)| *p)
+    }
+
+    /// Binary-search for an exact position within the page.
+    pub fn find(&self, pos: i64) -> Option<&Record> {
+        self.entries
+            .binary_search_by_key(&pos, |(p, _)| *p)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Index of the first entry with position `>= pos`.
+    pub fn lower_bound(&self, pos: i64) -> usize {
+        match self.entries.binary_search_by_key(&pos, |(p, _)| *p) {
+            Ok(i) | Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::record;
+
+    fn page() -> Page {
+        Page::new(
+            0,
+            vec![(2, record![2i64]), (5, record![5i64]), (9, record![9i64])],
+        )
+    }
+
+    #[test]
+    fn bounds_and_find() {
+        let p = page();
+        assert_eq!(p.first_pos(), Some(2));
+        assert_eq!(p.last_pos(), Some(9));
+        assert!(p.find(5).is_some());
+        assert!(p.find(4).is_none());
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn lower_bound_seeks() {
+        let p = page();
+        assert_eq!(p.lower_bound(1), 0);
+        assert_eq!(p.lower_bound(2), 0);
+        assert_eq!(p.lower_bound(3), 1);
+        assert_eq!(p.lower_bound(10), 3);
+    }
+
+    #[test]
+    fn empty_page() {
+        let p = Page::new(7, vec![]);
+        assert!(p.is_empty());
+        assert_eq!(p.first_pos(), None);
+        assert_eq!(p.id(), 7);
+    }
+}

@@ -1,0 +1,167 @@
+//! Access statistics.
+//!
+//! The optimizations the paper studies (span restriction §3.2, access-mode
+//! selection §3.3, caching §3.5) manifest physically as differences in page
+//! and record access counts. Every storage-level operation increments shared
+//! atomic counters; the benchmark harness snapshots them to report the same
+//! quantities the paper's cost model prices.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared atomic counters for one storage context (typically one catalog).
+#[derive(Debug, Default)]
+pub struct AccessStats {
+    /// Pages fetched from "disk" (buffer-pool misses, or every page access
+    /// when no buffer pool is attached).
+    pub page_reads: AtomicU64,
+    /// Page accesses satisfied by the buffer pool.
+    pub page_hits: AtomicU64,
+    /// Probed (positional) record lookups.
+    pub probes: AtomicU64,
+    /// Records yielded by stream scans.
+    pub stream_records: AtomicU64,
+    /// Stream scans opened.
+    pub scans_opened: AtomicU64,
+}
+
+impl AccessStats {
+    /// Fresh shared counters.
+    pub fn new() -> Arc<AccessStats> {
+        Arc::new(AccessStats::default())
+    }
+
+    /// Charge one page read (buffer miss).
+    pub fn record_page_read(&self) {
+        self.page_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge one buffer hit.
+    pub fn record_page_hit(&self) {
+        self.page_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge one positional probe.
+    pub fn record_probe(&self) {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge one record yielded by a stream scan.
+    pub fn record_stream_record(&self) {
+        self.stream_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge one scan opening.
+    pub fn record_scan_opened(&self) {
+        self.scans_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            page_reads: self.page_reads.load(Ordering::Relaxed),
+            page_hits: self.page_hits.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            stream_records: self.stream_records.load(Ordering::Relaxed),
+            scans_opened: self.scans_opened.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (between benchmark iterations).
+    pub fn reset(&self) {
+        self.page_reads.store(0, Ordering::Relaxed);
+        self.page_hits.store(0, Ordering::Relaxed);
+        self.probes.store(0, Ordering::Relaxed);
+        self.stream_records.store(0, Ordering::Relaxed);
+        self.scans_opened.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable snapshot of [`AccessStats`], with difference arithmetic so
+/// harnesses can measure deltas around a region of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Pages fetched from storage.
+    pub page_reads: u64,
+    /// Page accesses served by the buffer pool.
+    pub page_hits: u64,
+    /// Positional record lookups.
+    pub probes: u64,
+    /// Records yielded by stream scans.
+    pub stream_records: u64,
+    /// Stream scans opened.
+    pub scans_opened: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            page_reads: self.page_reads.saturating_sub(earlier.page_reads),
+            page_hits: self.page_hits.saturating_sub(earlier.page_hits),
+            probes: self.probes.saturating_sub(earlier.probes),
+            stream_records: self.stream_records.saturating_sub(earlier.stream_records),
+            scans_opened: self.scans_opened.saturating_sub(earlier.scans_opened),
+        }
+    }
+
+    /// Total page accesses (hits + reads).
+    pub fn page_accesses(&self) -> u64 {
+        self.page_reads + self.page_hits
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "page_reads={} page_hits={} probes={} stream_records={} scans={}",
+            self.page_reads, self.page_hits, self.probes, self.stream_records, self.scans_opened
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = AccessStats::new();
+        s.record_page_read();
+        s.record_page_read();
+        s.record_page_hit();
+        s.record_probe();
+        s.record_stream_record();
+        s.record_scan_opened();
+        let snap = s.snapshot();
+        assert_eq!(snap.page_reads, 2);
+        assert_eq!(snap.page_hits, 1);
+        assert_eq!(snap.probes, 1);
+        assert_eq!(snap.page_accesses(), 3);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let s = AccessStats::new();
+        s.record_probe();
+        let before = s.snapshot();
+        s.record_probe();
+        s.record_probe();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.probes, 2);
+        assert_eq!(delta.page_reads, 0);
+    }
+
+    #[test]
+    fn display_lists_all_counters() {
+        let s = AccessStats::new();
+        s.record_probe();
+        let text = s.snapshot().to_string();
+        assert!(text.contains("probes=1"));
+        assert!(text.contains("page_reads=0"));
+    }
+}

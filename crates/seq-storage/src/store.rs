@@ -1,0 +1,434 @@
+//! Paged stored sequences with access accounting.
+//!
+//! [`StoredSequence`] is the physical representation of a base sequence:
+//! records packed into fixed-capacity pages in position order, a sparse
+//! position index for probed access, and shared [`AccessStats`] counters
+//! charged on every page touch. An optional [`BufferPool`] decides whether a
+//! page touch is a (cheap) hit or a (charged) read.
+
+use std::sync::Arc;
+
+use seq_core::{BaseSequence, Record, Schema, SeqMeta, Sequence, Span};
+
+use crate::buffer::{BufferPool, PageAccess, StoreId};
+use crate::index::SparseIndex;
+use crate::page::{Page, PageId};
+use crate::stats::AccessStats;
+
+/// Default number of records per page. With ~16-byte records this models a
+/// small page; experiments that care set their own capacity.
+pub const DEFAULT_PAGE_CAPACITY: usize = 64;
+
+/// A physically stored base sequence.
+pub struct StoredSequence {
+    store_id: StoreId,
+    name: String,
+    schema: Schema,
+    meta: SeqMeta,
+    pages: Vec<Page>,
+    index: SparseIndex,
+    record_count: u64,
+    stats: Arc<AccessStats>,
+    buffer: Option<Arc<BufferPool>>,
+}
+
+impl std::fmt::Debug for StoredSequence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoredSequence")
+            .field("name", &self.name)
+            .field("store_id", &self.store_id)
+            .field("pages", &self.pages.len())
+            .field("records", &self.record_count)
+            .field("meta", &self.meta)
+            .finish()
+    }
+}
+
+impl StoredSequence {
+    /// Materialize an in-memory base sequence into pages of `page_capacity`
+    /// records each.
+    pub fn from_base(
+        store_id: StoreId,
+        name: impl Into<String>,
+        base: &BaseSequence,
+        page_capacity: usize,
+        stats: Arc<AccessStats>,
+        buffer: Option<Arc<BufferPool>>,
+    ) -> StoredSequence {
+        assert!(page_capacity > 0, "page capacity must be positive");
+        let entries = base.entries();
+        let mut pages = Vec::with_capacity(entries.len().div_ceil(page_capacity));
+        for (i, chunk) in entries.chunks(page_capacity).enumerate() {
+            pages.push(Page::new(i as PageId, chunk.to_vec()));
+        }
+        let index = SparseIndex::build(&pages);
+        StoredSequence {
+            store_id,
+            name: name.into(),
+            schema: base.schema().clone(),
+            meta: base.meta().clone(),
+            pages,
+            index,
+            record_count: entries.len() as u64,
+            stats,
+            buffer,
+        }
+    }
+
+    /// Catalog name of the sequence.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Identifier within the shared buffer pool.
+    pub fn store_id(&self) -> StoreId {
+        self.store_id
+    }
+
+    /// Number of pages the sequence occupies.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The counters this store charges.
+    pub fn stats(&self) -> &Arc<AccessStats> {
+        &self.stats
+    }
+
+    /// Charge one page touch against the statistics (and the buffer pool,
+    /// when attached).
+    fn touch_page(&self, page: PageId) {
+        match &self.buffer {
+            Some(pool) => match pool.access(self.store_id, page) {
+                PageAccess::Hit => self.stats.record_page_hit(),
+                PageAccess::Miss => self.stats.record_page_read(),
+            },
+            None => self.stats.record_page_read(),
+        }
+    }
+}
+
+impl Sequence for StoredSequence {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn meta(&self) -> &SeqMeta {
+        &self.meta
+    }
+
+    fn get(&self, pos: i64) -> Option<Record> {
+        self.stats.record_probe();
+        let page_id = self.index.page_for(pos)?;
+        self.touch_page(page_id);
+        self.pages[page_id as usize].find(pos).cloned()
+    }
+
+    fn scan(&self, span: Span) -> Box<dyn Iterator<Item = (i64, Record)> + '_> {
+        self.stats.record_scan_opened();
+        if span.is_empty() {
+            return Box::new(std::iter::empty());
+        }
+        let start_page = self.index.first_page_at_or_after(span.start());
+        Box::new(StoredScan {
+            store: self,
+            page_idx: start_page,
+            slot: None,
+            end: span.end(),
+            start: span.start(),
+        })
+    }
+
+    fn record_count(&self) -> u64 {
+        self.record_count
+    }
+}
+
+impl StoredSequence {
+    /// An owning stream cursor (for executors that cannot hold a borrow on
+    /// the store). Touches each page once, in order, like
+    /// [`Sequence::scan`], and additionally supports positional skipping.
+    pub fn scan_owned(self: &Arc<Self>, span: Span) -> OwnedScan {
+        self.stats.record_scan_opened();
+        let (page_idx, start, end) = if span.is_empty() {
+            (usize::MAX, 1, 0)
+        } else {
+            (self.index.first_page_at_or_after(span.start()), span.start(), span.end())
+        };
+        OwnedScan { store: Arc::clone(self), page_idx, slot: None, start, end }
+    }
+}
+
+/// Owning streaming scan over an `Arc<StoredSequence>`.
+pub struct OwnedScan {
+    store: Arc<StoredSequence>,
+    page_idx: usize,
+    slot: Option<usize>,
+    start: i64,
+    end: i64,
+}
+
+impl OwnedScan {
+    /// Next non-empty position, or `None` when the span is exhausted.
+    pub fn next_record(&mut self) -> Option<(i64, Record)> {
+        loop {
+            let page = self.store.pages.get(self.page_idx)?;
+            let slot = match self.slot {
+                Some(s) => s,
+                None => {
+                    self.store.touch_page(page.id());
+                    page.lower_bound(self.start)
+                }
+            };
+            if let Some((pos, rec)) = page.entries().get(slot) {
+                if *pos > self.end {
+                    self.page_idx = usize::MAX;
+                    return None;
+                }
+                self.slot = Some(slot + 1);
+                self.store.stats.record_stream_record();
+                return Some((*pos, rec.clone()));
+            }
+            self.page_idx = self.page_idx.wrapping_add(1);
+            self.slot = None;
+        }
+    }
+
+    /// Raise the scan's lower bound: subsequent records have position
+    /// `>= lower`. Skipped records are *not* charged as stream records, but
+    /// pages between here and there are still entered one by one (a stream
+    /// access cannot jump; cf. §3.3's distinction from probed access).
+    pub fn skip_to(&mut self, lower: i64) {
+        if lower > self.start {
+            self.start = lower;
+            if let Some(slot) = self.slot {
+                // Stay on the current page if it may still hold positions
+                // >= lower; otherwise re-enter pages forward.
+                if let Some(page) = self.store.pages.get(self.page_idx) {
+                    if page.last_pos().map(|lp| lp < lower).unwrap_or(true) {
+                        self.page_idx += 1;
+                        self.slot = None;
+                    } else {
+                        let lb = page.lower_bound(lower);
+                        self.slot = Some(lb.max(slot));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for OwnedScan {
+    type Item = (i64, Record);
+
+    fn next(&mut self) -> Option<(i64, Record)> {
+        self.next_record()
+    }
+}
+
+/// Streaming scan over a stored sequence: touches each page once, in order.
+struct StoredScan<'a> {
+    store: &'a StoredSequence,
+    page_idx: usize,
+    /// Slot within the current page; `None` before the page is entered.
+    slot: Option<usize>,
+    start: i64,
+    end: i64,
+}
+
+impl Iterator for StoredScan<'_> {
+    type Item = (i64, Record);
+
+    fn next(&mut self) -> Option<(i64, Record)> {
+        loop {
+            let page = self.store.pages.get(self.page_idx)?;
+            let slot = match self.slot {
+                Some(s) => s,
+                None => {
+                    // Entering this page: charge the touch and position the
+                    // cursor at the first in-span entry.
+                    self.store.touch_page(page.id());
+                    page.lower_bound(self.start)
+                }
+            };
+            if let Some((pos, rec)) = page.entries().get(slot) {
+                if *pos > self.end {
+                    return None;
+                }
+                self.slot = Some(slot + 1);
+                self.store.stats.record_stream_record();
+                return Some((*pos, rec.clone()));
+            }
+            // Page exhausted; move on.
+            self.page_idx += 1;
+            self.slot = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::{record, schema, AttrType};
+
+    fn base(n: i64, step: i64) -> BaseSequence {
+        let entries = (0..n)
+            .map(|i| {
+                let p = 1 + i * step;
+                (p, record![p, (p as f64) * 0.5])
+            })
+            .collect();
+        BaseSequence::from_entries(
+            schema(&[("time", AttrType::Int), ("close", AttrType::Float)]),
+            entries,
+        )
+        .unwrap()
+    }
+
+    fn stored(n: i64, step: i64, cap: usize) -> (StoredSequence, Arc<AccessStats>) {
+        let stats = AccessStats::new();
+        let s = StoredSequence::from_base(0, "t", &base(n, step), cap, stats.clone(), None);
+        (s, stats)
+    }
+
+    #[test]
+    fn pagination_matches_capacity() {
+        let (s, _) = stored(100, 1, 16);
+        assert_eq!(s.page_count(), 7); // ceil(100/16)
+        assert_eq!(s.record_count(), 100);
+    }
+
+    #[test]
+    fn full_scan_touches_each_page_once() {
+        let (s, stats) = stored(100, 1, 16);
+        let n = s.scan(Span::all()).count();
+        assert_eq!(n, 100);
+        let snap = stats.snapshot();
+        assert_eq!(snap.page_reads, 7);
+        assert_eq!(snap.stream_records, 100);
+        assert_eq!(snap.scans_opened, 1);
+    }
+
+    #[test]
+    fn restricted_scan_touches_fewer_pages() {
+        let (s, stats) = stored(100, 1, 16);
+        // Positions 1..=100, pages of 16: positions 1..16 on page 0, etc.
+        let got: Vec<i64> = s.scan(Span::new(40, 50)).map(|(p, _)| p).collect();
+        assert_eq!(got, (40..=50).collect::<Vec<_>>());
+        let snap = stats.snapshot();
+        // Positions 40..50 live on pages 2 (33..48) and 3 (49..64).
+        assert_eq!(snap.page_reads, 2);
+    }
+
+    #[test]
+    fn probe_charges_one_page() {
+        let (s, stats) = stored(100, 1, 16);
+        assert!(s.get(50).is_some());
+        assert!(s.get(101).is_none()); // out of range: no page touched
+        let snap = stats.snapshot();
+        assert_eq!(snap.probes, 2);
+        assert_eq!(snap.page_reads, 1);
+    }
+
+    #[test]
+    fn probe_empty_position_in_range_touches_page() {
+        let (s, stats) = stored(50, 2, 16); // positions 1,3,5,...
+        assert!(s.get(2).is_none());
+        assert_eq!(stats.snapshot().page_reads, 1);
+    }
+
+    #[test]
+    fn buffer_pool_absorbs_repeat_probes() {
+        let stats = AccessStats::new();
+        let pool = Arc::new(BufferPool::new(8));
+        let s = StoredSequence::from_base(0, "t", &base(100, 1), 16, stats.clone(), Some(pool));
+        s.get(10);
+        s.get(11);
+        s.get(12);
+        let snap = stats.snapshot();
+        assert_eq!(snap.page_reads, 1);
+        assert_eq!(snap.page_hits, 2);
+    }
+
+    #[test]
+    fn scan_on_sparse_sequence() {
+        let (s, _) = stored(10, 5, 4); // positions 1,6,11,...,46
+        let got: Vec<i64> = s.scan(Span::new(7, 30)).map(|(p, _)| p).collect();
+        assert_eq!(got, vec![11, 16, 21, 26]);
+    }
+
+    #[test]
+    fn empty_span_scan_reads_nothing() {
+        let (s, stats) = stored(10, 1, 4);
+        assert_eq!(s.scan(Span::empty()).count(), 0);
+        assert_eq!(stats.snapshot().page_reads, 0);
+    }
+
+    #[test]
+    fn meta_comes_from_base() {
+        let (s, _) = stored(10, 1, 4);
+        assert_eq!(s.meta().span, Span::new(1, 10));
+        assert_eq!(s.meta().density, 1.0);
+        assert_eq!(s.schema().arity(), 2);
+    }
+}
+
+#[cfg(test)]
+mod owned_scan_tests {
+    use super::*;
+    use seq_core::{record, schema, AttrType};
+
+    fn stored(n: i64, step: i64, cap: usize) -> (Arc<StoredSequence>, Arc<AccessStats>) {
+        let entries = (0..n).map(|i| (1 + i * step, record![1 + i * step])).collect();
+        let base =
+            BaseSequence::from_entries(schema(&[("x", AttrType::Int)]), entries).unwrap();
+        let stats = AccessStats::new();
+        let s = Arc::new(StoredSequence::from_base(0, "t", &base, cap, stats.clone(), None));
+        (s, stats)
+    }
+
+    #[test]
+    fn owned_scan_matches_borrowed_scan() {
+        let (s, _) = stored(50, 3, 8);
+        let borrowed: Vec<i64> = s.scan(Span::new(10, 100)).map(|(p, _)| p).collect();
+        let owned: Vec<i64> = s.scan_owned(Span::new(10, 100)).map(|(p, _)| p).collect();
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn skip_to_advances_without_counting_records() {
+        let (s, stats) = stored(100, 1, 16);
+        let mut scan = s.scan_owned(Span::new(1, 100));
+        assert_eq!(scan.next_record().unwrap().0, 1);
+        scan.skip_to(60);
+        assert_eq!(scan.next_record().unwrap().0, 60);
+        // Only two records were streamed out.
+        assert_eq!(stats.snapshot().stream_records, 2);
+    }
+
+    #[test]
+    fn skip_backward_is_a_no_op() {
+        let (s, _) = stored(10, 1, 4);
+        let mut scan = s.scan_owned(Span::new(1, 10));
+        scan.next_record();
+        scan.next_record();
+        scan.skip_to(1); // lower than current: ignored
+        assert_eq!(scan.next_record().unwrap().0, 3);
+    }
+
+    #[test]
+    fn skip_within_current_page() {
+        let (s, _) = stored(20, 1, 16);
+        let mut scan = s.scan_owned(Span::new(1, 20));
+        assert_eq!(scan.next_record().unwrap().0, 1);
+        scan.skip_to(5);
+        assert_eq!(scan.next_record().unwrap().0, 5);
+    }
+
+    #[test]
+    fn empty_span_owned_scan() {
+        let (s, _) = stored(10, 1, 4);
+        let mut scan = s.scan_owned(Span::empty());
+        assert!(scan.next_record().is_none());
+    }
+}

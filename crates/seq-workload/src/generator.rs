@@ -1,0 +1,194 @@
+//! Parameterized, seeded sequence generation.
+//!
+//! Every experiment depends on exactly the meta-data knobs the paper's
+//! optimizer consumes: span, density, the correlation between two sequences'
+//! Null positions (§3), and value distributions. [`SeqSpec`] controls all
+//! four, deterministically from a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use seq_core::{record, AttrType, BaseSequence, Schema, Span};
+
+/// The standard two-attribute stock schema used across the experiments.
+pub fn stock_schema() -> Schema {
+    seq_core::schema(&[("time", AttrType::Int), ("close", AttrType::Float)])
+}
+
+/// Specification of one generated sequence.
+#[derive(Debug, Clone)]
+pub struct SeqSpec {
+    /// Declared valid range.
+    pub span: Span,
+    /// Fraction of span positions that carry a record.
+    pub density: f64,
+    /// RNG seed (generation is fully deterministic given the spec).
+    pub seed: u64,
+    /// Starting price of the random walk.
+    pub start_value: f64,
+    /// Per-step standard deviation of the walk.
+    pub volatility: f64,
+}
+
+impl SeqSpec {
+    /// A spec with default walk parameters (start 100, volatility 1).
+    pub fn new(span: Span, density: f64, seed: u64) -> SeqSpec {
+        SeqSpec { span, density: density.clamp(0.0, 1.0), seed, start_value: 100.0, volatility: 1.0 }
+    }
+
+    /// Override the random walk's starting value and per-step volatility.
+    pub fn with_walk(mut self, start_value: f64, volatility: f64) -> SeqSpec {
+        self.start_value = start_value;
+        self.volatility = volatility;
+        self
+    }
+
+    /// Generate the non-empty positions of this spec.
+    pub fn positions(&self) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.span
+            .positions()
+            .filter(|_| rng.gen_bool(self.density))
+            .collect()
+    }
+
+    /// Materialize a random-walk stock sequence over this spec's positions.
+    pub fn generate(&self) -> BaseSequence {
+        let positions = self.positions();
+        self.generate_at(&positions)
+    }
+
+    /// Materialize the random walk at explicitly supplied positions (used
+    /// for correlated sequences).
+    pub fn generate_at(&self, positions: &[i64]) -> BaseSequence {
+        // Separate RNG stream for values so that changing density does not
+        // change the price path shape.
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        let mut price = self.start_value;
+        let entries = positions
+            .iter()
+            .map(|&p| {
+                price += rng.gen_range(-self.volatility..=self.volatility);
+                price = price.max(1.0);
+                (p, record![p, price])
+            })
+            .collect();
+        BaseSequence::from_entries(stock_schema(), entries)
+            .expect("generated positions are unique and sorted")
+            .with_declared_span(self.span)
+    }
+}
+
+/// Generate a pair of sequences whose Null positions are correlated:
+/// `correlation` = 1 makes the second sequence occupy exactly the first's
+/// positions (thinned to its own density); 0 draws them independently; −1
+/// prefers the complement of the first's positions.
+pub fn correlated_pair(
+    a: &SeqSpec,
+    b: &SeqSpec,
+    correlation: f64,
+) -> (BaseSequence, BaseSequence) {
+    let a_positions = a.positions();
+    let sa = a.generate_at(&a_positions);
+
+    let mut rng = StdRng::seed_from_u64(b.seed.wrapping_add(7));
+    let in_a: std::collections::HashSet<i64> = a_positions.iter().copied().collect();
+    let c = correlation.clamp(-1.0, 1.0);
+    // Probability of a position being chosen, conditioned on membership in A.
+    // Unconditional density must stay ≈ b.density.
+    let d = b.density;
+    let da = a.density.clamp(1e-9, 1.0);
+    let p_in = (d + c * d * (1.0 - da) / da.max(d)).clamp(0.0, 1.0);
+    let p_out = if (1.0 - da) < 1e-9 {
+        d
+    } else {
+        ((d - p_in * da) / (1.0 - da)).clamp(0.0, 1.0)
+    };
+    let b_positions: Vec<i64> = b
+        .span
+        .positions()
+        .filter(|p| {
+            let pr = if in_a.contains(p) { p_in } else { p_out };
+            rng.gen_bool(pr)
+        })
+        .collect();
+    let sb = b.generate_at(&b_positions);
+    (sa, sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::Sequence;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SeqSpec::new(Span::new(1, 500), 0.7, 42);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.record_count(), b.record_count());
+        assert_eq!(a.entries(), b.entries());
+        assert_eq!(a.meta().span, Span::new(1, 500));
+    }
+
+    #[test]
+    fn density_is_respected_approximately() {
+        let spec = SeqSpec::new(Span::new(1, 10_000), 0.3, 7);
+        let s = spec.generate();
+        let measured = s.record_count() as f64 / 10_000.0;
+        assert!((measured - 0.3).abs() < 0.03, "measured density {measured}");
+    }
+
+    #[test]
+    fn full_density_fills_every_position() {
+        let spec = SeqSpec::new(Span::new(10, 20), 1.0, 3);
+        let s = spec.generate();
+        assert_eq!(s.record_count(), 11);
+    }
+
+    #[test]
+    fn values_walk_positively() {
+        let spec = SeqSpec::new(Span::new(1, 100), 1.0, 11).with_walk(50.0, 2.0);
+        let s = spec.generate();
+        for (_, r) in s.entries() {
+            assert!(r.value(1).unwrap().as_f64().unwrap() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn correlation_one_nests_positions() {
+        let a = SeqSpec::new(Span::new(1, 5_000), 0.5, 1);
+        let b = SeqSpec::new(Span::new(1, 5_000), 0.3, 2);
+        let (sa, sb) = correlated_pair(&a, &b, 1.0);
+        let a_set: std::collections::HashSet<i64> =
+            sa.entries().iter().map(|(p, _)| *p).collect();
+        let inside = sb.entries().iter().filter(|(p, _)| a_set.contains(p)).count();
+        let frac = inside as f64 / sb.record_count() as f64;
+        assert!(frac > 0.95, "positively correlated fraction {frac}");
+    }
+
+    #[test]
+    fn correlation_negative_avoids_positions() {
+        let a = SeqSpec::new(Span::new(1, 5_000), 0.5, 1);
+        let b = SeqSpec::new(Span::new(1, 5_000), 0.3, 2);
+        let (sa, sb) = correlated_pair(&a, &b, -1.0);
+        let a_set: std::collections::HashSet<i64> =
+            sa.entries().iter().map(|(p, _)| *p).collect();
+        let inside = sb.entries().iter().filter(|(p, _)| a_set.contains(p)).count();
+        let frac = inside as f64 / sb.record_count().max(1) as f64;
+        assert!(frac < 0.25, "negatively correlated fraction {frac}");
+    }
+
+    #[test]
+    fn correlation_zero_is_independent() {
+        let a = SeqSpec::new(Span::new(1, 20_000), 0.5, 1);
+        let b = SeqSpec::new(Span::new(1, 20_000), 0.4, 2);
+        let (sa, sb) = correlated_pair(&a, &b, 0.0);
+        let a_set: std::collections::HashSet<i64> =
+            sa.entries().iter().map(|(p, _)| *p).collect();
+        let inside = sb.entries().iter().filter(|(p, _)| a_set.contains(p)).count();
+        let frac = inside as f64 / sb.record_count() as f64;
+        // Should be ≈ density of A.
+        assert!((frac - 0.5).abs() < 0.05, "independent overlap fraction {frac}");
+    }
+}

@@ -1,0 +1,20 @@
+//! # seq-workload — seeded workload generation
+//!
+//! Deterministic generators for the data worlds the paper's examples use:
+//!
+//! - [`generator`] — parameterized sequences (span, density, Null-position
+//!   correlation, random-walk values);
+//! - [`stocks`] — the Table 1 stock-market world (IBM/DEC/HP), scalable;
+//! - [`weather`] — the Example 1.1 volcano/earthquake world;
+//! - [`queries`] — canned query graphs for every figure and example.
+
+pub mod generator;
+pub mod queries;
+pub mod stocks;
+pub mod weather;
+
+pub use generator::{correlated_pair, stock_schema, SeqSpec};
+pub use stocks::{table1_catalog, table1_sequences, table1_spans};
+pub use weather::{
+    generate as generate_weather, generate_regional, weather_catalog, WeatherSpec, WeatherWorld,
+};

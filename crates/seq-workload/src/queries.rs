@@ -1,0 +1,142 @@
+//! Canned query graphs for the paper's figures and examples.
+
+use seq_core::Value;
+use seq_ops::{AggFunc, Expr, QueryGraph, SeqQuery, Window};
+
+/// Example 1.1 / Figure 1: "For which volcano eruptions was the strength of
+/// the most recent earthquake greater than `threshold`?"
+///
+/// Volcanos ∘ Previous(Quakes), filtered on the quake strength, projected to
+/// the volcano name (and kept time for verification).
+pub fn example_1_1(threshold: f64) -> QueryGraph {
+    SeqQuery::base("Volcanos")
+        .compose_with(SeqQuery::base("Quakes").previous())
+        .select(Expr::attr("strength").gt(Expr::lit(threshold)))
+        .project(["name", "time"])
+        .build()
+}
+
+/// Figure 3: the price of DEC when IBM's close beats HP's close.
+pub fn fig3_span_query() -> QueryGraph {
+    SeqQuery::base("DEC")
+        .compose_with(SeqQuery::base("IBM").compose_filtered(
+            SeqQuery::base("HP"),
+            Expr::attr("close").gt(Expr::attr("close_r")),
+        ))
+        .build()
+}
+
+/// Figure 5.A: the sum of IBM's close over a trailing window.
+pub fn fig5a_moving_sum(window: u32) -> QueryGraph {
+    SeqQuery::base("IBM")
+        .aggregate(AggFunc::Sum, "close", Window::trailing(window))
+        .build()
+}
+
+/// Figure 5.B: DEC composed with Previous(σ(IBM ∘ HP)) — the derived-input
+/// value offset that motivates Cache-Strategy-B.
+pub fn fig5b_previous_derived() -> QueryGraph {
+    SeqQuery::base("DEC")
+        .compose_with(
+            SeqQuery::base("IBM")
+                .compose_filtered(
+                    SeqQuery::base("HP"),
+                    Expr::attr("close").gt(Expr::attr("close_r")),
+                )
+                .previous(),
+        )
+        .build()
+}
+
+/// A plain positional join of two named sequences, optionally filtered.
+pub fn pair_join(left: &str, right: &str, predicate: Option<Expr>) -> QueryGraph {
+    let l = SeqQuery::base(left);
+    let r = SeqQuery::base(right);
+    match predicate {
+        Some(p) => l.compose_filtered(r, p).build(),
+        None => l.compose_with(r).build(),
+    }
+}
+
+/// An N-way positional join over the named sequences (used by the
+/// Property 4.1 optimizer-complexity experiment).
+pub fn n_way_join(names: &[String]) -> QueryGraph {
+    assert!(!names.is_empty());
+    let mut q = SeqQuery::base(&names[0]);
+    for n in &names[1..] {
+        q = q.compose_with(SeqQuery::base(n));
+    }
+    q.build()
+}
+
+/// Golden-cross detection: the short moving average of `name` crossing above
+/// the long one — Compose(short-MA, long-MA) where short > long but the
+/// previous short ≤ previous long would need a Previous; we express the
+/// simpler "short above long" signal plus a threshold margin.
+pub fn golden_cross(name: &str, short: u32, long: u32, margin: f64) -> QueryGraph {
+    assert!(short < long);
+    let short_ma = SeqQuery::base(name).aggregate(AggFunc::Avg, "close", Window::trailing(short));
+    let long_ma = SeqQuery::base(name).aggregate(AggFunc::Avg, "close", Window::trailing(long));
+    short_ma
+        .compose_filtered(
+            long_ma,
+            Expr::attr("avg_close")
+                .gt(Expr::attr("avg_close_r").add(Expr::Lit(Value::Float(margin)))),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::{schema, AttrType, Schema};
+    use std::collections::HashMap;
+
+    fn provider() -> HashMap<String, Schema> {
+        let stock = schema(&[("time", AttrType::Int), ("close", AttrType::Float)]);
+        let mut m: HashMap<String, Schema> = ["IBM", "HP", "DEC", "S0", "S1", "S2", "S3"]
+            .iter()
+            .map(|n| (n.to_string(), stock.clone()))
+            .collect();
+        m.insert(
+            "Quakes".into(),
+            schema(&[("time", AttrType::Int), ("strength", AttrType::Float)]),
+        );
+        m.insert(
+            "Volcanos".into(),
+            schema(&[("time", AttrType::Int), ("name", AttrType::Str)]),
+        );
+        m
+    }
+
+    #[test]
+    fn all_canned_queries_resolve() {
+        let p = provider();
+        assert!(example_1_1(7.0).resolve(&p).is_ok());
+        assert!(fig3_span_query().resolve(&p).is_ok());
+        assert!(fig5a_moving_sum(6).resolve(&p).is_ok());
+        assert!(fig5b_previous_derived().resolve(&p).is_ok());
+        assert!(pair_join("IBM", "HP", None).resolve(&p).is_ok());
+        assert!(golden_cross("IBM", 5, 20, 0.0).resolve(&p).is_ok());
+        let names: Vec<String> = (0..4).map(|i| format!("S{i}")).collect();
+        assert!(n_way_join(&names).resolve(&p).is_ok());
+    }
+
+    #[test]
+    fn example_1_1_projects_name_and_time() {
+        let p = provider();
+        let r = example_1_1(7.0).resolve(&p).unwrap();
+        let s = r.output_schema();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.field(0).unwrap().name, "name");
+    }
+
+    #[test]
+    fn n_way_join_arity() {
+        let p = provider();
+        let names: Vec<String> = (0..3).map(|i| format!("S{i}")).collect();
+        let r = n_way_join(&names).resolve(&p).unwrap();
+        assert_eq!(r.output_schema().arity(), 6);
+        assert_eq!(r.base_names().len(), 3);
+    }
+}

@@ -1,0 +1,88 @@
+//! The Table 1 stock-market world, optionally scaled.
+//!
+//! | Sequence | Span      | Density |
+//! |----------|-----------|---------|
+//! | IBM      | 200..500  | 0.95    |
+//! | DEC      | 1..350    | 0.7     |
+//! | HP       | 1..750    | 1.0     |
+//!
+//! `scale = k` multiplies every span endpoint by `k`, preserving the
+//! densities and overlap structure, so experiments can grow the data while
+//! keeping the Figure 3 shape.
+
+use seq_core::{BaseSequence, Span};
+use seq_storage::Catalog;
+
+use crate::generator::SeqSpec;
+
+/// Table 1 spans at a given scale.
+pub fn table1_spans(scale: i64) -> [(&'static str, Span, f64); 3] {
+    assert!(scale >= 1);
+    [
+        ("IBM", Span::new(200 * scale, 500 * scale), 0.95),
+        ("DEC", Span::new(scale, 350 * scale), 0.7),
+        ("HP", Span::new(scale, 750 * scale), 1.0),
+    ]
+}
+
+/// Generate the three Table 1 sequences at the given scale.
+pub fn table1_sequences(scale: i64, seed: u64) -> Vec<(&'static str, BaseSequence)> {
+    table1_spans(scale)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, span, density))| {
+            // All three walks start at the same level so that value
+            // comparisons between them (e.g. Figure 3's IBM.close >
+            // HP.close) stay selective at every scale.
+            let spec = SeqSpec::new(span, density, seed.wrapping_add(i as u64 * 1000))
+                .with_walk(100.0, 1.5);
+            (name, spec.generate())
+        })
+        .collect()
+}
+
+/// Register the Table 1 world into a fresh catalog.
+pub fn table1_catalog(scale: i64, seed: u64, page_capacity: usize) -> Catalog {
+    let mut c = Catalog::new();
+    c.set_page_capacity(page_capacity);
+    for (name, base) in table1_sequences(scale, seed) {
+        c.register(name, &base);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::Sequence;
+
+    #[test]
+    fn spans_and_densities_match_table1() {
+        let seqs = table1_sequences(1, 42);
+        let ibm = &seqs[0].1;
+        assert_eq!(ibm.meta().span, Span::new(200, 500));
+        assert!((ibm.meta().density - 0.95).abs() < 0.05);
+        let dec = &seqs[1].1;
+        assert_eq!(dec.meta().span, Span::new(1, 350));
+        assert!((dec.meta().density - 0.7).abs() < 0.07);
+        let hp = &seqs[2].1;
+        assert_eq!(hp.meta().span, Span::new(1, 750));
+        assert_eq!(hp.meta().density, 1.0);
+    }
+
+    #[test]
+    fn scaling_preserves_shape() {
+        let seqs = table1_sequences(10, 42);
+        assert_eq!(seqs[0].1.meta().span, Span::new(2000, 5000));
+        assert!((seqs[0].1.meta().density - 0.95).abs() < 0.02);
+    }
+
+    #[test]
+    fn catalog_contains_all_three() {
+        let c = table1_catalog(1, 1, 32);
+        for name in ["IBM", "DEC", "HP"] {
+            assert!(c.get(name).is_ok(), "{name} missing");
+        }
+        assert_eq!(c.page_capacity(), 32);
+    }
+}

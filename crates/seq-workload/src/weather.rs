@@ -1,0 +1,252 @@
+//! The Example 1.1 weather-monitoring world: earthquakes and volcano
+//! eruptions sequenced by recording time.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use seq_core::{record, AttrType, BaseSequence, Schema, Span};
+use seq_storage::Catalog;
+
+/// Schema of the earthquake sequence: `(time, strength)`.
+pub fn quake_schema() -> Schema {
+    seq_core::schema(&[("time", AttrType::Int), ("strength", AttrType::Float)])
+}
+
+/// Schema of the volcano-eruption sequence: `(time, name)`.
+pub fn volcano_schema() -> Schema {
+    seq_core::schema(&[("time", AttrType::Int), ("name", AttrType::Str)])
+}
+
+/// Parameters of the weather world.
+#[derive(Debug, Clone)]
+pub struct WeatherSpec {
+    /// Timeline the events are scattered over.
+    pub span: Span,
+    /// Number of earthquake events.
+    pub n_quakes: usize,
+    /// Number of volcano eruptions.
+    pub n_volcanos: usize,
+    /// RNG seed (generation is deterministic).
+    pub seed: u64,
+    /// Richter strengths are drawn uniformly from this range.
+    pub strength_range: (f64, f64),
+}
+
+impl WeatherSpec {
+    /// A spec with the default strength range (4.0–9.0 Richter).
+    pub fn new(span: Span, n_quakes: usize, n_volcanos: usize, seed: u64) -> WeatherSpec {
+        WeatherSpec { span, n_quakes, n_volcanos, seed, strength_range: (4.0, 9.0) }
+    }
+}
+
+/// The generated world: two base sequences over disjoint positions (events
+/// are interleaved on the shared timeline; a quake and an eruption never
+/// share an exact recording instant).
+#[derive(Debug, Clone)]
+pub struct WeatherWorld {
+    /// The earthquake sequence.
+    pub quakes: BaseSequence,
+    /// The volcano-eruption sequence.
+    pub volcanos: BaseSequence,
+}
+
+/// Generate the world: distinct, interleaved positions for all events.
+pub fn generate(spec: &WeatherSpec) -> WeatherWorld {
+    assert!(spec.span.is_bounded());
+    let total = spec.n_quakes + spec.n_volcanos;
+    assert!(
+        (total as u64) <= spec.span.len(),
+        "span too small for {total} events"
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // Sample distinct positions, then split them between the event kinds.
+    let mut positions = std::collections::BTreeSet::new();
+    while positions.len() < total {
+        positions.insert(rng.gen_range(spec.span.start()..=spec.span.end()));
+    }
+    let positions: Vec<i64> = positions.into_iter().collect();
+    let mut is_quake: Vec<bool> =
+        (0..total).map(|i| i < spec.n_quakes).collect();
+    // Fisher–Yates interleave.
+    for i in (1..total).rev() {
+        let j = rng.gen_range(0..=i);
+        is_quake.swap(i, j);
+    }
+
+    let (lo, hi) = spec.strength_range;
+    let mut quakes = Vec::with_capacity(spec.n_quakes);
+    let mut volcanos = Vec::with_capacity(spec.n_volcanos);
+    for (k, &p) in positions.iter().enumerate() {
+        if is_quake[k] {
+            quakes.push((p, record![p, rng.gen_range(lo..hi)]));
+        } else {
+            let name = format!("volcano-{}", volcanos.len());
+            volcanos.push((p, record![p, name.as_str()]));
+        }
+    }
+    WeatherWorld {
+        quakes: BaseSequence::from_entries(quake_schema(), quakes)
+            .expect("distinct positions")
+            .with_declared_span(spec.span),
+        volcanos: BaseSequence::from_entries(volcano_schema(), volcanos)
+            .expect("distinct positions")
+            .with_declared_span(spec.span),
+    }
+}
+
+/// Register the world into a fresh catalog as `Quakes` / `Volcanos`.
+pub fn weather_catalog(spec: &WeatherSpec, page_capacity: usize) -> (Catalog, WeatherWorld) {
+    let world = generate(spec);
+    let mut c = Catalog::new();
+    c.set_page_capacity(page_capacity);
+    c.register("Quakes", &world.quakes);
+    c.register("Volcanos", &world.volcanos);
+    (c, world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::Sequence;
+
+    #[test]
+    fn counts_and_spans() {
+        let spec = WeatherSpec::new(Span::new(1, 10_000), 300, 50, 9);
+        let w = generate(&spec);
+        assert_eq!(w.quakes.record_count(), 300);
+        assert_eq!(w.volcanos.record_count(), 50);
+        assert_eq!(w.quakes.meta().span, Span::new(1, 10_000));
+    }
+
+    #[test]
+    fn positions_are_disjoint() {
+        let spec = WeatherSpec::new(Span::new(1, 2_000), 200, 100, 5);
+        let w = generate(&spec);
+        let q: std::collections::HashSet<i64> =
+            w.quakes.entries().iter().map(|(p, _)| *p).collect();
+        assert!(w.volcanos.entries().iter().all(|(p, _)| !q.contains(p)));
+    }
+
+    #[test]
+    fn strengths_in_range() {
+        let spec = WeatherSpec::new(Span::new(1, 5_000), 500, 10, 2);
+        let w = generate(&spec);
+        for (_, r) in w.quakes.entries() {
+            let s = r.value(1).unwrap().as_f64().unwrap();
+            assert!((4.0..9.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = WeatherSpec::new(Span::new(1, 1_000), 50, 20, 77);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.quakes.entries(), b.quakes.entries());
+        assert_eq!(a.volcanos.entries(), b.volcanos.entries());
+    }
+
+    #[test]
+    fn catalog_registration() {
+        let spec = WeatherSpec::new(Span::new(1, 1_000), 50, 20, 1);
+        let (c, _) = weather_catalog(&spec, 64);
+        assert!(c.get("Quakes").is_ok());
+        assert!(c.get("Volcanos").is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "span too small")]
+    fn overfull_span_panics() {
+        generate(&WeatherSpec::new(Span::new(1, 10), 20, 5, 1));
+    }
+}
+
+/// Schema of the regional earthquake sequence: `(time, strength, region)`
+/// — the §5.2 correlated-query extension.
+pub fn regional_quake_schema() -> Schema {
+    seq_core::schema(&[
+        ("time", AttrType::Int),
+        ("strength", AttrType::Float),
+        ("region", AttrType::Str),
+    ])
+}
+
+/// Schema of the regional volcano sequence: `(time, name, region)`.
+pub fn regional_volcano_schema() -> Schema {
+    seq_core::schema(&[
+        ("time", AttrType::Int),
+        ("name", AttrType::Str),
+        ("region", AttrType::Str),
+    ])
+}
+
+/// Generate the weather world with each event assigned to one of
+/// `n_regions` regions — the data for "the most recent earthquake *in the
+/// same region*" (§5.2).
+pub fn generate_regional(spec: &WeatherSpec, n_regions: usize) -> WeatherWorld {
+    assert!(n_regions >= 1);
+    let plain = generate(spec);
+    let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(0xBEEF));
+    let mut tag = |entries: &[(i64, seq_core::Record)], name_attr: bool| {
+        entries
+            .iter()
+            .map(|(p, r)| {
+                let region = format!("region-{}", rng.gen_range(0..n_regions));
+                let rec = if name_attr {
+                    record![
+                        r.value(0).unwrap().as_i64().unwrap(),
+                        r.value(1).unwrap().as_str().unwrap(),
+                        region.as_str()
+                    ]
+                } else {
+                    record![
+                        r.value(0).unwrap().as_i64().unwrap(),
+                        r.value(1).unwrap().as_f64().unwrap(),
+                        region.as_str()
+                    ]
+                };
+                (*p, rec)
+            })
+            .collect::<Vec<_>>()
+    };
+    let quakes = tag(plain.quakes.entries(), false);
+    let volcanos = tag(plain.volcanos.entries(), true);
+    WeatherWorld {
+        quakes: BaseSequence::from_entries(regional_quake_schema(), quakes)
+            .expect("positions unchanged")
+            .with_declared_span(spec.span),
+        volcanos: BaseSequence::from_entries(regional_volcano_schema(), volcanos)
+            .expect("positions unchanged")
+            .with_declared_span(spec.span),
+    }
+}
+
+#[cfg(test)]
+mod regional_tests {
+    use super::*;
+    use seq_core::Sequence;
+
+    #[test]
+    fn regional_generation_tags_every_event() {
+        let spec = WeatherSpec::new(Span::new(1, 5_000), 200, 50, 3);
+        let w = generate_regional(&spec, 4);
+        assert_eq!(w.quakes.record_count(), 200);
+        assert_eq!(w.quakes.schema().arity(), 3);
+        let mut seen = std::collections::HashSet::new();
+        for (_, r) in w.quakes.entries() {
+            seen.insert(r.value(2).unwrap().as_str().unwrap().to_string());
+        }
+        assert!(seen.len() > 1 && seen.len() <= 4);
+    }
+
+    #[test]
+    fn regional_positions_match_plain_world() {
+        let spec = WeatherSpec::new(Span::new(1, 5_000), 100, 30, 9);
+        let plain = generate(&spec);
+        let regional = generate_regional(&spec, 3);
+        let p1: Vec<i64> = plain.quakes.entries().iter().map(|(p, _)| *p).collect();
+        let p2: Vec<i64> = regional.quakes.entries().iter().map(|(p, _)| *p).collect();
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,210 @@
+//! seqsh — an interactive shell for sequence queries.
+//!
+//! ```sh
+//! cargo run --release --bin seqsh -- --world table1
+//! cargo run --release --bin seqsh -- --world weather \
+//!     -e '(select (> strength 7.0) (compose (base Volcanos) (prev (base Quakes))))'
+//! ```
+//!
+//! Queries use the `seq-lang` textual algebra. Shell commands:
+//!
+//! - `\tables` — list base sequences with meta-data;
+//! - `\explain <query>` — show the optimizer pipeline for a query;
+//! - `\limit N` — cap printed rows (default 20);
+//! - `\range LO HI` — set the query template's position range;
+//! - `\quit` — exit.
+
+use std::io::{BufRead, Write};
+
+use seqproc::prelude::*;
+use seqproc::seq_lang::parse_query;
+use seqproc::seq_workload::{table1_catalog, weather_catalog, WeatherSpec};
+
+struct Shell {
+    catalog: Catalog,
+    range: Span,
+    limit: usize,
+}
+
+impl Shell {
+    fn run_line(&mut self, line: &str) -> Result<bool, SeqError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with(';') {
+            return Ok(true);
+        }
+        if let Some(rest) = line.strip_prefix('\\') {
+            return self.command(rest);
+        }
+        self.query(line, false)?;
+        Ok(true)
+    }
+
+    fn command(&mut self, rest: &str) -> Result<bool, SeqError> {
+        let mut parts = rest.split_whitespace();
+        match parts.next() {
+            Some("quit") | Some("q") => return Ok(false),
+            Some("tables") => {
+                let mut names: Vec<&str> = self.catalog.names().collect();
+                names.sort();
+                for name in names {
+                    let stored = self.catalog.get(name)?;
+                    println!(
+                        "  {name}: {} ({} records, {} pages)",
+                        self.catalog.meta(name)?,
+                        stored.record_count(),
+                        stored.page_count()
+                    );
+                }
+            }
+            Some("limit") => match parts.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) => {
+                    self.limit = n;
+                    println!("row limit: {n}");
+                }
+                None => println!("usage: \\limit N"),
+            },
+            Some("range") => {
+                match (
+                    parts.next().and_then(|s| s.parse::<i64>().ok()),
+                    parts.next().and_then(|s| s.parse::<i64>().ok()),
+                ) {
+                    (Some(lo), Some(hi)) => {
+                        self.range = Span::new(lo, hi);
+                        println!("position range: {}", self.range);
+                    }
+                    _ => println!("usage: \\range LO HI"),
+                }
+            }
+            Some("explain") => {
+                let query_text: String = parts.collect::<Vec<_>>().join(" ");
+                self.query(&query_text, true)?;
+            }
+            other => println!("unknown command {other:?}; try \\tables \\explain \\limit \\range \\quit"),
+        }
+        Ok(true)
+    }
+
+    fn query(&mut self, text: &str, explain: bool) -> Result<(), SeqError> {
+        let graph = match parse_query(text) {
+            Ok(g) => g,
+            Err(e) => {
+                println!("{e}");
+                return Ok(());
+            }
+        };
+        let cfg = OptimizerConfig::new(self.range);
+        let optimized = match optimize(&graph, &CatalogRef(&self.catalog), &cfg) {
+            Ok(o) => o,
+            Err(e) => {
+                println!("{e}");
+                return Ok(());
+            }
+        };
+        if explain {
+            println!("{}", optimized.explain);
+            return Ok(());
+        }
+        self.catalog.reset_measurement();
+        let ctx = ExecContext::new(&self.catalog);
+        let started = std::time::Instant::now();
+        let rows = match execute(&optimized.plan, &ctx) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{e}");
+                return Ok(());
+            }
+        };
+        let elapsed = started.elapsed();
+        for (pos, rec) in rows.iter().take(self.limit) {
+            println!("  {pos}: {rec}");
+        }
+        if rows.len() > self.limit {
+            println!("  ... {} more rows (\\limit to adjust)", rows.len() - self.limit);
+        }
+        println!(
+            "{} rows in {:.2}ms | est cost {:.1} | {}",
+            rows.len(),
+            elapsed.as_secs_f64() * 1e3,
+            optimized.est_cost,
+            self.catalog.stats().snapshot()
+        );
+        Ok(())
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut world = "table1".to_string();
+    let mut scale = 10i64;
+    let mut inline: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--world" => {
+                world = args.get(i + 1).cloned().unwrap_or_default();
+                i += 2;
+            }
+            "--scale" => {
+                scale = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(10);
+                i += 2;
+            }
+            "-e" => {
+                inline.push(args.get(i + 1).cloned().unwrap_or_default());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; usage: seqsh [--world table1|weather] [--scale N] [-e QUERY]...");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (catalog, range) = match world.as_str() {
+        "table1" => {
+            let c = table1_catalog(scale, 42, 64);
+            let range = Span::new(1, 750 * scale);
+            (c, range)
+        }
+        "weather" => {
+            let span = Span::new(1, 20_000 * scale);
+            let (c, _) =
+                weather_catalog(&WeatherSpec::new(span, 800 * scale as usize, 150 * scale as usize, 42), 64);
+            (c, span)
+        }
+        other => {
+            eprintln!("unknown world {other:?} (expected table1 or weather)");
+            std::process::exit(2);
+        }
+    };
+
+    let mut shell = Shell { catalog, range, limit: 20 };
+    println!("seqsh — world {world} (scale {scale}), range {range}. \\tables to inspect, \\quit to exit.");
+
+    if !inline.is_empty() {
+        for q in inline {
+            if let Err(e) = shell.run_line(&q) {
+                eprintln!("{e}");
+            }
+        }
+        return;
+    }
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("seq> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => match shell.run_line(&line) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => println!("{e}"),
+            },
+            Err(e) => {
+                eprintln!("{e}");
+                break;
+            }
+        }
+    }
+}

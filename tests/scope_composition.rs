@@ -1,0 +1,182 @@
+//! Proposition 2.1 (§2.3), verified against actual evaluation: the composed
+//! scope of a whole query over each base input, computed symbolically with
+//! [`ScopeShape::compose`], must *soundly contain* the positions the query
+//! actually depends on — perturbing data outside the composed effective
+//! window around `i` never changes the output at `i`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use seqproc::prelude::*;
+use seqproc::seq_ops::{ReferenceEvaluator, ScopeShape, ScopeSize};
+
+fn stock_schema() -> Schema {
+    schema(&[("time", AttrType::Int), ("close", AttrType::Float)])
+}
+
+fn base_from(positions: &[(i64, f64)]) -> BaseSequence {
+    BaseSequence::from_entries(
+        stock_schema(),
+        positions.iter().map(|&(p, v)| (p, record![p, v])).collect(),
+    )
+    .unwrap()
+}
+
+fn eval_all(
+    query: &QueryGraph,
+    data: &[(i64, f64)],
+    range: Span,
+) -> Vec<(i64, Option<Record>)> {
+    let mut seqs: HashMap<String, Arc<dyn Sequence>> = HashMap::new();
+    seqs.insert("S".into(), Arc::new(base_from(data)));
+    let schemas: HashMap<String, Schema> =
+        [("S".to_string(), stock_schema())].into_iter().collect();
+    let resolved = query.resolve(&schemas).unwrap();
+    let eval = ReferenceEvaluator::new(&resolved, &seqs).unwrap();
+    range
+        .positions()
+        .map(|p| (p, eval.eval(p).unwrap()))
+        .collect()
+}
+
+/// For a single-base query with a *relative, fixed* composed scope, check:
+/// changing the input record at position `q` can only change outputs at
+/// positions `i` with `q ∈ [i+lo, i+hi]` — i.e. `i ∈ [q−hi, q−lo]`.
+fn assert_scope_sound(query: &QueryGraph, window: (i64, i64)) {
+    let (lo, hi) = window;
+    let data: Vec<(i64, f64)> = (1..=40).map(|p| (p, p as f64)).collect();
+    let range = Span::new(-10, 60);
+    let baseline = eval_all(query, &data, range);
+
+    for perturb in [5i64, 20, 37] {
+        let mut changed = data.clone();
+        let idx = changed.iter().position(|(p, _)| *p == perturb).unwrap();
+        changed[idx].1 = 999.0;
+        let perturbed = eval_all(query, &changed, range);
+        for ((pos, a), (pos2, b)) in baseline.iter().zip(perturbed.iter()) {
+            assert_eq!(pos, pos2);
+            let in_scope = *pos >= perturb - hi && *pos <= perturb - lo;
+            if !in_scope {
+                assert_eq!(
+                    a, b,
+                    "output at {pos} changed when perturbing {perturb}, \
+                     outside composed scope [i{lo:+}, i{hi:+}]"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn select_project_chain_has_unit_scope() {
+    let q = SeqQuery::base("S")
+        .select(Expr::attr("close").gt(Expr::lit(0.0)))
+        .project(["close"])
+        .build();
+    let schemas: HashMap<String, Schema> =
+        [("S".to_string(), stock_schema())].into_iter().collect();
+    let r = q.resolve(&schemas).unwrap();
+    let scopes = r.composed_base_scopes();
+    assert_eq!(scopes.len(), 1);
+    assert_eq!(scopes[0].2, ScopeShape::Point(0));
+    assert!(scopes[0].2.sequential());
+    assert_scope_sound(&q, (0, 0));
+}
+
+#[test]
+fn offset_chains_compose_additively() {
+    let q = SeqQuery::base("S").positional_offset(-3).positional_offset(-2).build();
+    let schemas: HashMap<String, Schema> =
+        [("S".to_string(), stock_schema())].into_iter().collect();
+    let r = q.resolve(&schemas).unwrap();
+    let scopes = r.composed_base_scopes();
+    assert_eq!(scopes[0].2, ScopeShape::Point(-5));
+    assert!(!scopes[0].2.sequential()); // the paper: offsets are not sequential
+    assert_eq!(scopes[0].2.effective_window(), Some((-5, 0)));
+    assert_scope_sound(&q, (-5, -5));
+}
+
+#[test]
+fn aggregate_over_offset_shifts_window() {
+    let q = SeqQuery::base("S")
+        .positional_offset(-1)
+        .aggregate(AggFunc::Sum, "close", Window::trailing(3))
+        .build();
+    let schemas: HashMap<String, Schema> =
+        [("S".to_string(), stock_schema())].into_iter().collect();
+    let r = q.resolve(&schemas).unwrap();
+    let scopes = r.composed_base_scopes();
+    assert_eq!(scopes[0].2, ScopeShape::Interval { lo: Some(-3), hi: -1 });
+    assert_eq!(scopes[0].2.size(), ScopeSize::Fixed(3));
+    assert_scope_sound(&q, (-3, -1));
+}
+
+#[test]
+fn stacked_aggregates_add_windows() {
+    let q = SeqQuery::base("S")
+        .aggregate(AggFunc::Sum, "close", Window::trailing(3))
+        .aggregate(AggFunc::Max, "sum_close", Window::trailing(4))
+        .build();
+    let schemas: HashMap<String, Schema> =
+        [("S".to_string(), stock_schema())].into_iter().collect();
+    let r = q.resolve(&schemas).unwrap();
+    let scopes = r.composed_base_scopes();
+    // [-2,0] composed with [-3,0] = [-5,0].
+    assert_eq!(scopes[0].2, ScopeShape::Interval { lo: Some(-5), hi: 0 });
+    assert!(scopes[0].2.sequential()); // Prop 2.1(b)
+    assert_scope_sound(&q, (-5, 0));
+}
+
+#[test]
+fn previous_makes_scope_variable() {
+    let q = SeqQuery::base("S").previous().build();
+    let schemas: HashMap<String, Schema> =
+        [("S".to_string(), stock_schema())].into_iter().collect();
+    let r = q.resolve(&schemas).unwrap();
+    let scopes = r.composed_base_scopes();
+    assert_eq!(scopes[0].2, ScopeShape::VariableBack);
+    assert_eq!(scopes[0].2.size(), ScopeSize::Variable);
+    assert!(scopes[0].2.incremental()); // Cache-Strategy-B applies
+    // Soundness: Previous at i only depends on positions < i.
+    assert_scope_sound(&q, (i64::MIN / 2, -1));
+}
+
+#[test]
+fn proposition_2_1_on_random_compositions() {
+    // Systematic closure check over the full shape alphabet: for any chain
+    // of operators whose per-operator scopes are (fixed, sequential,
+    // relative), the composition keeps each property — and the derived
+    // effective windows add up.
+    use ScopeShape::*;
+    let shapes = [
+        Point(0),
+        Point(-2),
+        Interval { lo: Some(-3), hi: 0 },
+        Interval { lo: Some(-1), hi: 0 },
+        Interval { lo: None, hi: 0 },
+        VariableBack,
+        WholeSpan,
+    ];
+    for &a in &shapes {
+        for &b in &shapes {
+            for &c in &shapes {
+                let ab = ScopeShape::compose(a, b);
+                let abc = ScopeShape::compose(ab, c);
+                // Associativity of interval hulls for the relative shapes.
+                let bc = ScopeShape::compose(b, c);
+                let abc2 = ScopeShape::compose(a, bc);
+                assert_eq!(abc, abc2, "compose not associative: {a} {b} {c}");
+                // Prop 2.1 closures.
+                if a.size().is_fixed() && b.size().is_fixed() && c.size().is_fixed() {
+                    assert!(abc.size().is_fixed());
+                }
+                if a.sequential() && b.sequential() && c.sequential() {
+                    assert!(abc.sequential());
+                }
+                if a.relative() && b.relative() && c.relative() {
+                    assert!(abc.relative());
+                }
+            }
+        }
+    }
+}

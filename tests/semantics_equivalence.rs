@@ -1,0 +1,143 @@
+//! Differential testing: the optimized physical executor against the naive
+//! reference evaluator, over randomized queries and randomized data.
+//!
+//! The reference evaluator (`seq_ops::semantics`) implements the §2.1
+//! denotations by structural recursion; any divergence means the optimizer
+//! or an execution strategy changed query semantics.
+
+mod common;
+
+use common::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqproc::prelude::*;
+
+fn check_seed(seed: u64, depth: u32) -> bool {
+    let world = random_world(seed, 40);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let (query, _) = random_query(&mut rng, depth);
+    let query = query.build();
+    let range = Span::new(-5, 120);
+
+    let Some(expected) = reference_rows(&world, &query, range) else {
+        return false;
+    };
+    let Some(got) = optimized_rows(&world, &query, &OptimizerConfig::new(range)) else {
+        panic!("reference evaluated but optimized execution was unsupported");
+    };
+    assert_rows_equal(&expected, &got, &format!("seed {seed}"));
+    true
+}
+
+#[test]
+fn randomized_queries_match_reference_shallow() {
+    let mut checked = 0;
+    for seed in 0..120 {
+        if check_seed(seed, 2) {
+            checked += 1;
+        }
+    }
+    assert!(checked > 60, "only {checked} cases were checkable");
+}
+
+#[test]
+fn randomized_queries_match_reference_deep() {
+    let mut checked = 0;
+    for seed in 1_000..1_080 {
+        if check_seed(seed, 4) {
+            checked += 1;
+        }
+    }
+    assert!(checked > 30, "only {checked} cases were checkable");
+}
+
+#[test]
+fn randomized_queries_match_reference_under_every_ablation() {
+    let range = Span::new(-5, 120);
+    let mut configs: Vec<(&str, OptimizerConfig)> = Vec::new();
+    let base_cfg = OptimizerConfig::new(range);
+    configs.push(("full", base_cfg.clone()));
+    let mut c = base_cfg.clone();
+    c.span_propagation = false;
+    configs.push(("no-span-propagation", c));
+    let mut c = base_cfg.clone();
+    c.transformations = false;
+    configs.push(("no-transformations", c));
+    let mut c = base_cfg.clone();
+    c.join_reordering = false;
+    configs.push(("no-reordering", c));
+    let mut c = base_cfg.clone();
+    c.cache_strategy_b = false;
+    configs.push(("no-cache-b", c));
+    let mut c = base_cfg.clone();
+    c.naive_aggregates = true;
+    configs.push(("naive-aggregates", c));
+    for strat in [
+        JoinStrategy::LockStep,
+        JoinStrategy::StreamLeftProbeRight,
+        JoinStrategy::StreamRightProbeLeft,
+    ] {
+        let mut c = base_cfg.clone();
+        c.forced_join_strategy = Some(strat);
+        configs.push(("forced-strategy", c));
+    }
+
+    let mut checked = 0;
+    for seed in 300..340 {
+        let world = random_world(seed, 30);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let (query, _) = random_query(&mut rng, 3);
+        let query = query.build();
+        let Some(expected) = reference_rows(&world, &query, range) else { continue };
+        for (name, cfg) in &configs {
+            if let Some(got) = optimized_rows(&world, &query, cfg) {
+                assert_rows_equal(&expected, &got, &format!("seed {seed} config {name}"));
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 100, "only {checked} (seed, config) cases were checkable");
+}
+
+#[test]
+fn probed_mode_matches_reference_point_lookups() {
+    use seqproc::prelude::probe_positions;
+    let range = Span::new(-5, 120);
+    let mut checked = 0;
+    for seed in 600..640 {
+        let world = random_world(seed, 30);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5555);
+        let (query, _) = random_query(&mut rng, 2);
+        let query = query.build();
+        let Some(expected) = reference_rows(&world, &query, range) else { continue };
+        let optimized =
+            match optimize(&query, &CatalogRef(&world.catalog), &OptimizerConfig::new(range)) {
+                Ok(o) => o,
+                Err(SeqError::Unsupported(_)) => continue,
+                Err(e) => panic!("{e}"),
+            };
+        let positions: Vec<i64> = (-5..=120).collect();
+        let ctx = ExecContext::new(&world.catalog);
+        let probed = match probe_positions(&optimized.plan, &ctx, &positions) {
+            Ok(p) => p,
+            Err(SeqError::Unsupported(_)) => continue,
+            Err(e) => panic!("{e}"),
+        };
+        let mut expected_at: std::collections::HashMap<i64, Record> =
+            expected.into_iter().collect();
+        for (pos, rec) in probed {
+            match (expected_at.remove(&pos), rec) {
+                (Some(e), Some(g)) => assert_eq!(e, g, "seed {seed} at {pos}"),
+                (None, None) => {}
+                (e, g) => panic!(
+                    "seed {seed} at {pos}: reference {:?} vs probed {:?}",
+                    e.is_some(),
+                    g.is_some()
+                ),
+            }
+        }
+        assert!(expected_at.is_empty(), "seed {seed}: positions missing from probe");
+        checked += 1;
+    }
+    assert!(checked > 15, "only {checked} cases were checkable");
+}
