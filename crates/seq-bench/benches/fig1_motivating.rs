@@ -28,11 +28,9 @@ fn bench(c: &mut Criterion) {
             world.volcanos.entries(),
         )
         .unwrap();
-        let quakes = Relation::from_sequence_entries(
-            world.quakes.schema().clone(),
-            world.quakes.entries(),
-        )
-        .unwrap();
+        let quakes =
+            Relation::from_sequence_entries(world.quakes.schema().clone(), world.quakes.entries())
+                .unwrap();
         let label = format!("{n_quakes}q_{n_volcanos}v");
 
         group.bench_function(BenchmarkId::new("sequence_stream_plan", &label), |b| {

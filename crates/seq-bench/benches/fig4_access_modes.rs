@@ -22,15 +22,12 @@ fn bench(c: &mut Criterion) {
             cfg.forced_join_strategy = Some(strat);
             cfg.join_reordering = false;
             let plan = optimize(&query, &info, &cfg).unwrap().plan;
-            group.bench_function(
-                BenchmarkId::new(format!("{strat:?}"), format!("d2={d2}")),
-                |b| {
-                    b.iter(|| {
-                        let ctx = ExecContext::new(&catalog);
-                        execute(&plan, &ctx).unwrap().len()
-                    })
-                },
-            );
+            group.bench_function(BenchmarkId::new(format!("{strat:?}"), format!("d2={d2}")), |b| {
+                b.iter(|| {
+                    let ctx = ExecContext::new(&catalog);
+                    execute(&plan, &ctx).unwrap().len()
+                })
+            });
         }
     }
     group.finish();

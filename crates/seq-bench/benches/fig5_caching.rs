@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use seq_bench::e4_caching::{agg_catalog, prev_catalog, threshold_at};
 use seq_core::Span;
 use seq_exec::{execute, ExecContext};
-use seq_opt::{optimize, CatalogRef, OptimizerConfig};
 use seq_ops::{Expr, SeqQuery};
+use seq_opt::{optimize, CatalogRef, OptimizerConfig};
 use seq_workload::queries;
 
 fn bench_fig5a(c: &mut Criterion) {

@@ -15,13 +15,10 @@ fn bench(c: &mut Criterion) {
     let span = Span::new(1, n_events as i64 * 20);
     let (catalog, world) =
         weather_catalog(&WeatherSpec::new(span, n_events * 4 / 5, n_events / 5, 3), 64);
-    let plan = optimize(
-        &queries::example_1_1(7.0),
-        &CatalogRef(&catalog),
-        &OptimizerConfig::new(span),
-    )
-    .unwrap()
-    .plan;
+    let plan =
+        optimize(&queries::example_1_1(7.0), &CatalogRef(&catalog), &OptimizerConfig::new(span))
+            .unwrap()
+            .plan;
 
     let mut feed: Vec<(i64, &str, Record)> = Vec::new();
     for (p, r) in world.quakes.entries() {

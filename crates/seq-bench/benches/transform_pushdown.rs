@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use seq_bench::e8_pushdown;
 use seq_exec::{execute, ExecContext, JoinStrategy, PhysNode, PhysPlan};
-use seq_opt::{optimize, CatalogRef, OptimizerConfig};
 use seq_ops::{Expr, SeqQuery};
+use seq_opt::{optimize, CatalogRef, OptimizerConfig};
 use seq_storage::Catalog;
 use seq_workload::SeqSpec;
 

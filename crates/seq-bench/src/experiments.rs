@@ -49,11 +49,9 @@ pub mod e1_motivating {
             world.volcanos.entries(),
         )
         .unwrap();
-        let quakes_rel = Relation::from_sequence_entries(
-            world.quakes.schema().clone(),
-            world.quakes.entries(),
-        )
-        .unwrap();
+        let quakes_rel =
+            Relation::from_sequence_entries(world.quakes.schema().clone(), world.quakes.entries())
+                .unwrap();
 
         let naive_stats = RelStats::new();
         let t0 = std::time::Instant::now();
@@ -92,8 +90,15 @@ pub mod e1_motivating {
         println!("paper claim: the sequence plan is a single scan; the relational plan re-scans Earthquakes per Volcano\n");
         println!(
             "{:>8} {:>9} {:>8} | {:>12} {:>9} | {:>14} {:>10} | {:>13} {:>10}",
-            "quakes", "volcanos", "answers", "seq records", "seq time",
-            "naive tuples", "naive time", "indexed ops", "idx time"
+            "quakes",
+            "volcanos",
+            "answers",
+            "seq records",
+            "seq time",
+            "naive tuples",
+            "naive time",
+            "indexed ops",
+            "idx time"
         );
         for r in rows {
             println!(
@@ -166,10 +171,20 @@ pub mod e2_span {
 
     pub fn print(rows: &[Row]) {
         println!("\nE2 — Table 1 / Figure 3: bidirectional span propagation (IBM/DEC/HP)");
-        println!("paper claim: restricting every base to [200,350] (x scale) cuts the accessed range\n");
+        println!(
+            "paper claim: restricting every base to [200,350] (x scale) cuts the accessed range\n"
+        );
         println!(
             "{:>6} {:>8} | {:>11} {:>11} {:>7} | {:>12} {:>12} | {:>9} {:>9}",
-            "scale", "answers", "pages ON", "pages OFF", "ratio", "est ON", "est OFF", "t ON", "t OFF"
+            "scale",
+            "answers",
+            "pages ON",
+            "pages OFF",
+            "ratio",
+            "est ON",
+            "est OFF",
+            "t ON",
+            "t OFF"
         );
         for r in rows {
             println!(
@@ -253,12 +268,8 @@ pub mod e3_access_modes {
             .iter()
             .find(|s| free.plan.render().contains(&format!("{s:?}")))
             .expect("plan names a strategy");
-        let best_measured = STRATEGIES[measured
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0];
+        let best_measured =
+            STRATEGIES[measured.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0];
         Row { d2, measured, walls, chosen, best_measured }
     }
 
@@ -462,10 +473,7 @@ pub mod e5_prop41 {
         c.set_page_capacity(64);
         for i in 0..n {
             let d = 0.3 + 0.7 * (i as f64 / n.max(2) as f64);
-            c.register(
-                format!("S{i}"),
-                &SeqSpec::new(Span::new(1, 500), d, i as u64).generate(),
-            );
+            c.register(format!("S{i}"), &SeqSpec::new(Span::new(1, 500), d, i as u64).generate());
         }
         c
     }
@@ -475,9 +483,8 @@ pub mod e5_prop41 {
         let names: Vec<String> = (0..n).map(|i| format!("S{i}")).collect();
         let query = queries::n_way_join(&names);
         let t0 = std::time::Instant::now();
-        let opt =
-            optimize(&query, &CatalogRef(&catalog), &OptimizerConfig::new(Span::new(1, 500)))
-                .unwrap();
+        let opt = optimize(&query, &CatalogRef(&catalog), &OptimizerConfig::new(Span::new(1, 500)))
+            .unwrap();
         let wall = t0.elapsed();
         let n64 = n as u64;
         Row {
@@ -487,10 +494,7 @@ pub mod e5_prop41 {
             formula_evaluated: n64 * (1 << (n64 - 1)) - n64,
             peak_stored: opt.dp_stats.peak_plans_stored,
             // The level-by-level DP keeps two adjacent levels alive.
-            formula_stored: (1..n64)
-                .map(|k| binom(n64, k) + binom(n64, k + 1))
-                .max()
-                .unwrap_or(1),
+            formula_stored: (1..n64).map(|k| binom(n64, k) + binom(n64, k + 1)).max().unwrap_or(1),
             wall,
         }
     }
@@ -645,8 +649,7 @@ pub mod e9_cost_model {
 
         let mut per_strategy = [(0.0, 0.0); 3];
         for (i, strat) in super::e3_access_modes::STRATEGIES.into_iter().enumerate() {
-            let pricing =
-                price_join(&side_a, &side_b, &out_span, 1.0, 0, &params, Some(strat));
+            let pricing = price_join(&side_a, &side_b, &out_span, 1.0, 0, &params, Some(strat));
             let mut cfg = OptimizerConfig::new(Span::new(1, span_n));
             cfg.forced_join_strategy = Some(strat);
             cfg.join_reordering = false;
@@ -655,8 +658,10 @@ pub mod e9_cost_model {
             per_strategy[i] = (pricing.stream_cost, m.model_cost(&params));
         }
         // Is the cheapest-by-estimate also cheapest-by-measurement?
-        let est_best = (0..3).min_by(|&a, &b| per_strategy[a].0.total_cmp(&per_strategy[b].0)).unwrap();
-        let meas_best = (0..3).min_by(|&a, &b| per_strategy[a].1.total_cmp(&per_strategy[b].1)).unwrap();
+        let est_best =
+            (0..3).min_by(|&a, &b| per_strategy[a].0.total_cmp(&per_strategy[b].0)).unwrap();
+        let meas_best =
+            (0..3).min_by(|&a, &b| per_strategy[a].1.total_cmp(&per_strategy[b].1)).unwrap();
         Row { d1, d2, per_strategy, ranking_preserved: est_best == meas_best }
     }
 
@@ -676,7 +681,15 @@ pub mod e9_cost_model {
         println!("expectation: absolute errors are tolerable; the *ranking* of strategies is what matters\n");
         println!(
             "{:>5} {:>5} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10} | {:>8}",
-            "d1", "d2", "LS est", "LS meas", "SLPR est", "SLPR meas", "SRPL est", "SRPL meas", "ranking"
+            "d1",
+            "d2",
+            "LS est",
+            "LS meas",
+            "SLPR est",
+            "SLPR meas",
+            "SRPL est",
+            "SRPL meas",
+            "ranking"
         );
         for r in rows {
             println!(
@@ -727,10 +740,8 @@ pub mod e6_stream_access {
                 Span::new(1, 10_000),
             ),
         ];
-        let total_pages: u64 = ["A", "B"]
-            .iter()
-            .map(|n| catalog.get(n).unwrap().page_count() as u64)
-            .sum();
+        let total_pages: u64 =
+            ["A", "B"].iter().map(|n| catalog.get(n).unwrap().page_count() as u64).sum();
         println!("total base pages: {total_pages}\n");
         for (label, query, range) in cases {
             let opt =
@@ -785,11 +796,8 @@ pub mod e11_buffer_pool {
     /// re-reads (the probes themselves remain; buffering cannot fix the walk
     /// count — only Cache-Strategy-B can, see E4b).
     pub fn run_pool(n: i64, pool_pages: usize) -> Row {
-        let mut catalog = if pool_pages == 0 {
-            Catalog::new()
-        } else {
-            Catalog::with_buffer_pool(pool_pages)
-        };
+        let mut catalog =
+            if pool_pages == 0 { Catalog::new() } else { Catalog::with_buffer_pool(pool_pages) };
         catalog.set_page_capacity(64);
         catalog.register("A", &SeqSpec::new(Span::new(1, n), 1.0, 11).generate());
         catalog.register("C", &SeqSpec::new(Span::new(1, n), 0.7, 12).generate());
@@ -803,9 +811,7 @@ pub mod e11_buffer_pool {
         };
         let query = SeqQuery::base("C")
             .compose_with(
-                SeqQuery::base("A")
-                    .select(Expr::attr("close").gt(Expr::lit(threshold)))
-                    .previous(),
+                SeqQuery::base("A").select(Expr::attr("close").gt(Expr::lit(threshold))).previous(),
             )
             .build();
         let mut cfg = OptimizerConfig::new(Span::new(1, n));

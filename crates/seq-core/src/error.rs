@@ -57,13 +57,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            SeqError::Type("x".into()),
-            SeqError::Type("x".into())
-        );
-        assert_ne!(
-            SeqError::Type("x".into()),
-            SeqError::Schema("x".into())
-        );
+        assert_eq!(SeqError::Type("x".into()), SeqError::Type("x".into()));
+        assert_ne!(SeqError::Type("x".into()), SeqError::Schema("x".into()));
     }
 }

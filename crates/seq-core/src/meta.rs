@@ -158,6 +158,31 @@ impl CmpOp {
             _ => 1.0 / 3.0,
         }
     }
+
+    /// Whether an ordering outcome `a cmp b` satisfies `a <op> b`.
+    #[inline]
+    pub fn holds(self, ord: std::cmp::Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => ord.is_ne(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+        }
+    }
+
+    /// The mirrored operator: `a <op> b` iff `b <op.mirrored()> a`.
+    pub fn mirrored(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
 }
 
 /// Meta-data describing one (base or derived) sequence.
@@ -263,11 +288,8 @@ pub fn column_stats_from_values<'a>(values: impl Iterator<Item = &'a Value>) -> 
     if any_unordered {
         return ColumnStats::unknown();
     }
-    let histogram = if all_numeric {
-        Histogram::build(&numeric, DEFAULT_HISTOGRAM_BUCKETS)
-    } else {
-        None
-    };
+    let histogram =
+        if all_numeric { Histogram::build(&numeric, DEFAULT_HISTOGRAM_BUCKETS) } else { None };
     ColumnStats { min, max, ndv: distinct.len() as u64, histogram }
 }
 

@@ -13,15 +13,42 @@ use crate::value::Value;
 
 /// An immutable record. Cloning is O(1) (shared backing storage), which makes
 /// records cheap to hold in operator caches (§3.4–3.5).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// A record is a window `[start, start+len)` into its backing store, so many
+/// records can share one allocation — the vectorized path materializes a
+/// whole output batch into a single row-major buffer and hands out views.
+#[derive(Debug, Clone)]
 pub struct Record {
     values: Arc<[Value]>,
+    start: u32,
+    len: u32,
+}
+
+impl PartialEq for Record {
+    fn eq(&self, other: &Record) -> bool {
+        self.values() == other.values()
+    }
 }
 
 impl Record {
     /// A record from attribute values (unchecked; see [`Record::checked`]).
     pub fn new(values: Vec<Value>) -> Record {
-        Record { values: values.into() }
+        Record::from_shared(values.into())
+    }
+
+    /// A record from already-shared backing storage, without reallocating.
+    #[inline]
+    pub fn from_shared(values: Arc<[Value]>) -> Record {
+        let len = values.len() as u32;
+        Record { values, start: 0, len }
+    }
+
+    /// A record viewing `len` values of `shared` starting at `start`.
+    /// Shares the backing storage; only the reference count moves.
+    #[inline]
+    pub fn from_shared_slice(shared: &Arc<[Value]>, start: usize, len: usize) -> Record {
+        debug_assert!(start + len <= shared.len());
+        Record { values: Arc::clone(shared), start: start as u32, len: len as u32 }
     }
 
     /// Build a record and check it against a schema.
@@ -48,18 +75,21 @@ impl Record {
     }
 
     /// Number of attributes.
+    #[inline]
     pub fn arity(&self) -> usize {
-        self.values.len()
+        self.len as usize
     }
 
     /// All attribute values, in schema order.
+    #[inline]
     pub fn values(&self) -> &[Value] {
-        &self.values
+        &self.values[self.start as usize..(self.start + self.len) as usize]
     }
 
     /// The value of attribute `idx`.
+    #[inline]
     pub fn value(&self, idx: usize) -> Result<&Value> {
-        self.values.get(idx).ok_or_else(|| {
+        self.values().get(idx).ok_or_else(|| {
             SeqError::Schema(format!(
                 "attribute index {idx} out of bounds for record of arity {}",
                 self.arity()
@@ -80,8 +110,8 @@ impl Record {
     /// `r1.r2` in §2.1).
     pub fn compose(&self, right: &Record) -> Record {
         let mut out = Vec::with_capacity(self.arity() + right.arity());
-        out.extend_from_slice(&self.values);
-        out.extend_from_slice(&right.values);
+        out.extend_from_slice(self.values());
+        out.extend_from_slice(right.values());
         Record::new(out)
     }
 
@@ -89,7 +119,7 @@ impl Record {
     /// decide page occupancy.
     pub fn byte_size(&self) -> usize {
         let mut sz = 0usize;
-        for v in self.values.iter() {
+        for v in self.values().iter() {
             sz += match v {
                 Value::Int(_) | Value::Float(_) => 8,
                 Value::Bool(_) => 1,
@@ -103,7 +133,7 @@ impl Record {
 impl fmt::Display for Record {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "<")?;
-        for (i, v) in self.values.iter().enumerate() {
+        for (i, v) in self.values().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -154,7 +184,7 @@ mod tests {
     fn clone_shares_backing_storage() {
         let r = record![1i64, 2i64];
         let r2 = r.clone();
-        assert!(Arc::ptr_eq(&r.values, &r2.values));
+        assert!(std::ptr::eq(r.values().as_ptr(), r2.values().as_ptr()));
     }
 
     #[test]

@@ -71,11 +71,7 @@ impl BaseSequence {
             (Some((s, _)), Some((e, _))) => Span::new(*s, *e),
             _ => Span::empty(),
         };
-        let density = if span.is_empty() {
-            0.0
-        } else {
-            entries.len() as f64 / span.len() as f64
-        };
+        let density = if span.is_empty() { 0.0 } else { entries.len() as f64 / span.len() as f64 };
         let columns = (0..schema.arity())
             .map(|i| {
                 column_stats_from_values(
@@ -91,11 +87,8 @@ impl BaseSequence {
     /// [1, 750] even if the first trade is later). Density is recomputed
     /// against the declared span.
     pub fn with_declared_span(mut self, span: Span) -> BaseSequence {
-        let density = if span.is_empty() {
-            0.0
-        } else {
-            self.entries.len() as f64 / span.len() as f64
-        };
+        let density =
+            if span.is_empty() { 0.0 } else { self.entries.len() as f64 / span.len() as f64 };
         self.meta.span = span;
         self.meta.density = density;
         self
@@ -213,11 +206,8 @@ mod tests {
 
     #[test]
     fn builds_sorted_with_meta() {
-        let s = seq(vec![
-            (5, record![5i64, 1.0]),
-            (1, record![1i64, 2.0]),
-            (3, record![3i64, 3.0]),
-        ]);
+        let s =
+            seq(vec![(5, record![5i64, 1.0]), (1, record![1i64, 2.0]), (3, record![3i64, 3.0])]);
         assert_eq!(s.meta().span, Span::new(1, 5));
         assert!((s.meta().density - 3.0 / 5.0).abs() < 1e-12);
         assert_eq!(s.record_count(), 3);
@@ -236,10 +226,8 @@ mod tests {
 
     #[test]
     fn rejects_schema_violations() {
-        let r = BaseSequence::from_entries(
-            schema(&[("x", AttrType::Int)]),
-            vec![(1, record![1.5])],
-        );
+        let r =
+            BaseSequence::from_entries(schema(&[("x", AttrType::Int)]), vec![(1, record![1.5])]);
         assert!(r.is_err());
     }
 
@@ -284,11 +272,8 @@ mod tests {
 
     #[test]
     fn constant_sequence_everywhere() {
-        let c = ConstantSequence::new(
-            schema(&[("threshold", AttrType::Float)]),
-            record![7.0],
-        )
-        .unwrap();
+        let c =
+            ConstantSequence::new(schema(&[("threshold", AttrType::Float)]), record![7.0]).unwrap();
         assert!(c.get(-100).is_some());
         assert!(c.get(1_000_000).is_some());
         let v: Vec<i64> = c.scan(Span::new(2, 4)).map(|(p, _)| p).collect();

@@ -81,10 +81,9 @@ impl Value {
         match self {
             Value::Int(i) => Ok(*i as f64),
             Value::Float(f) => Ok(*f),
-            other => Err(SeqError::Type(format!(
-                "expected numeric value, found {}",
-                other.attr_type()
-            ))),
+            other => {
+                Err(SeqError::Type(format!("expected numeric value, found {}", other.attr_type())))
+            }
         }
     }
 
@@ -92,10 +91,9 @@ impl Value {
     pub fn as_i64(&self) -> Result<i64> {
         match self {
             Value::Int(i) => Ok(*i),
-            other => Err(SeqError::Type(format!(
-                "expected INT value, found {}",
-                other.attr_type()
-            ))),
+            other => {
+                Err(SeqError::Type(format!("expected INT value, found {}", other.attr_type())))
+            }
         }
     }
 
@@ -103,10 +101,9 @@ impl Value {
     pub fn as_bool(&self) -> Result<bool> {
         match self {
             Value::Bool(b) => Ok(*b),
-            other => Err(SeqError::Type(format!(
-                "expected BOOL value, found {}",
-                other.attr_type()
-            ))),
+            other => {
+                Err(SeqError::Type(format!("expected BOOL value, found {}", other.attr_type())))
+            }
         }
     }
 
@@ -114,10 +111,9 @@ impl Value {
     pub fn as_str(&self) -> Result<&str> {
         match self {
             Value::Str(s) => Ok(s),
-            other => Err(SeqError::Type(format!(
-                "expected STR value, found {}",
-                other.attr_type()
-            ))),
+            other => {
+                Err(SeqError::Type(format!("expected STR value, found {}", other.attr_type())))
+            }
         }
     }
 
@@ -212,14 +208,8 @@ mod tests {
 
     #[test]
     fn cross_type_numeric_comparison() {
-        assert_eq!(
-            Value::Int(2).total_cmp(&Value::Float(2.5)).unwrap(),
-            Ordering::Less
-        );
-        assert_eq!(
-            Value::Float(3.0).total_cmp(&Value::Int(3)).unwrap(),
-            Ordering::Equal
-        );
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)).unwrap(), Ordering::Less);
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)).unwrap(), Ordering::Equal);
     }
 
     #[test]

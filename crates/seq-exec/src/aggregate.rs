@@ -92,7 +92,8 @@ impl SlidingAccumulator {
                 // Pop dominated entries from the back of the monotonic deque.
                 while let Some((_, back)) = self.mono.back() {
                     let ord = v.total_cmp(back)?;
-                    let dominated = if self.func == AggFunc::Min { ord.is_le() } else { ord.is_ge() };
+                    let dominated =
+                        if self.func == AggFunc::Min { ord.is_le() } else { ord.is_ge() };
                     if dominated {
                         self.mono.pop_back();
                     } else {
@@ -289,7 +290,24 @@ impl Cursor for WindowAggCursor {
     }
 
     fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
-        self.cur = self.cur.max(lower);
+        if lower > self.cur {
+            self.cur = lower;
+            // An input record at p only reaches windows up to o = p - lo, so
+            // records below cur + lo can no longer contribute. Delegate the
+            // skip to the input instead of draining (and counting) each one.
+            let bound = self.cur.saturating_add(self.lo);
+            let pending_stale = match &self.pending {
+                Some((p, _)) => *p < bound,
+                None => true,
+            };
+            if pending_stale && !self.input_done {
+                self.pending = None;
+                match self.input.next_from(bound)? {
+                    Some(item) => self.pending = Some(item),
+                    None => self.input_done = true,
+                }
+            }
+        }
         self.next()
     }
 }
@@ -477,19 +495,15 @@ impl PointAccess for AggProbe {
             return Ok(None);
         }
         let probe_span = match self.window {
-            Window::Sliding { lo, hi } => {
-                Span::new(pos.saturating_add(lo), pos.saturating_add(hi))
-                    .intersect(&self.input_span)
-            }
+            Window::Sliding { lo, hi } => Span::new(pos.saturating_add(lo), pos.saturating_add(hi))
+                .intersect(&self.input_span),
             Window::Cumulative => {
                 Span::new(self.input_span.start(), pos).intersect(&self.input_span)
             }
             Window::WholeSpan => self.input_span,
         };
         if !probe_span.is_empty() && !probe_span.is_bounded() {
-            return Err(SeqError::Unsupported(
-                "probed aggregate over an unbounded window".into(),
-            ));
+            return Err(SeqError::Unsupported("probed aggregate over an unbounded window".into()));
         }
         let mut values = Vec::new();
         for p in probe_span.positions() {
@@ -656,7 +670,8 @@ mod tests {
 
     #[test]
     fn incremental_matches_recompute() {
-        let data: Vec<(i64, f64)> = (1..=60).filter(|p| p % 3 != 0).map(|p| (p, (p as f64) * 0.25)).collect();
+        let data: Vec<(i64, f64)> =
+            (1..=60).filter(|p| p % 3 != 0).map(|p| (p, (p as f64) * 0.25)).collect();
         let c = catalog(&data);
         let store = c.get("S").unwrap();
         for func in [AggFunc::Sum, AggFunc::Avg, AggFunc::Count, AggFunc::Min, AggFunc::Max] {
@@ -746,17 +761,14 @@ mod tests {
         let out = collect(cur);
         assert_eq!(
             out,
-            vec![
-                (1, Value::Float(9.0)),
-                (2, Value::Float(9.0)),
-                (3, Value::Float(9.0))
-            ]
+            vec![(1, Value::Float(9.0)), (2, Value::Float(9.0)), (3, Value::Float(9.0))]
         );
     }
 
     #[test]
     fn naive_matches_cache_a() {
-        let data: Vec<(i64, f64)> = (1..=40).filter(|p| p % 4 != 0).map(|p| (p, p as f64)).collect();
+        let data: Vec<(i64, f64)> =
+            (1..=40).filter(|p| p % 4 != 0).map(|p| (p, p as f64)).collect();
         let c = catalog(&data);
         let store = c.get("S").unwrap();
         let span = Span::new(1, 45);

@@ -77,10 +77,7 @@ impl OpCache {
     pub fn get(&self, pos: i64) -> Option<&Record> {
         self.stats.record_cache_probe();
         // Entries are position-sorted: binary search.
-        self.entries
-            .binary_search_by_key(&pos, |(p, _)| *p)
-            .ok()
-            .map(|i| &self.entries[i].1)
+        self.entries.binary_search_by_key(&pos, |(p, _)| *p).ok().map(|i| &self.entries[i].1)
     }
 
     /// Oldest cached entry.

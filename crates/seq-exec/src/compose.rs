@@ -286,8 +286,7 @@ mod tests {
     #[test]
     fn all_strategies_agree() {
         let c = catalog();
-        let lockstep =
-            LockStepJoin::new(stream(&c, "A"), stream(&c, "B"), None, ExecStats::new());
+        let lockstep = LockStepJoin::new(stream(&c, "A"), stream(&c, "B"), None, ExecStats::new());
         let sp = StreamProbeJoin::new(
             stream(&c, "A"),
             probe(&c, "B"),
@@ -340,12 +339,7 @@ mod tests {
         let composed = sch.compose(&sch);
         let pred = Expr::attr("v").gt(Expr::attr("v_r")).bind(&composed).unwrap();
         let stats = ExecStats::new();
-        let j = LockStepJoin::new(
-            stream(&c, "A"),
-            stream(&c, "B"),
-            Some(pred),
-            stats.clone(),
-        );
+        let j = LockStepJoin::new(stream(&c, "A"), stream(&c, "B"), Some(pred), stats.clone());
         // Position 3: 30 > 3 ✓. Position 5: 50 > 500 ✗.
         assert_eq!(collect(j), vec![(3, 4)]);
         assert_eq!(stats.snapshot().predicate_evals, 2);

@@ -101,12 +101,7 @@ impl ConstCursor {
                 "cannot stream a constant sequence over an unbounded span".into(),
             ));
         }
-        Ok(ConstCursor {
-            record,
-            next_pos: span.start(),
-            end: span.end(),
-            done: span.is_empty(),
-        })
+        Ok(ConstCursor { record, next_pos: span.start(), end: span.end(), done: span.is_empty() })
     }
 }
 
@@ -296,19 +291,20 @@ impl Cursor for PosOffsetCursor {
     }
 
     fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
-        match self.input.next_from(lower.saturating_add(self.offset))? {
-            Some((p, r)) => {
-                let out = p - self.offset;
-                if self.span.contains(out) {
-                    Ok(Some((out, r)))
-                } else if out > self.span.end() {
-                    Ok(None)
-                } else {
-                    self.next_from(lower)
-                }
+        // Iterative rather than recursive: a long run of out-of-span input
+        // records must not grow the stack with it.
+        let mut item = self.input.next_from(lower.saturating_add(self.offset))?;
+        while let Some((p, r)) = item {
+            let out = p - self.offset;
+            if self.span.contains(out) {
+                return Ok(Some((out, r)));
             }
-            None => Ok(None),
+            if out > self.span.end() {
+                return Ok(None);
+            }
+            item = self.input.next()?;
         }
+        Ok(None)
     }
 }
 

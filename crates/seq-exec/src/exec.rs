@@ -36,6 +36,46 @@ pub fn execute(plan: &PhysPlan, ctx: &ExecContext<'_>) -> Result<Vec<(i64, Recor
     Ok(out)
 }
 
+/// Stream-evaluate the plan on the vectorized path, materializing every
+/// non-Null output within the plan's position range, in positional order.
+///
+/// Produces exactly the records [`execute`] produces; unit-scope operators
+/// run batch-at-a-time (one folded counter update per batch), and operators
+/// without a batch kernel fall back to record cursors behind an adapter.
+pub fn execute_batched(plan: &PhysPlan, ctx: &ExecContext<'_>) -> Result<Vec<(i64, Record)>> {
+    execute_batched_with(plan, ctx, seq_core::DEFAULT_BATCH_SIZE)
+}
+
+/// [`execute_batched`] with an explicit batch size (tests and benchmarks).
+pub fn execute_batched_with(
+    plan: &PhysPlan,
+    ctx: &ExecContext<'_>,
+    batch_size: usize,
+) -> Result<Vec<(i64, Record)>> {
+    let range = plan.range.intersect(&plan.root.span());
+    if range.is_empty() {
+        return Ok(Vec::new());
+    }
+    if !range.is_bounded() {
+        return Err(seq_core::SeqError::Unsupported(
+            "cannot materialize an unbounded range; clamp the plan's position range".into(),
+        ));
+    }
+    let mut cursor = plan.root.open_batch(ctx, batch_size)?;
+    let mut out = Vec::new();
+    let mut item = cursor.next_batch_from(range.start())?;
+    while let Some(mut batch) = item {
+        if batch.first_pos().is_some_and(|p| p > range.end()) {
+            break;
+        }
+        batch.clamp_positions(range.start(), range.end());
+        ctx.stats.record_outputs(batch.len() as u64);
+        batch.append_records_into(&mut out);
+        item = cursor.next_batch()?;
+    }
+    Ok(out)
+}
+
 /// Probe-evaluate the plan at the given positions (the "records at specific
 /// positions" query form of §4). Positions outside the plan's range yield
 /// `None`.
@@ -116,9 +156,8 @@ mod tests {
         let out = execute(&plan, &ctx).unwrap();
         // Common positions are odd non-multiples of 3; predicate close > close_r
         // means p > 31 - p, i.e. p >= 16.
-        let expect: Vec<i64> = (1..=30)
-            .filter(|p| p % 3 != 0 && p % 2 != 0 && *p as f64 > (31 - p) as f64)
-            .collect();
+        let expect: Vec<i64> =
+            (1..=30).filter(|p| p % 3 != 0 && p % 2 != 0 && *p as f64 > (31 - p) as f64).collect();
         let got: Vec<i64> = out.iter().map(|(p, _)| *p).collect();
         assert_eq!(got, expect);
         assert_eq!(ctx.stats.snapshot().output_records, out.len() as u64);
@@ -291,14 +330,16 @@ mod materialize_tests {
         .unwrap();
         catalog.register("S", &base);
         let span = Span::new(1, 2_000);
-        let derive = |name: &str| PhysPlan::new(
-            PhysNode::Select {
-                input: Box::new(PhysNode::Base { name: name.into(), span }),
-                predicate: Expr::Col(1).gt(Expr::lit(50.0)),
+        let derive = |name: &str| {
+            PhysPlan::new(
+                PhysNode::Select {
+                    input: Box::new(PhysNode::Base { name: name.into(), span }),
+                    predicate: Expr::Col(1).gt(Expr::lit(50.0)),
+                    span,
+                },
                 span,
-            },
-            span,
-        );
+            )
+        };
 
         // Duplicated evaluation: run the derivation twice.
         catalog.reset_measurement();
@@ -317,10 +358,7 @@ mod materialize_tests {
             &derive("S"),
         )
         .unwrap();
-        let shared_plan = PhysPlan::new(
-            PhysNode::Base { name: "Shared".into(), span },
-            span,
-        );
+        let shared_plan = PhysPlan::new(PhysNode::Base { name: "Shared".into(), span }, span);
         let ctx = ExecContext::new(&catalog);
         let c = execute(&shared_plan, &ctx).unwrap();
         let d = execute(&shared_plan, &ctx).unwrap();

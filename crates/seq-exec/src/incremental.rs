@@ -103,9 +103,7 @@ fn is_event_aligned(node: &PhysNode) -> bool {
         | PhysNode::Project { input, .. }
         | PhysNode::PosOffset { input, .. } => is_event_aligned(input),
         PhysNode::ValueOffset { .. } | PhysNode::Aggregate { .. } => false,
-        PhysNode::Compose { left, right, .. } => {
-            is_event_aligned(left) || is_event_aligned(right)
-        }
+        PhysNode::Compose { left, right, .. } => is_event_aligned(left) || is_event_aligned(right),
     }
 }
 
@@ -299,9 +297,7 @@ impl PushNode {
             PushNode::Leaf { last, .. } => {
                 Ok(last.as_ref().filter(|(p, _)| *p == pos).map(|(_, r)| r.clone()))
             }
-            PushNode::Constant { record, span } => {
-                Ok(span.contains(pos).then(|| record.clone()))
-            }
+            PushNode::Constant { record, span } => Ok(span.contains(pos).then(|| record.clone())),
             PushNode::Select { input, predicate } => match input.value_at(pos)? {
                 Some(r) if predicate.eval_predicate(&r)? => Ok(Some(r)),
                 _ => Ok(None),
@@ -569,7 +565,10 @@ mod tests {
         c
     }
 
-    fn feeds_from(catalog: &seq_storage::Catalog, names: &[&str]) -> HashMap<String, Vec<(i64, Record)>> {
+    fn feeds_from(
+        catalog: &seq_storage::Catalog,
+        names: &[&str],
+    ) -> HashMap<String, Vec<(i64, Record)>> {
         names
             .iter()
             .map(|n| {
@@ -586,18 +585,11 @@ mod tests {
         let event_positions: std::collections::HashSet<i64> = names
             .iter()
             .flat_map(|n| {
-                catalog
-                    .get(n)
-                    .unwrap()
-                    .scan(Span::all())
-                    .map(|(p, _)| p)
-                    .collect::<Vec<_>>()
+                catalog.get(n).unwrap().scan(Span::all()).map(|(p, _)| p).collect::<Vec<_>>()
             })
             .collect();
-        let expected: Vec<(i64, Record)> = batch
-            .into_iter()
-            .filter(|(p, _)| event_positions.contains(p))
-            .collect();
+        let expected: Vec<(i64, Record)> =
+            batch.into_iter().filter(|(p, _)| event_positions.contains(p)).collect();
 
         let mut engine = TriggerEngine::new(plan).unwrap();
         let got = replay(&mut engine, &feeds_from(catalog, names)).unwrap();
@@ -618,10 +610,8 @@ mod tests {
     fn select_trigger_fires_on_matching_arrivals() {
         let catalog = catalog_with(&[("S", &[(1, 5.0), (2, 1.0), (3, 9.0)])]);
         let span = Span::new(1, 10);
-        let plan = PhysPlan::new(
-            select(base("S", span), Expr::Col(1).gt(Expr::lit(4.0)), span),
-            span,
-        );
+        let plan =
+            PhysPlan::new(select(base("S", span), Expr::Col(1).gt(Expr::lit(4.0)), span), span);
         assert_matches_batch(&catalog, &plan, &["S"]);
         // And explicitly: emissions surface when the clock passes a position.
         let mut engine = TriggerEngine::new(&plan).unwrap();
@@ -705,10 +695,7 @@ mod tests {
     fn dense_input_value_offset_is_rejected() {
         let span = Span::new(1, 10);
         let plan = PhysPlan::new(
-            previous(
-                aggregate(base("S", span), AggFunc::Sum, 1, Window::trailing(3), span),
-                span,
-            ),
+            previous(aggregate(base("S", span), AggFunc::Sum, 1, Window::trailing(3), span), span),
             span,
         );
         assert!(TriggerEngine::new(&plan).is_err());
@@ -733,22 +720,16 @@ mod tests {
         engine.arrive("S", 10, &record![10i64, 1.0]).unwrap();
         engine.arrive("S", 20, &record![20i64, 2.0]).unwrap();
         engine.flush().unwrap(); // finalize position 20 into state
-        // Between/after events, the most recent record is position 20.
+                                 // Between/after events, the most recent record is position 20.
         let cur = engine.current(35).unwrap().unwrap();
         assert_eq!(cur.value(0).unwrap().as_i64().unwrap(), 20);
     }
 
     #[test]
     fn compose_same_position_on_both_sides_emits_once() {
-        let catalog = catalog_with(&[
-            ("A", &[(1, 1.0), (2, 2.0)]),
-            ("B", &[(2, 20.0), (3, 30.0)]),
-        ]);
+        let catalog = catalog_with(&[("A", &[(1, 1.0), (2, 2.0)]), ("B", &[(2, 20.0), (3, 30.0)])]);
         let span = Span::new(1, 10);
-        let plan = PhysPlan::new(
-            compose(base("A", span), base("B", span), None, span),
-            span,
-        );
+        let plan = PhysPlan::new(compose(base("A", span), base("B", span), None, span), span);
         assert_matches_batch(&catalog, &plan, &["A", "B"]);
         let mut engine = TriggerEngine::new(&plan).unwrap();
         let out = replay(&mut engine, &feeds_from(&catalog, &["A", "B"])).unwrap();
@@ -758,11 +739,10 @@ mod tests {
 
     #[test]
     fn randomized_trigger_vs_batch() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use seq_workload::Rng;
         for seed in 0..30u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mk = |rng: &mut StdRng| -> Vec<(i64, f64)> {
+            let mut rng = Rng::seed_from_u64(seed);
+            let mk = |rng: &mut Rng| -> Vec<(i64, f64)> {
                 let mut out = Vec::new();
                 for p in 1..=60 {
                     if rng.gen_bool(0.6) {
@@ -780,10 +760,7 @@ mod tests {
             let plan = PhysPlan::new(
                 compose(
                     base("A", span),
-                    previous(
-                        select(base("B", span), Expr::Col(1).gt(Expr::lit(30.0)), span),
-                        span,
-                    ),
+                    previous(select(base("B", span), Expr::Col(1).gt(Expr::lit(30.0)), span), span),
                     Some(Expr::Col(1).gt(Expr::Col(3))),
                     span,
                 ),

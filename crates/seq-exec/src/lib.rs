@@ -13,9 +13,13 @@
 //! - [`compose`] — positional joins: Join-Strategy-A (stream+probe, both
 //!   variants) and Join-Strategy-B (lock-step) (Figure 4, §3.3);
 //! - [`plan`] / [`exec`] — physical plans carrying per-operator strategies
-//!   and spans, and the Start operator that drives them (Figure 6).
+//!   and spans, and the Start operator that drives them (Figure 6);
+//! - [`batch`] — the vectorized batch-at-a-time path: unit-scope stream
+//!   operators over columnar [`seq_core::RecordBatch`]es, with adapters to
+//!   and from the record-at-a-time cursors at block boundaries.
 
 pub mod aggregate;
+pub mod batch;
 pub mod cache;
 pub mod compose;
 pub mod cursor;
@@ -25,10 +29,14 @@ pub mod offset;
 pub mod plan;
 pub mod stats;
 
+pub use batch::{BatchCursor, BatchToRecordCursor, RecordToBatchCursor, DEFAULT_BATCH_SIZE};
 pub use cache::OpCache;
 pub use compose::StreamSide;
 pub use cursor::{Cursor, PointAccess};
-pub use exec::{execute, execute_within, materialize_into, probe_positions};
+pub use exec::{
+    execute, execute_batched, execute_batched_with, execute_within, materialize_into,
+    probe_positions,
+};
 pub use incremental::{replay, Emission, TriggerEngine};
 pub use plan::{AggStrategy, ExecContext, JoinStrategy, PhysNode, PhysPlan, ValueOffsetStrategy};
 pub use stats::{ExecSnapshot, ExecStats};

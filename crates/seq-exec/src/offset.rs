@@ -329,27 +329,13 @@ mod tests {
         let c = catalog(&[1, 3, 7]);
         let store = c.get("S").unwrap();
         let input = Box::new(BaseStreamCursor::new(&store, Span::new(1, 7)));
-        let cur = IncrementalValueOffsetCursor::new(
-            input,
-            -1,
-            Span::new(1, 10),
-            ExecStats::new(),
-        )
-        .unwrap();
+        let cur = IncrementalValueOffsetCursor::new(input, -1, Span::new(1, 10), ExecStats::new())
+            .unwrap();
         let out = collect(cur);
         // Previous: defined from position 2 on; value is most recent input
         // strictly before the position.
-        let expect: Vec<(i64, i64)> = vec![
-            (2, 1),
-            (3, 1),
-            (4, 3),
-            (5, 3),
-            (6, 3),
-            (7, 3),
-            (8, 7),
-            (9, 7),
-            (10, 7),
-        ];
+        let expect: Vec<(i64, i64)> =
+            vec![(2, 1), (3, 1), (4, 3), (5, 3), (6, 3), (7, 3), (8, 7), (9, 7), (10, 7)];
         assert_eq!(out, expect);
     }
 
@@ -358,13 +344,8 @@ mod tests {
         let c = catalog(&[1, 3, 7]);
         let store = c.get("S").unwrap();
         let input = Box::new(BaseStreamCursor::new(&store, Span::new(1, 7)));
-        let cur = IncrementalValueOffsetCursor::new(
-            input,
-            -2,
-            Span::new(1, 9),
-            ExecStats::new(),
-        )
-        .unwrap();
+        let cur = IncrementalValueOffsetCursor::new(input, -2, Span::new(1, 9), ExecStats::new())
+            .unwrap();
         let out = collect(cur);
         let expect: Vec<(i64, i64)> = vec![(4, 1), (5, 1), (6, 1), (7, 1), (8, 3), (9, 3)];
         assert_eq!(out, expect);
@@ -375,13 +356,8 @@ mod tests {
         let c = catalog(&[1, 3, 7]);
         let store = c.get("S").unwrap();
         let input = Box::new(BaseStreamCursor::new(&store, Span::new(1, 7)));
-        let cur = IncrementalValueOffsetCursor::new(
-            input,
-            1,
-            Span::new(0, 7),
-            ExecStats::new(),
-        )
-        .unwrap();
+        let cur =
+            IncrementalValueOffsetCursor::new(input, 1, Span::new(0, 7), ExecStats::new()).unwrap();
         let out = collect(cur);
         // Next: record strictly after the position.
         let expect: Vec<(i64, i64)> = vec![(0, 1), (1, 3), (2, 3), (3, 7), (4, 7), (5, 7), (6, 7)];

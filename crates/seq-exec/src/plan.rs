@@ -15,7 +15,13 @@ use std::fmt;
 use seq_core::{Record, Result, Span};
 use seq_ops::{AggFunc, Expr, Window};
 
-use crate::aggregate::{AggProbe, CumulativeAggCursor, NaiveAggCursor, WholeSpanAggCursor, WindowAggCursor};
+use crate::aggregate::{
+    AggProbe, CumulativeAggCursor, NaiveAggCursor, WholeSpanAggCursor, WindowAggCursor,
+};
+use crate::batch::{
+    BaseBatchCursor, BatchCursor, PosOffsetBatchCursor, ProjectBatchCursor, RecordToBatchCursor,
+    SelectBatchCursor, WindowAggBatchCursor,
+};
 use crate::compose::{ComposeProbe, LockStepJoin, StreamProbeJoin, StreamSide};
 use crate::cursor::{
     BaseProbe, BaseStreamCursor, ConstCursor, ConstProbe, Cursor, PointAccess, PosOffsetCursor,
@@ -254,6 +260,76 @@ impl PhysNode {
         })
     }
 
+    /// True when this node has a native vectorized kernel — the unit-scope
+    /// stream operators (plus sliding-window aggregates, whose input side is
+    /// a pure stream). Everything else lowers through the record-at-a-time
+    /// cursor behind an adapter.
+    pub fn is_batch_capable(&self) -> bool {
+        match self {
+            PhysNode::Base { .. }
+            | PhysNode::Select { .. }
+            | PhysNode::Project { .. }
+            | PhysNode::PosOffset { .. } => true,
+            PhysNode::Aggregate { window, strategy, .. } => {
+                matches!(window, Window::Sliding { .. }) && *strategy != AggStrategy::NaiveProbe
+            }
+            PhysNode::Constant { .. } | PhysNode::ValueOffset { .. } | PhysNode::Compose { .. } => {
+                false
+            }
+        }
+    }
+
+    /// Open the node in vectorized stream mode, producing batches of
+    /// `batch_size` rows. Contiguous runs of batch-capable operators get
+    /// native batch kernels; at the first non-batch-capable node the plan
+    /// falls back to [`PhysNode::open_stream`] behind a
+    /// [`RecordToBatchCursor`] adapter (a block boundary), so any plan
+    /// lowers. Results are identical to the record-at-a-time path.
+    pub fn open_batch(
+        &self,
+        ctx: &ExecContext<'_>,
+        batch_size: usize,
+    ) -> Result<Box<dyn BatchCursor>> {
+        if !self.is_batch_capable() {
+            return Ok(Box::new(RecordToBatchCursor::new(self.open_stream(ctx)?, batch_size)));
+        }
+        Ok(match self {
+            PhysNode::Base { name, span } => {
+                let store = ctx.catalog.get(name)?;
+                let clamped = span.intersect(&seq_core::Sequence::meta(store.as_ref()).span);
+                Box::new(BaseBatchCursor::new(&store, clamped, batch_size))
+            }
+            PhysNode::Select { input, predicate, .. } => Box::new(SelectBatchCursor::new(
+                input.open_batch(ctx, batch_size)?,
+                predicate.clone(),
+                ctx.stats.clone(),
+            )),
+            PhysNode::Project { input, indices, .. } => Box::new(ProjectBatchCursor::new(
+                input.open_batch(ctx, batch_size)?,
+                indices.clone(),
+            )),
+            PhysNode::PosOffset { input, offset, span } => Box::new(PosOffsetBatchCursor::new(
+                input.open_batch(ctx, batch_size)?,
+                *offset,
+                *span,
+            )),
+            PhysNode::Aggregate { input, func, attr_index, window, strategy, span } => {
+                Box::new(WindowAggBatchCursor::new(
+                    input.open_batch(ctx, batch_size)?,
+                    *func,
+                    *attr_index,
+                    *window,
+                    *span,
+                    *strategy == AggStrategy::CacheAIncremental,
+                    batch_size,
+                )?)
+            }
+            PhysNode::Constant { .. } | PhysNode::ValueOffset { .. } | PhysNode::Compose { .. } => {
+                unreachable!("non-batch-capable nodes handled by the adapter fallback")
+            }
+        })
+    }
+
     /// Open the node in probed mode. Derived nodes recompute on each probe
     /// (the incremental algorithms are not usable under probed access,
     /// §4.1.2, so value offsets and aggregates fall back to naive walks).
@@ -264,9 +340,7 @@ impl PhysNode {
                 let clamped = span.intersect(&seq_core::Sequence::meta(store.as_ref()).span);
                 Box::new(BaseProbe::new(store, clamped))
             }
-            PhysNode::Constant { record, span } => {
-                Box::new(ConstProbe::new(record.clone(), *span))
-            }
+            PhysNode::Constant { record, span } => Box::new(ConstProbe::new(record.clone(), *span)),
             PhysNode::Select { input, predicate, .. } => Box::new(SelectProbe::new(
                 input.open_probe(ctx)?,
                 predicate.clone(),
@@ -340,10 +414,7 @@ impl PhysNode {
                 input.render_into(depth + 1, out);
             }
             PhysNode::Compose { left, right, predicate, strategy, span } => {
-                let p = predicate
-                    .as_ref()
-                    .map(|p| format!("[{p}] "))
-                    .unwrap_or_default();
+                let p = predicate.as_ref().map(|p| format!("[{p}] ")).unwrap_or_default();
                 let _ = writeln!(out, "{pad}Compose {p}[{strategy:?}] span={span}");
                 left.render_into(depth + 1, out);
                 right.render_into(depth + 1, out);

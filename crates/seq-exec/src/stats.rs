@@ -23,6 +23,10 @@ struct ExecStatsInner {
     /// aggregate probing — the "repeated retrievals / recomputation" that
     /// Cache-Strategy-A/B eliminate (§3.5).
     naive_walk_steps: AtomicU64,
+    /// Folded (per-batch) counter updates. The vectorized path charges
+    /// outputs and predicate evaluations once per batch instead of once per
+    /// record; this counts those folds so tests can verify the contract.
+    stat_folds: AtomicU64,
 }
 
 /// Cheaply cloneable handle to shared executor counters.
@@ -62,6 +66,22 @@ impl ExecStats {
         self.inner.naive_walk_steps.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Charge `n` output records with a single atomic add (batch path).
+    pub fn record_outputs(&self, n: u64) {
+        if n > 0 {
+            self.inner.output_records.fetch_add(n, Ordering::Relaxed);
+            self.inner.stat_folds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge `n` predicate applications with a single atomic add.
+    pub fn record_predicate_evals(&self, n: u64) {
+        if n > 0 {
+            self.inner.predicate_evals.fetch_add(n, Ordering::Relaxed);
+            self.inner.stat_folds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> ExecSnapshot {
         ExecSnapshot {
@@ -70,6 +90,7 @@ impl ExecStats {
             cache_probes: self.inner.cache_probes.load(Ordering::Relaxed),
             predicate_evals: self.inner.predicate_evals.load(Ordering::Relaxed),
             naive_walk_steps: self.inner.naive_walk_steps.load(Ordering::Relaxed),
+            stat_folds: self.inner.stat_folds.load(Ordering::Relaxed),
         }
     }
 
@@ -80,6 +101,7 @@ impl ExecStats {
         self.inner.cache_probes.store(0, Ordering::Relaxed);
         self.inner.predicate_evals.store(0, Ordering::Relaxed);
         self.inner.naive_walk_steps.store(0, Ordering::Relaxed);
+        self.inner.stat_folds.store(0, Ordering::Relaxed);
     }
 }
 
@@ -96,6 +118,8 @@ pub struct ExecSnapshot {
     pub predicate_evals: u64,
     /// Positions visited by naive walks.
     pub naive_walk_steps: u64,
+    /// Folded (per-batch) counter updates performed by the vectorized path.
+    pub stat_folds: u64,
 }
 
 impl ExecSnapshot {
@@ -107,6 +131,7 @@ impl ExecSnapshot {
             cache_probes: self.cache_probes.saturating_sub(earlier.cache_probes),
             predicate_evals: self.predicate_evals.saturating_sub(earlier.predicate_evals),
             naive_walk_steps: self.naive_walk_steps.saturating_sub(earlier.naive_walk_steps),
+            stat_folds: self.stat_folds.saturating_sub(earlier.stat_folds),
         }
     }
 }
@@ -139,6 +164,18 @@ mod tests {
         let s = a.snapshot();
         assert_eq!(s.output_records, 2);
         assert_eq!(s.naive_walk_steps, 1);
+    }
+
+    #[test]
+    fn folded_adds_count_batches_not_records() {
+        let s = ExecStats::new();
+        s.record_outputs(1024);
+        s.record_predicate_evals(512);
+        s.record_outputs(0); // empty batches charge nothing
+        let snap = s.snapshot();
+        assert_eq!(snap.output_records, 1024);
+        assert_eq!(snap.predicate_evals, 512);
+        assert_eq!(snap.stat_folds, 2);
     }
 
     #[test]

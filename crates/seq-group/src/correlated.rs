@@ -14,8 +14,8 @@
 
 use seq_core::{BaseSequence, Record, Result, Span};
 use seq_exec::{execute, ExecContext};
-use seq_opt::{optimize, CatalogRef, OptimizerConfig};
 use seq_ops::QueryGraph;
+use seq_opt::{optimize, CatalogRef, OptimizerConfig};
 use seq_storage::Catalog;
 
 use crate::grouping::partition_by;
@@ -139,12 +139,9 @@ mod tests {
         let mut catalog = Catalog::new();
         catalog.register("Volcanos", vgroups.member(&key).unwrap());
         catalog.register("Quakes", qgroups.member(&key).unwrap());
-        let optimized = optimize(
-            &regional_template(),
-            &CatalogRef(&catalog),
-            &OptimizerConfig::new(spec.span),
-        )
-        .unwrap();
+        let optimized =
+            optimize(&regional_template(), &CatalogRef(&catalog), &OptimizerConfig::new(spec.span))
+                .unwrap();
         catalog.reset_measurement();
         let ctx = ExecContext::new(&catalog);
         execute(&optimized.plan, &ctx).unwrap();
@@ -172,11 +169,7 @@ mod tests {
             &right,
             "R",
             "k",
-            &|| {
-                SeqQuery::base("L")
-                    .compose_with(SeqQuery::base("R").previous())
-                    .build()
-            },
+            &|| SeqQuery::base("L").compose_with(SeqQuery::base("R").previous()).build(),
             Span::new(1, 10),
             &OptimizerConfig::new(Span::new(1, 10)),
         )

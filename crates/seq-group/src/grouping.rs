@@ -13,8 +13,8 @@ use std::collections::BTreeMap;
 
 use seq_core::{BaseSequence, Record, Result, Schema, SeqError, Sequence, Span};
 use seq_exec::{execute, ExecContext};
-use seq_opt::{optimize, CatalogRef, OptimizerConfig};
 use seq_ops::QueryGraph;
+use seq_opt::{optimize, CatalogRef, OptimizerConfig};
 use seq_storage::Catalog;
 
 /// An ordered collection of same-schema sequences keyed by string.
@@ -161,11 +161,7 @@ mod tests {
 
     fn tagged() -> BaseSequence {
         BaseSequence::from_entries(
-            schema(&[
-                ("time", AttrType::Int),
-                ("v", AttrType::Float),
-                ("tag", AttrType::Str),
-            ]),
+            schema(&[("time", AttrType::Int), ("v", AttrType::Float), ("tag", AttrType::Str)]),
             vec![
                 (1, record![1i64, 10.0, "a"]),
                 (2, record![2i64, 20.0, "b"]),
@@ -192,11 +188,9 @@ mod tests {
     #[test]
     fn schema_mismatch_is_rejected() {
         let mut g = SequenceGroup::new(schema(&[("x", AttrType::Int)]));
-        let wrong = BaseSequence::from_entries(
-            schema(&[("y", AttrType::Float)]),
-            vec![(1, record![1.0])],
-        )
-        .unwrap();
+        let wrong =
+            BaseSequence::from_entries(schema(&[("y", AttrType::Float)]), vec![(1, record![1.0])])
+                .unwrap();
         assert!(g.insert("k", wrong).is_err());
     }
 
@@ -213,11 +207,7 @@ mod tests {
             )
             .unwrap();
         // Member a at its last event position 8: 10 + 30 + 80.
-        let a_last = rows
-            .iter()
-            .filter(|(k, _, _)| k == "a")
-            .max_by_key(|(_, p, _)| *p)
-            .unwrap();
+        let a_last = rows.iter().filter(|(k, _, _)| k == "a").max_by_key(|(_, p, _)| *p).unwrap();
         assert_eq!(a_last.1, 8);
         assert_eq!(a_last.2.value(0).unwrap().as_f64().unwrap(), 120.0);
         // Member b at position 5: 20 + 50.

@@ -61,23 +61,22 @@ pub fn collapse(
     // Bucket the records (entries are position-ordered already).
     let mut out: Vec<(i64, Record)> = Vec::new();
     let mut current: Option<(i64, Vec<Vec<Value>>)> = None;
-    let flush = |state: &mut Option<(i64, Vec<Vec<Value>>)>, out: &mut Vec<(i64, Record)>| -> Result<()> {
-        if let Some((bucket, columns)) = state.take() {
-            let mut values = Vec::with_capacity(attrs.len());
-            for ((_, how), column) in attrs.iter().zip(&columns) {
-                let v = match how {
-                    CollapseAttr::Agg(f) => f
-                        .apply(column.iter())?
-                        .expect("non-empty bucket"),
-                    CollapseAttr::First => column.first().expect("non-empty").clone(),
-                    CollapseAttr::Last => column.last().expect("non-empty").clone(),
-                };
-                values.push(v);
+    let flush =
+        |state: &mut Option<(i64, Vec<Vec<Value>>)>, out: &mut Vec<(i64, Record)>| -> Result<()> {
+            if let Some((bucket, columns)) = state.take() {
+                let mut values = Vec::with_capacity(attrs.len());
+                for ((_, how), column) in attrs.iter().zip(&columns) {
+                    let v = match how {
+                        CollapseAttr::Agg(f) => f.apply(column.iter())?.expect("non-empty bucket"),
+                        CollapseAttr::First => column.first().expect("non-empty").clone(),
+                        CollapseAttr::Last => column.last().expect("non-empty").clone(),
+                    };
+                    values.push(v);
+                }
+                out.push((bucket, Record::new(values)));
             }
-            out.push((bucket, Record::new(values)));
-        }
-        Ok(())
-    };
+            Ok(())
+        };
 
     for (pos, rec) in source.entries() {
         let b = bucket_of(*pos, factor);
@@ -211,12 +210,7 @@ mod tests {
 
     #[test]
     fn expand_replicates_buckets() {
-        let weekly = collapse(
-            &daily(),
-            7,
-            &[("close", CollapseAttr::Agg(AggFunc::Avg))],
-        )
-        .unwrap();
+        let weekly = collapse(&daily(), 7, &[("close", CollapseAttr::Agg(AggFunc::Avg))]).unwrap();
         let back = expand(&weekly, 7, Span::new(0, 27)).unwrap();
         // Week 0's average appears at positions 0..=6.
         for p in 0..=6 {
@@ -261,21 +255,14 @@ mod tests {
         // The §5.1 use case end to end: weekly average computed by collapsing
         // then queried with the ordinary algebra.
         use seq_exec::{execute, ExecContext};
-        use seq_opt::{optimize, CatalogRef, OptimizerConfig};
         use seq_ops::{Expr, SeqQuery};
+        use seq_opt::{optimize, CatalogRef, OptimizerConfig};
         use seq_storage::Catalog;
 
-        let weekly = collapse(
-            &daily(),
-            7,
-            &[("close", CollapseAttr::Agg(AggFunc::Avg))],
-        )
-        .unwrap();
+        let weekly = collapse(&daily(), 7, &[("close", CollapseAttr::Agg(AggFunc::Avg))]).unwrap();
         let mut catalog = Catalog::new();
         catalog.register("WeeklyAvg", &weekly);
-        let q = SeqQuery::base("WeeklyAvg")
-            .select(Expr::attr("close").gt(Expr::lit(30.0)))
-            .build();
+        let q = SeqQuery::base("WeeklyAvg").select(Expr::attr("close").gt(Expr::lit(30.0))).build();
         let optimized =
             optimize(&q, &CatalogRef(&catalog), &OptimizerConfig::new(Span::new(0, 3))).unwrap();
         let rows = execute(&optimized.plan, &ExecContext::new(&catalog)).unwrap();
@@ -287,55 +274,66 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
     use seq_core::{record, schema, AttrType};
+    use seq_workload::Rng;
 
-    fn arb_sequence() -> impl Strategy<Value = BaseSequence> {
-        (
-            prop::collection::btree_set(-200i64..200, 1..60),
-            prop::collection::vec(-100.0f64..100.0, 60),
-        )
-            .prop_map(|(positions, values)| {
-                let entries = positions
-                    .into_iter()
-                    .zip(values)
-                    .map(|(p, v)| (p, record![p, v]))
-                    .collect();
-                BaseSequence::from_entries(
-                    schema(&[("time", AttrType::Int), ("v", AttrType::Float)]),
-                    entries,
-                )
-                .unwrap()
+    fn arb_sequence(rng: &mut Rng) -> BaseSequence {
+        let n = rng.gen_range(1usize..60);
+        let positions: std::collections::BTreeSet<i64> =
+            (0..n).map(|_| rng.gen_range(-200i64..200)).collect();
+        let entries = positions
+            .into_iter()
+            .map(|p| {
+                let v = rng.gen_range(-100.0f64..100.0);
+                (p, record![p, v])
             })
+            .collect();
+        BaseSequence::from_entries(
+            schema(&[("time", AttrType::Int), ("v", AttrType::Float)]),
+            entries,
+        )
+        .unwrap()
     }
 
-    proptest! {
-        /// Bucket counts always sum to the source record count.
-        #[test]
-        fn collapse_preserves_record_count(s in arb_sequence(), factor in 1i64..20) {
-            let c = collapse(&s, factor, &[("v", CollapseAttr::Agg(AggFunc::Count))]).unwrap();
-            let total: i64 = c
-                .entries()
-                .iter()
-                .map(|(_, r)| r.value(0).unwrap().as_i64().unwrap())
-                .sum();
-            prop_assert_eq!(total as u64, s.record_count());
-        }
+    const CASES: usize = 128;
 
-        /// Every source record's bucket exists, and no empty buckets appear.
-        #[test]
-        fn collapse_buckets_are_exactly_the_occupied_ones(s in arb_sequence(), factor in 1i64..20) {
+    /// Bucket counts always sum to the source record count.
+    #[test]
+    fn collapse_preserves_record_count() {
+        let mut rng = Rng::seed_from_u64(0xc011);
+        for _ in 0..CASES {
+            let s = arb_sequence(&mut rng);
+            let factor = rng.gen_range(1i64..20);
+            let c = collapse(&s, factor, &[("v", CollapseAttr::Agg(AggFunc::Count))]).unwrap();
+            let total: i64 =
+                c.entries().iter().map(|(_, r)| r.value(0).unwrap().as_i64().unwrap()).sum();
+            assert_eq!(total as u64, s.record_count());
+        }
+    }
+
+    /// Every source record's bucket exists, and no empty buckets appear.
+    #[test]
+    fn collapse_buckets_are_exactly_the_occupied_ones() {
+        let mut rng = Rng::seed_from_u64(0xb0c4);
+        for _ in 0..CASES {
+            let s = arb_sequence(&mut rng);
+            let factor = rng.gen_range(1i64..20);
             let c = collapse(&s, factor, &[("v", CollapseAttr::Last)]).unwrap();
             let buckets: std::collections::BTreeSet<i64> =
                 c.entries().iter().map(|(b, _)| *b).collect();
             let expected: std::collections::BTreeSet<i64> =
                 s.entries().iter().map(|(p, _)| p.div_euclid(factor)).collect();
-            prop_assert_eq!(buckets, expected);
+            assert_eq!(buckets, expected);
         }
+    }
 
-        /// Min <= Avg <= Max per bucket.
-        #[test]
-        fn collapse_agg_ordering(s in arb_sequence(), factor in 1i64..20) {
+    /// Min <= Avg <= Max per bucket.
+    #[test]
+    fn collapse_agg_ordering() {
+        let mut rng = Rng::seed_from_u64(0xa66);
+        for _ in 0..CASES {
+            let s = arb_sequence(&mut rng);
+            let factor = rng.gen_range(1i64..20);
             let c = collapse(
                 &s,
                 factor,
@@ -350,14 +348,19 @@ mod proptests {
                 let mn = r.value(0).unwrap().as_f64().unwrap();
                 let av = r.value(1).unwrap().as_f64().unwrap();
                 let mx = r.value(2).unwrap().as_f64().unwrap();
-                prop_assert!(mn <= av + 1e-9 && av <= mx + 1e-9);
+                assert!(mn <= av + 1e-9 && av <= mx + 1e-9);
             }
         }
+    }
 
-        /// Expanding a collapsed sequence covers exactly the occupied
-        /// buckets' fine positions (within the target span).
-        #[test]
-        fn expand_covers_bucket_ranges(s in arb_sequence(), factor in 1i64..10) {
+    /// Expanding a collapsed sequence covers exactly the occupied buckets'
+    /// fine positions (within the target span).
+    #[test]
+    fn expand_covers_bucket_ranges() {
+        let mut rng = Rng::seed_from_u64(0xe4a0);
+        for _ in 0..CASES {
+            let s = arb_sequence(&mut rng);
+            let factor = rng.gen_range(1i64..10);
             let c = collapse(&s, factor, &[("v", CollapseAttr::First)]).unwrap();
             let within = Span::new(-250, 250);
             let e = expand(&c, factor, within).unwrap();
@@ -365,18 +368,23 @@ mod proptests {
                 e.entries().iter().map(|(p, _)| *p).collect();
             for (b, _) in c.entries() {
                 for p in (b * factor)..((b + 1) * factor) {
-                    prop_assert_eq!(expanded.contains(&p), within.contains(p));
+                    assert_eq!(expanded.contains(&p), within.contains(p));
                 }
             }
         }
+    }
 
-        /// Every source position is covered by expand(collapse(s)).
-        #[test]
-        fn expand_collapse_covers_source_positions(s in arb_sequence(), factor in 1i64..10) {
+    /// Every source position is covered by expand(collapse(s)).
+    #[test]
+    fn expand_collapse_covers_source_positions() {
+        let mut rng = Rng::seed_from_u64(0xe4c0);
+        for _ in 0..CASES {
+            let s = arb_sequence(&mut rng);
+            let factor = rng.gen_range(1i64..10);
             let c = collapse(&s, factor, &[("v", CollapseAttr::Last)]).unwrap();
             let e = expand(&c, factor, Span::new(-250, 250)).unwrap();
             for (p, _) in s.entries() {
-                prop_assert!(e.get(*p).is_some(), "position {} lost", p);
+                assert!(e.get(*p).is_some(), "position {} lost", p);
             }
         }
     }

@@ -112,12 +112,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                                 Some('"') => s.push('"'),
                                 Some('\\') => s.push('\\'),
                                 Some('n') => s.push('\n'),
-                                other => {
-                                    return Err(err(
-                                        i,
-                                        format!("unknown escape {:?}", other),
-                                    ))
-                                }
+                                other => return Err(err(i, format!("unknown escape {:?}", other))),
                             }
                             i += 2;
                         }
@@ -140,7 +135,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
                 let mut is_float = false;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E'
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == '.'
+                        || bytes[i] == 'e'
+                        || bytes[i] == 'E'
                         || ((bytes[i] == '-' || bytes[i] == '+')
                             && matches!(bytes.get(i.wrapping_sub(1)), Some('e') | Some('E'))))
                 {
@@ -209,10 +207,10 @@ mod tests {
             ]
         );
         // A bare minus is a symbol (subtraction operator).
-        assert_eq!(kinds("- close"), vec![
-            TokenKind::Symbol("-".into()),
-            TokenKind::Symbol("close".into())
-        ]);
+        assert_eq!(
+            kinds("- close"),
+            vec![TokenKind::Symbol("-".into()), TokenKind::Symbol("close".into())]
+        );
     }
 
     #[test]

@@ -27,42 +27,57 @@ pub use print::print_query;
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
     use seq_ops::{AggFunc, Expr, SeqQuery, Window};
+    use seq_workload::Rng;
 
     /// Random (unbound) queries through the builder, round-tripped through
-    /// print → parse.
-    fn arb_query(depth: u32) -> BoxedStrategy<SeqQuery> {
+    /// print → parse. Seeded-loop generation; each seed reproduces exactly.
+    fn arb_query(rng: &mut Rng, depth: u32) -> SeqQuery {
+        let leaf = |rng: &mut Rng| {
+            if rng.gen_bool(0.5) {
+                SeqQuery::base("A")
+            } else {
+                SeqQuery::base("B")
+            }
+        };
         if depth == 0 {
-            return prop_oneof![
-                Just(SeqQuery::base("A")),
-                Just(SeqQuery::base("B")),
-            ]
-            .boxed();
+            return leaf(rng);
         }
-        let sub = arb_query(depth - 1);
-        prop_oneof![
-            arb_query(0),
-            (sub.clone(), -50.0f64..50.0)
-                .prop_map(|(q, lit)| q.select(Expr::attr("close").gt(Expr::lit(lit)))),
-            (sub.clone(), -6i64..6).prop_map(|(q, l)| q.positional_offset(l)),
-            (sub.clone(), 1i64..4, any::<bool>())
-                .prop_map(|(q, l, neg)| q.value_offset(if neg { -l } else { l })),
-            (sub.clone(), 1u32..8).prop_map(|(q, w)| {
-                q.aggregate(AggFunc::Avg, "close", Window::trailing(w))
-            }),
-            (sub.clone(), arb_query(depth - 1)).prop_map(|(l, r)| l.compose_with(r)),
-        ]
-        .boxed()
+        match rng.gen_range(0u32..6) {
+            0 => leaf(rng),
+            1 => {
+                let lit = rng.gen_range(-50.0f64..50.0);
+                arb_query(rng, depth - 1).select(Expr::attr("close").gt(Expr::lit(lit)))
+            }
+            2 => {
+                let l = rng.gen_range(-6i64..6);
+                arb_query(rng, depth - 1).positional_offset(l)
+            }
+            3 => {
+                let l = rng.gen_range(1i64..4);
+                let l = if rng.gen_bool(0.5) { -l } else { l };
+                arb_query(rng, depth - 1).value_offset(l)
+            }
+            4 => {
+                let w = rng.gen_range(1u32..8);
+                arb_query(rng, depth - 1).aggregate(AggFunc::Avg, "close", Window::trailing(w))
+            }
+            _ => {
+                let l = arb_query(rng, depth - 1);
+                let r = arb_query(rng, depth - 1);
+                l.compose_with(r)
+            }
+        }
     }
 
-    proptest! {
-        #[test]
-        fn print_parse_round_trip(q in arb_query(3)) {
-            let g = q.build();
+    #[test]
+    fn print_parse_round_trip() {
+        let mut rng = Rng::seed_from_u64(0x1a06);
+        for case in 0..256 {
+            let g = arb_query(&mut rng, 3).build();
             let text = print_query(&g).unwrap();
             let g2 = parse_query(&text).unwrap();
-            prop_assert_eq!(g, g2);
+            assert_eq!(g, g2, "case {case} failed to round-trip:\n{text}");
         }
     }
 }

@@ -184,9 +184,8 @@ impl Parser {
             fields.push((name, ty));
             values.push(v);
         }
-        let schema = Schema::new(
-            fields.into_iter().map(|(n, t)| seq_core::Field::new(n, t)).collect(),
-        );
+        let schema =
+            Schema::new(fields.into_iter().map(|(n, t)| seq_core::Field::new(n, t)).collect());
         Ok((schema, Record::new(values)))
     }
 
@@ -256,8 +255,7 @@ impl Parser {
                 let (op, at) = self.symbol()?;
                 let e = match op.as_str() {
                     "not" => self.expr()?.negate(),
-                    ">" | ">=" | "<" | "<=" | "=" | "!=" | "and" | "or" | "+" | "-" | "*"
-                    | "/" => {
+                    ">" | ">=" | "<" | "<=" | "=" | "!=" | "and" | "or" | "+" | "-" | "*" | "/" => {
                         let a = self.expr()?;
                         let b = self.expr()?;
                         match op.as_str() {
@@ -313,10 +311,7 @@ mod tests {
             "Quakes".into(),
             schema(&[("time", AttrType::Int), ("strength", AttrType::Float)]),
         );
-        m.insert(
-            "Volcanos".into(),
-            schema(&[("time", AttrType::Int), ("name", AttrType::Str)]),
-        );
+        m.insert("Volcanos".into(), schema(&[("time", AttrType::Int), ("name", AttrType::Str)]));
         m
     }
 
@@ -337,10 +332,9 @@ mod tests {
 
     #[test]
     fn parses_fig3() {
-        let q = parse_query(
-            "(compose (base DEC) (compose (> close close_r) (base IBM) (base HP)))",
-        )
-        .unwrap();
+        let q =
+            parse_query("(compose (base DEC) (compose (> close close_r) (base IBM) (base HP)))")
+                .unwrap();
         let r = q.resolve(&provider()).unwrap();
         assert_eq!(r.output_schema().arity(), 6);
     }
@@ -370,20 +364,17 @@ mod tests {
 
     #[test]
     fn parses_constants() {
-        let q = parse_query(
-            r#"(compose (> close threshold) (base IBM) (const [threshold 100.0]))"#,
-        )
-        .unwrap();
+        let q =
+            parse_query(r#"(compose (> close threshold) (base IBM) (const [threshold 100.0]))"#)
+                .unwrap();
         let r = q.resolve(&provider()).unwrap();
         assert_eq!(r.output_schema().arity(), 3);
     }
 
     #[test]
     fn arithmetic_and_boolean_expressions() {
-        let q = parse_query(
-            "(select (and (> (* close 2.0) 100.0) (not (= time 5))) (base IBM))",
-        )
-        .unwrap();
+        let q = parse_query("(select (and (> (* close 2.0) 100.0) (not (= time 5))) (base IBM))")
+            .unwrap();
         assert!(q.resolve(&provider()).is_ok());
     }
 
@@ -415,8 +406,8 @@ mod tests {
         let schemas: HashMap<String, Schema> =
             seqs.iter().map(|(k, v)| (k.clone(), v.schema().clone())).collect();
 
-        let q = parse_query("(agg sum close (trailing 3) (select (> close 2.0) (base IBM)))")
-            .unwrap();
+        let q =
+            parse_query("(agg sum close (trailing 3) (select (> close 2.0) (base IBM)))").unwrap();
         let r = q.resolve(&schemas).unwrap();
         let ev = ReferenceEvaluator::new(&r, &seqs).unwrap();
         // At position 5: records 3,4,5 -> 12.

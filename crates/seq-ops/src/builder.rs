@@ -52,10 +52,7 @@ impl SeqQuery {
     }
 
     fn apply(mut self, op: SeqOperator) -> SeqQuery {
-        let tip = self
-            .graph
-            .add_op(op, vec![self.tip])
-            .expect("unary operator over existing tip");
+        let tip = self.graph.add_op(op, vec![self.tip]).expect("unary operator over existing tip");
         SeqQuery { graph: self.graph, tip }
     }
 
@@ -146,10 +143,7 @@ mod tests {
 
     fn provider() -> HashMap<String, Schema> {
         let stock = schema(&[("time", AttrType::Int), ("close", AttrType::Float)]);
-        ["IBM", "HP", "DEC"]
-            .iter()
-            .map(|n| (n.to_string(), stock.clone()))
-            .collect()
+        ["IBM", "HP", "DEC"].iter().map(|n| (n.to_string(), stock.clone())).collect()
     }
 
     #[test]
@@ -184,9 +178,7 @@ mod tests {
 
     #[test]
     fn fig5a_moving_sum() {
-        let g = SeqQuery::base("IBM")
-            .aggregate(AggFunc::Sum, "close", Window::trailing(6))
-            .build();
+        let g = SeqQuery::base("IBM").aggregate(AggFunc::Sum, "close", Window::trailing(6)).build();
         let r = g.resolve(&provider()).unwrap();
         assert_eq!(r.output_schema().field(0).unwrap().name, "sum_close");
     }

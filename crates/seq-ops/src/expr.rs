@@ -7,7 +7,26 @@
 
 use std::fmt;
 
-use seq_core::{AttrType, CmpOp, Record, Result, Schema, SeqError, SeqMeta, Value};
+use seq_core::{AttrType, CmpOp, Record, Result, RowRef, Schema, SeqError, SeqMeta, Value};
+
+/// Anything a bound expression can read column values from: a materialized
+/// [`Record`] or a borrowed row of a columnar [`seq_core::RecordBatch`].
+pub trait ValueSource {
+    /// The value in column `idx`.
+    fn source_value(&self, idx: usize) -> Result<&Value>;
+}
+
+impl ValueSource for Record {
+    fn source_value(&self, idx: usize) -> Result<&Value> {
+        self.value(idx)
+    }
+}
+
+impl ValueSource for RowRef<'_> {
+    fn source_value(&self, idx: usize) -> Result<&Value> {
+        self.value(idx)
+    }
+}
 
 /// Binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -240,44 +259,71 @@ impl Expr {
 
     /// Evaluate a bound expression against a record.
     pub fn eval(&self, rec: &Record) -> Result<Value> {
+        self.eval_src(rec)
+    }
+
+    /// Evaluate a bound expression against a borrowed batch row without
+    /// materializing a [`Record`] — the vectorized path's entry point.
+    pub fn eval_row(&self, row: &RowRef<'_>) -> Result<Value> {
+        self.eval_src(row)
+    }
+
+    /// Evaluate a bound boolean predicate against a borrowed batch row.
+    pub fn eval_predicate_row(&self, row: &RowRef<'_>) -> Result<bool> {
+        self.eval_src(row)?.as_bool()
+    }
+
+    /// Recognize the single-comparison shape `Col <op> Lit` (either operand
+    /// order), the form a vectorized selection can run as a tight column
+    /// kernel instead of a per-row expression-tree walk.
+    pub fn as_col_cmp_lit(&self) -> Option<(usize, CmpOp, Value)> {
+        let Expr::Bin(op, l, r) = self else { return None };
+        let cmp = op.as_cmp()?;
+        match (l.as_ref(), r.as_ref()) {
+            (Expr::Col(i), Expr::Lit(v)) => Some((*i, cmp, v.clone())),
+            (Expr::Lit(v), Expr::Col(i)) => Some((*i, cmp.mirrored(), v.clone())),
+            _ => None,
+        }
+    }
+
+    /// Evaluate against any column-indexed value source (a materialized
+    /// [`Record`] or a [`RowRef`] into a column batch).
+    fn eval_src<S: ValueSource + ?Sized>(&self, rec: &S) -> Result<Value> {
         match self {
             Expr::Attr(name) => Err(SeqError::Type(format!(
                 "unbound attribute {name:?}: call Expr::bind before evaluation"
             ))),
-            Expr::Col(i) => Ok(rec.value(*i)?.clone()),
+            Expr::Col(i) => Ok(rec.source_value(*i)?.clone()),
             Expr::Lit(v) => Ok(v.clone()),
-            Expr::Not(e) => Ok(Value::Bool(!e.eval(rec)?.as_bool()?)),
+            Expr::Not(e) => Ok(Value::Bool(!e.eval_src(rec)?.as_bool()?)),
             Expr::Bin(op, l, r) => {
                 if *op == BinOp::And {
                     // Short-circuit.
                     return Ok(Value::Bool(
-                        l.eval(rec)?.as_bool()? && r.eval(rec)?.as_bool()?,
+                        l.eval_src(rec)?.as_bool()? && r.eval_src(rec)?.as_bool()?,
                     ));
                 }
                 if *op == BinOp::Or {
                     return Ok(Value::Bool(
-                        l.eval(rec)?.as_bool()? || r.eval(rec)?.as_bool()?,
+                        l.eval_src(rec)?.as_bool()? || r.eval_src(rec)?.as_bool()?,
                     ));
                 }
-                let lv = l.eval(rec)?;
-                let rv = r.eval(rec)?;
+                let lv = l.eval_src(rec)?;
+                let rv = r.eval_src(rec)?;
                 if let Some(cmp) = op.as_cmp() {
-                    let ord = lv.total_cmp(&rv)?;
-                    let b = match cmp {
-                        CmpOp::Eq => ord.is_eq(),
-                        CmpOp::Ne => ord.is_ne(),
-                        CmpOp::Lt => ord.is_lt(),
-                        CmpOp::Le => ord.is_le(),
-                        CmpOp::Gt => ord.is_gt(),
-                        CmpOp::Ge => ord.is_ge(),
-                    };
-                    return Ok(Value::Bool(b));
+                    return Ok(Value::Bool(cmp.holds(lv.total_cmp(&rv)?)));
                 }
                 // Arithmetic. Ints stay ints except for division.
                 match (&lv, &rv, op) {
-                    (Value::Int(a), Value::Int(b), BinOp::Add) => Ok(Value::Int(a.wrapping_add(*b))),
-                    (Value::Int(a), Value::Int(b), BinOp::Sub) => Ok(Value::Int(a.wrapping_sub(*b))),
-                    (Value::Int(a), Value::Int(b), BinOp::Mul) => Ok(Value::Int(a.wrapping_mul(*b))),
+                    (Value::Int(a), Value::Int(b), BinOp::Add) => {
+                        Ok(Value::Int(a.wrapping_add(*b)))
+                    }
+                    (Value::Int(a), Value::Int(b), BinOp::Sub) => {
+                        Ok(Value::Int(a.wrapping_sub(*b)))
+                    }
+                    (Value::Int(a), Value::Int(b), BinOp::Mul) => {
+                        Ok(Value::Int(a.wrapping_mul(*b)))
+                    }
                     _ => {
                         let a = lv.as_f64()?;
                         let b = rv.as_f64()?;
@@ -352,9 +398,7 @@ impl Expr {
                 let cmp = op.as_cmp().expect("comparison");
                 match (l.as_ref(), r.as_ref()) {
                     (Expr::Col(i), Expr::Lit(v)) => meta.column(*i).range_selectivity(v, cmp),
-                    (Expr::Lit(v), Expr::Col(i)) => {
-                        meta.column(*i).range_selectivity(v, flip(cmp))
-                    }
+                    (Expr::Lit(v), Expr::Col(i)) => meta.column(*i).range_selectivity(v, flip(cmp)),
                     // Column-to-column comparisons: System R style defaults.
                     _ => cmp.default_selectivity(),
                 }
@@ -439,14 +483,8 @@ mod tests {
     #[test]
     fn type_inference() {
         let s = stock_schema();
-        assert_eq!(
-            Expr::attr("close").gt(Expr::lit(1.0)).infer_type(&s).unwrap(),
-            AttrType::Bool
-        );
-        assert_eq!(
-            Expr::attr("time").add(Expr::lit(1i64)).infer_type(&s).unwrap(),
-            AttrType::Int
-        );
+        assert_eq!(Expr::attr("close").gt(Expr::lit(1.0)).infer_type(&s).unwrap(), AttrType::Bool);
+        assert_eq!(Expr::attr("time").add(Expr::lit(1i64)).infer_type(&s).unwrap(), AttrType::Int);
         assert_eq!(
             Expr::attr("time").add(Expr::attr("close")).infer_type(&s).unwrap(),
             AttrType::Float

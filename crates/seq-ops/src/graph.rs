@@ -54,9 +54,7 @@ pub trait SchemaProvider {
 
 impl SchemaProvider for std::collections::HashMap<String, Schema> {
     fn schema_of(&self, name: &str) -> Result<Schema> {
-        self.get(name)
-            .cloned()
-            .ok_or_else(|| SeqError::UnknownSequence(name.to_string()))
+        self.get(name).cloned().ok_or_else(|| SeqError::UnknownSequence(name.to_string()))
     }
 }
 
@@ -483,7 +481,12 @@ impl ResolvedGraph {
         out
     }
 
-    fn walk_scopes(&self, id: NodeId, acc: ScopeShape, out: &mut Vec<(NodeId, String, ScopeShape)>) {
+    fn walk_scopes(
+        &self,
+        id: NodeId,
+        acc: ScopeShape,
+        out: &mut Vec<(NodeId, String, ScopeShape)>,
+    ) {
         match &self.node(id).kind {
             ResolvedKind::Base { name } => out.push((id, name.clone(), acc)),
             ResolvedKind::Constant { .. } => {}
@@ -543,14 +546,10 @@ mod tests {
         let mut g = QueryGraph::new();
         let ibm = g.add_base("IBM");
         let hp = g.add_base("HP");
-        let joined = g
-            .add_op(SeqOperator::Compose { predicate: None }, vec![ibm, hp])
-            .unwrap();
+        let joined = g.add_op(SeqOperator::Compose { predicate: None }, vec![ibm, hp]).unwrap();
         let sel = g
             .add_op(
-                SeqOperator::Select {
-                    predicate: Expr::attr("close").gt(Expr::attr("close_r")),
-                },
+                SeqOperator::Select { predicate: Expr::attr("close").gt(Expr::attr("close_r")) },
                 vec![joined],
             )
             .unwrap();
@@ -610,10 +609,7 @@ mod tests {
     fn resolve_reports_unknown_base() {
         let mut g = QueryGraph::new();
         g.add_base("MSFT");
-        assert!(matches!(
-            g.resolve(&provider()),
-            Err(SeqError::UnknownSequence(_))
-        ));
+        assert!(matches!(g.resolve(&provider()), Err(SeqError::UnknownSequence(_))));
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod semantics;
 pub mod spanrules;
 
 pub use builder::SeqQuery;
-pub use expr::{BinOp, Expr};
+pub use expr::{BinOp, Expr, ValueSource};
 pub use graph::{
     BoundOp, NodeId, QueryGraph, QueryNode, ResolvedGraph, ResolvedKind, ResolvedNode,
     SchemaProvider,

@@ -35,13 +35,17 @@ impl AggFunc {
             AggFunc::Count => Ok(AttrType::Int),
             AggFunc::Avg => {
                 if !input.is_numeric() {
-                    return Err(SeqError::Type(format!("AVG requires a numeric attribute, found {input}")));
+                    return Err(SeqError::Type(format!(
+                        "AVG requires a numeric attribute, found {input}"
+                    )));
                 }
                 Ok(AttrType::Float)
             }
             AggFunc::Sum => {
                 if !input.is_numeric() {
-                    return Err(SeqError::Type(format!("SUM requires a numeric attribute, found {input}")));
+                    return Err(SeqError::Type(format!(
+                        "SUM requires a numeric attribute, found {input}"
+                    )));
                 }
                 Ok(input)
             }
@@ -274,10 +278,8 @@ impl SeqOperator {
                 Ok(inputs[0].clone())
             }
             SeqOperator::Project { attrs } => {
-                let idx = attrs
-                    .iter()
-                    .map(|a| inputs[0].index_of(a))
-                    .collect::<Result<Vec<_>>>()?;
+                let idx =
+                    attrs.iter().map(|a| inputs[0].index_of(a)).collect::<Result<Vec<_>>>()?;
                 inputs[0].project(&idx)
             }
             SeqOperator::PositionalOffset { .. } => Ok(inputs[0].clone()),
@@ -367,9 +369,9 @@ impl SeqOperator {
                 }
                 Ok(Some(joined))
             }
-            SeqOperator::ValueOffset { .. } | SeqOperator::Aggregate { .. } => Err(
-                SeqError::Unsupported(format!("{self} is not a unit-scope operator")),
-            ),
+            SeqOperator::ValueOffset { .. } | SeqOperator::Aggregate { .. } => {
+                Err(SeqError::Unsupported(format!("{self} is not a unit-scope operator")))
+            }
         }
     }
 }
@@ -476,9 +478,7 @@ mod tests {
     #[test]
     fn output_schemas() {
         let s = stock();
-        let sel = SeqOperator::Select {
-            predicate: Expr::attr("close").gt(Expr::lit(7.0)),
-        };
+        let sel = SeqOperator::Select { predicate: Expr::attr("close").gt(Expr::lit(7.0)) };
         assert_eq!(sel.output_schema(std::slice::from_ref(&s)).unwrap(), s);
 
         let proj = SeqOperator::Project { attrs: vec!["close".into()] };
@@ -538,9 +538,6 @@ mod tests {
             SeqOperator::aggregate(AggFunc::Sum, "close", Window::trailing(6)).to_string(),
             "SUM(close) over [i-5, i+0]"
         );
-        assert_eq!(
-            SeqOperator::PositionalOffset { offset: -5 }.to_string(),
-            "PosOffset(-5)"
-        );
+        assert_eq!(SeqOperator::PositionalOffset { offset: -5 }.to_string(), "PosOffset(-5)");
     }
 }

@@ -125,10 +125,7 @@ impl ScopeShape {
     /// the output at `i` derives from the output at `i-1` plus locally new
     /// input — true for backward value offsets and cumulative aggregates.
     pub fn incremental(&self) -> bool {
-        matches!(
-            self,
-            ScopeShape::VariableBack | ScopeShape::Interval { lo: None, hi: 0 }
-        )
+        matches!(self, ScopeShape::VariableBack | ScopeShape::Interval { lo: None, hi: 0 })
     }
 
     /// Scope composition (§2.3): if operator `A` consumes the real input with
@@ -141,12 +138,8 @@ impl ScopeShape {
         match (outer, inner) {
             (WholeSpan, _) | (_, WholeSpan) => WholeSpan,
             (Point(b), Point(a)) => Point(a + b),
-            (Point(b), Interval { lo, hi }) => {
-                Interval { lo: lo.map(|l| l + b), hi: hi + b }
-            }
-            (Interval { lo, hi }, Point(a)) => {
-                Interval { lo: lo.map(|l| l + a), hi: hi + a }
-            }
+            (Point(b), Interval { lo, hi }) => Interval { lo: lo.map(|l| l + b), hi: hi + b },
+            (Interval { lo, hi }, Point(a)) => Interval { lo: lo.map(|l| l + a), hi: hi + a },
             (Interval { lo: blo, hi: bhi }, Interval { lo: alo, hi: ahi }) => Interval {
                 lo: match (blo, alo) {
                     (Some(b), Some(a)) => Some(a + b),
@@ -264,10 +257,7 @@ mod tests {
         );
         // Aggregate over aggregate: windows add.
         assert_eq!(
-            ScopeShape::compose(
-                Interval { lo: Some(-2), hi: 0 },
-                Interval { lo: Some(-4), hi: 0 }
-            ),
+            ScopeShape::compose(Interval { lo: Some(-2), hi: 0 }, Interval { lo: Some(-4), hi: 0 }),
             Interval { lo: Some(-6), hi: 0 }
         );
         // Anything through a whole-span aggregate sees the whole span.

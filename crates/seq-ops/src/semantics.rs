@@ -24,9 +24,7 @@ pub trait SequenceProvider {
 
 impl SequenceProvider for HashMap<String, Arc<dyn Sequence>> {
     fn sequence(&self, name: &str) -> Result<Arc<dyn Sequence>> {
-        self.get(name)
-            .cloned()
-            .ok_or_else(|| SeqError::UnknownSequence(name.to_string()))
+        self.get(name).cloned().ok_or_else(|| SeqError::UnknownSequence(name.to_string()))
     }
 }
 
@@ -117,9 +115,7 @@ impl<'a> ReferenceEvaluator<'a> {
                         Span::new(pos.saturating_add(*lo), pos.saturating_add(*hi))
                             .intersect(&in_span)
                     }
-                    Window::Cumulative => {
-                        Span::new(in_span.start(), pos).intersect(&in_span)
-                    }
+                    Window::Cumulative => Span::new(in_span.start(), pos).intersect(&in_span),
                     Window::WholeSpan => in_span,
                 };
                 if !scan.is_empty() && !scan.is_bounded() {
@@ -170,8 +166,7 @@ impl<'a> ReferenceEvaluator<'a> {
         } else {
             if span.end() == seq_core::POS_INF {
                 return Err(SeqError::Unsupported(
-                    "reference evaluation of a forward value offset over an unbounded input"
-                        .into(),
+                    "reference evaluation of a forward value offset over an unbounded input".into(),
                 ));
             }
             let mut j = pos + 1;
@@ -344,11 +339,8 @@ mod tests {
         let db = db(vec![("IBM", vec![(1, 1.0), (2, 2.0), (4, 4.0)])]);
         let mut g = QueryGraph::new();
         let s = g.add_base("IBM");
-        g.add_op(
-            SeqOperator::aggregate(AggFunc::Sum, "close", Window::trailing(3)),
-            vec![s],
-        )
-        .unwrap();
+        g.add_op(SeqOperator::aggregate(AggFunc::Sum, "close", Window::trailing(3)), vec![s])
+            .unwrap();
         let r = g.resolve(&schemas(&db)).unwrap();
         let ev = ReferenceEvaluator::new(&r, &db).unwrap();
         // At position 4: window {2,3,4} -> 2.0 + 4.0.
@@ -366,11 +358,8 @@ mod tests {
         let db = db(vec![("S", vec![(1, 1.0), (2, 2.0), (3, 3.0)])]);
         let mut g = QueryGraph::new();
         let s = g.add_base("S");
-        g.add_op(
-            SeqOperator::aggregate(AggFunc::Sum, "close", Window::Cumulative),
-            vec![s],
-        )
-        .unwrap();
+        g.add_op(SeqOperator::aggregate(AggFunc::Sum, "close", Window::Cumulative), vec![s])
+            .unwrap();
         let r = g.resolve(&schemas(&db)).unwrap();
         let ev = ReferenceEvaluator::new(&r, &db).unwrap();
         assert_eq!(ev.eval(2).unwrap().unwrap().value(0).unwrap(), &Value::Float(3.0));
@@ -379,11 +368,8 @@ mod tests {
         let db2 = db_clone_whole();
         let mut g2 = QueryGraph::new();
         let s2 = g2.add_base("S");
-        g2.add_op(
-            SeqOperator::aggregate(AggFunc::Max, "close", Window::WholeSpan),
-            vec![s2],
-        )
-        .unwrap();
+        g2.add_op(SeqOperator::aggregate(AggFunc::Max, "close", Window::WholeSpan), vec![s2])
+            .unwrap();
         let r2 = g2.resolve(&schemas(&db2)).unwrap();
         let ev2 = ReferenceEvaluator::new(&r2, &db2).unwrap();
         assert_eq!(ev2.eval(1).unwrap().unwrap().value(0).unwrap(), &Value::Float(3.0));
@@ -403,9 +389,7 @@ mod tests {
         let a = g.add_base("A");
         let b = g.add_base("B");
         g.add_op(
-            SeqOperator::Compose {
-                predicate: Some(Expr::attr("close").gt(Expr::attr("close_r"))),
-            },
+            SeqOperator::Compose { predicate: Some(Expr::attr("close").gt(Expr::attr("close_r"))) },
             vec![a, b],
         )
         .unwrap();
@@ -426,18 +410,14 @@ mod tests {
         let volcano_schema = schema(&[("time", AttrType::Int), ("name", AttrType::Str)]);
         let quakes = BaseSequence::from_entries(
             quake_schema,
-            vec![
-                (10, record![10i64, 6.0]),
-                (20, record![20i64, 8.0]),
-                (40, record![40i64, 5.0]),
-            ],
+            vec![(10, record![10i64, 6.0]), (20, record![20i64, 8.0]), (40, record![40i64, 5.0])],
         )
         .unwrap();
         let volcanos = BaseSequence::from_entries(
             volcano_schema,
             vec![
-                (15, record![15i64, "etna"]),   // most recent quake 6.0 — no
-                (25, record![25i64, "fuji"]),   // most recent quake 8.0 — yes
+                (15, record![15i64, "etna"]),    // most recent quake 6.0 — no
+                (25, record![25i64, "fuji"]),    // most recent quake 8.0 — yes
                 (45, record![45i64, "rainier"]), // most recent quake 5.0 — no
             ],
         )

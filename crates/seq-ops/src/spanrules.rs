@@ -142,10 +142,7 @@ pub fn output_meta(op: &BoundOp, inputs: &[SeqMeta]) -> SeqMeta {
             // Right-hand columns follow the composed schema's concatenation.
             columns.extend(inputs[1].columns.iter().cloned());
             let composed = SeqMeta::new(span, 1.0, columns);
-            let sel = predicate
-                .as_ref()
-                .map(|p| p.estimate_selectivity(&composed))
-                .unwrap_or(1.0);
+            let sel = predicate.as_ref().map(|p| p.estimate_selectivity(&composed)).unwrap_or(1.0);
             let density = inputs[0].density * inputs[1].density * sel;
             SeqMeta::new(span, density, composed.columns)
         }

@@ -166,9 +166,7 @@ mod tests {
     #[test]
     fn aggregate_widens_required_input() {
         let info = table1();
-        let q = SeqQuery::base("IBM")
-            .aggregate(AggFunc::Sum, "close", Window::trailing(6))
-            .build();
+        let q = SeqQuery::base("IBM").aggregate(AggFunc::Sum, "close", Window::trailing(6)).build();
         let resolved = q.resolve(&info).unwrap();
         let ann = annotate(resolved, &info, Span::new(300, 310), true).unwrap();
         let g = &ann.graph;
@@ -239,11 +237,10 @@ mod histogram_estimation_tests {
                 (p, record![p, v])
             })
             .collect();
-        let truth = entries
-            .iter()
-            .filter(|(_, r)| r.value(1).unwrap().as_f64().unwrap() > 40.0)
-            .count() as f64
-            / 1000.0;
+        let truth =
+            entries.iter().filter(|(_, r)| r.value(1).unwrap().as_f64().unwrap() > 40.0).count()
+                as f64
+                / 1000.0;
         let base = BaseSequence::from_entries(
             schema(&[("time", AttrType::Int), ("close", AttrType::Float)]),
             entries,

@@ -277,9 +277,7 @@ impl Collect<'_, '_> {
                         let layout = self.collect(inputs[0], shift)?;
                         Ok(indices.iter().map(|&i| layout[i]).collect())
                     }
-                    BoundOp::PositionalOffset { offset } => {
-                        self.collect(inputs[0], shift + offset)
-                    }
+                    BoundOp::PositionalOffset { offset } => self.collect(inputs[0], shift + offset),
                     BoundOp::Compose { predicate } => {
                         let mut layout = self.collect(inputs[0], shift)?;
                         let right = self.collect(inputs[1], shift)?;
@@ -289,9 +287,9 @@ impl Collect<'_, '_> {
                         }
                         Ok(layout)
                     }
-                    BoundOp::ValueOffset { .. } | BoundOp::Aggregate { .. } => unreachable!(
-                        "non-unit scope handled above"
-                    ),
+                    BoundOp::ValueOffset { .. } | BoundOp::Aggregate { .. } => {
+                        unreachable!("non-unit scope handled above")
+                    }
                 }
             }
         }
@@ -331,9 +329,7 @@ impl Collect<'_, '_> {
             out
         };
         let remapped = predicate
-            .remap_columns(&|c| {
-                layout.get(c).map(|&(input, attr)| offsets[input] + attr)
-            })
+            .remap_columns(&|c| layout.get(c).map(|&(input, attr)| offsets[input] + attr))
             .ok_or_else(|| {
                 SeqError::InvalidGraph("predicate references a column outside its layout".into())
             })?;
@@ -410,9 +406,7 @@ mod tests {
     fn aggregate_splits_blocks() {
         // Fig 5.A: Sum over IBM — a non-unit block over a trivial one... the
         // base input feeds the aggregate directly (no join block below).
-        let q = SeqQuery::base("IBM")
-            .aggregate(AggFunc::Sum, "close", Window::trailing(6))
-            .build();
+        let q = SeqQuery::base("IBM").aggregate(AggFunc::Sum, "close", Window::trailing(6)).build();
         let b = blocks_for(q);
         assert_eq!(b.blocks.len(), 1);
         let Block::NonUnit(nb) = b.root_block() else { panic!() };
@@ -449,10 +443,8 @@ mod tests {
 
     #[test]
     fn positional_offsets_become_input_shifts() {
-        let q = SeqQuery::base("IBM")
-            .positional_offset(-5)
-            .compose_with(SeqQuery::base("HP"))
-            .build();
+        let q =
+            SeqQuery::base("IBM").positional_offset(-5).compose_with(SeqQuery::base("HP")).build();
         let b = blocks_for(q);
         assert_eq!(b.blocks.len(), 1);
         let Block::Joins(jb) = b.root_block() else { panic!() };
@@ -464,10 +456,8 @@ mod tests {
 
     #[test]
     fn offset_above_compose_shifts_both() {
-        let q = SeqQuery::base("IBM")
-            .compose_with(SeqQuery::base("HP"))
-            .positional_offset(3)
-            .build();
+        let q =
+            SeqQuery::base("IBM").compose_with(SeqQuery::base("HP")).positional_offset(3).build();
         let b = blocks_for(q);
         let Block::Joins(jb) = b.root_block() else { panic!() };
         assert_eq!(jb.inputs[0].shift, 3);

@@ -148,7 +148,8 @@ pub fn price_join(
     // d1·d2·output_span·K — the join-predicate application term. Every
     // aligned pair costs at least the positional match; extra predicates
     // multiply the per-pair constant.
-    let pairs = d1 * d2 * params.null_correlation.min(1.0 / d1.max(1e-12)).min(1.0 / d2.max(1e-12)) * span;
+    let pairs =
+        d1 * d2 * params.null_correlation.min(1.0 / d1.max(1e-12)).min(1.0 / d2.max(1e-12)) * span;
     let k_cost = pairs * params.predicate_k * (1 + n_predicates) as f64;
 
     let candidates = [
@@ -161,10 +162,7 @@ pub fn price_join(
             let c = candidates.iter().find(|(_, s)| *s == f).expect("strategy in set");
             *c
         }
-        None => candidates
-            .into_iter()
-            .min_by(|a, b| a.0.total_cmp(&b.0))
-            .expect("non-empty"),
+        None => candidates.into_iter().min_by(|a, b| a.0.total_cmp(&b.0)).expect("non-empty"),
     };
 
     let probe_left_first = a1 + d1 * a2;
@@ -175,8 +173,7 @@ pub fn price_join(
         (probe_left_first, false)
     };
 
-    let output_density =
-        (d1 * d2 * params.null_correlation * extra_selectivity).clamp(0.0, 1.0);
+    let output_density = (d1 * d2 * params.null_correlation * extra_selectivity).clamp(0.0, 1.0);
 
     JoinPricing {
         stream_cost: stream_raw + k_cost,
@@ -202,9 +199,9 @@ pub fn price_fixed_aggregate(
     let stream = input.costs.stream
         + in_records * params.cache_op        // store each input record once
         + out_records * params.cache_op       // one cache access per output
-        + out_records * params.record_cpu;    // the aggregate computation
-    // "The probed access cost is the probed access cost of the input
-    // sequence multiplied by the size of the operator scope."
+        + out_records * params.record_cpu; // the aggregate computation
+                                           // "The probed access cost is the probed access cost of the input
+                                           // sequence multiplied by the size of the operator scope."
     let probed = input.costs.probed * scope_size as f64;
     AccessCosts { stream, probed }
 }
@@ -220,16 +217,13 @@ pub fn price_value_offset(
 ) -> AccessCosts {
     let in_records = span_len_f(input_span) * input.density;
     let out_records = span_len_f(out_span); // density ≈ 1 within the span
-    let stream = input.costs.stream
-        + in_records * params.cache_op
-        + out_records * params.cache_op;
+    let stream = input.costs.stream + in_records * params.cache_op + out_records * params.cache_op;
     // Naive: each output walks backward until `l` records are found —
     // l / density positions on average, each a probe. Scaling the whole-span
     // probed cost by that factor prices it, as §4.1.2 suggests estimating
     // from the input density.
     let walk = magnitude as f64 / input.density.max(1e-9);
-    let per_position_probe = if span_len_f(input_span) > 0.0 && span_len_f(input_span).is_finite()
-    {
+    let per_position_probe = if span_len_f(input_span) > 0.0 && span_len_f(input_span).is_finite() {
         input.costs.probed / span_len_f(input_span)
     } else {
         params.rand_page_io
@@ -251,14 +245,11 @@ pub fn price_unbounded_aggregate(
 ) -> AccessCosts {
     let in_records = span_len_f(input_span) * input.density;
     let out_records = span_len_f(out_span);
-    let stream = input.costs.stream + in_records * params.cache_op + out_records * params.record_cpu;
-    let per_probe_window = if whole_span {
-        span_len_f(input_span)
-    } else {
-        span_len_f(input_span) / 2.0
-    };
-    let per_position_probe = if span_len_f(input_span) > 0.0 && span_len_f(input_span).is_finite()
-    {
+    let stream =
+        input.costs.stream + in_records * params.cache_op + out_records * params.record_cpu;
+    let per_probe_window =
+        if whole_span { span_len_f(input_span) } else { span_len_f(input_span) / 2.0 };
+    let per_position_probe = if span_len_f(input_span) > 0.0 && span_len_f(input_span).is_finite() {
         input.costs.probed / span_len_f(input_span)
     } else {
         params.rand_page_io
@@ -315,14 +306,9 @@ mod tests {
     fn join_prefers_probing_the_sparse_side() {
         let p = params();
         // Dense cheap-to-stream left; sparse expensive-to-stream right.
-        let left = JoinSide {
-            costs: AccessCosts { stream: 10.0, probed: 2000.0 },
-            density: 0.01,
-        };
-        let right = JoinSide {
-            costs: AccessCosts { stream: 1000.0, probed: 2000.0 },
-            density: 0.9,
-        };
+        let left = JoinSide { costs: AccessCosts { stream: 10.0, probed: 2000.0 }, density: 0.01 };
+        let right =
+            JoinSide { costs: AccessCosts { stream: 1000.0, probed: 2000.0 }, density: 0.9 };
         let out = price_join(&left, &right, &Span::new(1, 1000), 1.0, 0, &p, None);
         // Streaming left (cost 10) and probing right per left record
         // (0.01 × 2000 = 20) beats lock-step (1010) and the converse.
@@ -333,10 +319,8 @@ mod tests {
     #[test]
     fn join_prefers_lockstep_when_both_dense() {
         let p = params();
-        let side = JoinSide {
-            costs: AccessCosts { stream: 100.0, probed: 12800.0 },
-            density: 0.95,
-        };
+        let side =
+            JoinSide { costs: AccessCosts { stream: 100.0, probed: 12800.0 }, density: 0.95 };
         let out = price_join(&side, &side, &Span::new(1, 6400), 1.0, 0, &p, None);
         assert_eq!(out.stream_strategy, JoinStrategy::LockStep);
     }
@@ -344,10 +328,8 @@ mod tests {
     #[test]
     fn forced_strategy_is_respected() {
         let p = params();
-        let side = JoinSide {
-            costs: AccessCosts { stream: 100.0, probed: 12800.0 },
-            density: 0.95,
-        };
+        let side =
+            JoinSide { costs: AccessCosts { stream: 100.0, probed: 12800.0 }, density: 0.95 };
         let out = price_join(
             &side,
             &side,
@@ -387,7 +369,8 @@ mod tests {
         let p = params();
         let span = Span::new(1, 1000);
         let dense = JoinSide { costs: AccessCosts { stream: 20.0, probed: 2000.0 }, density: 1.0 };
-        let sparse = JoinSide { costs: AccessCosts { stream: 20.0, probed: 2000.0 }, density: 0.05 };
+        let sparse =
+            JoinSide { costs: AccessCosts { stream: 20.0, probed: 2000.0 }, density: 0.05 };
         let cd = price_value_offset(&dense, &span, &span, 1, &p);
         let cs = price_value_offset(&sparse, &span, &span, 1, &p);
         // The naive walk is ~1/density long per output.

@@ -19,6 +19,7 @@ pub mod annotate;
 pub mod blocks;
 pub mod cost;
 pub mod info;
+pub mod lowering;
 pub mod planner;
 pub mod selinger;
 pub mod transform;
@@ -27,6 +28,7 @@ pub use annotate::{annotate, Annotated};
 pub use blocks::{identify_blocks, Block, Blocks, InputSource, JoinBlock, NonUnitBlock};
 pub use cost::{base_access_costs, price_join, AccessCosts, CostParams, JoinSide};
 pub use info::{CatalogInfo, CatalogRef, StaticCatalogInfo};
+pub use lowering::{batch_run_len, choose_exec_mode, ExecMode};
 pub use planner::{optimize, Optimized, OptimizerConfig};
 pub use selinger::{BlockPhys, DpStats, PlanOptions};
 pub use transform::{apply_transformations, TransformReport};

@@ -1,0 +1,108 @@
+//! Execution-mode lowering: record-at-a-time vs vectorized.
+//!
+//! The two execution paths produce identical results, so choosing between
+//! them is purely a physical decision, made after plan selection (Step 6).
+//! Vectorization pays off proportionally to the length of the contiguous
+//! run of batch-capable operators at the plan root — each such operator
+//! amortizes its per-record dispatch and counter traffic over a whole
+//! batch. A plan whose root is a block boundary (compose, value offset,
+//! cumulative aggregate) would only interpose an adapter at the top, so it
+//! stays on the record path.
+
+use seq_exec::PhysNode;
+
+/// Which executor entry point a plan should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Record-at-a-time cursors ([`seq_exec::execute`]).
+    RecordAtATime,
+    /// Vectorized batch kernels ([`seq_exec::execute_batched`]).
+    Batched,
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecMode::RecordAtATime => write!(f, "record-at-a-time"),
+            ExecMode::Batched => write!(f, "batched"),
+        }
+    }
+}
+
+/// Length of the contiguous batch-capable operator run at the plan root —
+/// the stretch that executes natively vectorized before the first block
+/// boundary forces a fallback adapter.
+pub fn batch_run_len(node: &PhysNode) -> usize {
+    if !node.is_batch_capable() {
+        return 0;
+    }
+    1 + match node {
+        PhysNode::Select { input, .. }
+        | PhysNode::Project { input, .. }
+        | PhysNode::PosOffset { input, .. }
+        | PhysNode::Aggregate { input, .. } => batch_run_len(input),
+        _ => 0,
+    }
+}
+
+/// Decide the execution mode for a selected plan: batched when vectorization
+/// is enabled and the root run has at least one native batch kernel.
+pub fn choose_exec_mode(root: &PhysNode, vectorized: bool) -> ExecMode {
+    if vectorized && batch_run_len(root) > 0 {
+        ExecMode::Batched
+    } else {
+        ExecMode::RecordAtATime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::Span;
+    use seq_exec::{AggStrategy, JoinStrategy};
+
+    fn base() -> Box<PhysNode> {
+        Box::new(PhysNode::Base { name: "A".into(), span: Span::new(1, 10) })
+    }
+
+    #[test]
+    fn run_length_counts_contiguous_capable_prefix() {
+        let span = Span::new(1, 10);
+        assert_eq!(batch_run_len(&base()), 1);
+        let compose = PhysNode::Compose {
+            left: base(),
+            right: base(),
+            predicate: None,
+            strategy: JoinStrategy::LockStep,
+            span,
+        };
+        assert_eq!(batch_run_len(&compose), 0);
+        // Project over compose: run stops at the block boundary.
+        let stack = PhysNode::Project { input: Box::new(compose), indices: vec![0], span };
+        assert_eq!(batch_run_len(&stack), 1);
+        let deep = PhysNode::Project {
+            input: Box::new(PhysNode::PosOffset { input: base(), offset: -1, span }),
+            indices: vec![0],
+            span,
+        };
+        assert_eq!(batch_run_len(&deep), 3);
+    }
+
+    #[test]
+    fn mode_follows_flag_and_run_length() {
+        let span = Span::new(1, 10);
+        let b = base();
+        assert_eq!(choose_exec_mode(&b, true), ExecMode::Batched);
+        assert_eq!(choose_exec_mode(&b, false), ExecMode::RecordAtATime);
+        let naive_agg = PhysNode::Aggregate {
+            input: base(),
+            func: seq_ops::AggFunc::Sum,
+            attr_index: 0,
+            window: seq_ops::Window::Cumulative,
+            strategy: AggStrategy::CacheA,
+            span,
+        };
+        // Cumulative aggregates have no batch kernel at the root.
+        assert_eq!(choose_exec_mode(&naive_agg, true), ExecMode::RecordAtATime);
+    }
+}

@@ -22,6 +22,7 @@ use crate::annotate::annotate;
 use crate::blocks::{identify_blocks, Block};
 use crate::cost::CostParams;
 use crate::info::CatalogInfo;
+use crate::lowering::{choose_exec_mode, ExecMode};
 use crate::selinger::{plan_join_block, plan_nonunit_block, BlockPhys, DpStats, PlanOptions};
 use crate::transform::{apply_transformations, TransformReport};
 
@@ -46,6 +47,8 @@ pub struct OptimizerConfig {
     pub naive_aggregates: bool,
     /// Use O(1) incremental accumulators inside Cache-Strategy-A.
     pub incremental_aggregates: bool,
+    /// Lower eligible plans onto the vectorized batch execution path.
+    pub vectorized: bool,
     /// Cost-model unit costs.
     pub cost: CostParams,
 }
@@ -66,6 +69,7 @@ impl OptimizerConfig {
             // accumulators are an opt-in refinement (floating-point sums
             // drift in the last ULPs under add/remove).
             incremental_aggregates: false,
+            vectorized: true,
             cost: CostParams::default(),
         }
     }
@@ -83,6 +87,7 @@ impl OptimizerConfig {
             cache_strategy_b: false,
             naive_aggregates: true,
             incremental_aggregates: false,
+            vectorized: false,
             cost: CostParams::default(),
         }
     }
@@ -104,8 +109,20 @@ pub struct Optimized {
     pub dp_stats: DpStats,
     /// Number of blocks identified in Step 4.
     pub block_count: usize,
+    /// The execution path Step 6 lowered the plan onto.
+    pub exec_mode: ExecMode,
     /// Human-readable account of the pipeline.
     pub explain: String,
+}
+
+impl Optimized {
+    /// Run the selected plan on the execution path Step 6 chose.
+    pub fn execute(&self, ctx: &seq_exec::ExecContext<'_>) -> Result<Vec<(i64, seq_core::Record)>> {
+        match self.exec_mode {
+            ExecMode::Batched => seq_exec::execute_batched(&self.plan, ctx),
+            ExecMode::RecordAtATime => seq_exec::execute(&self.plan, ctx),
+        }
+    }
 }
 
 /// Run the full pipeline on a declarative query.
@@ -183,8 +200,14 @@ pub fn optimize(
     // Step 6: the Start operator selects the stream-access plan at the root.
     let root = planned.pop().expect("at least one block");
     let plan = PhysPlan::new(root.stream_phys, config.range.intersect(&root.span));
+    let exec_mode = choose_exec_mode(&plan.root, config.vectorized);
     let _ = writeln!(explain, "== Step 6: selected plan (est. cost {:.2}) ==", root.stream_cost);
     let _ = writeln!(explain, "{}", plan.render());
+    let _ = writeln!(
+        explain,
+        "exec mode: {exec_mode} (batch-capable root run: {})",
+        crate::lowering::batch_run_len(&plan.root)
+    );
 
     Ok(Optimized {
         plan,
@@ -193,6 +216,7 @@ pub fn optimize(
         transform_report,
         dp_stats,
         block_count: blocks.blocks.len(),
+        exec_mode,
         explain,
     })
 }
@@ -322,9 +346,7 @@ mod tests {
     fn fig5a_moving_sum_plan() {
         let c = catalog();
         let info = CatalogRef(&c);
-        let q = SeqQuery::base("IBM")
-            .aggregate(AggFunc::Sum, "close", Window::trailing(6))
-            .build();
+        let q = SeqQuery::base("IBM").aggregate(AggFunc::Sum, "close", Window::trailing(6)).build();
         let opt = optimize(&q, &info, &OptimizerConfig::new(Span::new(200, 505))).unwrap();
         assert_eq!(opt.block_count, 1);
         let ctx = ExecContext::new(&c);

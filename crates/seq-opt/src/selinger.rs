@@ -111,12 +111,7 @@ struct PreparedInput {
 #[derive(Debug)]
 enum JoinTree {
     Input(usize),
-    Node {
-        left: Rc<JoinTree>,
-        right: usize,
-        strategy: JoinStrategy,
-        swapped: bool,
-    },
+    Node { left: Rc<JoinTree>, right: usize, strategy: JoinStrategy, swapped: bool },
 }
 
 #[derive(Clone)]
@@ -147,11 +142,8 @@ pub fn plan_join_block(
 
     // Selectivity of each predicate, over the virtual concatenated meta.
     let virtual_meta = concat_meta(jb);
-    let selectivities: Vec<f64> = jb
-        .predicates
-        .iter()
-        .map(|p| p.expr.estimate_selectivity(&virtual_meta))
-        .collect();
+    let selectivities: Vec<f64> =
+        jb.predicates.iter().map(|p| p.expr.estimate_selectivity(&virtual_meta)).collect();
 
     // Prepare inputs: physical access + costs, single-input predicates
     // pushed onto them.
@@ -250,7 +242,8 @@ fn prepare_input(
     }
 
     // Push single-input predicates onto the input.
-    let span_len = if input.block_span.is_bounded() { input.block_span.len() as f64 } else { f64::INFINITY };
+    let span_len =
+        if input.block_span.is_bounded() { input.block_span.len() as f64 } else { f64::INFINITY };
     for (p, sel) in jb.predicates.iter().zip(selectivities) {
         if p.mask == (1u32 << i) {
             let local = p
@@ -409,7 +402,8 @@ fn dp_enumerate(
     stats: &mut DpStats,
 ) -> Result<Entry> {
     let n = prepared.len();
-    let mut level: HashMap<u32, Entry> = (0..n).map(|i| (1u32 << i, singleton_entry(prepared, i))).collect();
+    let mut level: HashMap<u32, Entry> =
+        (0..n).map(|i| (1u32 << i, singleton_entry(prepared, i))).collect();
     stats.peak_plans_stored = stats.peak_plans_stored.max(level.len() as u64);
 
     for _size in 1..n {
@@ -438,14 +432,10 @@ fn dp_enumerate(
                 }
             }
         }
-        stats.peak_plans_stored =
-            stats.peak_plans_stored.max((level.len() + next.len()) as u64);
+        stats.peak_plans_stored = stats.peak_plans_stored.max((level.len() + next.len()) as u64);
         level = next; // previous level freed here (Property 4.1b)
     }
-    level
-        .into_values()
-        .next()
-        .ok_or_else(|| SeqError::InvalidGraph("empty DP level".into()))
+    level.into_values().next().ok_or_else(|| SeqError::InvalidGraph("empty DP level".into()))
 }
 
 fn syntactic_order(
@@ -476,17 +466,17 @@ fn reconstruct(
 ) -> Result<PhysNode> {
     let (phys, layout, _mask) = build(jb, prepared, offsets, tree, probed_shape)?;
     // Final projection to the declared output layout.
-    let indices: Vec<usize> = jb
-        .output
-        .iter()
-        .map(|target| {
-            layout
-                .iter()
-                .position(|x| x == target)
-                .ok_or_else(|| SeqError::InvalidGraph("output column missing from layout".into()))
-        })
-        .collect::<Result<_>>()?;
-    let identity = indices.len() == layout.len() && indices.iter().enumerate().all(|(k, &v)| k == v);
+    let indices: Vec<usize> =
+        jb.output
+            .iter()
+            .map(|target| {
+                layout.iter().position(|x| x == target).ok_or_else(|| {
+                    SeqError::InvalidGraph("output column missing from layout".into())
+                })
+            })
+            .collect::<Result<_>>()?;
+    let identity =
+        indices.len() == layout.len() && indices.iter().enumerate().all(|(k, &v)| k == v);
     if identity {
         Ok(phys)
     } else {
@@ -715,8 +705,6 @@ pub fn plan_nonunit_block(
                 span: out_span,
             })
         }
-        other => Err(SeqError::InvalidGraph(format!(
-            "{other} is not a non-unit-scope operator"
-        ))),
+        other => Err(SeqError::InvalidGraph(format!("{other} is not a non-unit-scope operator"))),
     }
 }

@@ -42,9 +42,9 @@ impl TNode {
 /// `SeqOperator::output_schema` for bound operators).
 fn op_schema(op: &BoundOp, children: &[TNode]) -> Result<Schema> {
     Ok(match op {
-        BoundOp::Select { .. }
-        | BoundOp::PositionalOffset { .. }
-        | BoundOp::ValueOffset { .. } => children[0].schema().clone(),
+        BoundOp::Select { .. } | BoundOp::PositionalOffset { .. } | BoundOp::ValueOffset { .. } => {
+            children[0].schema().clone()
+        }
         BoundOp::Project { indices } => children[0].schema().project(indices)?,
         BoundOp::Aggregate { func, attr_index, output_name, .. } => {
             let in_ty = children[0].schema().field(*attr_index)?.ty;
@@ -153,17 +153,26 @@ fn try_rules(tree: &TNode, report: &mut TransformReport) -> Result<Option<TNode>
 
     match (op, children.as_slice()) {
         // ---- merges -------------------------------------------------------
-        (BoundOp::Select { predicate: p1 }, [TNode::Op { op: BoundOp::Select { predicate: p2 }, children: inner, .. }]) => {
+        (
+            BoundOp::Select { predicate: p1 },
+            [TNode::Op { op: BoundOp::Select { predicate: p2 }, children: inner, .. }],
+        ) => {
             report.bump("merge-selects");
             let merged = p2.clone().and(p1.clone());
             Ok(Some(op_node(BoundOp::Select { predicate: merged }, inner.clone())?))
         }
-        (BoundOp::Project { indices: outer }, [TNode::Op { op: BoundOp::Project { indices: inner_idx }, children: inner, .. }]) => {
+        (
+            BoundOp::Project { indices: outer },
+            [TNode::Op { op: BoundOp::Project { indices: inner_idx }, children: inner, .. }],
+        ) => {
             report.bump("merge-projects");
             let composed: Vec<usize> = outer.iter().map(|&i| inner_idx[i]).collect();
             Ok(Some(op_node(BoundOp::Project { indices: composed }, inner.clone())?))
         }
-        (BoundOp::PositionalOffset { offset: a }, [TNode::Op { op: BoundOp::PositionalOffset { offset: b }, children: inner, .. }]) => {
+        (
+            BoundOp::PositionalOffset { offset: a },
+            [TNode::Op { op: BoundOp::PositionalOffset { offset: b }, children: inner, .. }],
+        ) => {
             report.bump("merge-offsets");
             let total = a + b;
             if total == 0 {
@@ -174,38 +183,52 @@ fn try_rules(tree: &TNode, report: &mut TransformReport) -> Result<Option<TNode>
         }
 
         // ---- selection pushdown -------------------------------------------
-        (BoundOp::Select { predicate }, [TNode::Op { op: BoundOp::Project { indices }, children: inner, .. }]) => {
+        (
+            BoundOp::Select { predicate },
+            [TNode::Op { op: BoundOp::Project { indices }, children: inner, .. }],
+        ) => {
             // σ(π(x)) → π(σ'(x)), remapping columns through the projection.
-            let remapped = predicate
-                .remap_columns(&|c| indices.get(c).copied())
-                .ok_or_else(|| SeqError::InvalidGraph("projection narrower than predicate".into()))?;
+            let remapped =
+                predicate.remap_columns(&|c| indices.get(c).copied()).ok_or_else(|| {
+                    SeqError::InvalidGraph("projection narrower than predicate".into())
+                })?;
             report.bump("push-select-through-project");
             let selected = op_node(BoundOp::Select { predicate: remapped }, inner.clone())?;
             Ok(Some(op_node(BoundOp::Project { indices: indices.clone() }, vec![selected])?))
         }
-        (BoundOp::Select { predicate }, [TNode::Op { op: BoundOp::PositionalOffset { offset }, children: inner, .. }]) => {
+        (
+            BoundOp::Select { predicate },
+            [TNode::Op { op: BoundOp::PositionalOffset { offset }, children: inner, .. }],
+        ) => {
             report.bump("push-select-through-offset");
-            let selected = op_node(BoundOp::Select { predicate: predicate.clone() }, inner.clone())?;
+            let selected =
+                op_node(BoundOp::Select { predicate: predicate.clone() }, inner.clone())?;
             Ok(Some(op_node(BoundOp::PositionalOffset { offset: *offset }, vec![selected])?))
         }
-        (BoundOp::Select { predicate }, [TNode::Op { op: BoundOp::Compose { predicate: jp }, children: inner, .. }]) => {
+        (
+            BoundOp::Select { predicate },
+            [TNode::Op { op: BoundOp::Compose { predicate: jp }, children: inner, .. }],
+        ) => {
             let na = inner[0].schema().arity();
             let mut cols = Vec::new();
             predicate.referenced_columns(&mut cols);
             if !cols.is_empty() && cols.iter().all(|&c| c < na) {
                 // Entirely left-side: push into the left child.
                 report.bump("push-select-into-compose-left");
-                let pushed = op_node(BoundOp::Select { predicate: predicate.clone() }, vec![inner[0].clone()])?;
+                let pushed = op_node(
+                    BoundOp::Select { predicate: predicate.clone() },
+                    vec![inner[0].clone()],
+                )?;
                 Ok(Some(op_node(
                     BoundOp::Compose { predicate: jp.clone() },
                     vec![pushed, inner[1].clone()],
                 )?))
             } else if !cols.is_empty() && cols.iter().all(|&c| c >= na) {
                 report.bump("push-select-into-compose-right");
-                let remapped = predicate
-                    .remap_columns(&|c| Some(c - na))
-                    .expect("all columns right-side");
-                let pushed = op_node(BoundOp::Select { predicate: remapped }, vec![inner[1].clone()])?;
+                let remapped =
+                    predicate.remap_columns(&|c| Some(c - na)).expect("all columns right-side");
+                let pushed =
+                    op_node(BoundOp::Select { predicate: remapped }, vec![inner[1].clone()])?;
                 Ok(Some(op_node(
                     BoundOp::Compose { predicate: jp.clone() },
                     vec![inner[0].clone(), pushed],
@@ -223,17 +246,28 @@ fn try_rules(tree: &TNode, report: &mut TransformReport) -> Result<Option<TNode>
         }
 
         // ---- projection pushdown ------------------------------------------
-        (BoundOp::Project { indices }, [TNode::Op { op: inner_op @ (BoundOp::PositionalOffset { .. } | BoundOp::ValueOffset { .. }), children: inner, .. }]) => {
+        (
+            BoundOp::Project { indices },
+            [TNode::Op {
+                op: inner_op @ (BoundOp::PositionalOffset { .. } | BoundOp::ValueOffset { .. }),
+                children: inner,
+                ..
+            }],
+        ) => {
             report.bump("push-project-through-offset");
             let projected = op_node(BoundOp::Project { indices: indices.clone() }, inner.clone())?;
             Ok(Some(op_node(inner_op.clone(), vec![projected])?))
         }
-        (BoundOp::Project { indices }, [TNode::Op { op: BoundOp::Compose { predicate: jp }, children: inner, .. }]) => {
-            push_project_through_compose(indices, jp, inner, report)
-        }
+        (
+            BoundOp::Project { indices },
+            [TNode::Op { op: BoundOp::Compose { predicate: jp }, children: inner, .. }],
+        ) => push_project_through_compose(indices, jp, inner, report),
 
         // ---- positional-offset pushdown ------------------------------------
-        (BoundOp::PositionalOffset { offset }, [TNode::Op { op: inner_op, children: inner, .. }]) => {
+        (
+            BoundOp::PositionalOffset { offset },
+            [TNode::Op { op: inner_op, children: inner, .. }],
+        ) => {
             // A positional offset can be pushed through any operator of
             // relative scope on all its inputs (§3.1). Whole-span aggregates
             // are the one non-relative scope in the algebra. Selections and
@@ -278,7 +312,8 @@ fn push_project_through_compose(
     needed.sort_unstable();
     needed.dedup();
     let keep_left: Vec<usize> = needed.iter().copied().filter(|&c| c < na).collect();
-    let keep_right: Vec<usize> = needed.iter().copied().filter(|&c| c >= na).map(|c| c - na).collect();
+    let keep_right: Vec<usize> =
+        needed.iter().copied().filter(|&c| c >= na).map(|c| c - na).collect();
     if keep_left.len() == na && keep_right.len() == nb {
         // Nothing would be dropped: the rewrite only reorders, skip it to
         // guarantee termination.
@@ -296,17 +331,14 @@ fn push_project_through_compose(
         }
     };
     let new_jp = match jp {
-        Some(p) => Some(
-            p.remap_columns(&remap)
-                .ok_or_else(|| SeqError::InvalidGraph("join predicate column lost in pushdown".into()))?,
-        ),
+        Some(p) => Some(p.remap_columns(&remap).ok_or_else(|| {
+            SeqError::InvalidGraph("join predicate column lost in pushdown".into())
+        })?),
         None => None,
     };
     let composed = op_node(BoundOp::Compose { predicate: new_jp }, vec![left, right])?;
-    let outer: Vec<usize> = indices
-        .iter()
-        .map(|&c| remap(c).expect("projected columns are kept"))
-        .collect();
+    let outer: Vec<usize> =
+        indices.iter().map(|&c| remap(c).expect("projected columns are kept")).collect();
     Ok(Some(op_node(BoundOp::Project { indices: outer }, vec![composed])?))
 }
 
@@ -441,10 +473,7 @@ mod tests {
         assert_eq!(ops_of(&g), ops_of(&t));
 
         let g = resolve(
-            SeqQuery::base("IBM")
-                .previous()
-                .select(Expr::attr("close").gt(Expr::lit(0.0)))
-                .build(),
+            SeqQuery::base("IBM").previous().select(Expr::attr("close").gt(Expr::lit(0.0))).build(),
         );
         let (_, report) = apply_transformations(&g).unwrap();
         assert_eq!(report.total(), 0);
@@ -453,10 +482,7 @@ mod tests {
     #[test]
     fn offset_pushes_through_compose_and_aggregate() {
         let g = resolve(
-            SeqQuery::base("IBM")
-                .compose_with(SeqQuery::base("HP"))
-                .positional_offset(5)
-                .build(),
+            SeqQuery::base("IBM").compose_with(SeqQuery::base("HP")).positional_offset(5).build(),
         );
         let (t, report) = apply_transformations(&g).unwrap();
         assert!(report.applied["push-offset-down"] >= 1);

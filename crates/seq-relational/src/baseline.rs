@@ -108,11 +108,7 @@ mod tests {
         .unwrap();
         let quakes = Relation::new(
             schema(&[("time", AttrType::Int), ("strength", AttrType::Float)]),
-            vec![
-                record![10i64, 6.0],
-                record![20i64, 8.0],
-                record![40i64, 5.0],
-            ],
+            vec![record![10i64, 6.0], record![20i64, 8.0], record![40i64, 5.0]],
         )
         .unwrap();
         (volcanos, quakes)

@@ -133,10 +133,7 @@ impl IntIndex {
     /// Exact-match probe.
     pub fn probe(&self, key: i64, stats: &RelStats) -> Option<usize> {
         stats.count_probe();
-        self.keys
-            .binary_search_by_key(&key, |(k, _)| *k)
-            .ok()
-            .map(|i| self.keys[i].1)
+        self.keys.binary_search_by_key(&key, |(k, _)| *k).ok().map(|i| self.keys[i].1)
     }
 
     /// Largest key strictly below `bound`.
@@ -212,21 +209,14 @@ mod tests {
     fn quakes() -> Relation {
         Relation::new(
             schema(&[("time", AttrType::Int), ("strength", AttrType::Float)]),
-            vec![
-                record![10i64, 6.0],
-                record![20i64, 8.0],
-                record![40i64, 5.0],
-            ],
+            vec![record![10i64, 6.0], record![20i64, 8.0], record![40i64, 5.0]],
         )
         .unwrap()
     }
 
     #[test]
     fn schema_checked_construction() {
-        let bad = Relation::new(
-            schema(&[("time", AttrType::Int)]),
-            vec![record![1.5]],
-        );
+        let bad = Relation::new(schema(&[("time", AttrType::Int)]), vec![record![1.5]]);
         assert!(bad.is_err());
     }
 
@@ -245,11 +235,11 @@ mod tests {
         let r = quakes();
         let stats = RelStats::new();
         let tcol = r.col("time").unwrap();
-        let m = scalar_max_where(&r, "time", |t| Ok(t.value(tcol)?.as_i64()? < 25), &stats)
-            .unwrap();
+        let m =
+            scalar_max_where(&r, "time", |t| Ok(t.value(tcol)?.as_i64()? < 25), &stats).unwrap();
         assert_eq!(m, Some(20));
-        let none = scalar_max_where(&r, "time", |t| Ok(t.value(tcol)?.as_i64()? < 5), &stats)
-            .unwrap();
+        let none =
+            scalar_max_where(&r, "time", |t| Ok(t.value(tcol)?.as_i64()? < 5), &stats).unwrap();
         assert_eq!(none, None);
         assert_eq!(stats.tuples_scanned(), 6); // two full scans
     }

@@ -7,8 +7,7 @@
 //! what matters for the experiments is the hit/miss accounting.
 
 use std::collections::HashMap;
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::page::PageId;
 
@@ -42,15 +41,13 @@ impl BufferPool {
     /// A pool holding at most `capacity` pages. A capacity of zero means
     /// every access misses (the "no buffering" configuration).
     pub fn new(capacity: usize) -> BufferPool {
-        BufferPool {
-            inner: Mutex::new(PoolInner { resident: HashMap::new(), clock: 0, capacity }),
-        }
+        BufferPool { inner: Mutex::new(PoolInner { resident: HashMap::new(), clock: 0, capacity }) }
     }
 
     /// Touch a page: returns whether it was resident, and makes it resident
     /// (evicting the least recently used page if the pool is full).
     pub fn access(&self, store: StoreId, page: PageId) -> PageAccess {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         inner.clock += 1;
         let clock = inner.clock;
         if inner.capacity == 0 {
@@ -75,19 +72,19 @@ impl BufferPool {
 
     /// Drop all resident pages (between benchmark iterations).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         inner.resident.clear();
         inner.clock = 0;
     }
 
     /// Number of currently resident pages.
     pub fn resident_pages(&self) -> usize {
-        self.inner.lock().resident.len()
+        self.inner.lock().unwrap().resident.len()
     }
 
     /// Maximum resident pages.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().capacity
+        self.inner.lock().unwrap().capacity
     }
 }
 

@@ -50,7 +50,11 @@ impl Catalog {
     }
 
     /// Register (materialize) a base sequence under `name`.
-    pub fn register(&mut self, name: impl Into<String>, base: &BaseSequence) -> Arc<StoredSequence> {
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        base: &BaseSequence,
+    ) -> Arc<StoredSequence> {
         let name = name.into();
         let stored = Arc::new(StoredSequence::from_base(
             self.next_id,
@@ -67,10 +71,7 @@ impl Catalog {
 
     /// Look up a sequence by name.
     pub fn get(&self, name: &str) -> Result<Arc<StoredSequence>> {
-        self.seqs
-            .get(name)
-            .cloned()
-            .ok_or_else(|| SeqError::UnknownSequence(name.to_string()))
+        self.seqs.get(name).cloned().ok_or_else(|| SeqError::UnknownSequence(name.to_string()))
     }
 
     /// Look up a sequence as the abstract [`Sequence`] trait object.

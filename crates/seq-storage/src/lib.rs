@@ -27,4 +27,4 @@ pub use catalog::Catalog;
 pub use index::SparseIndex;
 pub use page::{Page, PageId};
 pub use stats::{AccessStats, StatsSnapshot};
-pub use store::{OwnedScan, StoredSequence, DEFAULT_PAGE_CAPACITY};
+pub use store::{OwnedBatchScan, OwnedScan, StoredSequence, DEFAULT_PAGE_CAPACITY};

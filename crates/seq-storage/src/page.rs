@@ -58,10 +58,7 @@ impl Page {
 
     /// Binary-search for an exact position within the page.
     pub fn find(&self, pos: i64) -> Option<&Record> {
-        self.entries
-            .binary_search_by_key(&pos, |(p, _)| *p)
-            .ok()
-            .map(|i| &self.entries[i].1)
+        self.entries.binary_search_by_key(&pos, |(p, _)| *p).ok().map(|i| &self.entries[i].1)
     }
 
     /// Index of the first entry with position `>= pos`.
@@ -78,10 +75,7 @@ mod tests {
     use seq_core::record;
 
     fn page() -> Page {
-        Page::new(
-            0,
-            vec![(2, record![2i64]), (5, record![5i64]), (9, record![9i64])],
-        )
+        Page::new(0, vec![(2, record![2i64]), (5, record![5i64]), (9, record![9i64])])
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub struct AccessStats {
     pub stream_records: AtomicU64,
     /// Stream scans opened.
     pub scans_opened: AtomicU64,
+    /// Folded (per-batch) counter updates performed. The vectorized scan
+    /// charges `stream_records` once per batch instead of once per record;
+    /// this counts those folds so tests can verify the batching contract.
+    pub stat_folds: AtomicU64,
 }
 
 impl AccessStats {
@@ -57,6 +61,14 @@ impl AccessStats {
         self.scans_opened.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Charge `n` stream records with a single atomic add (batch path).
+    pub fn record_stream_records(&self, n: u64) {
+        if n > 0 {
+            self.stream_records.fetch_add(n, Ordering::Relaxed);
+            self.stat_folds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -65,6 +77,7 @@ impl AccessStats {
             probes: self.probes.load(Ordering::Relaxed),
             stream_records: self.stream_records.load(Ordering::Relaxed),
             scans_opened: self.scans_opened.load(Ordering::Relaxed),
+            stat_folds: self.stat_folds.load(Ordering::Relaxed),
         }
     }
 
@@ -75,6 +88,7 @@ impl AccessStats {
         self.probes.store(0, Ordering::Relaxed);
         self.stream_records.store(0, Ordering::Relaxed);
         self.scans_opened.store(0, Ordering::Relaxed);
+        self.stat_folds.store(0, Ordering::Relaxed);
     }
 }
 
@@ -92,6 +106,8 @@ pub struct StatsSnapshot {
     pub stream_records: u64,
     /// Stream scans opened.
     pub scans_opened: u64,
+    /// Folded (per-batch) counter updates performed.
+    pub stat_folds: u64,
 }
 
 impl StatsSnapshot {
@@ -103,6 +119,7 @@ impl StatsSnapshot {
             probes: self.probes.saturating_sub(earlier.probes),
             stream_records: self.stream_records.saturating_sub(earlier.stream_records),
             scans_opened: self.scans_opened.saturating_sub(earlier.scans_opened),
+            stat_folds: self.stat_folds.saturating_sub(earlier.stat_folds),
         }
     }
 
@@ -142,6 +159,17 @@ mod tests {
         assert_eq!(snap.page_accesses(), 3);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn folded_add_is_one_fold_per_batch() {
+        let s = AccessStats::new();
+        s.record_stream_records(1000);
+        s.record_stream_records(24);
+        s.record_stream_records(0); // empty batches charge nothing
+        let snap = s.snapshot();
+        assert_eq!(snap.stream_records, 1024);
+        assert_eq!(snap.stat_folds, 2);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use seq_core::{BaseSequence, Record, Schema, SeqMeta, Sequence, Span};
+use seq_core::{BaseSequence, Record, RecordBatch, Schema, SeqMeta, Sequence, Span};
 
 use crate::buffer::{BufferPool, PageAccess, StoreId};
 use crate::index::SparseIndex;
@@ -156,6 +156,105 @@ impl StoredSequence {
             (self.index.first_page_at_or_after(span.start()), span.start(), span.end())
         };
         OwnedScan { store: Arc::clone(self), page_idx, slot: None, start, end }
+    }
+
+    /// A batched owning stream cursor: materializes up to `batch_size`
+    /// in-span records at a time into a columnar [`RecordBatch`]. Page
+    /// touches are charged exactly as [`StoredSequence::scan_owned`] (once
+    /// per page entered, in order); stream-record counts fold into one
+    /// atomic add per batch instead of one per record.
+    pub fn scan_batch(self: &Arc<Self>, span: Span, batch_size: usize) -> OwnedBatchScan {
+        self.stats.record_scan_opened();
+        let (page_idx, start, end) = if span.is_empty() {
+            (usize::MAX, 1, 0)
+        } else {
+            (self.index.first_page_at_or_after(span.start()), span.start(), span.end())
+        };
+        OwnedBatchScan {
+            store: Arc::clone(self),
+            page_idx,
+            slot: None,
+            start,
+            end,
+            batch_size: batch_size.max(1),
+        }
+    }
+}
+
+/// Owning batched streaming scan over an `Arc<StoredSequence>`.
+///
+/// Yields the same records, in the same order, with the same page-touch
+/// accounting as [`OwnedScan`]; only the granularity differs.
+pub struct OwnedBatchScan {
+    store: Arc<StoredSequence>,
+    page_idx: usize,
+    slot: Option<usize>,
+    start: i64,
+    end: i64,
+    batch_size: usize,
+}
+
+impl OwnedBatchScan {
+    /// Next run of up to `batch_size` in-span records, or `None` when the
+    /// span is exhausted. Charges one folded `stream_records` add per batch.
+    pub fn next_batch(&mut self) -> Option<RecordBatch> {
+        let arity = self.store.schema().arity();
+        let mut batch = RecordBatch::with_capacity(arity, self.batch_size);
+        while batch.len() < self.batch_size {
+            let Some(page) = self.store.pages.get(self.page_idx) else { break };
+            let slot = match self.slot {
+                Some(s) => s,
+                None => {
+                    self.store.touch_page(page.id());
+                    page.lower_bound(self.start)
+                }
+            };
+            let entries = page.entries();
+            // The in-span run on this page is contiguous: copy it column-wise
+            // in one bulk append instead of row-at-a-time pushes.
+            let in_span = entries.partition_point(|(p, _)| *p <= self.end);
+            let take = (self.batch_size - batch.len()).min(in_span.saturating_sub(slot));
+            batch
+                .extend_from_entries(&entries[slot..slot + take])
+                .expect("page records match store schema");
+            let slot = slot + take;
+            if slot >= entries.len() {
+                self.page_idx += 1;
+                self.slot = None;
+            } else if slot >= in_span {
+                // The span ends inside this page: the scan is exhausted.
+                self.page_idx = usize::MAX;
+                self.slot = None;
+                break;
+            } else {
+                self.slot = Some(slot);
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            self.store.stats.record_stream_records(batch.len() as u64);
+            Some(batch)
+        }
+    }
+
+    /// Raise the scan's lower bound, exactly like [`OwnedScan::skip_to`]:
+    /// skipped records are not charged, pages are still entered in order.
+    pub fn skip_to(&mut self, lower: i64) {
+        if lower > self.start {
+            self.start = lower;
+            if let Some(slot) = self.slot {
+                if let Some(page) = self.store.pages.get(self.page_idx) {
+                    if page.last_pos().map(|lp| lp < lower).unwrap_or(true) {
+                        self.page_idx += 1;
+                        self.slot = None;
+                    } else {
+                        let lb = page.lower_bound(lower);
+                        self.slot = Some(lb.max(slot));
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -380,8 +479,7 @@ mod owned_scan_tests {
 
     fn stored(n: i64, step: i64, cap: usize) -> (Arc<StoredSequence>, Arc<AccessStats>) {
         let entries = (0..n).map(|i| (1 + i * step, record![1 + i * step])).collect();
-        let base =
-            BaseSequence::from_entries(schema(&[("x", AttrType::Int)]), entries).unwrap();
+        let base = BaseSequence::from_entries(schema(&[("x", AttrType::Int)]), entries).unwrap();
         let stats = AccessStats::new();
         let s = Arc::new(StoredSequence::from_base(0, "t", &base, cap, stats.clone(), None));
         (s, stats)
@@ -430,5 +528,63 @@ mod owned_scan_tests {
         let (s, _) = stored(10, 1, 4);
         let mut scan = s.scan_owned(Span::empty());
         assert!(scan.next_record().is_none());
+    }
+
+    fn drain_batches(s: &Arc<StoredSequence>, span: Span, batch_size: usize) -> Vec<RecordBatch> {
+        let mut scan = s.scan_batch(span, batch_size);
+        let mut out = Vec::new();
+        while let Some(b) = scan.next_batch() {
+            out.push(b);
+        }
+        out
+    }
+
+    #[test]
+    fn batch_scan_matches_owned_scan() {
+        for (batch_size, cap) in [(4, 16), (16, 16), (1000, 16), (7, 5)] {
+            let (s, stats) = stored(100, 3, cap);
+            let span = Span::new(10, 250);
+            let owned: Vec<(i64, Record)> = s.scan_owned(span).collect();
+            let owned_snap = stats.snapshot();
+            stats.reset();
+            let batches = drain_batches(&s, span, batch_size);
+            let batched: Vec<(i64, Record)> = batches.iter().flat_map(|b| b.to_records()).collect();
+            let batch_snap = stats.snapshot();
+            assert_eq!(owned, batched, "batch_size={batch_size} cap={cap}");
+            assert_eq!(owned_snap.stream_records, batch_snap.stream_records);
+            assert_eq!(owned_snap.page_accesses(), batch_snap.page_accesses());
+            for b in &batches {
+                assert!(b.len() <= batch_size);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scan_folds_stats_per_batch() {
+        let (s, stats) = stored(100, 1, 16);
+        let batches = drain_batches(&s, Span::all(), 8);
+        let snap = stats.snapshot();
+        assert_eq!(snap.stream_records, 100);
+        // One folded add per non-empty batch, not one per record.
+        assert_eq!(snap.stat_folds, batches.len() as u64);
+        assert_eq!(batches.len(), 13); // ceil(100/8)
+    }
+
+    #[test]
+    fn batch_scan_skip_to_advances_without_counting() {
+        let (s, stats) = stored(100, 1, 16);
+        let mut scan = s.scan_batch(Span::new(1, 100), 4);
+        assert_eq!(scan.next_batch().unwrap().positions(), &[1, 2, 3, 4]);
+        scan.skip_to(60);
+        assert_eq!(scan.next_batch().unwrap().positions(), &[60, 61, 62, 63]);
+        assert_eq!(stats.snapshot().stream_records, 8);
+    }
+
+    #[test]
+    fn empty_span_batch_scan() {
+        let (s, stats) = stored(10, 1, 4);
+        let mut scan = s.scan_batch(Span::empty(), 8);
+        assert!(scan.next_batch().is_none());
+        assert_eq!(stats.snapshot().page_reads, 0);
     }
 }

@@ -5,10 +5,9 @@
 //! Null positions (§3), and value distributions. [`SeqSpec`] controls all
 //! four, deterministically from a seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use seq_core::{record, AttrType, BaseSequence, Schema, Span};
+
+use crate::rng::Rng;
 
 /// The standard two-attribute stock schema used across the experiments.
 pub fn stock_schema() -> Schema {
@@ -33,7 +32,13 @@ pub struct SeqSpec {
 impl SeqSpec {
     /// A spec with default walk parameters (start 100, volatility 1).
     pub fn new(span: Span, density: f64, seed: u64) -> SeqSpec {
-        SeqSpec { span, density: density.clamp(0.0, 1.0), seed, start_value: 100.0, volatility: 1.0 }
+        SeqSpec {
+            span,
+            density: density.clamp(0.0, 1.0),
+            seed,
+            start_value: 100.0,
+            volatility: 1.0,
+        }
     }
 
     /// Override the random walk's starting value and per-step volatility.
@@ -45,11 +50,8 @@ impl SeqSpec {
 
     /// Generate the non-empty positions of this spec.
     pub fn positions(&self) -> Vec<i64> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        self.span
-            .positions()
-            .filter(|_| rng.gen_bool(self.density))
-            .collect()
+        let mut rng = Rng::seed_from_u64(self.seed);
+        self.span.positions().filter(|_| rng.gen_bool(self.density)).collect()
     }
 
     /// Materialize a random-walk stock sequence over this spec's positions.
@@ -63,7 +65,7 @@ impl SeqSpec {
     pub fn generate_at(&self, positions: &[i64]) -> BaseSequence {
         // Separate RNG stream for values so that changing density does not
         // change the price path shape.
-        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        let mut rng = Rng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
         let mut price = self.start_value;
         let entries = positions
             .iter()
@@ -83,15 +85,11 @@ impl SeqSpec {
 /// `correlation` = 1 makes the second sequence occupy exactly the first's
 /// positions (thinned to its own density); 0 draws them independently; −1
 /// prefers the complement of the first's positions.
-pub fn correlated_pair(
-    a: &SeqSpec,
-    b: &SeqSpec,
-    correlation: f64,
-) -> (BaseSequence, BaseSequence) {
+pub fn correlated_pair(a: &SeqSpec, b: &SeqSpec, correlation: f64) -> (BaseSequence, BaseSequence) {
     let a_positions = a.positions();
     let sa = a.generate_at(&a_positions);
 
-    let mut rng = StdRng::seed_from_u64(b.seed.wrapping_add(7));
+    let mut rng = Rng::seed_from_u64(b.seed.wrapping_add(7));
     let in_a: std::collections::HashSet<i64> = a_positions.iter().copied().collect();
     let c = correlation.clamp(-1.0, 1.0);
     // Probability of a position being chosen, conditioned on membership in A.
@@ -99,11 +97,7 @@ pub fn correlated_pair(
     let d = b.density;
     let da = a.density.clamp(1e-9, 1.0);
     let p_in = (d + c * d * (1.0 - da) / da.max(d)).clamp(0.0, 1.0);
-    let p_out = if (1.0 - da) < 1e-9 {
-        d
-    } else {
-        ((d - p_in * da) / (1.0 - da)).clamp(0.0, 1.0)
-    };
+    let p_out = if (1.0 - da) < 1e-9 { d } else { ((d - p_in * da) / (1.0 - da)).clamp(0.0, 1.0) };
     let b_positions: Vec<i64> = b
         .span
         .positions()
@@ -160,8 +154,7 @@ mod tests {
         let a = SeqSpec::new(Span::new(1, 5_000), 0.5, 1);
         let b = SeqSpec::new(Span::new(1, 5_000), 0.3, 2);
         let (sa, sb) = correlated_pair(&a, &b, 1.0);
-        let a_set: std::collections::HashSet<i64> =
-            sa.entries().iter().map(|(p, _)| *p).collect();
+        let a_set: std::collections::HashSet<i64> = sa.entries().iter().map(|(p, _)| *p).collect();
         let inside = sb.entries().iter().filter(|(p, _)| a_set.contains(p)).count();
         let frac = inside as f64 / sb.record_count() as f64;
         assert!(frac > 0.95, "positively correlated fraction {frac}");
@@ -172,8 +165,7 @@ mod tests {
         let a = SeqSpec::new(Span::new(1, 5_000), 0.5, 1);
         let b = SeqSpec::new(Span::new(1, 5_000), 0.3, 2);
         let (sa, sb) = correlated_pair(&a, &b, -1.0);
-        let a_set: std::collections::HashSet<i64> =
-            sa.entries().iter().map(|(p, _)| *p).collect();
+        let a_set: std::collections::HashSet<i64> = sa.entries().iter().map(|(p, _)| *p).collect();
         let inside = sb.entries().iter().filter(|(p, _)| a_set.contains(p)).count();
         let frac = inside as f64 / sb.record_count().max(1) as f64;
         assert!(frac < 0.25, "negatively correlated fraction {frac}");
@@ -184,8 +176,7 @@ mod tests {
         let a = SeqSpec::new(Span::new(1, 20_000), 0.5, 1);
         let b = SeqSpec::new(Span::new(1, 20_000), 0.4, 2);
         let (sa, sb) = correlated_pair(&a, &b, 0.0);
-        let a_set: std::collections::HashSet<i64> =
-            sa.entries().iter().map(|(p, _)| *p).collect();
+        let a_set: std::collections::HashSet<i64> = sa.entries().iter().map(|(p, _)| *p).collect();
         let inside = sb.entries().iter().filter(|(p, _)| a_set.contains(p)).count();
         let frac = inside as f64 / sb.record_count() as f64;
         // Should be ≈ density of A.

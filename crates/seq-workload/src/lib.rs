@@ -6,14 +6,18 @@
 //!   correlation, random-walk values);
 //! - [`stocks`] — the Table 1 stock-market world (IBM/DEC/HP), scalable;
 //! - [`weather`] — the Example 1.1 volcano/earthquake world;
-//! - [`queries`] — canned query graphs for every figure and example.
+//! - [`queries`] — canned query graphs for every figure and example;
+//! - [`rng`] — the in-repo seedable PRNG all generation draws from (the
+//!   repository has no external dependencies, so `rand` is not used).
 
 pub mod generator;
 pub mod queries;
+pub mod rng;
 pub mod stocks;
 pub mod weather;
 
 pub use generator::{correlated_pair, stock_schema, SeqSpec};
+pub use rng::Rng;
 pub use stocks::{table1_catalog, table1_sequences, table1_spans};
 pub use weather::{
     generate as generate_weather, generate_regional, weather_catalog, WeatherSpec, WeatherWorld,

@@ -19,18 +19,18 @@ pub fn example_1_1(threshold: f64) -> QueryGraph {
 /// Figure 3: the price of DEC when IBM's close beats HP's close.
 pub fn fig3_span_query() -> QueryGraph {
     SeqQuery::base("DEC")
-        .compose_with(SeqQuery::base("IBM").compose_filtered(
-            SeqQuery::base("HP"),
-            Expr::attr("close").gt(Expr::attr("close_r")),
-        ))
+        .compose_with(
+            SeqQuery::base("IBM").compose_filtered(
+                SeqQuery::base("HP"),
+                Expr::attr("close").gt(Expr::attr("close_r")),
+            ),
+        )
         .build()
 }
 
 /// Figure 5.A: the sum of IBM's close over a trailing window.
 pub fn fig5a_moving_sum(window: u32) -> QueryGraph {
-    SeqQuery::base("IBM")
-        .aggregate(AggFunc::Sum, "close", Window::trailing(window))
-        .build()
+    SeqQuery::base("IBM").aggregate(AggFunc::Sum, "close", Window::trailing(window)).build()
 }
 
 /// Figure 5.B: DEC composed with Previous(σ(IBM ∘ HP)) — the derived-input
@@ -102,10 +102,7 @@ mod tests {
             "Quakes".into(),
             schema(&[("time", AttrType::Int), ("strength", AttrType::Float)]),
         );
-        m.insert(
-            "Volcanos".into(),
-            schema(&[("time", AttrType::Int), ("name", AttrType::Str)]),
-        );
+        m.insert("Volcanos".into(), schema(&[("time", AttrType::Int), ("name", AttrType::Str)]));
         m
     }
 

@@ -1,0 +1,165 @@
+//! A tiny deterministic PRNG for workload generation and tests.
+//!
+//! The repository builds in offline environments, so the external `rand`
+//! crate is not a dependency; this xorshift*/splitmix generator provides the
+//! small surface the generators and tests need (`gen_range`, `gen_bool`),
+//! with stable output across platforms and releases. It is emphatically not
+//! cryptographic — it only has to be fast, seedable, and well-mixed enough
+//! that density/correlation sampling behaves like coin flips.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable xorshift64* generator with a splitmix64-mixed seed.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Deterministic generator from a 64-bit seed (any seed is fine,
+    /// including zero).
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        // Splitmix64 step decorrelates adjacent seeds before xorshift runs.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Rng { state: z | 1 } // xorshift state must be non-zero
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 high-quality bits -> [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform draw from an integer or float range (`a..b` or `a..=b`).
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform u64 below `bound` (> 0), without modulo bias worth caring
+    /// about for workload generation (Lemire-style multiply-shift).
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled element type.
+    type Output;
+    /// Draw one uniform element.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range over an empty range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded_u64(width) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range over an empty range");
+                let width = (hi as i128 - lo as i128 + 1) as u128;
+                if width > u64::MAX as u128 {
+                    return rng.next_u64() as $t; // full-width i64/u64 range
+                }
+                (lo as i128 + rng.bounded_u64(width as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i32, i64, u32, u64, usize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "gen_range over an empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range over an empty range");
+        lo + rng.gen_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let i = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+            let j = rng.gen_range(0usize..3);
+            assert!(j < 3);
+            let f = rng.gen_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_frequency_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "measured {frac}");
+    }
+
+    #[test]
+    fn f64_covers_unit_interval() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99);
+    }
+}

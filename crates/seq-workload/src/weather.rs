@@ -1,8 +1,7 @@
 //! The Example 1.1 weather-monitoring world: earthquakes and volcano
 //! eruptions sequenced by recording time.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 use seq_core::{record, AttrType, BaseSequence, Schema, Span};
 use seq_storage::Catalog;
@@ -54,11 +53,8 @@ pub struct WeatherWorld {
 pub fn generate(spec: &WeatherSpec) -> WeatherWorld {
     assert!(spec.span.is_bounded());
     let total = spec.n_quakes + spec.n_volcanos;
-    assert!(
-        (total as u64) <= spec.span.len(),
-        "span too small for {total} events"
-    );
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    assert!((total as u64) <= spec.span.len(), "span too small for {total} events");
+    let mut rng = Rng::seed_from_u64(spec.seed);
 
     // Sample distinct positions, then split them between the event kinds.
     let mut positions = std::collections::BTreeSet::new();
@@ -66,8 +62,7 @@ pub fn generate(spec: &WeatherSpec) -> WeatherWorld {
         positions.insert(rng.gen_range(spec.span.start()..=spec.span.end()));
     }
     let positions: Vec<i64> = positions.into_iter().collect();
-    let mut is_quake: Vec<bool> =
-        (0..total).map(|i| i < spec.n_quakes).collect();
+    let mut is_quake: Vec<bool> = (0..total).map(|i| i < spec.n_quakes).collect();
     // Fisher–Yates interleave.
     for i in (1..total).rev() {
         let j = rng.gen_range(0..=i);
@@ -174,11 +169,7 @@ pub fn regional_quake_schema() -> Schema {
 
 /// Schema of the regional volcano sequence: `(time, name, region)`.
 pub fn regional_volcano_schema() -> Schema {
-    seq_core::schema(&[
-        ("time", AttrType::Int),
-        ("name", AttrType::Str),
-        ("region", AttrType::Str),
-    ])
+    seq_core::schema(&[("time", AttrType::Int), ("name", AttrType::Str), ("region", AttrType::Str)])
 }
 
 /// Generate the weather world with each event assigned to one of
@@ -187,7 +178,7 @@ pub fn regional_volcano_schema() -> Schema {
 pub fn generate_regional(spec: &WeatherSpec, n_regions: usize) -> WeatherWorld {
     assert!(n_regions >= 1);
     let plain = generate(spec);
-    let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(0xBEEF));
+    let mut rng = Rng::seed_from_u64(spec.seed.wrapping_add(0xBEEF));
     let mut tag = |entries: &[(i64, seq_core::Record)], name_attr: bool| {
         entries
             .iter()

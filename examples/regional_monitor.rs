@@ -59,11 +59,7 @@ fn main() -> Result<(), SeqError> {
     let quake_groups = partition_by(&world.quakes, "region")?;
     let severe = quake_groups.members_satisfying(
         "Q",
-        &|| {
-            SeqQuery::base("Q")
-                .select(Expr::attr("strength").gt(Expr::lit(8.5)))
-                .build()
-        },
+        &|| SeqQuery::base("Q").select(Expr::attr("strength").gt(Expr::lit(8.5))).build(),
         span,
         &OptimizerConfig::new(span),
     )?;
@@ -91,9 +87,8 @@ fn main() -> Result<(), SeqError> {
     // Query the weekly domain with the ordinary algebra: the worst 3 weeks.
     let mut catalog = Catalog::new();
     catalog.register("WeeklyQuakes", &weekly);
-    let q = SeqQuery::base("WeeklyQuakes")
-        .select(Expr::attr("strength").gt(Expr::lit(8.9)))
-        .build();
+    let q =
+        SeqQuery::base("WeeklyQuakes").select(Expr::attr("strength").gt(Expr::lit(8.9))).build();
     use seqproc::seq_core::Sequence;
     let weekly_span = weekly.meta().span;
     let optimized = optimize(&q, &CatalogRef(&catalog), &OptimizerConfig::new(weekly_span))?;

@@ -66,10 +66,7 @@ fn main() -> Result<(), SeqError> {
     println!("outputs: {}", a.len());
     println!("  Cache-Strategy-A: {s_cached}");
     println!("  naive probing   : {s_naive}");
-    println!(
-        "  probes avoided: {} -> {}",
-        s_naive.probes, s_cached.probes
-    );
+    println!("  probes avoided: {} -> {}", s_naive.probes, s_cached.probes);
 
     // --- Figure 5.B: Previous over a derived sequence -----------------------
     println!("\n== Figure 5.B: DEC with the most recent (IBM.close > HP.close) day ==");

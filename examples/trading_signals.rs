@@ -42,11 +42,7 @@ fn main() -> Result<(), SeqError> {
         }
         last = *pos;
     }
-    println!(
-        "\n{} signal days forming {} golden-cross entries:",
-        rows.len(),
-        entries.len()
-    );
+    println!("\n{} signal days forming {} golden-cross entries:", rows.len(), entries.len());
     for (pos, short, long) in entries.iter().take(10) {
         println!("  day {pos}: 10-day {short:.2} vs 50-day {long:.2}");
     }

@@ -41,10 +41,8 @@ fn main() -> Result<(), SeqError> {
     println!("sequence-plan accesses: {seq_stats}");
 
     // --- The relational baselines ------------------------------------------
-    let volcanos = Relation::from_sequence_entries(
-        world.volcanos.schema().clone(),
-        world.volcanos.entries(),
-    )?;
+    let volcanos =
+        Relation::from_sequence_entries(world.volcanos.schema().clone(), world.volcanos.entries())?;
     let quakes =
         Relation::from_sequence_entries(world.quakes.schema().clone(), world.quakes.entries())?;
 

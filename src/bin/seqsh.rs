@@ -79,7 +79,9 @@ impl Shell {
                 let query_text: String = parts.collect::<Vec<_>>().join(" ");
                 self.query(&query_text, true)?;
             }
-            other => println!("unknown command {other:?}; try \\tables \\explain \\limit \\range \\quit"),
+            other => {
+                println!("unknown command {other:?}; try \\tables \\explain \\limit \\range \\quit")
+            }
         }
         Ok(true)
     }
@@ -107,7 +109,7 @@ impl Shell {
         self.catalog.reset_measurement();
         let ctx = ExecContext::new(&self.catalog);
         let started = std::time::Instant::now();
-        let rows = match execute(&optimized.plan, &ctx) {
+        let rows = match optimized.execute(&ctx) {
             Ok(r) => r,
             Err(e) => {
                 println!("{e}");
@@ -122,10 +124,11 @@ impl Shell {
             println!("  ... {} more rows (\\limit to adjust)", rows.len() - self.limit);
         }
         println!(
-            "{} rows in {:.2}ms | est cost {:.1} | {}",
+            "{} rows in {:.2}ms | est cost {:.1} | {} | {}",
             rows.len(),
             elapsed.as_secs_f64() * 1e3,
             optimized.est_cost,
+            optimized.exec_mode,
             self.catalog.stats().snapshot()
         );
         Ok(())
@@ -167,8 +170,10 @@ fn main() {
         }
         "weather" => {
             let span = Span::new(1, 20_000 * scale);
-            let (c, _) =
-                weather_catalog(&WeatherSpec::new(span, 800 * scale as usize, 150 * scale as usize, 42), 64);
+            let (c, _) = weather_catalog(
+                &WeatherSpec::new(span, 800 * scale as usize, 150 * scale as usize, 42),
+                64,
+            );
             (c, span)
         }
         other => {

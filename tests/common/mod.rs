@@ -3,10 +3,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use seqproc::prelude::*;
 use seqproc::seq_ops::ReferenceEvaluator;
+use seqproc::seq_workload::Rng;
 
 /// A generated world: the same base sequences registered in a storage
 /// catalog (for the physical executor) and held as trait objects (for the
@@ -33,8 +32,8 @@ impl World {
 
 /// Generate a random stock-schema base sequence.
 #[allow(dead_code)]
-pub fn random_stock_sequence(rng: &mut StdRng, max_span: i64) -> BaseSequence {
-    let start = rng.gen_range(1..=10);
+pub fn random_stock_sequence(rng: &mut Rng, max_span: i64) -> BaseSequence {
+    let start = rng.gen_range(1i64..=10);
     let end = start + rng.gen_range(5..=max_span.max(6));
     let density = rng.gen_range(0.2..=1.0);
     let mut entries = Vec::new();
@@ -54,7 +53,7 @@ pub fn random_stock_sequence(rng: &mut StdRng, max_span: i64) -> BaseSequence {
 /// A world of three random stock sequences S0/S1/S2.
 #[allow(dead_code)]
 pub fn random_world(seed: u64, max_span: i64) -> World {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut world = World::new(8);
     for i in 0..3 {
         let base = random_stock_sequence(&mut rng, max_span);
@@ -67,12 +66,12 @@ pub fn random_world(seed: u64, max_span: i64) -> World {
 /// a numeric attribute valid in its output schema. Grammar: chains of
 /// selections, offsets, value offsets, windowed aggregates, and composes.
 #[allow(dead_code)]
-pub fn random_query(rng: &mut StdRng, depth: u32) -> (SeqQuery, String) {
+pub fn random_query(rng: &mut Rng, depth: u32) -> (SeqQuery, String) {
     if depth == 0 || rng.gen_bool(0.25) {
-        let base = format!("S{}", rng.gen_range(0..3));
+        let base = format!("S{}", rng.gen_range(0u32..3));
         return (SeqQuery::base(base), "close".to_string());
     }
-    match rng.gen_range(0..6) {
+    match rng.gen_range(0u32..6) {
         0 => {
             let (q, attr) = random_query(rng, depth - 1);
             let lit = rng.gen_range(0.0..200.0);
@@ -80,29 +79,29 @@ pub fn random_query(rng: &mut StdRng, depth: u32) -> (SeqQuery, String) {
         }
         1 => {
             let (q, attr) = random_query(rng, depth - 1);
-            let off = rng.gen_range(-4..=4);
+            let off = rng.gen_range(-4i64..=4);
             (q.positional_offset(off), attr)
         }
         2 => {
             let (q, attr) = random_query(rng, depth - 1);
             // Backward only: forward value offsets over derived unbounded
             // spans are rejected by the reference evaluator.
-            let off = -rng.gen_range(1..=2);
+            let off = -rng.gen_range(1i64..=2);
             (q.value_offset(off), attr)
         }
         3 | 4 => {
             let (q, attr) = random_query(rng, depth - 1);
-            let func = match rng.gen_range(0..5) {
+            let func = match rng.gen_range(0u32..5) {
                 0 => AggFunc::Sum,
                 1 => AggFunc::Avg,
                 2 => AggFunc::Count,
                 3 => AggFunc::Min,
                 _ => AggFunc::Max,
             };
-            let window = match rng.gen_range(0..3) {
-                0 => Window::trailing(rng.gen_range(1..=5)),
+            let window = match rng.gen_range(0u32..3) {
+                0 => Window::trailing(rng.gen_range(1u32..=5)),
                 1 => {
-                    let lo = rng.gen_range(-4..=0);
+                    let lo = rng.gen_range(-4i64..=0);
                     let hi = rng.gen_range(lo..=lo + 4);
                     Window::Sliding { lo, hi }
                 }

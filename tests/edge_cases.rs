@@ -32,10 +32,14 @@ fn empty_base_sequence_everywhere() {
         SeqQuery::base("S").compose_with(SeqQuery::base("S2")).build(),
     ] {
         let mut catalog2 = world_with(vec![]);
-        catalog2.register("S2", &BaseSequence::from_entries(
-            schema(&[("time", AttrType::Int), ("close", AttrType::Float)]),
-            vec![],
-        ).unwrap());
+        catalog2.register(
+            "S2",
+            &BaseSequence::from_entries(
+                schema(&[("time", AttrType::Int), ("close", AttrType::Float)]),
+                vec![],
+            )
+            .unwrap(),
+        );
         let c = if q.resolve(&CatalogRef(&catalog)).is_ok() { &catalog } else { &catalog2 };
         assert!(run(c, q, range).is_empty());
     }
@@ -84,18 +88,11 @@ fn negative_positions_end_to_end() {
 fn offset_larger_than_span() {
     let catalog = world_with(vec![(1, 1.0), (2, 2.0)]);
     // Shifting by more than the span pushes everything outside the range.
-    let rows = run(
-        &catalog,
-        SeqQuery::base("S").positional_offset(100).build(),
-        Span::new(1, 10),
-    );
+    let rows = run(&catalog, SeqQuery::base("S").positional_offset(100).build(), Span::new(1, 10));
     assert!(rows.is_empty());
     // Shift the other way: Out(i) = In(i+(-100)) puts records at 101, 102.
-    let rows = run(
-        &catalog,
-        SeqQuery::base("S").positional_offset(-100).build(),
-        Span::new(90, 110),
-    );
+    let rows =
+        run(&catalog, SeqQuery::base("S").positional_offset(-100).build(), Span::new(90, 110));
     let pos: Vec<i64> = rows.iter().map(|(p, _)| *p).collect();
     assert_eq!(pos, vec![101, 102]);
 }
@@ -104,11 +101,7 @@ fn offset_larger_than_span() {
 fn value_offset_beyond_record_count() {
     let catalog = world_with(vec![(1, 1.0), (2, 2.0), (3, 3.0)]);
     // The 5th-most-recent record never exists.
-    let rows = run(
-        &catalog,
-        SeqQuery::base("S").value_offset(-5).build(),
-        Span::new(1, 50),
-    );
+    let rows = run(&catalog, SeqQuery::base("S").value_offset(-5).build(), Span::new(1, 50));
     assert!(rows.is_empty());
 }
 
@@ -123,10 +116,7 @@ fn window_larger_than_data() {
     // Output exists from the first record through range end.
     assert_eq!(rows.first().map(|(p, _)| *p), Some(10));
     assert_eq!(rows.last().map(|(p, _)| *p), Some(100));
-    assert!(rows
-        .iter()
-        .skip(1)
-        .all(|(_, r)| r.value(0).unwrap().as_f64().unwrap() == 1.5));
+    assert!(rows.iter().skip(1).all(|(_, r)| r.value(0).unwrap().as_f64().unwrap() == 1.5));
 }
 
 #[test]
@@ -182,8 +172,8 @@ fn probe_positions_outside_everything() {
     let optimized =
         optimize(&q, &CatalogRef(&catalog), &OptimizerConfig::new(Span::new(1, 10))).unwrap();
     let ctx = ExecContext::new(&catalog);
-    let out = probe_positions(&optimized.plan, &ctx, &[i64::MIN + 2, -1, 5, 11, i64::MAX - 2])
-        .unwrap();
+    let out =
+        probe_positions(&optimized.plan, &ctx, &[i64::MIN + 2, -1, 5, 11, i64::MAX - 2]).unwrap();
     let hits: Vec<bool> = out.iter().map(|(_, r)| r.is_some()).collect();
     assert_eq!(hits, vec![false, false, true, false, false]);
 }

@@ -14,24 +14,19 @@ fn run_world(seed: u64, n_quakes: usize, n_volcanos: usize) {
 
     // Sequence plan.
     let query = queries::example_1_1(7.0);
-    let optimized =
-        optimize(&query, &CatalogRef(&catalog), &OptimizerConfig::new(span)).unwrap();
+    let optimized = optimize(&query, &CatalogRef(&catalog), &OptimizerConfig::new(span)).unwrap();
     catalog.reset_measurement();
     let ctx = ExecContext::new(&catalog);
     let rows = execute(&optimized.plan, &ctx).unwrap();
     let seq_stats = catalog.stats().snapshot();
 
     // Relational baselines.
-    let volcanos = Relation::from_sequence_entries(
-        world.volcanos.schema().clone(),
-        world.volcanos.entries(),
-    )
-    .unwrap();
-    let quakes = Relation::from_sequence_entries(
-        world.quakes.schema().clone(),
-        world.quakes.entries(),
-    )
-    .unwrap();
+    let volcanos =
+        Relation::from_sequence_entries(world.volcanos.schema().clone(), world.volcanos.entries())
+            .unwrap();
+    let quakes =
+        Relation::from_sequence_entries(world.quakes.schema().clone(), world.quakes.entries())
+            .unwrap();
     let naive_stats = RelStats::new();
     let naive = nested_subquery_plan(&volcanos, &quakes, 7.0, &naive_stats).unwrap();
     let idx_stats = RelStats::new();
@@ -93,12 +88,9 @@ fn example11_uses_lockstep_and_cache_b() {
     let span = Span::new(1, 50_000);
     let spec = WeatherSpec::new(span, 1_000, 200, 7);
     let (catalog, _) = weather_catalog(&spec, 32);
-    let optimized = optimize(
-        &queries::example_1_1(7.0),
-        &CatalogRef(&catalog),
-        &OptimizerConfig::new(span),
-    )
-    .unwrap();
+    let optimized =
+        optimize(&queries::example_1_1(7.0), &CatalogRef(&catalog), &OptimizerConfig::new(span))
+            .unwrap();
     let plan = optimized.plan.render();
     assert!(plan.contains("IncrementalCacheB"), "plan:\n{plan}");
     assert!(plan.contains("LockStep"), "plan:\n{plan}");
@@ -109,16 +101,12 @@ fn example11_threshold_sweep_consistency() {
     let span = Span::new(1, 20_000);
     let spec = WeatherSpec::new(span, 500, 100, 11);
     let (catalog, world) = weather_catalog(&spec, 32);
-    let volcanos = Relation::from_sequence_entries(
-        world.volcanos.schema().clone(),
-        world.volcanos.entries(),
-    )
-    .unwrap();
-    let quakes = Relation::from_sequence_entries(
-        world.quakes.schema().clone(),
-        world.quakes.entries(),
-    )
-    .unwrap();
+    let volcanos =
+        Relation::from_sequence_entries(world.volcanos.schema().clone(), world.volcanos.entries())
+            .unwrap();
+    let quakes =
+        Relation::from_sequence_entries(world.quakes.schema().clone(), world.quakes.entries())
+            .unwrap();
     let mut last_count = usize::MAX;
     for threshold in [4.5, 6.0, 7.0, 8.5] {
         let optimized = optimize(

@@ -22,21 +22,14 @@ fn base_from(positions: &[(i64, f64)]) -> BaseSequence {
     .unwrap()
 }
 
-fn eval_all(
-    query: &QueryGraph,
-    data: &[(i64, f64)],
-    range: Span,
-) -> Vec<(i64, Option<Record>)> {
+fn eval_all(query: &QueryGraph, data: &[(i64, f64)], range: Span) -> Vec<(i64, Option<Record>)> {
     let mut seqs: HashMap<String, Arc<dyn Sequence>> = HashMap::new();
     seqs.insert("S".into(), Arc::new(base_from(data)));
     let schemas: HashMap<String, Schema> =
         [("S".to_string(), stock_schema())].into_iter().collect();
     let resolved = query.resolve(&schemas).unwrap();
     let eval = ReferenceEvaluator::new(&resolved, &seqs).unwrap();
-    range
-        .positions()
-        .map(|p| (p, eval.eval(p).unwrap()))
-        .collect()
+    range.positions().map(|p| (p, eval.eval(p).unwrap())).collect()
 }
 
 /// For a single-base query with a *relative, fixed* composed scope, check:
@@ -137,7 +130,7 @@ fn previous_makes_scope_variable() {
     assert_eq!(scopes[0].2, ScopeShape::VariableBack);
     assert_eq!(scopes[0].2.size(), ScopeSize::Variable);
     assert!(scopes[0].2.incremental()); // Cache-Strategy-B applies
-    // Soundness: Previous at i only depends on positions < i.
+                                        // Soundness: Previous at i only depends on positions < i.
     assert_scope_sound(&q, (i64::MIN / 2, -1));
 }
 

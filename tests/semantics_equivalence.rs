@@ -8,13 +8,12 @@
 mod common;
 
 use common::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use seqproc::prelude::*;
+use seqproc::seq_workload::Rng;
 
 fn check_seed(seed: u64, depth: u32) -> bool {
     let world = random_world(seed, 40);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xDEAD_BEEF);
     let (query, _) = random_query(&mut rng, depth);
     let query = query.build();
     let range = Span::new(-5, 120);
@@ -85,7 +84,7 @@ fn randomized_queries_match_reference_under_every_ablation() {
     let mut checked = 0;
     for seed in 300..340 {
         let world = random_world(seed, 30);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xABCD);
         let (query, _) = random_query(&mut rng, 3);
         let query = query.build();
         let Some(expected) = reference_rows(&world, &query, range) else { continue };
@@ -106,7 +105,7 @@ fn probed_mode_matches_reference_point_lookups() {
     let mut checked = 0;
     for seed in 600..640 {
         let world = random_world(seed, 30);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5555);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5555);
         let (query, _) = random_query(&mut rng, 2);
         let query = query.build();
         let Some(expected) = reference_rows(&world, &query, range) else { continue };

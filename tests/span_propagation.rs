@@ -2,8 +2,8 @@
 
 use seq_workload::{queries, table1_catalog};
 use seqproc::prelude::*;
-use seqproc::seq_opt::{annotate, identify_blocks, Block, CatalogRef as OptCatalogRef};
 use seqproc::seq_ops::ResolvedKind;
+use seqproc::seq_opt::{annotate, identify_blocks, Block, CatalogRef as OptCatalogRef};
 
 #[test]
 fn figure3_restricts_all_bases_to_200_350() {

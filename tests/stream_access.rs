@@ -30,11 +30,8 @@ fn assert_stream_access(catalog: &Catalog, query: &QueryGraph, range: Span) {
     assert!(!rows.is_empty(), "query produced no data — vacuous check");
     let snap = catalog.stats().snapshot();
     assert_eq!(snap.probes, 0, "stream-access plans never probe\n{}", opt.plan.render());
-    let total_pages: u64 = ["A", "B"]
-        .iter()
-        .filter_map(|n| catalog.get(n).ok())
-        .map(|s| s.page_count() as u64)
-        .sum();
+    let total_pages: u64 =
+        ["A", "B"].iter().filter_map(|n| catalog.get(n).ok()).map(|s| s.page_count() as u64).sum();
     assert!(
         snap.page_reads <= total_pages,
         "each page read at most once: {} reads vs {total_pages} pages\n{}",
@@ -57,9 +54,7 @@ fn selection_projection_pipeline_is_single_scan() {
 fn trailing_aggregate_is_single_scan() {
     // Sequential fixed scope (Theorem 3.1's direct case).
     let catalog = world();
-    let q = SeqQuery::base("A")
-        .aggregate(AggFunc::Avg, "close", Window::trailing(8))
-        .build();
+    let q = SeqQuery::base("A").aggregate(AggFunc::Avg, "close", Window::trailing(8)).build();
     assert_stream_access(&catalog, &q, Span::new(1, 2_007));
 }
 
@@ -69,10 +64,7 @@ fn positional_offset_minus_five_is_single_scan() {
     // scope [i−5, i] of size six is — a six-record cache suffices and the
     // evaluation remains a single scan.
     let catalog = world();
-    let q = SeqQuery::base("A")
-        .positional_offset(-5)
-        .compose_with(SeqQuery::base("B"))
-        .build();
+    let q = SeqQuery::base("A").positional_offset(-5).compose_with(SeqQuery::base("B")).build();
     assert_stream_access(&catalog, &q, Span::new(1, 2_005));
 }
 
@@ -80,10 +72,7 @@ fn positional_offset_minus_five_is_single_scan() {
 fn lockstep_join_is_single_scan() {
     let catalog = world();
     let q = SeqQuery::base("A")
-        .compose_filtered(
-            SeqQuery::base("B"),
-            Expr::attr("close").gt(Expr::attr("close_r")),
-        )
+        .compose_filtered(SeqQuery::base("B"), Expr::attr("close").gt(Expr::attr("close_r")))
         .build();
     // Force lock-step (Join-Strategy-B) to pin the theorem's structure.
     let mut cfg = OptimizerConfig::new(Span::new(1, 2_000));
@@ -102,10 +91,7 @@ fn previous_with_cache_b_is_single_scan() {
     // Variable scope, but the incremental rewrite of §3.5 restores the
     // stream-access property (the paper presents this as Cache-Strategy-B).
     let catalog = world();
-    let q = SeqQuery::base("A")
-        .previous()
-        .compose_with(SeqQuery::base("B"))
-        .build();
+    let q = SeqQuery::base("A").previous().compose_with(SeqQuery::base("B")).build();
     assert_stream_access(&catalog, &q, Span::new(1, 2_000));
 }
 
@@ -116,17 +102,14 @@ fn cache_sizes_are_constant_in_the_data() {
     // reflected in peak resident entries — is unchanged. We proxy this by
     // checking cache stores scale with data while the plan (and thus cache
     // capacity, the window size) is identical.
-    let q = SeqQuery::base("A")
-        .aggregate(AggFunc::Sum, "close", Window::trailing(8))
-        .build();
+    let q = SeqQuery::base("A").aggregate(AggFunc::Sum, "close", Window::trailing(8)).build();
 
     let run = |n: i64| -> (String, u64) {
         let mut catalog = Catalog::new();
         catalog.set_page_capacity(16);
         catalog.register("A", &SeqSpec::new(Span::new(1, n), 0.9, 5).generate());
-        let opt =
-            optimize(&q, &CatalogRef(&catalog), &OptimizerConfig::new(Span::new(1, n + 7)))
-                .unwrap();
+        let opt = optimize(&q, &CatalogRef(&catalog), &OptimizerConfig::new(Span::new(1, n + 7)))
+            .unwrap();
         let ctx = ExecContext::new(&catalog);
         execute(&opt.plan, &ctx).unwrap();
         (opt.plan.render(), ctx.stats.snapshot().cache_stores)
@@ -134,9 +117,6 @@ fn cache_sizes_are_constant_in_the_data() {
     let (plan_small, stores_small) = run(1_000);
     let (plan_big, stores_big) = run(4_000);
     // Same plan shape modulo spans.
-    assert_eq!(
-        plan_small.matches("CacheA").count(),
-        plan_big.matches("CacheA").count()
-    );
+    assert_eq!(plan_small.matches("CacheA").count(), plan_big.matches("CacheA").count());
     assert!(stores_big > 3 * stores_small, "{stores_big} vs {stores_small}");
 }

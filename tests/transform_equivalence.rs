@@ -5,22 +5,21 @@
 mod common;
 
 use common::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use seqproc::prelude::*;
-use seqproc::seq_opt::apply_transformations;
 use seqproc::seq_ops::ReferenceEvaluator;
+use seqproc::seq_opt::apply_transformations;
+use seqproc::seq_workload::Rng;
 
-fn rows_of(world: &World, resolved: &seqproc::seq_ops::ResolvedGraph, range: Span) -> Option<Vec<(i64, Vec<Value>)>> {
+fn rows_of(
+    world: &World,
+    resolved: &seqproc::seq_ops::ResolvedGraph,
+    range: Span,
+) -> Option<Vec<(i64, Vec<Value>)>> {
     let eval = ReferenceEvaluator::new(resolved, &world.sequences).ok()?;
     match eval.materialize(range) {
         // Compare value vectors, not schemas: rewrites may re-derive
         // attribute names (positional semantics are what matters).
-        Ok(rows) => Some(
-            rows.into_iter()
-                .map(|(p, r)| (p, r.values().to_vec()))
-                .collect(),
-        ),
+        Ok(rows) => Some(rows.into_iter().map(|(p, r)| (p, r.values().to_vec())).collect()),
         Err(SeqError::Unsupported(_)) => None,
         Err(e) => panic!("reference evaluation failed: {e}"),
     }
@@ -32,7 +31,7 @@ fn transformed_queries_agree_with_originals() {
     let mut checked = 0;
     for seed in 0..200 {
         let world = random_world(seed, 30);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xFACE);
         let (query, _) = random_query(&mut rng, 3);
         let query = query.build();
         let Ok(resolved) = query.resolve(&world.schemas) else { continue };
@@ -55,7 +54,7 @@ fn transformed_queries_agree_with_originals() {
 fn transformations_reach_fixpoint_on_random_queries() {
     for seed in 0..100 {
         let world = random_world(seed, 20);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xBEEF);
         let (query, _) = random_query(&mut rng, 4);
         let query = query.build();
         let Ok(resolved) = query.resolve(&world.schemas) else { continue };
