@@ -1,0 +1,155 @@
+//! Morsel-driven parallel scaling: the batch-path select → project →
+//! window-avg plan over a million-record sequence at 1, 2, 4, and 8
+//! workers. Degree 1 is exactly the sequential batch path, so speedups are
+//! relative to it. Records the sweep in `BENCH_parallel.json` at the repo
+//! root, including the host's core count — on a single-core host the
+//! workers serialize and the sweep measures coordination overhead, not
+//! speedup.
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use seq_core::{record, schema, AttrType, BaseSequence, Span};
+use seq_exec::{
+    execute_batched, execute_parallel_with, AggStrategy, ExecContext, ParallelConfig, PhysNode,
+    PhysPlan,
+};
+use seq_ops::{AggFunc, Expr, Window};
+use seq_storage::Catalog;
+use seq_workload::Rng;
+
+const N: i64 = 1_000_000;
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn build_catalog() -> Catalog {
+    let mut rng = Rng::seed_from_u64(0xb47c);
+    let sch = schema(&[("time", AttrType::Int), ("close", AttrType::Float)]);
+    let mut entries = Vec::with_capacity(N as usize);
+    for p in 1..=N {
+        entries.push((p, record![p, rng.gen_range(0.0..100.0)]));
+    }
+    let base = BaseSequence::from_entries(sch, entries).unwrap();
+    let mut catalog = Catalog::new();
+    catalog.register("TICKS", &base);
+    catalog
+}
+
+/// select(close > 30) → project(close) → 16-day trailing average — the same
+/// plan `batch_vs_tuple` measures, and fully position-partitionable.
+fn plan() -> PhysPlan {
+    let span = Span::new(1, N);
+    let sch = schema(&[("time", AttrType::Int), ("close", AttrType::Float)]);
+    let node = PhysNode::Aggregate {
+        input: Box::new(PhysNode::Project {
+            input: Box::new(PhysNode::Select {
+                input: Box::new(PhysNode::Base { name: "TICKS".into(), span }),
+                predicate: Expr::attr("close").gt(Expr::lit(30.0)).bind(&sch).unwrap(),
+                span,
+            }),
+            indices: vec![1],
+            span,
+        }),
+        func: AggFunc::Avg,
+        attr_index: 0,
+        window: Window::trailing(16),
+        strategy: AggStrategy::CacheAIncremental,
+        span,
+    };
+    PhysPlan::new(node, span)
+}
+
+fn time_once<F: FnMut() -> usize>(f: &mut F) -> Duration {
+    let start = Instant::now();
+    black_box(f());
+    start.elapsed()
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn bench(c: &mut Criterion) {
+    let catalog = build_catalog();
+    let plan = plan();
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    for workers in WORKER_SWEEP {
+        group.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| {
+                let ctx = ExecContext::new(&catalog);
+                execute_parallel_with(&plan, &ctx, ParallelConfig::with_workers(workers))
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+
+    // Recorded artifact: interleaved min-of-7 sweep, anchored by a sanity
+    // check that every degree returns the sequential batch-path rows.
+    let ctx = ExecContext::new(&catalog);
+    let rows = execute_batched(&plan, &ctx).unwrap();
+    for workers in WORKER_SWEEP {
+        let ctx = ExecContext::new(&catalog);
+        let got =
+            execute_parallel_with(&plan, &ctx, ParallelConfig::with_workers(workers)).unwrap();
+        assert_eq!(rows.len(), got.len(), "degree {workers} changed the row count");
+        assert!(
+            rows.iter().zip(&got).all(|(a, b)| a.0 == b.0),
+            "degree {workers} changed the output positions"
+        );
+    }
+
+    const SAMPLES: usize = 7;
+    let mut best = [Duration::MAX; WORKER_SWEEP.len()];
+    for _ in 0..SAMPLES {
+        for (slot, workers) in WORKER_SWEEP.into_iter().enumerate() {
+            let mut run = || {
+                let ctx = ExecContext::new(&catalog);
+                execute_parallel_with(&plan, &ctx, ParallelConfig::with_workers(workers))
+                    .unwrap()
+                    .len()
+            };
+            best[slot] = best[slot].min(time_once(&mut run));
+        }
+    }
+
+    let base = best[0].as_secs_f64();
+    println!("\nparallel_scaling summary ({} host cores):", host_cores());
+    let mut entries = String::new();
+    for (slot, workers) in WORKER_SWEEP.into_iter().enumerate() {
+        let ms = best[slot].as_secs_f64() * 1e3;
+        let rate = rows.len() as f64 / best[slot].as_secs_f64();
+        let speedup = base / best[slot].as_secs_f64();
+        println!("  {workers} worker(s): {ms:.2}ms ({speedup:.2}x vs degree 1)");
+        if slot > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"workers\": {workers}, \"ms\": {ms:.3}, \"rows_per_sec\": {rate:.0}, \
+             \"speedup_vs_1\": {speedup:.2}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"parallel_scaling\",\n  \"plan\": \"select(close>30) -> \
+         project(close) -> avg over trailing(16)\",\n  \"input_records\": {N},\n  \
+         \"output_records\": {},\n  \"batch_size\": {},\n  \"host_cores\": {},\n  \
+         \"samples_per_degree\": {SAMPLES},\n  \"statistic\": \"min of interleaved samples\",\n  \
+         \"note\": \"degree 1 is the sequential batch path; on a 1-core host the sweep measures \
+         coordination overhead, not parallel speedup\",\n  \"sweep\": [\n{entries}\n  ]\n}}\n",
+        rows.len(),
+        seq_exec::DEFAULT_BATCH_SIZE,
+        host_cores(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

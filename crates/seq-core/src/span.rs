@@ -131,6 +131,22 @@ impl Span {
         Span::new(start, end)
     }
 
+    /// The input span a windowed operator needs to produce every output in
+    /// this span: output position `i` reads inputs in `[i+lo, i+hi]`, so the
+    /// union over the span is `[start+lo, end+hi]`.
+    ///
+    /// This is the top-down companion of [`Span::widen_by_window`]; the
+    /// morsel planner uses it to widen a sub-span by an operator's scope
+    /// overhang so each worker sees exactly the input its outputs require.
+    pub fn extend_by_window(&self, lo: i64, hi: i64) -> Span {
+        if self.is_empty() {
+            return Span::empty();
+        }
+        let start = if self.start == NEG_INF { NEG_INF } else { sat_add(self.start, lo) };
+        let end = if self.end == POS_INF { POS_INF } else { sat_add(self.end, hi) };
+        Span::new(start, end)
+    }
+
     /// Extend the span to +∞ (value-offset outputs looking backward remain
     /// defined forever after their last input).
     pub fn unbounded_above(&self) -> Span {
@@ -244,6 +260,17 @@ mod tests {
         // A leading window [0, 3]: output span = [start-3, end].
         let s = Span::new(100, 200).widen_by_window(0, 3);
         assert_eq!(s, Span::new(97, 200));
+    }
+
+    #[test]
+    fn extend_by_window_is_topdown_companion() {
+        // Output [100, 200] under a window [-5, 0] needs inputs [95, 200].
+        assert_eq!(Span::new(100, 200).extend_by_window(-5, 0), Span::new(95, 200));
+        assert_eq!(Span::new(100, 200).extend_by_window(0, 3), Span::new(100, 203));
+        assert!(Span::empty().extend_by_window(-5, 5).is_empty());
+        // Extremes saturate without landing on a sentinel.
+        let s = Span::new(POS_INF - 10, POS_INF - 5).extend_by_window(-2, 100);
+        assert_eq!(s.end(), POS_INF - 1);
     }
 
     #[test]

@@ -197,6 +197,7 @@ impl WindowAggCursor {
             ));
         }
         let capacity = (hi - lo).unsigned_abs() as usize + 1;
+        let (span, cur) = crate::cursor::span_cursor_start(span);
         Ok(WindowAggCursor {
             input,
             func,
@@ -207,7 +208,7 @@ impl WindowAggCursor {
             accumulator: incremental.then(|| SlidingAccumulator::new(func)),
             pending: None,
             input_done: false,
-            cur: if span.is_empty() { 1 } else { span.start() },
+            cur,
             span,
         })
     }
@@ -338,13 +339,14 @@ impl CumulativeAggCursor {
                 "stream evaluation of a cumulative aggregate needs a bounded output span".into(),
             ));
         }
+        let (span, cur) = crate::cursor::span_cursor_start(span);
         Ok(CumulativeAggCursor {
             input,
             attr_index,
             acc: SlidingAccumulator::new(func),
             pending: None,
             input_done: false,
-            cur: if span.is_empty() { 1 } else { span.start() },
+            cur,
             span,
         })
     }
@@ -421,12 +423,15 @@ impl WholeSpanAggCursor {
                 "stream evaluation of a whole-span aggregate needs a bounded output span".into(),
             ));
         }
+        let (span, cur) = crate::cursor::span_cursor_start(span);
         Ok(WholeSpanAggCursor {
-            input: Some(input),
+            // Drop the input of an empty-span aggregate outright: the cursor
+            // must yield nothing without touching it.
+            input: (!span.is_empty()).then_some(input),
             func,
             attr_index,
             value: None,
-            cur: if span.is_empty() { 1 } else { span.start() },
+            cur,
             span,
         })
     }
@@ -540,9 +545,10 @@ impl NaiveAggCursor {
                 "naive evaluation of an aggregate needs a bounded output span".into(),
             ));
         }
+        let (span, cur) = crate::cursor::span_cursor_start(span);
         Ok(NaiveAggCursor {
             probe: AggProbe::new(input, func, attr_index, window, input_span, span, stats),
-            cur: if span.is_empty() { 1 } else { span.start() },
+            cur,
             span,
         })
     }

@@ -18,7 +18,7 @@
 
 use std::collections::VecDeque;
 
-use seq_core::{Record, RecordBatch, Result, Span, Value, POS_INF};
+use seq_core::{Record, RecordBatch, Result, Span, Value, NEG_INF, POS_INF};
 use seq_ops::{AggFunc, Expr};
 
 use crate::aggregate::SlidingAccumulator;
@@ -190,34 +190,64 @@ impl BatchCursor for ProjectBatchCursor {
 
 /// Positional offset over a batched stream: `Out(i) = In(i + offset)` as one
 /// vectorized position shift per batch, clamped to `span`.
+///
+/// `[in_lo, in_hi]` is the input window computed once at open time: the
+/// input positions whose shifted output is both inside `span` and a
+/// representable position (a finite `i64`, not an infinity sentinel).
+/// Clamping the *input* batch to that window before shifting keeps the shift
+/// exact — a naive shift-then-clamp saturates positions near `i64::MAX`/`MIN`
+/// onto the sentinels, collapsing distinct rows and leaking positions that
+/// should have fallen off the end of the representable range.
 pub struct PosOffsetBatchCursor {
     input: Box<dyn BatchCursor>,
     offset: i64,
-    span: Span,
+    in_lo: i64,
+    in_hi: i64,
     done: bool,
 }
 
 impl PosOffsetBatchCursor {
     /// Shift the batched input: `Out(i) = In(i + offset)`, clamped to `span`.
     pub fn new(input: Box<dyn BatchCursor>, offset: i64, span: Span) -> PosOffsetBatchCursor {
-        PosOffsetBatchCursor { input, offset, span, done: span.is_empty() }
+        // The servable input window, in i128 so sentinel-adjacent spans and
+        // extreme offsets cannot wrap: outputs must lie in span and strictly
+        // between the infinities.
+        let (in_lo, in_hi, feasible) = if span.is_empty() {
+            (1, 0, false)
+        } else {
+            let lo = span.start().max(NEG_INF + 1) as i128 + offset as i128;
+            let hi = span.end().min(POS_INF - 1) as i128 + offset as i128;
+            if lo > i64::MAX as i128 || hi < i64::MIN as i128 {
+                (1, 0, false)
+            } else {
+                (lo.max(i64::MIN as i128) as i64, hi.min(i64::MAX as i128) as i64, true)
+            }
+        };
+        PosOffsetBatchCursor { input, offset, in_lo, in_hi, done: !feasible }
     }
 
     fn shift_and_clamp(&mut self, mut batch: RecordBatch) -> Option<RecordBatch> {
-        batch.shift_positions(-self.offset);
-        if batch.first_pos().is_some_and(|p| p > self.span.end()) {
+        if batch.first_pos().is_some_and(|p| p > self.in_hi) {
             self.done = true;
             return None;
         }
-        if batch.last_pos().is_some_and(|p| p > self.span.end()) {
+        if batch.last_pos().is_some_and(|p| p > self.in_hi) {
             self.done = true;
         }
-        batch.clamp_positions(self.span.start(), self.span.end());
+        batch.clamp_positions(self.in_lo, self.in_hi);
         if batch.is_empty() {
-            None
-        } else {
-            Some(batch)
+            return None;
         }
+        // Every surviving position shifts exactly; `-offset` itself would
+        // overflow for i64::MIN, so split that shift into two exact steps
+        // (clamping guarantees the final position is representable).
+        if self.offset == i64::MIN {
+            batch.shift_positions(i64::MAX);
+            batch.shift_positions(1);
+        } else {
+            batch.shift_positions(-self.offset);
+        }
+        Some(batch)
     }
 }
 
@@ -233,10 +263,19 @@ impl BatchCursor for PosOffsetBatchCursor {
     }
 
     fn next_batch_from(&mut self, lower: i64) -> Result<Option<RecordBatch>> {
-        let mut item = if self.done {
-            None
-        } else {
-            self.input.next_batch_from(lower.saturating_add(self.offset))?
+        if self.done {
+            return Ok(None);
+        }
+        // Input positions serving outputs >= lower start at lower+offset; an
+        // overflow above means no representable input can serve the request.
+        let mut item = match lower.checked_add(self.offset) {
+            Some(in_lower) => self.input.next_batch_from(in_lower.max(self.in_lo))?,
+            None if self.offset > 0 => {
+                self.done = true;
+                return Ok(None);
+            }
+            // Underflow below: every remaining input position qualifies.
+            None => self.input.next_batch()?,
         };
         while let Some(b) = item {
             if let Some(out) = self.shift_and_clamp(b) {
@@ -301,6 +340,7 @@ impl WindowAggBatchCursor {
                 "stream evaluation of an aggregate needs a bounded output span".into(),
             ));
         }
+        let (span, cur) = crate::cursor::span_cursor_start(span);
         Ok(WindowAggBatchCursor {
             input,
             func,
@@ -312,7 +352,7 @@ impl WindowAggBatchCursor {
             in_batch: None,
             in_row: 0,
             input_done: false,
-            cur: if span.is_empty() { 1 } else { span.start() },
+            cur,
             span,
             batch_size: batch_size.max(1),
         })
@@ -461,6 +501,12 @@ impl BatchCursor for WindowAggBatchCursor {
     }
 
     fn next_batch_from(&mut self, lower: i64) -> Result<Option<RecordBatch>> {
+        if self.span.is_empty() || lower > self.span.end() {
+            // No output at or past `lower`: answer without touching the
+            // input (an empty-span cursor must never pull from it).
+            self.cur = self.cur.max(lower);
+            return Ok(None);
+        }
         if lower > self.cur {
             self.cur = lower;
             // Input records below cur+lo can no longer reach any window;

@@ -9,10 +9,34 @@
 //!   output of value offsets and aggregates;
 //! - **probed** ([`PointAccess`]): "get the record at a specific position".
 
-use seq_core::{Record, Result, Span};
+use seq_core::{Record, Result, Span, NEG_INF, POS_INF};
 use seq_ops::Expr;
 
 use crate::stats::ExecStats;
+
+/// Canonicalize a (possibly empty) output span for a position-driven cursor:
+/// the span to store plus the initial output position. The empty span maps
+/// to its canonical `[1, 0]` form, so `cur > span.end()` holds before any
+/// input is pulled — an empty-span cursor must yield nothing without ever
+/// touching its input.
+pub(crate) fn span_cursor_start(span: Span) -> (Span, i64) {
+    if span.is_empty() {
+        (Span::empty(), 1)
+    } else {
+        (span, span.start())
+    }
+}
+
+/// `p - offset` when the result is a representable position: a finite `i64`
+/// that is not an infinity sentinel. `None` means the shifted position falls
+/// outside the representable range, so the input record at `p` has no output
+/// position.
+pub(crate) fn unshift_position(p: i64, offset: i64) -> Option<i64> {
+    match p.checked_sub(offset) {
+        Some(out) if out != NEG_INF && out != POS_INF => Some(out),
+        _ => None,
+    }
+}
 
 /// Stream access to a (base or derived) sequence.
 pub trait Cursor {
@@ -276,15 +300,29 @@ impl PosOffsetCursor {
     }
 }
 
+impl PosOffsetCursor {
+    /// Map an input record to its output position, or decide the stream's
+    /// fate when `p - offset` is not a representable position: a negative
+    /// offset pushes later inputs even further past `POS_INF`, so the stream
+    /// is over; a positive offset only underflows a prefix, so skip.
+    fn shift_or_stop(&self, p: i64) -> std::ops::ControlFlow<(), Option<i64>> {
+        match unshift_position(p, self.offset) {
+            Some(out) if out > self.span.end() => std::ops::ControlFlow::Break(()),
+            Some(out) if self.span.contains(out) => std::ops::ControlFlow::Continue(Some(out)),
+            Some(_) => std::ops::ControlFlow::Continue(None),
+            None if self.offset < 0 => std::ops::ControlFlow::Break(()),
+            None => std::ops::ControlFlow::Continue(None),
+        }
+    }
+}
+
 impl Cursor for PosOffsetCursor {
     fn next(&mut self) -> Result<Option<(i64, Record)>> {
         while let Some((p, r)) = self.input.next()? {
-            let out = p - self.offset;
-            if out > self.span.end() {
-                return Ok(None);
-            }
-            if self.span.contains(out) {
-                return Ok(Some((out, r)));
+            match self.shift_or_stop(p) {
+                std::ops::ControlFlow::Break(()) => return Ok(None),
+                std::ops::ControlFlow::Continue(Some(out)) => return Ok(Some((out, r))),
+                std::ops::ControlFlow::Continue(None) => continue,
             }
         }
         Ok(None)
@@ -293,14 +331,18 @@ impl Cursor for PosOffsetCursor {
     fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
         // Iterative rather than recursive: a long run of out-of-span input
         // records must not grow the stack with it.
-        let mut item = self.input.next_from(lower.saturating_add(self.offset))?;
+        let mut item = match lower.checked_add(self.offset) {
+            Some(in_lower) => self.input.next_from(in_lower)?,
+            // Overflow above: no representable input can serve the request.
+            None if self.offset > 0 => return Ok(None),
+            // Underflow below: every remaining input position qualifies.
+            None => self.input.next()?,
+        };
         while let Some((p, r)) = item {
-            let out = p - self.offset;
-            if self.span.contains(out) {
-                return Ok(Some((out, r)));
-            }
-            if out > self.span.end() {
-                return Ok(None);
+            match self.shift_or_stop(p) {
+                std::ops::ControlFlow::Break(()) => return Ok(None),
+                std::ops::ControlFlow::Continue(Some(out)) => return Ok(Some((out, r))),
+                std::ops::ControlFlow::Continue(None) => {}
             }
             item = self.input.next()?;
         }

@@ -76,6 +76,21 @@ pub fn execute_batched_with(
     Ok(out)
 }
 
+/// Morsel-driven parallel evaluation with `workers` threads and default
+/// batch/morsel sizing; bit-identical to [`execute_batched`] (and therefore
+/// to [`execute`]). See [`crate::parallel`].
+pub fn execute_parallel(
+    plan: &PhysPlan,
+    ctx: &ExecContext<'_>,
+    workers: usize,
+) -> Result<Vec<(i64, Record)>> {
+    crate::parallel::execute_parallel_with(
+        plan,
+        ctx,
+        crate::parallel::ParallelConfig::with_workers(workers),
+    )
+}
+
 /// Probe-evaluate the plan at the given positions (the "records at specific
 /// positions" query form of §4). Positions outside the plan's range yield
 /// `None`.

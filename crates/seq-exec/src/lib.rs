@@ -16,7 +16,9 @@
 //!   and spans, and the Start operator that drives them (Figure 6);
 //! - [`batch`] — the vectorized batch-at-a-time path: unit-scope stream
 //!   operators over columnar [`seq_core::RecordBatch`]es, with adapters to
-//!   and from the record-at-a-time cursors at block boundaries.
+//!   and from the record-at-a-time cursors at block boundaries;
+//! - [`parallel`] — morsel-driven parallel execution of position-
+//!   partitionable plans with an order-preserving bounded merge.
 
 pub mod aggregate;
 pub mod batch;
@@ -26,6 +28,7 @@ pub mod cursor;
 pub mod exec;
 pub mod incremental;
 pub mod offset;
+pub mod parallel;
 pub mod plan;
 pub mod stats;
 
@@ -34,9 +37,10 @@ pub use cache::OpCache;
 pub use compose::StreamSide;
 pub use cursor::{Cursor, PointAccess};
 pub use exec::{
-    execute, execute_batched, execute_batched_with, execute_within, materialize_into,
-    probe_positions,
+    execute, execute_batched, execute_batched_with, execute_parallel, execute_within,
+    materialize_into, probe_positions,
 };
 pub use incremental::{replay, Emission, TriggerEngine};
+pub use parallel::{execute_parallel_with, plan_morsels, ParallelConfig};
 pub use plan::{AggStrategy, ExecContext, JoinStrategy, PhysNode, PhysPlan, ValueOffsetStrategy};
 pub use stats::{ExecSnapshot, ExecStats};

@@ -57,6 +57,7 @@ impl IncrementalValueOffsetCursor {
             ));
         }
         let magnitude = offset.unsigned_abs() as usize;
+        let (span, cur) = crate::cursor::span_cursor_start(span);
         Ok(IncrementalValueOffsetCursor {
             input,
             magnitude,
@@ -64,8 +65,8 @@ impl IncrementalValueOffsetCursor {
             cache: OpCache::new(magnitude, stats),
             pending: None,
             input_done: false,
-            cur: if span.is_empty() { 1 } else { span.start() },
-            span: if span.is_empty() { Span::empty() } else { span },
+            cur,
+            span,
             started: false,
         })
     }
@@ -198,9 +199,10 @@ impl NaiveValueOffsetCursor {
                 "naive evaluation of a value offset needs a bounded output span".into(),
             ));
         }
+        let (span, cur) = crate::cursor::span_cursor_start(span);
         Ok(NaiveValueOffsetCursor {
             probe: ValueOffsetProbe::new(input, offset, input_span, span, stats),
-            cur: if span.is_empty() { 1 } else { span.start() },
+            cur,
             span,
         })
     }

@@ -279,6 +279,106 @@ impl PhysNode {
         }
     }
 
+    /// True when every operator in this tree is position-wise partitionable:
+    /// output rows over disjoint position sub-spans depend only on input
+    /// positions within a *bounded* overhang of that sub-span, so a bounded
+    /// output span splits into morsels that evaluate independently. Value
+    /// offsets (variable scope) and cumulative/whole-span aggregates (prefix
+    /// or global scope) are not partitionable.
+    pub fn is_position_partitionable(&self) -> bool {
+        match self {
+            PhysNode::Base { .. } | PhysNode::Constant { .. } => true,
+            PhysNode::Select { input, .. }
+            | PhysNode::Project { input, .. }
+            | PhysNode::PosOffset { input, .. } => input.is_position_partitionable(),
+            PhysNode::Aggregate { input, window, .. } => {
+                matches!(window, Window::Sliding { .. }) && input.is_position_partitionable()
+            }
+            PhysNode::ValueOffset { .. } => false,
+            PhysNode::Compose { left, right, .. } => {
+                left.is_position_partitionable() && right.is_position_partitionable()
+            }
+        }
+    }
+
+    /// Clone the tree with every span restricted so the root emits only
+    /// within `out` — the morsel planner's top-down pass. Spans narrow
+    /// exactly as in §3.2: selections and projections pass the restriction
+    /// through, a positional offset shifts it onto its input, and a sliding
+    /// window widens it by the operator's scope overhang
+    /// ([`Span::extend_by_window`]) so every output in the sub-span still
+    /// sees its full window. Operators with unbounded scope (value offsets,
+    /// cumulative/whole-span aggregates) keep their input untouched; callers
+    /// gate on [`PhysNode::is_position_partitionable`] before relying on the
+    /// restriction for disjoint-morsel execution.
+    pub fn restrict_to(&self, out: Span) -> PhysNode {
+        match self {
+            PhysNode::Base { name, span } => {
+                PhysNode::Base { name: name.clone(), span: span.intersect(&out) }
+            }
+            PhysNode::Constant { record, span } => {
+                PhysNode::Constant { record: record.clone(), span: span.intersect(&out) }
+            }
+            PhysNode::Select { input, predicate, span } => {
+                let span = span.intersect(&out);
+                PhysNode::Select {
+                    input: Box::new(input.restrict_to(span)),
+                    predicate: predicate.clone(),
+                    span,
+                }
+            }
+            PhysNode::Project { input, indices, span } => {
+                let span = span.intersect(&out);
+                PhysNode::Project {
+                    input: Box::new(input.restrict_to(span)),
+                    indices: indices.clone(),
+                    span,
+                }
+            }
+            PhysNode::PosOffset { input, offset, span } => {
+                let span = span.intersect(&out);
+                PhysNode::PosOffset {
+                    input: Box::new(input.restrict_to(span.shift(*offset))),
+                    offset: *offset,
+                    span,
+                }
+            }
+            PhysNode::ValueOffset { input, offset, strategy, span } => PhysNode::ValueOffset {
+                input: input.clone(),
+                offset: *offset,
+                strategy: *strategy,
+                span: span.intersect(&out),
+            },
+            PhysNode::Aggregate { input, func, attr_index, window, strategy, span } => {
+                let span = span.intersect(&out);
+                let input = match window {
+                    Window::Sliding { lo, hi } => {
+                        Box::new(input.restrict_to(span.extend_by_window(*lo, *hi)))
+                    }
+                    Window::Cumulative | Window::WholeSpan => input.clone(),
+                };
+                PhysNode::Aggregate {
+                    input,
+                    func: *func,
+                    attr_index: *attr_index,
+                    window: *window,
+                    strategy: *strategy,
+                    span,
+                }
+            }
+            PhysNode::Compose { left, right, predicate, strategy, span } => {
+                let span = span.intersect(&out);
+                PhysNode::Compose {
+                    left: Box::new(left.restrict_to(span)),
+                    right: Box::new(right.restrict_to(span)),
+                    predicate: predicate.clone(),
+                    strategy: *strategy,
+                    span,
+                }
+            }
+        }
+    }
+
     /// Open the node in vectorized stream mode, producing batches of
     /// `batch_size` rows. Contiguous runs of batch-capable operators get
     /// native batch kernels; at the first non-batch-capable node the plan

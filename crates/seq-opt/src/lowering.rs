@@ -9,6 +9,7 @@
 //! cumulative aggregate) would only interpose an adapter at the top, so it
 //! stays on the record path.
 
+use seq_core::Span;
 use seq_exec::PhysNode;
 
 /// Which executor entry point a plan should use.
@@ -18,6 +19,12 @@ pub enum ExecMode {
     RecordAtATime,
     /// Vectorized batch kernels ([`seq_exec::execute_batched`]).
     Batched,
+    /// Morsel-driven parallel batch pipelines
+    /// ([`seq_exec::execute_parallel`]).
+    Parallel {
+        /// Worker thread count (always `>= 2` when selected).
+        workers: usize,
+    },
 }
 
 impl std::fmt::Display for ExecMode {
@@ -25,6 +32,7 @@ impl std::fmt::Display for ExecMode {
         match self {
             ExecMode::RecordAtATime => write!(f, "record-at-a-time"),
             ExecMode::Batched => write!(f, "batched"),
+            ExecMode::Parallel { workers } => write!(f, "parallel({workers})"),
         }
     }
 }
@@ -45,9 +53,29 @@ pub fn batch_run_len(node: &PhysNode) -> usize {
     }
 }
 
-/// Decide the execution mode for a selected plan: batched when vectorization
-/// is enabled and the root run has at least one native batch kernel.
-pub fn choose_exec_mode(root: &PhysNode, vectorized: bool) -> ExecMode {
+/// Decide the execution mode for a selected plan.
+///
+/// Parallel wins when the user asked for more than one worker *and* the
+/// plan can be evaluated morsel-by-morsel: every operator position-
+/// partitionable and the materialized range bounded (morsels are contiguous
+/// position intervals). Partitionability, not batch-capability, is the
+/// gate — a partitionable plan whose root run is all adapters (e.g. a
+/// lock-step join of bases) still splits across workers. Otherwise the
+/// vectorized single-threaded path applies when the root run has at least
+/// one native batch kernel, and the record path is the final fallback.
+pub fn choose_exec_mode(
+    root: &PhysNode,
+    vectorized: bool,
+    parallelism: usize,
+    range: Span,
+) -> ExecMode {
+    if vectorized
+        && parallelism > 1
+        && root.is_position_partitionable()
+        && range.intersect(&root.span()).is_bounded()
+    {
+        return ExecMode::Parallel { workers: parallelism };
+    }
     if vectorized && batch_run_len(root) > 0 {
         ExecMode::Batched
     } else {
@@ -92,8 +120,8 @@ mod tests {
     fn mode_follows_flag_and_run_length() {
         let span = Span::new(1, 10);
         let b = base();
-        assert_eq!(choose_exec_mode(&b, true), ExecMode::Batched);
-        assert_eq!(choose_exec_mode(&b, false), ExecMode::RecordAtATime);
+        assert_eq!(choose_exec_mode(&b, true, 1, span), ExecMode::Batched);
+        assert_eq!(choose_exec_mode(&b, false, 1, span), ExecMode::RecordAtATime);
         let naive_agg = PhysNode::Aggregate {
             input: base(),
             func: seq_ops::AggFunc::Sum,
@@ -103,6 +131,40 @@ mod tests {
             span,
         };
         // Cumulative aggregates have no batch kernel at the root.
-        assert_eq!(choose_exec_mode(&naive_agg, true), ExecMode::RecordAtATime);
+        assert_eq!(choose_exec_mode(&naive_agg, true, 1, span), ExecMode::RecordAtATime);
+    }
+
+    #[test]
+    fn parallel_mode_needs_partitionable_plan_and_bounded_range() {
+        let span = Span::new(1, 10);
+        let b = base();
+        assert_eq!(choose_exec_mode(&b, true, 4, span), ExecMode::Parallel { workers: 4 });
+        // Parallelism 1 is the sequential batch path.
+        assert_eq!(choose_exec_mode(&b, true, 1, span), ExecMode::Batched);
+        // Vectorization off keeps everything on the record path.
+        assert_eq!(choose_exec_mode(&b, false, 4, span), ExecMode::RecordAtATime);
+        // Unbounded range: morsels are position intervals, so no parallel —
+        // the single-threaded batch path still applies.
+        let unbounded = PhysNode::Base { name: "A".into(), span: Span::all() };
+        assert_eq!(choose_exec_mode(&unbounded, true, 4, Span::all()), ExecMode::Batched);
+        // A non-partitionable root falls back to batched/record.
+        let voff = PhysNode::ValueOffset {
+            input: base(),
+            offset: -1,
+            strategy: seq_exec::ValueOffsetStrategy::IncrementalCacheB,
+            span,
+        };
+        assert_eq!(choose_exec_mode(&voff, true, 4, span), ExecMode::RecordAtATime);
+        // A partitionable plan with no batch kernel at the root (lock-step
+        // join of bases) still parallelizes through the adapters.
+        let compose = PhysNode::Compose {
+            left: base(),
+            right: base(),
+            predicate: None,
+            strategy: JoinStrategy::LockStep,
+            span,
+        };
+        assert_eq!(batch_run_len(&compose), 0);
+        assert_eq!(choose_exec_mode(&compose, true, 4, span), ExecMode::Parallel { workers: 4 });
     }
 }

@@ -49,6 +49,9 @@ pub struct OptimizerConfig {
     pub incremental_aggregates: bool,
     /// Lower eligible plans onto the vectorized batch execution path.
     pub vectorized: bool,
+    /// Worker threads for morsel-driven parallel execution of position-
+    /// partitionable plans; `1` keeps everything single-threaded.
+    pub parallelism: usize,
     /// Cost-model unit costs.
     pub cost: CostParams,
 }
@@ -70,6 +73,7 @@ impl OptimizerConfig {
             // drift in the last ULPs under add/remove).
             incremental_aggregates: false,
             vectorized: true,
+            parallelism: 1,
             cost: CostParams::default(),
         }
     }
@@ -88,6 +92,7 @@ impl OptimizerConfig {
             naive_aggregates: true,
             incremental_aggregates: false,
             vectorized: false,
+            parallelism: 1,
             cost: CostParams::default(),
         }
     }
@@ -119,6 +124,7 @@ impl Optimized {
     /// Run the selected plan on the execution path Step 6 chose.
     pub fn execute(&self, ctx: &seq_exec::ExecContext<'_>) -> Result<Vec<(i64, seq_core::Record)>> {
         match self.exec_mode {
+            ExecMode::Parallel { workers } => seq_exec::execute_parallel(&self.plan, ctx, workers),
             ExecMode::Batched => seq_exec::execute_batched(&self.plan, ctx),
             ExecMode::RecordAtATime => seq_exec::execute(&self.plan, ctx),
         }
@@ -200,7 +206,7 @@ pub fn optimize(
     // Step 6: the Start operator selects the stream-access plan at the root.
     let root = planned.pop().expect("at least one block");
     let plan = PhysPlan::new(root.stream_phys, config.range.intersect(&root.span));
-    let exec_mode = choose_exec_mode(&plan.root, config.vectorized);
+    let exec_mode = choose_exec_mode(&plan.root, config.vectorized, config.parallelism, plan.range);
     let _ = writeln!(explain, "== Step 6: selected plan (est. cost {:.2}) ==", root.stream_cost);
     let _ = writeln!(explain, "{}", plan.render());
     let _ = writeln!(

@@ -179,12 +179,59 @@ impl StoredSequence {
             batch_size: batch_size.max(1),
         }
     }
+
+    /// Split `span` into up to `parts` contiguous, page-aligned sub-spans
+    /// covering exactly `span`'s overlap with the stored data. Parallel
+    /// drivers hand each sub-span to an independent [`OwnedBatchScan`] (the
+    /// scan is `Clone` and the store is shared behind the `Arc`), and
+    /// page-aligned boundaries mean no page is entered by two workers for
+    /// the same scan.
+    pub fn partition_spans(&self, span: Span, parts: usize) -> Vec<Span> {
+        let span = span.intersect(&self.meta.span);
+        if span.is_empty() {
+            return Vec::new();
+        }
+        let first = self.index.first_page_at_or_after(span.start());
+        let last = self
+            .pages
+            .iter()
+            .rposition(|p| p.first_pos().is_some_and(|fp| fp <= span.end()))
+            .unwrap_or(first);
+        if first >= self.pages.len() || last < first {
+            return Vec::new();
+        }
+        let pages = last - first + 1;
+        let parts = parts.clamp(1, pages);
+        let per = pages.div_ceil(parts);
+        let mut out = Vec::with_capacity(parts);
+        let mut lo = span.start();
+        let mut page = first;
+        while page <= last {
+            let chunk_last = (page + per - 1).min(last);
+            let hi = if chunk_last == last {
+                span.end()
+            } else {
+                // End just before the next chunk's first position so the
+                // sub-spans tile the span without overlap.
+                self.pages[chunk_last + 1].first_pos().expect("pages are non-empty") - 1
+            };
+            if hi >= lo {
+                out.push(Span::new(lo, hi));
+                lo = hi + 1;
+            }
+            page = chunk_last + 1;
+        }
+        out
+    }
 }
 
 /// Owning batched streaming scan over an `Arc<StoredSequence>`.
 ///
 /// Yields the same records, in the same order, with the same page-touch
-/// accounting as [`OwnedScan`]; only the granularity differs.
+/// accounting as [`OwnedScan`]; only the granularity differs. Cloning is
+/// cheap (the page store is shared behind the `Arc`) and yields an
+/// independent scan position, so parallel workers can each carry their own.
+#[derive(Clone)]
 pub struct OwnedBatchScan {
     store: Arc<StoredSequence>,
     page_idx: usize,
@@ -205,6 +252,15 @@ impl OwnedBatchScan {
             let slot = match self.slot {
                 Some(s) => s,
                 None => {
+                    // The page's first position is header metadata (what the
+                    // page index is built from); consulting it is not a page
+                    // read. Don't charge for a page that starts past the
+                    // span — a span ending on a page boundary would other-
+                    // wise cost one phantom read.
+                    if page.first_pos().is_none_or(|fp| fp > self.end) {
+                        self.page_idx = usize::MAX;
+                        break;
+                    }
                     self.store.touch_page(page.id());
                     page.lower_bound(self.start)
                 }
@@ -275,6 +331,12 @@ impl OwnedScan {
             let slot = match self.slot {
                 Some(s) => s,
                 None => {
+                    // As in the batched scan: a page starting past the span
+                    // end is known exhausted from header metadata alone.
+                    if page.first_pos().is_none_or(|fp| fp > self.end) {
+                        self.page_idx = usize::MAX;
+                        return None;
+                    }
                     self.store.touch_page(page.id());
                     page.lower_bound(self.start)
                 }
@@ -586,5 +648,73 @@ mod owned_scan_tests {
         let mut scan = s.scan_batch(Span::empty(), 8);
         assert!(scan.next_batch().is_none());
         assert_eq!(stats.snapshot().page_reads, 0);
+    }
+
+    #[test]
+    fn batch_scan_clone_is_independent() {
+        let (s, _) = stored(100, 1, 16);
+        let mut a = s.scan_batch(Span::new(1, 100), 8);
+        assert_eq!(a.next_batch().unwrap().positions(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut b = a.clone();
+        // Advancing the clone does not move the original, and vice versa.
+        b.skip_to(50);
+        assert_eq!(b.next_batch().unwrap().first_pos(), Some(50));
+        assert_eq!(a.next_batch().unwrap().positions(), &[9, 10, 11, 12, 13, 14, 15, 16]);
+        assert_eq!(b.next_batch().unwrap().first_pos(), Some(58));
+    }
+
+    #[test]
+    fn partition_spans_tile_the_span() {
+        let (s, _) = stored(100, 1, 16); // positions 1..=100, 7 pages of 16
+        for parts in [1, 2, 3, 4, 7, 20] {
+            let spans = s.partition_spans(Span::new(1, 100), parts);
+            assert!(!spans.is_empty());
+            assert!(spans.len() <= parts.min(7));
+            // Contiguous tiling: starts at 1, ends at 100, no gaps/overlap.
+            assert_eq!(spans[0].start(), 1);
+            assert_eq!(spans.last().unwrap().end(), 100);
+            for w in spans.windows(2) {
+                assert_eq!(w[1].start(), w[0].end() + 1);
+            }
+            // Interior boundaries are page-aligned (multiples of 16 + 1).
+            for sp in &spans[1..] {
+                assert_eq!((sp.start() - 1) % 16, 0);
+            }
+            // Each partition scans exactly its own records.
+            let total: usize = spans
+                .iter()
+                .map(|sp| {
+                    let mut sc = s.scan_batch(*sp, 32);
+                    let mut n = 0;
+                    while let Some(b) = sc.next_batch() {
+                        n += b.len();
+                    }
+                    n
+                })
+                .sum();
+            assert_eq!(total, 100);
+        }
+    }
+
+    #[test]
+    fn partition_spans_degenerate_cases() {
+        let (s, _) = stored(100, 1, 16);
+        assert!(s.partition_spans(Span::empty(), 4).is_empty());
+        assert!(s.partition_spans(Span::new(200, 300), 4).is_empty());
+        // Span narrower than a page: one partition covering it.
+        let spans = s.partition_spans(Span::new(40, 44), 8);
+        assert_eq!(spans, vec![Span::new(40, 44)]);
+        // Unbounded request clamps to the stored span.
+        let spans = s.partition_spans(Span::all(), 2);
+        assert_eq!(spans[0].start(), 1);
+        assert_eq!(spans.last().unwrap().end(), 100);
+    }
+
+    #[test]
+    fn shared_storage_types_are_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<StoredSequence>();
+        assert_sync::<AccessStats>();
+        assert_sync::<OwnedBatchScan>();
     }
 }

@@ -12,6 +12,8 @@
 //! - `\explain <query>` — show the optimizer pipeline for a query;
 //! - `\limit N` — cap printed rows (default 20);
 //! - `\range LO HI` — set the query template's position range;
+//! - `\set parallelism N` — worker threads for morsel-driven parallel
+//!   execution of partitionable plans (default 1 = sequential);
 //! - `\quit` — exit.
 
 use std::io::{BufRead, Write};
@@ -24,6 +26,7 @@ struct Shell {
     catalog: Catalog,
     range: Span,
     limit: usize,
+    parallelism: usize,
 }
 
 impl Shell {
@@ -75,12 +78,22 @@ impl Shell {
                     _ => println!("usage: \\range LO HI"),
                 }
             }
+            Some("set") => match (parts.next(), parts.next().and_then(|s| s.parse::<usize>().ok()))
+            {
+                (Some("parallelism"), Some(n)) if n >= 1 => {
+                    self.parallelism = n;
+                    println!("parallelism: {n} worker{}", if n == 1 { "" } else { "s" });
+                }
+                _ => println!("usage: \\set parallelism N  (N >= 1)"),
+            },
             Some("explain") => {
                 let query_text: String = parts.collect::<Vec<_>>().join(" ");
                 self.query(&query_text, true)?;
             }
             other => {
-                println!("unknown command {other:?}; try \\tables \\explain \\limit \\range \\quit")
+                println!(
+                    "unknown command {other:?}; try \\tables \\explain \\limit \\range \\set \\quit"
+                )
             }
         }
         Ok(true)
@@ -94,7 +107,8 @@ impl Shell {
                 return Ok(());
             }
         };
-        let cfg = OptimizerConfig::new(self.range);
+        let mut cfg = OptimizerConfig::new(self.range);
+        cfg.parallelism = self.parallelism;
         let optimized = match optimize(&graph, &CatalogRef(&self.catalog), &cfg) {
             Ok(o) => o,
             Err(e) => {
@@ -182,7 +196,7 @@ fn main() {
         }
     };
 
-    let mut shell = Shell { catalog, range, limit: 20 };
+    let mut shell = Shell { catalog, range, limit: 20, parallelism: 1 };
     println!("seqsh — world {world} (scale {scale}), range {range}. \\tables to inspect, \\quit to exit.");
 
     if !inline.is_empty() {

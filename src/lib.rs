@@ -58,8 +58,9 @@ pub mod prelude {
         SeqMeta, Sequence, Span, Value,
     };
     pub use seq_exec::{
-        execute, execute_batched, execute_batched_with, execute_within, probe_positions,
-        AggStrategy, ExecContext, JoinStrategy, PhysNode, PhysPlan, ValueOffsetStrategy,
+        execute, execute_batched, execute_batched_with, execute_parallel, execute_parallel_with,
+        execute_within, probe_positions, AggStrategy, ExecContext, JoinStrategy, ParallelConfig,
+        PhysNode, PhysPlan, ValueOffsetStrategy,
     };
     pub use seq_ops::{
         AggFunc, BinOp, Expr, QueryGraph, ReferenceEvaluator, SeqOperator, SeqQuery, Window,
