@@ -1,0 +1,84 @@
+//! Validate emitted profile JSON files (CI smoke check).
+//!
+//! Usage: `profile_check FILE...` — each file must parse as JSON and contain
+//! either a bare `QueryProfile` export or an EXPLAIN ANALYZE report that
+//! embeds one under `"profile"`. Exits non-zero with a message on the first
+//! violation; prints a one-line summary per valid file.
+
+use std::process::ExitCode;
+
+use seq_bench::json::{parse, Json};
+
+fn check_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = parse(&text)?;
+    // An analyze report embeds the profile; a bare export IS the profile.
+    let profile = doc.get("profile").unwrap_or(&doc);
+    if profile.get("profile_version").and_then(Json::as_f64) != Some(1.0) {
+        return Err("missing or unexpected profile_version".into());
+    }
+    let ops = profile.get("operators").and_then(Json::as_array).ok_or("missing operators array")?;
+    if ops.is_empty() {
+        return Err("empty operators array".into());
+    }
+    for (i, op) in ops.iter().enumerate() {
+        for key in ["rows_out", "calls", "busy_ms", "page_reads", "predicate_evals"] {
+            if op.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!("operator {i} missing numeric {key:?}"));
+            }
+        }
+        if op.get("label").and_then(Json::as_str).is_none() {
+            return Err(format!("operator {i} missing label"));
+        }
+        let children = op.get("children").and_then(Json::as_array).unwrap_or(&[]);
+        for c in children {
+            match c.as_f64() {
+                Some(id) if (id as usize) < ops.len() && id > i as f64 => {}
+                _ => return Err(format!("operator {i} has an out-of-range child id")),
+            }
+        }
+    }
+    let workers = profile.get("workers").and_then(Json::as_array).unwrap_or(&[]);
+    for (i, w) in workers.iter().enumerate() {
+        for key in ["worker", "morsels", "rows", "busy_ms", "claim_wait_ms"] {
+            if w.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!("worker {i} missing numeric {key:?}"));
+            }
+        }
+    }
+    // Worker rows and morsels must reconcile with the plan totals.
+    if !workers.is_empty() {
+        let claimed: f64 =
+            workers.iter().filter_map(|w| w.get("morsels").and_then(Json::as_f64)).sum();
+        let planned = profile.get("morsels_planned").and_then(Json::as_f64).unwrap_or(0.0);
+        if claimed != planned {
+            return Err(format!("workers claimed {claimed} morsels but {planned} were planned"));
+        }
+        let worker_rows: f64 =
+            workers.iter().filter_map(|w| w.get("rows").and_then(Json::as_f64)).sum();
+        let root_rows = ops[0].get("rows_out").and_then(Json::as_f64).unwrap_or(-1.0);
+        if worker_rows != root_rows {
+            return Err(format!("worker rows {worker_rows} != root rows_out {root_rows}"));
+        }
+    }
+    let rows = ops[0].get("rows_out").and_then(Json::as_f64).unwrap_or(0.0);
+    Ok(format!("{} operators, {} workers, root rows_out={rows}", ops.len(), workers.len()))
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: profile_check FILE...");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        match check_file(path) {
+            Ok(summary) => println!("{path}: OK ({summary})"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -41,4 +41,7 @@ fn main() {
     if want("e11") {
         e11_buffer_pool::print(&e11_buffer_pool::run());
     }
+    if want("e14") {
+        e14_profile::run_and_print();
+    }
 }

@@ -851,3 +851,44 @@ pub mod e11_buffer_pool {
         }
     }
 }
+
+// ===========================================================================
+// E14 — seq-trace: per-operator estimate vs. actual (cost-model validation).
+// ===========================================================================
+pub mod e14_profile {
+    use super::*;
+    use seq_exec::ExecContext;
+    use seq_opt::{explain_analyze, AnalyzeReport};
+    use seq_workload::table1_catalog;
+
+    /// Run the golden-cross query (two moving averages composed under a
+    /// predicate) under EXPLAIN ANALYZE and return the report. The compose's
+    /// predicate compares two derived aggregates, so its selectivity
+    /// estimate falls back to the default comparison guess — a deliberate
+    /// stress on the Step-2.a estimator.
+    pub fn run(scale: i64) -> (AnalyzeReport, String) {
+        let catalog = table1_catalog(scale, 42, 64);
+        let query = queries::golden_cross("IBM", 4, 16, 0.0);
+        let range = catalog.meta("IBM").expect("registered").span;
+        let cfg = OptimizerConfig::new(range);
+        let opt = optimize(&query, &CatalogRef(&catalog), &cfg).unwrap();
+        catalog.reset_measurement();
+        let mut ctx = ExecContext::new(&catalog);
+        let report = explain_analyze(&opt, &mut ctx, &cfg.cost).unwrap();
+        (report, opt.exec_mode.to_string())
+    }
+
+    /// Print the annotated plan and write the JSON export next to the other
+    /// `BENCH_*.json` artifacts.
+    pub fn run_and_print() {
+        let (report, exec_mode) = run(40);
+        println!(
+            "\nE14 — seq-trace: per-operator estimate vs. actual (golden cross, table1 scale 40)"
+        );
+        println!("expectation: dense uniform inputs estimate well; the compose predicate over two derived\naggregates falls back to the default comparison selectivity (1/3) and under-estimates —\nthe per-operator counters localize the error to the cardinality guess, not the cost weights\n");
+        print!("{}", report.text);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../PROFILE_e14.json");
+        std::fs::write(path, report.to_json(&exec_mode)).expect("write PROFILE_e14.json");
+        println!("wrote {path}");
+    }
+}

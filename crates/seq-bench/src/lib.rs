@@ -11,6 +11,7 @@
 //! counters are deterministic, so every table is exactly reproducible.
 
 pub mod experiments;
+pub mod json;
 
 pub use experiments::*;
 
@@ -61,6 +62,28 @@ pub fn measure(catalog: &Catalog, plan: &PhysPlan) -> Measured {
         exec: ctx.stats.snapshot(),
         wall,
     }
+}
+
+/// [`measure`] with seq-trace profiling enabled: identical results and
+/// identical global counters (profiling scopes tee into them), plus the
+/// per-operator attribution in the returned [`seq_exec::QueryProfile`].
+pub fn measure_profiled(
+    catalog: &Catalog,
+    plan: &PhysPlan,
+) -> (Measured, std::sync::Arc<seq_exec::QueryProfile>) {
+    catalog.reset_measurement();
+    let mut ctx = ExecContext::new(catalog);
+    let profile = ctx.enable_profiling(plan);
+    let start = std::time::Instant::now();
+    let rows = execute(plan, &ctx).expect("plan executes");
+    let wall = start.elapsed();
+    let measured = Measured {
+        rows: rows.len(),
+        storage: catalog.stats().snapshot(),
+        exec: ctx.stats.snapshot(),
+        wall,
+    };
+    (measured, profile)
 }
 
 /// Bounded span helper for ranges derived from a catalog.

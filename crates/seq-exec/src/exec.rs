@@ -27,6 +27,11 @@ pub fn execute(plan: &PhysPlan, ctx: &ExecContext<'_>) -> Result<Vec<(i64, Recor
     let mut item = cursor.next_from(range.start())?;
     while let Some((pos, rec)) = item {
         if pos > range.end() {
+            // The driver discards this row; keep the profiled root's
+            // rows_out equal to the records actually output.
+            if let Some(p) = &ctx.profile {
+                p.uncount_root_rows(1);
+            }
             break;
         }
         ctx.stats.record_output();
@@ -66,9 +71,17 @@ pub fn execute_batched_with(
     let mut item = cursor.next_batch_from(range.start())?;
     while let Some(mut batch) = item {
         if batch.first_pos().is_some_and(|p| p > range.end()) {
+            // Entirely past the range: the driver discards the batch.
+            if let Some(p) = &ctx.profile {
+                p.uncount_root_rows(batch.len() as u64);
+            }
             break;
         }
+        let before = batch.len();
         batch.clamp_positions(range.start(), range.end());
+        if let Some(p) = &ctx.profile {
+            p.uncount_root_rows((before - batch.len()) as u64);
+        }
         ctx.stats.record_outputs(batch.len() as u64);
         batch.append_records_into(&mut out);
         item = cursor.next_batch()?;

@@ -18,7 +18,9 @@
 //!   operators over columnar [`seq_core::RecordBatch`]es, with adapters to
 //!   and from the record-at-a-time cursors at block boundaries;
 //! - [`parallel`] — morsel-driven parallel execution of position-
-//!   partitionable plans with an order-preserving bounded merge.
+//!   partitionable plans with an order-preserving bounded merge;
+//! - [`profile`] — seq-trace: opt-in per-operator/per-worker instrumentation
+//!   ([`profile::QueryProfile`]) with hand-rolled JSON export.
 
 pub mod aggregate;
 pub mod batch;
@@ -30,6 +32,7 @@ pub mod incremental;
 pub mod offset;
 pub mod parallel;
 pub mod plan;
+pub mod profile;
 pub mod stats;
 
 pub use batch::{BatchCursor, BatchToRecordCursor, RecordToBatchCursor, DEFAULT_BATCH_SIZE};
@@ -43,4 +46,5 @@ pub use exec::{
 pub use incremental::{replay, Emission, TriggerEngine};
 pub use parallel::{execute_parallel_with, plan_morsels, ParallelConfig};
 pub use plan::{AggStrategy, ExecContext, JoinStrategy, PhysNode, PhysPlan, ValueOffsetStrategy};
+pub use profile::{OpReport, QueryProfile, WorkerProfile};
 pub use stats::{ExecSnapshot, ExecStats};

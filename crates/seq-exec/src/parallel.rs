@@ -21,6 +21,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 use seq_core::{Record, RecordBatch, Result, SeqError, Span};
 
@@ -216,9 +217,17 @@ fn run_morsel(
     let mut item = cursor.next_batch_from(morsel.start())?;
     while let Some(mut batch) = item {
         if batch.first_pos().is_some_and(|p| p > morsel.end()) {
+            // Entirely past the morsel: the driver discards the batch.
+            if let Some(p) = &ctx.profile {
+                p.uncount_root_rows(batch.len() as u64);
+            }
             break;
         }
+        let before = batch.len();
         batch.clamp_positions(morsel.start(), morsel.end());
+        if let Some(p) = &ctx.profile {
+            p.uncount_root_rows((before - batch.len()) as u64);
+        }
         if !batch.is_empty() {
             ctx.stats.record_outputs(batch.len() as u64);
             out.push(batch);
@@ -266,20 +275,52 @@ pub fn execute_parallel_with(
     }
     let workers = config.workers.min(morsels.len());
     let queue = MergeQueue::new(morsels.len(), workers * 2 + 2);
+    if let Some(p) = &ctx.profile {
+        p.record_morsels_planned(morsels.len() as u64);
+    }
 
     let mut out = Vec::new();
     let merged: Result<()> = std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                while let Some(idx) = queue.claim() {
+        for w in 0..workers {
+            let (queue, morsels, profile) = (&queue, &morsels, ctx.profile.as_deref());
+            scope.spawn(move || {
+                let mut local = crate::profile::WorkerProfile { worker: w, ..Default::default() };
+                loop {
+                    let idx = match profile {
+                        Some(_) => {
+                            let wait = Instant::now();
+                            let idx = queue.claim();
+                            local.claim_wait += wait.elapsed();
+                            idx
+                        }
+                        None => queue.claim(),
+                    };
+                    let Some(idx) = idx else { break };
+                    let busy = profile.map(|_| Instant::now());
                     let result = run_morsel(plan, ctx, morsels[idx], batch_size);
+                    if let Some(busy) = busy {
+                        local.busy += busy.elapsed();
+                        local.morsels += 1;
+                        if let Ok(batches) = &result {
+                            local.rows += batches.iter().map(|b| b.len() as u64).sum::<u64>();
+                        }
+                    }
                     queue.complete(idx, result);
+                }
+                if let Some(p) = profile {
+                    p.record_worker(local);
                 }
             });
         }
         // Merge on this thread, in morsel order.
+        let profile = ctx.profile.as_deref();
         loop {
-            match queue.take_next() {
+            let wait = profile.map(|_| Instant::now());
+            let next = queue.take_next();
+            if let (Some(p), Some(wait)) = (profile, wait) {
+                p.record_merge_wait(wait.elapsed().as_nanos() as u64);
+            }
+            match next {
                 Ok(Some(batches)) => {
                     for batch in &batches {
                         batch.append_records_into(&mut out);

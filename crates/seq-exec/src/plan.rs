@@ -28,6 +28,7 @@ use crate::cursor::{
     PosOffsetProbe, ProjectCursor, ProjectProbe, SelectCursor, SelectProbe,
 };
 use crate::offset::{IncrementalValueOffsetCursor, NaiveValueOffsetCursor, ValueOffsetProbe};
+use crate::profile::QueryProfile;
 use crate::stats::ExecStats;
 
 /// How a compose is evaluated (§3.3).
@@ -162,11 +163,63 @@ impl PhysNode {
         }
     }
 
+    /// Number of nodes in this subtree. Profiling identifies nodes by their
+    /// pre-order position (root 0, children after their parent, left subtree
+    /// before right); a node's second child starts at
+    /// `id + 1 + first_child.subtree_size()`.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.subtree_size()).sum::<usize>()
+    }
+
+    /// The node's direct children, left to right.
+    pub fn children(&self) -> Vec<&PhysNode> {
+        match self {
+            PhysNode::Base { .. } | PhysNode::Constant { .. } => Vec::new(),
+            PhysNode::Select { input, .. }
+            | PhysNode::Project { input, .. }
+            | PhysNode::PosOffset { input, .. }
+            | PhysNode::ValueOffset { input, .. }
+            | PhysNode::Aggregate { input, .. } => vec![input],
+            PhysNode::Compose { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// One-line operator description, as used by the EXPLAIN rendering and
+    /// the profiler's per-operator labels.
+    pub fn label(&self) -> String {
+        match self {
+            PhysNode::Base { name, .. } => format!("BaseScan({name})"),
+            PhysNode::Constant { record, .. } => format!("Constant({record})"),
+            PhysNode::Select { predicate, .. } => format!("Select({predicate})"),
+            PhysNode::Project { indices, .. } => {
+                let idx: Vec<String> = indices.iter().map(|i| format!("${i}")).collect();
+                format!("Project({})", idx.join(", "))
+            }
+            PhysNode::PosOffset { offset, .. } => format!("PosOffset({offset:+})"),
+            PhysNode::ValueOffset { offset, strategy, .. } => {
+                format!("ValueOffset({offset:+}) [{strategy:?}]")
+            }
+            PhysNode::Aggregate { func, attr_index, window, strategy, .. } => {
+                format!("{func}(${attr_index}) over {window} [{strategy:?}]")
+            }
+            PhysNode::Compose { predicate, strategy, .. } => {
+                let p = predicate.as_ref().map(|p| format!("[{p}] ")).unwrap_or_default();
+                format!("Compose {p}[{strategy:?}]")
+            }
+        }
+    }
+
     /// Open the node in stream mode.
     pub fn open_stream(&self, ctx: &ExecContext<'_>) -> Result<Box<dyn Cursor>> {
-        Ok(match self {
+        self.open_stream_at(ctx, 0)
+    }
+
+    /// [`PhysNode::open_stream`] with this node's pre-order id supplied, so a
+    /// profiling context can attribute work to plan nodes.
+    fn open_stream_at(&self, ctx: &ExecContext<'_>, id: usize) -> Result<Box<dyn Cursor>> {
+        let cursor: Box<dyn Cursor> = match self {
             PhysNode::Base { name, span } => {
-                let store = ctx.catalog.get(name)?;
+                let store = ctx.base_store(name, id)?;
                 let clamped = span.intersect(&seq_core::Sequence::meta(store.as_ref()).span);
                 Box::new(BaseStreamCursor::new(&store, clamped))
             }
@@ -174,89 +227,96 @@ impl PhysNode {
                 Box::new(ConstCursor::new(record.clone(), *span)?)
             }
             PhysNode::Select { input, predicate, .. } => Box::new(SelectCursor::new(
-                input.open_stream(ctx)?,
+                input.open_stream_at(ctx, id + 1)?,
                 predicate.clone(),
-                ctx.stats.clone(),
+                ctx.op_stats(id),
             )),
             PhysNode::Project { input, indices, .. } => {
-                Box::new(ProjectCursor::new(input.open_stream(ctx)?, indices.clone()))
+                Box::new(ProjectCursor::new(input.open_stream_at(ctx, id + 1)?, indices.clone()))
             }
             PhysNode::PosOffset { input, offset, span } => {
-                Box::new(PosOffsetCursor::new(input.open_stream(ctx)?, *offset, *span))
+                Box::new(PosOffsetCursor::new(input.open_stream_at(ctx, id + 1)?, *offset, *span))
             }
             PhysNode::ValueOffset { input, offset, strategy, span } => match strategy {
                 ValueOffsetStrategy::IncrementalCacheB => {
                     Box::new(IncrementalValueOffsetCursor::new(
-                        input.open_stream(ctx)?,
+                        input.open_stream_at(ctx, id + 1)?,
                         *offset,
                         *span,
-                        ctx.stats.clone(),
+                        ctx.op_stats(id),
                     )?)
                 }
                 ValueOffsetStrategy::NaiveProbe => Box::new(NaiveValueOffsetCursor::new(
-                    input.open_probe(ctx)?,
+                    input.open_probe_at(ctx, id + 1)?,
                     *offset,
                     input.span(),
                     *span,
-                    ctx.stats.clone(),
+                    ctx.op_stats(id),
                 )?),
             },
             PhysNode::Aggregate { input, func, attr_index, window, strategy, span } => {
                 match (strategy, window) {
                     (AggStrategy::NaiveProbe, _) => Box::new(NaiveAggCursor::new(
-                        input.open_probe(ctx)?,
+                        input.open_probe_at(ctx, id + 1)?,
                         *func,
                         *attr_index,
                         *window,
                         input.span(),
                         *span,
-                        ctx.stats.clone(),
+                        ctx.op_stats(id),
                     )?),
                     (_, Window::Sliding { .. }) => Box::new(WindowAggCursor::new(
-                        input.open_stream(ctx)?,
+                        input.open_stream_at(ctx, id + 1)?,
                         *func,
                         *attr_index,
                         *window,
                         *span,
                         *strategy == AggStrategy::CacheAIncremental,
-                        ctx.stats.clone(),
+                        ctx.op_stats(id),
                     )?),
                     (_, Window::Cumulative) => Box::new(CumulativeAggCursor::new(
-                        input.open_stream(ctx)?,
+                        input.open_stream_at(ctx, id + 1)?,
                         *func,
                         *attr_index,
                         *span,
                     )?),
                     (_, Window::WholeSpan) => Box::new(WholeSpanAggCursor::new(
-                        input.open_stream(ctx)?,
+                        input.open_stream_at(ctx, id + 1)?,
                         *func,
                         *attr_index,
                         *span,
                     )?),
                 }
             }
-            PhysNode::Compose { left, right, predicate, strategy, .. } => match strategy {
-                JoinStrategy::LockStep => Box::new(LockStepJoin::new(
-                    left.open_stream(ctx)?,
-                    right.open_stream(ctx)?,
-                    predicate.clone(),
-                    ctx.stats.clone(),
-                )),
-                JoinStrategy::StreamLeftProbeRight => Box::new(StreamProbeJoin::new(
-                    left.open_stream(ctx)?,
-                    right.open_probe(ctx)?,
-                    StreamSide::Left,
-                    predicate.clone(),
-                    ctx.stats.clone(),
-                )),
-                JoinStrategy::StreamRightProbeLeft => Box::new(StreamProbeJoin::new(
-                    right.open_stream(ctx)?,
-                    left.open_probe(ctx)?,
-                    StreamSide::Right,
-                    predicate.clone(),
-                    ctx.stats.clone(),
-                )),
-            },
+            PhysNode::Compose { left, right, predicate, strategy, .. } => {
+                let right_id = id + 1 + left.subtree_size();
+                match strategy {
+                    JoinStrategy::LockStep => Box::new(LockStepJoin::new(
+                        left.open_stream_at(ctx, id + 1)?,
+                        right.open_stream_at(ctx, right_id)?,
+                        predicate.clone(),
+                        ctx.op_stats(id),
+                    )),
+                    JoinStrategy::StreamLeftProbeRight => Box::new(StreamProbeJoin::new(
+                        left.open_stream_at(ctx, id + 1)?,
+                        right.open_probe_at(ctx, right_id)?,
+                        StreamSide::Left,
+                        predicate.clone(),
+                        ctx.op_stats(id),
+                    )),
+                    JoinStrategy::StreamRightProbeLeft => Box::new(StreamProbeJoin::new(
+                        right.open_stream_at(ctx, right_id)?,
+                        left.open_probe_at(ctx, id + 1)?,
+                        StreamSide::Right,
+                        predicate.clone(),
+                        ctx.op_stats(id),
+                    )),
+                }
+            }
+        };
+        Ok(match &ctx.profile {
+            Some(p) => p.wrap_stream(id, cursor),
+            None => cursor,
         })
     }
 
@@ -390,32 +450,48 @@ impl PhysNode {
         ctx: &ExecContext<'_>,
         batch_size: usize,
     ) -> Result<Box<dyn BatchCursor>> {
+        self.open_batch_at(ctx, batch_size, 0)
+    }
+
+    /// [`PhysNode::open_batch`] with this node's pre-order id supplied, so a
+    /// profiling context can attribute work to plan nodes.
+    fn open_batch_at(
+        &self,
+        ctx: &ExecContext<'_>,
+        batch_size: usize,
+        id: usize,
+    ) -> Result<Box<dyn BatchCursor>> {
         if !self.is_batch_capable() {
-            return Ok(Box::new(RecordToBatchCursor::new(self.open_stream(ctx)?, batch_size)));
+            // The stream cursor underneath is already instrumented for this
+            // node id, so the adapter itself must not be wrapped again.
+            return Ok(Box::new(RecordToBatchCursor::new(
+                self.open_stream_at(ctx, id)?,
+                batch_size,
+            )));
         }
-        Ok(match self {
+        let cursor: Box<dyn BatchCursor> = match self {
             PhysNode::Base { name, span } => {
-                let store = ctx.catalog.get(name)?;
+                let store = ctx.base_store(name, id)?;
                 let clamped = span.intersect(&seq_core::Sequence::meta(store.as_ref()).span);
                 Box::new(BaseBatchCursor::new(&store, clamped, batch_size))
             }
             PhysNode::Select { input, predicate, .. } => Box::new(SelectBatchCursor::new(
-                input.open_batch(ctx, batch_size)?,
+                input.open_batch_at(ctx, batch_size, id + 1)?,
                 predicate.clone(),
-                ctx.stats.clone(),
+                ctx.op_stats(id),
             )),
             PhysNode::Project { input, indices, .. } => Box::new(ProjectBatchCursor::new(
-                input.open_batch(ctx, batch_size)?,
+                input.open_batch_at(ctx, batch_size, id + 1)?,
                 indices.clone(),
             )),
             PhysNode::PosOffset { input, offset, span } => Box::new(PosOffsetBatchCursor::new(
-                input.open_batch(ctx, batch_size)?,
+                input.open_batch_at(ctx, batch_size, id + 1)?,
                 *offset,
                 *span,
             )),
             PhysNode::Aggregate { input, func, attr_index, window, strategy, span } => {
                 Box::new(WindowAggBatchCursor::new(
-                    input.open_batch(ctx, batch_size)?,
+                    input.open_batch_at(ctx, batch_size, id + 1)?,
                     *func,
                     *attr_index,
                     *window,
@@ -427,6 +503,10 @@ impl PhysNode {
             PhysNode::Constant { .. } | PhysNode::ValueOffset { .. } | PhysNode::Compose { .. } => {
                 unreachable!("non-batch-capable nodes handled by the adapter fallback")
             }
+        };
+        Ok(match &ctx.profile {
+            Some(p) => p.wrap_batch(id, cursor),
+            None => cursor,
         })
     }
 
@@ -434,91 +514,67 @@ impl PhysNode {
     /// (the incremental algorithms are not usable under probed access,
     /// §4.1.2, so value offsets and aggregates fall back to naive walks).
     pub fn open_probe(&self, ctx: &ExecContext<'_>) -> Result<Box<dyn PointAccess>> {
-        Ok(match self {
+        self.open_probe_at(ctx, 0)
+    }
+
+    /// [`PhysNode::open_probe`] with this node's pre-order id supplied, so a
+    /// profiling context can attribute work to plan nodes.
+    fn open_probe_at(&self, ctx: &ExecContext<'_>, id: usize) -> Result<Box<dyn PointAccess>> {
+        let probe: Box<dyn PointAccess> = match self {
             PhysNode::Base { name, span } => {
-                let store = ctx.catalog.get(name)?;
+                let store = ctx.base_store(name, id)?;
                 let clamped = span.intersect(&seq_core::Sequence::meta(store.as_ref()).span);
                 Box::new(BaseProbe::new(store, clamped))
             }
             PhysNode::Constant { record, span } => Box::new(ConstProbe::new(record.clone(), *span)),
             PhysNode::Select { input, predicate, .. } => Box::new(SelectProbe::new(
-                input.open_probe(ctx)?,
+                input.open_probe_at(ctx, id + 1)?,
                 predicate.clone(),
-                ctx.stats.clone(),
+                ctx.op_stats(id),
             )),
             PhysNode::Project { input, indices, .. } => {
-                Box::new(ProjectProbe::new(input.open_probe(ctx)?, indices.clone()))
+                Box::new(ProjectProbe::new(input.open_probe_at(ctx, id + 1)?, indices.clone()))
             }
             PhysNode::PosOffset { input, offset, span } => {
-                Box::new(PosOffsetProbe::new(input.open_probe(ctx)?, *offset, *span))
+                Box::new(PosOffsetProbe::new(input.open_probe_at(ctx, id + 1)?, *offset, *span))
             }
             PhysNode::ValueOffset { input, offset, span, .. } => Box::new(ValueOffsetProbe::new(
-                input.open_probe(ctx)?,
+                input.open_probe_at(ctx, id + 1)?,
                 *offset,
                 input.span(),
                 *span,
-                ctx.stats.clone(),
+                ctx.op_stats(id),
             )),
             PhysNode::Aggregate { input, func, attr_index, window, span, .. } => {
                 Box::new(AggProbe::new(
-                    input.open_probe(ctx)?,
+                    input.open_probe_at(ctx, id + 1)?,
                     *func,
                     *attr_index,
                     *window,
                     input.span(),
                     *span,
-                    ctx.stats.clone(),
+                    ctx.op_stats(id),
                 ))
             }
             PhysNode::Compose { left, right, predicate, .. } => Box::new(ComposeProbe::new(
-                left.open_probe(ctx)?,
-                right.open_probe(ctx)?,
+                left.open_probe_at(ctx, id + 1)?,
+                right.open_probe_at(ctx, id + 1 + left.subtree_size())?,
                 predicate.clone(),
-                ctx.stats.clone(),
+                ctx.op_stats(id),
             )),
+        };
+        Ok(match &ctx.profile {
+            Some(p) => p.wrap_probe(id, probe),
+            None => probe,
         })
     }
 
     fn render_into(&self, depth: usize, out: &mut String) {
         use std::fmt::Write;
         let pad = "  ".repeat(depth);
-        match self {
-            PhysNode::Base { name, span } => {
-                let _ = writeln!(out, "{pad}BaseScan({name}) span={span}");
-            }
-            PhysNode::Constant { record, span } => {
-                let _ = writeln!(out, "{pad}Constant({record}) span={span}");
-            }
-            PhysNode::Select { input, predicate, span } => {
-                let _ = writeln!(out, "{pad}Select({predicate}) span={span}");
-                input.render_into(depth + 1, out);
-            }
-            PhysNode::Project { input, indices, span } => {
-                let idx: Vec<String> = indices.iter().map(|i| format!("${i}")).collect();
-                let _ = writeln!(out, "{pad}Project({}) span={span}", idx.join(", "));
-                input.render_into(depth + 1, out);
-            }
-            PhysNode::PosOffset { input, offset, span } => {
-                let _ = writeln!(out, "{pad}PosOffset({offset:+}) span={span}");
-                input.render_into(depth + 1, out);
-            }
-            PhysNode::ValueOffset { input, offset, strategy, span } => {
-                let _ = writeln!(out, "{pad}ValueOffset({offset:+}) [{strategy:?}] span={span}");
-                input.render_into(depth + 1, out);
-            }
-            PhysNode::Aggregate { input, func, attr_index, window, strategy, span } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}{func}(${attr_index}) over {window} [{strategy:?}] span={span}"
-                );
-                input.render_into(depth + 1, out);
-            }
-            PhysNode::Compose { left, right, predicate, strategy, span } => {
-                let p = predicate.as_ref().map(|p| format!("[{p}] ")).unwrap_or_default();
-                let _ = writeln!(out, "{pad}Compose {p}[{strategy:?}] span={span}");
-                left.render_into(depth + 1, out);
-                right.render_into(depth + 1, out);
-            }
+        let _ = writeln!(out, "{pad}{} span={}", self.label(), self.span());
+        for child in self.children() {
+            child.render_into(depth + 1, out);
         }
     }
 }
@@ -555,19 +611,63 @@ impl PhysPlan {
     }
 }
 
-/// The executor's environment: the catalog that resolves base sequences and
-/// the shared executor statistics.
+/// The executor's environment: the catalog that resolves base sequences, the
+/// shared executor statistics, and an optional per-operator profile.
 pub struct ExecContext<'a> {
     /// The catalog resolving base-sequence names.
     pub catalog: &'a seq_storage::Catalog,
     /// Shared executor counters.
     pub stats: ExecStats,
+    /// Per-operator instrumentation, when profiling is enabled
+    /// ([`ExecContext::enable_profiling`]). `None` keeps the open and
+    /// execute paths on their uninstrumented fast path.
+    pub profile: Option<std::sync::Arc<QueryProfile>>,
 }
 
 impl<'a> ExecContext<'a> {
     /// A context over `catalog` with fresh executor counters.
     pub fn new(catalog: &'a seq_storage::Catalog) -> ExecContext<'a> {
-        ExecContext { catalog, stats: ExecStats::new() }
+        ExecContext { catalog, stats: ExecStats::new(), profile: None }
+    }
+
+    /// A context over `catalog` charging into existing executor counters
+    /// (e.g. a shell session's cumulative stats).
+    pub fn with_stats(catalog: &'a seq_storage::Catalog, stats: ExecStats) -> ExecContext<'a> {
+        ExecContext { catalog, stats, profile: None }
+    }
+
+    /// Attach a fresh [`QueryProfile`] sized for `plan` and return it. Every
+    /// subsequent open/execute of `plan` through this context is
+    /// instrumented per operator; the query-wide [`ExecContext::stats`] and
+    /// catalog storage counters still accumulate exactly as unprofiled
+    /// (scoped counters tee into them).
+    pub fn enable_profiling(&mut self, plan: &PhysPlan) -> std::sync::Arc<QueryProfile> {
+        let profile = QueryProfile::for_plan(plan, &self.stats, self.catalog.stats());
+        self.profile = Some(std::sync::Arc::clone(&profile));
+        profile
+    }
+
+    /// The executor counters operator `id` should charge: its profiling
+    /// scope when profiling, the shared query counters otherwise.
+    fn op_stats(&self, id: usize) -> ExecStats {
+        match &self.profile {
+            Some(p) => p.exec_stats(id),
+            None => self.stats.clone(),
+        }
+    }
+
+    /// Resolve base sequence `name` for operator `id`, rebound to the
+    /// operator's scoped storage counters when profiling.
+    fn base_store(
+        &self,
+        name: &str,
+        id: usize,
+    ) -> Result<std::sync::Arc<seq_storage::StoredSequence>> {
+        let store = self.catalog.get(name)?;
+        Ok(match self.profile.as_ref().and_then(|p| p.storage_stats(id)) {
+            Some(scoped) => store.with_stats(scoped),
+            None => store,
+        })
     }
 }
 

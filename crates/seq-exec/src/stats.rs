@@ -30,9 +30,16 @@ struct ExecStatsInner {
 }
 
 /// Cheaply cloneable handle to shared executor counters.
+///
+/// A scoped handle ([`ExecStats::scoped`]) tees every charge into a parent
+/// context, so a profiler can attribute executor work (cache traffic,
+/// predicate applications) to a single operator while the query-wide totals
+/// stay exactly what they would be unscoped.
 #[derive(Debug, Clone, Default)]
 pub struct ExecStats {
     inner: Arc<ExecStatsInner>,
+    /// Parent counters every charge is forwarded to (profiling scopes).
+    parent: Option<Arc<ExecStatsInner>>,
 }
 
 impl ExecStats {
@@ -41,29 +48,51 @@ impl ExecStats {
         ExecStats::default()
     }
 
+    /// A scoped child of `parent`: charges accumulate here *and* forward to
+    /// the parent, so scoping never changes the parent's totals. The parent's
+    /// own parent (if any) is not chained — scopes are one level deep.
+    pub fn scoped(parent: &ExecStats) -> ExecStats {
+        ExecStats { inner: Arc::default(), parent: Some(Arc::clone(&parent.inner)) }
+    }
+
     /// Charge one record produced at the plan root.
     pub fn record_output(&self) {
         self.inner.output_records.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.output_records.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Charge one record stored in an operator cache.
     pub fn record_cache_store(&self) {
         self.inner.cache_stores.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.cache_stores.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Charge one associative cache lookup.
     pub fn record_cache_probe(&self) {
         self.inner.cache_probes.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.cache_probes.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Charge one predicate application (the K term).
     pub fn record_predicate_eval(&self) {
         self.inner.predicate_evals.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.predicate_evals.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Charge one position visited by a naive walk.
     pub fn record_naive_walk_step(&self) {
         self.inner.naive_walk_steps.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.naive_walk_steps.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Charge `n` output records with a single atomic add (batch path).
@@ -71,6 +100,10 @@ impl ExecStats {
         if n > 0 {
             self.inner.output_records.fetch_add(n, Ordering::Relaxed);
             self.inner.stat_folds.fetch_add(1, Ordering::Relaxed);
+            if let Some(p) = &self.parent {
+                p.output_records.fetch_add(n, Ordering::Relaxed);
+                p.stat_folds.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -79,6 +112,10 @@ impl ExecStats {
         if n > 0 {
             self.inner.predicate_evals.fetch_add(n, Ordering::Relaxed);
             self.inner.stat_folds.fetch_add(1, Ordering::Relaxed);
+            if let Some(p) = &self.parent {
+                p.predicate_evals.fetch_add(n, Ordering::Relaxed);
+                p.stat_folds.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -176,6 +213,29 @@ mod tests {
         assert_eq!(snap.output_records, 1024);
         assert_eq!(snap.predicate_evals, 512);
         assert_eq!(snap.stat_folds, 2);
+    }
+
+    #[test]
+    fn scoped_stats_tee_into_parent() {
+        let global = ExecStats::new();
+        let a = ExecStats::scoped(&global);
+        let b = ExecStats::scoped(&global);
+        a.record_predicate_evals(100);
+        a.record_cache_probe();
+        b.record_predicate_eval();
+        global.record_output();
+        let (sa, sb, sg) = (a.snapshot(), b.snapshot(), global.snapshot());
+        assert_eq!(sa.predicate_evals, 100);
+        assert_eq!(sa.cache_probes, 1);
+        assert_eq!(sb.predicate_evals, 1);
+        assert_eq!(sg.predicate_evals, 101);
+        assert_eq!(sg.cache_probes, 1);
+        assert_eq!(sg.output_records, 1);
+        assert_eq!(sg.stat_folds, 1); // only the folded add counts a fold
+                                      // Resetting a scope leaves the global totals untouched.
+        a.reset();
+        assert_eq!(a.snapshot(), ExecSnapshot::default());
+        assert_eq!(global.snapshot().predicate_evals, 101);
     }
 
     #[test]

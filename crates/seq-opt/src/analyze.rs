@@ -1,0 +1,390 @@
+//! EXPLAIN ANALYZE: run a plan under seq-trace instrumentation and render
+//! the Step-6 plan annotated with actuals next to the optimizer's estimates.
+//!
+//! The §4.1 cost model prices counted quantities — pages, records, predicate
+//! applications, cache operations. [`explain_analyze`] executes the chosen
+//! plan with a [`QueryProfile`] attached, re-derives the optimizer's
+//! per-operator cardinality estimates (the Step-2.a meta-data rules of
+//! `seq_ops::spanrules`, applied to the *physical* tree), and puts the two
+//! side by side: estimated rows vs. actual rows per operator (divergence
+//! flagged), and the plan's estimated cost vs. the cost-model price of the
+//! *measured* counters. That last comparison validates the model itself: if
+//! the estimated and measured prices differ, the estimation (not the
+//! weights) is off; if measured price and wall time rank plans differently,
+//! the weights are off.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use seq_core::{Result, SeqMeta};
+use seq_exec::{ExecContext, PhysNode, QueryProfile};
+use seq_ops::Window;
+
+use crate::cost::CostParams;
+use crate::info::{CatalogInfo, CatalogRef};
+use crate::planner::Optimized;
+
+/// Estimate/actual row counts are flagged as divergent when they disagree by
+/// more than this factor (on +1-smoothed counts, so empty operators don't
+/// divide by zero).
+pub const DIVERGENCE_FACTOR: f64 = 2.0;
+
+/// One operator's estimate-vs-actual comparison.
+#[derive(Debug, Clone)]
+pub struct OpAnalysis {
+    /// Pre-order node id (matches [`QueryProfile`] ids).
+    pub id: usize,
+    /// Optimizer-estimated output rows (Step 2.a meta-data rules).
+    pub est_rows: f64,
+    /// Measured output rows.
+    pub actual_rows: u64,
+    /// Whether estimate and actual disagree by more than
+    /// [`DIVERGENCE_FACTOR`].
+    pub divergent: bool,
+}
+
+/// The result of [`explain_analyze`]: the query output plus the annotated
+/// plan, per-operator comparisons, and the raw profile.
+pub struct AnalyzeReport {
+    /// The query result rows.
+    pub rows: Vec<(i64, seq_core::Record)>,
+    /// End-to-end wall time of the execution.
+    pub wall: std::time::Duration,
+    /// The optimizer's estimated cost of the executed (stream) plan.
+    pub est_cost: f64,
+    /// The §4.1 cost model priced on the *measured* counters.
+    pub measured_cost: f64,
+    /// Per-operator estimate-vs-actual comparisons, in pre-order.
+    pub per_op: Vec<OpAnalysis>,
+    /// The raw per-operator/per-worker profile.
+    pub profile: Arc<QueryProfile>,
+    /// Human-readable annotated plan (the `\analyze` output).
+    pub text: String,
+}
+
+impl AnalyzeReport {
+    /// Machine-readable JSON export: summary + per-operator comparisons +
+    /// the embedded [`QueryProfile::to_json`] object. Hand-rolled, no serde.
+    pub fn to_json(&self, exec_mode: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"exec_mode\": \"{}\",\n  \"rows\": {},\n  \"wall_ms\": {:.3},\n  \
+             \"est_cost\": {:.3},\n  \"measured_cost\": {:.3},\n  \"estimates\": [",
+            exec_mode,
+            self.rows.len(),
+            self.wall.as_secs_f64() * 1e3,
+            self.est_cost,
+            self.measured_cost
+        );
+        for (i, op) in self.per_op.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"id\": {}, \"est_rows\": {:.1}, \"actual_rows\": {}, \
+                 \"divergent\": {}}}",
+                op.id, op.est_rows, op.actual_rows, op.divergent
+            );
+        }
+        out.push_str("\n  ],\n  \"profile\": ");
+        // QueryProfile::to_json emits a complete object; indentation inside
+        // it is cosmetic only.
+        out.push_str(self.profile.to_json().trim_end());
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Run the optimized plan on its Step-6 execution path with per-operator
+/// instrumentation, and compare the optimizer's estimates against actuals.
+///
+/// Charges `ctx`'s executor and catalog counters exactly as an unprofiled
+/// run would (profiling scopes tee into them); `ctx` is left unprofiled on
+/// return.
+pub fn explain_analyze(
+    opt: &Optimized,
+    ctx: &mut ExecContext<'_>,
+    params: &CostParams,
+) -> Result<AnalyzeReport> {
+    let info = CatalogRef(ctx.catalog);
+    let mut est_rows = Vec::with_capacity(opt.plan.root.subtree_size());
+    let root_meta = estimate_node(&opt.plan.root, &info, &mut est_rows)?;
+    // The Start operator clamps the root to the plan's position range.
+    let range = opt.plan.range.intersect(&opt.plan.root.span());
+    est_rows[0] = root_meta.restrict_span(&range).expected_records();
+
+    let profile = ctx.enable_profiling(&opt.plan);
+    let start = Instant::now();
+    let result = opt.execute(ctx);
+    let wall = start.elapsed();
+    ctx.profile = None;
+    let rows = result?;
+
+    let measured_cost = measured_model_cost(&profile, params);
+    let per_op: Vec<OpAnalysis> = profile
+        .op_reports()
+        .iter()
+        .zip(&est_rows)
+        .enumerate()
+        .map(|(id, (op, &est))| {
+            let ratio = (op.rows_out as f64 + 1.0) / (est + 1.0);
+            OpAnalysis {
+                id,
+                est_rows: est,
+                actual_rows: op.rows_out,
+                divergent: !(1.0 / DIVERGENCE_FACTOR..=DIVERGENCE_FACTOR).contains(&ratio),
+            }
+        })
+        .collect();
+
+    let text = render(opt, &profile, &per_op, rows.len(), wall, measured_cost);
+    Ok(AnalyzeReport { rows, wall, est_cost: opt.est_cost, measured_cost, per_op, profile, text })
+}
+
+/// Price the measured counters with the §4.1 cost model (same formula the
+/// benchmark harness uses for estimate-vs-measured comparisons).
+fn measured_model_cost(profile: &QueryProfile, p: &CostParams) -> f64 {
+    let st = profile.total_storage();
+    let ex = profile.total_exec();
+    let probe_pages = st.probes.min(st.page_reads);
+    let stream_pages = st.page_reads - probe_pages;
+    stream_pages as f64 * p.seq_page_io
+        + st.probes as f64 * p.rand_page_io
+        + st.stream_records as f64 * p.record_cpu
+        + ex.predicate_evals as f64 * p.predicate_k
+        + (ex.cache_stores + ex.cache_probes) as f64 * p.cache_op
+}
+
+/// Bottom-up per-node output meta-data over the *physical* tree, mirroring
+/// the Step-2.a rules (`seq_ops::spanrules::output_meta`). Fills `est_rows`
+/// in pre-order (the profiler's node ids) and returns the node's meta.
+fn estimate_node(
+    node: &PhysNode,
+    info: &dyn CatalogInfo,
+    est_rows: &mut Vec<f64>,
+) -> Result<SeqMeta> {
+    let id = est_rows.len();
+    est_rows.push(0.0);
+    let meta = match node {
+        PhysNode::Base { name, span } => info.meta_of(name)?.restrict_span(span),
+        PhysNode::Constant { span, .. } => SeqMeta::with_span(*span, 1.0),
+        PhysNode::Select { input, predicate, span } => {
+            let m = estimate_node(input, info, est_rows)?;
+            let sel = predicate.estimate_selectivity(&m);
+            SeqMeta::new(*span, m.density * sel, m.columns)
+        }
+        PhysNode::Project { input, indices, span } => {
+            let m = estimate_node(input, info, est_rows)?;
+            let columns = indices.iter().map(|&i| m.column(i)).collect();
+            SeqMeta::new(*span, m.density, columns)
+        }
+        PhysNode::PosOffset { input, span, .. } => {
+            let m = estimate_node(input, info, est_rows)?;
+            SeqMeta::new(*span, m.density, m.columns)
+        }
+        PhysNode::ValueOffset { input, span, .. } => {
+            // Defined at (almost) every position once |offset| records have
+            // appeared: density approaches one within the output span.
+            let m = estimate_node(input, info, est_rows)?;
+            SeqMeta::new(*span, 1.0, m.columns)
+        }
+        PhysNode::Aggregate { input, window, span, .. } => {
+            let m = estimate_node(input, info, est_rows)?;
+            let density = match window {
+                Window::Sliding { lo, hi } => {
+                    let w = (hi - lo).unsigned_abs() + 1;
+                    // Null only if all w scope positions are Null.
+                    1.0 - (1.0 - m.density).powi(w.min(1_000_000) as i32)
+                }
+                Window::Cumulative | Window::WholeSpan => 1.0,
+            };
+            SeqMeta::new(*span, density, vec![])
+        }
+        PhysNode::Compose { left, right, predicate, span, .. } => {
+            let lm = estimate_node(left, info, est_rows)?;
+            let rm = estimate_node(right, info, est_rows)?;
+            let mut columns = lm.columns.clone();
+            columns.extend(rm.columns.iter().cloned());
+            let composed = SeqMeta::new(*span, 1.0, columns);
+            let sel = predicate.as_ref().map(|p| p.estimate_selectivity(&composed)).unwrap_or(1.0);
+            SeqMeta::new(*span, lm.density * rm.density * sel, composed.columns)
+        }
+    };
+    est_rows[id] = meta.expected_records();
+    Ok(meta)
+}
+
+/// Render the annotated plan: the Step-6 tree with, under each operator,
+/// estimated vs. actual rows (divergence flagged `<<`), wall time, and the
+/// attributed executor/storage counters.
+fn render(
+    opt: &Optimized,
+    profile: &QueryProfile,
+    per_op: &[OpAnalysis],
+    out_rows: usize,
+    wall: std::time::Duration,
+    measured_cost: f64,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "EXPLAIN ANALYZE  mode={}  wall={:.3}ms  rows={}",
+        opt.exec_mode,
+        wall.as_secs_f64() * 1e3,
+        out_rows
+    );
+    let _ = writeln!(out, "Start range={}", opt.plan.range);
+    for (op, a) in profile.op_reports().iter().zip(per_op) {
+        let pad = "  ".repeat(op.depth + 1);
+        let _ = writeln!(out, "{pad}{} span={}", op.label, op.span);
+        let flag = if a.divergent { "  << divergent" } else { "" };
+        let _ = write!(
+            out,
+            "{pad}  est rows={:.1}  actual rows={}{flag}\n{pad}  time={:.3}ms calls={}",
+            a.est_rows,
+            a.actual_rows,
+            op.busy.as_secs_f64() * 1e3,
+            op.calls
+        );
+        if op.batches_out > 0 {
+            let _ = write!(out, " batches={}", op.batches_out);
+        }
+        if op.exec.predicate_evals > 0 {
+            let _ = write!(out, " preds={}", op.exec.predicate_evals);
+        }
+        if op.exec.cache_probes + op.exec.cache_stores > 0 {
+            let _ = write!(out, " cache={}p/{}s", op.exec.cache_probes, op.exec.cache_stores);
+        }
+        if op.exec.naive_walk_steps > 0 {
+            let _ = write!(out, " naive_steps={}", op.exec.naive_walk_steps);
+        }
+        if op.touches_storage {
+            let _ = write!(
+                out,
+                " pages={}r/{}h probes={} stream_recs={}",
+                op.storage.page_reads,
+                op.storage.page_hits,
+                op.storage.probes,
+                op.storage.stream_records
+            );
+        }
+        let _ = writeln!(out);
+    }
+    let workers = profile.worker_reports();
+    if !workers.is_empty() {
+        let _ = writeln!(
+            out,
+            "parallel: {} morsels over {} workers, merge wait {:.3}ms",
+            profile.morsels_planned(),
+            workers.len(),
+            profile.merge_wait().as_secs_f64() * 1e3
+        );
+        for w in &workers {
+            let _ = writeln!(
+                out,
+                "  worker {}: morsels={} rows={} busy={:.3}ms claim_wait={:.3}ms",
+                w.worker,
+                w.morsels,
+                w.rows,
+                w.busy.as_secs_f64() * 1e3,
+                w.claim_wait.as_secs_f64() * 1e3
+            );
+        }
+    }
+    let ratio = if opt.est_cost > 0.0 { measured_cost / opt.est_cost } else { f64::NAN };
+    let _ = writeln!(
+        out,
+        "cost: estimated={:.1}  measured(model)={:.1}  ratio={:.2}{}",
+        opt.est_cost,
+        measured_cost,
+        ratio,
+        if !(1.0 / DIVERGENCE_FACTOR..=DIVERGENCE_FACTOR).contains(&ratio) {
+            "  << divergent"
+        } else {
+            ""
+        }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{optimize, OptimizerConfig};
+    use seq_core::{record, schema, AttrType, BaseSequence, Span};
+    use seq_lang::parse_query;
+    use seq_storage::Catalog;
+
+    // Large enough that the parallel driver splits the range into several
+    // default-sized morsels (each a batch-size multiple).
+    const N: i64 = 5_000;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.set_page_capacity(16);
+        let base = BaseSequence::from_entries(
+            schema(&[("time", AttrType::Int), ("close", AttrType::Float)]),
+            (1..=N).map(|p| (p, record![p, (p % 100) as f64])).collect(),
+        )
+        .unwrap();
+        c.register("S", &base);
+        c
+    }
+
+    fn analyze(query: &str, parallelism: usize) -> (AnalyzeReport, Optimized) {
+        let c = catalog();
+        let q = parse_query(query).unwrap();
+        let mut cfg = OptimizerConfig::new(Span::new(1, N));
+        cfg.parallelism = parallelism.max(1);
+        let opt = optimize(&q, &CatalogRef(&c), &cfg).unwrap();
+        let mut ctx = ExecContext::new(&c);
+        let report = explain_analyze(&opt, &mut ctx, &cfg.cost).unwrap();
+        (report, opt)
+    }
+
+    #[test]
+    fn annotates_estimates_and_actuals() {
+        let (report, opt) =
+            analyze("(select (> avg_close 49.0) (agg avg close (trailing 8) (base S)))", 0);
+        // Root select: ~50% selectivity over a dense aggregate.
+        assert_eq!(report.per_op.len(), opt.plan.root.subtree_size());
+        assert!(report.rows.len() > 200);
+        assert_eq!(report.per_op[0].actual_rows, report.rows.len() as u64);
+        assert!(report.per_op[0].est_rows > 0.0);
+        assert!(!report.per_op[0].divergent, "uniform data should estimate well");
+        assert!(report.text.contains("est rows="));
+        assert!(report.text.contains("actual rows="));
+        assert!(report.text.contains("cost: estimated="));
+        assert!(report.measured_cost > 0.0);
+    }
+
+    #[test]
+    fn parallel_path_reports_workers() {
+        let (report, opt) =
+            analyze("(select (> avg_close 49.0) (agg avg close (trailing 8) (base S)))", 2);
+        assert!(matches!(opt.exec_mode, crate::lowering::ExecMode::Parallel { .. }));
+        let workers = report.profile.worker_reports();
+        assert_eq!(workers.len(), 2);
+        let claimed: u64 = workers.iter().map(|w| w.morsels).sum();
+        assert_eq!(claimed, report.profile.morsels_planned());
+        assert!(report.text.contains("worker 0:"));
+        // Root actuals survive the per-morsel clamping.
+        assert_eq!(report.per_op[0].actual_rows, report.rows.len() as u64);
+    }
+
+    #[test]
+    fn json_embeds_profile_and_estimates() {
+        let (report, opt) = analyze("(select (> close 90.0) (base S))", 0);
+        let json = report.to_json(&opt.exec_mode.to_string());
+        assert!(json.contains("\"est_cost\""));
+        assert!(json.contains("\"estimates\": ["));
+        assert!(json.contains("\"profile\": {"));
+        assert!(json.contains("\"profile_version\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -15,6 +15,7 @@
 //! Every technique is independently toggleable via
 //! [`planner::OptimizerConfig`] so experiments can ablate exactly one.
 
+pub mod analyze;
 pub mod annotate;
 pub mod blocks;
 pub mod cost;
@@ -24,6 +25,7 @@ pub mod planner;
 pub mod selinger;
 pub mod transform;
 
+pub use analyze::{explain_analyze, AnalyzeReport, OpAnalysis, DIVERGENCE_FACTOR};
 pub use annotate::{annotate, Annotated};
 pub use blocks::{identify_blocks, Block, Blocks, InputSource, JoinBlock, NonUnitBlock};
 pub use cost::{base_access_costs, price_join, AccessCosts, CostParams, JoinSide};

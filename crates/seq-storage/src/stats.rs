@@ -11,6 +11,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Shared atomic counters for one storage context (typically one catalog).
+///
+/// A scoped handle ([`AccessStats::scoped`]) tees every charge into a parent
+/// context, so a profiler can attribute page traffic to a single operator
+/// while the catalog-wide totals stay exactly what they would be unscoped.
 #[derive(Debug, Default)]
 pub struct AccessStats {
     /// Pages fetched from "disk" (buffer-pool misses, or every page access
@@ -28,6 +32,8 @@ pub struct AccessStats {
     /// charges `stream_records` once per batch instead of once per record;
     /// this counts those folds so tests can verify the batching contract.
     pub stat_folds: AtomicU64,
+    /// Parent context every charge is forwarded to (profiling scopes).
+    parent: Option<Arc<AccessStats>>,
 }
 
 impl AccessStats {
@@ -36,29 +42,50 @@ impl AccessStats {
         Arc::new(AccessStats::default())
     }
 
+    /// A scoped child of `parent`: charges accumulate here *and* forward to
+    /// the parent, so scoping never changes the parent's totals.
+    pub fn scoped(parent: &Arc<AccessStats>) -> Arc<AccessStats> {
+        Arc::new(AccessStats { parent: Some(Arc::clone(parent)), ..AccessStats::default() })
+    }
+
     /// Charge one page read (buffer miss).
     pub fn record_page_read(&self) {
         self.page_reads.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.record_page_read();
+        }
     }
 
     /// Charge one buffer hit.
     pub fn record_page_hit(&self) {
         self.page_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.record_page_hit();
+        }
     }
 
     /// Charge one positional probe.
     pub fn record_probe(&self) {
         self.probes.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.record_probe();
+        }
     }
 
     /// Charge one record yielded by a stream scan.
     pub fn record_stream_record(&self) {
         self.stream_records.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.record_stream_record();
+        }
     }
 
     /// Charge one scan opening.
     pub fn record_scan_opened(&self) {
         self.scans_opened.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.record_scan_opened();
+        }
     }
 
     /// Charge `n` stream records with a single atomic add (batch path).
@@ -66,6 +93,9 @@ impl AccessStats {
         if n > 0 {
             self.stream_records.fetch_add(n, Ordering::Relaxed);
             self.stat_folds.fetch_add(1, Ordering::Relaxed);
+            if let Some(p) = &self.parent {
+                p.record_stream_records(n);
+            }
         }
     }
 
@@ -182,6 +212,32 @@ mod tests {
         let delta = s.snapshot().since(&before);
         assert_eq!(delta.probes, 2);
         assert_eq!(delta.page_reads, 0);
+    }
+
+    #[test]
+    fn scoped_stats_tee_into_parent() {
+        let parent = AccessStats::new();
+        let a = AccessStats::scoped(&parent);
+        let b = AccessStats::scoped(&parent);
+        a.record_page_read();
+        a.record_stream_records(10);
+        b.record_probe();
+        parent.record_page_hit(); // direct charges still work
+        let (sa, sb, sp) = (a.snapshot(), b.snapshot(), parent.snapshot());
+        assert_eq!(sa.page_reads, 1);
+        assert_eq!(sa.stream_records, 10);
+        assert_eq!(sa.probes, 0);
+        assert_eq!(sb.probes, 1);
+        // Parent sees the union: its own charge plus both scopes.
+        assert_eq!(sp.page_reads, 1);
+        assert_eq!(sp.page_hits, 1);
+        assert_eq!(sp.probes, 1);
+        assert_eq!(sp.stream_records, 10);
+        assert_eq!(sp.stat_folds, 1);
+        // Resetting a scope leaves the parent untouched.
+        a.reset();
+        assert_eq!(a.snapshot(), StatsSnapshot::default());
+        assert_eq!(parent.snapshot().stream_records, 10);
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub struct StoredSequence {
     name: String,
     schema: Schema,
     meta: SeqMeta,
-    pages: Vec<Page>,
+    /// Shared behind an `Arc` so a re-statted view of the same physical
+    /// pages ([`StoredSequence::with_stats`]) costs no page copies.
+    pages: Arc<[Page]>,
     index: SparseIndex,
     record_count: u64,
     stats: Arc<AccessStats>,
@@ -67,12 +69,31 @@ impl StoredSequence {
             name: name.into(),
             schema: base.schema().clone(),
             meta: base.meta().clone(),
-            pages,
+            pages: pages.into(),
             index,
             record_count: entries.len() as u64,
             stats,
             buffer,
         }
+    }
+
+    /// A view of the same physical sequence charging a different statistics
+    /// context. Pages and buffer pool are shared (same `store_id`, so
+    /// hit/miss behavior is unchanged); only the counters charged differ.
+    /// Combined with [`AccessStats::scoped`], this is how a profiler
+    /// attributes page traffic to the one operator scanning this store.
+    pub fn with_stats(self: &Arc<Self>, stats: Arc<AccessStats>) -> Arc<StoredSequence> {
+        Arc::new(StoredSequence {
+            store_id: self.store_id,
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            meta: self.meta.clone(),
+            pages: Arc::clone(&self.pages),
+            index: self.index.clone(),
+            record_count: self.record_count,
+            stats,
+            buffer: self.buffer.clone(),
+        })
     }
 
     /// Catalog name of the sequence.
@@ -708,6 +729,27 @@ mod owned_scan_tests {
         let spans = s.partition_spans(Span::all(), 2);
         assert_eq!(spans[0].start(), 1);
         assert_eq!(spans.last().unwrap().end(), 100);
+    }
+
+    #[test]
+    fn with_stats_view_shares_pages_and_tees_charges() {
+        let (s, global) = stored(100, 1, 16);
+        let scope = AccessStats::scoped(&global);
+        let view = s.with_stats(scope.clone());
+        assert_eq!(view.store_id(), s.store_id());
+        assert_eq!(view.page_count(), s.page_count());
+        // Scan the view: the scope sees the traffic, and so does the global
+        // context (identical to scanning the original store).
+        let n = view.scan_owned(Span::new(1, 100)).count();
+        assert_eq!(n, 100);
+        assert_eq!(scope.snapshot().page_reads, 7);
+        assert_eq!(scope.snapshot().stream_records, 100);
+        assert_eq!(global.snapshot().page_reads, 7);
+        assert_eq!(global.snapshot().stream_records, 100);
+        // The original store still charges only the global context.
+        s.scan_owned(Span::new(1, 16)).count();
+        assert_eq!(scope.snapshot().page_reads, 7);
+        assert_eq!(global.snapshot().page_reads, 8);
     }
 
     #[test]

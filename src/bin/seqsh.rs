@@ -10,6 +10,12 @@
 //!
 //! - `\tables` — list base sequences with meta-data;
 //! - `\explain <query>` — show the optimizer pipeline for a query;
+//! - `\analyze <query>` — execute under seq-trace instrumentation and show
+//!   the plan annotated with actual rows, per-operator timings and counters,
+//!   and estimated-vs-measured cost (`--profile-out FILE` also writes the
+//!   JSON profile export);
+//! - `\stats` — show session-cumulative executor + storage counters;
+//!   `\stats reset` zeroes them;
 //! - `\limit N` — cap printed rows (default 20);
 //! - `\range LO HI` — set the query template's position range;
 //! - `\set parallelism N` — worker threads for morsel-driven parallel
@@ -17,16 +23,30 @@
 //! - `\quit` — exit.
 
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
 
 use seqproc::prelude::*;
 use seqproc::seq_lang::parse_query;
 use seqproc::seq_workload::{table1_catalog, weather_catalog, WeatherSpec};
+
+const COMMANDS: &str = "\\tables \\explain \\analyze \\stats \\limit \\range \\set \\quit";
 
 struct Shell {
     catalog: Catalog,
     range: Span,
     limit: usize,
     parallelism: usize,
+    /// Session-cumulative executor counters (`\stats` shows them; per-query
+    /// contexts share these so every query adds to the same totals).
+    exec_stats: ExecStats,
+    /// Where `\analyze` writes its JSON profile export, if anywhere.
+    profile_out: Option<PathBuf>,
+}
+
+enum QueryMode {
+    Run,
+    Explain,
+    Analyze,
 }
 
 impl Shell {
@@ -38,7 +58,7 @@ impl Shell {
         if let Some(rest) = line.strip_prefix('\\') {
             return self.command(rest);
         }
-        self.query(line, false)?;
+        self.query(line, QueryMode::Run)?;
         Ok(true)
     }
 
@@ -88,18 +108,32 @@ impl Shell {
             },
             Some("explain") => {
                 let query_text: String = parts.collect::<Vec<_>>().join(" ");
-                self.query(&query_text, true)?;
+                self.query(&query_text, QueryMode::Explain)?;
             }
+            Some("analyze") => {
+                let query_text: String = parts.collect::<Vec<_>>().join(" ");
+                self.query(&query_text, QueryMode::Analyze)?;
+            }
+            Some("stats") => match parts.next() {
+                None => {
+                    println!("executor: {}", self.exec_stats.snapshot());
+                    println!("storage:  {}", self.catalog.stats().snapshot());
+                }
+                Some("reset") => {
+                    self.exec_stats.reset();
+                    self.catalog.reset_measurement();
+                    println!("stats reset");
+                }
+                Some(arg) => println!("usage: \\stats [reset]  (got {arg:?})"),
+            },
             other => {
-                println!(
-                    "unknown command {other:?}; try \\tables \\explain \\limit \\range \\set \\quit"
-                )
+                println!("unknown command \\{}; try {COMMANDS}", other.unwrap_or(""))
             }
         }
         Ok(true)
     }
 
-    fn query(&mut self, text: &str, explain: bool) -> Result<(), SeqError> {
+    fn query(&mut self, text: &str, mode: QueryMode) -> Result<(), SeqError> {
         let graph = match parse_query(text) {
             Ok(g) => g,
             Err(e) => {
@@ -116,12 +150,19 @@ impl Shell {
                 return Ok(());
             }
         };
-        if explain {
-            println!("{}", optimized.explain);
-            return Ok(());
+        match mode {
+            QueryMode::Explain => {
+                println!("{}", optimized.explain);
+                Ok(())
+            }
+            QueryMode::Analyze => self.analyze(&optimized, &cfg),
+            QueryMode::Run => self.execute(&optimized),
         }
-        self.catalog.reset_measurement();
-        let ctx = ExecContext::new(&self.catalog);
+    }
+
+    fn execute(&mut self, optimized: &Optimized) -> Result<(), SeqError> {
+        let storage_before = self.catalog.stats().snapshot();
+        let ctx = ExecContext::with_stats(&self.catalog, self.exec_stats.clone());
         let started = std::time::Instant::now();
         let rows = match optimized.execute(&ctx) {
             Ok(r) => r,
@@ -143,8 +184,28 @@ impl Shell {
             elapsed.as_secs_f64() * 1e3,
             optimized.est_cost,
             optimized.exec_mode,
-            self.catalog.stats().snapshot()
+            self.catalog.stats().snapshot().since(&storage_before)
         );
+        Ok(())
+    }
+
+    fn analyze(&mut self, optimized: &Optimized, cfg: &OptimizerConfig) -> Result<(), SeqError> {
+        let mut ctx = ExecContext::with_stats(&self.catalog, self.exec_stats.clone());
+        let report = match explain_analyze(optimized, &mut ctx, &cfg.cost) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{e}");
+                return Ok(());
+            }
+        };
+        print!("{}", report.text);
+        if let Some(path) = &self.profile_out {
+            let json = report.to_json(&optimized.exec_mode.to_string());
+            match std::fs::write(path, json) {
+                Ok(()) => println!("profile JSON written to {}", path.display()),
+                Err(e) => println!("could not write {}: {e}", path.display()),
+            }
+        }
         Ok(())
     }
 }
@@ -154,6 +215,7 @@ fn main() {
     let mut world = "table1".to_string();
     let mut scale = 10i64;
     let mut inline: Vec<String> = Vec::new();
+    let mut profile_out: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -165,12 +227,16 @@ fn main() {
                 scale = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(10);
                 i += 2;
             }
+            "--profile-out" => {
+                profile_out = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
             "-e" => {
                 inline.push(args.get(i + 1).cloned().unwrap_or_default());
                 i += 2;
             }
             other => {
-                eprintln!("unknown argument {other:?}; usage: seqsh [--world table1|weather] [--scale N] [-e QUERY]...");
+                eprintln!("unknown argument {other:?}; usage: seqsh [--world table1|weather] [--scale N] [--profile-out FILE] [-e QUERY]...");
                 std::process::exit(2);
             }
         }
@@ -196,7 +262,14 @@ fn main() {
         }
     };
 
-    let mut shell = Shell { catalog, range, limit: 20, parallelism: 1 };
+    let mut shell = Shell {
+        catalog,
+        range,
+        limit: 20,
+        parallelism: 1,
+        exec_stats: ExecStats::new(),
+        profile_out,
+    };
     println!("seqsh — world {world} (scale {scale}), range {range}. \\tables to inspect, \\quit to exit.");
 
     if !inline.is_empty() {

@@ -59,12 +59,15 @@ pub mod prelude {
     };
     pub use seq_exec::{
         execute, execute_batched, execute_batched_with, execute_parallel, execute_parallel_with,
-        execute_within, probe_positions, AggStrategy, ExecContext, JoinStrategy, ParallelConfig,
-        PhysNode, PhysPlan, ValueOffsetStrategy,
+        execute_within, probe_positions, AggStrategy, ExecContext, ExecStats, JoinStrategy,
+        ParallelConfig, PhysNode, PhysPlan, QueryProfile, ValueOffsetStrategy,
     };
     pub use seq_ops::{
         AggFunc, BinOp, Expr, QueryGraph, ReferenceEvaluator, SeqOperator, SeqQuery, Window,
     };
-    pub use seq_opt::{optimize, CatalogRef, CostParams, Optimized, OptimizerConfig};
+    pub use seq_opt::{
+        explain_analyze, optimize, AnalyzeReport, CatalogRef, CostParams, Optimized,
+        OptimizerConfig,
+    };
     pub use seq_storage::Catalog;
 }
