@@ -84,17 +84,50 @@ impl BatchCursor for BaseBatchCursor {
     }
 }
 
+/// The compiled selection kernel: row indices of `batch` satisfying every
+/// `Col <op> Lit` term, evaluated term-by-term over column slices with
+/// short-circuit semantics (a row refuted by term `k` never evaluates term
+/// `k+1`, matching the expression tree's `And`).
+pub(crate) fn conjunction_filter_indices(
+    batch: &RecordBatch,
+    terms: &[(usize, seq_core::CmpOp, Value)],
+) -> Result<Vec<usize>> {
+    let (ci, op, lit) = &terms[0];
+    let mut idx = Vec::with_capacity(batch.len());
+    for (i, v) in batch.column(*ci)?.iter().enumerate() {
+        if op.holds(v.total_cmp(lit)?) {
+            idx.push(i);
+        }
+    }
+    for (ci, op, lit) in &terms[1..] {
+        if idx.is_empty() {
+            break;
+        }
+        let col = batch.column(*ci)?;
+        let mut kept = Vec::with_capacity(idx.len());
+        for &i in &idx {
+            if op.holds(col[i].total_cmp(lit)?) {
+                kept.push(i);
+            }
+        }
+        idx = kept;
+    }
+    Ok(idx)
+}
+
 /// σ over a batched stream: one predicate evaluation per row, charged as a
 /// single folded add per batch.
 ///
-/// Predicates of the shape `Col <op> Lit` are compiled at open time into a
-/// column kernel — a tight comparison loop over the column slice — instead
-/// of walking the expression tree (and cloning both operands) per row.
+/// Predicates that are conjunctions of `Col <op> Lit` terms are compiled at
+/// open time into column kernels — tight comparison loops over the column
+/// slices — instead of walking the expression tree (and cloning both
+/// operands) per row.
 pub struct SelectBatchCursor {
     input: Box<dyn BatchCursor>,
     predicate: Expr,
-    /// `(column, op, literal)` when the predicate is a single comparison.
-    compiled: Option<(usize, seq_core::CmpOp, Value)>,
+    /// The conjunctive `(column, op, literal)` terms, when the predicate
+    /// decomposes into them.
+    compiled: Option<Vec<(usize, seq_core::CmpOp, Value)>>,
     stats: ExecStats,
 }
 
@@ -105,26 +138,23 @@ impl SelectBatchCursor {
         predicate: Expr,
         stats: ExecStats,
     ) -> SelectBatchCursor {
-        let compiled = predicate.as_col_cmp_lit();
+        let compiled = predicate.as_conjunctive_col_cmp_lits();
         SelectBatchCursor { input, predicate, compiled, stats }
     }
 
     fn filter(&mut self, batch: RecordBatch) -> Result<RecordBatch> {
         let n = batch.len();
-        let mut idx = Vec::with_capacity(n);
-        if let Some((ci, op, lit)) = &self.compiled {
-            for (i, v) in batch.column(*ci)?.iter().enumerate() {
-                if op.holds(v.total_cmp(lit)?) {
-                    idx.push(i);
-                }
-            }
+        let idx = if let Some(terms) = &self.compiled {
+            conjunction_filter_indices(&batch, terms)?
         } else {
+            let mut idx = Vec::with_capacity(n);
             for (i, row) in batch.rows().enumerate() {
                 if self.predicate.eval_predicate_row(&row)? {
                     idx.push(i);
                 }
             }
-        }
+            idx
+        };
         self.stats.record_predicate_evals(n as u64);
         // Everything passed: hand the batch through without copying.
         if idx.len() == n {
@@ -155,6 +185,59 @@ impl BatchCursor for SelectBatchCursor {
             item = self.input.next_batch()?;
         }
         Ok(None)
+    }
+}
+
+/// σ fused into the base scan: the conjunctive predicate's terms are pushed
+/// into the storage layer as a [`seq_storage::ScanFilter`], letting the scan
+/// skip whole pages whose zone maps refute a term, and the same terms are
+/// re-applied here as a residual filter over the rows of surviving pages
+/// (zone maps only prove a page *may* match).
+pub struct FusedBaseBatchCursor {
+    scan: seq_storage::OwnedBatchScan,
+    terms: Vec<(usize, seq_core::CmpOp, Value)>,
+    stats: ExecStats,
+}
+
+impl FusedBaseBatchCursor {
+    /// A filtered batched scan over `store` restricted to `span`, with
+    /// `terms` both pushed down as the page-skipping filter and applied as
+    /// the residual row filter.
+    pub fn new(
+        store: &std::sync::Arc<seq_storage::StoredSequence>,
+        span: Span,
+        batch_size: usize,
+        terms: Vec<(usize, seq_core::CmpOp, Value)>,
+        stats: ExecStats,
+    ) -> FusedBaseBatchCursor {
+        let filter = seq_storage::ScanFilter::new(terms.clone());
+        FusedBaseBatchCursor {
+            scan: store.scan_batch_filtered(span, batch_size, Some(filter)),
+            terms,
+            stats,
+        }
+    }
+}
+
+impl BatchCursor for FusedBaseBatchCursor {
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        while let Some(b) = self.scan.next_batch() {
+            let n = b.len();
+            let idx = conjunction_filter_indices(&b, &self.terms)?;
+            self.stats.record_predicate_evals(n as u64);
+            if idx.len() == n {
+                return Ok(Some(b));
+            }
+            if !idx.is_empty() {
+                return Ok(Some(b.gather(&idx)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn next_batch_from(&mut self, lower: i64) -> Result<Option<RecordBatch>> {
+        self.scan.skip_to(lower);
+        self.next_batch()
     }
 }
 

@@ -87,6 +87,53 @@ impl Cursor for BaseStreamCursor {
     }
 }
 
+/// Stream over a stored base sequence with a selection fused into the scan:
+/// the storage layer skips pages whose zone map refutes the pushed
+/// conjunction (charged to `pages_skipped`, never read), and the full
+/// predicate is re-applied here to every record of a surviving page — the
+/// residual filter. Produces exactly what `Select(BaseScan)` produces.
+pub struct FusedBaseStreamCursor {
+    scan: seq_storage::OwnedScan,
+    predicate: Expr,
+    stats: ExecStats,
+}
+
+impl FusedBaseStreamCursor {
+    /// A filtered stream over `store` restricted to `span`. `filter` must be
+    /// implied by `predicate` (it is the pushdown-eligible conjunction the
+    /// optimizer extracted from it).
+    pub fn new(
+        store: &std::sync::Arc<seq_storage::StoredSequence>,
+        span: Span,
+        filter: seq_storage::ScanFilter,
+        predicate: Expr,
+        stats: ExecStats,
+    ) -> Self {
+        FusedBaseStreamCursor {
+            scan: store.scan_owned_filtered(span, Some(filter)),
+            predicate,
+            stats,
+        }
+    }
+}
+
+impl Cursor for FusedBaseStreamCursor {
+    fn next(&mut self) -> Result<Option<(i64, Record)>> {
+        while let Some((p, r)) = self.scan.next_record() {
+            self.stats.record_predicate_eval();
+            if self.predicate.eval_predicate(&r)? {
+                return Ok(Some((p, r)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn next_from(&mut self, lower: i64) -> Result<Option<(i64, Record)>> {
+        self.scan.skip_to(lower);
+        self.next()
+    }
+}
+
 /// Probed access to a stored base sequence.
 pub struct BaseProbe {
     store: std::sync::Arc<seq_storage::StoredSequence>,

@@ -97,7 +97,7 @@ enum PushNode {
 /// event-aligned if either side is (its output needs both sides non-Null).
 fn is_event_aligned(node: &PhysNode) -> bool {
     match node {
-        PhysNode::Base { .. } => true,
+        PhysNode::Base { .. } | PhysNode::FusedScan { .. } => true,
         PhysNode::Constant { .. } => false,
         PhysNode::Select { input, .. }
         | PhysNode::Project { input, .. }
@@ -113,6 +113,12 @@ impl PushNode {
             PhysNode::Base { name, span } => {
                 PushNode::Leaf { name: name.clone(), span: *span, last: None }
             }
+            // Push-based evaluation sees records one at a time — there are no
+            // pages to skip — so a fused scan degenerates to σ over the leaf.
+            PhysNode::FusedScan { name, predicate, span, .. } => PushNode::Select {
+                input: Box::new(PushNode::Leaf { name: name.clone(), span: *span, last: None }),
+                predicate: predicate.clone(),
+            },
             PhysNode::Constant { record, span } => {
                 PushNode::Constant { record: record.clone(), span: *span }
             }

@@ -35,7 +35,9 @@ pub mod plan;
 pub mod profile;
 pub mod stats;
 
-pub use batch::{BatchCursor, BatchToRecordCursor, RecordToBatchCursor, DEFAULT_BATCH_SIZE};
+pub use batch::{
+    BatchCursor, BatchToRecordCursor, FusedBaseBatchCursor, RecordToBatchCursor, DEFAULT_BATCH_SIZE,
+};
 pub use cache::OpCache;
 pub use compose::StreamSide;
 pub use cursor::{Cursor, PointAccess};

@@ -19,13 +19,14 @@ use crate::aggregate::{
     AggProbe, CumulativeAggCursor, NaiveAggCursor, WholeSpanAggCursor, WindowAggCursor,
 };
 use crate::batch::{
-    BaseBatchCursor, BatchCursor, PosOffsetBatchCursor, ProjectBatchCursor, RecordToBatchCursor,
-    SelectBatchCursor, WindowAggBatchCursor,
+    BaseBatchCursor, BatchCursor, FusedBaseBatchCursor, PosOffsetBatchCursor, ProjectBatchCursor,
+    RecordToBatchCursor, SelectBatchCursor, WindowAggBatchCursor,
 };
 use crate::compose::{ComposeProbe, LockStepJoin, StreamProbeJoin, StreamSide};
 use crate::cursor::{
-    BaseProbe, BaseStreamCursor, ConstCursor, ConstProbe, Cursor, PointAccess, PosOffsetCursor,
-    PosOffsetProbe, ProjectCursor, ProjectProbe, SelectCursor, SelectProbe,
+    BaseProbe, BaseStreamCursor, ConstCursor, ConstProbe, Cursor, FusedBaseStreamCursor,
+    PointAccess, PosOffsetCursor, PosOffsetProbe, ProjectCursor, ProjectProbe, SelectCursor,
+    SelectProbe,
 };
 use crate::offset::{IncrementalValueOffsetCursor, NaiveValueOffsetCursor, ValueOffsetProbe};
 use crate::profile::QueryProfile;
@@ -70,6 +71,21 @@ pub enum PhysNode {
     Base {
         /// Catalog name.
         name: String,
+        /// Restricted access span.
+        span: Span,
+    },
+    /// σ fused into a base-sequence scan (selection pushdown): the
+    /// conjunctive `Col <op> Lit` terms are pushed into the storage layer as
+    /// a zone-map page filter — pages whose per-column min/max refute a term
+    /// are skipped without materializing a row — and the full predicate is
+    /// re-applied as a residual filter over the rows of surviving pages.
+    FusedScan {
+        /// Catalog name.
+        name: String,
+        /// The full bound predicate, re-checked per surviving row.
+        predicate: Expr,
+        /// The pushdown terms (a conjunctive decomposition of `predicate`).
+        terms: Vec<(usize, seq_core::CmpOp, seq_core::Value)>,
         /// Restricted access span.
         span: Span,
     },
@@ -153,6 +169,7 @@ impl PhysNode {
     pub fn span(&self) -> Span {
         match self {
             PhysNode::Base { span, .. }
+            | PhysNode::FusedScan { span, .. }
             | PhysNode::Constant { span, .. }
             | PhysNode::Select { span, .. }
             | PhysNode::Project { span, .. }
@@ -174,7 +191,9 @@ impl PhysNode {
     /// The node's direct children, left to right.
     pub fn children(&self) -> Vec<&PhysNode> {
         match self {
-            PhysNode::Base { .. } | PhysNode::Constant { .. } => Vec::new(),
+            PhysNode::Base { .. } | PhysNode::FusedScan { .. } | PhysNode::Constant { .. } => {
+                Vec::new()
+            }
             PhysNode::Select { input, .. }
             | PhysNode::Project { input, .. }
             | PhysNode::PosOffset { input, .. }
@@ -189,6 +208,9 @@ impl PhysNode {
     pub fn label(&self) -> String {
         match self {
             PhysNode::Base { name, .. } => format!("BaseScan({name})"),
+            PhysNode::FusedScan { name, predicate, terms, .. } => {
+                format!("FusedScan({name}, filter: {predicate}) [pushdown terms: {}]", terms.len())
+            }
             PhysNode::Constant { record, .. } => format!("Constant({record})"),
             PhysNode::Select { predicate, .. } => format!("Select({predicate})"),
             PhysNode::Project { indices, .. } => {
@@ -222,6 +244,17 @@ impl PhysNode {
                 let store = ctx.base_store(name, id)?;
                 let clamped = span.intersect(&seq_core::Sequence::meta(store.as_ref()).span);
                 Box::new(BaseStreamCursor::new(&store, clamped))
+            }
+            PhysNode::FusedScan { name, predicate, terms, span } => {
+                let store = ctx.base_store(name, id)?;
+                let clamped = span.intersect(&seq_core::Sequence::meta(store.as_ref()).span);
+                Box::new(FusedBaseStreamCursor::new(
+                    &store,
+                    clamped,
+                    seq_storage::ScanFilter::new(terms.clone()),
+                    predicate.clone(),
+                    ctx.op_stats(id),
+                ))
             }
             PhysNode::Constant { record, span } => {
                 Box::new(ConstCursor::new(record.clone(), *span)?)
@@ -327,6 +360,7 @@ impl PhysNode {
     pub fn is_batch_capable(&self) -> bool {
         match self {
             PhysNode::Base { .. }
+            | PhysNode::FusedScan { .. }
             | PhysNode::Select { .. }
             | PhysNode::Project { .. }
             | PhysNode::PosOffset { .. } => true,
@@ -347,7 +381,7 @@ impl PhysNode {
     /// or global scope) are not partitionable.
     pub fn is_position_partitionable(&self) -> bool {
         match self {
-            PhysNode::Base { .. } | PhysNode::Constant { .. } => true,
+            PhysNode::Base { .. } | PhysNode::FusedScan { .. } | PhysNode::Constant { .. } => true,
             PhysNode::Select { input, .. }
             | PhysNode::Project { input, .. }
             | PhysNode::PosOffset { input, .. } => input.is_position_partitionable(),
@@ -376,6 +410,12 @@ impl PhysNode {
             PhysNode::Base { name, span } => {
                 PhysNode::Base { name: name.clone(), span: span.intersect(&out) }
             }
+            PhysNode::FusedScan { name, predicate, terms, span } => PhysNode::FusedScan {
+                name: name.clone(),
+                predicate: predicate.clone(),
+                terms: terms.clone(),
+                span: span.intersect(&out),
+            },
             PhysNode::Constant { record, span } => {
                 PhysNode::Constant { record: record.clone(), span: span.intersect(&out) }
             }
@@ -475,6 +515,17 @@ impl PhysNode {
                 let clamped = span.intersect(&seq_core::Sequence::meta(store.as_ref()).span);
                 Box::new(BaseBatchCursor::new(&store, clamped, batch_size))
             }
+            PhysNode::FusedScan { name, terms, span, .. } => {
+                let store = ctx.base_store(name, id)?;
+                let clamped = span.intersect(&seq_core::Sequence::meta(store.as_ref()).span);
+                Box::new(FusedBaseBatchCursor::new(
+                    &store,
+                    clamped,
+                    batch_size,
+                    terms.clone(),
+                    ctx.op_stats(id),
+                ))
+            }
             PhysNode::Select { input, predicate, .. } => Box::new(SelectBatchCursor::new(
                 input.open_batch_at(ctx, batch_size, id + 1)?,
                 predicate.clone(),
@@ -525,6 +576,18 @@ impl PhysNode {
                 let store = ctx.base_store(name, id)?;
                 let clamped = span.intersect(&seq_core::Sequence::meta(store.as_ref()).span);
                 Box::new(BaseProbe::new(store, clamped))
+            }
+            PhysNode::FusedScan { name, predicate, span, .. } => {
+                // Probed access is point lookup; zone-map skipping buys
+                // nothing there, so probe as σ over a base probe (both
+                // charged to this node's id — the fused node is one operator).
+                let store = ctx.base_store(name, id)?;
+                let clamped = span.intersect(&seq_core::Sequence::meta(store.as_ref()).span);
+                Box::new(SelectProbe::new(
+                    Box::new(BaseProbe::new(store, clamped)),
+                    predicate.clone(),
+                    ctx.op_stats(id),
+                ))
             }
             PhysNode::Constant { record, span } => Box::new(ConstProbe::new(record.clone(), *span)),
             PhysNode::Select { input, predicate, .. } => Box::new(SelectProbe::new(

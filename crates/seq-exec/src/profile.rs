@@ -233,6 +233,7 @@ impl QueryProfile {
                 let s = s.snapshot();
                 t.page_reads += s.page_reads;
                 t.page_hits += s.page_hits;
+                t.pages_skipped += s.pages_skipped;
                 t.probes += s.probes;
                 t.stream_records += s.stream_records;
                 t.scans_opened += s.scans_opened;
@@ -337,6 +338,9 @@ impl QueryProfile {
                     " pages={}r/{}h probes={}",
                     op.storage.page_reads, op.storage.page_hits, op.storage.probes
                 );
+                if op.storage.pages_skipped > 0 {
+                    let _ = write!(out, " skipped={}", op.storage.pages_skipped);
+                }
             }
             let _ = writeln!(out);
         }
@@ -395,6 +399,7 @@ impl QueryProfile {
             w.field_num("naive_walk_steps", op.exec.naive_walk_steps as f64);
             w.field_num("page_reads", op.storage.page_reads as f64);
             w.field_num("page_hits", op.storage.page_hits as f64);
+            w.field_num("pages_skipped", op.storage.pages_skipped as f64);
             w.field_num("probes", op.storage.probes as f64);
             w.last_field_num("stream_records", op.storage.stream_records as f64);
             w.raw("}");
@@ -434,7 +439,9 @@ fn collect_ops(
 ) {
     let id = out.len();
     let storage = match node {
-        PhysNode::Base { .. } => Some(AccessStats::scoped(storage_stats)),
+        PhysNode::Base { .. } | PhysNode::FusedScan { .. } => {
+            Some(AccessStats::scoped(storage_stats))
+        }
         _ => None,
     };
     out.push(OpProfile {

@@ -59,6 +59,13 @@ fn pred(threshold: f64) -> Expr {
     Expr::attr("close").gt(Expr::lit(threshold)).bind(&sch).unwrap()
 }
 
+/// σ fused into the base scan: same predicate both as zone-map pushdown
+/// terms and as the residual row filter.
+fn fused(name: &str, predicate: Expr) -> PhysNode {
+    let terms = predicate.as_conjunctive_col_cmp_lits().expect("pushdown-eligible predicate");
+    PhysNode::FusedScan { name: name.into(), predicate, terms, span: Span::new(1, 500) }
+}
+
 /// Plans covering every batch kernel plus the adapter fallbacks.
 fn plans() -> Vec<(&'static str, PhysNode)> {
     let span = Span::new(1, 500);
@@ -77,6 +84,18 @@ fn plans() -> Vec<(&'static str, PhysNode)> {
         ("base-sparse", *base("S")),
         ("select", select(base("D"), 40.0)),
         ("select-all-filtered", select(base("D"), 1000.0)),
+        ("fused-scan", fused("D", pred(40.0))),
+        ("fused-scan-sparse", fused("S", pred(0.0))),
+        ("fused-scan-all-filtered", fused("D", pred(1000.0))),
+        ("fused-scan-conjunction", fused("D", pred(25.0).and(pred(75.0)))),
+        (
+            "window-over-fused-scan",
+            agg(
+                Box::new(fused("D", pred(40.0))),
+                AggStrategy::CacheAIncremental,
+                Window::trailing(9),
+            ),
+        ),
         ("project", PhysNode::Project { input: base("D"), indices: vec![1], span }),
         ("pos-offset-back", PhysNode::PosOffset { input: base("D"), offset: -7, span }),
         ("pos-offset-fwd", PhysNode::PosOffset { input: base("D"), offset: 13, span }),

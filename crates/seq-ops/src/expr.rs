@@ -286,6 +286,30 @@ impl Expr {
         }
     }
 
+    /// Recognize a conjunction of `Col <op> Lit` comparisons: `And` trees
+    /// whose every leaf is a single comparison, flattened left-to-right.
+    /// This is the pushdown-eligible shape — each term is value-only (not
+    /// position-dependent) and null-rejecting, so a storage scan may skip
+    /// any page whose zone map refutes one term, and a vectorized selection
+    /// can run the whole predicate as tight column kernels. `None` for any
+    /// other shape (disjunctions, negations, arithmetic, unbound attrs).
+    pub fn as_conjunctive_col_cmp_lits(&self) -> Option<Vec<(usize, CmpOp, Value)>> {
+        fn collect(e: &Expr, out: &mut Vec<(usize, CmpOp, Value)>) -> bool {
+            if let Expr::Bin(BinOp::And, l, r) = e {
+                return collect(l, out) && collect(r, out);
+            }
+            match e.as_col_cmp_lit() {
+                Some(term) => {
+                    out.push(term);
+                    true
+                }
+                None => false,
+            }
+        }
+        let mut terms = Vec::new();
+        collect(self, &mut terms).then_some(terms)
+    }
+
     /// Evaluate against any column-indexed value source (a materialized
     /// [`Record`] or a [`RowRef`] into a column batch).
     fn eval_src<S: ValueSource + ?Sized>(&self, rec: &S) -> Result<Value> {
@@ -529,5 +553,41 @@ mod tests {
     fn display_round_trip_shape() {
         let e = Expr::attr("a").gt(Expr::lit(1i64)).and(Expr::attr("b").eq(Expr::lit("x")));
         assert_eq!(e.to_string(), "((a > 1) AND (b = \"x\"))");
+    }
+
+    #[test]
+    fn conjunctive_col_cmp_lits_flatten() {
+        // Single comparison, either operand order.
+        let e = Expr::Col(1).gt(Expr::lit(5.0));
+        assert_eq!(
+            e.as_conjunctive_col_cmp_lits().unwrap(),
+            vec![(1, CmpOp::Gt, Value::Float(5.0))]
+        );
+        // Nested conjunction flattens left-to-right; mirrored literal side.
+        let e = Expr::Col(0)
+            .ge(Expr::lit(2i64))
+            .and(Expr::lit(9i64).gt(Expr::Col(0)).and(Expr::Col(1).ne(Expr::lit(0.0))));
+        assert_eq!(
+            e.as_conjunctive_col_cmp_lits().unwrap(),
+            vec![
+                (0, CmpOp::Ge, Value::Int(2)),
+                (0, CmpOp::Lt, Value::Int(9)),
+                (1, CmpOp::Ne, Value::Float(0.0)),
+            ]
+        );
+        // Any non-comparison leaf disqualifies the whole conjunction.
+        assert!(Expr::Col(0)
+            .gt(Expr::lit(1i64))
+            .or(Expr::Col(1).gt(Expr::lit(2.0)))
+            .as_conjunctive_col_cmp_lits()
+            .is_none());
+        assert!(Expr::Col(0)
+            .gt(Expr::lit(1i64))
+            .and(Expr::Col(1).add(Expr::lit(1.0)).gt(Expr::lit(2.0)))
+            .as_conjunctive_col_cmp_lits()
+            .is_none());
+        assert!(Expr::Not(Box::new(Expr::Col(0).gt(Expr::lit(1i64))))
+            .as_conjunctive_col_cmp_lits()
+            .is_none());
     }
 }

@@ -54,6 +54,11 @@ pub struct AnalyzeReport {
     pub est_cost: f64,
     /// The §4.1 cost model priced on the *measured* counters.
     pub measured_cost: f64,
+    /// The optimizer's expected zone-map page skips for the plan's fused
+    /// scans (0 when nothing was fused).
+    pub est_pages_skipped: f64,
+    /// Pages the fused scans actually skipped during this execution.
+    pub actual_pages_skipped: u64,
     /// Per-operator estimate-vs-actual comparisons, in pre-order.
     pub per_op: Vec<OpAnalysis>,
     /// The raw per-operator/per-worker profile.
@@ -71,12 +76,15 @@ impl AnalyzeReport {
         let _ = write!(
             out,
             "{{\n  \"exec_mode\": \"{}\",\n  \"rows\": {},\n  \"wall_ms\": {:.3},\n  \
-             \"est_cost\": {:.3},\n  \"measured_cost\": {:.3},\n  \"estimates\": [",
+             \"est_cost\": {:.3},\n  \"measured_cost\": {:.3},\n  \
+             \"est_pages_skipped\": {:.1},\n  \"actual_pages_skipped\": {},\n  \"estimates\": [",
             exec_mode,
             self.rows.len(),
             self.wall.as_secs_f64() * 1e3,
             self.est_cost,
-            self.measured_cost
+            self.measured_cost,
+            self.est_pages_skipped,
+            self.actual_pages_skipped
         );
         for (i, op) in self.per_op.iter().enumerate() {
             if i > 0 {
@@ -140,8 +148,19 @@ pub fn explain_analyze(
         })
         .collect();
 
+    let actual_pages_skipped = profile.total_storage().pages_skipped;
     let text = render(opt, &profile, &per_op, rows.len(), wall, measured_cost);
-    Ok(AnalyzeReport { rows, wall, est_cost: opt.est_cost, measured_cost, per_op, profile, text })
+    Ok(AnalyzeReport {
+        rows,
+        wall,
+        est_cost: opt.est_cost,
+        measured_cost,
+        est_pages_skipped: opt.est_pages_skipped,
+        actual_pages_skipped,
+        per_op,
+        profile,
+        text,
+    })
 }
 
 /// Price the measured counters with the §4.1 cost model (same formula the
@@ -170,6 +189,13 @@ fn estimate_node(
     est_rows.push(0.0);
     let meta = match node {
         PhysNode::Base { name, span } => info.meta_of(name)?.restrict_span(span),
+        PhysNode::FusedScan { name, predicate, span, .. } => {
+            // σ fused into the scan: base meta thinned by the predicate's
+            // selectivity, exactly as the unfused Select-over-Base pair.
+            let m = info.meta_of(name)?.restrict_span(span);
+            let sel = predicate.estimate_selectivity(&m);
+            SeqMeta::new(*span, m.density * sel, m.columns)
+        }
         PhysNode::Constant { span, .. } => SeqMeta::with_span(*span, 1.0),
         PhysNode::Select { input, predicate, span } => {
             let m = estimate_node(input, info, est_rows)?;
@@ -271,6 +297,9 @@ fn render(
                 op.storage.probes,
                 op.storage.stream_records
             );
+            if op.storage.pages_skipped > 0 {
+                let _ = write!(out, " skipped={}", op.storage.pages_skipped);
+            }
         }
         let _ = writeln!(out);
     }
@@ -294,6 +323,14 @@ fn render(
                 w.claim_wait.as_secs_f64() * 1e3
             );
         }
+    }
+    let actual_skipped = profile.total_storage().pages_skipped;
+    if opt.est_pages_skipped > 0.0 || actual_skipped > 0 {
+        let _ = writeln!(
+            out,
+            "pushdown: est pages skipped={:.1}  actual={}",
+            opt.est_pages_skipped, actual_skipped
+        );
     }
     let ratio = if opt.est_cost > 0.0 { measured_cost / opt.est_cost } else { f64::NAN };
     let _ = writeln!(

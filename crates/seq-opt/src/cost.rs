@@ -93,6 +93,19 @@ pub fn constant_access_costs(span: &Span, params: &CostParams) -> AccessCosts {
     AccessCosts { stream: span_len * params.record_cpu, probed: 0.0 }
 }
 
+/// Probability that one page of `rows_per_page` records holds *no* record
+/// matching a predicate of selectivity `s` — the fraction of pages a
+/// zone-mapped scan can expect to skip. Under the independence assumption
+/// each of the page's records matches with probability `s`, so the page is
+/// skippable with probability `(1 − s)^k`. Value-clustered data skips far
+/// more than this (whole runs of pages refute a range predicate at once), so
+/// the term is a conservative discount: pushdown is never priced *better*
+/// than the uniform worst case.
+pub fn zone_skip_fraction(selectivity: f64, rows_per_page: usize) -> f64 {
+    let s = selectivity.clamp(0.0, 1.0);
+    (1.0 - s).powi(rows_per_page.clamp(1, 1_000_000) as i32)
+}
+
 fn span_len_f(span: &Span) -> f64 {
     if span.is_empty() {
         0.0
@@ -264,6 +277,21 @@ mod tests {
 
     fn params() -> CostParams {
         CostParams::default()
+    }
+
+    #[test]
+    fn zone_skip_fraction_bounds_and_monotonicity() {
+        // Nothing matches: every page is skippable. Everything matches: none.
+        assert_eq!(zone_skip_fraction(0.0, 16), 1.0);
+        assert_eq!(zone_skip_fraction(1.0, 16), 0.0);
+        // 10% selectivity over 16-record pages: 0.9^16 ≈ 0.185.
+        assert!((zone_skip_fraction(0.1, 16) - 0.9f64.powi(16)).abs() < 1e-12);
+        // Monotone: higher selectivity or bigger pages → fewer skips.
+        assert!(zone_skip_fraction(0.05, 16) > zone_skip_fraction(0.2, 16));
+        assert!(zone_skip_fraction(0.1, 8) > zone_skip_fraction(0.1, 64));
+        // Out-of-range inputs clamp instead of exploding.
+        assert_eq!(zone_skip_fraction(-1.0, 0), 1.0);
+        assert_eq!(zone_skip_fraction(2.0, 16), 0.0);
     }
 
     #[test]

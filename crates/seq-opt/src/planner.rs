@@ -49,6 +49,8 @@ pub struct OptimizerConfig {
     pub incremental_aggregates: bool,
     /// Lower eligible plans onto the vectorized batch execution path.
     pub vectorized: bool,
+    /// Fuse eligible selections into base scans (zone-map page skipping).
+    pub pushdown: bool,
     /// Worker threads for morsel-driven parallel execution of position-
     /// partitionable plans; `1` keeps everything single-threaded.
     pub parallelism: usize,
@@ -73,6 +75,7 @@ impl OptimizerConfig {
             // drift in the last ULPs under add/remove).
             incremental_aggregates: false,
             vectorized: true,
+            pushdown: true,
             parallelism: 1,
             cost: CostParams::default(),
         }
@@ -92,6 +95,7 @@ impl OptimizerConfig {
             naive_aggregates: true,
             incremental_aggregates: false,
             vectorized: false,
+            pushdown: false,
             parallelism: 1,
             cost: CostParams::default(),
         }
@@ -108,6 +112,10 @@ pub struct Optimized {
     pub est_cost: f64,
     /// Estimated cost of the best probed-mode plan at the root.
     pub est_probed_cost: f64,
+    /// Expected pages the plan's fused scans skip via zone maps (0 when
+    /// pushdown is off or nothing fused). EXPLAIN ANALYZE compares this to
+    /// the measured `pages_skipped` counter.
+    pub est_pages_skipped: f64,
     /// Which §3.1 rewrite rules fired in Step 3.
     pub transform_report: TransformReport,
     /// Step 5's Property 4.1 counters.
@@ -205,9 +213,30 @@ pub fn optimize(
 
     // Step 6: the Start operator selects the stream-access plan at the root.
     let root = planned.pop().expect("at least one block");
-    let plan = PhysPlan::new(root.stream_phys, config.range.intersect(&root.span));
+    let mut plan = PhysPlan::new(root.stream_phys, config.range.intersect(&root.span));
+    let mut est_cost = root.stream_cost;
+    let mut est_pages_skipped = 0.0;
+
+    // Lowering: fuse eligible selections into their base scans so the
+    // storage layer can skip zone-map-refuted pages, and refund the expected
+    // skips from the estimated cost.
+    if config.pushdown {
+        let mut report = crate::pushdown::PushdownReport::default();
+        plan.root = crate::pushdown::fuse_selects(plan.root, info, &config.cost, &mut report);
+        if report.fused > 0 {
+            est_pages_skipped = report.est_pages_skipped;
+            est_cost = (est_cost - report.est_cost_discount).max(0.0);
+            let _ = writeln!(
+                explain,
+                "== Pushdown: fused {} selection(s) into scans \
+                 (est. pages skipped {:.1}, cost {:.2} -> {:.2}) ==",
+                report.fused, report.est_pages_skipped, root.stream_cost, est_cost
+            );
+        }
+    }
+
     let exec_mode = choose_exec_mode(&plan.root, config.vectorized, config.parallelism, plan.range);
-    let _ = writeln!(explain, "== Step 6: selected plan (est. cost {:.2}) ==", root.stream_cost);
+    let _ = writeln!(explain, "== Step 6: selected plan (est. cost {est_cost:.2}) ==");
     let _ = writeln!(explain, "{}", plan.render());
     let _ = writeln!(
         explain,
@@ -217,8 +246,9 @@ pub fn optimize(
 
     Ok(Optimized {
         plan,
-        est_cost: root.stream_cost,
+        est_cost,
         est_probed_cost: root.probed_cost,
+        est_pages_skipped,
         transform_report,
         dp_stats,
         block_count: blocks.blocks.len(),

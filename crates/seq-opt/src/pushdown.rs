@@ -1,0 +1,210 @@
+//! Selection pushdown into storage scans (zone-map page skipping).
+//!
+//! A lowering pass that runs after Step 6's plan selection: every
+//! `Select` sitting directly on a `Base` scan whose predicate decomposes
+//! into a conjunction of `Col <op> Lit` terms is fused into a single
+//! [`PhysNode::FusedScan`]. The fused scan hands the terms to the storage
+//! layer as a [`seq_storage::ScanFilter`], which consults each page's
+//! per-column zone map (min/max) before materializing it — refuted pages
+//! are skipped wholesale (charged to `pages_skipped`, never read) — and
+//! re-applies the full predicate as a residual filter over the rows of
+//! surviving pages, so results are identical to the unfused plan.
+//!
+//! Eligibility is exactly [`seq_ops::Expr::as_conjunctive_col_cmp_lits`]:
+//! And-trees of column-vs-literal comparisons. Such predicates are
+//! value-only (position-independent) and null-rejecting, which is what
+//! makes skipping a page on its value bounds sound. Anything else —
+//! disjunctions, arithmetic, column-column comparisons — stays a plain
+//! `Select`.
+//!
+//! The pass also re-prices the fused scan: the expected fraction of
+//! skippable pages is [`crate::cost::zone_skip_fraction`]`(s, k)` for
+//! predicate selectivity `s` and `k` records per page, and each skipped
+//! page refunds one sequential page I/O from the plan's estimated cost.
+//! The estimate is reported per plan (and compared against the measured
+//! `pages_skipped` counter by EXPLAIN ANALYZE).
+
+use seq_exec::PhysNode;
+
+use crate::cost::{zone_skip_fraction, CostParams};
+use crate::info::CatalogInfo;
+
+/// What the pushdown pass did to one plan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PushdownReport {
+    /// Number of Select-over-Base pairs fused into scans.
+    pub fused: usize,
+    /// Expected pages the fused scans skip (summed over all fused scans).
+    pub est_pages_skipped: f64,
+    /// Cost-model refund: `est_pages_skipped × seq_page_io`.
+    pub est_cost_discount: f64,
+}
+
+/// Rewrite `node` bottom-up, fusing eligible `Select(Base)` pairs into
+/// [`PhysNode::FusedScan`] and accumulating the expected skip payoff into
+/// `report`. Plans without an eligible pair are returned unchanged.
+pub fn fuse_selects(
+    node: PhysNode,
+    info: &dyn CatalogInfo,
+    params: &CostParams,
+    report: &mut PushdownReport,
+) -> PhysNode {
+    match node {
+        PhysNode::Select { input, predicate, span } => {
+            let input = fuse_selects(*input, info, params, report);
+            if let PhysNode::Base { name, span: base_span } = &input {
+                if let Some(terms) = predicate.as_conjunctive_col_cmp_lits() {
+                    report.fused += 1;
+                    // Price the expected skips; an unknown base (hypothetical
+                    // catalogs) just forgoes the discount.
+                    if let Ok(meta) = info.meta_of(name) {
+                        let meta = meta.restrict_span(base_span);
+                        let s = predicate.estimate_selectivity(&meta);
+                        let k = info.page_capacity().max(1);
+                        let pages = (meta.expected_records() / k as f64).ceil();
+                        let skipped = pages * zone_skip_fraction(s, k);
+                        report.est_pages_skipped += skipped;
+                        report.est_cost_discount += skipped * params.seq_page_io;
+                    }
+                    return PhysNode::FusedScan {
+                        name: name.clone(),
+                        predicate,
+                        terms,
+                        span: span.intersect(base_span),
+                    };
+                }
+            }
+            PhysNode::Select { input: Box::new(input), predicate, span }
+        }
+        PhysNode::Project { input, indices, span } => PhysNode::Project {
+            input: Box::new(fuse_selects(*input, info, params, report)),
+            indices,
+            span,
+        },
+        PhysNode::PosOffset { input, offset, span } => PhysNode::PosOffset {
+            input: Box::new(fuse_selects(*input, info, params, report)),
+            offset,
+            span,
+        },
+        PhysNode::ValueOffset { input, offset, strategy, span } => PhysNode::ValueOffset {
+            input: Box::new(fuse_selects(*input, info, params, report)),
+            offset,
+            strategy,
+            span,
+        },
+        PhysNode::Aggregate { input, func, attr_index, window, strategy, span } => {
+            PhysNode::Aggregate {
+                input: Box::new(fuse_selects(*input, info, params, report)),
+                func,
+                attr_index,
+                window,
+                strategy,
+                span,
+            }
+        }
+        PhysNode::Compose { left, right, predicate, strategy, span } => PhysNode::Compose {
+            left: Box::new(fuse_selects(*left, info, params, report)),
+            right: Box::new(fuse_selects(*right, info, params, report)),
+            predicate,
+            strategy,
+            span,
+        },
+        leaf @ (PhysNode::Base { .. } | PhysNode::FusedScan { .. } | PhysNode::Constant { .. }) => {
+            leaf
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::StaticCatalogInfo;
+    use seq_core::{schema, AttrType, SeqMeta, Span};
+    use seq_ops::Expr;
+
+    fn info() -> StaticCatalogInfo {
+        let mut i = StaticCatalogInfo::new(16);
+        i.insert(
+            "S",
+            schema(&[("time", AttrType::Int), ("close", AttrType::Float)]),
+            SeqMeta::with_span(Span::new(1, 1600), 1.0),
+        );
+        i
+    }
+
+    fn select_over_base(predicate: Expr) -> PhysNode {
+        let span = Span::new(1, 1600);
+        PhysNode::Select {
+            input: Box::new(PhysNode::Base { name: "S".into(), span }),
+            predicate,
+            span,
+        }
+    }
+
+    #[test]
+    fn fuses_conjunctive_comparison_into_scan() {
+        let pred = Expr::Col(0).gt(Expr::lit(100)).and(Expr::Col(1).le(Expr::lit(5.0)));
+        let mut report = PushdownReport::default();
+        let fused = fuse_selects(
+            select_over_base(pred.clone()),
+            &info(),
+            &CostParams::default(),
+            &mut report,
+        );
+        let PhysNode::FusedScan { name, predicate, terms, span } = fused else {
+            panic!("expected FusedScan");
+        };
+        assert_eq!(name, "S");
+        assert_eq!(predicate, pred);
+        assert_eq!(terms.len(), 2);
+        assert_eq!(span, Span::new(1, 1600));
+        assert_eq!(report.fused, 1);
+        assert!(report.est_pages_skipped > 0.0);
+        assert!(report.est_cost_discount > 0.0);
+    }
+
+    #[test]
+    fn ineligible_predicates_stay_selects() {
+        // A disjunction cannot be refuted term-by-term: not fused.
+        let pred = Expr::Col(0).gt(Expr::lit(100)).or(Expr::Col(1).le(Expr::lit(5.0)));
+        let mut report = PushdownReport::default();
+        let out =
+            fuse_selects(select_over_base(pred), &info(), &CostParams::default(), &mut report);
+        assert!(matches!(out, PhysNode::Select { .. }));
+        assert_eq!(report.fused, 0);
+        assert_eq!(report.est_pages_skipped, 0.0);
+    }
+
+    #[test]
+    fn fuses_under_other_operators() {
+        let span = Span::new(1, 1600);
+        let plan = PhysNode::Project {
+            input: Box::new(select_over_base(Expr::Col(0).ge(Expr::lit(1500)))),
+            indices: vec![1],
+            span,
+        };
+        let mut report = PushdownReport::default();
+        let out = fuse_selects(plan, &info(), &CostParams::default(), &mut report);
+        let PhysNode::Project { input, .. } = out else { panic!("expected Project") };
+        assert!(matches!(*input, PhysNode::FusedScan { .. }));
+        assert_eq!(report.fused, 1);
+    }
+
+    #[test]
+    fn select_over_derived_input_is_untouched() {
+        let span = Span::new(1, 1600);
+        let plan = PhysNode::Select {
+            input: Box::new(PhysNode::PosOffset {
+                input: Box::new(PhysNode::Base { name: "S".into(), span }),
+                offset: -1,
+                span,
+            }),
+            predicate: Expr::Col(0).gt(Expr::lit(100)),
+            span,
+        };
+        let mut report = PushdownReport::default();
+        let out = fuse_selects(plan, &info(), &CostParams::default(), &mut report);
+        assert!(matches!(out, PhysNode::Select { .. }));
+        assert_eq!(report.fused, 0);
+    }
+}

@@ -5,6 +5,15 @@
 //! precisely why the paper distinguishes stream from probed per-record access
 //! costs (§3.3). The pool tracks residency only (records live in the store);
 //! what matters for the experiments is the hit/miss accounting.
+//!
+//! Large pools are sharded into independent lock stripes keyed by a hash of
+//! `(store, page)`, so morsel-parallel workers touching disjoint pages stop
+//! serializing on one global mutex. Hit/miss accounting stays exact — a page
+//! always maps to the same stripe, so residency is never double-counted —
+//! and LRU eviction is per stripe. Pools smaller than one stripe's worth of
+//! pages keep a single stripe, making small-pool behavior (which the caching
+//! experiments pin down to the exact eviction order) bit-identical to the
+//! unsharded pool.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -23,6 +32,13 @@ pub enum PageAccess {
     Miss,
 }
 
+/// Pages per stripe below which adding another stripe is not worth the LRU
+/// fragmentation. Pools under `2 * STRIPE_GRAIN` pages stay single-striped.
+const STRIPE_GRAIN: usize = 32;
+
+/// Upper bound on stripes; past this, contention is already negligible.
+const MAX_STRIPES: usize = 16;
+
 #[derive(Debug)]
 struct PoolInner {
     /// (store, page) → LRU clock value at last touch.
@@ -31,60 +47,98 @@ struct PoolInner {
     capacity: usize,
 }
 
+impl PoolInner {
+    fn access(&mut self, key: (StoreId, PageId)) -> PageAccess {
+        self.clock += 1;
+        let clock = self.clock;
+        if self.capacity == 0 {
+            return PageAccess::Miss;
+        }
+        if let Some(slot) = self.resident.get_mut(&key) {
+            *slot = clock;
+            return PageAccess::Hit;
+        }
+        if self.resident.len() >= self.capacity {
+            // Evict the least-recently-used entry. Linear scan is fine: pools
+            // in the experiments are small and this code is not on the timed
+            // fast path of any wall-clock benchmark conclusion.
+            if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &t)| t) {
+                self.resident.remove(&victim);
+            }
+        }
+        self.resident.insert(key, clock);
+        PageAccess::Miss
+    }
+}
+
 /// A shared LRU buffer pool, sized in pages.
 #[derive(Debug)]
 pub struct BufferPool {
-    inner: Mutex<PoolInner>,
+    stripes: Vec<Mutex<PoolInner>>,
+    capacity: usize,
 }
 
 impl BufferPool {
     /// A pool holding at most `capacity` pages. A capacity of zero means
     /// every access misses (the "no buffering" configuration).
     pub fn new(capacity: usize) -> BufferPool {
-        BufferPool { inner: Mutex::new(PoolInner { resident: HashMap::new(), clock: 0, capacity }) }
+        let stripes = (capacity / STRIPE_GRAIN).clamp(1, MAX_STRIPES);
+        let per = capacity / stripes;
+        let extra = capacity % stripes;
+        let stripes = (0..stripes)
+            .map(|i| {
+                // Stripe capacities sum exactly to the requested total.
+                let cap = per + usize::from(i < extra);
+                Mutex::new(PoolInner { resident: HashMap::new(), clock: 0, capacity: cap })
+            })
+            .collect();
+        BufferPool { stripes, capacity }
+    }
+
+    /// The stripe responsible for `(store, page)` — a fixed function of the
+    /// key, so residency bookkeeping for one page is always under one lock.
+    fn stripe_of(&self, store: StoreId, page: PageId) -> usize {
+        if self.stripes.len() == 1 {
+            return 0;
+        }
+        // SplitMix64-style finalizer over the packed key: cheap, stateless,
+        // and spreads sequential page ids across stripes.
+        let mut h = ((store as u64) << 32) | page as u64;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h % self.stripes.len() as u64) as usize
     }
 
     /// Touch a page: returns whether it was resident, and makes it resident
-    /// (evicting the least recently used page if the pool is full).
+    /// (evicting the stripe's least recently used page if it is full).
     pub fn access(&self, store: StoreId, page: PageId) -> PageAccess {
-        let mut inner = self.inner.lock().unwrap();
-        inner.clock += 1;
-        let clock = inner.clock;
-        if inner.capacity == 0 {
-            return PageAccess::Miss;
-        }
-        let key = (store, page);
-        if let Some(slot) = inner.resident.get_mut(&key) {
-            *slot = clock;
-            return PageAccess::Hit;
-        }
-        if inner.resident.len() >= inner.capacity {
-            // Evict the least-recently-used entry. Linear scan is fine: pools
-            // in the experiments are small and this code is not on the timed
-            // fast path of any wall-clock benchmark conclusion.
-            if let Some((&victim, _)) = inner.resident.iter().min_by_key(|(_, &t)| t) {
-                inner.resident.remove(&victim);
-            }
-        }
-        inner.resident.insert(key, clock);
-        PageAccess::Miss
+        let stripe = self.stripe_of(store, page);
+        self.stripes[stripe].lock().unwrap().access((store, page))
     }
 
     /// Drop all resident pages (between benchmark iterations).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.resident.clear();
-        inner.clock = 0;
+        for stripe in &self.stripes {
+            let mut inner = stripe.lock().unwrap();
+            inner.resident.clear();
+            inner.clock = 0;
+        }
     }
 
     /// Number of currently resident pages.
     pub fn resident_pages(&self) -> usize {
-        self.inner.lock().unwrap().resident.len()
+        self.stripes.iter().map(|s| s.lock().unwrap().resident.len()).sum()
     }
 
-    /// Maximum resident pages.
+    /// Maximum resident pages (summed across stripes).
     pub fn capacity(&self) -> usize {
-        self.inner.lock().unwrap().capacity
+        self.capacity
+    }
+
+    /// Number of lock stripes the pool is sharded into.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
     }
 }
 
@@ -155,5 +209,64 @@ mod tests {
             }
         }
         assert_eq!(misses2, 100);
+    }
+
+    #[test]
+    fn stripe_count_scales_with_capacity() {
+        assert_eq!(BufferPool::new(0).stripe_count(), 1);
+        assert_eq!(BufferPool::new(8).stripe_count(), 1);
+        assert_eq!(BufferPool::new(63).stripe_count(), 1);
+        assert_eq!(BufferPool::new(64).stripe_count(), 2);
+        assert_eq!(BufferPool::new(10_000).stripe_count(), MAX_STRIPES);
+    }
+
+    #[test]
+    fn stripe_capacities_sum_to_total() {
+        for cap in [0, 1, 31, 64, 100, 515, 4096] {
+            let pool = BufferPool::new(cap);
+            let total: usize = pool.stripes.iter().map(|s| s.lock().unwrap().capacity).sum();
+            assert_eq!(total, cap);
+            assert_eq!(pool.capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn sharded_pool_keeps_exact_accounting_under_contention() {
+        // Each worker touches its own store's pages twice. The pool is big
+        // enough that even a worst-case hash distribution cannot overflow a
+        // stripe, so every first touch must miss and every second must hit —
+        // exact accounting regardless of interleaving.
+        const WORKERS: u32 = 8;
+        const PAGES: u32 = 100;
+        let pool = BufferPool::new(MAX_STRIPES * (WORKERS * PAGES) as usize);
+        assert!(pool.stripe_count() > 1);
+        let counts: Vec<(u32, u32)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|w| {
+                    let pool = &pool;
+                    scope.spawn(move || {
+                        let (mut hits, mut misses) = (0u32, 0u32);
+                        for round in 0..2 {
+                            for page in 0..PAGES {
+                                match pool.access(w, page) {
+                                    PageAccess::Hit => hits += 1,
+                                    PageAccess::Miss => misses += 1,
+                                }
+                                // Touch a common page too: cross-stripe
+                                // traffic from every worker.
+                                pool.access(u32::MAX, round);
+                            }
+                        }
+                        (hits, misses)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (hits, misses) in counts {
+            assert_eq!(misses, PAGES, "first touch of each private page misses");
+            assert_eq!(hits, PAGES, "second touch of each private page hits");
+        }
+        assert_eq!(pool.resident_pages(), (WORKERS * PAGES) as usize + 2);
     }
 }

@@ -1,0 +1,97 @@
+//! Scan-level predicate pushdown: zone-map page skipping.
+//!
+//! A [`ScanFilter`] is a conjunction of `column op literal` terms handed down
+//! into a storage scan. Before a page is materialized the scan consults the
+//! page's zone map ([`crate::page::ZoneEntry`]); if any term provably matches
+//! no value on the page, the whole page is skipped without being read — the
+//! value-domain complement of the paper's positional span restriction (§3.2).
+//!
+//! Skipping is sound only because the pushed terms are (a) not
+//! position-dependent — they look at attribute values alone, so page order
+//! does not matter — and (b) null-rejecting — a page's zone map says nothing
+//! about records the predicate could accept *without* looking at the column.
+//! Under the current model "Null records" are absent positions (there is no
+//! null value), so (b) holds for every term.
+//!
+//! The filter only *skips*; it does not filter rows of surviving pages. The
+//! executor re-applies the full predicate to every materialized record, so a
+//! conservative zone map (unbounded entries, cross-type literals) costs
+//! nothing but a missed skip.
+
+use seq_core::{CmpOp, Value};
+
+use crate::page::Page;
+
+/// A conjunction of `column op literal` terms a scan can use to skip pages.
+#[derive(Debug, Clone, Default)]
+pub struct ScanFilter {
+    terms: Vec<(usize, CmpOp, Value)>,
+}
+
+impl ScanFilter {
+    /// A filter from conjunctive terms (empty means "never skip").
+    pub fn new(terms: Vec<(usize, CmpOp, Value)>) -> ScanFilter {
+        ScanFilter { terms }
+    }
+
+    /// The conjunctive terms.
+    pub fn terms(&self) -> &[(usize, CmpOp, Value)] {
+        &self.terms
+    }
+
+    /// Whether the filter has no terms (and therefore never skips).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Whether any record on `page` could satisfy every term, judged from
+    /// the page's zone map alone. `false` proves the page is irrelevant.
+    pub fn page_may_match(&self, page: &Page) -> bool {
+        self.terms
+            .iter()
+            .all(|(col, op, lit)| page.zone(*col).is_none_or(|z| z.may_match(*op, lit)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq_core::record;
+
+    fn page() -> Page {
+        // Column 0 spans [10, 30], column 1 spans [1.0, 3.0].
+        Page::new(
+            0,
+            vec![(1, record![10i64, 3.0]), (2, record![30i64, 1.0]), (3, record![20i64, 2.0])],
+        )
+    }
+
+    #[test]
+    fn conjunction_skips_only_when_a_term_refutes() {
+        let p = page();
+        // Both terms satisfiable.
+        let f = ScanFilter::new(vec![
+            (0, CmpOp::Ge, Value::Int(15)),
+            (1, CmpOp::Le, Value::Float(2.5)),
+        ]);
+        assert!(f.page_may_match(&p));
+        // Second term refuted by the zone map: the page can be skipped.
+        let f = ScanFilter::new(vec![
+            (0, CmpOp::Ge, Value::Int(15)),
+            (1, CmpOp::Gt, Value::Float(3.0)),
+        ]);
+        assert!(!f.page_may_match(&p));
+    }
+
+    #[test]
+    fn empty_filter_and_out_of_range_column_never_skip() {
+        let p = page();
+        assert!(ScanFilter::default().page_may_match(&p));
+        let f = ScanFilter::new(vec![(9, CmpOp::Eq, Value::Int(0))]);
+        assert!(f.page_may_match(&p));
+        // An empty page has no zones: conservative, no skip.
+        let empty = Page::new(1, vec![]);
+        let f = ScanFilter::new(vec![(0, CmpOp::Eq, Value::Int(0))]);
+        assert!(f.page_may_match(&empty));
+    }
+}

@@ -6,10 +6,87 @@
 //! the cost of each access" (§4.1.1); the page is therefore the unit the cost
 //! model and the statistics counters agree on.
 
-use seq_core::Record;
+use std::cmp::Ordering;
+
+use seq_core::{CmpOp, Record, Value};
 
 /// Identifier of a page within one stored sequence.
 pub type PageId = u32;
+
+/// Per-column zone-map entry of one page: the closed `[min, max]` value
+/// range the column takes on the page, plus a count of explicit nulls.
+///
+/// The `Value` model has no null variant ("Null records" are absent
+/// positions), so `null_count` is always zero today; it is carried so the
+/// skipping rule is stated in full — a page may be skipped for a predicate
+/// only when the predicate rejects nulls, and with `null_count == 0` every
+/// predicate trivially does.
+///
+/// `min`/`max` are `None` when the column's values on this page are not
+/// totally ordered against each other (mixed types); such an entry is
+/// unbounded and never justifies a skip.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneEntry {
+    /// Smallest value of the column on the page.
+    pub min: Option<Value>,
+    /// Largest value of the column on the page.
+    pub max: Option<Value>,
+    /// Explicit nulls on the page (always zero under the current model).
+    pub null_count: u32,
+}
+
+impl ZoneEntry {
+    /// Whether *some* value in `[min, max]` could satisfy `value op lit`.
+    /// Conservative: unbounded entries and cross-type comparisons answer
+    /// `true` (no skip). `false` proves no record on the page satisfies the
+    /// term, so the page can be skipped without being read.
+    pub fn may_match(&self, op: CmpOp, lit: &Value) -> bool {
+        let (Some(min), Some(max)) = (&self.min, &self.max) else { return true };
+        let (Ok(lo), Ok(hi)) = (min.total_cmp(lit), max.total_cmp(lit)) else { return true };
+        match op {
+            // lit within [min, max].
+            CmpOp::Eq => lo != Ordering::Greater && hi != Ordering::Less,
+            // Some value differs from lit unless the range is exactly {lit}.
+            CmpOp::Ne => lo != Ordering::Equal || hi != Ordering::Equal,
+            CmpOp::Lt => lo == Ordering::Less,    // min < lit
+            CmpOp::Le => lo != Ordering::Greater, // min <= lit
+            CmpOp::Gt => hi == Ordering::Greater, // max > lit
+            CmpOp::Ge => hi != Ordering::Less,    // max >= lit
+        }
+    }
+}
+
+/// Fold the per-column zone map over a page's entries.
+fn build_zones(entries: &[(i64, Record)]) -> Vec<ZoneEntry> {
+    let Some((_, first)) = entries.first() else { return Vec::new() };
+    let mut zones: Vec<ZoneEntry> = first
+        .values()
+        .iter()
+        .map(|v| ZoneEntry { min: Some(v.clone()), max: Some(v.clone()), null_count: 0 })
+        .collect();
+    for (_, rec) in &entries[1..] {
+        for (zone, v) in zones.iter_mut().zip(rec.values()) {
+            let (Some(min), Some(max)) = (&zone.min, &zone.max) else { continue };
+            match (v.total_cmp(min), v.total_cmp(max)) {
+                (Ok(lo), Ok(hi)) => {
+                    if lo == Ordering::Less {
+                        zone.min = Some(v.clone());
+                    }
+                    if hi == Ordering::Greater {
+                        zone.max = Some(v.clone());
+                    }
+                }
+                // Mixed types on one column: the range is not totally
+                // ordered; poison the entry to unbounded.
+                _ => {
+                    zone.min = None;
+                    zone.max = None;
+                }
+            }
+        }
+    }
+    zones
+}
 
 /// One page of a stored sequence.
 #[derive(Debug, Clone)]
@@ -17,13 +94,18 @@ pub struct Page {
     id: PageId,
     /// Entries sorted by position; positions unique within the sequence.
     entries: Vec<(i64, Record)>,
+    /// Per-column zone map, computed once at build/append time. Like
+    /// `first_pos`, this is header metadata: consulting it is not a page
+    /// read.
+    zones: Vec<ZoneEntry>,
 }
 
 impl Page {
     /// A page from position-sorted entries.
     pub fn new(id: PageId, entries: Vec<(i64, Record)>) -> Page {
         debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "page entries must be sorted");
-        Page { id, entries }
+        let zones = build_zones(&entries);
+        Page { id, entries, zones }
     }
 
     /// Page identifier within its sequence.
@@ -54,6 +136,12 @@ impl Page {
     /// Last (highest) position stored on this page.
     pub fn last_pos(&self) -> Option<i64> {
         self.entries.last().map(|(p, _)| *p)
+    }
+
+    /// Zone-map entry of column `col`, or `None` for an empty page or a
+    /// column index past the page's arity (both mean "cannot skip").
+    pub fn zone(&self, col: usize) -> Option<&ZoneEntry> {
+        self.zones.get(col)
     }
 
     /// Binary-search for an exact position within the page.
@@ -103,5 +191,59 @@ mod tests {
         assert!(p.is_empty());
         assert_eq!(p.first_pos(), None);
         assert_eq!(p.id(), 7);
+        assert!(p.zone(0).is_none());
+    }
+
+    #[test]
+    fn zone_map_tracks_min_max() {
+        let p = Page::new(
+            0,
+            vec![(1, record![5i64, 2.0]), (2, record![3i64, 9.0]), (3, record![8i64, 4.0])],
+        );
+        let z0 = p.zone(0).unwrap();
+        assert_eq!(z0.min, Some(Value::Int(3)));
+        assert_eq!(z0.max, Some(Value::Int(8)));
+        assert_eq!(z0.null_count, 0);
+        let z1 = p.zone(1).unwrap();
+        assert_eq!(z1.min, Some(Value::Float(2.0)));
+        assert_eq!(z1.max, Some(Value::Float(9.0)));
+        assert!(p.zone(2).is_none());
+    }
+
+    #[test]
+    fn zone_may_match_all_operators() {
+        // Column range [3, 8].
+        let z = ZoneEntry { min: Some(Value::Int(3)), max: Some(Value::Int(8)), null_count: 0 };
+        for (op, lit, expect) in [
+            (CmpOp::Eq, 2, false),
+            (CmpOp::Eq, 3, true),
+            (CmpOp::Eq, 9, false),
+            (CmpOp::Ne, 5, true),
+            (CmpOp::Lt, 3, false),
+            (CmpOp::Lt, 4, true),
+            (CmpOp::Le, 2, false),
+            (CmpOp::Le, 3, true),
+            (CmpOp::Gt, 8, false),
+            (CmpOp::Gt, 7, true),
+            (CmpOp::Ge, 9, false),
+            (CmpOp::Ge, 8, true),
+        ] {
+            assert_eq!(z.may_match(op, &Value::Int(lit)), expect, "{op:?} {lit}");
+        }
+        // Ne can be refuted only by a constant column equal to the literal.
+        let konst = ZoneEntry { min: Some(Value::Int(5)), max: Some(Value::Int(5)), null_count: 0 };
+        assert!(!konst.may_match(CmpOp::Ne, &Value::Int(5)));
+        assert!(konst.may_match(CmpOp::Ne, &Value::Int(6)));
+        // Numeric cross-type comparisons still refute; incomparable types never do.
+        assert!(!z.may_match(CmpOp::Gt, &Value::Float(8.5)));
+        assert!(z.may_match(CmpOp::Eq, &Value::Str("x".into())));
+    }
+
+    #[test]
+    fn mixed_type_column_is_unbounded() {
+        let p = Page::new(0, vec![(1, record![Value::Int(1)]), (2, record![Value::Bool(true)])]);
+        let z = p.zone(0).unwrap();
+        assert!(z.min.is_none() && z.max.is_none());
+        assert!(z.may_match(CmpOp::Eq, &Value::Int(99)));
     }
 }

@@ -22,6 +22,11 @@ pub struct AccessStats {
     pub page_reads: AtomicU64,
     /// Page accesses satisfied by the buffer pool.
     pub page_hits: AtomicU64,
+    /// Pages a filtered scan proved irrelevant from their zone map and
+    /// skipped without materializing. A skipped page is *entered* by the
+    /// scan (it advances past it in order, cf. §3.3's stream access) but
+    /// never fetched, so it is charged here instead of `page_reads`.
+    pub pages_skipped: AtomicU64,
     /// Probed (positional) record lookups.
     pub probes: AtomicU64,
     /// Records yielded by stream scans.
@@ -61,6 +66,14 @@ impl AccessStats {
         self.page_hits.fetch_add(1, Ordering::Relaxed);
         if let Some(p) = &self.parent {
             p.record_page_hit();
+        }
+    }
+
+    /// Charge one page skipped by a zone-map-filtered scan.
+    pub fn record_page_skipped(&self) {
+        self.pages_skipped.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.record_page_skipped();
         }
     }
 
@@ -104,6 +117,7 @@ impl AccessStats {
         StatsSnapshot {
             page_reads: self.page_reads.load(Ordering::Relaxed),
             page_hits: self.page_hits.load(Ordering::Relaxed),
+            pages_skipped: self.pages_skipped.load(Ordering::Relaxed),
             probes: self.probes.load(Ordering::Relaxed),
             stream_records: self.stream_records.load(Ordering::Relaxed),
             scans_opened: self.scans_opened.load(Ordering::Relaxed),
@@ -115,6 +129,7 @@ impl AccessStats {
     pub fn reset(&self) {
         self.page_reads.store(0, Ordering::Relaxed);
         self.page_hits.store(0, Ordering::Relaxed);
+        self.pages_skipped.store(0, Ordering::Relaxed);
         self.probes.store(0, Ordering::Relaxed);
         self.stream_records.store(0, Ordering::Relaxed);
         self.scans_opened.store(0, Ordering::Relaxed);
@@ -130,6 +145,8 @@ pub struct StatsSnapshot {
     pub page_reads: u64,
     /// Page accesses served by the buffer pool.
     pub page_hits: u64,
+    /// Pages skipped wholesale by zone-map-filtered scans.
+    pub pages_skipped: u64,
     /// Positional record lookups.
     pub probes: u64,
     /// Records yielded by stream scans.
@@ -146,6 +163,7 @@ impl StatsSnapshot {
         StatsSnapshot {
             page_reads: self.page_reads.saturating_sub(earlier.page_reads),
             page_hits: self.page_hits.saturating_sub(earlier.page_hits),
+            pages_skipped: self.pages_skipped.saturating_sub(earlier.pages_skipped),
             probes: self.probes.saturating_sub(earlier.probes),
             stream_records: self.stream_records.saturating_sub(earlier.stream_records),
             scans_opened: self.scans_opened.saturating_sub(earlier.scans_opened),
@@ -163,8 +181,13 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "page_reads={} page_hits={} probes={} stream_records={} scans={}",
-            self.page_reads, self.page_hits, self.probes, self.stream_records, self.scans_opened
+            "page_reads={} page_hits={} pages_skipped={} probes={} stream_records={} scans={}",
+            self.page_reads,
+            self.page_hits,
+            self.pages_skipped,
+            self.probes,
+            self.stream_records,
+            self.scans_opened
         )
     }
 }
@@ -179,14 +202,16 @@ mod tests {
         s.record_page_read();
         s.record_page_read();
         s.record_page_hit();
+        s.record_page_skipped();
         s.record_probe();
         s.record_stream_record();
         s.record_scan_opened();
         let snap = s.snapshot();
         assert_eq!(snap.page_reads, 2);
         assert_eq!(snap.page_hits, 1);
+        assert_eq!(snap.pages_skipped, 1);
         assert_eq!(snap.probes, 1);
-        assert_eq!(snap.page_accesses(), 3);
+        assert_eq!(snap.page_accesses(), 3); // skips are not accesses
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use seq_core::{BaseSequence, Record, RecordBatch, Schema, SeqMeta, Sequence, Span};
 
 use crate::buffer::{BufferPool, PageAccess, StoreId};
+use crate::filter::ScanFilter;
 use crate::index::SparseIndex;
 use crate::page::{Page, PageId};
 use crate::stats::AccessStats;
@@ -127,6 +128,41 @@ impl StoredSequence {
             None => self.stats.record_page_read(),
         }
     }
+
+    /// The one page-entry decision both the tuple and the batch scan share,
+    /// so their charging stays symmetric at every boundary: a scan positioned
+    /// before `page` (bounds `start..=end`, optional pushed filter) either
+    /// enters it (touch charged, cursor at the first in-span slot), skips it
+    /// on zone-map evidence (charged to `pages_skipped`, never fetched), or
+    /// learns the span is exhausted (free: `first_pos`, like the zone map, is
+    /// header metadata — consulting it is not a page read).
+    fn enter_page(
+        &self,
+        page: &Page,
+        start: i64,
+        end: i64,
+        filter: Option<&ScanFilter>,
+    ) -> PageEntry {
+        if page.first_pos().is_none_or(|fp| fp > end) {
+            return PageEntry::Exhausted;
+        }
+        if filter.is_some_and(|f| !f.page_may_match(page)) {
+            self.stats.record_page_skipped();
+            return PageEntry::Skip;
+        }
+        self.touch_page(page.id());
+        PageEntry::Enter(page.lower_bound(start))
+    }
+}
+
+/// Outcome of [`StoredSequence::enter_page`].
+enum PageEntry {
+    /// Page materialized; scan continues from this slot.
+    Enter(usize),
+    /// Zone map refuted the filter: advance past without reading.
+    Skip,
+    /// The page starts past the span end: the scan is exhausted.
+    Exhausted,
 }
 
 impl Sequence for StoredSequence {
@@ -170,13 +206,25 @@ impl StoredSequence {
     /// the store). Touches each page once, in order, like
     /// [`Sequence::scan`], and additionally supports positional skipping.
     pub fn scan_owned(self: &Arc<Self>, span: Span) -> OwnedScan {
+        self.scan_owned_filtered(span, None)
+    }
+
+    /// [`StoredSequence::scan_owned`] with a pushed-down [`ScanFilter`]:
+    /// pages whose zone map refutes the filter are skipped without being
+    /// read (charged to `pages_skipped`). Rows of surviving pages are *not*
+    /// filtered — the caller re-applies its full predicate per record.
+    pub fn scan_owned_filtered(
+        self: &Arc<Self>,
+        span: Span,
+        filter: Option<ScanFilter>,
+    ) -> OwnedScan {
         self.stats.record_scan_opened();
         let (page_idx, start, end) = if span.is_empty() {
             (usize::MAX, 1, 0)
         } else {
             (self.index.first_page_at_or_after(span.start()), span.start(), span.end())
         };
-        OwnedScan { store: Arc::clone(self), page_idx, slot: None, start, end }
+        OwnedScan { store: Arc::clone(self), page_idx, slot: None, start, end, filter }
     }
 
     /// A batched owning stream cursor: materializes up to `batch_size`
@@ -185,6 +233,17 @@ impl StoredSequence {
     /// per page entered, in order); stream-record counts fold into one
     /// atomic add per batch instead of one per record.
     pub fn scan_batch(self: &Arc<Self>, span: Span, batch_size: usize) -> OwnedBatchScan {
+        self.scan_batch_filtered(span, batch_size, None)
+    }
+
+    /// [`StoredSequence::scan_batch`] with a pushed-down [`ScanFilter`];
+    /// page skipping exactly as in [`StoredSequence::scan_owned_filtered`].
+    pub fn scan_batch_filtered(
+        self: &Arc<Self>,
+        span: Span,
+        batch_size: usize,
+        filter: Option<ScanFilter>,
+    ) -> OwnedBatchScan {
         self.stats.record_scan_opened();
         let (page_idx, start, end) = if span.is_empty() {
             (usize::MAX, 1, 0)
@@ -198,6 +257,7 @@ impl StoredSequence {
             start,
             end,
             batch_size: batch_size.max(1),
+            filter,
         }
     }
 
@@ -260,6 +320,7 @@ pub struct OwnedBatchScan {
     start: i64,
     end: i64,
     batch_size: usize,
+    filter: Option<ScanFilter>,
 }
 
 impl OwnedBatchScan {
@@ -272,18 +333,20 @@ impl OwnedBatchScan {
             let Some(page) = self.store.pages.get(self.page_idx) else { break };
             let slot = match self.slot {
                 Some(s) => s,
+                // Entry (exhaustion check, zone-map skip, touch charging) is
+                // the logic shared with the tuple path — see `enter_page`.
                 None => {
-                    // The page's first position is header metadata (what the
-                    // page index is built from); consulting it is not a page
-                    // read. Don't charge for a page that starts past the
-                    // span — a span ending on a page boundary would other-
-                    // wise cost one phantom read.
-                    if page.first_pos().is_none_or(|fp| fp > self.end) {
-                        self.page_idx = usize::MAX;
-                        break;
+                    match self.store.enter_page(page, self.start, self.end, self.filter.as_ref()) {
+                        PageEntry::Enter(s) => s,
+                        PageEntry::Skip => {
+                            self.page_idx += 1;
+                            continue;
+                        }
+                        PageEntry::Exhausted => {
+                            self.page_idx = usize::MAX;
+                            break;
+                        }
                     }
-                    self.store.touch_page(page.id());
-                    page.lower_bound(self.start)
                 }
             };
             let entries = page.entries();
@@ -342,6 +405,7 @@ pub struct OwnedScan {
     slot: Option<usize>,
     start: i64,
     end: i64,
+    filter: Option<ScanFilter>,
 }
 
 impl OwnedScan {
@@ -351,15 +415,20 @@ impl OwnedScan {
             let page = self.store.pages.get(self.page_idx)?;
             let slot = match self.slot {
                 Some(s) => s,
+                // Same shared entry decision as the batched scan, so both
+                // paths charge identically at every page boundary.
                 None => {
-                    // As in the batched scan: a page starting past the span
-                    // end is known exhausted from header metadata alone.
-                    if page.first_pos().is_none_or(|fp| fp > self.end) {
-                        self.page_idx = usize::MAX;
-                        return None;
+                    match self.store.enter_page(page, self.start, self.end, self.filter.as_ref()) {
+                        PageEntry::Enter(s) => s,
+                        PageEntry::Skip => {
+                            self.page_idx += 1;
+                            continue;
+                        }
+                        PageEntry::Exhausted => {
+                            self.page_idx = usize::MAX;
+                            return None;
+                        }
                     }
-                    self.store.touch_page(page.id());
-                    page.lower_bound(self.start)
                 }
             };
             if let Some((pos, rec)) = page.entries().get(slot) {
@@ -758,5 +827,115 @@ mod owned_scan_tests {
         assert_sync::<StoredSequence>();
         assert_sync::<AccessStats>();
         assert_sync::<OwnedBatchScan>();
+    }
+}
+
+#[cfg(test)]
+mod filtered_scan_tests {
+    use super::*;
+    use crate::filter::ScanFilter;
+    use seq_core::{record, schema, AttrType, CmpOp, Value};
+
+    /// Positions 1..=n, column 0 equal to the position (clustered values).
+    fn stored(n: i64, cap: usize) -> (Arc<StoredSequence>, Arc<AccessStats>) {
+        let entries = (1..=n).map(|p| (p, record![p])).collect();
+        let base = BaseSequence::from_entries(schema(&[("x", AttrType::Int)]), entries).unwrap();
+        let stats = AccessStats::new();
+        let s = Arc::new(StoredSequence::from_base(0, "t", &base, cap, stats.clone(), None));
+        (s, stats)
+    }
+
+    fn ge(lit: i64) -> Option<ScanFilter> {
+        Some(ScanFilter::new(vec![(0, CmpOp::Ge, Value::Int(lit))]))
+    }
+
+    #[test]
+    fn filtered_scan_skips_refuted_pages() {
+        let (s, stats) = stored(100, 16); // 7 pages: 1..16, 17..32, ..., 97..100
+        let got: Vec<i64> =
+            s.scan_owned_filtered(Span::new(1, 100), ge(90)).map(|(p, _)| p).collect();
+        // Surviving pages (max >= 90) are the last two; their *whole* in-span
+        // runs are yielded — the caller re-applies the predicate per record.
+        assert_eq!(got, (81..=100).collect::<Vec<_>>());
+        let snap = stats.snapshot();
+        assert_eq!(snap.pages_skipped, 5);
+        assert_eq!(snap.page_reads, 2);
+        assert_eq!(snap.stream_records, 20);
+    }
+
+    #[test]
+    fn reads_plus_skips_conserve_unfiltered_reads() {
+        for lit in [1, 40, 90, 1000] {
+            let (s, stats) = stored(100, 16);
+            s.scan_owned(Span::new(5, 95)).count();
+            let unfiltered = stats.snapshot();
+            stats.reset();
+            s.scan_owned_filtered(Span::new(5, 95), ge(lit)).count();
+            let filtered = stats.snapshot();
+            assert_eq!(
+                filtered.page_reads + filtered.pages_skipped,
+                unfiltered.page_reads,
+                "lit={lit}: every page is either read or skipped"
+            );
+            assert_eq!(unfiltered.pages_skipped, 0);
+        }
+    }
+
+    #[test]
+    fn batch_filtered_scan_matches_tuple_filtered_scan() {
+        for (batch_size, cap, lit) in [(4, 16, 50), (16, 16, 90), (1000, 16, 101), (7, 5, 33)] {
+            let (s, stats) = stored(100, cap);
+            let span = Span::new(3, 97);
+            let tuple: Vec<(i64, Record)> = s.scan_owned_filtered(span, ge(lit)).collect();
+            let tuple_snap = stats.snapshot();
+            stats.reset();
+            let mut scan = s.scan_batch_filtered(span, batch_size, ge(lit));
+            let mut batched = Vec::new();
+            while let Some(b) = scan.next_batch() {
+                batched.extend(b.to_records());
+            }
+            let batch_snap = stats.snapshot();
+            assert_eq!(tuple, batched, "bs={batch_size} cap={cap} lit={lit}");
+            assert_eq!(tuple_snap.stream_records, batch_snap.stream_records);
+            assert_eq!(tuple_snap.page_accesses(), batch_snap.page_accesses());
+            assert_eq!(tuple_snap.pages_skipped, batch_snap.pages_skipped);
+        }
+    }
+
+    #[test]
+    fn skip_to_charges_intermediate_pages_symmetrically() {
+        // With values clustered on position, a `>= 50` filter refutes the
+        // first three 16-record pages; skip_to then hops over entered pages
+        // one by one exactly as the unfiltered scan would.
+        let (s, stats) = stored(100, 16);
+        let mut tuple = s.scan_owned_filtered(Span::new(1, 100), ge(50));
+        assert_eq!(tuple.next_record().unwrap().0, 49);
+        tuple.skip_to(90);
+        assert_eq!(tuple.next_record().unwrap().0, 90);
+        while tuple.next_record().is_some() {}
+        let tuple_snap = stats.snapshot();
+
+        stats.reset();
+        let mut batch = s.scan_batch_filtered(Span::new(1, 100), 1, ge(50));
+        assert_eq!(batch.next_batch().unwrap().positions(), &[49]);
+        batch.skip_to(90);
+        assert_eq!(batch.next_batch().unwrap().positions(), &[90]);
+        while batch.next_batch().is_some() {}
+        let batch_snap = stats.snapshot();
+
+        assert_eq!(tuple_snap.pages_skipped, 3);
+        assert_eq!(tuple_snap.page_reads, batch_snap.page_reads);
+        assert_eq!(tuple_snap.pages_skipped, batch_snap.pages_skipped);
+        assert_eq!(tuple_snap.stream_records, batch_snap.stream_records);
+    }
+
+    #[test]
+    fn empty_span_filtered_scan_charges_nothing() {
+        let (s, stats) = stored(10, 4);
+        assert!(s.scan_owned_filtered(Span::empty(), ge(0)).next_record().is_none());
+        assert!(s.scan_batch_filtered(Span::empty(), 8, ge(0)).next_batch().is_none());
+        let snap = stats.snapshot();
+        assert_eq!(snap.page_reads, 0);
+        assert_eq!(snap.pages_skipped, 0);
     }
 }

@@ -20,6 +20,9 @@
 //! - `\range LO HI` — set the query template's position range;
 //! - `\set parallelism N` — worker threads for morsel-driven parallel
 //!   execution of partitionable plans (default 1 = sequential);
+//! - `\set pushdown on|off` — fuse eligible selections into base scans so
+//!   zone maps can skip refuted pages (default on; `\stats` and `\analyze`
+//!   report the resulting `pages_skipped`);
 //! - `\quit` — exit.
 
 use std::io::{BufRead, Write};
@@ -36,6 +39,7 @@ struct Shell {
     range: Span,
     limit: usize,
     parallelism: usize,
+    pushdown: bool,
     /// Session-cumulative executor counters (`\stats` shows them; per-query
     /// contexts share these so every query adds to the same totals).
     exec_stats: ExecStats,
@@ -98,13 +102,19 @@ impl Shell {
                     _ => println!("usage: \\range LO HI"),
                 }
             }
-            Some("set") => match (parts.next(), parts.next().and_then(|s| s.parse::<usize>().ok()))
-            {
-                (Some("parallelism"), Some(n)) if n >= 1 => {
-                    self.parallelism = n;
-                    println!("parallelism: {n} worker{}", if n == 1 { "" } else { "s" });
+            Some("set") => match (parts.next(), parts.next()) {
+                (Some("parallelism"), Some(v)) => match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        self.parallelism = n;
+                        println!("parallelism: {n} worker{}", if n == 1 { "" } else { "s" });
+                    }
+                    _ => println!("usage: \\set parallelism N  (N >= 1)"),
+                },
+                (Some("pushdown"), Some(v @ ("on" | "off"))) => {
+                    self.pushdown = v == "on";
+                    println!("selection pushdown: {v}");
                 }
-                _ => println!("usage: \\set parallelism N  (N >= 1)"),
+                _ => println!("usage: \\set parallelism N  |  \\set pushdown on|off"),
             },
             Some("explain") => {
                 let query_text: String = parts.collect::<Vec<_>>().join(" ");
@@ -143,6 +153,7 @@ impl Shell {
         };
         let mut cfg = OptimizerConfig::new(self.range);
         cfg.parallelism = self.parallelism;
+        cfg.pushdown = self.pushdown;
         let optimized = match optimize(&graph, &CatalogRef(&self.catalog), &cfg) {
             Ok(o) => o,
             Err(e) => {
@@ -267,6 +278,7 @@ fn main() {
         range,
         limit: 20,
         parallelism: 1,
+        pushdown: true,
         exec_stats: ExecStats::new(),
         profile_out,
     };
