@@ -30,6 +30,11 @@ fn check_file(path: &str) -> Result<String, String> {
         if op.get("label").and_then(Json::as_str).is_none() {
             return Err(format!("operator {i} missing label"));
         }
+        match op.get("mode").and_then(Json::as_str) {
+            Some("batch" | "tuple" | "fused") => {}
+            Some(m) => return Err(format!("operator {i} has unknown mode {m:?}")),
+            None => return Err(format!("operator {i} missing mode")),
+        }
         let children = op.get("children").and_then(Json::as_array).unwrap_or(&[]);
         for c in children {
             match c.as_f64() {

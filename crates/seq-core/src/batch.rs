@@ -162,6 +162,37 @@ impl RecordBatch {
         Ok(())
     }
 
+    /// Append the composed rows `left[lidx[k]] ∘ right[ridx[k]]` for every
+    /// `k`, column-wise (the positional-join output layout: left columns
+    /// first, then right columns; positions taken from the left rows). The
+    /// batch's arity must equal `left.arity() + right.arity()` and the index
+    /// slices must have equal lengths.
+    pub fn extend_joined(
+        &mut self,
+        left: &RecordBatch,
+        lidx: &[usize],
+        right: &RecordBatch,
+        ridx: &[usize],
+    ) -> Result<()> {
+        if self.columns.len() != left.arity() + right.arity() {
+            return Err(SeqError::Schema(format!(
+                "batch arity {} but joined arity {}",
+                self.columns.len(),
+                left.arity() + right.arity()
+            )));
+        }
+        debug_assert_eq!(lidx.len(), ridx.len());
+        self.positions.extend(lidx.iter().map(|&i| left.positions[i]));
+        let (lcols, rcols) = self.columns.split_at_mut(left.arity());
+        for (src, dst) in left.columns.iter().zip(lcols) {
+            dst.extend(lidx.iter().map(|&i| src[i].clone()));
+        }
+        for (src, dst) in right.columns.iter().zip(rcols) {
+            dst.extend(ridx.iter().map(|&i| src[i].clone()));
+        }
+        Ok(())
+    }
+
     /// A borrowed view of row `idx`.
     #[inline]
     pub fn row(&self, idx: usize) -> RowRef<'_> {
@@ -374,6 +405,20 @@ mod tests {
         assert_eq!(p.column(1).unwrap(), &[Value::Int(100), Value::Int(200)]);
         assert_eq!(p.column(2).unwrap(), &[Value::Int(10), Value::Int(20)]);
         assert!(p.clone().project(&[7]).is_err());
+    }
+
+    #[test]
+    fn extend_joined_composes_columns_left_then_right() {
+        let l = batch_of(&[(1, &[10]), (3, &[30]), (5, &[50])]);
+        let r = batch_of(&[(3, &[300, 3000]), (5, &[500, 5000])]);
+        let mut out = RecordBatch::new(3);
+        out.extend_joined(&l, &[1, 2], &r, &[0, 1]).unwrap();
+        assert_eq!(out.positions(), &[3, 5]);
+        assert_eq!(out.column(0).unwrap(), &[Value::Int(30), Value::Int(50)]);
+        assert_eq!(out.column(1).unwrap(), &[Value::Int(300), Value::Int(500)]);
+        assert_eq!(out.column(2).unwrap(), &[Value::Int(3000), Value::Int(5000)]);
+        let mut bad = RecordBatch::new(2);
+        assert!(bad.extend_joined(&l, &[0], &r, &[0]).is_err());
     }
 
     #[test]

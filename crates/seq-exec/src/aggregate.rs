@@ -19,9 +19,10 @@
 
 use std::collections::VecDeque;
 
-use seq_core::{Record, Result, SeqError, Span, Value};
+use seq_core::{Record, RecordBatch, Result, SeqError, Span, Value};
 use seq_ops::{AggFunc, Window};
 
+use crate::batch::BatchCursor;
 use crate::cache::OpCache;
 use crate::cursor::{Cursor, PointAccess};
 use crate::stats::ExecStats;
@@ -466,6 +467,200 @@ impl Cursor for WholeSpanAggCursor {
     }
 }
 
+/// Vectorized cumulative aggregate: [`CumulativeAggCursor`] batch-at-a-time.
+/// The [`SlidingAccumulator`] running state carries across batch boundaries;
+/// input values are folded straight out of the buffered batch's column.
+pub struct CumulativeAggBatchCursor {
+    input: Box<dyn BatchCursor>,
+    attr_index: usize,
+    acc: SlidingAccumulator,
+    in_batch: Option<RecordBatch>,
+    in_row: usize,
+    input_done: bool,
+    cur: i64,
+    span: Span,
+    batch_size: usize,
+}
+
+impl CumulativeAggBatchCursor {
+    /// Batched running aggregate from the input's start.
+    pub fn new(
+        input: Box<dyn BatchCursor>,
+        func: AggFunc,
+        attr_index: usize,
+        span: Span,
+        batch_size: usize,
+    ) -> Result<CumulativeAggBatchCursor> {
+        if !span.is_empty() && !span.is_bounded() {
+            return Err(SeqError::Unsupported(
+                "stream evaluation of a cumulative aggregate needs a bounded output span".into(),
+            ));
+        }
+        let (span, cur) = crate::cursor::span_cursor_start(span);
+        Ok(CumulativeAggBatchCursor {
+            input,
+            attr_index,
+            acc: SlidingAccumulator::new(func),
+            in_batch: None,
+            in_row: 0,
+            input_done: false,
+            cur,
+            span,
+            batch_size,
+        })
+    }
+
+    /// Position of the next unconsumed input record, pulling a fresh batch
+    /// when the buffered one is spent.
+    fn peek_pos(&mut self) -> Result<Option<i64>> {
+        loop {
+            if let Some(b) = &self.in_batch {
+                if self.in_row < b.len() {
+                    return Ok(Some(b.positions()[self.in_row]));
+                }
+                self.in_batch = None;
+                self.in_row = 0;
+            }
+            if self.input_done {
+                return Ok(None);
+            }
+            match self.input.next_batch()? {
+                Some(b) => {
+                    debug_assert!(!b.is_empty());
+                    self.in_batch = Some(b);
+                    self.in_row = 0;
+                }
+                None => {
+                    self.input_done = true;
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// One output value, mirroring [`CumulativeAggCursor::next`].
+    fn emit(&mut self) -> Result<Option<(i64, Value)>> {
+        loop {
+            if self.span.is_empty() || self.cur > self.span.end() {
+                return Ok(None);
+            }
+            let o = self.cur;
+            while self.peek_pos()?.is_some_and(|p| p <= o) {
+                let (p, v) = {
+                    let b = self.in_batch.as_ref().expect("peeked");
+                    (b.positions()[self.in_row], b.column(self.attr_index)?[self.in_row].clone())
+                };
+                self.in_row += 1;
+                self.acc.push(p, &v)?;
+            }
+            self.cur += 1;
+            if let Some(v) = self.acc.current() {
+                return Ok(Some((o, v)));
+            }
+            // Nothing accumulated yet: jump to the first input position.
+            match self.peek_pos()? {
+                Some(q) => self.cur = self.cur.max(q),
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+impl BatchCursor for CumulativeAggBatchCursor {
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        let mut out: Option<RecordBatch> = None;
+        while out.as_ref().map_or(0, |b| b.len()) < self.batch_size {
+            let Some((o, v)) = self.emit()? else { break };
+            let dst = out.get_or_insert_with(|| RecordBatch::with_capacity(1, self.batch_size));
+            dst.push_single(o, v)?;
+        }
+        Ok(out)
+    }
+
+    fn next_batch_from(&mut self, lower: i64) -> Result<Option<RecordBatch>> {
+        // Jump the output position; skipped input still folds into the
+        // running state, exactly as the record path's `next_from` does.
+        self.cur = self.cur.max(lower);
+        self.next_batch()
+    }
+}
+
+/// Vectorized whole-span aggregate: [`WholeSpanAggCursor`] batch-at-a-time.
+/// The input is drained once on the first pull (in the record path's fold
+/// order, so float results stay bit-identical) and the single value is
+/// replicated across the span in batches.
+pub struct WholeSpanAggBatchCursor {
+    input: Option<Box<dyn BatchCursor>>,
+    func: AggFunc,
+    attr_index: usize,
+    value: Option<Value>,
+    cur: i64,
+    span: Span,
+    batch_size: usize,
+}
+
+impl WholeSpanAggBatchCursor {
+    /// Batched whole-span aggregate, replicated across the span.
+    pub fn new(
+        input: Box<dyn BatchCursor>,
+        func: AggFunc,
+        attr_index: usize,
+        span: Span,
+        batch_size: usize,
+    ) -> Result<WholeSpanAggBatchCursor> {
+        if !span.is_empty() && !span.is_bounded() {
+            return Err(SeqError::Unsupported(
+                "stream evaluation of a whole-span aggregate needs a bounded output span".into(),
+            ));
+        }
+        let (span, cur) = crate::cursor::span_cursor_start(span);
+        Ok(WholeSpanAggBatchCursor {
+            // Drop the input of an empty-span aggregate outright: the cursor
+            // must yield nothing without touching it.
+            input: (!span.is_empty()).then_some(input),
+            func,
+            attr_index,
+            value: None,
+            cur,
+            span,
+            batch_size,
+        })
+    }
+
+    fn ensure_value(&mut self) -> Result<()> {
+        if let Some(mut input) = self.input.take() {
+            let mut values = Vec::new();
+            while let Some(b) = input.next_batch()? {
+                values.extend_from_slice(b.column(self.attr_index)?);
+            }
+            self.value = self.func.apply(values.iter())?;
+        }
+        Ok(())
+    }
+}
+
+impl BatchCursor for WholeSpanAggBatchCursor {
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        self.ensure_value()?;
+        let Some(v) = &self.value else { return Ok(None) };
+        if self.span.is_empty() || self.cur > self.span.end() {
+            return Ok(None);
+        }
+        let end = self.span.end().min(self.cur.saturating_add(self.batch_size as i64 - 1));
+        let mut out = RecordBatch::with_capacity(1, (end - self.cur + 1) as usize);
+        for o in self.cur..=end {
+            out.push_single(o, v.clone())?;
+        }
+        self.cur = end + 1;
+        Ok(Some(out))
+    }
+
+    fn next_batch_from(&mut self, lower: i64) -> Result<Option<RecordBatch>> {
+        self.cur = self.cur.max(lower);
+        self.next_batch()
+    }
+}
+
 /// Probed access to an aggregate: compute the window at `pos` by probing the
 /// input position by position (the naive algorithm; §4.1.2 prices this as
 /// the probed input cost times the scope size).
@@ -846,5 +1041,95 @@ mod tests {
         // Outputs: positions 1,2 (window sees record at 1), then 1e6, 1e6+1.
         assert_eq!(out.len(), 4);
         assert_eq!(out[2].0, 1_000_000);
+    }
+
+    fn collect_batches(mut cur: impl BatchCursor) -> Vec<(i64, Value)> {
+        let mut out = Vec::new();
+        while let Some(b) = cur.next_batch().unwrap() {
+            assert!(!b.is_empty());
+            for row in b.rows() {
+                out.push((row.position(), row.value(0).unwrap().clone()));
+            }
+        }
+        out
+    }
+
+    fn batch_input(c: &Catalog, span: Span, batch_size: usize) -> Box<dyn BatchCursor> {
+        let store = c.get("S").unwrap();
+        Box::new(crate::batch::BaseBatchCursor::new(&store, span, batch_size))
+    }
+
+    #[test]
+    fn batched_cumulative_matches_record_path() {
+        let c = catalog(&[(2, 1.0), (4, 2.0), (6, 4.0)]);
+        let store = c.get("S").unwrap();
+        let expect = collect(
+            CumulativeAggCursor::new(
+                Box::new(BaseStreamCursor::new(&store, Span::new(2, 6))),
+                AggFunc::Sum,
+                1,
+                Span::new(1, 8),
+            )
+            .unwrap(),
+        );
+        for bs in [1, 2, 64] {
+            let cur = CumulativeAggBatchCursor::new(
+                batch_input(&c, Span::new(2, 6), bs),
+                AggFunc::Sum,
+                1,
+                Span::new(1, 8),
+                bs,
+            )
+            .unwrap();
+            assert_eq!(collect_batches(cur), expect, "batch_size {bs}");
+        }
+        // Mid-stream skip mirrors the record path's next_from.
+        let mut cur = CumulativeAggBatchCursor::new(
+            batch_input(&c, Span::new(2, 6), 2),
+            AggFunc::Sum,
+            1,
+            Span::new(1, 8),
+            2,
+        )
+        .unwrap();
+        let b = cur.next_batch_from(5).unwrap().unwrap();
+        assert_eq!(b.first_pos(), Some(5));
+        assert_eq!(b.rows().next().unwrap().value(0).unwrap(), &Value::Float(3.0));
+    }
+
+    #[test]
+    fn batched_whole_span_matches_record_path() {
+        let c = catalog(&[(1, 1.0), (2, 9.0), (3, 4.0)]);
+        let store = c.get("S").unwrap();
+        let expect = collect(
+            WholeSpanAggCursor::new(
+                Box::new(BaseStreamCursor::new(&store, Span::new(1, 3))),
+                AggFunc::Max,
+                1,
+                Span::new(1, 3),
+            )
+            .unwrap(),
+        );
+        for bs in [1, 2, 64] {
+            let cur = WholeSpanAggBatchCursor::new(
+                batch_input(&c, Span::new(1, 3), bs),
+                AggFunc::Max,
+                1,
+                Span::new(1, 3),
+                bs,
+            )
+            .unwrap();
+            assert_eq!(collect_batches(cur), expect, "batch_size {bs}");
+        }
+        let mut cur = WholeSpanAggBatchCursor::new(
+            batch_input(&c, Span::new(1, 3), 4),
+            AggFunc::Max,
+            1,
+            Span::new(1, 3),
+            4,
+        )
+        .unwrap();
+        let b = cur.next_batch_from(2).unwrap().unwrap();
+        assert_eq!(b.positions(), &[2, 3]);
     }
 }

@@ -10,11 +10,13 @@
 //! Both paths produce bit-identical results; the paper's access-path
 //! accounting (pages touched, records streamed, predicates applied, §3.3,
 //! §4.1.3) is preserved exactly, only the *update granularity* of the
-//! counters changes. Operators whose scope is not unit-sized (compose, value
-//! offsets, cumulative/whole-span aggregates) fall back to their
-//! record-at-a-time cursors behind an adapter, so any plan can be lowered —
-//! contiguous runs of batch-capable operators execute vectorized, and block
-//! boundaries revert to tuples.
+//! counters changes. Non-unit-scope operators have native batch cursors in
+//! their own modules (lock-step and stream-probe joins in [`crate::compose`],
+//! Cache-Strategy-B value offsets in [`crate::offset`], cumulative and
+//! whole-span aggregates in [`crate::aggregate`]), so whole plans lower
+//! vectorized end-to-end; the [`BatchToRecordCursor`] /
+//! [`RecordToBatchCursor`] adapters remain for plans that deliberately mix
+//! the paths (e.g. a `NaiveProbe` strategy choice).
 
 use std::collections::VecDeque;
 

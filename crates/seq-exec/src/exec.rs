@@ -22,6 +22,9 @@ pub fn execute(plan: &PhysPlan, ctx: &ExecContext<'_>) -> Result<Vec<(i64, Recor
             "cannot materialize an unbounded range; clamp the plan's position range".into(),
         ));
     }
+    if let Some(p) = &ctx.profile {
+        p.set_op_modes(plan.root.exec_mode_labels(false));
+    }
     let mut cursor = plan.root.open_stream(ctx)?;
     let mut out = Vec::new();
     let mut item = cursor.next_from(range.start())?;
@@ -65,6 +68,9 @@ pub fn execute_batched_with(
         return Err(seq_core::SeqError::Unsupported(
             "cannot materialize an unbounded range; clamp the plan's position range".into(),
         ));
+    }
+    if let Some(p) = &ctx.profile {
+        p.set_op_modes(plan.root.exec_mode_labels(true));
     }
     let mut cursor = plan.root.open_batch(ctx, batch_size)?;
     let mut out = Vec::new();

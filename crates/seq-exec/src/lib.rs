@@ -14,9 +14,11 @@
 //!   variants) and Join-Strategy-B (lock-step) (Figure 4, §3.3);
 //! - [`plan`] / [`exec`] — physical plans carrying per-operator strategies
 //!   and spans, and the Start operator that drives them (Figure 6);
-//! - [`batch`] — the vectorized batch-at-a-time path: unit-scope stream
-//!   operators over columnar [`seq_core::RecordBatch`]es, with adapters to
-//!   and from the record-at-a-time cursors at block boundaries;
+//! - [`batch`] — the vectorized batch-at-a-time path: every physical
+//!   operator (unit-scope kernels here; joins, value offsets, and
+//!   cumulative/whole-span aggregates in their own modules) over columnar
+//!   [`seq_core::RecordBatch`]es, with adapters to and from the
+//!   record-at-a-time cursors for plans that mix the paths;
 //! - [`parallel`] — morsel-driven parallel execution of position-
 //!   partitionable plans with an order-preserving bounded merge;
 //! - [`profile`] — seq-trace: opt-in per-operator/per-worker instrumentation
@@ -35,17 +37,19 @@ pub mod plan;
 pub mod profile;
 pub mod stats;
 
+pub use aggregate::{CumulativeAggBatchCursor, WholeSpanAggBatchCursor};
 pub use batch::{
     BatchCursor, BatchToRecordCursor, FusedBaseBatchCursor, RecordToBatchCursor, DEFAULT_BATCH_SIZE,
 };
 pub use cache::OpCache;
-pub use compose::StreamSide;
+pub use compose::{LockStepJoinBatch, StreamProbeJoinBatch, StreamSide};
 pub use cursor::{Cursor, PointAccess};
 pub use exec::{
     execute, execute_batched, execute_batched_with, execute_parallel, execute_within,
     materialize_into, probe_positions,
 };
 pub use incremental::{replay, Emission, TriggerEngine};
+pub use offset::ValueOffsetBatchCursor;
 pub use parallel::{execute_parallel_with, plan_morsels, ParallelConfig};
 pub use plan::{AggStrategy, ExecContext, JoinStrategy, PhysNode, PhysPlan, ValueOffsetStrategy};
 pub use profile::{OpReport, QueryProfile, WorkerProfile};

@@ -16,8 +16,9 @@
 //!   input at the previous position if it is non-Null." The incremental
 //!   algorithm is not usable in conjunction with probed access (§4.1.2).
 
-use seq_core::{Record, Result, Span};
+use seq_core::{Record, RecordBatch, Result, Span};
 
+use crate::batch::BatchCursor;
 use crate::cache::OpCache;
 use crate::cursor::{Cursor, PointAccess};
 use crate::stats::ExecStats;
@@ -174,6 +175,173 @@ impl Cursor for IncrementalValueOffsetCursor {
         // Jump the output position; the input is folded forward lazily.
         self.cur = self.cur.max(lower);
         self.next()
+    }
+}
+
+/// Vectorized Cache-Strategy-B: [`IncrementalValueOffsetCursor`] batch-at-a-
+/// time. The |offset|-record FIFO [`OpCache`] carries across batch
+/// boundaries, so cache stores and probes are exactly those of the record
+/// path; only the input arrives in batches and the output leaves in batches.
+pub struct ValueOffsetBatchCursor {
+    input: Box<dyn BatchCursor>,
+    magnitude: usize,
+    backward: bool,
+    cache: OpCache,
+    in_batch: Option<RecordBatch>,
+    in_row: usize,
+    input_done: bool,
+    /// Next candidate output position.
+    cur: i64,
+    span: Span,
+    batch_size: usize,
+}
+
+impl ValueOffsetBatchCursor {
+    /// Batched Cache-Strategy-B evaluation of a value offset over a bounded
+    /// span.
+    pub fn new(
+        input: Box<dyn BatchCursor>,
+        offset: i64,
+        span: Span,
+        stats: ExecStats,
+        batch_size: usize,
+    ) -> Result<ValueOffsetBatchCursor> {
+        assert!(offset != 0, "value offset of zero is the identity");
+        if !span.is_empty() && !span.is_bounded() {
+            return Err(seq_core::SeqError::Unsupported(
+                "stream evaluation of a value offset needs a bounded output span".into(),
+            ));
+        }
+        let magnitude = offset.unsigned_abs() as usize;
+        let (span, cur) = crate::cursor::span_cursor_start(span);
+        Ok(ValueOffsetBatchCursor {
+            input,
+            magnitude,
+            backward: offset < 0,
+            cache: OpCache::new(magnitude, stats),
+            in_batch: None,
+            in_row: 0,
+            input_done: false,
+            cur,
+            span,
+            batch_size,
+        })
+    }
+
+    /// Position of the next unconsumed input record, pulling a fresh batch
+    /// when the buffered one is spent (never touched before the first
+    /// output-position check admits work).
+    fn peek_pos(&mut self) -> Result<Option<i64>> {
+        loop {
+            if let Some(b) = &self.in_batch {
+                if self.in_row < b.len() {
+                    return Ok(Some(b.positions()[self.in_row]));
+                }
+                self.in_batch = None;
+                self.in_row = 0;
+            }
+            if self.input_done {
+                return Ok(None);
+            }
+            match self.input.next_batch()? {
+                Some(b) => {
+                    debug_assert!(!b.is_empty());
+                    self.in_batch = Some(b);
+                    self.in_row = 0;
+                }
+                None => {
+                    self.input_done = true;
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Consume the record `peek_pos` just exposed.
+    fn take_input(&mut self) -> (i64, Record) {
+        let b = self.in_batch.as_ref().expect("peeked");
+        let item = b.record(self.in_row);
+        self.in_row += 1;
+        item
+    }
+
+    /// One output record, mirroring
+    /// [`IncrementalValueOffsetCursor::next_backward`] step for step so the
+    /// cache sees the identical store sequence.
+    fn emit_backward(&mut self) -> Result<Option<(i64, Record)>> {
+        loop {
+            if self.span.is_empty() || self.cur > self.span.end() {
+                return Ok(None);
+            }
+            let o = self.cur;
+            // Fold every input record strictly below o into the cache.
+            while let Some(p) = self.peek_pos()? {
+                if p >= o {
+                    break;
+                }
+                let (p, r) = self.take_input();
+                self.cache.push(p, r);
+            }
+            self.cur += 1;
+            if self.cache.len() >= self.magnitude {
+                let (_, rec) = self.cache.from_back(self.magnitude - 1).expect("len checked");
+                return Ok(Some((o, rec.clone())));
+            }
+            // Not enough history yet: jump past the next input record.
+            if self.peek_pos()?.is_none() {
+                return Ok(None);
+            }
+            let (p, r) = self.take_input();
+            self.cache.push(p, r);
+            self.cur = self.cur.max(p + 1);
+        }
+    }
+
+    /// One output record, mirroring
+    /// [`IncrementalValueOffsetCursor::next_forward`].
+    fn emit_forward(&mut self) -> Result<Option<(i64, Record)>> {
+        if self.span.is_empty() || self.cur > self.span.end() {
+            return Ok(None);
+        }
+        let o = self.cur;
+        self.cache.evict_below(o + 1);
+        while self.cache.len() < self.magnitude {
+            if self.peek_pos()?.is_none() {
+                break;
+            }
+            let (p, r) = self.take_input();
+            if p > o {
+                self.cache.push(p, r);
+            }
+        }
+        self.cur += 1;
+        if self.cache.len() >= self.magnitude {
+            let (_, rec) = self.cache.from_back(0).expect("non-empty");
+            return Ok(Some((o, rec.clone())));
+        }
+        // Input exhausted: no further output has enough lookahead.
+        Ok(None)
+    }
+}
+
+impl BatchCursor for ValueOffsetBatchCursor {
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        let mut out: Option<RecordBatch> = None;
+        while out.as_ref().map_or(0, |b| b.len()) < self.batch_size {
+            let item = if self.backward { self.emit_backward()? } else { self.emit_forward()? };
+            let Some((o, rec)) = item else { break };
+            let dst =
+                out.get_or_insert_with(|| RecordBatch::with_capacity(rec.arity(), self.batch_size));
+            dst.push_record(o, &rec)?;
+        }
+        Ok(out)
+    }
+
+    fn next_batch_from(&mut self, lower: i64) -> Result<Option<RecordBatch>> {
+        // Jump the output position; the skipped input is still folded into
+        // the cache lazily, exactly as the record path's `next_from` does.
+        self.cur = self.cur.max(lower);
+        self.next_batch()
     }
 }
 
@@ -477,5 +645,85 @@ mod tests {
         )
         .unwrap();
         assert!(collect(cur).is_empty());
+    }
+
+    fn collect_batches(mut cur: impl BatchCursor) -> Vec<(i64, i64)> {
+        let mut out = Vec::new();
+        while let Some(b) = cur.next_batch().unwrap() {
+            assert!(!b.is_empty());
+            for row in b.rows() {
+                out.push((row.position(), row.value(0).unwrap().as_i64().unwrap()));
+            }
+        }
+        out
+    }
+
+    fn batch_input(c: &Catalog, span: Span, batch_size: usize) -> Box<dyn BatchCursor> {
+        let store = c.get("S").unwrap();
+        Box::new(crate::batch::BaseBatchCursor::new(&store, span, batch_size))
+    }
+
+    #[test]
+    fn batched_offsets_match_record_path_for_all_batch_sizes() {
+        let c = catalog(&[1, 3, 7]);
+        for (offset, span) in [(-1, Span::new(1, 10)), (-2, Span::new(1, 9)), (1, Span::new(0, 7))]
+        {
+            let store = c.get("S").unwrap();
+            let expect = collect(
+                IncrementalValueOffsetCursor::new(
+                    Box::new(BaseStreamCursor::new(&store, Span::new(1, 7))),
+                    offset,
+                    span,
+                    ExecStats::new(),
+                )
+                .unwrap(),
+            );
+            for bs in [1, 2, 64] {
+                let cur = ValueOffsetBatchCursor::new(
+                    batch_input(&c, Span::new(1, 7), bs),
+                    offset,
+                    span,
+                    ExecStats::new(),
+                    bs,
+                )
+                .unwrap();
+                assert_eq!(collect_batches(cur), expect, "offset {offset} batch_size {bs}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_offset_cache_counters_match_record_path() {
+        let positions: Vec<i64> = (1..=50).map(|i| i * 2).collect();
+        let c = catalog(&positions);
+        let stats = ExecStats::new();
+        let cur = ValueOffsetBatchCursor::new(
+            batch_input(&c, Span::new(2, 100), 16),
+            -1,
+            Span::new(1, 100),
+            stats.clone(),
+            16,
+        )
+        .unwrap();
+        assert!(!collect_batches(cur).is_empty());
+        // Same cache traffic as IncrementalValueOffsetCursor on this input.
+        assert_eq!(stats.snapshot().cache_stores, 49);
+        assert_eq!(stats.snapshot().naive_walk_steps, 0);
+    }
+
+    #[test]
+    fn batched_offset_next_batch_from_jumps_output() {
+        let c = catalog(&(1..=100).collect::<Vec<i64>>());
+        let mut cur = ValueOffsetBatchCursor::new(
+            batch_input(&c, Span::new(1, 100), 8),
+            -1,
+            Span::new(1, 200),
+            ExecStats::new(),
+            8,
+        )
+        .unwrap();
+        let b = cur.next_batch_from(150).unwrap().unwrap();
+        assert_eq!(b.first_pos(), Some(150));
+        assert_eq!(b.rows().next().unwrap().value(0).unwrap(), &Value::Int(100));
     }
 }

@@ -273,6 +273,9 @@ pub fn execute_parallel_with(
     if morsels.len() <= 1 {
         return crate::exec::execute_batched_with(plan, ctx, batch_size);
     }
+    if let Some(p) = &ctx.profile {
+        p.set_op_modes(plan.root.exec_mode_labels(true));
+    }
     let workers = config.workers.min(morsels.len());
     let queue = MergeQueue::new(morsels.len(), workers * 2 + 2);
     if let Some(p) = &ctx.profile {

@@ -16,19 +16,25 @@ use seq_core::{Record, Result, Span};
 use seq_ops::{AggFunc, Expr, Window};
 
 use crate::aggregate::{
-    AggProbe, CumulativeAggCursor, NaiveAggCursor, WholeSpanAggCursor, WindowAggCursor,
+    AggProbe, CumulativeAggBatchCursor, CumulativeAggCursor, NaiveAggCursor,
+    WholeSpanAggBatchCursor, WholeSpanAggCursor, WindowAggCursor,
 };
 use crate::batch::{
     BaseBatchCursor, BatchCursor, FusedBaseBatchCursor, PosOffsetBatchCursor, ProjectBatchCursor,
     RecordToBatchCursor, SelectBatchCursor, WindowAggBatchCursor,
 };
-use crate::compose::{ComposeProbe, LockStepJoin, StreamProbeJoin, StreamSide};
+use crate::compose::{
+    ComposeProbe, LockStepJoin, LockStepJoinBatch, StreamProbeJoin, StreamProbeJoinBatch,
+    StreamSide,
+};
 use crate::cursor::{
     BaseProbe, BaseStreamCursor, ConstCursor, ConstProbe, Cursor, FusedBaseStreamCursor,
     PointAccess, PosOffsetCursor, PosOffsetProbe, ProjectCursor, ProjectProbe, SelectCursor,
     SelectProbe,
 };
-use crate::offset::{IncrementalValueOffsetCursor, NaiveValueOffsetCursor, ValueOffsetProbe};
+use crate::offset::{
+    IncrementalValueOffsetCursor, NaiveValueOffsetCursor, ValueOffsetBatchCursor, ValueOffsetProbe,
+};
 use crate::profile::QueryProfile;
 use crate::stats::ExecStats;
 
@@ -353,22 +359,66 @@ impl PhysNode {
         })
     }
 
-    /// True when this node has a native vectorized kernel — the unit-scope
-    /// stream operators (plus sliding-window aggregates, whose input side is
-    /// a pure stream). Everything else lowers through the record-at-a-time
-    /// cursor behind an adapter.
+    /// True when this node has a native vectorized kernel. That now covers
+    /// every stream-strategy operator — the unit-scope operators, all
+    /// aggregate windows, Cache-B value offsets, and both compose join
+    /// strategies (a Strategy-A compose streams its outer side in batches
+    /// and probes the inner per row, which is a record-path subtree by
+    /// definition). Only the naive probe-walk strategies and Constant lower
+    /// through the record-at-a-time cursor behind an adapter.
     pub fn is_batch_capable(&self) -> bool {
         match self {
             PhysNode::Base { .. }
             | PhysNode::FusedScan { .. }
             | PhysNode::Select { .. }
             | PhysNode::Project { .. }
-            | PhysNode::PosOffset { .. } => true,
-            PhysNode::Aggregate { window, strategy, .. } => {
-                matches!(window, Window::Sliding { .. }) && *strategy != AggStrategy::NaiveProbe
+            | PhysNode::PosOffset { .. }
+            | PhysNode::Compose { .. } => true,
+            PhysNode::Aggregate { strategy, .. } => *strategy != AggStrategy::NaiveProbe,
+            PhysNode::ValueOffset { strategy, .. } => {
+                *strategy == ValueOffsetStrategy::IncrementalCacheB
             }
-            PhysNode::Constant { .. } | PhysNode::ValueOffset { .. } | PhysNode::Compose { .. } => {
-                false
+            PhysNode::Constant { .. } => false,
+        }
+    }
+
+    /// Per-operator execution-mode labels in pre-order (`"batch"`,
+    /// `"tuple"`, or `"fused"`), mirroring exactly how
+    /// [`PhysNode::open_batch`] lowers the tree. `vectorized` says whether
+    /// the root opens on the batch path at all. A non-batch-capable node
+    /// drops its whole subtree to the record path behind an adapter; a
+    /// Strategy-A compose keeps its streamed side vectorized while the
+    /// probed side is a record-path subtree; a fused scan is its own mode
+    /// on either path (the σ ran inside the storage scan).
+    pub fn exec_mode_labels(&self, vectorized: bool) -> Vec<&'static str> {
+        let mut out = Vec::with_capacity(self.subtree_size());
+        self.push_mode_labels(vectorized, &mut out);
+        out
+    }
+
+    fn push_mode_labels(&self, in_batch: bool, out: &mut Vec<&'static str>) {
+        let native = in_batch && self.is_batch_capable();
+        let label = match self {
+            PhysNode::FusedScan { .. } => "fused",
+            _ if native => "batch",
+            _ => "tuple",
+        };
+        out.push(label);
+        match self {
+            PhysNode::Base { .. } | PhysNode::FusedScan { .. } | PhysNode::Constant { .. } => {}
+            PhysNode::Select { input, .. }
+            | PhysNode::Project { input, .. }
+            | PhysNode::PosOffset { input, .. }
+            | PhysNode::Aggregate { input, .. }
+            | PhysNode::ValueOffset { input, .. } => input.push_mode_labels(native, out),
+            PhysNode::Compose { left, right, strategy, .. } => {
+                let (l, r) = match strategy {
+                    JoinStrategy::LockStep => (native, native),
+                    JoinStrategy::StreamLeftProbeRight => (native, false),
+                    JoinStrategy::StreamRightProbeLeft => (false, native),
+                };
+                left.push_mode_labels(l, out);
+                right.push_mode_labels(r, out);
             }
         }
     }
@@ -540,8 +590,9 @@ impl PhysNode {
                 *offset,
                 *span,
             )),
-            PhysNode::Aggregate { input, func, attr_index, window, strategy, span } => {
-                Box::new(WindowAggBatchCursor::new(
+            PhysNode::Aggregate { input, func, attr_index, window, strategy, span } => match window
+            {
+                Window::Sliding { .. } => Box::new(WindowAggBatchCursor::new(
                     input.open_batch_at(ctx, batch_size, id + 1)?,
                     *func,
                     *attr_index,
@@ -549,9 +600,60 @@ impl PhysNode {
                     *span,
                     *strategy == AggStrategy::CacheAIncremental,
                     batch_size,
+                )?),
+                Window::Cumulative => Box::new(CumulativeAggBatchCursor::new(
+                    input.open_batch_at(ctx, batch_size, id + 1)?,
+                    *func,
+                    *attr_index,
+                    *span,
+                    batch_size,
+                )?),
+                Window::WholeSpan => Box::new(WholeSpanAggBatchCursor::new(
+                    input.open_batch_at(ctx, batch_size, id + 1)?,
+                    *func,
+                    *attr_index,
+                    *span,
+                    batch_size,
+                )?),
+            },
+            PhysNode::ValueOffset { input, offset, span, .. } => {
+                // Only IncrementalCacheB is batch-capable; the guard above
+                // routed NaiveProbe through the adapter.
+                Box::new(ValueOffsetBatchCursor::new(
+                    input.open_batch_at(ctx, batch_size, id + 1)?,
+                    *offset,
+                    *span,
+                    ctx.op_stats(id),
+                    batch_size,
                 )?)
             }
-            PhysNode::Constant { .. } | PhysNode::ValueOffset { .. } | PhysNode::Compose { .. } => {
+            PhysNode::Compose { left, right, predicate, strategy, .. } => {
+                let right_id = id + 1 + left.subtree_size();
+                match strategy {
+                    JoinStrategy::LockStep => Box::new(LockStepJoinBatch::new(
+                        left.open_batch_at(ctx, batch_size, id + 1)?,
+                        right.open_batch_at(ctx, batch_size, right_id)?,
+                        predicate.clone(),
+                        ctx.op_stats(id),
+                        batch_size,
+                    )),
+                    JoinStrategy::StreamLeftProbeRight => Box::new(StreamProbeJoinBatch::new(
+                        left.open_batch_at(ctx, batch_size, id + 1)?,
+                        right.open_probe_at(ctx, right_id)?,
+                        StreamSide::Left,
+                        predicate.clone(),
+                        ctx.op_stats(id),
+                    )),
+                    JoinStrategy::StreamRightProbeLeft => Box::new(StreamProbeJoinBatch::new(
+                        right.open_batch_at(ctx, batch_size, right_id)?,
+                        left.open_probe_at(ctx, id + 1)?,
+                        StreamSide::Right,
+                        predicate.clone(),
+                        ctx.op_stats(id),
+                    )),
+                }
+            }
+            PhysNode::Constant { .. } => {
                 unreachable!("non-batch-capable nodes handled by the adapter fallback")
             }
         };

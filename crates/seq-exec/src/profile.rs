@@ -79,9 +79,12 @@ impl OpProfile {
         }
     }
 
-    /// A point-in-time copy of this operator's measurements.
+    /// A point-in-time copy of this operator's measurements. The execution
+    /// mode defaults to "tuple" here; [`QueryProfile::op_reports`] fills in
+    /// the mode recorded by the execute entry point.
     pub fn report(&self) -> OpReport {
         OpReport {
+            mode: "tuple",
             label: self.label.clone(),
             span: self.span,
             depth: self.depth,
@@ -102,6 +105,10 @@ impl OpProfile {
 pub struct OpReport {
     /// One-line operator description.
     pub label: String,
+    /// Execution mode the operator lowered onto: "batch" (native vectorized
+    /// kernel), "tuple" (record-at-a-time, possibly behind an adapter), or
+    /// "fused" (predicate fused into the scan).
+    pub mode: &'static str,
     /// The node's restricted output span.
     pub span: Span,
     /// Depth in the plan tree (root = 0).
@@ -149,6 +156,9 @@ pub struct WorkerProfile {
 /// [`QueryProfile::to_json`].
 pub struct QueryProfile {
     ops: Vec<OpProfile>,
+    /// Per-operator execution mode ("batch" / "tuple" / "fused"), in
+    /// pre-order; set by the execute entry points (empty until one runs).
+    modes: Mutex<Vec<&'static str>>,
     workers: Mutex<Vec<WorkerProfile>>,
     morsels_planned: AtomicU64,
     merge_wait_nanos: AtomicU64,
@@ -167,10 +177,32 @@ impl QueryProfile {
         collect_ops(&plan.root, 0, exec_stats, storage_stats, &mut ops);
         Arc::new(QueryProfile {
             ops,
+            modes: Mutex::new(Vec::new()),
             workers: Mutex::new(Vec::new()),
             morsels_planned: AtomicU64::new(0),
             merge_wait_nanos: AtomicU64::new(0),
         })
+    }
+
+    /// Record each operator's execution mode ("batch" / "tuple" / "fused"),
+    /// in pre-order — see [`PhysNode::exec_mode_labels`]. Called by the
+    /// execute entry points; a length mismatch (a profile reused across
+    /// plans) is ignored rather than mis-attributed.
+    pub fn set_op_modes(&self, modes: Vec<&'static str>) {
+        if modes.len() == self.ops.len() {
+            *self.modes.lock().expect("profile poisoned") = modes;
+        }
+    }
+
+    /// Per-operator execution modes in pre-order; "tuple" until an execute
+    /// entry point records the lowered modes.
+    pub fn op_modes(&self) -> Vec<&'static str> {
+        let modes = self.modes.lock().expect("profile poisoned");
+        if modes.len() == self.ops.len() {
+            modes.clone()
+        } else {
+            vec!["tuple"; self.ops.len()]
+        }
     }
 
     /// Number of instrumented operators.
@@ -185,9 +217,19 @@ impl QueryProfile {
         self.ops[0].rows_out.load(Ordering::Relaxed)
     }
 
-    /// Point-in-time copies of every operator slot, in pre-order.
+    /// Point-in-time copies of every operator slot, in pre-order, with the
+    /// recorded execution modes filled in.
     pub fn op_reports(&self) -> Vec<OpReport> {
-        self.ops.iter().map(|o| o.report()).collect()
+        let modes = self.op_modes();
+        self.ops
+            .iter()
+            .zip(modes)
+            .map(|(o, mode)| {
+                let mut r = o.report();
+                r.mode = mode;
+                r
+            })
+            .collect()
     }
 
     /// Per-worker measurements (empty unless the parallel driver ran),
@@ -315,7 +357,7 @@ impl QueryProfile {
         let mut out = String::new();
         for op in self.op_reports() {
             let pad = "  ".repeat(op.depth);
-            let _ = writeln!(out, "{pad}{} span={}", op.label, op.span);
+            let _ = writeln!(out, "{pad}{} span={} mode={}", op.label, op.span, op.mode);
             let _ = write!(
                 out,
                 "{pad}  rows={} calls={} time={:.3}ms",
@@ -379,6 +421,7 @@ impl QueryProfile {
             }
             w.raw("\n    {");
             w.field_str("label", &op.label);
+            w.field_str("mode", op.mode);
             w.field_str("span", &op.span.to_string());
             w.field_num("depth", op.depth as f64);
             w.raw("\"children\": [");

@@ -16,10 +16,10 @@
 //!    span must yield nothing without ever touching its input.
 
 use seq_core::{record, schema, AttrType, BaseSequence, Record, RecordBatch, Result, Span, Value};
-use seq_exec::aggregate::WholeSpanAggCursor;
+use seq_exec::aggregate::{CumulativeAggBatchCursor, WholeSpanAggBatchCursor, WholeSpanAggCursor};
 use seq_exec::batch::{PosOffsetBatchCursor, WindowAggBatchCursor};
 use seq_exec::cursor::PosOffsetCursor;
-use seq_exec::offset::IncrementalValueOffsetCursor;
+use seq_exec::offset::{IncrementalValueOffsetCursor, ValueOffsetBatchCursor};
 use seq_exec::{
     AggStrategy, BatchCursor, Cursor, ExecContext, ExecStats, JoinStrategy, PhysNode,
     ValueOffsetStrategy,
@@ -120,7 +120,7 @@ fn plans() -> Vec<(&'static str, PhysNode)> {
             },
         ),
         (
-            "value-offset-fallback",
+            "value-offset-batched",
             PhysNode::ValueOffset {
                 input: base("D"),
                 offset: -2,
@@ -129,7 +129,25 @@ fn plans() -> Vec<(&'static str, PhysNode)> {
             },
         ),
         (
-            "select-over-compose-fallback",
+            "value-offset-fwd-batched",
+            PhysNode::ValueOffset {
+                input: base("D"),
+                offset: 3,
+                strategy: ValueOffsetStrategy::IncrementalCacheB,
+                span,
+            },
+        ),
+        (
+            "value-offset-naive-fallback",
+            PhysNode::ValueOffset {
+                input: base("D"),
+                offset: -2,
+                strategy: ValueOffsetStrategy::NaiveProbe,
+                span,
+            },
+        ),
+        (
+            "select-over-compose-lockstep",
             select(
                 Box::new(PhysNode::Compose {
                     left: base("D"),
@@ -139,6 +157,60 @@ fn plans() -> Vec<(&'static str, PhysNode)> {
                     span,
                 }),
                 25.0,
+            ),
+        ),
+        (
+            "compose-lockstep-predicate",
+            PhysNode::Compose {
+                left: base("D"),
+                right: base("S"),
+                predicate: Some(pred(25.0)),
+                strategy: JoinStrategy::LockStep,
+                span,
+            },
+        ),
+        (
+            "compose-streamprobe-left",
+            PhysNode::Compose {
+                left: base("D"),
+                right: base("S"),
+                predicate: None,
+                strategy: JoinStrategy::StreamLeftProbeRight,
+                span,
+            },
+        ),
+        (
+            "compose-streamprobe-right",
+            PhysNode::Compose {
+                left: base("S"),
+                right: base("D"),
+                predicate: None,
+                strategy: JoinStrategy::StreamRightProbeLeft,
+                span,
+            },
+        ),
+        ("cumulative-avg", agg(base("D"), AggStrategy::CacheA, Window::Cumulative)),
+        ("whole-span-avg", agg(base("S"), AggStrategy::CacheA, Window::WholeSpan)),
+        (
+            // Compose + value offset + cumulative aggregate with no block
+            // boundary anywhere: the full-native stack the lowering is
+            // expected to keep adapter-free.
+            "stacked-full-native",
+            agg(
+                Box::new(PhysNode::ValueOffset {
+                    input: Box::new(PhysNode::Compose {
+                        left: base("D"),
+                        right: base("S"),
+                        predicate: None,
+                        strategy: JoinStrategy::LockStep,
+                        span,
+                    }),
+                    offset: -2,
+                    strategy: ValueOffsetStrategy::IncrementalCacheB,
+                    span,
+                }),
+                AggStrategy::CacheA,
+                Window::Cumulative,
             ),
         ),
     ]
@@ -523,4 +595,40 @@ fn empty_span_cursors_yield_nothing_without_touching_input() {
         WholeSpanAggCursor::new(Box::new(PanicCursor), AggFunc::Sum, 0, Span::empty()).unwrap();
     assert!(whole.next().unwrap().is_none());
     assert!(whole.next_from(0).unwrap().is_none());
+
+    // The batched counterparts carry the same empty-span contract. (The
+    // batch joins hold no span of their own — their children are the
+    // span-restricted side — so they have no equivalent obligation.)
+    let mut voff_b = ValueOffsetBatchCursor::new(
+        Box::new(PanicBatchCursor),
+        -2,
+        Span::empty(),
+        ExecStats::new(),
+        16,
+    )
+    .unwrap();
+    assert!(voff_b.next_batch().unwrap().is_none());
+    assert!(voff_b.next_batch_from(7).unwrap().is_none());
+
+    let mut cum_b = CumulativeAggBatchCursor::new(
+        Box::new(PanicBatchCursor),
+        AggFunc::Sum,
+        0,
+        Span::empty(),
+        16,
+    )
+    .unwrap();
+    assert!(cum_b.next_batch().unwrap().is_none());
+    assert!(cum_b.next_batch_from(0).unwrap().is_none());
+
+    let mut whole_b = WholeSpanAggBatchCursor::new(
+        Box::new(PanicBatchCursor),
+        AggFunc::Sum,
+        0,
+        Span::empty(),
+        16,
+    )
+    .unwrap();
+    assert!(whole_b.next_batch().unwrap().is_none());
+    assert!(whole_b.next_batch_from(0).unwrap().is_none());
 }

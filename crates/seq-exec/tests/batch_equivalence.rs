@@ -98,7 +98,7 @@ fn plans() -> Vec<(&'static str, PhysNode)> {
             ),
         ),
         (
-            "value-offset-fallback",
+            "value-offset-batched",
             PhysNode::ValueOffset {
                 input: base("D"),
                 offset: -2,
@@ -107,7 +107,16 @@ fn plans() -> Vec<(&'static str, PhysNode)> {
             },
         ),
         (
-            "select-over-compose-fallback",
+            "value-offset-naive-fallback",
+            PhysNode::ValueOffset {
+                input: base("D"),
+                offset: -2,
+                strategy: ValueOffsetStrategy::NaiveProbe,
+                span,
+            },
+        ),
+        (
+            "compose-lockstep-sparse",
             select(
                 Box::new(PhysNode::Compose {
                     left: base("D"),
@@ -119,6 +128,41 @@ fn plans() -> Vec<(&'static str, PhysNode)> {
                 25.0,
             ),
         ),
+        (
+            "select-over-compose-lockstep-dense",
+            select(
+                Box::new(PhysNode::Compose {
+                    left: base("D"),
+                    right: base("D"),
+                    predicate: None,
+                    strategy: JoinStrategy::LockStep,
+                    span,
+                }),
+                25.0,
+            ),
+        ),
+        (
+            "compose-streamprobe-left",
+            PhysNode::Compose {
+                left: base("D"),
+                right: base("S"),
+                predicate: None,
+                strategy: JoinStrategy::StreamLeftProbeRight,
+                span,
+            },
+        ),
+        (
+            "compose-streamprobe-right",
+            PhysNode::Compose {
+                left: base("S"),
+                right: base("D"),
+                predicate: None,
+                strategy: JoinStrategy::StreamRightProbeLeft,
+                span,
+            },
+        ),
+        ("cumulative-avg-batched", agg(base("D"), AggStrategy::CacheA, Window::Cumulative)),
+        ("whole-span-avg-batched", agg(base("S"), AggStrategy::CacheA, Window::WholeSpan)),
     ]
 }
 
@@ -153,6 +197,14 @@ fn batched_execution_preserves_access_accounting() {
     // only after the batch that crosses the boundary was materialized).
     let batch_size: u64 = 64;
     let page_capacity: u64 = 16;
+    // A lock-step merge over poorly correlated inputs is the one place where
+    // batch read-ahead is not bounded by a single batch: the record path
+    // skips stretch-by-stretch via per-record `next_from` hints, while a
+    // batch merge must materialize whole position-contiguous batches and
+    // discard the non-matching rows inside them (the classic vectorization
+    // read-amplification trade-off). Operator-level counters (predicates,
+    // probes, outputs, caches) stay exact even there.
+    let stream_slack_exempt = ["compose-lockstep-sparse"];
     for (name, node) in plans() {
         let plan = PhysPlan::new(node.clone(), Span::new(1, 500));
 
@@ -168,27 +220,45 @@ fn batched_execution_preserves_access_accounting() {
         let access2 = c2.stats().snapshot();
         let exec2 = ctx2.stats.snapshot();
 
-        let page_slack = batch_size.div_ceil(page_capacity) + 1;
-        let page_diff = access2.page_accesses().abs_diff(access1.page_accesses());
-        assert!(
-            page_diff <= page_slack,
-            "plan {name:?}: page accesses diverged beyond read-ahead \
-             ({} record vs {} batched)",
-            access1.page_accesses(),
-            access2.page_accesses()
-        );
-        let stream_diff = access2.stream_records.abs_diff(access1.stream_records);
-        assert!(
-            stream_diff <= batch_size,
-            "plan {name:?}: stream records diverged beyond one batch \
-             ({} record vs {} batched)",
-            access1.stream_records,
-            access2.stream_records
-        );
+        if !stream_slack_exempt.contains(&name) {
+            let page_slack = batch_size.div_ceil(page_capacity) + 1;
+            let page_diff = access2.page_accesses().abs_diff(access1.page_accesses());
+            assert!(
+                page_diff <= page_slack,
+                "plan {name:?}: page accesses diverged beyond read-ahead \
+                 ({} record vs {} batched)",
+                access1.page_accesses(),
+                access2.page_accesses()
+            );
+            let stream_diff = access2.stream_records.abs_diff(access1.stream_records);
+            assert!(
+                stream_diff <= batch_size,
+                "plan {name:?}: stream records diverged beyond one batch \
+                 ({} record vs {} batched)",
+                access1.stream_records,
+                access2.stream_records
+            );
+        }
+        assert_eq!(access1.probes, access2.probes, "plan {name:?}: probe accounting diverged");
         assert_eq!(
             exec1.predicate_evals, exec2.predicate_evals,
             "plan {name:?}: predicate accounting diverged"
         );
+        // Sliding-window aggregates are exempt from cache-counter equality:
+        // the PR-1 batch kernel keeps its window in a plain column buffer
+        // rather than the record path's instrumented FIFO `OpCache` (same
+        // results, different bookkeeping). Cache-B value offsets share the
+        // `OpCache` across both paths, so their traffic is exact.
+        if !name.starts_with("window-") && name != "agg-over-select" {
+            assert_eq!(
+                exec1.cache_stores, exec2.cache_stores,
+                "plan {name:?}: cache-store accounting diverged"
+            );
+            assert_eq!(
+                exec1.cache_probes, exec2.cache_probes,
+                "plan {name:?}: cache-probe accounting diverged"
+            );
+        }
         assert_eq!(
             exec1.output_records, exec2.output_records,
             "plan {name:?}: output accounting diverged"

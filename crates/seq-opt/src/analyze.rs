@@ -34,6 +34,10 @@ pub const DIVERGENCE_FACTOR: f64 = 2.0;
 pub struct OpAnalysis {
     /// Pre-order node id (matches [`QueryProfile`] ids).
     pub id: usize,
+    /// Execution mode the operator lowered onto: "batch" (native vectorized
+    /// kernel), "tuple" (record-at-a-time, possibly behind an adapter), or
+    /// "fused" (predicate fused into the scan).
+    pub mode: &'static str,
     /// Optimizer-estimated output rows (Step 2.a meta-data rules).
     pub est_rows: f64,
     /// Measured output rows.
@@ -92,9 +96,9 @@ impl AnalyzeReport {
             }
             let _ = write!(
                 out,
-                "\n    {{\"id\": {}, \"est_rows\": {:.1}, \"actual_rows\": {}, \
-                 \"divergent\": {}}}",
-                op.id, op.est_rows, op.actual_rows, op.divergent
+                "\n    {{\"id\": {}, \"mode\": \"{}\", \"est_rows\": {:.1}, \
+                 \"actual_rows\": {}, \"divergent\": {}}}",
+                op.id, op.mode, op.est_rows, op.actual_rows, op.divergent
             );
         }
         out.push_str("\n  ],\n  \"profile\": ");
@@ -141,6 +145,7 @@ pub fn explain_analyze(
             let ratio = (op.rows_out as f64 + 1.0) / (est + 1.0);
             OpAnalysis {
                 id,
+                mode: op.mode,
                 est_rows: est,
                 actual_rows: op.rows_out,
                 divergent: !(1.0 / DIVERGENCE_FACTOR..=DIVERGENCE_FACTOR).contains(&ratio),
@@ -266,7 +271,7 @@ fn render(
     let _ = writeln!(out, "Start range={}", opt.plan.range);
     for (op, a) in profile.op_reports().iter().zip(per_op) {
         let pad = "  ".repeat(op.depth + 1);
-        let _ = writeln!(out, "{pad}{} span={}", op.label, op.span);
+        let _ = writeln!(out, "{pad}{} span={} mode={}", op.label, op.span, a.mode);
         let flag = if a.divergent { "  << divergent" } else { "" };
         let _ = write!(
             out,
@@ -411,6 +416,45 @@ mod tests {
         assert!(report.text.contains("worker 0:"));
         // Root actuals survive the per-morsel clamping.
         assert_eq!(report.per_op[0].actual_rows, report.rows.len() as u64);
+    }
+
+    #[test]
+    fn full_native_stack_lowers_with_zero_adapters() {
+        // Compose + value offset + cumulative aggregate: every stream-
+        // strategy operator now has a native batch kernel, so the lowered
+        // plan must contain no batch<->tuple adapter boundary — every
+        // \analyze mode annotation reads "batch" (or "fused"), never
+        // "tuple".
+        let mut c = Catalog::new();
+        c.set_page_capacity(16);
+        let base = BaseSequence::from_entries(
+            schema(&[("time", AttrType::Int), ("close", AttrType::Float)]),
+            (1..=N).map(|p| (p, record![p, (p % 100) as f64])).collect(),
+        )
+        .unwrap();
+        c.register("S", &base);
+        c.register("T", &base);
+        let q =
+            parse_query("(agg avg close cumulative (prev (compose (base S) (base T))))").unwrap();
+        let cfg = OptimizerConfig::new(Span::new(1, N));
+        let opt = optimize(&q, &CatalogRef(&c), &cfg).unwrap();
+        // Not partitionable (value offset + cumulative agg), so the whole
+        // stack runs on the sequential vectorized path.
+        assert!(matches!(opt.exec_mode, crate::lowering::ExecMode::Batched));
+        let mut ctx = ExecContext::new(&c);
+        let report = explain_analyze(&opt, &mut ctx, &cfg.cost).unwrap();
+        assert_eq!(report.per_op.len(), opt.plan.root.subtree_size());
+        for a in &report.per_op {
+            assert!(
+                a.mode == "batch" || a.mode == "fused",
+                "operator {} fell back to {} mode — an adapter boundary survived",
+                a.id,
+                a.mode
+            );
+        }
+        assert!(report.text.contains("mode=batch"));
+        let json = report.to_json(&opt.exec_mode.to_string());
+        assert!(json.contains("\"mode\": \"batch\""));
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! Vectorization pays off proportionally to the length of the contiguous
 //! run of batch-capable operators at the plan root — each such operator
 //! amortizes its per-record dispatch and counter traffic over a whole
-//! batch. A plan whose root is a block boundary (compose, value offset,
-//! cumulative aggregate) would only interpose an adapter at the top, so it
-//! stays on the record path.
+//! batch. Every stream-strategy operator — including compose (both join
+//! strategies), Cache-B value offsets, and cumulative/whole-span
+//! aggregates — now has a native batch kernel; only the naive probe-walk
+//! strategies and constants remain block boundaries that interpose a
+//! record-path adapter.
 
 use seq_core::Span;
 use seq_exec::PhysNode;
@@ -48,7 +50,15 @@ pub fn batch_run_len(node: &PhysNode) -> usize {
         PhysNode::Select { input, .. }
         | PhysNode::Project { input, .. }
         | PhysNode::PosOffset { input, .. }
-        | PhysNode::Aggregate { input, .. } => batch_run_len(input),
+        | PhysNode::Aggregate { input, .. }
+        | PhysNode::ValueOffset { input, .. } => batch_run_len(input),
+        // A Strategy-A compose only streams its outer side in batches; the
+        // probed side is a record-path subtree by construction.
+        PhysNode::Compose { left, right, strategy, .. } => match strategy {
+            seq_exec::JoinStrategy::LockStep => batch_run_len(left) + batch_run_len(right),
+            seq_exec::JoinStrategy::StreamLeftProbeRight => batch_run_len(left),
+            seq_exec::JoinStrategy::StreamRightProbeLeft => batch_run_len(right),
+        },
         _ => 0,
     }
 }
@@ -97,6 +107,8 @@ mod tests {
     fn run_length_counts_contiguous_capable_prefix() {
         let span = Span::new(1, 10);
         assert_eq!(batch_run_len(&base()), 1);
+        // Lock-step compose streams both sides in batches: it counts itself
+        // plus both child runs.
         let compose = PhysNode::Compose {
             left: base(),
             right: base(),
@@ -104,16 +116,32 @@ mod tests {
             strategy: JoinStrategy::LockStep,
             span,
         };
-        assert_eq!(batch_run_len(&compose), 0);
-        // Project over compose: run stops at the block boundary.
+        assert_eq!(batch_run_len(&compose), 3);
         let stack = PhysNode::Project { input: Box::new(compose), indices: vec![0], span };
-        assert_eq!(batch_run_len(&stack), 1);
+        assert_eq!(batch_run_len(&stack), 4);
+        // Strategy-A only streams the outer side in batches.
+        let stream_probe = PhysNode::Compose {
+            left: base(),
+            right: base(),
+            predicate: None,
+            strategy: JoinStrategy::StreamLeftProbeRight,
+            span,
+        };
+        assert_eq!(batch_run_len(&stream_probe), 2);
         let deep = PhysNode::Project {
             input: Box::new(PhysNode::PosOffset { input: base(), offset: -1, span }),
             indices: vec![0],
             span,
         };
         assert_eq!(batch_run_len(&deep), 3);
+        // Naive strategies stay block boundaries.
+        let naive_voff = PhysNode::ValueOffset {
+            input: base(),
+            offset: -1,
+            strategy: seq_exec::ValueOffsetStrategy::NaiveProbe,
+            span,
+        };
+        assert_eq!(batch_run_len(&naive_voff), 0);
     }
 
     #[test]
@@ -122,7 +150,7 @@ mod tests {
         let b = base();
         assert_eq!(choose_exec_mode(&b, true, 1, span), ExecMode::Batched);
         assert_eq!(choose_exec_mode(&b, false, 1, span), ExecMode::RecordAtATime);
-        let naive_agg = PhysNode::Aggregate {
+        let cum_agg = PhysNode::Aggregate {
             input: base(),
             func: seq_ops::AggFunc::Sum,
             attr_index: 0,
@@ -130,7 +158,18 @@ mod tests {
             strategy: AggStrategy::CacheA,
             span,
         };
-        // Cumulative aggregates have no batch kernel at the root.
+        // Cumulative aggregates run vectorized natively now.
+        assert_eq!(batch_run_len(&cum_agg), 2);
+        assert_eq!(choose_exec_mode(&cum_agg, true, 1, span), ExecMode::Batched);
+        // The naive probe-walk strategy is still a block boundary at the root.
+        let naive_agg = PhysNode::Aggregate {
+            input: base(),
+            func: seq_ops::AggFunc::Sum,
+            attr_index: 0,
+            window: seq_ops::Window::Cumulative,
+            strategy: AggStrategy::NaiveProbe,
+            span,
+        };
         assert_eq!(choose_exec_mode(&naive_agg, true, 1, span), ExecMode::RecordAtATime);
     }
 
@@ -147,16 +186,16 @@ mod tests {
         // the single-threaded batch path still applies.
         let unbounded = PhysNode::Base { name: "A".into(), span: Span::all() };
         assert_eq!(choose_exec_mode(&unbounded, true, 4, Span::all()), ExecMode::Batched);
-        // A non-partitionable root falls back to batched/record.
+        // A non-partitionable root falls back to the sequential batch path
+        // (Cache-B value offsets now have a native batch kernel).
         let voff = PhysNode::ValueOffset {
             input: base(),
             offset: -1,
             strategy: seq_exec::ValueOffsetStrategy::IncrementalCacheB,
             span,
         };
-        assert_eq!(choose_exec_mode(&voff, true, 4, span), ExecMode::RecordAtATime);
-        // A partitionable plan with no batch kernel at the root (lock-step
-        // join of bases) still parallelizes through the adapters.
+        assert_eq!(choose_exec_mode(&voff, true, 4, span), ExecMode::Batched);
+        // A partitionable lock-step join of bases parallelizes.
         let compose = PhysNode::Compose {
             left: base(),
             right: base(),
@@ -164,7 +203,6 @@ mod tests {
             strategy: JoinStrategy::LockStep,
             span,
         };
-        assert_eq!(batch_run_len(&compose), 0);
         assert_eq!(choose_exec_mode(&compose, true, 4, span), ExecMode::Parallel { workers: 4 });
     }
 }

@@ -11,9 +11,10 @@
 //! - `\tables` — list base sequences with meta-data;
 //! - `\explain <query>` — show the optimizer pipeline for a query;
 //! - `\analyze <query>` — execute under seq-trace instrumentation and show
-//!   the plan annotated with actual rows, per-operator timings and counters,
-//!   and estimated-vs-measured cost (`--profile-out FILE` also writes the
-//!   JSON profile export);
+//!   the plan annotated with each operator's execution mode
+//!   (`batch`/`tuple`/`fused`), actual rows, per-operator timings and
+//!   counters, and estimated-vs-measured cost (`--profile-out FILE` also
+//!   writes the JSON profile export, mode field included);
 //! - `\stats` — show session-cumulative executor + storage counters;
 //!   `\stats reset` zeroes them;
 //! - `\limit N` — cap printed rows (default 20);
