@@ -22,7 +22,9 @@ fn check_file(path: &str) -> Result<String, String> {
         return Err("empty operators array".into());
     }
     for (i, op) in ops.iter().enumerate() {
-        for key in ["rows_out", "calls", "busy_ms", "page_reads", "predicate_evals"] {
+        for key in
+            ["rows_out", "calls", "busy_ms", "page_reads", "predicate_evals", "bytes_decoded"]
+        {
             if op.get(key).and_then(Json::as_f64).is_none() {
                 return Err(format!("operator {i} missing numeric {key:?}"));
             }

@@ -79,6 +79,24 @@ impl RecordBatch {
         &self.columns
     }
 
+    /// Mutable access to the position vector and the column vectors for bulk
+    /// appends (the storage layer decodes encoded page columns straight into
+    /// a batch through this). Callers must leave every column exactly as
+    /// long as `positions` — the rectangular invariant is debug-asserted by
+    /// the next read accessor via [`RecordBatch::debug_check_rectangular`].
+    pub fn parts_mut(&mut self) -> (&mut Vec<i64>, &mut [Vec<Value>]) {
+        (&mut self.positions, &mut self.columns)
+    }
+
+    /// Debug-assert the rectangular invariant after bulk appends.
+    #[inline]
+    pub fn debug_check_rectangular(&self) {
+        debug_assert!(
+            self.columns.iter().all(|c| c.len() == self.positions.len()),
+            "batch columns must match positions length"
+        );
+    }
+
     /// Position of the first row, if any.
     #[inline]
     pub fn first_pos(&self) -> Option<i64> {

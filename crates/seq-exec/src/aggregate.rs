@@ -108,6 +108,66 @@ impl SlidingAccumulator {
         Ok(())
     }
 
+    /// Add a run of entries that all hold the same value `v` (strict
+    /// same-variant equality, as produced by decoding an RLE run), at the
+    /// strictly increasing `positions`.
+    ///
+    /// Bit-identical to pushing each entry individually, but the run folds
+    /// into the running state in O(1) comparisons: counts add in one step,
+    /// integer sums multiply, and a Min/Max run collapses to a single
+    /// monotonic-deque entry at the run's last position (each equal-value
+    /// push would dominate its predecessor anyway). Float accumulation is
+    /// order-sensitive, so `sum_f` still repeats the adds element by
+    /// element.
+    pub fn push_run(&mut self, positions: &[i64], v: &Value) -> Result<()> {
+        let Some(&last) = positions.last() else { return Ok(()) };
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(self.live.back().map(|(p, _)| *p < positions[0]).unwrap_or(true));
+        let n = positions.len() as i64;
+        self.count += n;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => match v {
+                Value::Int(i) => {
+                    self.int_count += n;
+                    self.sum_i = self.sum_i.wrapping_add(i.wrapping_mul(n));
+                    for _ in 0..n {
+                        self.sum_f += *i as f64;
+                    }
+                }
+                Value::Float(f) => {
+                    for _ in 0..n {
+                        self.sum_f += f;
+                    }
+                }
+                other => {
+                    return Err(SeqError::Type(format!(
+                        "{} requires numeric values, found {}",
+                        self.func,
+                        other.attr_type()
+                    )))
+                }
+            },
+            AggFunc::Min | AggFunc::Max => {
+                while let Some((_, back)) = self.mono.back() {
+                    let ord = v.total_cmp(back)?;
+                    let dominated =
+                        if self.func == AggFunc::Min { ord.is_le() } else { ord.is_ge() };
+                    if dominated {
+                        self.mono.pop_back();
+                    } else {
+                        break;
+                    }
+                }
+                self.mono.push_back((last, v.clone()));
+            }
+        }
+        for &p in positions {
+            self.live.push_back((p, v.clone()));
+        }
+        Ok(())
+    }
+
     /// Remove entries at positions strictly below `pos`.
     pub fn evict_below(&mut self, pos: i64) {
         while self.live.front().map(|(p, _)| *p < pos).unwrap_or(false) {
@@ -546,12 +606,21 @@ impl CumulativeAggBatchCursor {
             }
             let o = self.cur;
             while self.peek_pos()?.is_some_and(|p| p <= o) {
-                let (p, v) = {
-                    let b = self.in_batch.as_ref().expect("peeked");
-                    (b.positions()[self.in_row], b.column(self.attr_index)?[self.in_row].clone())
-                };
-                self.in_row += 1;
-                self.acc.push(p, &v)?;
+                // Fold a whole strict-equality run (e.g. a decoded RLE run)
+                // in one accumulator call instead of per-row pushes.
+                let b = self.in_batch.as_ref().expect("peeked");
+                let positions = b.positions();
+                let col = b.column(self.attr_index)?;
+                let i = self.in_row;
+                let mut j = i + 1;
+                while j < positions.len()
+                    && positions[j] <= o
+                    && seq_storage::strict_eq(&col[j], &col[i])
+                {
+                    j += 1;
+                }
+                self.acc.push_run(&positions[i..j], &col[i])?;
+                self.in_row = j;
             }
             self.cur += 1;
             if let Some(v) = self.acc.current() {
@@ -834,6 +903,49 @@ mod tests {
         mx.evict_below(3);
         assert_eq!(mn.current(), Some(Value::Float(2.0)));
         assert_eq!(mx.current(), Some(Value::Float(5.0)));
+    }
+
+    #[test]
+    fn push_run_matches_individual_pushes() {
+        // Runs of strictly-equal values (as decoded from RLE) folded in one
+        // call must leave the accumulator in exactly the state n individual
+        // pushes would, through partial evictions cutting runs in half.
+        let runs: Vec<(Vec<i64>, Value)> = vec![
+            (vec![1, 2, 3], Value::Int(7)),
+            (vec![4], Value::Float(0.125)),
+            (vec![5, 6], Value::Float(0.125)),
+            (vec![7, 8, 9, 10], Value::Int(-2)),
+            (vec![12, 13], Value::Int(7)),
+        ];
+        for func in [AggFunc::Sum, AggFunc::Avg, AggFunc::Count, AggFunc::Min, AggFunc::Max] {
+            let mut one = SlidingAccumulator::new(func);
+            let mut folded = SlidingAccumulator::new(func);
+            for (positions, v) in &runs {
+                for &p in positions {
+                    one.push(p, v).unwrap();
+                }
+                folded.push_run(positions, v).unwrap();
+                assert_eq!(one.current(), folded.current(), "{func} after run at {positions:?}");
+                assert_eq!(one.len(), folded.len(), "{func}");
+            }
+            // Evict through the middle of the first run, then past a whole
+            // Min/Max-collapsed run, comparing at every step.
+            for below in [2, 5, 9, 14] {
+                one.evict_below(below);
+                folded.evict_below(below);
+                assert_eq!(one.current(), folded.current(), "{func} evicted below {below}");
+                assert_eq!(one.len(), folded.len(), "{func}");
+            }
+            assert!(folded.is_empty());
+        }
+        // Non-numeric runs fail for Sum/Avg exactly as single pushes do.
+        let mut acc = SlidingAccumulator::new(AggFunc::Sum);
+        assert!(acc.push_run(&[1, 2], &Value::str("x")).is_err());
+        // Count accepts any variant; an empty run is a no-op.
+        let mut cnt = SlidingAccumulator::new(AggFunc::Count);
+        cnt.push_run(&[1, 2], &Value::str("x")).unwrap();
+        cnt.push_run(&[], &Value::Int(0)).unwrap();
+        assert_eq!(cnt.current(), Some(Value::Int(2)));
     }
 
     #[test]

@@ -193,8 +193,10 @@ impl BatchCursor for SelectBatchCursor {
 /// σ fused into the base scan: the conjunctive predicate's terms are pushed
 /// into the storage layer as a [`seq_storage::ScanFilter`], letting the scan
 /// skip whole pages whose zone maps refute a term, and the same terms are
-/// re-applied here as a residual filter over the rows of surviving pages
-/// (zone maps only prove a page *may* match).
+/// re-evaluated *in place over the encoded page columns* of surviving pages
+/// (zone maps only prove a page *may* match) — RLE runs and dictionary codes
+/// are tested without decoding, and only surviving rows are materialized
+/// into the output batch.
 pub struct FusedBaseBatchCursor {
     scan: seq_storage::OwnedBatchScan,
     terms: Vec<(usize, seq_core::CmpOp, Value)>,
@@ -204,7 +206,7 @@ pub struct FusedBaseBatchCursor {
 impl FusedBaseBatchCursor {
     /// A filtered batched scan over `store` restricted to `span`, with
     /// `terms` both pushed down as the page-skipping filter and applied as
-    /// the residual row filter.
+    /// the in-place residual row filter over encoded columns.
     pub fn new(
         store: &std::sync::Arc<seq_storage::StoredSequence>,
         span: Span,
@@ -223,15 +225,13 @@ impl FusedBaseBatchCursor {
 
 impl BatchCursor for FusedBaseBatchCursor {
     fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
-        while let Some(b) = self.scan.next_batch() {
-            let n = b.len();
-            let idx = conjunction_filter_indices(&b, &self.terms)?;
-            self.stats.record_predicate_evals(n as u64);
-            if idx.len() == n {
+        // Every scanned row is one predicate application whether it is
+        // refuted inside the encoded page or survives into the batch, so the
+        // K-term accounting is identical to the decode-then-filter path.
+        while let Some((b, scanned)) = self.scan.next_batch_selected(&self.terms)? {
+            self.stats.record_predicate_evals(scanned);
+            if !b.is_empty() {
                 return Ok(Some(b));
-            }
-            if !idx.is_empty() {
-                return Ok(Some(b.gather(&idx)));
             }
         }
         Ok(None)
@@ -499,8 +499,17 @@ impl WindowAggBatchCursor {
             match &mut self.accumulator {
                 Some(acc) => {
                     while i < positions.len() && positions[i] <= upto {
-                        acc.push(positions[i], &col[i])?;
-                        i += 1;
+                        // Fold strict-equality runs (decoded RLE runs) into
+                        // the accumulator in one call each.
+                        let mut j = i + 1;
+                        while j < positions.len()
+                            && positions[j] <= upto
+                            && seq_storage::strict_eq(&col[j], &col[i])
+                        {
+                            j += 1;
+                        }
+                        acc.push_run(&positions[i..j], &col[i])?;
+                        i = j;
                     }
                 }
                 None => {

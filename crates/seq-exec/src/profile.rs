@@ -280,6 +280,7 @@ impl QueryProfile {
                 t.stream_records += s.stream_records;
                 t.scans_opened += s.scans_opened;
                 t.stat_folds += s.stat_folds;
+                t.bytes_decoded += s.bytes_decoded;
             }
         }
         t
@@ -444,7 +445,8 @@ impl QueryProfile {
             w.field_num("page_hits", op.storage.page_hits as f64);
             w.field_num("pages_skipped", op.storage.pages_skipped as f64);
             w.field_num("probes", op.storage.probes as f64);
-            w.last_field_num("stream_records", op.storage.stream_records as f64);
+            w.field_num("stream_records", op.storage.stream_records as f64);
+            w.last_field_num("bytes_decoded", op.storage.bytes_decoded as f64);
             w.raw("}");
         }
         w.raw("\n  ],\n  \"workers\": [");
@@ -755,6 +757,10 @@ mod tests {
         assert!(json.contains("\"operators\": ["));
         assert!(json.contains("\"rows_out\": 50"));
         assert!(json.contains("\"workers\": []"));
+        // Decode accounting is exported per operator, and the batched scan
+        // materialized real bytes.
+        assert!(json.contains("\"bytes_decoded\": "));
+        assert!(profile.total_storage().bytes_decoded > 0);
         // Balanced braces/brackets (cheap structural sanity).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -29,19 +29,30 @@ fn span() -> Span {
     Span::new(1, 400)
 }
 
-/// Four sequences spanning the density spectrum, so lock-step frontiers
-/// range from always-aligned to rarely-aligned and probe hit rates from
-/// near-1 to near-0.
+/// Six sequences: four spanning the density spectrum, so lock-step
+/// frontiers range from always-aligned to rarely-aligned and probe hit
+/// rates from near-1 to near-0, plus two shaped so their value columns
+/// land on encoded pages (`R` holds 24-position constant runs → RLE, `D`
+/// draws from six fixed levels → dictionary). Any batch kernel that takes
+/// the in-place path over those encodings must still agree bit-for-bit
+/// with the record path.
 fn catalog(seed: u64) -> Catalog {
     let mut rng = Rng::seed_from_u64(seed);
     let mut c = Catalog::new();
     c.set_page_capacity(PAGE_CAPACITY as usize);
     let sch = schema(&[("time", AttrType::Int), ("close", AttrType::Float)]);
-    for (name, density) in [("H", 0.95), ("M", 0.55), ("L", 0.20), ("T", 0.06)] {
+    for (name, density) in
+        [("H", 0.95), ("M", 0.55), ("L", 0.20), ("T", 0.06), ("R", 0.90), ("D", 0.60)]
+    {
         let mut entries = Vec::new();
         for p in 1i64..=400 {
             if rng.gen_bool(density) {
-                entries.push((p, record![p, rng.gen_range(-50.0..100.0)]));
+                let v = match name {
+                    "R" => (p / 24) as f64 * 4.0 - 30.0,
+                    "D" => rng.gen_range(0..6u32) as f64 * 17.5 - 35.0,
+                    _ => rng.gen_range(-50.0..100.0),
+                };
+                entries.push((p, record![p, v]));
             }
         }
         let seq = BaseSequence::from_entries(sch.clone(), entries).unwrap();
@@ -51,8 +62,23 @@ fn catalog(seed: u64) -> Catalog {
 }
 
 fn base(rng: &mut Rng) -> (PhysNode, usize) {
-    let name = ["H", "M", "L", "T"][rng.gen_range(0..4u32) as usize];
+    let name = ["H", "M", "L", "T", "R", "D"][rng.gen_range(0..6u32) as usize];
     (PhysNode::Base { name: name.into(), span: span() }, 2)
+}
+
+/// The shaped sequences must actually encode, or the trials above never
+/// leave the plain decode path.
+#[test]
+fn shaped_sequences_hold_encoded_value_columns() {
+    let c = catalog(0);
+    for (name, encoding) in [("R", "rle"), ("D", "dict")] {
+        let stored = c.get(name).unwrap();
+        assert_eq!(
+            stored.compression().columns[1].dominant(),
+            encoding,
+            "{name}: close column encoding"
+        );
+    }
 }
 
 /// A predicate bound to column `idx` (which must hold floats at runtime):

@@ -30,10 +30,13 @@ pub use analyze::{explain_analyze, AnalyzeReport, OpAnalysis, DIVERGENCE_FACTOR}
 pub use annotate::{annotate, Annotated};
 pub use blocks::{identify_blocks, Block, Blocks, InputSource, JoinBlock, NonUnitBlock};
 pub use cost::{
-    base_access_costs, price_join, zone_skip_fraction, AccessCosts, CostParams, JoinSide,
+    base_access_costs, encoded_access_costs, price_join, zone_skip_fraction, AccessCosts,
+    CostParams, JoinSide,
 };
 pub use info::{CatalogInfo, CatalogRef, StaticCatalogInfo};
-pub use lowering::{batch_run_len, choose_exec_mode, ExecMode};
+pub use lowering::{
+    batch_run_len, choose_exec_mode, choose_exec_mode_with, decode_costs_per_record, ExecMode,
+};
 pub use planner::{optimize, Optimized, OptimizerConfig};
 pub use pushdown::{fuse_selects, PushdownReport};
 pub use selinger::{BlockPhys, DpStats, PlanOptions};

@@ -79,6 +79,47 @@ pub fn choose_exec_mode(
     parallelism: usize,
     range: Span,
 ) -> ExecMode {
+    choose_exec_mode_with(
+        root,
+        vectorized,
+        parallelism,
+        range,
+        &crate::cost::CostParams::default(),
+        1.0,
+    )
+}
+
+/// Per-record decode cost of the two sequential paths over pages with
+/// compression `ratio` (encoded bytes over plain). The record path
+/// materializes every entered page as a full row view — each value is
+/// decoded and copied regardless of encoding — while the batch path's bulk
+/// decoders stream the encoded representation directly into column vectors
+/// (work proportional to encoded size) and its fused select kernels decode
+/// only survivors. Returned as `(tuple, batch)` so the lowering decision
+/// and EXPLAIN can show the margin.
+pub fn decode_costs_per_record(params: &crate::cost::CostParams, ratio: f64) -> (f64, f64) {
+    let ratio = ratio.clamp(0.0, 1.0);
+    let tuple = params.record_cpu + params.decode_cpu;
+    let batch = params.record_cpu + params.decode_cpu * ratio;
+    (tuple, batch)
+}
+
+/// [`choose_exec_mode`] with the decode-cost term made explicit: the
+/// batch-vs-tuple decision compares the per-record decode costs of the two
+/// paths over pages compressed to `ratio`. With `ratio = 1.0` (or default
+/// parameters on uncompressed data) the comparison degenerates to the purely
+/// structural rule — batch wherever a native kernel run exists — and
+/// compression only ever widens the batch path's margin, so the structural
+/// gates (partitionability, bounded range, batch-capable root run) remain
+/// the binding conditions.
+pub fn choose_exec_mode_with(
+    root: &PhysNode,
+    vectorized: bool,
+    parallelism: usize,
+    range: Span,
+    params: &crate::cost::CostParams,
+    ratio: f64,
+) -> ExecMode {
     if vectorized
         && parallelism > 1
         && root.is_position_partitionable()
@@ -86,7 +127,8 @@ pub fn choose_exec_mode(
     {
         return ExecMode::Parallel { workers: parallelism };
     }
-    if vectorized && batch_run_len(root) > 0 {
+    let (tuple_cost, batch_cost) = decode_costs_per_record(params, ratio);
+    if vectorized && batch_run_len(root) > 0 && batch_cost <= tuple_cost {
         ExecMode::Batched
     } else {
         ExecMode::RecordAtATime
@@ -171,6 +213,42 @@ mod tests {
             span,
         };
         assert_eq!(choose_exec_mode(&naive_agg, true, 1, span), ExecMode::RecordAtATime);
+    }
+
+    #[test]
+    fn decode_aware_mode_matches_structural_rule() {
+        use crate::cost::CostParams;
+        let span = Span::new(1, 10);
+        let p = CostParams::default();
+        let naive_agg = PhysNode::Aggregate {
+            input: base(),
+            func: seq_ops::AggFunc::Sum,
+            attr_index: 0,
+            window: seq_ops::Window::Cumulative,
+            strategy: AggStrategy::NaiveProbe,
+            span,
+        };
+        // Uncompressed pages: the decode terms cancel and the decision is
+        // exactly the structural one, for every scenario.
+        for (node, vectorized, workers) in
+            [(&*base(), true, 1), (&*base(), false, 1), (&*base(), true, 4), (&naive_agg, true, 1)]
+        {
+            assert_eq!(
+                choose_exec_mode_with(node, vectorized, workers, span, &p, 1.0),
+                choose_exec_mode(node, vectorized, workers, span),
+            );
+        }
+        // Compression only widens the batch path's per-record margin — the
+        // structural gates stay binding at any ratio.
+        let (t1, b1) = decode_costs_per_record(&p, 1.0);
+        let (t2, b2) = decode_costs_per_record(&p, 0.2);
+        assert_eq!(t1, t2); // row-view decode is encoding-blind
+        assert!(b2 < b1 && b1 <= t1);
+        assert_eq!(choose_exec_mode_with(&base(), true, 1, span, &p, 0.2), ExecMode::Batched);
+        assert_eq!(
+            choose_exec_mode_with(&naive_agg, true, 1, span, &p, 0.2),
+            ExecMode::RecordAtATime,
+        );
     }
 
     #[test]

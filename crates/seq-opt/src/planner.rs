@@ -22,7 +22,7 @@ use crate::annotate::annotate;
 use crate::blocks::{identify_blocks, Block};
 use crate::cost::CostParams;
 use crate::info::CatalogInfo;
-use crate::lowering::{choose_exec_mode, ExecMode};
+use crate::lowering::ExecMode;
 use crate::selinger::{plan_join_block, plan_nonunit_block, BlockPhys, DpStats, PlanOptions};
 use crate::transform::{apply_transformations, TransformReport};
 
@@ -139,6 +139,19 @@ impl Optimized {
     }
 }
 
+/// The compression ratio of the most compressed base sequence the plan
+/// scans (1.0 when it scans none, e.g. pure constants): the base whose
+/// decode margin the batch path exploits hardest.
+fn scanned_compression_ratio(root: &seq_exec::PhysNode, info: &dyn CatalogInfo) -> f64 {
+    let own = match root {
+        seq_exec::PhysNode::Base { name, .. } | seq_exec::PhysNode::FusedScan { name, .. } => {
+            info.compression_ratio(name)
+        }
+        _ => 1.0,
+    };
+    root.children().into_iter().map(|c| scanned_compression_ratio(c, info)).fold(own, f64::min)
+}
+
 /// Run the full pipeline on a declarative query.
 pub fn optimize(
     query: &QueryGraph,
@@ -235,13 +248,28 @@ pub fn optimize(
         }
     }
 
-    let exec_mode = choose_exec_mode(&plan.root, config.vectorized, config.parallelism, plan.range);
+    // The decode-cost term of the batch-vs-tuple decision prices the most
+    // compressed base the plan scans (widest per-record decode margin).
+    let ratio = scanned_compression_ratio(&plan.root, info);
+    let exec_mode = crate::lowering::choose_exec_mode_with(
+        &plan.root,
+        config.vectorized,
+        config.parallelism,
+        plan.range,
+        &config.cost,
+        ratio,
+    );
     let _ = writeln!(explain, "== Step 6: selected plan (est. cost {est_cost:.2}) ==");
     let _ = writeln!(explain, "{}", plan.render());
+    let (tuple_cost, batch_cost) = crate::lowering::decode_costs_per_record(&config.cost, ratio);
     let _ = writeln!(
         explain,
-        "exec mode: {exec_mode} (batch-capable root run: {})",
-        crate::lowering::batch_run_len(&plan.root)
+        "exec mode: {exec_mode} (batch-capable root run: {}, base compression {:.2}, \
+         decode cost/record tuple {:.4} vs batch {:.4})",
+        crate::lowering::batch_run_len(&plan.root),
+        ratio,
+        tuple_cost,
+        batch_cost,
     );
 
     Ok(Optimized {

@@ -28,14 +28,19 @@ use seq_workload::Rng;
 
 const N: i64 = 2000;
 
-/// Deterministic catalog: three sequences over 1..=N with distributions
-/// chosen to exercise the zone maps differently.
+/// Deterministic catalog: five sequences over 1..=N with distributions
+/// chosen to exercise the zone maps — and the page encodings — differently.
 ///
 /// * `CLUST` — dense, values ramp with position (plus small noise), so
 ///   range predicates refute long page runs: the zone maps' best case;
 /// * `UNI` — dense, values uniform per record, so almost every page
 ///   straddles any threshold: the zone maps' worst case;
-/// * `SPARSE` — 20% density, mixed-sign uniform values.
+/// * `SPARSE` — 20% density, mixed-sign uniform values;
+/// * `STEP` — dense, values constant over 64-position steps, so every
+///   16-capacity page holds a single run: RLE-encoded pages whose zones
+///   refute exactly;
+/// * `QUANT` — dense, values drawn from eight fixed levels: dictionary-
+///   encoded pages where thresholds fall between code points.
 fn catalog(seed: u64) -> Catalog {
     let mut rng = Rng::seed_from_u64(seed);
     let mut c = Catalog::new();
@@ -44,6 +49,8 @@ fn catalog(seed: u64) -> Catalog {
     let mut clustered = Vec::new();
     let mut uniform = Vec::new();
     let mut sparse = Vec::new();
+    let mut stepped = Vec::new();
+    let mut quantized = Vec::new();
     for p in 1i64..=N {
         let ramp = (p as f64) / (N as f64) * 100.0 + rng.gen_range(-2.0..2.0);
         clustered.push((p, record![p, ramp]));
@@ -51,11 +58,33 @@ fn catalog(seed: u64) -> Catalog {
         if rng.gen_bool(0.2) {
             sparse.push((p, record![p, rng.gen_range(-50.0..50.0)]));
         }
+        stepped.push((p, record![p, (p / 64) as f64 * 3.5 - 50.0]));
+        quantized.push((p, record![p, rng.gen_range(0..8) as f64 * 12.5]));
     }
     c.register("CLUST", &BaseSequence::from_entries(sch.clone(), clustered).unwrap());
     c.register("UNI", &BaseSequence::from_entries(sch.clone(), uniform).unwrap());
-    c.register("SPARSE", &BaseSequence::from_entries(sch, sparse).unwrap());
+    c.register("SPARSE", &BaseSequence::from_entries(sch.clone(), sparse).unwrap());
+    c.register("STEP", &BaseSequence::from_entries(sch.clone(), stepped).unwrap());
+    c.register("QUANT", &BaseSequence::from_entries(sch, quantized).unwrap());
     c
+}
+
+/// The shaped sequences must actually live on encoded pages, or the trials
+/// below exercise the plain decode path five ways.
+#[test]
+fn shaped_sequences_land_in_the_intended_encodings() {
+    let c = catalog(7);
+    for (name, value_encoding) in [("STEP", "rle"), ("QUANT", "dict")] {
+        let stored = c.get(name).unwrap();
+        let comp = stored.compression();
+        assert!(
+            comp.ratio() < 0.75,
+            "{name}: expected compressed pages, got ratio {:.2}",
+            comp.ratio()
+        );
+        assert_eq!(comp.columns[0].dominant(), "delta", "{name}: time column");
+        assert_eq!(comp.columns[1].dominant(), value_encoding, "{name}: close column");
+    }
 }
 
 /// A random pushdown-eligible predicate: a conjunction of one or two
@@ -132,7 +161,7 @@ fn pushdown_differential(rng: &mut Rng) {
     let mut fused_at_least_once = false;
     let mut skipped_at_least_once = false;
     for trial in 0..40 {
-        let name = ["CLUST", "UNI", "SPARSE"][trial % 3];
+        let name = ["CLUST", "UNI", "SPARSE", "STEP", "QUANT"][trial % 5];
         let pred = random_predicate(rng);
         let query = SeqQuery::base(name).select(pred.clone()).build();
 

@@ -1,0 +1,1026 @@
+//! Columnar page bodies: position and value arrays with lightweight
+//! per-page compression.
+//!
+//! A page stores its positions and each record column as a separate array.
+//! At build time every array picks the cheapest of a small set of encodings
+//! (estimated encoded bytes, plain as the fallback):
+//!
+//! - positions: dense (`first + i`), delta (small positive gaps), or plain;
+//! - values: delta (integer columns), run-length, dictionary, or plain.
+//!
+//! Encodings are chosen per page, so a column can be dictionary-coded on one
+//! page and plain on the next. Two contracts keep the encodings invisible to
+//! the rest of the engine:
+//!
+//! 1. **Lossless round trips.** Decoding reproduces the stored values
+//!    bit-identically (floats round-trip by bit pattern; run/dictionary
+//!    grouping uses strict same-variant equality, never the cross-type
+//!    numeric equality of [`Value::total_cmp`], so `Int(2)` and `Float(2.0)`
+//!    stay distinct).
+//! 2. **Exact in-place predicates.** The filter kernels evaluate
+//!    `value op lit` with the same [`Value::total_cmp`] semantics as the
+//!    row-at-a-time interpreter — once per run or dictionary entry instead of
+//!    once per row — and raise the same type errors whenever a surviving
+//!    candidate row would have raised one. Mixed-variant columns fall back to
+//!    plain so every encoded column is variant-uniform and error behaviour
+//!    stays uniform too.
+
+use std::mem::discriminant;
+
+use seq_core::{CmpOp, Result, SeqError, Value};
+
+/// Approximate in-memory footprint of one value, matching
+/// `Record::byte_size`'s per-value accounting.
+pub(crate) fn value_bytes(v: &Value) -> usize {
+    match v {
+        Value::Int(_) | Value::Float(_) => 8,
+        Value::Bool(_) => 1,
+        Value::Str(s) => 16 + s.len(),
+    }
+}
+
+/// Strict same-variant equality used for run and dictionary detection.
+/// Bitwise on floats (distinct NaN payloads stay distinct) and never
+/// cross-variant, so encoding can't conflate `Int(2)` with `Float(2.0)` the
+/// way `Value`'s `PartialEq` would. Public so consumers of decoded columns
+/// (e.g. run-folding aggregate accumulators) can re-detect the exact runs
+/// the encoder saw.
+pub fn strict_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Str(x), Value::Str(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[inline]
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+#[inline]
+fn read_packed(packed: &[u8], width: usize, i: usize) -> u64 {
+    let mut v = 0u64;
+    for (b, byte) in packed[i * width..(i + 1) * width].iter().enumerate() {
+        v |= (*byte as u64) << (8 * b);
+    }
+    v
+}
+
+fn write_packed(packed: &mut Vec<u8>, width: usize, v: u64) {
+    packed.extend_from_slice(&v.to_le_bytes()[..width]);
+}
+
+/// Smallest of the supported packed widths (1/2/4/8) that holds `z`.
+fn width_for(z: u64) -> usize {
+    if z <= u8::MAX as u64 {
+        1
+    } else if z <= u16::MAX as u64 {
+        2
+    } else if z <= u32::MAX as u64 {
+        4
+    } else {
+        8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Positions
+// ---------------------------------------------------------------------------
+
+/// Encoded page positions (strictly ascending `i64`s).
+#[derive(Debug, Clone)]
+pub enum PosData {
+    /// `pos[i] = first + i` — consecutive positions, O(1) everything.
+    Dense {
+        /// Position of slot 0.
+        first: i64,
+        /// Number of slots.
+        len: u32,
+    },
+    /// `pos[0] = first`, `pos[i+1] = pos[i] + deltas[i]` with every gap in
+    /// `1..=u32::MAX`.
+    Delta {
+        /// Position of slot 0.
+        first: i64,
+        /// Successive gaps, all `>= 1`.
+        deltas: Vec<u32>,
+    },
+    /// Arbitrary sorted positions (gaps too large to delta-encode).
+    Plain(Vec<i64>),
+}
+
+impl PosData {
+    /// Encode a strictly ascending position array, picking the cheapest of
+    /// dense / delta / plain.
+    pub fn encode(positions: Vec<i64>) -> PosData {
+        if positions.is_empty() || positions.len() > u32::MAX as usize {
+            return PosData::Plain(positions);
+        }
+        let mut dense = true;
+        let mut small = true;
+        for w in positions.windows(2) {
+            match w[1].checked_sub(w[0]) {
+                Some(1) => {}
+                Some(d) if d >= 1 && d <= u32::MAX as i64 => dense = false,
+                _ => {
+                    small = false;
+                    break;
+                }
+            }
+        }
+        if !small {
+            PosData::Plain(positions)
+        } else if dense {
+            PosData::Dense { first: positions[0], len: positions.len() as u32 }
+        } else {
+            let first = positions[0];
+            let deltas = positions.windows(2).map(|w| (w[1] - w[0]) as u32).collect();
+            PosData::Delta { first, deltas }
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        match self {
+            PosData::Dense { len, .. } => *len as usize,
+            PosData::Delta { deltas, .. } => deltas.len() + 1,
+            PosData::Plain(v) => v.len(),
+        }
+    }
+
+    /// Whether the page holds no positions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Position stored at `slot` (must be `< len`).
+    pub fn get(&self, slot: usize) -> i64 {
+        match self {
+            PosData::Dense { first, .. } => first + slot as i64,
+            PosData::Delta { first, deltas } => {
+                deltas[..slot].iter().fold(*first, |p, d| p + *d as i64)
+            }
+            PosData::Plain(v) => v[slot],
+        }
+    }
+
+    /// First (lowest) position, if any.
+    pub fn first(&self) -> Option<i64> {
+        match self {
+            PosData::Dense { first, .. } | PosData::Delta { first, .. } => Some(*first),
+            PosData::Plain(v) => v.first().copied(),
+        }
+    }
+
+    /// Last (highest) position, if any.
+    pub fn last(&self) -> Option<i64> {
+        match self {
+            PosData::Dense { first, len } => Some(first + (*len as i64 - 1)),
+            PosData::Delta { first, deltas } => {
+                Some(deltas.iter().fold(*first, |p, d| p + *d as i64))
+            }
+            PosData::Plain(v) => v.last().copied(),
+        }
+    }
+
+    /// Index of the first slot with position `>= pos`.
+    pub fn lower_bound(&self, pos: i64) -> usize {
+        match self {
+            PosData::Dense { first, len } => {
+                let off = pos as i128 - *first as i128;
+                off.clamp(0, *len as i128) as usize
+            }
+            PosData::Delta { first, deltas } => {
+                let mut p = *first;
+                if p >= pos {
+                    return 0;
+                }
+                for (i, d) in deltas.iter().enumerate() {
+                    p += *d as i64;
+                    if p >= pos {
+                        return i + 1;
+                    }
+                }
+                deltas.len() + 1
+            }
+            PosData::Plain(v) => v.partition_point(|p| *p < pos),
+        }
+    }
+
+    /// Index of the first slot with position `> pos` — i.e. the number of
+    /// slots inside a span ending (inclusively) at `pos`.
+    pub fn upper_bound(&self, pos: i64) -> usize {
+        match self {
+            PosData::Dense { first, len } => {
+                let off = pos as i128 - *first as i128 + 1;
+                off.clamp(0, *len as i128) as usize
+            }
+            PosData::Delta { first, deltas } => {
+                let mut p = *first;
+                if p > pos {
+                    return 0;
+                }
+                for (i, d) in deltas.iter().enumerate() {
+                    p += *d as i64;
+                    if p > pos {
+                        return i + 1;
+                    }
+                }
+                deltas.len() + 1
+            }
+            PosData::Plain(v) => v.partition_point(|p| *p <= pos),
+        }
+    }
+
+    /// Append the positions of slots `[start, start + take)` to `out`.
+    pub fn decode_range_into(&self, out: &mut Vec<i64>, start: usize, take: usize) {
+        match self {
+            PosData::Dense { first, .. } => {
+                let base = first + start as i64;
+                out.extend((0..take as i64).map(|i| base + i));
+            }
+            PosData::Delta { first, deltas } => {
+                let mut p = deltas[..start].iter().fold(*first, |p, d| p + *d as i64);
+                if take > 0 {
+                    out.push(p);
+                    for d in &deltas[start..start + take - 1] {
+                        p += *d as i64;
+                        out.push(p);
+                    }
+                }
+            }
+            PosData::Plain(v) => out.extend_from_slice(&v[start..start + take]),
+        }
+    }
+
+    /// Append the positions of the given ascending `slots` to `out`.
+    pub fn gather_into(&self, out: &mut Vec<i64>, slots: &[u32]) {
+        match self {
+            PosData::Dense { first, .. } => {
+                out.extend(slots.iter().map(|s| first + *s as i64));
+            }
+            PosData::Delta { first, deltas } => {
+                // Single forward walk: slots are ascending.
+                let mut p = *first;
+                let mut at = 0usize;
+                for &s in slots {
+                    let s = s as usize;
+                    while at < s {
+                        p += deltas[at] as i64;
+                        at += 1;
+                    }
+                    out.push(p);
+                }
+            }
+            PosData::Plain(v) => out.extend(slots.iter().map(|s| v[*s as usize])),
+        }
+    }
+
+    /// Approximate encoded footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            PosData::Dense { .. } => 12,
+            PosData::Delta { deltas, .. } => 12 + 4 * deltas.len(),
+            PosData::Plain(v) => 8 * v.len(),
+        }
+    }
+
+    /// Short name of the chosen encoding.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PosData::Dense { .. } => "dense",
+            PosData::Delta { .. } => "delta",
+            PosData::Plain(_) => "plain",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value columns
+// ---------------------------------------------------------------------------
+
+/// Largest dictionary the dictionary encoding will build (codes are `u8`).
+const DICT_MAX: usize = 256;
+
+/// One encoded value column of a page.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Values stored as-is: the fallback, and the only representation for
+    /// mixed-variant columns.
+    Plain(Vec<Value>),
+    /// Integer column stored as a first value plus zigzag deltas packed at a
+    /// fixed byte width. Wrapping arithmetic makes the round trip lossless
+    /// for the full `i64` range.
+    IntDelta {
+        /// Value at slot 0.
+        first: i64,
+        /// Bytes per packed delta (1, 2, 4, or 8).
+        width: u8,
+        /// `len - 1` little-endian deltas, `width` bytes each.
+        packed: Vec<u8>,
+    },
+    /// Run-length encoding: run `k` covers slots `ends[k-1]..ends[k]`
+    /// (with `ends[-1] == 0`) and holds `values[k]`.
+    Rle {
+        /// One representative value per run.
+        values: Vec<Value>,
+        /// Cumulative (exclusive) run end slots; the last entry is the
+        /// column length.
+        ends: Vec<u32>,
+    },
+    /// Dictionary encoding: `codes[i]` indexes `dict`.
+    Dict {
+        /// Distinct values in first-occurrence order (at most 256).
+        dict: Vec<Value>,
+        /// Per-slot dictionary codes.
+        codes: Vec<u8>,
+    },
+}
+
+impl ColumnData {
+    /// Encode one column, picking the cheapest representation by estimated
+    /// encoded bytes. Mixed-variant and empty columns stay plain.
+    pub fn encode(values: Vec<Value>) -> ColumnData {
+        let n = values.len();
+        if n == 0 || n > u32::MAX as usize {
+            return ColumnData::Plain(values);
+        }
+        let uniform = values.windows(2).all(|w| discriminant(&w[0]) == discriminant(&w[1]));
+        if !uniform {
+            return ColumnData::Plain(values);
+        }
+
+        let plain_cost: usize = values.iter().map(value_bytes).sum();
+        let mut best_cost = plain_cost;
+        // 0 = plain, 1 = delta, 2 = rle, 3 = dict.
+        let mut choice = 0u8;
+
+        // Integer delta: applicable to all-Int columns.
+        let mut delta_width = 1usize;
+        if let Value::Int(first) = values[0] {
+            let mut prev = first;
+            let mut max_z = 0u64;
+            for v in &values[1..] {
+                let Value::Int(i) = v else { unreachable!("uniform Int column") };
+                max_z = max_z.max(zigzag(i.wrapping_sub(prev)));
+                prev = *i;
+            }
+            delta_width = width_for(max_z);
+            let delta_cost = 9 + (n - 1) * delta_width;
+            if delta_cost < best_cost {
+                best_cost = delta_cost;
+                choice = 1;
+            }
+        }
+
+        // Run-length: cost is one length plus one representative per run.
+        let mut rle_cost = 4 + value_bytes(&values[0]);
+        for w in values.windows(2) {
+            if !strict_eq(&w[0], &w[1]) {
+                rle_cost += 4 + value_bytes(&w[1]);
+            }
+        }
+        if rle_cost < best_cost {
+            best_cost = rle_cost;
+            choice = 2;
+        }
+
+        // Dictionary: distinct values capped at DICT_MAX, one code byte per
+        // slot plus the dictionary itself.
+        let mut dict: Vec<&Value> = Vec::new();
+        let mut dict_ok = true;
+        for v in &values {
+            if !dict.iter().any(|d| strict_eq(d, v)) {
+                if dict.len() == DICT_MAX {
+                    dict_ok = false;
+                    break;
+                }
+                dict.push(v);
+            }
+        }
+        if dict_ok {
+            let dict_cost = n + dict.iter().map(|v| value_bytes(v)).sum::<usize>();
+            if dict_cost < best_cost {
+                choice = 3;
+            }
+        }
+
+        match choice {
+            1 => {
+                let Value::Int(first) = values[0] else { unreachable!() };
+                let mut packed = Vec::with_capacity((n - 1) * delta_width);
+                let mut prev = first;
+                for v in &values[1..] {
+                    let Value::Int(i) = v else { unreachable!() };
+                    write_packed(&mut packed, delta_width, zigzag(i.wrapping_sub(prev)));
+                    prev = *i;
+                }
+                ColumnData::IntDelta { first, width: delta_width as u8, packed }
+            }
+            2 => {
+                let mut reps = Vec::new();
+                let mut ends = Vec::new();
+                for (i, v) in values.iter().enumerate() {
+                    if i == 0 || !strict_eq(v, &values[i - 1]) {
+                        reps.push(v.clone());
+                        ends.push(i as u32 + 1);
+                    } else {
+                        *ends.last_mut().expect("non-empty run list") = i as u32 + 1;
+                    }
+                }
+                ColumnData::Rle { values: reps, ends }
+            }
+            3 => {
+                let dict: Vec<Value> = dict.into_iter().cloned().collect();
+                let codes = values
+                    .iter()
+                    .map(|v| {
+                        dict.iter().position(|d| strict_eq(d, v)).expect("value in dict") as u8
+                    })
+                    .collect();
+                ColumnData::Dict { dict, codes }
+            }
+            _ => ColumnData::Plain(values),
+        }
+    }
+
+    /// Number of slots in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Plain(v) => v.len(),
+            ColumnData::IntDelta { width, packed, .. } => packed.len() / *width as usize + 1,
+            ColumnData::Rle { ends, .. } => ends.last().map_or(0, |e| *e as usize),
+            ColumnData::Dict { codes, .. } => codes.len(),
+        }
+    }
+
+    /// Whether the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, ColumnData::Plain(v) if v.is_empty())
+    }
+
+    /// The value stored at `slot` (must be `< len`).
+    pub fn value_at(&self, slot: usize) -> Value {
+        match self {
+            ColumnData::Plain(v) => v[slot].clone(),
+            ColumnData::IntDelta { first, width, packed } => {
+                let w = *width as usize;
+                let mut x = *first;
+                for i in 0..slot {
+                    x = x.wrapping_add(unzigzag(read_packed(packed, w, i)));
+                }
+                Value::Int(x)
+            }
+            ColumnData::Rle { values, ends } => {
+                let run = ends.partition_point(|e| *e as usize <= slot);
+                values[run].clone()
+            }
+            ColumnData::Dict { dict, codes } => dict[codes[slot] as usize].clone(),
+        }
+    }
+
+    /// Append the decoded values of slots `[start, start + take)` to `out`.
+    /// Returns the approximate plain byte footprint of what was appended.
+    pub fn decode_range_into(&self, out: &mut Vec<Value>, start: usize, take: usize) -> usize {
+        if take == 0 {
+            // Degenerate window: skip the delta prefix walk, which would
+            // otherwise read one past the packed array when `start == len`.
+            return 0;
+        }
+        match self {
+            ColumnData::Plain(v) => {
+                let src = &v[start..start + take];
+                out.extend_from_slice(src);
+                src.iter().map(value_bytes).sum()
+            }
+            ColumnData::IntDelta { first, width, packed } => {
+                let w = *width as usize;
+                let mut x = *first;
+                for i in 0..start {
+                    x = x.wrapping_add(unzigzag(read_packed(packed, w, i)));
+                }
+                if take > 0 {
+                    out.push(Value::Int(x));
+                    for i in start..start + take - 1 {
+                        x = x.wrapping_add(unzigzag(read_packed(packed, w, i)));
+                        out.push(Value::Int(x));
+                    }
+                }
+                8 * take
+            }
+            ColumnData::Rle { values, ends } => {
+                let mut bytes = 0usize;
+                let mut run = ends.partition_point(|e| *e as usize <= start);
+                let mut at = start;
+                let stop = start + take;
+                while at < stop {
+                    let end = (ends[run] as usize).min(stop);
+                    let v = &values[run];
+                    bytes += value_bytes(v) * (end - at);
+                    out.extend(std::iter::repeat_with(|| v.clone()).take(end - at));
+                    at = end;
+                    run += 1;
+                }
+                bytes
+            }
+            ColumnData::Dict { dict, codes } => {
+                let mut bytes = 0usize;
+                for &c in &codes[start..start + take] {
+                    let v = &dict[c as usize];
+                    bytes += value_bytes(v);
+                    out.push(v.clone());
+                }
+                bytes
+            }
+        }
+    }
+
+    /// Append the decoded values of the given ascending `slots` to `out`.
+    /// Returns the approximate plain byte footprint of what was appended.
+    pub fn gather_into(&self, out: &mut Vec<Value>, slots: &[u32]) -> usize {
+        match self {
+            ColumnData::Plain(v) => {
+                let mut bytes = 0usize;
+                for &s in slots {
+                    let v = &v[s as usize];
+                    bytes += value_bytes(v);
+                    out.push(v.clone());
+                }
+                bytes
+            }
+            ColumnData::IntDelta { first, width, packed } => {
+                // Single forward walk: slots are ascending.
+                let w = *width as usize;
+                let mut x = *first;
+                let mut at = 0usize;
+                for &s in slots {
+                    let s = s as usize;
+                    while at < s {
+                        x = x.wrapping_add(unzigzag(read_packed(packed, w, at)));
+                        at += 1;
+                    }
+                    out.push(Value::Int(x));
+                }
+                8 * slots.len()
+            }
+            ColumnData::Rle { values, ends } => {
+                let mut bytes = 0usize;
+                let mut run = 0usize;
+                for &s in slots {
+                    while ends[run] as usize <= s as usize {
+                        run += 1;
+                    }
+                    let v = &values[run];
+                    bytes += value_bytes(v);
+                    out.push(v.clone());
+                }
+                bytes
+            }
+            ColumnData::Dict { dict, codes } => {
+                let mut bytes = 0usize;
+                for &s in slots {
+                    let v = &dict[codes[s as usize] as usize];
+                    bytes += value_bytes(v);
+                    out.push(v.clone());
+                }
+                bytes
+            }
+        }
+    }
+
+    /// Append to `out` every slot in `[start, end)` whose value satisfies
+    /// `value op lit`, evaluating the predicate in place over the encoding:
+    /// once per run for RLE, once per dictionary entry for dictionaries, and
+    /// per slot (over the sequential decode) otherwise. Comparison semantics
+    /// and type errors match the row-at-a-time interpreter exactly; when no
+    /// slot is in range nothing is evaluated, mirroring the short-circuit of
+    /// the row kernel.
+    pub fn matching_slots(
+        &self,
+        start: usize,
+        end: usize,
+        op: CmpOp,
+        lit: &Value,
+        out: &mut Vec<u32>,
+    ) -> Result<()> {
+        if start >= end {
+            return Ok(());
+        }
+        match self {
+            ColumnData::Plain(v) => {
+                for (i, v) in v[start..end].iter().enumerate() {
+                    if op.holds(v.total_cmp(lit)?) {
+                        out.push((start + i) as u32);
+                    }
+                }
+            }
+            ColumnData::IntDelta { first, width, packed } => {
+                let w = *width as usize;
+                let mut x = *first;
+                for i in 0..start {
+                    x = x.wrapping_add(unzigzag(read_packed(packed, w, i)));
+                }
+                for s in start..end {
+                    if s > start {
+                        x = x.wrapping_add(unzigzag(read_packed(packed, w, s - 1)));
+                    }
+                    if op.holds(Value::Int(x).total_cmp(lit)?) {
+                        out.push(s as u32);
+                    }
+                }
+            }
+            ColumnData::Rle { values, ends } => {
+                let mut run = ends.partition_point(|e| *e as usize <= start);
+                let mut at = start;
+                while at < end {
+                    let run_end = (ends[run] as usize).min(end);
+                    if op.holds(values[run].total_cmp(lit)?) {
+                        out.extend((at..run_end).map(|s| s as u32));
+                    }
+                    at = run_end;
+                    run += 1;
+                }
+            }
+            ColumnData::Dict { dict, codes } => {
+                let mask = dict
+                    .iter()
+                    .map(|d| Ok(op.holds(d.total_cmp(lit)?)))
+                    .collect::<Result<Vec<bool>>>()?;
+                for (i, &c) in codes[start..end].iter().enumerate() {
+                    if mask[c as usize] {
+                        out.push((start + i) as u32);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Retain only the (ascending) `slots` whose value satisfies
+    /// `value op lit`. Same in-place evaluation and error contract as
+    /// [`ColumnData::matching_slots`].
+    pub fn retain_matching(&self, slots: &mut Vec<u32>, op: CmpOp, lit: &Value) -> Result<()> {
+        if slots.is_empty() {
+            return Ok(());
+        }
+        match self {
+            ColumnData::Plain(v) => {
+                let mut err = None;
+                slots.retain(|&s| {
+                    if err.is_some() {
+                        return false;
+                    }
+                    match v[s as usize].total_cmp(lit) {
+                        Ok(ord) => op.holds(ord),
+                        Err(e) => {
+                            err = Some(e);
+                            false
+                        }
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+            }
+            ColumnData::IntDelta { first, width, packed } => {
+                // Single forward walk (`retain` visits in order).
+                let w = *width as usize;
+                let mut x = *first;
+                let mut at = 0usize;
+                let mut err = None;
+                slots.retain(|&s| {
+                    if err.is_some() {
+                        return false;
+                    }
+                    let s = s as usize;
+                    while at < s {
+                        x = x.wrapping_add(unzigzag(read_packed(packed, w, at)));
+                        at += 1;
+                    }
+                    match Value::Int(x).total_cmp(lit) {
+                        Ok(ord) => op.holds(ord),
+                        Err(e) => {
+                            err = Some(e);
+                            false
+                        }
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+            }
+            ColumnData::Rle { values, ends } => {
+                // One evaluation per run actually touched by a candidate.
+                let mut run = 0usize;
+                let mut run_holds = false;
+                let mut evaluated = false;
+                let mut err = None;
+                slots.retain(|&s| {
+                    if err.is_some() {
+                        return false;
+                    }
+                    while ends[run] as usize <= s as usize {
+                        run += 1;
+                        evaluated = false;
+                    }
+                    if !evaluated {
+                        match values[run].total_cmp(lit) {
+                            Ok(ord) => run_holds = op.holds(ord),
+                            Err(e) => {
+                                err = Some(e);
+                                return false;
+                            }
+                        }
+                        evaluated = true;
+                    }
+                    run_holds
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+            }
+            ColumnData::Dict { dict, codes } => {
+                let mask = dict
+                    .iter()
+                    .map(|d| Ok(op.holds(d.total_cmp(lit)?)))
+                    .collect::<Result<Vec<bool>>>()?;
+                slots.retain(|&s| mask[codes[s as usize] as usize]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate encoded footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            ColumnData::Plain(v) => v.iter().map(value_bytes).sum(),
+            ColumnData::IntDelta { packed, .. } => 9 + packed.len(),
+            ColumnData::Rle { values, ends } => {
+                4 * ends.len() + values.iter().map(value_bytes).sum::<usize>()
+            }
+            ColumnData::Dict { dict, codes } => {
+                codes.len() + dict.iter().map(value_bytes).sum::<usize>()
+            }
+        }
+    }
+
+    /// Short name of the chosen encoding.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ColumnData::Plain(_) => "plain",
+            ColumnData::IntDelta { .. } => "delta",
+            ColumnData::Rle { .. } => "rle",
+            ColumnData::Dict { .. } => "dict",
+        }
+    }
+}
+
+/// Column index out of range for a page: mirrors the schema error the
+/// row-at-a-time kernel raises for a bad column reference.
+pub(crate) fn column_range_error(col: usize, arity: usize) -> SeqError {
+    SeqError::Schema(format!("column index {col} out of range for arity {arity}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_all(c: &ColumnData) -> Vec<Value> {
+        let mut out = Vec::new();
+        c.decode_range_into(&mut out, 0, c.len());
+        out
+    }
+
+    #[test]
+    fn positions_pick_dense_delta_plain() {
+        let d = PosData::encode((10..20).collect());
+        assert_eq!(d.label(), "dense");
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.first(), Some(10));
+        assert_eq!(d.last(), Some(19));
+
+        let g = PosData::encode(vec![1, 4, 9, 100]);
+        assert_eq!(g.label(), "delta");
+        assert_eq!((g.first(), g.last()), (Some(1), Some(100)));
+
+        let p = PosData::encode(vec![i64::MIN, 0, i64::MAX]);
+        assert_eq!(p.label(), "plain");
+        assert_eq!(p.last(), Some(i64::MAX));
+    }
+
+    #[test]
+    fn position_bounds_agree_with_plain() {
+        for positions in [vec![2, 5, 9], vec![3, 4, 5, 6], vec![-5, 0, 7, 1_000_000]] {
+            let enc = PosData::encode(positions.clone());
+            for probe in [-10i64, 0, 2, 3, 5, 6, 9, 10, 999_999, 1_000_000, 2_000_000] {
+                assert_eq!(
+                    enc.lower_bound(probe),
+                    positions.partition_point(|p| *p < probe),
+                    "lower_bound({probe}) on {positions:?}"
+                );
+                assert_eq!(
+                    enc.upper_bound(probe),
+                    positions.partition_point(|p| *p <= probe),
+                    "upper_bound({probe}) on {positions:?}"
+                );
+            }
+            for (i, p) in positions.iter().enumerate() {
+                assert_eq!(enc.get(i), *p);
+            }
+            let mut dec = Vec::new();
+            enc.decode_range_into(&mut dec, 1, positions.len() - 1);
+            assert_eq!(dec, positions[1..]);
+            let mut gathered = Vec::new();
+            let slots: Vec<u32> = (0..positions.len() as u32).collect();
+            enc.gather_into(&mut gathered, &slots);
+            assert_eq!(gathered, positions);
+        }
+    }
+
+    #[test]
+    fn sequential_ints_delta_encode() {
+        let vals: Vec<Value> = (0..64).map(|i| Value::Int(100 + i)).collect();
+        let c = ColumnData::encode(vals.clone());
+        assert_eq!(c.label(), "delta");
+        assert!(c.byte_size() < 64 * 8);
+        assert_eq!(decode_all(&c), vals);
+        assert_eq!(c.value_at(17), Value::Int(117));
+    }
+
+    #[test]
+    fn extreme_int_deltas_round_trip() {
+        let vals = vec![
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Int(0),
+            Value::Int(-1),
+            Value::Int(i64::MAX),
+        ];
+        // Deltas overflow i64; wrapping zigzag still round-trips (the
+        // heuristic picks plain here — 8-byte deltas save nothing).
+        let c = ColumnData::encode(vals.clone());
+        assert_eq!(decode_all(&c), vals);
+    }
+
+    #[test]
+    fn constant_column_rle_encodes() {
+        let vals: Vec<Value> = vec![Value::Float(2.5); 50];
+        let c = ColumnData::encode(vals.clone());
+        assert_eq!(c.label(), "rle");
+        assert_eq!(c.byte_size(), 4 + 8);
+        assert_eq!(decode_all(&c), vals);
+    }
+
+    #[test]
+    fn low_cardinality_strings_dict_encode() {
+        let vals: Vec<Value> = (0..60)
+            .map(|i| Value::str(["aaaaaaaaaa", "bbbbbbbbbb", "cccccccccc"][i % 3]))
+            .collect();
+        let c = ColumnData::encode(vals.clone());
+        assert_eq!(c.label(), "dict");
+        let dec = decode_all(&c);
+        assert_eq!(dec.len(), vals.len());
+        for (a, b) in dec.iter().zip(&vals) {
+            assert!(strict_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn mixed_variant_column_stays_plain() {
+        let vals = vec![Value::Int(1), Value::Bool(true), Value::Int(2)];
+        let c = ColumnData::encode(vals.clone());
+        assert_eq!(c.label(), "plain");
+        assert_eq!(decode_all(&c), vals);
+    }
+
+    #[test]
+    fn mixed_numeric_column_stays_plain() {
+        // Int(2) and Float(2.0) compare equal under total_cmp but must not
+        // be conflated by an encoding.
+        let vals = vec![Value::Int(2), Value::Float(2.0), Value::Int(2)];
+        let c = ColumnData::encode(vals.clone());
+        assert_eq!(c.label(), "plain");
+        let dec = decode_all(&c);
+        assert!(matches!(dec[0], Value::Int(2)));
+        assert!(matches!(dec[1], Value::Float(f) if f == 2.0));
+    }
+
+    #[test]
+    fn nan_payloads_round_trip_bitwise() {
+        let weird = f64::from_bits(0x7ff8_0000_0000_0001);
+        let vals = vec![Value::Float(f64::NAN), Value::Float(weird), Value::Float(f64::NAN)];
+        let c = ColumnData::encode(vals.clone());
+        let dec = decode_all(&c);
+        for (a, b) in dec.iter().zip(&vals) {
+            assert!(strict_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn empty_column_is_plain_and_empty() {
+        let c = ColumnData::encode(Vec::new());
+        assert_eq!(c.label(), "plain");
+        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+        let mut out = Vec::new();
+        assert_eq!(c.decode_range_into(&mut out, 0, 0), 0);
+        assert!(out.is_empty());
+        let p = PosData::encode(Vec::new());
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+        assert_eq!(p.first(), None);
+    }
+
+    #[test]
+    fn filter_kernels_match_per_slot_evaluation() {
+        let columns = [
+            ColumnData::encode((0..40).map(|i| Value::Int(i / 5)).collect()),
+            ColumnData::encode((0..40).map(|i| Value::Int(i * 3)).collect()),
+            ColumnData::encode((0..40).map(|i| Value::Float((i % 4) as f64)).collect()),
+            ColumnData::encode(
+                (0..40).map(|i| Value::str(if i % 7 < 3 { "lo" } else { "hi" })).collect(),
+            ),
+            // Long float runs → RLE; incompressible floats → plain.
+            ColumnData::encode((0..40).map(|i| Value::Float((i / 10) as f64)).collect()),
+            ColumnData::encode((0..40).map(|i| Value::Float(i as f64 * 1.7)).collect()),
+        ];
+        let labels: std::collections::BTreeSet<_> = columns.iter().map(|c| c.label()).collect();
+        for want in ["delta", "dict", "rle", "plain"] {
+            assert!(labels.contains(want), "no column picked {want}: {labels:?}");
+        }
+        let lits = [Value::Int(4), Value::Float(2.0), Value::str("lo")];
+        for c in &columns {
+            for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+                for lit in &lits {
+                    let reference: Result<Vec<u32>> = (5..35)
+                        .map(|s| Ok((s, op.holds(c.value_at(s as usize).total_cmp(lit)?))))
+                        .collect::<Result<Vec<_>>>()
+                        .map(|v| v.into_iter().filter(|(_, k)| *k).map(|(s, _)| s).collect());
+                    let mut got = Vec::new();
+                    let r = c.matching_slots(5, 35, op, lit, &mut got);
+                    match (&reference, &r) {
+                        (Ok(want), Ok(())) => assert_eq!(&got, want, "{op:?} {lit} {}", c.label()),
+                        (Err(_), Err(_)) => {}
+                        other => panic!("kernel/reference disagree: {other:?}"),
+                    }
+                    // retain_matching agrees with matching_slots.
+                    let mut all: Vec<u32> = (5..35).collect();
+                    let r2 = c.retain_matching(&mut all, op, lit);
+                    match (&r, &r2) {
+                        (Ok(()), Ok(())) => assert_eq!(all, got),
+                        (Err(a), Err(b)) => assert_eq!(a, b),
+                        other => panic!("retain/matching disagree: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_candidate_sets_never_evaluate() {
+        // A string column compared against an Int would error — but only if
+        // some candidate slot forces an evaluation.
+        let c = ColumnData::encode(vec![Value::str("a"); 10]);
+        let mut out = Vec::new();
+        assert!(c.matching_slots(3, 3, CmpOp::Eq, &Value::Int(1), &mut out).is_ok());
+        let mut none: Vec<u32> = Vec::new();
+        assert!(c.retain_matching(&mut none, CmpOp::Eq, &Value::Int(1)).is_ok());
+        assert!(c.matching_slots(0, 1, CmpOp::Eq, &Value::Int(1), &mut out).is_err());
+    }
+
+    #[test]
+    fn gather_walks_ascending_slots() {
+        let c = ColumnData::encode((0..30).map(|i| Value::Int(i * i)).collect());
+        let mut out = Vec::new();
+        let bytes = c.gather_into(&mut out, &[0, 3, 7, 8, 29]);
+        assert_eq!(bytes, 5 * 8);
+        assert_eq!(
+            out,
+            vec![Value::Int(0), Value::Int(9), Value::Int(49), Value::Int(64), Value::Int(841)]
+        );
+    }
+
+    #[test]
+    fn pick_cheapest_prefers_smaller_encoding() {
+        // Long runs of a wide string: RLE beats dict (fewer entries) and
+        // plain by a wide margin.
+        let mut vals = Vec::new();
+        for r in 0..4 {
+            for _ in 0..25 {
+                vals.push(Value::str(format!("run-value-{r}-padded-out-to-be-long")));
+            }
+        }
+        let c = ColumnData::encode(vals.clone());
+        assert_eq!(c.label(), "rle");
+        let plain: usize = vals.iter().map(value_bytes).sum();
+        assert!(c.byte_size() * 4 < plain, "{} !< {plain}/4", c.byte_size());
+    }
+}

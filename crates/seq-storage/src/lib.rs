@@ -17,6 +17,7 @@
 
 pub mod buffer;
 pub mod catalog;
+pub mod column;
 pub mod filter;
 pub mod index;
 pub mod page;
@@ -25,8 +26,9 @@ pub mod store;
 
 pub use buffer::{BufferPool, PageAccess, StoreId};
 pub use catalog::Catalog;
+pub use column::{strict_eq, ColumnData, PosData};
 pub use filter::ScanFilter;
 pub use index::SparseIndex;
-pub use page::{Page, PageId, ZoneEntry};
+pub use page::{DecodedRows, Page, PageId, ZoneEntry};
 pub use stats::{AccessStats, StatsSnapshot};
 pub use store::{OwnedBatchScan, OwnedScan, StoredSequence, DEFAULT_PAGE_CAPACITY};

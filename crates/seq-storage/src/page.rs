@@ -5,10 +5,23 @@
 //! stream-access cost "as a product of the number of pages to be accessed and
 //! the cost of each access" (§4.1.1); the page is therefore the unit the cost
 //! model and the statistics counters agree on.
+//!
+//! Since the columnar flip, a page body is not a row vector but a set of
+//! encoded arrays ([`crate::column`]): one [`PosData`] for positions and one
+//! [`ColumnData`] per record column, each compressed independently with the
+//! cheapest of delta / run-length / dictionary / plain. Scans bulk-decode
+//! those arrays straight into `RecordBatch` columns, filter kernels evaluate
+//! predicates in place over runs and dictionary codes, and the
+//! tuple-at-a-time path rebuilds a row view per page via
+//! [`Page::decode_rows`]. Zone maps are computed once from the column arrays
+//! at build time, cloning only the final min/max per column.
 
 use std::cmp::Ordering;
+use std::sync::Arc;
 
-use seq_core::{CmpOp, Record, Value};
+use seq_core::{CmpOp, Record, RecordBatch, Result, Value};
+
+use crate::column::{column_range_error, value_bytes, ColumnData, PosData};
 
 /// Identifier of a page within one stored sequence.
 pub type PageId = u32;
@@ -56,56 +69,70 @@ impl ZoneEntry {
     }
 }
 
-/// Fold the per-column zone map over a page's entries.
-fn build_zones(entries: &[(i64, Record)]) -> Vec<ZoneEntry> {
-    let Some((_, first)) = entries.first() else { return Vec::new() };
-    let mut zones: Vec<ZoneEntry> = first
-        .values()
-        .iter()
-        .map(|v| ZoneEntry { min: Some(v.clone()), max: Some(v.clone()), null_count: 0 })
-        .collect();
-    for (_, rec) in &entries[1..] {
-        for (zone, v) in zones.iter_mut().zip(rec.values()) {
-            let (Some(min), Some(max)) = (&zone.min, &zone.max) else { continue };
-            match (v.total_cmp(min), v.total_cmp(max)) {
-                (Ok(lo), Ok(hi)) => {
-                    if lo == Ordering::Less {
-                        zone.min = Some(v.clone());
-                    }
-                    if hi == Ordering::Greater {
-                        zone.max = Some(v.clone());
-                    }
+/// Zone entry of one column in a single pass over its (still plain) values,
+/// tracking min/max by index and cloning only the final two winners. Mixed
+/// incomparable types poison the entry to unbounded, exactly as the old
+/// row-wise fold did (INT and FLOAT stay comparable cross-type).
+fn build_zone(values: &[Value]) -> ZoneEntry {
+    let mut min = 0usize;
+    let mut max = 0usize;
+    if values.is_empty() {
+        return ZoneEntry::default();
+    }
+    for (i, v) in values.iter().enumerate().skip(1) {
+        match (v.total_cmp(&values[min]), v.total_cmp(&values[max])) {
+            (Ok(lo), Ok(hi)) => {
+                if lo == Ordering::Less {
+                    min = i;
                 }
-                // Mixed types on one column: the range is not totally
-                // ordered; poison the entry to unbounded.
-                _ => {
-                    zone.min = None;
-                    zone.max = None;
+                if hi == Ordering::Greater {
+                    max = i;
                 }
             }
+            _ => return ZoneEntry { min: None, max: None, null_count: 0 },
         }
     }
-    zones
+    ZoneEntry { min: Some(values[min].clone()), max: Some(values[max].clone()), null_count: 0 }
 }
 
-/// One page of a stored sequence.
+/// One page of a stored sequence: encoded position and column arrays plus
+/// header metadata (bounds and zone map) consulted without a page read.
 #[derive(Debug, Clone)]
 pub struct Page {
     id: PageId,
-    /// Entries sorted by position; positions unique within the sequence.
-    entries: Vec<(i64, Record)>,
-    /// Per-column zone map, computed once at build/append time. Like
-    /// `first_pos`, this is header metadata: consulting it is not a page
-    /// read.
+    /// Encoded positions, strictly ascending.
+    positions: PosData,
+    /// One encoded array per record column.
+    columns: Vec<ColumnData>,
+    /// Per-column zone map, computed once at build time from the plain
+    /// column arrays. Like `first_pos`, this is header metadata: consulting
+    /// it is not a page read.
     zones: Vec<ZoneEntry>,
+    /// Plain (decoded) byte footprint of the page body, for compression
+    /// accounting and `bytes_decoded` charging.
+    plain_bytes: usize,
 }
 
 impl Page {
     /// A page from position-sorted entries.
     pub fn new(id: PageId, entries: Vec<(i64, Record)>) -> Page {
         debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "page entries must be sorted");
-        let zones = build_zones(&entries);
-        Page { id, entries, zones }
+        let arity = entries.first().map_or(0, |(_, r)| r.arity());
+        debug_assert!(
+            entries.iter().all(|(_, r)| r.arity() == arity),
+            "page entries must share one arity"
+        );
+        let positions: Vec<i64> = entries.iter().map(|(p, _)| *p).collect();
+        let mut plain_bytes = 8 * positions.len();
+        let mut columns = Vec::with_capacity(arity);
+        let mut zones = Vec::with_capacity(arity);
+        for col in 0..arity {
+            let values: Vec<Value> = entries.iter().map(|(_, r)| r.values()[col].clone()).collect();
+            plain_bytes += values.iter().map(value_bytes).sum::<usize>();
+            zones.push(build_zone(&values));
+            columns.push(ColumnData::encode(values));
+        }
+        Page { id, positions: PosData::encode(positions), columns, zones, plain_bytes }
     }
 
     /// Page identifier within its sequence.
@@ -113,29 +140,24 @@ impl Page {
         self.id
     }
 
-    /// The page's `(position, record)` entries.
-    pub fn entries(&self) -> &[(i64, Record)] {
-        &self.entries
-    }
-
     /// Number of records on the page.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.positions.len()
     }
 
     /// Whether the page holds no records.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.positions.is_empty()
     }
 
     /// First (lowest) position stored on this page.
     pub fn first_pos(&self) -> Option<i64> {
-        self.entries.first().map(|(p, _)| *p)
+        self.positions.first()
     }
 
     /// Last (highest) position stored on this page.
     pub fn last_pos(&self) -> Option<i64> {
-        self.entries.last().map(|(p, _)| *p)
+        self.positions.last()
     }
 
     /// Zone-map entry of column `col`, or `None` for an empty page or a
@@ -144,16 +166,187 @@ impl Page {
         self.zones.get(col)
     }
 
-    /// Binary-search for an exact position within the page.
-    pub fn find(&self, pos: i64) -> Option<&Record> {
-        self.entries.binary_search_by_key(&pos, |(p, _)| *p).ok().map(|i| &self.entries[i].1)
+    /// Number of record columns stored on the page.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position stored at `slot` (must be `< len`).
+    pub fn position_at(&self, slot: usize) -> i64 {
+        self.positions.get(slot)
+    }
+
+    /// Materialize the single record stored at `slot` (must be `< len`).
+    /// Returns the record and its approximate plain byte footprint.
+    pub fn record_at(&self, slot: usize) -> (Record, usize) {
+        let values: Vec<Value> = self.columns.iter().map(|c| c.value_at(slot)).collect();
+        let bytes = 8 + values.iter().map(value_bytes).sum::<usize>();
+        (Record::new(values), bytes)
+    }
+
+    /// Search for an exact position within the page, materializing the
+    /// record on a hit. Returns the record and its plain byte footprint.
+    pub fn find(&self, pos: i64) -> Option<(Record, usize)> {
+        let slot = self.positions.lower_bound(pos);
+        if slot < self.len() && self.positions.get(slot) == pos {
+            Some(self.record_at(slot))
+        } else {
+            None
+        }
     }
 
     /// Index of the first entry with position `>= pos`.
     pub fn lower_bound(&self, pos: i64) -> usize {
-        match self.entries.binary_search_by_key(&pos, |(p, _)| *p) {
-            Ok(i) | Err(i) => i,
+        self.positions.lower_bound(pos)
+    }
+
+    /// Index of the first entry with position `> pos` — the number of slots
+    /// belonging to a span that ends (inclusively) at `pos`.
+    pub fn upper_bound(&self, pos: i64) -> usize {
+        self.positions.upper_bound(pos)
+    }
+
+    /// Bulk-decode slots `[slot, slot + take)` straight into `batch`'s
+    /// position and column vectors, with no per-record materialization.
+    /// Returns the plain byte footprint decoded (for `bytes_decoded`).
+    pub fn append_range_into(&self, batch: &mut RecordBatch, slot: usize, take: usize) -> usize {
+        debug_assert_eq!(batch.arity(), self.arity(), "batch arity must match page arity");
+        if take == 0 {
+            return 0;
         }
+        let (positions, columns) = batch.parts_mut();
+        self.positions.decode_range_into(positions, slot, take);
+        let mut bytes = 8 * take;
+        for (dst, src) in columns.iter_mut().zip(&self.columns) {
+            bytes += src.decode_range_into(dst, slot, take);
+        }
+        batch.debug_check_rectangular();
+        bytes
+    }
+
+    /// Evaluate a conjunction of `col op lit` terms in place over the
+    /// encoded columns of slots `[start, end)`, returning the surviving
+    /// slots in ascending order. Terms refine left to right with the same
+    /// short-circuit and error semantics as the row-at-a-time conjunction
+    /// kernel; non-surviving rows are never decoded.
+    pub fn filter_slots(
+        &self,
+        terms: &[(usize, CmpOp, Value)],
+        start: usize,
+        end: usize,
+    ) -> Result<Vec<u32>> {
+        let mut survivors = Vec::new();
+        let Some(((col, op, lit), rest)) = terms.split_first() else {
+            survivors.extend((start..end).map(|s| s as u32));
+            return Ok(survivors);
+        };
+        let column =
+            self.columns.get(*col).ok_or_else(|| column_range_error(*col, self.arity()))?;
+        column.matching_slots(start, end, *op, lit, &mut survivors)?;
+        for (col, op, lit) in rest {
+            let column =
+                self.columns.get(*col).ok_or_else(|| column_range_error(*col, self.arity()))?;
+            column.retain_matching(&mut survivors, *op, lit)?;
+        }
+        Ok(survivors)
+    }
+
+    /// Bulk-decode the given ascending `slots` into `batch`, decoding only
+    /// those survivors. Returns the plain byte footprint decoded.
+    pub fn append_slots_into(&self, batch: &mut RecordBatch, slots: &[u32]) -> usize {
+        debug_assert_eq!(batch.arity(), self.arity(), "batch arity must match page arity");
+        if slots.is_empty() {
+            return 0;
+        }
+        let (positions, columns) = batch.parts_mut();
+        self.positions.gather_into(positions, slots);
+        let mut bytes = 8 * slots.len();
+        for (dst, src) in columns.iter_mut().zip(&self.columns) {
+            bytes += src.gather_into(dst, slots);
+        }
+        batch.debug_check_rectangular();
+        bytes
+    }
+
+    /// Decode the whole page into a row view for the tuple-at-a-time path:
+    /// one position vector plus one shared row-major value buffer, so each
+    /// yielded `Record` is an allocation-free slice view.
+    pub fn decode_rows(&self) -> DecodedRows {
+        let len = self.len();
+        let arity = self.arity();
+        let mut positions = Vec::with_capacity(len);
+        self.positions.decode_range_into(&mut positions, 0, len);
+        let mut cols: Vec<Vec<Value>> = Vec::with_capacity(arity);
+        for c in &self.columns {
+            let mut v = Vec::with_capacity(len);
+            c.decode_range_into(&mut v, 0, len);
+            cols.push(v);
+        }
+        let mut rows = Vec::with_capacity(len * arity);
+        for slot in 0..len {
+            for c in &cols {
+                rows.push(c[slot].clone());
+            }
+        }
+        DecodedRows { positions, rows: Arc::from(rows), arity, bytes: self.plain_bytes }
+    }
+
+    /// Plain (decoded) byte footprint of the page body.
+    pub fn plain_bytes(&self) -> usize {
+        self.plain_bytes
+    }
+
+    /// Encoded byte footprint of the page body.
+    pub fn encoded_bytes(&self) -> usize {
+        self.positions.byte_size() + self.columns.iter().map(|c| c.byte_size()).sum::<usize>()
+    }
+
+    /// Encoding chosen for the position array.
+    pub fn pos_encoding(&self) -> &'static str {
+        self.positions.label()
+    }
+
+    /// Encoding chosen for each record column.
+    pub fn column_encodings(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.columns.iter().map(|c| c.label())
+    }
+}
+
+/// A fully decoded row view of one page, produced once per page entry by the
+/// tuple-at-a-time scan. Rows share a single row-major buffer, so yielding a
+/// record clones an `Arc`, not the values.
+#[derive(Debug, Clone)]
+pub struct DecodedRows {
+    positions: Vec<i64>,
+    rows: Arc<[Value]>,
+    arity: usize,
+    bytes: usize,
+}
+
+impl DecodedRows {
+    /// Number of rows decoded.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the view holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position of row `slot`.
+    pub fn pos(&self, slot: usize) -> i64 {
+        self.positions[slot]
+    }
+
+    /// Record view of row `slot` (shares the page's decoded buffer).
+    pub fn record(&self, slot: usize) -> Record {
+        Record::from_shared_slice(&self.rows, slot * self.arity, self.arity)
+    }
+
+    /// Plain byte footprint that was decoded to build this view.
+    pub fn byte_size(&self) -> usize {
+        self.bytes
     }
 }
 
@@ -173,6 +366,7 @@ mod tests {
         assert_eq!(p.last_pos(), Some(9));
         assert!(p.find(5).is_some());
         assert!(p.find(4).is_none());
+        assert_eq!(p.find(9).unwrap().0, record![9i64]);
         assert_eq!(p.len(), 3);
     }
 
@@ -183,6 +377,9 @@ mod tests {
         assert_eq!(p.lower_bound(2), 0);
         assert_eq!(p.lower_bound(3), 1);
         assert_eq!(p.lower_bound(10), 3);
+        assert_eq!(p.upper_bound(1), 0);
+        assert_eq!(p.upper_bound(2), 1);
+        assert_eq!(p.upper_bound(9), 3);
     }
 
     #[test]
@@ -192,6 +389,8 @@ mod tests {
         assert_eq!(p.first_pos(), None);
         assert_eq!(p.id(), 7);
         assert!(p.zone(0).is_none());
+        assert_eq!(p.decode_rows().len(), 0);
+        assert_eq!(p.encoded_bytes(), 0);
     }
 
     #[test]
@@ -245,5 +444,60 @@ mod tests {
         let z = p.zone(0).unwrap();
         assert!(z.min.is_none() && z.max.is_none());
         assert!(z.may_match(CmpOp::Eq, &Value::Int(99)));
+    }
+
+    #[test]
+    fn decode_rows_round_trips_entries() {
+        let entries: Vec<(i64, Record)> =
+            (0..20).map(|i| (i * 3 + 1, record![i, i as f64 / 2.0, "tick"])).collect();
+        let p = Page::new(0, entries.clone());
+        let rows = p.decode_rows();
+        assert_eq!(rows.len(), entries.len());
+        for (slot, (pos, rec)) in entries.iter().enumerate() {
+            assert_eq!(rows.pos(slot), *pos);
+            assert_eq!(rows.record(slot), *rec);
+            assert_eq!(p.position_at(slot), *pos);
+            assert_eq!(p.record_at(slot).0, *rec);
+        }
+        assert!(rows.byte_size() > 0);
+        assert!(p.encoded_bytes() < p.plain_bytes(), "page should compress");
+    }
+
+    #[test]
+    fn append_range_matches_rows() {
+        let entries: Vec<(i64, Record)> =
+            (0..16).map(|i| (i + 10, record![i % 3, (i % 2) as f64])).collect();
+        let p = Page::new(0, entries.clone());
+        let mut batch = RecordBatch::with_capacity(2, 8);
+        let bytes = p.append_range_into(&mut batch, 4, 8);
+        assert!(bytes > 0);
+        assert_eq!(batch.len(), 8);
+        for (i, (pos, rec)) in entries[4..12].iter().enumerate() {
+            assert_eq!(batch.record(i), (*pos, rec.clone()));
+        }
+    }
+
+    #[test]
+    fn filter_slots_refines_terms_in_order() {
+        let entries: Vec<(i64, Record)> =
+            (0..24).map(|i| (i, record![i % 4, (i / 6) as f64])).collect();
+        let p = Page::new(0, entries.clone());
+        // col0 == 1 AND col1 >= 2.0 over the full page.
+        let terms =
+            vec![(0usize, CmpOp::Eq, Value::Int(1)), (1usize, CmpOp::Ge, Value::Float(2.0))];
+        let slots = p.filter_slots(&terms, 0, 24).unwrap();
+        let want: Vec<u32> = (0u32..24).filter(|i| i % 4 == 1 && i / 6 >= 2).collect();
+        assert_eq!(slots, want);
+        // Decoding the survivors matches the filtered entries.
+        let mut batch = RecordBatch::new(2);
+        p.append_slots_into(&mut batch, &slots);
+        assert_eq!(batch.len(), want.len());
+        for (i, s) in want.iter().enumerate() {
+            assert_eq!(batch.record(i), entries[*s as usize]);
+        }
+        // No terms: every slot in range survives.
+        assert_eq!(p.filter_slots(&[], 3, 7).unwrap(), vec![3, 4, 5, 6]);
+        // Bad column index is a schema error.
+        assert!(p.filter_slots(&[(9, CmpOp::Eq, Value::Int(0))], 0, 24).is_err());
     }
 }

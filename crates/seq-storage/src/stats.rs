@@ -37,6 +37,12 @@ pub struct AccessStats {
     /// charges `stream_records` once per batch instead of once per record;
     /// this counts those folds so tests can verify the batching contract.
     pub stat_folds: AtomicU64,
+    /// Plain bytes materialized from encoded page columns. The in-place
+    /// filter path decodes only surviving rows, so this counter is *meant*
+    /// to differ between execution paths — it measures decode work saved,
+    /// and is deliberately excluded from the cross-path equality contracts
+    /// the other counters obey.
+    pub bytes_decoded: AtomicU64,
     /// Parent context every charge is forwarded to (profiling scopes).
     parent: Option<Arc<AccessStats>>,
 }
@@ -112,6 +118,18 @@ impl AccessStats {
         }
     }
 
+    /// Charge `n` plain bytes decoded from encoded page columns. A plain
+    /// add with no fold accounting: decode volume is workload bookkeeping,
+    /// not part of the per-batch fold contract.
+    pub fn record_bytes_decoded(&self, n: u64) {
+        if n > 0 {
+            self.bytes_decoded.fetch_add(n, Ordering::Relaxed);
+            if let Some(p) = &self.parent {
+                p.record_bytes_decoded(n);
+            }
+        }
+    }
+
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -122,6 +140,7 @@ impl AccessStats {
             stream_records: self.stream_records.load(Ordering::Relaxed),
             scans_opened: self.scans_opened.load(Ordering::Relaxed),
             stat_folds: self.stat_folds.load(Ordering::Relaxed),
+            bytes_decoded: self.bytes_decoded.load(Ordering::Relaxed),
         }
     }
 
@@ -134,6 +153,7 @@ impl AccessStats {
         self.stream_records.store(0, Ordering::Relaxed);
         self.scans_opened.store(0, Ordering::Relaxed);
         self.stat_folds.store(0, Ordering::Relaxed);
+        self.bytes_decoded.store(0, Ordering::Relaxed);
     }
 }
 
@@ -155,6 +175,8 @@ pub struct StatsSnapshot {
     pub scans_opened: u64,
     /// Folded (per-batch) counter updates performed.
     pub stat_folds: u64,
+    /// Plain bytes materialized from encoded page columns.
+    pub bytes_decoded: u64,
 }
 
 impl StatsSnapshot {
@@ -168,6 +190,7 @@ impl StatsSnapshot {
             stream_records: self.stream_records.saturating_sub(earlier.stream_records),
             scans_opened: self.scans_opened.saturating_sub(earlier.scans_opened),
             stat_folds: self.stat_folds.saturating_sub(earlier.stat_folds),
+            bytes_decoded: self.bytes_decoded.saturating_sub(earlier.bytes_decoded),
         }
     }
 
@@ -181,13 +204,14 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "page_reads={} page_hits={} pages_skipped={} probes={} stream_records={} scans={}",
+            "page_reads={} page_hits={} pages_skipped={} probes={} stream_records={} scans={} bytes_decoded={}",
             self.page_reads,
             self.page_hits,
             self.pages_skipped,
             self.probes,
             self.stream_records,
-            self.scans_opened
+            self.scans_opened,
+            self.bytes_decoded
         )
     }
 }
@@ -263,6 +287,21 @@ mod tests {
         a.reset();
         assert_eq!(a.snapshot(), StatsSnapshot::default());
         assert_eq!(parent.snapshot().stream_records, 10);
+    }
+
+    #[test]
+    fn bytes_decoded_tees_without_folds() {
+        let parent = AccessStats::new();
+        let s = AccessStats::scoped(&parent);
+        s.record_bytes_decoded(128);
+        s.record_bytes_decoded(0);
+        assert_eq!(s.snapshot().bytes_decoded, 128);
+        assert_eq!(parent.snapshot().bytes_decoded, 128);
+        // Decode accounting is plain adds: it never counts as a fold.
+        assert_eq!(s.snapshot().stat_folds, 0);
+        s.reset();
+        assert_eq!(s.snapshot().bytes_decoded, 0);
+        assert!(s.snapshot().to_string().contains("bytes_decoded=0"));
     }
 
     #[test]

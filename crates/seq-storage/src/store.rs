@@ -8,17 +8,102 @@
 
 use std::sync::Arc;
 
-use seq_core::{BaseSequence, Record, RecordBatch, Schema, SeqMeta, Sequence, Span};
+use seq_core::{
+    BaseSequence, CmpOp, Record, RecordBatch, Result, Schema, SeqMeta, Sequence, Span, Value,
+};
 
 use crate::buffer::{BufferPool, PageAccess, StoreId};
 use crate::filter::ScanFilter;
 use crate::index::SparseIndex;
-use crate::page::{Page, PageId};
+use crate::page::{DecodedRows, Page, PageId};
 use crate::stats::AccessStats;
 
 /// Default number of records per page. With ~16-byte records this models a
 /// small page; experiments that care set their own capacity.
 pub const DEFAULT_PAGE_CAPACITY: usize = 64;
+
+/// How many pages of one column chose each encoding. Encodings are picked
+/// per page, so a column is described by a mix, not a single label.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColumnEncodingMix {
+    /// Pages storing the column plain.
+    pub plain: u32,
+    /// Pages storing the column delta-encoded.
+    pub delta: u32,
+    /// Pages storing the column run-length-encoded.
+    pub rle: u32,
+    /// Pages storing the column dictionary-encoded.
+    pub dict: u32,
+}
+
+impl ColumnEncodingMix {
+    fn bump(&mut self, label: &str) {
+        match label {
+            "delta" => self.delta += 1,
+            "rle" => self.rle += 1,
+            "dict" => self.dict += 1,
+            _ => self.plain += 1,
+        }
+    }
+
+    /// The encoding chosen by the most pages (ties prefer the compressed
+    /// encodings in delta/rle/dict order).
+    pub fn dominant(&self) -> &'static str {
+        let mut best = ("plain", self.plain);
+        for (label, n) in [("dict", self.dict), ("rle", self.rle), ("delta", self.delta)] {
+            if n >= best.1 && n > 0 {
+                best = (label, n);
+            }
+        }
+        best.0
+    }
+}
+
+impl std::fmt::Display for ColumnEncodingMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.dominant())
+    }
+}
+
+/// Per-sequence compression summary, computed once at build time from the
+/// encoded pages (consulting it never touches a page).
+#[derive(Debug, Clone, Default)]
+pub struct CompressionStats {
+    /// Decoded (row-equivalent) byte footprint of all pages.
+    pub plain_bytes: u64,
+    /// Encoded byte footprint of all pages.
+    pub encoded_bytes: u64,
+    /// Encoding mix of each record column across pages.
+    pub columns: Vec<ColumnEncodingMix>,
+}
+
+impl CompressionStats {
+    fn from_pages(pages: &[Page], arity: usize) -> CompressionStats {
+        let mut c = CompressionStats {
+            plain_bytes: 0,
+            encoded_bytes: 0,
+            columns: vec![ColumnEncodingMix::default(); arity],
+        };
+        for page in pages {
+            c.plain_bytes += page.plain_bytes() as u64;
+            c.encoded_bytes += page.encoded_bytes() as u64;
+            for (col, label) in page.column_encodings().enumerate() {
+                c.columns[col].bump(label);
+            }
+        }
+        c
+    }
+
+    /// Encoded-to-plain size ratio (`1.0` when nothing is stored or nothing
+    /// compressed; smaller is better).
+    pub fn ratio(&self) -> f64 {
+        if self.plain_bytes == 0 {
+            1.0
+        } else {
+            self.encoded_bytes as f64 / self.plain_bytes as f64
+        }
+    }
+}
 
 /// A physically stored base sequence.
 pub struct StoredSequence {
@@ -31,6 +116,7 @@ pub struct StoredSequence {
     pages: Arc<[Page]>,
     index: SparseIndex,
     record_count: u64,
+    compression: CompressionStats,
     stats: Arc<AccessStats>,
     buffer: Option<Arc<BufferPool>>,
 }
@@ -65,6 +151,7 @@ impl StoredSequence {
             pages.push(Page::new(i as PageId, chunk.to_vec()));
         }
         let index = SparseIndex::build(&pages);
+        let compression = CompressionStats::from_pages(&pages, base.schema().arity());
         StoredSequence {
             store_id,
             name: name.into(),
@@ -73,6 +160,7 @@ impl StoredSequence {
             pages: pages.into(),
             index,
             record_count: entries.len() as u64,
+            compression,
             stats,
             buffer,
         }
@@ -92,6 +180,7 @@ impl StoredSequence {
             pages: Arc::clone(&self.pages),
             index: self.index.clone(),
             record_count: self.record_count,
+            compression: self.compression.clone(),
             stats,
             buffer: self.buffer.clone(),
         })
@@ -115,6 +204,11 @@ impl StoredSequence {
     /// The counters this store charges.
     pub fn stats(&self) -> &Arc<AccessStats> {
         &self.stats
+    }
+
+    /// Compression summary of the stored pages (build-time metadata).
+    pub fn compression(&self) -> &CompressionStats {
+        &self.compression
     }
 
     /// Charge one page touch against the statistics (and the buffer pool,
@@ -178,7 +272,9 @@ impl Sequence for StoredSequence {
         self.stats.record_probe();
         let page_id = self.index.page_for(pos)?;
         self.touch_page(page_id);
-        self.pages[page_id as usize].find(pos).cloned()
+        let (rec, bytes) = self.pages[page_id as usize].find(pos)?;
+        self.stats.record_bytes_decoded(bytes as u64);
+        Some(rec)
     }
 
     fn scan(&self, span: Span) -> Box<dyn Iterator<Item = (i64, Record)> + '_> {
@@ -191,6 +287,7 @@ impl Sequence for StoredSequence {
             store: self,
             page_idx: start_page,
             slot: None,
+            rows: None,
             end: span.end(),
             start: span.start(),
         })
@@ -224,7 +321,7 @@ impl StoredSequence {
         } else {
             (self.index.first_page_at_or_after(span.start()), span.start(), span.end())
         };
-        OwnedScan { store: Arc::clone(self), page_idx, slot: None, start, end, filter }
+        OwnedScan { store: Arc::clone(self), page_idx, slot: None, rows: None, start, end, filter }
     }
 
     /// A batched owning stream cursor: materializes up to `batch_size`
@@ -349,16 +446,15 @@ impl OwnedBatchScan {
                     }
                 }
             };
-            let entries = page.entries();
-            // The in-span run on this page is contiguous: copy it column-wise
-            // in one bulk append instead of row-at-a-time pushes.
-            let in_span = entries.partition_point(|(p, _)| *p <= self.end);
+            // The in-span run on this page is contiguous: bulk-decode it
+            // column-wise straight into the batch, with no per-record
+            // materialization.
+            let in_span = page.upper_bound(self.end);
             let take = (self.batch_size - batch.len()).min(in_span.saturating_sub(slot));
-            batch
-                .extend_from_entries(&entries[slot..slot + take])
-                .expect("page records match store schema");
+            let bytes = page.append_range_into(&mut batch, slot, take);
+            self.store.stats.record_bytes_decoded(bytes as u64);
             let slot = slot + take;
-            if slot >= entries.len() {
+            if slot >= page.len() {
                 self.page_idx += 1;
                 self.slot = None;
             } else if slot >= in_span {
@@ -375,6 +471,70 @@ impl OwnedBatchScan {
         } else {
             self.store.stats.record_stream_records(batch.len() as u64);
             Some(batch)
+        }
+    }
+
+    /// Like [`OwnedBatchScan::next_batch`], but evaluates a conjunction of
+    /// `col op lit` terms *in place* over the encoded page columns and
+    /// materializes only the surviving rows — non-survivors are never
+    /// decoded. Returns the survivors (possibly an empty batch) plus the
+    /// number of rows scanned, which is exactly the row count
+    /// [`OwnedBatchScan::next_batch`] would have materialized for the same
+    /// window: page entry/skip decisions, batch window boundaries, and the
+    /// per-window `stream_records` fold are all identical, so every counter
+    /// except `bytes_decoded` stays bit-identical to scan-then-filter.
+    /// `None` means the span is exhausted.
+    pub fn next_batch_selected(
+        &mut self,
+        terms: &[(usize, CmpOp, Value)],
+    ) -> Result<Option<(RecordBatch, u64)>> {
+        let arity = self.store.schema().arity();
+        let mut batch = RecordBatch::with_capacity(arity, self.batch_size.min(64));
+        let mut scanned = 0usize;
+        while scanned < self.batch_size {
+            let Some(page) = self.store.pages.get(self.page_idx) else { break };
+            let slot = match self.slot {
+                Some(s) => s,
+                None => {
+                    match self.store.enter_page(page, self.start, self.end, self.filter.as_ref()) {
+                        PageEntry::Enter(s) => s,
+                        PageEntry::Skip => {
+                            self.page_idx += 1;
+                            continue;
+                        }
+                        PageEntry::Exhausted => {
+                            self.page_idx = usize::MAX;
+                            break;
+                        }
+                    }
+                }
+            };
+            let in_span = page.upper_bound(self.end);
+            let take = (self.batch_size - scanned).min(in_span.saturating_sub(slot));
+            if take > 0 {
+                let survivors = page.filter_slots(terms, slot, slot + take)?;
+                let bytes = page.append_slots_into(&mut batch, &survivors);
+                self.store.stats.record_bytes_decoded(bytes as u64);
+                scanned += take;
+            }
+            let slot = slot + take;
+            if slot >= page.len() {
+                self.page_idx += 1;
+                self.slot = None;
+            } else if slot >= in_span {
+                // The span ends inside this page: the scan is exhausted.
+                self.page_idx = usize::MAX;
+                self.slot = None;
+                break;
+            } else {
+                self.slot = Some(slot);
+            }
+        }
+        if scanned == 0 {
+            Ok(None)
+        } else {
+            self.store.stats.record_stream_records(scanned as u64);
+            Ok(Some((batch, scanned as u64)))
         }
     }
 
@@ -403,6 +563,9 @@ pub struct OwnedScan {
     store: Arc<StoredSequence>,
     page_idx: usize,
     slot: Option<usize>,
+    /// Row view of the current page, decoded once on page entry; yielded
+    /// records are slice views into its shared buffer.
+    rows: Option<DecodedRows>,
     start: i64,
     end: i64,
     filter: Option<ScanFilter>,
@@ -416,10 +579,16 @@ impl OwnedScan {
             let slot = match self.slot {
                 Some(s) => s,
                 // Same shared entry decision as the batched scan, so both
-                // paths charge identically at every page boundary.
+                // paths charge identically at every page boundary. Entering
+                // decodes the page into a row view once.
                 None => {
                     match self.store.enter_page(page, self.start, self.end, self.filter.as_ref()) {
-                        PageEntry::Enter(s) => s,
+                        PageEntry::Enter(s) => {
+                            let rows = page.decode_rows();
+                            self.store.stats.record_bytes_decoded(rows.byte_size() as u64);
+                            self.rows = Some(rows);
+                            s
+                        }
                         PageEntry::Skip => {
                             self.page_idx += 1;
                             continue;
@@ -431,17 +600,20 @@ impl OwnedScan {
                     }
                 }
             };
-            if let Some((pos, rec)) = page.entries().get(slot) {
-                if *pos > self.end {
+            let rows = self.rows.as_ref().expect("page rows decoded on entry");
+            if slot < rows.len() {
+                let pos = rows.pos(slot);
+                if pos > self.end {
                     self.page_idx = usize::MAX;
                     return None;
                 }
                 self.slot = Some(slot + 1);
                 self.store.stats.record_stream_record();
-                return Some((*pos, rec.clone()));
+                return Some((pos, rows.record(slot)));
             }
             self.page_idx = self.page_idx.wrapping_add(1);
             self.slot = None;
+            self.rows = None;
         }
     }
 
@@ -459,6 +631,7 @@ impl OwnedScan {
                     if page.last_pos().map(|lp| lp < lower).unwrap_or(true) {
                         self.page_idx += 1;
                         self.slot = None;
+                        self.rows = None;
                     } else {
                         let lb = page.lower_bound(lower);
                         self.slot = Some(lb.max(slot));
@@ -483,6 +656,8 @@ struct StoredScan<'a> {
     page_idx: usize,
     /// Slot within the current page; `None` before the page is entered.
     slot: Option<usize>,
+    /// Row view of the current page, decoded once on page entry.
+    rows: Option<DecodedRows>,
     start: i64,
     end: i64,
 }
@@ -496,23 +671,30 @@ impl Iterator for StoredScan<'_> {
             let slot = match self.slot {
                 Some(s) => s,
                 None => {
-                    // Entering this page: charge the touch and position the
-                    // cursor at the first in-span entry.
+                    // Entering this page: charge the touch, decode the row
+                    // view, and position the cursor at the first in-span
+                    // entry.
                     self.store.touch_page(page.id());
+                    let rows = page.decode_rows();
+                    self.store.stats.record_bytes_decoded(rows.byte_size() as u64);
+                    self.rows = Some(rows);
                     page.lower_bound(self.start)
                 }
             };
-            if let Some((pos, rec)) = page.entries().get(slot) {
-                if *pos > self.end {
+            let rows = self.rows.as_ref().expect("page rows decoded on entry");
+            if slot < rows.len() {
+                let pos = rows.pos(slot);
+                if pos > self.end {
                     return None;
                 }
                 self.slot = Some(slot + 1);
                 self.store.stats.record_stream_record();
-                return Some((*pos, rec.clone()));
+                return Some((pos, rows.record(slot)));
             }
             // Page exhausted; move on.
             self.page_idx += 1;
             self.slot = None;
+            self.rows = None;
         }
     }
 }
@@ -822,6 +1004,29 @@ mod owned_scan_tests {
     }
 
     #[test]
+    fn compression_stats_summarize_pages() {
+        let (s, _) = stored(100, 3, 16); // x column = position: sequential ints
+        let c = s.compression();
+        assert!(c.plain_bytes > 0);
+        assert!(c.encoded_bytes > 0);
+        assert!(c.ratio() < 1.0, "sequential ints should compress: {}", c.ratio());
+        assert_eq!(c.columns.len(), 1);
+        assert_eq!(c.columns[0].dominant(), "delta");
+        assert_eq!(c.columns[0].delta as usize, s.page_count());
+    }
+
+    #[test]
+    fn scans_charge_bytes_decoded() {
+        let (s, stats) = stored(100, 1, 16);
+        s.scan_owned(Span::new(1, 100)).count();
+        let tuple = stats.snapshot().bytes_decoded;
+        assert!(tuple > 0);
+        stats.reset();
+        drain_batches(&s, Span::new(1, 100), 8);
+        assert!(stats.snapshot().bytes_decoded > 0);
+    }
+
+    #[test]
     fn shared_storage_types_are_sync() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<StoredSequence>();
@@ -927,6 +1132,73 @@ mod filtered_scan_tests {
         assert_eq!(tuple_snap.page_reads, batch_snap.page_reads);
         assert_eq!(tuple_snap.pages_skipped, batch_snap.pages_skipped);
         assert_eq!(tuple_snap.stream_records, batch_snap.stream_records);
+    }
+
+    #[test]
+    fn selected_batch_scan_matches_filter_after_scan() {
+        for (batch_size, cap, lit) in
+            [(4, 16, 50), (16, 16, 90), (1000, 16, 101), (7, 5, 33), (1, 16, 50)]
+        {
+            let (s, stats) = stored(100, cap);
+            let span = Span::new(3, 97);
+            let terms = vec![(0usize, CmpOp::Ge, Value::Int(lit))];
+            // Reference: zone-filtered scan, predicate re-applied per row.
+            let mut scan = s.scan_batch_filtered(span, batch_size, ge(lit));
+            let mut want = Vec::new();
+            while let Some(b) = scan.next_batch() {
+                for (p, r) in b.to_records() {
+                    if r.values()[0].total_cmp(&Value::Int(lit)).unwrap().is_ge() {
+                        want.push((p, r));
+                    }
+                }
+            }
+            let want_snap = stats.snapshot();
+
+            stats.reset();
+            let mut scan = s.scan_batch_filtered(span, batch_size, ge(lit));
+            let mut got = Vec::new();
+            let mut scanned_total = 0u64;
+            while let Some((b, scanned)) = scan.next_batch_selected(&terms).unwrap() {
+                scanned_total += scanned;
+                got.extend(b.to_records());
+            }
+            let got_snap = stats.snapshot();
+
+            assert_eq!(got, want, "bs={batch_size} cap={cap} lit={lit}");
+            // The in-place path scans (and charges) exactly what the decode
+            // path materialized; every counter but bytes_decoded matches.
+            assert_eq!(scanned_total, want_snap.stream_records);
+            assert_eq!(got_snap.stream_records, want_snap.stream_records);
+            assert_eq!(got_snap.page_accesses(), want_snap.page_accesses());
+            assert_eq!(got_snap.pages_skipped, want_snap.pages_skipped);
+            assert_eq!(got_snap.stat_folds, want_snap.stat_folds);
+            // Only survivors are decoded.
+            assert!(got_snap.bytes_decoded <= want_snap.bytes_decoded);
+        }
+    }
+
+    #[test]
+    fn selected_batch_scan_skip_to_stays_symmetric() {
+        let (s, stats) = stored(100, 16);
+        let terms = vec![(0usize, CmpOp::Ge, Value::Int(50))];
+        let mut reference = s.scan_batch_filtered(Span::new(1, 100), 1, ge(50));
+        assert_eq!(reference.next_batch().unwrap().positions(), &[49]);
+        reference.skip_to(90);
+        while reference.next_batch().is_some() {}
+        let want_snap = stats.snapshot();
+
+        stats.reset();
+        let mut selected = s.scan_batch_filtered(Span::new(1, 100), 1, ge(50));
+        let (first, scanned) = selected.next_batch_selected(&terms).unwrap().unwrap();
+        assert_eq!(scanned, 1);
+        assert!(first.is_empty(), "49 fails >= 50 in place");
+        selected.skip_to(90);
+        while selected.next_batch_selected(&terms).unwrap().is_some() {}
+        let got_snap = stats.snapshot();
+
+        assert_eq!(got_snap.page_reads, want_snap.page_reads);
+        assert_eq!(got_snap.pages_skipped, want_snap.pages_skipped);
+        assert_eq!(got_snap.stream_records, want_snap.stream_records);
     }
 
     #[test]

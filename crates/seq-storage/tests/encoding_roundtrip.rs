@@ -1,0 +1,357 @@
+//! Randomized round-trip property tests for the page column encodings.
+//!
+//! Every encoding ([`ColumnData::Plain`], `IntDelta`, `Rle`, `Dict`, and the
+//! delta-compressed position arrays) must be *lossless*: whatever shape of
+//! column goes in, every read path — single-slot access, bulk range decode,
+//! slot gather, and the in-place comparison kernels — must reproduce exactly
+//! the values that were encoded. The generator below produces columns shaped
+//! to land in each encoding (plus mixed-variant columns, which must fall back
+//! to plain, and empty columns), then drives all read paths against the
+//! original vector as the oracle. A final section round-trips whole pages,
+//! since `Page::new` is the integration point that routes positions and
+//! columns through the encoders.
+
+use seq_core::{record, CmpOp, Record, Value};
+use seq_storage::{ColumnData, Page, PosData};
+
+/// Minimal xorshift64* generator so the suite stays dependency-free while
+/// covering a different column population every seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw from `0..n` (`n > 0`).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo + 1) as u64) as i64
+    }
+
+    fn float(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64 * 200.0 - 100.0
+    }
+
+    fn chance(&mut self, percent: usize) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// One column shaped to favour a particular encoding, plus the label the
+/// pick-cheapest heuristic is expected to choose for it (None = any).
+fn shaped_column(rng: &mut Rng, shape: usize, len: usize) -> (Vec<Value>, Option<&'static str>) {
+    match shape {
+        // Slowly drifting ints: small deltas pack at width 1-2.
+        0 => {
+            let mut v = rng.int(-1_000_000, 1_000_000);
+            let values = (0..len)
+                .map(|_| {
+                    v = v.wrapping_add(rng.int(-40, 40));
+                    Value::Int(v)
+                })
+                .collect();
+            (values, (len > 4).then_some("delta"))
+        }
+        // Long constant runs of a type-homogeneous value: RLE territory.
+        1 => {
+            let float_runs = rng.chance(50);
+            let mut values = Vec::with_capacity(len);
+            while values.len() < len {
+                let run = 1 + rng.below(len.div_ceil(3));
+                let v = if float_runs {
+                    Value::Float(rng.int(-4, 4) as f64 * 0.5)
+                } else {
+                    Value::Int(rng.int(-4, 4))
+                };
+                for _ in 0..run.min(len - values.len()) {
+                    values.push(v.clone());
+                }
+            }
+            (values, None) // short runs of tiny ints may tie with dict/delta
+        }
+        // Few distinct strings, interleaved: dictionary territory.
+        2 => {
+            let tags = ["ACME", "GLOBEX", "INITECH", "HOOLI", "UMBRELLA"];
+            let distinct = 2 + rng.below(tags.len() - 1);
+            let values = (0..len)
+                .map(|_| Value::Str(tags[rng.below(distinct)].to_string().into()))
+                .collect();
+            (values, (len > 40).then_some("dict"))
+        }
+        // High-entropy floats: nothing beats plain.
+        3 => ((0..len).map(|_| Value::Float(rng.float())).collect(), Some("plain")),
+        // Full-range ints: deltas need width 8, still never *worse* than plain.
+        4 => ((0..len).map(|_| Value::Int(rng.next() as i64)).collect(), None),
+        // Mixed variants: must fall back to plain regardless of content.
+        _ => {
+            let values = (0..len)
+                .map(|_| match rng.below(3) {
+                    0 => Value::Int(rng.int(-5, 5)),
+                    1 => Value::Float(rng.int(-5, 5) as f64),
+                    _ => Value::Str("x".to_string().into()),
+                })
+                .collect();
+            (values, Some("plain"))
+        }
+    }
+}
+
+/// Reference implementation of the comparison kernels: decode-then-compare.
+fn reference_matches(values: &[Value], op: CmpOp, lit: &Value) -> Option<Vec<u32>> {
+    let mut out = Vec::new();
+    for (i, v) in values.iter().enumerate() {
+        match v.total_cmp(lit) {
+            Ok(ord) => {
+                if op.holds(ord) {
+                    out.push(i as u32);
+                }
+            }
+            Err(_) => return None, // type error: the kernel must error too
+        }
+    }
+    Some(out)
+}
+
+fn assert_column_roundtrip(rng: &mut Rng, values: &[Value], expect: Option<&'static str>) {
+    let col = ColumnData::encode(values.to_vec());
+    let label = col.label();
+    if let Some(expected) = expect {
+        assert_eq!(label, expected, "unexpected encoding for {values:?}");
+    }
+    assert_eq!(col.len(), values.len(), "[{label}] length diverged");
+
+    // Single-slot access.
+    for (i, v) in values.iter().enumerate() {
+        assert_eq!(&col.value_at(i), v, "[{label}] slot {i} diverged");
+    }
+
+    // Bulk range decode, over random in-bounds windows including empty
+    // and full (the contract leaves clamping to the caller).
+    for _ in 0..8 {
+        let start = rng.below(values.len() + 1);
+        let take = rng.below(values.len() - start + 1);
+        let mut out = vec![Value::Int(-777)]; // decode must append, not clobber
+        col.decode_range_into(&mut out, start, take);
+        assert_eq!(out[0], Value::Int(-777), "[{label}] decode clobbered the sink");
+        assert_eq!(&out[1..], &values[start..start + take], "[{label}] range {start}+{take}");
+    }
+
+    // Gather of random ascending slot lists (the contract's precondition).
+    for _ in 0..4 {
+        let mut slots: Vec<u32> =
+            (0..rng.below(20)).map(|_| rng.below(values.len().max(1)) as u32).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        let slots: Vec<u32> = slots.into_iter().filter(|s| (*s as usize) < values.len()).collect();
+        let mut out = Vec::new();
+        col.gather_into(&mut out, &slots);
+        let expect: Vec<Value> = slots.iter().map(|s| values[*s as usize].clone()).collect();
+        assert_eq!(out, expect, "[{label}] gather diverged");
+    }
+
+    // In-place comparison kernels against decode-then-compare, over literals
+    // of every type so both the match and type-error behaviour are covered.
+    let literals = [Value::Int(rng.int(-10, 10)), Value::Float(rng.float()), Value::Int(0)];
+    for lit in &literals {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            let mut got = Vec::new();
+            match (
+                col.matching_slots(0, values.len(), op, lit, &mut got),
+                reference_matches(values, op, lit),
+            ) {
+                (Ok(()), Some(expect)) => {
+                    assert_eq!(got, expect, "[{label}] {op:?} {lit} diverged");
+                    // retain_matching must agree when seeded with all slots.
+                    let mut slots: Vec<u32> = (0..values.len() as u32).collect();
+                    col.retain_matching(&mut slots, op, lit).unwrap();
+                    assert_eq!(slots, expect, "[{label}] retain {op:?} {lit} diverged");
+                }
+                (Err(_), None) => {}
+                (Ok(()), None) => panic!("[{label}] kernel accepted a type error ({op:?} {lit})"),
+                (Err(e), Some(_)) => panic!("[{label}] kernel errored on valid input: {e}"),
+            }
+        }
+    }
+
+    // The pick-cheapest contract: the chosen representation is never larger
+    // than what plain storage of the same column would take.
+    let plain_size = ColumnData::Plain(values.to_vec()).byte_size();
+    assert!(
+        col.byte_size() <= plain_size,
+        "[{label}] encoded {} bytes > plain {plain_size}",
+        col.byte_size()
+    );
+}
+
+#[test]
+fn random_columns_roundtrip_through_every_encoding() {
+    let mut rng = Rng::new(0x0E0C_0DE5);
+    let mut seen = std::collections::BTreeSet::new();
+    for trial in 0..120 {
+        let shape = trial % 6;
+        let len = [1, 2, 7, 64, 257][rng.below(5)];
+        let (values, expect) = shaped_column(&mut rng, shape, len);
+        assert_column_roundtrip(&mut rng, &values, expect);
+        seen.insert(ColumnData::encode(values).label());
+    }
+    // The shape mix must actually reach all four encodings, or the
+    // assertions above silently test plain five ways.
+    for label in ["plain", "delta", "rle", "dict"] {
+        assert!(seen.contains(label), "no trial produced a {label} column (got {seen:?})");
+    }
+}
+
+#[test]
+fn empty_and_singleton_columns_are_degenerate_plain() {
+    let empty = ColumnData::encode(Vec::new());
+    assert_eq!(empty.label(), "plain");
+    assert_eq!(empty.len(), 0);
+    assert!(empty.is_empty());
+    let mut out = Vec::new();
+    empty.decode_range_into(&mut out, 0, 0);
+    empty.gather_into(&mut out, &[]);
+    assert!(out.is_empty());
+    let mut slots = Vec::new();
+    empty.matching_slots(0, 0, CmpOp::Eq, &Value::Int(1), &mut slots).unwrap();
+    assert!(slots.is_empty());
+
+    let one = ColumnData::encode(vec![Value::Bool(true)]);
+    assert_eq!(one.len(), 1);
+    assert_eq!(one.value_at(0), Value::Bool(true));
+}
+
+#[test]
+fn positions_roundtrip_dense_strided_and_ragged() {
+    let mut rng = Rng::new(0x9051_7105);
+    for trial in 0..60 {
+        let len = [0, 1, 3, 64, 300][rng.below(5)];
+        let mut pos = Vec::with_capacity(len);
+        let mut p = rng.int(-500, 500);
+        let stride = match trial % 3 {
+            0 => Some(1),             // dense: the Dense representation
+            1 => Some(rng.int(2, 9)), // arithmetic: constant deltas
+            _ => None,                // ragged gaps
+        };
+        for _ in 0..len {
+            p += stride.unwrap_or_else(|| rng.int(1, 40));
+            pos.push(p);
+        }
+        let enc = PosData::encode(pos.clone());
+        let label = enc.label();
+        assert_eq!(enc.len(), pos.len(), "[{label}] length");
+        assert_eq!(enc.first(), pos.first().copied(), "[{label}] first");
+        assert_eq!(enc.last(), pos.last().copied(), "[{label}] last");
+        for (i, expect) in pos.iter().enumerate() {
+            assert_eq!(enc.get(i), *expect, "[{label}] slot {i}");
+        }
+        let mut out = Vec::new();
+        enc.decode_range_into(&mut out, 0, pos.len());
+        assert_eq!(out, pos, "[{label}] bulk decode");
+        // Binary searches agree with the reference partition points.
+        for _ in 0..12 {
+            let probe = rng.int(-600, 13_000);
+            assert_eq!(
+                enc.lower_bound(probe),
+                pos.partition_point(|q| *q < probe),
+                "[{label}] lower_bound({probe})"
+            );
+            assert_eq!(
+                enc.upper_bound(probe),
+                pos.partition_point(|q| *q <= probe),
+                "[{label}] upper_bound({probe})"
+            );
+        }
+    }
+}
+
+/// Whole-page integration: `Page::new` routes positions and every column
+/// through the encoders; the row view and point lookups must reproduce the
+/// original entries exactly, and the zone maps must hold the true extrema.
+#[test]
+fn pages_roundtrip_entries_and_zones() {
+    let mut rng = Rng::new(0xBADC_0FFE);
+    for trial in 0..40 {
+        let len = [0, 1, 5, 64][rng.below(4)];
+        let mut entries: Vec<(i64, Record)> = Vec::with_capacity(len);
+        let mut p = 0i64;
+        for _ in 0..len {
+            p += rng.int(1, 6);
+            let time = p * 10;
+            // Column 1 is shaped by trial: runs, few-distinct, or noise.
+            let v = match trial % 3 {
+                0 => Value::Float((p / 8) as f64),
+                1 => Value::Int(rng.int(0, 3)),
+                _ => Value::Float(rng.float()),
+            };
+            entries.push((p, record![time, v.clone()]));
+        }
+        let page = Page::new(trial as u32, entries.clone());
+        assert_eq!(page.len(), entries.len());
+        // Tiny pages may carry fixed representation overhead (delta headers,
+        // dense position descriptors); from a handful of rows on, encoding
+        // must never lose to plain.
+        if page.len() >= 4 {
+            assert!(
+                page.encoded_bytes() <= page.plain_bytes(),
+                "page grew under encoding: {} > {}",
+                page.encoded_bytes(),
+                page.plain_bytes()
+            );
+        }
+
+        let rows = page.decode_rows();
+        assert_eq!(rows.len(), entries.len());
+        for (slot, (pos, rec)) in entries.iter().enumerate() {
+            assert_eq!(rows.pos(slot), *pos, "trial {trial}: position at slot {slot}");
+            assert_eq!(&rows.record(slot), rec, "trial {trial}: record at slot {slot}");
+            let (found, _bytes) = page.find(*pos).expect("stored position must be found");
+            assert_eq!(&found, rec, "trial {trial}: find({pos})");
+        }
+        // Probing a gap position finds nothing.
+        if let (Some(first), Some(last)) = (page.first_pos(), page.last_pos()) {
+            for probe in first..=last {
+                let expect = entries.iter().find(|(p, _)| *p == probe).map(|(_, r)| r.clone());
+                assert_eq!(page.find(probe).map(|(r, _)| r), expect, "probe {probe}");
+            }
+        }
+        // Zone maps carry the exact per-column extrema.
+        for col in 0..2 {
+            let zone = page.zone(col);
+            if entries.is_empty() {
+                continue;
+            }
+            let zone = zone.expect("non-empty page must have zones");
+            let col_values: Vec<Value> =
+                entries.iter().map(|(_, r)| r.values()[col].clone()).collect();
+            let min = col_values.iter().cloned().reduce(|a, b| {
+                if b.total_cmp(&a).unwrap().is_lt() {
+                    b
+                } else {
+                    a
+                }
+            });
+            let max = col_values.iter().cloned().reduce(|a, b| {
+                if b.total_cmp(&a).unwrap().is_gt() {
+                    b
+                } else {
+                    a
+                }
+            });
+            assert_eq!(zone.min, min, "trial {trial}: zone min of column {col}");
+            assert_eq!(zone.max, max, "trial {trial}: zone max of column {col}");
+        }
+    }
+}

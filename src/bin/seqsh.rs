@@ -8,7 +8,9 @@
 //!
 //! Queries use the `seq-lang` textual algebra. Shell commands:
 //!
-//! - `\tables` — list base sequences with meta-data;
+//! - `\tables` — list base sequences with meta-data, including the encoded
+//!   page footprint as a percentage of the plain layout and each column's
+//!   dominant encoding;
 //! - `\explain <query>` — show the optimizer pipeline for a query;
 //! - `\analyze <query>` — execute under seq-trace instrumentation and show
 //!   the plan annotated with each operator's execution mode
@@ -76,11 +78,16 @@ impl Shell {
                 names.sort();
                 for name in names {
                     let stored = self.catalog.get(name)?;
+                    let comp = stored.compression();
+                    let encodings: Vec<String> =
+                        comp.columns.iter().map(|m| m.dominant().to_string()).collect();
                     println!(
-                        "  {name}: {} ({} records, {} pages)",
+                        "  {name}: {} ({} records, {} pages, {:.0}% of plain [{}])",
                         self.catalog.meta(name)?,
                         stored.record_count(),
-                        stored.page_count()
+                        stored.page_count(),
+                        comp.ratio() * 100.0,
+                        encodings.join(",")
                     );
                 }
             }
