@@ -68,8 +68,60 @@ fn check_file(path: &str) -> Result<String, String> {
             return Err(format!("worker rows {worker_rows} != root rows_out {root_rows}"));
         }
     }
+    // EXPLAIN ANALYZE reports (anything that embeds its profile) additionally
+    // carry per-operator estimates with the costed mode decision and its
+    // margin, plus the refreshed-statistics array the feedback loop folds
+    // back into the catalog overlay.
+    let mut n_est = 0;
+    let mut n_fb = 0;
+    if doc.get("profile").is_some() {
+        let ests =
+            doc.get("estimates").and_then(Json::as_array).ok_or("report missing estimates")?;
+        if ests.len() != ops.len() {
+            return Err(format!("{} estimates for {} operators", ests.len(), ops.len()));
+        }
+        for (i, est) in ests.iter().enumerate() {
+            for key in ["id", "mode_margin", "est_rows", "actual_rows"] {
+                if est.get(key).and_then(Json::as_f64).is_none() {
+                    return Err(format!("estimate {i} missing numeric {key:?}"));
+                }
+            }
+            match est.get("mode").and_then(Json::as_str) {
+                Some("batch" | "tuple" | "fused") => {}
+                _ => return Err(format!("estimate {i} missing or unknown mode")),
+            }
+            if !matches!(est.get("divergent"), Some(Json::Bool(_))) {
+                return Err(format!("estimate {i} missing boolean \"divergent\""));
+            }
+        }
+        n_est = ests.len();
+        let fb = doc.get("feedback").and_then(Json::as_array).ok_or("report missing feedback")?;
+        for (i, f) in fb.iter().enumerate() {
+            if f.get("sequence").and_then(Json::as_str).is_none() {
+                return Err(format!("feedback entry {i} missing sequence name"));
+            }
+            for key in ["observed_rows", "refreshes"] {
+                if f.get(key).and_then(Json::as_f64).is_none() {
+                    return Err(format!("feedback entry {i} missing numeric {key:?}"));
+                }
+            }
+            // Measured fractions are per-kind optional: null until observed.
+            for key in ["density", "selectivity", "skip_fraction"] {
+                match f.get(key) {
+                    Some(Json::Null | Json::Num(_)) => {}
+                    _ => return Err(format!("feedback entry {i} missing {key:?}")),
+                }
+            }
+        }
+        n_fb = fb.len();
+    }
     let rows = ops[0].get("rows_out").and_then(Json::as_f64).unwrap_or(0.0);
-    Ok(format!("{} operators, {} workers, root rows_out={rows}", ops.len(), workers.len()))
+    Ok(format!(
+        "{} operators, {} workers, {n_est} estimates, {n_fb} feedback entries, \
+         root rows_out={rows}",
+        ops.len(),
+        workers.len()
+    ))
 }
 
 fn main() -> ExitCode {

@@ -45,8 +45,8 @@ pub use cache::OpCache;
 pub use compose::{LockStepJoinBatch, StreamProbeJoinBatch, StreamSide};
 pub use cursor::{Cursor, PointAccess};
 pub use exec::{
-    execute, execute_batched, execute_batched_with, execute_parallel, execute_within,
-    materialize_into, probe_positions,
+    execute, execute_batched, execute_batched_assigned, execute_batched_with, execute_parallel,
+    execute_within, materialize_into, probe_positions,
 };
 pub use incremental::{replay, Emission, TriggerEngine};
 pub use offset::ValueOffsetBatchCursor;

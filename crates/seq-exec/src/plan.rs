@@ -20,8 +20,8 @@ use crate::aggregate::{
     WholeSpanAggBatchCursor, WholeSpanAggCursor, WindowAggCursor,
 };
 use crate::batch::{
-    BaseBatchCursor, BatchCursor, FusedBaseBatchCursor, PosOffsetBatchCursor, ProjectBatchCursor,
-    RecordToBatchCursor, SelectBatchCursor, WindowAggBatchCursor,
+    BaseBatchCursor, BatchCursor, BatchToRecordCursor, FusedBaseBatchCursor, PosOffsetBatchCursor,
+    ProjectBatchCursor, RecordToBatchCursor, SelectBatchCursor, WindowAggBatchCursor,
 };
 use crate::compose::{
     ComposeProbe, LockStepJoin, LockStepJoinBatch, StreamProbeJoin, StreamProbeJoinBatch,
@@ -67,6 +67,30 @@ pub enum ValueOffsetStrategy {
     IncrementalCacheB,
     /// The naive algorithm: walk backward/forward per output position.
     NaiveProbe,
+}
+
+/// A forced per-node execution-mode assignment, indexed by pre-order node
+/// id (the profiler's ids). `"batch"` entries run their native batch kernel
+/// even when entered from the record path (behind a
+/// [`BatchToRecordCursor`]); `"tuple"` entries run their stream cursor even
+/// when entered from the batch path (behind a [`RecordToBatchCursor`]);
+/// `"fused"` and any id past the end leave the structural default in place.
+/// Adapters are inserted exactly at assignment boundaries, so results are
+/// identical under every assignment.
+#[derive(Debug, Clone, Copy)]
+pub struct ModeAssignment<'a> {
+    modes: &'a [&'static str],
+    batch_size: usize,
+}
+
+impl ModeAssignment<'_> {
+    fn forces_tuple(&self, id: usize) -> bool {
+        self.modes.get(id) == Some(&"tuple")
+    }
+
+    fn forces_batch(&self, id: usize) -> bool {
+        self.modes.get(id) == Some(&"batch")
+    }
 }
 
 /// A physical plan node. `span` is the node's output span after top-down
@@ -245,6 +269,29 @@ impl PhysNode {
     /// [`PhysNode::open_stream`] with this node's pre-order id supplied, so a
     /// profiling context can attribute work to plan nodes.
     fn open_stream_at(&self, ctx: &ExecContext<'_>, id: usize) -> Result<Box<dyn Cursor>> {
+        self.open_stream_in(ctx, id, None)
+    }
+
+    /// [`PhysNode::open_stream_at`] under an optional forced mode
+    /// assignment: a node the assignment forces to `"batch"` runs its native
+    /// batch kernel behind a [`BatchToRecordCursor`] adapter (which is not
+    /// re-instrumented — the kernel underneath already charges this id).
+    fn open_stream_in(
+        &self,
+        ctx: &ExecContext<'_>,
+        id: usize,
+        assign: Option<ModeAssignment<'_>>,
+    ) -> Result<Box<dyn Cursor>> {
+        if let Some(a) = assign {
+            if a.forces_batch(id) && self.is_batch_capable() {
+                return Ok(Box::new(BatchToRecordCursor::new(self.open_batch_native(
+                    ctx,
+                    a.batch_size,
+                    id,
+                    assign,
+                )?)));
+            }
+        }
         let cursor: Box<dyn Cursor> = match self {
             PhysNode::Base { name, span } => {
                 let store = ctx.base_store(name, id)?;
@@ -266,20 +313,23 @@ impl PhysNode {
                 Box::new(ConstCursor::new(record.clone(), *span)?)
             }
             PhysNode::Select { input, predicate, .. } => Box::new(SelectCursor::new(
-                input.open_stream_at(ctx, id + 1)?,
+                input.open_stream_in(ctx, id + 1, assign)?,
                 predicate.clone(),
                 ctx.op_stats(id),
             )),
-            PhysNode::Project { input, indices, .. } => {
-                Box::new(ProjectCursor::new(input.open_stream_at(ctx, id + 1)?, indices.clone()))
-            }
-            PhysNode::PosOffset { input, offset, span } => {
-                Box::new(PosOffsetCursor::new(input.open_stream_at(ctx, id + 1)?, *offset, *span))
-            }
+            PhysNode::Project { input, indices, .. } => Box::new(ProjectCursor::new(
+                input.open_stream_in(ctx, id + 1, assign)?,
+                indices.clone(),
+            )),
+            PhysNode::PosOffset { input, offset, span } => Box::new(PosOffsetCursor::new(
+                input.open_stream_in(ctx, id + 1, assign)?,
+                *offset,
+                *span,
+            )),
             PhysNode::ValueOffset { input, offset, strategy, span } => match strategy {
                 ValueOffsetStrategy::IncrementalCacheB => {
                     Box::new(IncrementalValueOffsetCursor::new(
-                        input.open_stream_at(ctx, id + 1)?,
+                        input.open_stream_in(ctx, id + 1, assign)?,
                         *offset,
                         *span,
                         ctx.op_stats(id),
@@ -305,7 +355,7 @@ impl PhysNode {
                         ctx.op_stats(id),
                     )?),
                     (_, Window::Sliding { .. }) => Box::new(WindowAggCursor::new(
-                        input.open_stream_at(ctx, id + 1)?,
+                        input.open_stream_in(ctx, id + 1, assign)?,
                         *func,
                         *attr_index,
                         *window,
@@ -314,13 +364,13 @@ impl PhysNode {
                         ctx.op_stats(id),
                     )?),
                     (_, Window::Cumulative) => Box::new(CumulativeAggCursor::new(
-                        input.open_stream_at(ctx, id + 1)?,
+                        input.open_stream_in(ctx, id + 1, assign)?,
                         *func,
                         *attr_index,
                         *span,
                     )?),
                     (_, Window::WholeSpan) => Box::new(WholeSpanAggCursor::new(
-                        input.open_stream_at(ctx, id + 1)?,
+                        input.open_stream_in(ctx, id + 1, assign)?,
                         *func,
                         *attr_index,
                         *span,
@@ -331,20 +381,20 @@ impl PhysNode {
                 let right_id = id + 1 + left.subtree_size();
                 match strategy {
                     JoinStrategy::LockStep => Box::new(LockStepJoin::new(
-                        left.open_stream_at(ctx, id + 1)?,
-                        right.open_stream_at(ctx, right_id)?,
+                        left.open_stream_in(ctx, id + 1, assign)?,
+                        right.open_stream_in(ctx, right_id, assign)?,
                         predicate.clone(),
                         ctx.op_stats(id),
                     )),
                     JoinStrategy::StreamLeftProbeRight => Box::new(StreamProbeJoin::new(
-                        left.open_stream_at(ctx, id + 1)?,
+                        left.open_stream_in(ctx, id + 1, assign)?,
                         right.open_probe_at(ctx, right_id)?,
                         StreamSide::Left,
                         predicate.clone(),
                         ctx.op_stats(id),
                     )),
                     JoinStrategy::StreamRightProbeLeft => Box::new(StreamProbeJoin::new(
-                        right.open_stream_at(ctx, right_id)?,
+                        right.open_stream_in(ctx, right_id, assign)?,
                         left.open_probe_at(ctx, id + 1)?,
                         StreamSide::Right,
                         predicate.clone(),
@@ -543,6 +593,20 @@ impl PhysNode {
         self.open_batch_at(ctx, batch_size, 0)
     }
 
+    /// [`PhysNode::open_batch`] under a forced per-node [`ModeAssignment`]
+    /// (pre-order, same ids the profiler uses). Nodes the assignment leaves
+    /// at their structural default lower exactly as [`PhysNode::open_batch`];
+    /// forced nodes get a [`RecordToBatchCursor`] / [`BatchToRecordCursor`]
+    /// adapter at the boundary. Results are identical to every other mode.
+    pub fn open_batch_assigned(
+        &self,
+        ctx: &ExecContext<'_>,
+        batch_size: usize,
+        modes: &[&'static str],
+    ) -> Result<Box<dyn BatchCursor>> {
+        self.open_batch_in(ctx, batch_size, 0, Some(ModeAssignment { modes, batch_size }))
+    }
+
     /// [`PhysNode::open_batch`] with this node's pre-order id supplied, so a
     /// profiling context can attribute work to plan nodes.
     fn open_batch_at(
@@ -551,14 +615,42 @@ impl PhysNode {
         batch_size: usize,
         id: usize,
     ) -> Result<Box<dyn BatchCursor>> {
-        if !self.is_batch_capable() {
+        self.open_batch_in(ctx, batch_size, id, None)
+    }
+
+    /// [`PhysNode::open_batch_at`] under an optional forced mode assignment:
+    /// structurally incapable nodes and nodes forced to `"tuple"` run their
+    /// stream cursor behind a [`RecordToBatchCursor`] adapter.
+    fn open_batch_in(
+        &self,
+        ctx: &ExecContext<'_>,
+        batch_size: usize,
+        id: usize,
+        assign: Option<ModeAssignment<'_>>,
+    ) -> Result<Box<dyn BatchCursor>> {
+        let forced_tuple = assign.is_some_and(|a| a.forces_tuple(id));
+        if !self.is_batch_capable() || forced_tuple {
             // The stream cursor underneath is already instrumented for this
-            // node id, so the adapter itself must not be wrapped again.
+            // node id, so the adapter itself must not be wrapped again. (A
+            // forced-tuple node cannot also be forced to batch, so the
+            // stream open below never bounces back here.)
             return Ok(Box::new(RecordToBatchCursor::new(
-                self.open_stream_at(ctx, id)?,
+                self.open_stream_in(ctx, id, assign)?,
                 batch_size,
             )));
         }
+        self.open_batch_native(ctx, batch_size, id, assign)
+    }
+
+    /// This node's native batch kernel (capability already checked), with
+    /// children lowered through the assignment-aware entry points.
+    fn open_batch_native(
+        &self,
+        ctx: &ExecContext<'_>,
+        batch_size: usize,
+        id: usize,
+        assign: Option<ModeAssignment<'_>>,
+    ) -> Result<Box<dyn BatchCursor>> {
         let cursor: Box<dyn BatchCursor> = match self {
             PhysNode::Base { name, span } => {
                 let store = ctx.base_store(name, id)?;
@@ -577,23 +669,23 @@ impl PhysNode {
                 ))
             }
             PhysNode::Select { input, predicate, .. } => Box::new(SelectBatchCursor::new(
-                input.open_batch_at(ctx, batch_size, id + 1)?,
+                input.open_batch_in(ctx, batch_size, id + 1, assign)?,
                 predicate.clone(),
                 ctx.op_stats(id),
             )),
             PhysNode::Project { input, indices, .. } => Box::new(ProjectBatchCursor::new(
-                input.open_batch_at(ctx, batch_size, id + 1)?,
+                input.open_batch_in(ctx, batch_size, id + 1, assign)?,
                 indices.clone(),
             )),
             PhysNode::PosOffset { input, offset, span } => Box::new(PosOffsetBatchCursor::new(
-                input.open_batch_at(ctx, batch_size, id + 1)?,
+                input.open_batch_in(ctx, batch_size, id + 1, assign)?,
                 *offset,
                 *span,
             )),
             PhysNode::Aggregate { input, func, attr_index, window, strategy, span } => match window
             {
                 Window::Sliding { .. } => Box::new(WindowAggBatchCursor::new(
-                    input.open_batch_at(ctx, batch_size, id + 1)?,
+                    input.open_batch_in(ctx, batch_size, id + 1, assign)?,
                     *func,
                     *attr_index,
                     *window,
@@ -602,14 +694,14 @@ impl PhysNode {
                     batch_size,
                 )?),
                 Window::Cumulative => Box::new(CumulativeAggBatchCursor::new(
-                    input.open_batch_at(ctx, batch_size, id + 1)?,
+                    input.open_batch_in(ctx, batch_size, id + 1, assign)?,
                     *func,
                     *attr_index,
                     *span,
                     batch_size,
                 )?),
                 Window::WholeSpan => Box::new(WholeSpanAggBatchCursor::new(
-                    input.open_batch_at(ctx, batch_size, id + 1)?,
+                    input.open_batch_in(ctx, batch_size, id + 1, assign)?,
                     *func,
                     *attr_index,
                     *span,
@@ -620,7 +712,7 @@ impl PhysNode {
                 // Only IncrementalCacheB is batch-capable; the guard above
                 // routed NaiveProbe through the adapter.
                 Box::new(ValueOffsetBatchCursor::new(
-                    input.open_batch_at(ctx, batch_size, id + 1)?,
+                    input.open_batch_in(ctx, batch_size, id + 1, assign)?,
                     *offset,
                     *span,
                     ctx.op_stats(id),
@@ -631,21 +723,21 @@ impl PhysNode {
                 let right_id = id + 1 + left.subtree_size();
                 match strategy {
                     JoinStrategy::LockStep => Box::new(LockStepJoinBatch::new(
-                        left.open_batch_at(ctx, batch_size, id + 1)?,
-                        right.open_batch_at(ctx, batch_size, right_id)?,
+                        left.open_batch_in(ctx, batch_size, id + 1, assign)?,
+                        right.open_batch_in(ctx, batch_size, right_id, assign)?,
                         predicate.clone(),
                         ctx.op_stats(id),
                         batch_size,
                     )),
                     JoinStrategy::StreamLeftProbeRight => Box::new(StreamProbeJoinBatch::new(
-                        left.open_batch_at(ctx, batch_size, id + 1)?,
+                        left.open_batch_in(ctx, batch_size, id + 1, assign)?,
                         right.open_probe_at(ctx, right_id)?,
                         StreamSide::Left,
                         predicate.clone(),
                         ctx.op_stats(id),
                     )),
                     JoinStrategy::StreamRightProbeLeft => Box::new(StreamProbeJoinBatch::new(
-                        right.open_batch_at(ctx, batch_size, right_id)?,
+                        right.open_batch_in(ctx, batch_size, right_id, assign)?,
                         left.open_probe_at(ctx, id + 1)?,
                         StreamSide::Right,
                         predicate.clone(),

@@ -21,7 +21,7 @@ use seq_exec::{ExecContext, PhysNode, QueryProfile};
 use seq_ops::Window;
 
 use crate::cost::CostParams;
-use crate::info::{CatalogInfo, CatalogRef};
+use crate::info::{CatalogInfo, CatalogRef, FeedbackStats, StatsOverlay};
 use crate::planner::Optimized;
 
 /// Estimate/actual row counts are flagged as divergent when they disagree by
@@ -45,6 +45,10 @@ pub struct OpAnalysis {
     /// Whether estimate and actual disagree by more than
     /// [`DIVERGENCE_FACTOR`].
     pub divergent: bool,
+    /// Signed per-record cost margin behind the lowering choice
+    /// (`tuple_cost - batch_cost`; positive favors the batch path). See
+    /// [`crate::lowering::OpModeDecision::margin`].
+    pub mode_margin: f64,
 }
 
 /// The result of [`explain_analyze`]: the query output plus the annotated
@@ -67,6 +71,10 @@ pub struct AnalyzeReport {
     pub per_op: Vec<OpAnalysis>,
     /// The raw per-operator/per-worker profile.
     pub profile: Arc<QueryProfile>,
+    /// Refreshed per-sequence statistics, when the caller folded this run
+    /// into a [`StatsOverlay`] (see [`absorb_feedback`]) and wants the JSON
+    /// export to carry them. Empty when feedback is off.
+    pub refreshed: Vec<(String, FeedbackStats)>,
     /// Human-readable annotated plan (the `\analyze` output).
     pub text: String,
 }
@@ -96,9 +104,30 @@ impl AnalyzeReport {
             }
             let _ = write!(
                 out,
-                "\n    {{\"id\": {}, \"mode\": \"{}\", \"est_rows\": {:.1}, \
-                 \"actual_rows\": {}, \"divergent\": {}}}",
-                op.id, op.mode, op.est_rows, op.actual_rows, op.divergent
+                "\n    {{\"id\": {}, \"mode\": \"{}\", \"mode_margin\": {:.4}, \
+                 \"est_rows\": {:.1}, \"actual_rows\": {}, \"divergent\": {}}}",
+                op.id, op.mode, op.mode_margin, op.est_rows, op.actual_rows, op.divergent
+            );
+        }
+        out.push_str("\n  ],\n  \"feedback\": [");
+        for (i, (name, f)) in self.refreshed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let fmt_opt = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.4}"),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "\n    {{\"sequence\": \"{}\", \"density\": {}, \"selectivity\": {}, \
+                 \"skip_fraction\": {}, \"observed_rows\": {}, \"refreshes\": {}}}",
+                name,
+                fmt_opt(f.density),
+                fmt_opt(f.selectivity),
+                fmt_opt(f.skip_fraction),
+                f.observed_rows,
+                f.refreshes
             );
         }
         out.push_str("\n  ],\n  \"profile\": ");
@@ -122,8 +151,23 @@ pub fn explain_analyze(
     params: &CostParams,
 ) -> Result<AnalyzeReport> {
     let info = CatalogRef(ctx.catalog);
+    explain_analyze_with(opt, ctx, params, &info)
+}
+
+/// [`explain_analyze`] with an explicit [`CatalogInfo`], so callers can
+/// estimate against a feedback-layered view
+/// ([`crate::info::WithFeedback`]) instead of the raw catalog: measured
+/// densities and selectivities then drive the per-operator row estimates,
+/// which is how a second profiled run of the same template shows its
+/// divergence flags shrinking.
+pub fn explain_analyze_with(
+    opt: &Optimized,
+    ctx: &mut ExecContext<'_>,
+    params: &CostParams,
+    info: &dyn CatalogInfo,
+) -> Result<AnalyzeReport> {
     let mut est_rows = Vec::with_capacity(opt.plan.root.subtree_size());
-    let root_meta = estimate_node(&opt.plan.root, &info, &mut est_rows)?;
+    let root_meta = estimate_node(&opt.plan.root, info, &mut est_rows)?;
     // The Start operator clamps the root to the plan's position range.
     let range = opt.plan.range.intersect(&opt.plan.root.span());
     est_rows[0] = root_meta.restrict_span(&range).expected_records();
@@ -149,6 +193,7 @@ pub fn explain_analyze(
                 est_rows: est,
                 actual_rows: op.rows_out,
                 divergent: !(1.0 / DIVERGENCE_FACTOR..=DIVERGENCE_FACTOR).contains(&ratio),
+                mode_margin: opt.op_modes.get(id).map(|d| d.margin()).unwrap_or(0.0),
             }
         })
         .collect();
@@ -164,8 +209,113 @@ pub fn explain_analyze(
         actual_pages_skipped,
         per_op,
         profile,
+        refreshed: Vec::new(),
         text,
     })
+}
+
+/// Fold a profiled run's measured per-operator facts into `overlay`, keyed
+/// by base-sequence name — the estimate→actual feedback loop:
+///
+/// - a `FusedScan` yields the predicate's *measured* selectivity (rows out
+///   over records scanned) and the scan's *measured* skip fraction (pages
+///   skipped over candidate pages);
+/// - a `Select` directly over a `Base` attributes its measured selectivity
+///   to that base;
+/// - a plain `Base` scan yields the *measured* density of its scanned span.
+///
+/// Densities assume the profiled run consumed its scans fully (true for
+/// every stream-driven plan; a probed or truncated subtree simply records a
+/// conservative lower density from what it did stream). Returns how many
+/// measurements were folded. Re-planning through
+/// [`crate::info::WithFeedback`] then prices with these numbers.
+pub fn absorb_feedback(
+    opt: &Optimized,
+    report: &AnalyzeReport,
+    overlay: &mut StatsOverlay,
+) -> usize {
+    let mut nodes = Vec::with_capacity(opt.plan.root.subtree_size());
+    collect_preorder(&opt.plan.root, &mut nodes);
+    let ops = report.profile.op_reports();
+    let mut folded = 0;
+    for (id, node) in nodes.iter().enumerate() {
+        let Some(op) = ops.get(id) else { break };
+        match node {
+            PhysNode::FusedScan { name, .. } => {
+                let mut fb = FeedbackStats { observed_rows: op.rows_out, ..Default::default() };
+                let scanned = op.storage.stream_records;
+                // Skipped pages hide their records; extrapolate them at the
+                // surviving pages' average fill so the measured selectivity
+                // refers to the whole candidate span, not just survivors.
+                let pages_read = op.storage.page_reads + op.storage.page_hits;
+                let hidden = if pages_read > 0 {
+                    op.storage.pages_skipped as f64 * (scanned as f64 / pages_read as f64)
+                } else {
+                    0.0
+                };
+                let candidates_recs = scanned as f64 + hidden;
+                if candidates_recs > 0.0 {
+                    fb.selectivity = Some(op.rows_out as f64 / candidates_recs);
+                }
+                let candidates =
+                    op.storage.page_reads + op.storage.page_hits + op.storage.pages_skipped;
+                if candidates > 0 {
+                    fb.skip_fraction = Some(op.storage.pages_skipped as f64 / candidates as f64);
+                }
+                // Pre-filter density of the scanned span — only measurable
+                // when no page was skipped (skipped records go unseen).
+                let sp = if id == 0 { opt.plan.range.intersect(&node.span()) } else { node.span() };
+                if op.storage.pages_skipped == 0 && sp.is_bounded() && !sp.is_empty() && scanned > 0
+                {
+                    fb.density = Some(scanned as f64 / sp.len() as f64);
+                }
+                if fb.selectivity.is_some() || fb.skip_fraction.is_some() {
+                    overlay.record(name.clone(), fb);
+                    folded += 1;
+                }
+            }
+            PhysNode::Select { input, .. } => {
+                if let PhysNode::Base { name, .. } = &**input {
+                    let child_rows = ops.get(id + 1).map(|c| c.rows_out).unwrap_or(0);
+                    if child_rows > 0 {
+                        overlay.record(
+                            name.clone(),
+                            FeedbackStats {
+                                selectivity: Some(op.rows_out as f64 / child_rows as f64),
+                                observed_rows: op.rows_out,
+                                ..Default::default()
+                            },
+                        );
+                        folded += 1;
+                    }
+                }
+            }
+            PhysNode::Base { name, .. } => {
+                // The root is additionally clamped by the Start range.
+                let sp = if id == 0 { opt.plan.range.intersect(&node.span()) } else { node.span() };
+                if op.touches_storage && sp.is_bounded() && !sp.is_empty() {
+                    overlay.record(
+                        name.clone(),
+                        FeedbackStats {
+                            density: Some(op.rows_out as f64 / sp.len() as f64),
+                            observed_rows: op.rows_out,
+                            ..Default::default()
+                        },
+                    );
+                    folded += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    folded
+}
+
+fn collect_preorder<'a>(node: &'a PhysNode, out: &mut Vec<&'a PhysNode>) {
+    out.push(node);
+    for child in node.children() {
+        collect_preorder(child, out);
+    }
 }
 
 /// Price the measured counters with the §4.1 cost model (same formula the
@@ -197,14 +347,22 @@ fn estimate_node(
         PhysNode::FusedScan { name, predicate, span, .. } => {
             // σ fused into the scan: base meta thinned by the predicate's
             // selectivity, exactly as the unfused Select-over-Base pair.
+            // A measured selectivity from a previous profiled run (catalog
+            // feedback) takes precedence over the model estimate.
             let m = info.meta_of(name)?.restrict_span(span);
-            let sel = predicate.estimate_selectivity(&m);
+            let sel = info
+                .measured_selectivity(name)
+                .unwrap_or_else(|| predicate.estimate_selectivity(&m));
             SeqMeta::new(*span, m.density * sel, m.columns)
         }
         PhysNode::Constant { span, .. } => SeqMeta::with_span(*span, 1.0),
         PhysNode::Select { input, predicate, span } => {
             let m = estimate_node(input, info, est_rows)?;
-            let sel = predicate.estimate_selectivity(&m);
+            let measured = match &**input {
+                PhysNode::Base { name, .. } => info.measured_selectivity(name),
+                _ => None,
+            };
+            let sel = measured.unwrap_or_else(|| predicate.estimate_selectivity(&m));
             SeqMeta::new(*span, m.density * sel, m.columns)
         }
         PhysNode::Project { input, indices, span } => {
@@ -271,7 +429,11 @@ fn render(
     let _ = writeln!(out, "Start range={}", opt.plan.range);
     for (op, a) in profile.op_reports().iter().zip(per_op) {
         let pad = "  ".repeat(op.depth + 1);
-        let _ = writeln!(out, "{pad}{} span={} mode={}", op.label, op.span, a.mode);
+        let _ = writeln!(
+            out,
+            "{pad}{} span={} mode={} margin={:+.4}",
+            op.label, op.span, a.mode, a.mode_margin
+        );
         let flag = if a.divergent { "  << divergent" } else { "" };
         let _ = write!(
             out,
@@ -463,9 +625,73 @@ mod tests {
         let json = report.to_json(&opt.exec_mode.to_string());
         assert!(json.contains("\"est_cost\""));
         assert!(json.contains("\"estimates\": ["));
+        assert!(json.contains("\"mode_margin\""));
+        assert!(json.contains("\"feedback\": ["));
         assert!(json.contains("\"profile\": {"));
         assert!(json.contains("\"profile_version\": 1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn feedback_roundtrip_shrinks_divergence() {
+        use crate::info::WithFeedback;
+
+        // Intra-bucket skew: the 32-bucket equi-width histogram spans
+        // [0, 32], so nearly all mass sits at 16.05 — the left edge of the
+        // bucket the predicate value 16.5 cuts through. Uniform
+        // interpolation inside that bucket estimates ~50% selectivity; the
+        // truth is ~2.6%, so the first run must flag divergence and the
+        // absorbed measurement must clear it on re-planning.
+        let mut c = Catalog::new();
+        c.set_page_capacity(16);
+        let skew = BaseSequence::from_entries(
+            schema(&[("time", AttrType::Int), ("close", AttrType::Float)]),
+            (1..=500i64)
+                .map(|p| {
+                    let v = if p <= 10 {
+                        0.0 // stretch the histogram's low edge
+                    } else if p == 500 {
+                        32.0 // ... and its high edge
+                    } else if p % 40 == 0 {
+                        24.0 // the handful of rows that actually qualify
+                    } else {
+                        16.05
+                    };
+                    (p, record![p, v])
+                })
+                .collect(),
+        )
+        .unwrap();
+        c.register("S", &skew);
+        let q = parse_query("(select (> close 16.5) (base S))").unwrap();
+        let cfg = OptimizerConfig::new(Span::new(1, 500));
+        let base_info = CatalogRef(&c);
+
+        let opt1 = optimize(&q, &base_info, &cfg).unwrap();
+        let mut ctx = ExecContext::new(&c);
+        let rep1 = explain_analyze(&opt1, &mut ctx, &cfg.cost).unwrap();
+        let div1 = rep1.per_op.iter().filter(|a| a.divergent).count();
+        assert!(div1 >= 1, "skewed data must diverge on the first run:\n{}", rep1.text);
+
+        // Close the loop.
+        let mut overlay = StatsOverlay::new();
+        let folded = absorb_feedback(&opt1, &rep1, &mut overlay);
+        assert!(folded >= 1, "the profiled scan must contribute feedback");
+        let fb = overlay.get("S").expect("feedback recorded for S");
+        let sel = fb.selectivity.expect("measured selectivity recorded");
+        assert!(sel < 0.05, "measured selectivity should be ~0.02, got {sel}");
+
+        let info = WithFeedback::new(&base_info, &overlay);
+        let opt2 = optimize(&q, &info, &cfg).unwrap();
+        let mut ctx = ExecContext::new(&c);
+        let rep2 = explain_analyze_with(&opt2, &mut ctx, &cfg.cost, &info).unwrap();
+        assert_eq!(rep2.rows, rep1.rows, "feedback must never change results");
+        let div2 = rep2.per_op.iter().filter(|a| a.divergent).count();
+        assert!(
+            div2 < div1,
+            "divergence flags must strictly shrink: {div1} -> {div2}\n{}",
+            rep2.text
+        );
     }
 }

@@ -23,6 +23,149 @@ pub trait CatalogInfo: SchemaProvider {
     fn compression_ratio(&self, _name: &str) -> f64 {
         1.0
     }
+
+    /// Measured selectivity of the last profiled predicate over this base
+    /// sequence, when execution feedback is attached (see [`WithFeedback`]).
+    /// `None` means "no measurement": estimators fall back to the model.
+    fn measured_selectivity(&self, _name: &str) -> Option<f64> {
+        None
+    }
+
+    /// Measured fraction of this base sequence's candidate pages that
+    /// zone-map/encoded-domain checks skipped in the last profiled run,
+    /// when execution feedback is attached. `None` means "no measurement".
+    fn measured_skip_fraction(&self, _name: &str) -> Option<f64> {
+        None
+    }
+}
+
+/// Measured per-sequence statistics captured from one profiled run, the
+/// unit [`StatsOverlay`] stores. All fields are optional because a single
+/// run need not observe every statistic (an unfiltered scan measures
+/// density but no selectivity; a scan that entered every page measures no
+/// skip fraction).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeedbackStats {
+    /// Measured record density over the scanned span (rows seen / length).
+    pub density: Option<f64>,
+    /// Measured selectivity of the applied predicate (rows out / rows in).
+    pub selectivity: Option<f64>,
+    /// Measured fraction of candidate pages skipped without being read.
+    pub skip_fraction: Option<f64>,
+    /// Rows the measuring scan actually produced.
+    pub observed_rows: u64,
+    /// How many profiled runs have been folded into this entry.
+    pub refreshes: u32,
+}
+
+impl FeedbackStats {
+    /// Fold a newer measurement over this one: fresh `Some` fields replace
+    /// stale ones (latest run wins), absent fields keep earlier values, and
+    /// the refresh counter advances.
+    pub fn merge(&mut self, newer: &FeedbackStats) {
+        if let Some(d) = newer.density {
+            self.density = Some(d.clamp(0.0, 1.0));
+        }
+        if let Some(s) = newer.selectivity {
+            self.selectivity = Some(s.clamp(0.0, 1.0));
+        }
+        if let Some(f) = newer.skip_fraction {
+            self.skip_fraction = Some(f.clamp(0.0, 1.0));
+        }
+        self.observed_rows = newer.observed_rows;
+        self.refreshes += 1;
+    }
+}
+
+/// Mutable store of measured per-sequence statistics, keyed by catalog
+/// name. Populated from profiled runs (see `analyze::absorb_feedback`) and
+/// layered over any [`CatalogInfo`] with [`WithFeedback`] so re-planning
+/// the same template prices with measured numbers instead of defaults.
+#[derive(Debug, Clone, Default)]
+pub struct StatsOverlay {
+    entries: std::collections::HashMap<String, FeedbackStats>,
+}
+
+impl StatsOverlay {
+    /// An empty overlay.
+    pub fn new() -> StatsOverlay {
+        StatsOverlay::default()
+    }
+
+    /// Fold one run's measurement for `name` into the overlay.
+    pub fn record(&mut self, name: impl Into<String>, stats: FeedbackStats) {
+        self.entries.entry(name.into()).or_default().merge(&stats);
+    }
+
+    /// Measured statistics for `name`, if any run has been absorbed.
+    pub fn get(&self, name: &str) -> Option<&FeedbackStats> {
+        self.entries.get(name)
+    }
+
+    /// Whether no measurements have been absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All measured entries in name order (stable for display).
+    pub fn iter_sorted(&self) -> Vec<(&str, &FeedbackStats)> {
+        let mut v: Vec<_> = self.entries.iter().map(|(k, f)| (k.as_str(), f)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Drop every measurement.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// A [`CatalogInfo`] view that layers a [`StatsOverlay`] of measured
+/// statistics over a base catalog: measured densities replace the stored
+/// meta-data density, and measured selectivities / skip fractions surface
+/// through the `measured_*` accessors the estimators consult first.
+pub struct WithFeedback<'a, I: CatalogInfo> {
+    inner: &'a I,
+    overlay: &'a StatsOverlay,
+}
+
+impl<'a, I: CatalogInfo> WithFeedback<'a, I> {
+    /// Layer `overlay` over `inner`.
+    pub fn new(inner: &'a I, overlay: &'a StatsOverlay) -> WithFeedback<'a, I> {
+        WithFeedback { inner, overlay }
+    }
+}
+
+impl<I: CatalogInfo> SchemaProvider for WithFeedback<'_, I> {
+    fn schema_of(&self, name: &str) -> Result<Schema> {
+        self.inner.schema_of(name)
+    }
+}
+
+impl<I: CatalogInfo> CatalogInfo for WithFeedback<'_, I> {
+    fn meta_of(&self, name: &str) -> Result<SeqMeta> {
+        let mut meta = self.inner.meta_of(name)?;
+        if let Some(d) = self.overlay.get(name).and_then(|f| f.density) {
+            meta.density = d.clamp(0.0, 1.0);
+        }
+        Ok(meta)
+    }
+
+    fn page_capacity(&self) -> usize {
+        self.inner.page_capacity()
+    }
+
+    fn compression_ratio(&self, name: &str) -> f64 {
+        self.inner.compression_ratio(name)
+    }
+
+    fn measured_selectivity(&self, name: &str) -> Option<f64> {
+        self.overlay.get(name).and_then(|f| f.selectivity)
+    }
+
+    fn measured_skip_fraction(&self, name: &str) -> Option<f64> {
+        self.overlay.get(name).and_then(|f| f.skip_fraction)
+    }
 }
 
 /// Adapter implementing the optimizer traits over a storage [`Catalog`].
@@ -115,6 +258,44 @@ mod tests {
         let ratio = info.compression_ratio("S");
         assert!(ratio > 0.0 && ratio < 1.0, "ratio {ratio}");
         assert_eq!(info.compression_ratio("missing"), 1.0);
+    }
+
+    #[test]
+    fn feedback_overlay_overrides_defaults() {
+        let mut info = StaticCatalogInfo::new(64);
+        info.insert(
+            "S",
+            schema(&[("x", AttrType::Int)]),
+            SeqMeta::with_span(Span::new(1, 100), 1.0),
+        );
+        let mut overlay = StatsOverlay::new();
+        assert!(overlay.is_empty());
+        overlay.record(
+            "S",
+            FeedbackStats {
+                density: Some(0.5),
+                selectivity: Some(0.1),
+                skip_fraction: Some(0.25),
+                observed_rows: 10,
+                refreshes: 0,
+            },
+        );
+        let fb = WithFeedback::new(&info, &overlay);
+        assert_eq!(fb.meta_of("S").unwrap().density, 0.5);
+        assert_eq!(fb.measured_selectivity("S"), Some(0.1));
+        assert_eq!(fb.measured_skip_fraction("S"), Some(0.25));
+        assert_eq!(fb.measured_selectivity("missing"), None);
+        assert_eq!(fb.page_capacity(), 64);
+        // A newer run replaces the fields it measured and keeps the rest.
+        overlay.record(
+            "S",
+            FeedbackStats { selectivity: Some(0.2), observed_rows: 20, ..Default::default() },
+        );
+        let f = overlay.get("S").unwrap();
+        assert_eq!(f.selectivity, Some(0.2));
+        assert_eq!(f.density, Some(0.5));
+        assert_eq!(f.refreshes, 2);
+        assert_eq!(overlay.iter_sorted().len(), 1);
     }
 
     #[test]

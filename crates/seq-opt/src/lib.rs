@@ -26,16 +26,22 @@ pub mod pushdown;
 pub mod selinger;
 pub mod transform;
 
-pub use analyze::{explain_analyze, AnalyzeReport, OpAnalysis, DIVERGENCE_FACTOR};
+pub use analyze::{
+    absorb_feedback, explain_analyze, explain_analyze_with, AnalyzeReport, OpAnalysis,
+    DIVERGENCE_FACTOR,
+};
 pub use annotate::{annotate, Annotated};
 pub use blocks::{identify_blocks, Block, Blocks, InputSource, JoinBlock, NonUnitBlock};
 pub use cost::{
     base_access_costs, encoded_access_costs, price_join, zone_skip_fraction, AccessCosts,
     CostParams, JoinSide,
 };
-pub use info::{CatalogInfo, CatalogRef, StaticCatalogInfo};
+pub use info::{
+    CatalogInfo, CatalogRef, FeedbackStats, StaticCatalogInfo, StatsOverlay, WithFeedback,
+};
 pub use lowering::{
-    batch_run_len, choose_exec_mode, choose_exec_mode_with, decode_costs_per_record, ExecMode,
+    batch_run_len, choose_exec_mode, choose_exec_mode_with, choose_op_modes,
+    decode_costs_per_record, ExecMode, OpModeDecision,
 };
 pub use planner::{optimize, Optimized, OptimizerConfig};
 pub use pushdown::{fuse_selects, PushdownReport};

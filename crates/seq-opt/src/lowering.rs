@@ -104,6 +104,100 @@ pub fn decode_costs_per_record(params: &crate::cost::CostParams, ratio: f64) -> 
     (tuple, batch)
 }
 
+/// One operator's costed batch-vs-tuple lowering decision.
+///
+/// `tuple_cost` and `batch_cost` are per-record CPU prices of running this
+/// one operator on each path: scans pay the decode term of
+/// [`decode_costs_per_record`] with *their own* base's compression ratio
+/// (not the plan-wide minimum), other native kernels pay plain dispatch on
+/// either path, and an operator without a batch kernel pays an extra
+/// per-record materialize-and-push for the adapter the batch path would
+/// interpose. The chosen `mode` is the cheaper side (ties to batch, whose
+/// folded counters amortize), which makes the margin the *reason* EXPLAIN
+/// and the profile JSON can show next to each node's label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpModeDecision {
+    /// The chosen label: `"batch"`, `"tuple"`, or `"fused"`.
+    pub mode: &'static str,
+    /// Per-record cost of this operator on the record-at-a-time path.
+    pub tuple_cost: f64,
+    /// Per-record cost of this operator on the batch path (adapter
+    /// included when the node has no native kernel).
+    pub batch_cost: f64,
+}
+
+impl OpModeDecision {
+    /// Signed per-record margin, `tuple_cost - batch_cost`: positive favors
+    /// the batch path, negative the tuple path.
+    pub fn margin(&self) -> f64 {
+        self.tuple_cost - self.batch_cost
+    }
+}
+
+/// Per-operator costed lowering decisions in pre-order (the profiler's node
+/// ids). `in_batch` says whether the root enters on the batch path at all
+/// (false lowers the whole tree to tuple, as a record-at-a-time or probed
+/// root does). Within the batch path each node is priced individually —
+/// scans with their own base's compression ratio from `info` — and keeps
+/// its native kernel only while it wins the comparison; a losing or
+/// kernel-less node drops its subtree to the record path exactly as
+/// [`seq_exec::PhysNode::exec_mode_labels`] describes, so the decisions
+/// stay label-compatible with what the executor actually lowers (and can be
+/// fed to `execute_batched_assigned` verbatim).
+pub fn choose_op_modes(
+    root: &PhysNode,
+    in_batch: bool,
+    info: &dyn crate::info::CatalogInfo,
+    params: &crate::cost::CostParams,
+) -> Vec<OpModeDecision> {
+    let mut out = Vec::with_capacity(root.subtree_size());
+    push_op_modes(root, in_batch, info, params, &mut out);
+    out
+}
+
+fn push_op_modes(
+    node: &PhysNode,
+    in_batch: bool,
+    info: &dyn crate::info::CatalogInfo,
+    params: &crate::cost::CostParams,
+    out: &mut Vec<OpModeDecision>,
+) {
+    let capable = node.is_batch_capable();
+    let (tuple_cost, batch_cost) = match node {
+        PhysNode::Base { name, .. } | PhysNode::FusedScan { name, .. } => {
+            decode_costs_per_record(params, info.compression_ratio(name))
+        }
+        _ if capable => (params.record_cpu, params.record_cpu),
+        // No native batch kernel: the batch path would run the tuple kernel
+        // behind a RecordToBatch adapter, re-materializing every record.
+        _ => (params.record_cpu, params.record_cpu * 2.0),
+    };
+    let native = in_batch && capable && batch_cost <= tuple_cost;
+    let mode = match node {
+        PhysNode::FusedScan { .. } => "fused",
+        _ if native => "batch",
+        _ => "tuple",
+    };
+    out.push(OpModeDecision { mode, tuple_cost, batch_cost });
+    match node {
+        PhysNode::Base { .. } | PhysNode::FusedScan { .. } | PhysNode::Constant { .. } => {}
+        PhysNode::Select { input, .. }
+        | PhysNode::Project { input, .. }
+        | PhysNode::PosOffset { input, .. }
+        | PhysNode::Aggregate { input, .. }
+        | PhysNode::ValueOffset { input, .. } => push_op_modes(input, native, info, params, out),
+        PhysNode::Compose { left, right, strategy, .. } => {
+            let (l, r) = match strategy {
+                seq_exec::JoinStrategy::LockStep => (native, native),
+                seq_exec::JoinStrategy::StreamLeftProbeRight => (native, false),
+                seq_exec::JoinStrategy::StreamRightProbeLeft => (false, native),
+            };
+            push_op_modes(left, l, info, params, out);
+            push_op_modes(right, r, info, params, out);
+        }
+    }
+}
+
 /// [`choose_exec_mode`] with the decode-cost term made explicit: the
 /// batch-vs-tuple decision compares the per-record decode costs of the two
 /// paths over pages compressed to `ratio`. With `ratio = 1.0` (or default
@@ -249,6 +343,57 @@ mod tests {
             choose_exec_mode_with(&naive_agg, true, 1, span, &p, 0.2),
             ExecMode::RecordAtATime,
         );
+    }
+
+    #[test]
+    fn per_op_decisions_agree_with_structural_labels() {
+        use crate::cost::CostParams;
+        use crate::info::StaticCatalogInfo;
+        let span = Span::new(1, 10);
+        let p = CostParams::default();
+        let info = StaticCatalogInfo::new(16);
+        // A mixed tree: batch-capable prefix, a naive value offset (no
+        // kernel), and a Strategy-A compose whose probed side is a record
+        // subtree by construction.
+        let naive_voff = PhysNode::ValueOffset {
+            input: base(),
+            offset: -1,
+            strategy: seq_exec::ValueOffsetStrategy::NaiveProbe,
+            span,
+        };
+        let plan = PhysNode::Compose {
+            left: Box::new(PhysNode::Project {
+                input: Box::new(naive_voff),
+                indices: vec![0],
+                span,
+            }),
+            right: base(),
+            predicate: None,
+            strategy: JoinStrategy::StreamLeftProbeRight,
+            span,
+        };
+        for in_batch in [true, false] {
+            let decisions = choose_op_modes(&plan, in_batch, &info, &p);
+            let labels: Vec<&str> = decisions.iter().map(|d| d.mode).collect();
+            assert_eq!(labels, plan.exec_mode_labels(in_batch), "in_batch={in_batch}");
+        }
+        let decisions = choose_op_modes(&plan, true, &info, &p);
+        // [Compose, Project, ValueOffset(naive), Base, Base(probed)]
+        assert_eq!(decisions.len(), 5);
+        for d in &decisions {
+            match d.mode {
+                // Native kernels win (or tie) their comparison.
+                "batch" => assert!(d.margin() >= 0.0, "{d:?}"),
+                // The naive value offset pays the adapter penalty; the
+                // probed base is structural (its costs still favor batch,
+                // but Strategy-A opens it in probe mode).
+                "tuple" => assert!(d.margin() < 0.0 || d.batch_cost <= d.tuple_cost, "{d:?}"),
+                other => panic!("unexpected mode {other}"),
+            }
+        }
+        // The kernel-less node is the one with a strictly negative margin.
+        assert!(decisions[2].margin() < 0.0);
+        assert_eq!(decisions[2].mode, "tuple");
     }
 
     #[test]

@@ -124,18 +124,36 @@ pub struct Optimized {
     pub block_count: usize,
     /// The execution path Step 6 lowered the plan onto.
     pub exec_mode: ExecMode,
+    /// Per-operator costed lowering decisions in pre-order (the profiler's
+    /// node ids): which mode each node runs in and the per-record cost
+    /// margin behind the choice ([`crate::lowering::choose_op_modes`]).
+    pub op_modes: Vec<crate::lowering::OpModeDecision>,
     /// Human-readable account of the pipeline.
     pub explain: String,
 }
 
 impl Optimized {
-    /// Run the selected plan on the execution path Step 6 chose.
+    /// Run the selected plan on the execution path Step 6 chose. The
+    /// sequential batch path executes the per-operator assignment in
+    /// [`Optimized::op_modes`] (adapters at every mode boundary), so what
+    /// runs is exactly what EXPLAIN reported.
     pub fn execute(&self, ctx: &seq_exec::ExecContext<'_>) -> Result<Vec<(i64, seq_core::Record)>> {
         match self.exec_mode {
             ExecMode::Parallel { workers } => seq_exec::execute_parallel(&self.plan, ctx, workers),
-            ExecMode::Batched => seq_exec::execute_batched(&self.plan, ctx),
+            ExecMode::Batched => seq_exec::execute_batched_assigned(
+                &self.plan,
+                ctx,
+                seq_core::DEFAULT_BATCH_SIZE,
+                &self.op_mode_labels(),
+            ),
             ExecMode::RecordAtATime => seq_exec::execute(&self.plan, ctx),
         }
+    }
+
+    /// The per-operator mode labels alone, pre-order (feedable to
+    /// [`seq_exec::execute_batched_assigned`]).
+    pub fn op_mode_labels(&self) -> Vec<&'static str> {
+        self.op_modes.iter().map(|d| d.mode).collect()
     }
 }
 
@@ -272,6 +290,27 @@ pub fn optimize(
         batch_cost,
     );
 
+    // Per-node lowering: each operator keeps its native kernel only while
+    // it wins its own cost comparison (scans priced with their own base's
+    // compression ratio); the decisions drive the batched execution path.
+    let op_modes = crate::lowering::choose_op_modes(
+        &plan.root,
+        !matches!(exec_mode, ExecMode::RecordAtATime),
+        info,
+        &config.cost,
+    );
+    let _ = writeln!(explain, "per-op modes (pre-order, margin = tuple - batch cost/record):");
+    for (id, d) in op_modes.iter().enumerate() {
+        let _ = writeln!(
+            explain,
+            "  op {id}: {} (tuple {:.4} vs batch {:.4}, margin {:+.4})",
+            d.mode,
+            d.tuple_cost,
+            d.batch_cost,
+            d.margin(),
+        );
+    }
+
     Ok(Optimized {
         plan,
         est_cost,
@@ -281,6 +320,7 @@ pub fn optimize(
         dp_stats,
         block_count: blocks.blocks.len(),
         exec_mode,
+        op_modes,
         explain,
     })
 }

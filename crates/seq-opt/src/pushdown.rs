@@ -59,10 +59,19 @@ pub fn fuse_selects(
                     // catalogs) just forgoes the discount.
                     if let Ok(meta) = info.meta_of(name) {
                         let meta = meta.restrict_span(base_span);
-                        let s = predicate.estimate_selectivity(&meta);
+                        // Execution feedback, when attached, replaces both
+                        // model terms with last run's measurements: the
+                        // predicate's actual selectivity and the actual
+                        // fraction of candidate pages the scan skipped.
+                        let s = info
+                            .measured_selectivity(name)
+                            .unwrap_or_else(|| predicate.estimate_selectivity(&meta));
                         let k = info.page_capacity().max(1);
                         let pages = (meta.expected_records() / k as f64).ceil();
-                        let skipped = pages * zone_skip_fraction(s, k);
+                        let frac = info
+                            .measured_skip_fraction(name)
+                            .unwrap_or_else(|| zone_skip_fraction(s, k));
+                        let skipped = pages * frac;
                         report.est_pages_skipped += skipped;
                         report.est_cost_discount += skipped * params.seq_page_io;
                     }

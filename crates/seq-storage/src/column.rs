@@ -615,24 +615,62 @@ impl ColumnData {
             return Ok(());
         }
         match self {
-            ColumnData::Plain(v) => {
-                for (i, v) in v[start..end].iter().enumerate() {
-                    if op.holds(v.total_cmp(lit)?) {
-                        out.push((start + i) as u32);
+            // The literal's variant is fixed for the whole window, so the
+            // numeric cases compare raw machine values per slot instead of
+            // re-dispatching on both enum discriminants; any non-matching
+            // element variant falls back to the general comparison, keeping
+            // mixed-type and error semantics bit-identical.
+            ColumnData::Plain(v) => match lit {
+                Value::Float(x) => {
+                    for (i, val) in v[start..end].iter().enumerate() {
+                        let ord = match val {
+                            Value::Float(f) => f.total_cmp(x),
+                            other => other.total_cmp(lit)?,
+                        };
+                        if op.holds(ord) {
+                            out.push((start + i) as u32);
+                        }
                     }
                 }
-            }
+                Value::Int(x) => {
+                    for (i, val) in v[start..end].iter().enumerate() {
+                        let ord = match val {
+                            Value::Int(n) => n.cmp(x),
+                            other => other.total_cmp(lit)?,
+                        };
+                        if op.holds(ord) {
+                            out.push((start + i) as u32);
+                        }
+                    }
+                }
+                _ => {
+                    for (i, val) in v[start..end].iter().enumerate() {
+                        if op.holds(val.total_cmp(lit)?) {
+                            out.push((start + i) as u32);
+                        }
+                    }
+                }
+            },
             ColumnData::IntDelta { first, width, packed } => {
                 let w = *width as usize;
                 let mut x = *first;
                 for i in 0..start {
                     x = x.wrapping_add(unzigzag(read_packed(packed, w, i)));
                 }
+                // Same literal hoist as the plain numeric cases.
+                let int_lit = match lit {
+                    Value::Int(n) => Some(*n),
+                    _ => None,
+                };
                 for s in start..end {
                     if s > start {
                         x = x.wrapping_add(unzigzag(read_packed(packed, w, s - 1)));
                     }
-                    if op.holds(Value::Int(x).total_cmp(lit)?) {
+                    let ord = match int_lit {
+                        Some(n) => x.cmp(&n),
+                        None => Value::Int(x).total_cmp(lit)?,
+                    };
+                    if op.holds(ord) {
                         out.push(s as u32);
                     }
                 }
@@ -756,6 +794,26 @@ impl ColumnData {
             }
         }
         Ok(())
+    }
+
+    /// Whether *any* value stored in the column could satisfy
+    /// `value op lit`, judged entirely in the encoded domain: RLE run
+    /// representatives and dictionary entries are compared directly — one
+    /// evaluation per run or entry, never a per-slot decode. Plain and
+    /// delta columns answer `true` (their zone map min/max already bounds
+    /// them; enumerating slots here would amount to reading the page).
+    /// Cross-type comparisons stay conservative (`true`, no skip), matching
+    /// the zone-map contract.
+    pub fn may_match(&self, op: CmpOp, lit: &Value) -> bool {
+        match self {
+            ColumnData::Rle { values, .. } => {
+                values.iter().any(|v| v.total_cmp(lit).map_or(true, |ord| op.holds(ord)))
+            }
+            ColumnData::Dict { dict, .. } => {
+                dict.iter().any(|v| v.total_cmp(lit).map_or(true, |ord| op.holds(ord)))
+            }
+            ColumnData::Plain(_) | ColumnData::IntDelta { .. } => true,
+        }
     }
 
     /// Approximate encoded footprint in bytes.

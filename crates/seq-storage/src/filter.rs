@@ -45,11 +45,17 @@ impl ScanFilter {
     }
 
     /// Whether any record on `page` could satisfy every term, judged from
-    /// the page's zone map alone. `false` proves the page is irrelevant.
+    /// header metadata alone: the zone map's `[min, max]` first, then the
+    /// encoded column representation (RLE run representatives, dictionary
+    /// entries — compared in the encoded domain, never decoded per slot).
+    /// The second check can refute pages the zone map cannot: a literal
+    /// inside `[min, max]` that equals no run value or dictionary entry.
+    /// `false` proves the page is irrelevant.
     pub fn page_may_match(&self, page: &Page) -> bool {
-        self.terms
-            .iter()
-            .all(|(col, op, lit)| page.zone(*col).is_none_or(|z| z.may_match(*op, lit)))
+        self.terms.iter().all(|(col, op, lit)| {
+            page.zone(*col).is_none_or(|z| z.may_match(*op, lit))
+                && page.column_may_match(*col, *op, lit)
+        })
     }
 }
 
@@ -81,6 +87,21 @@ mod tests {
             (1, CmpOp::Gt, Value::Float(3.0)),
         ]);
         assert!(!f.page_may_match(&p));
+    }
+
+    #[test]
+    fn encoded_domain_check_skips_inside_zone_range() {
+        // A dictionary column {"aa", "zz"}: the zone range ["aa", "zz"]
+        // admits Eq "mm", but no dictionary entry matches — the page is
+        // refuted without decoding a single slot.
+        let p = Page::new(
+            0,
+            (0..40).map(|i| (i, record![if i % 2 == 0 { "aa" } else { "zz" }])).collect(),
+        );
+        let f = ScanFilter::new(vec![(0, CmpOp::Eq, Value::str("mm"))]);
+        assert!(!f.page_may_match(&p));
+        let f = ScanFilter::new(vec![(0, CmpOp::Eq, Value::str("zz"))]);
+        assert!(f.page_may_match(&p));
     }
 
     #[test]

@@ -215,9 +215,11 @@ impl Page {
             return 0;
         }
         let (positions, columns) = batch.parts_mut();
+        positions.reserve(take);
         self.positions.decode_range_into(positions, slot, take);
         let mut bytes = 8 * take;
         for (dst, src) in columns.iter_mut().zip(&self.columns) {
+            dst.reserve(take);
             bytes += src.decode_range_into(dst, slot, take);
         }
         batch.debug_check_rectangular();
@@ -236,19 +238,34 @@ impl Page {
         end: usize,
     ) -> Result<Vec<u32>> {
         let mut survivors = Vec::new();
+        self.filter_slots_into(terms, start, end, &mut survivors)?;
+        Ok(survivors)
+    }
+
+    /// [`Page::filter_slots`] into a caller-provided scratch vector
+    /// (cleared first), so hot scan loops reuse one allocation across page
+    /// windows instead of allocating a survivor vector per window.
+    pub fn filter_slots_into(
+        &self,
+        terms: &[(usize, CmpOp, Value)],
+        start: usize,
+        end: usize,
+        survivors: &mut Vec<u32>,
+    ) -> Result<()> {
+        survivors.clear();
         let Some(((col, op, lit), rest)) = terms.split_first() else {
             survivors.extend((start..end).map(|s| s as u32));
-            return Ok(survivors);
+            return Ok(());
         };
         let column =
             self.columns.get(*col).ok_or_else(|| column_range_error(*col, self.arity()))?;
-        column.matching_slots(start, end, *op, lit, &mut survivors)?;
+        column.matching_slots(start, end, *op, lit, survivors)?;
         for (col, op, lit) in rest {
             let column =
                 self.columns.get(*col).ok_or_else(|| column_range_error(*col, self.arity()))?;
-            column.retain_matching(&mut survivors, *op, lit)?;
+            column.retain_matching(survivors, *op, lit)?;
         }
-        Ok(survivors)
+        Ok(())
     }
 
     /// Bulk-decode the given ascending `slots` into `batch`, decoding only
@@ -259,13 +276,69 @@ impl Page {
             return 0;
         }
         let (positions, columns) = batch.parts_mut();
+        positions.reserve(slots.len());
         self.positions.gather_into(positions, slots);
         let mut bytes = 8 * slots.len();
         for (dst, src) in columns.iter_mut().zip(&self.columns) {
+            dst.reserve(slots.len());
             bytes += src.gather_into(dst, slots);
         }
         batch.debug_check_rectangular();
         bytes
+    }
+
+    /// [`Page::append_slots_into`], but contiguous survivor runs of at
+    /// least [`Page::MIN_BULK_RUN`] slots are bulk-decoded with the range
+    /// decoders ([`Page::append_range_into`]) instead of per-slot gathers;
+    /// the short-run remainder between bulk runs is gathered in one pass.
+    /// Output rows and byte accounting are identical to a plain gather —
+    /// only the copy strategy differs — so high-survival filters pay close
+    /// to the cost of an unfiltered decode.
+    pub fn append_slot_runs_into(&self, batch: &mut RecordBatch, slots: &[u32]) -> usize {
+        if slots.is_empty() {
+            return 0;
+        }
+        // An all-contiguous survivor window is the common fast case (every
+        // slot in range survived): one range decode, no run scan.
+        let first = slots[0] as usize;
+        let len = slots.len();
+        if *slots.last().expect("non-empty") as usize == first + len - 1 {
+            return self.append_range_into(batch, first, len);
+        }
+        let mut bytes = 0usize;
+        let mut pending = 0usize;
+        let mut i = 0usize;
+        while i < len {
+            let mut j = i + 1;
+            while j < len && slots[j] == slots[j - 1] + 1 {
+                j += 1;
+            }
+            if j - i >= Self::MIN_BULK_RUN {
+                if pending < i {
+                    bytes += self.append_slots_into(batch, &slots[pending..i]);
+                }
+                bytes += self.append_range_into(batch, slots[i] as usize, j - i);
+                pending = j;
+            }
+            i = j;
+        }
+        if pending < len {
+            bytes += self.append_slots_into(batch, &slots[pending..]);
+        }
+        bytes
+    }
+
+    /// Shortest contiguous survivor run worth a dedicated range decode in
+    /// [`Page::append_slot_runs_into`]; shorter runs fold into the
+    /// neighbouring gather pass.
+    pub const MIN_BULK_RUN: usize = 8;
+
+    /// Whether *any* value of column `col` could satisfy `value op lit`,
+    /// judged from the encoded representation alone (RLE run
+    /// representatives, dictionary entries) without decoding a single slot.
+    /// Columns past the page's arity answer `true` (cannot refute).
+    pub fn column_may_match(&self, col: usize, op: CmpOp, lit: &Value) -> bool {
+        self.columns.get(col).is_none_or(|c| c.may_match(op, lit))
     }
 
     /// Decode the whole page into a row view for the tuple-at-a-time path:
@@ -499,5 +572,70 @@ mod tests {
         assert_eq!(p.filter_slots(&[], 3, 7).unwrap(), vec![3, 4, 5, 6]);
         // Bad column index is a schema error.
         assert!(p.filter_slots(&[(9, CmpOp::Eq, Value::Int(0))], 0, 24).is_err());
+    }
+
+    #[test]
+    fn filter_slots_into_reuses_scratch() {
+        let entries: Vec<(i64, Record)> = (0..24).map(|i| (i, record![i % 4])).collect();
+        let p = Page::new(0, entries);
+        let mut scratch = vec![99u32; 5];
+        p.filter_slots_into(&[(0, CmpOp::Eq, Value::Int(2))], 0, 24, &mut scratch).unwrap();
+        let want: Vec<u32> = (0u32..24).filter(|i| i % 4 == 2).collect();
+        assert_eq!(scratch, want);
+        // A second window clears the previous survivors.
+        p.filter_slots_into(&[], 1, 3, &mut scratch).unwrap();
+        assert_eq!(scratch, vec![1, 2]);
+    }
+
+    #[test]
+    fn slot_runs_match_per_slot_gather() {
+        let entries: Vec<(i64, Record)> =
+            (0..60).map(|i| (i * 2 + 1, record![i, (i % 5) as f64, "tag"])).collect();
+        let p = Page::new(0, entries);
+        // Mixed pattern: a long contiguous run, scattered singletons, a
+        // short run, and a trailing long run.
+        let patterns: Vec<Vec<u32>> = vec![
+            (0..60).collect(),                               // fully contiguous
+            vec![3, 9, 17, 31],                              // all scattered
+            (2..14).chain([20, 23]).chain(30..45).collect(), // mixed
+            (50..60).collect(),                              // contiguous tail
+            vec![7],                                         // singleton
+        ];
+        for slots in patterns {
+            let mut gathered = RecordBatch::new(3);
+            let b1 = p.append_slots_into(&mut gathered, &slots);
+            let mut bulk = RecordBatch::new(3);
+            let b2 = p.append_slot_runs_into(&mut bulk, &slots);
+            assert_eq!(b1, b2, "byte accounting must not depend on copy strategy");
+            assert_eq!(gathered.len(), bulk.len());
+            for i in 0..gathered.len() {
+                assert_eq!(gathered.record(i), bulk.record(i), "slots {slots:?} row {i}");
+            }
+        }
+        assert_eq!(p.append_slot_runs_into(&mut RecordBatch::new(3), &[]), 0);
+    }
+
+    #[test]
+    fn encoded_domain_refutes_what_zones_cannot() {
+        // Column 0 dictionary-encodes {"aa", "zz"}, column 1 run-length
+        // encodes {1.0, 9.0}. The zone ranges ["aa","zz"] and [1.0,9.0]
+        // cannot refute an Eq literal strictly inside them, but the encoded
+        // entries can: no dictionary entry or run value equals it.
+        let entries: Vec<(i64, Record)> = (0..40)
+            .map(|i| {
+                (i, record![if i % 2 == 0 { "aa" } else { "zz" }, (i / 20) as f64 * 8.0 + 1.0])
+            })
+            .collect();
+        let p = Page::new(0, entries);
+        assert_eq!(p.column_encodings().collect::<Vec<_>>(), vec!["dict", "rle"]);
+        assert!(p.zone(0).unwrap().may_match(CmpOp::Eq, &Value::str("mm")));
+        assert!(!p.column_may_match(0, CmpOp::Eq, &Value::str("mm")));
+        assert!(p.column_may_match(0, CmpOp::Eq, &Value::str("zz")));
+        assert!(p.zone(1).unwrap().may_match(CmpOp::Eq, &Value::Float(5.0)));
+        assert!(!p.column_may_match(1, CmpOp::Eq, &Value::Float(5.0)));
+        assert!(p.column_may_match(1, CmpOp::Gt, &Value::Float(5.0)));
+        // Cross-type literal and out-of-range column: conservative.
+        assert!(p.column_may_match(0, CmpOp::Eq, &Value::Int(3)));
+        assert!(p.column_may_match(7, CmpOp::Eq, &Value::Int(25)));
     }
 }

@@ -355,6 +355,7 @@ impl StoredSequence {
             end,
             batch_size: batch_size.max(1),
             filter,
+            survivors: Vec::new(),
         }
     }
 
@@ -418,6 +419,10 @@ pub struct OwnedBatchScan {
     end: i64,
     batch_size: usize,
     filter: Option<ScanFilter>,
+    /// Scratch survivor-slot buffer reused across page windows by
+    /// [`OwnedBatchScan::next_batch_selected`], so the hot filtered-scan
+    /// loop allocates nothing per window.
+    survivors: Vec<u32>,
 }
 
 impl OwnedBatchScan {
@@ -512,8 +517,12 @@ impl OwnedBatchScan {
             let in_span = page.upper_bound(self.end);
             let take = (self.batch_size - scanned).min(in_span.saturating_sub(slot));
             if take > 0 {
-                let survivors = page.filter_slots(terms, slot, slot + take)?;
-                let bytes = page.append_slots_into(&mut batch, &survivors);
+                let mut survivors = std::mem::take(&mut self.survivors);
+                page.filter_slots_into(terms, slot, slot + take, &mut survivors)?;
+                // Contiguous survivor runs bulk-decode via the range path;
+                // only scattered survivors pay the per-slot gather.
+                let bytes = page.append_slot_runs_into(&mut batch, &survivors);
+                self.survivors = survivors;
                 self.store.stats.record_bytes_decoded(bytes as u64);
                 scanned += take;
             }

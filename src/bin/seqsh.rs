@@ -26,6 +26,11 @@
 //! - `\set pushdown on|off` — fuse eligible selections into base scans so
 //!   zone maps can skip refuted pages (default on; `\stats` and `\analyze`
 //!   report the resulting `pages_skipped`);
+//! - `\set feedback on|off` — fold each `\analyze` run's measured
+//!   selectivities, densities, and page-skip fractions back into the
+//!   session's catalog statistics, so later plans price with measured
+//!   numbers instead of model defaults (default on; `\tables` shows the
+//!   refreshed stats, `\feedback clear` discards them);
 //! - `\quit` — exit.
 
 use std::io::{BufRead, Write};
@@ -35,7 +40,8 @@ use seqproc::prelude::*;
 use seqproc::seq_lang::parse_query;
 use seqproc::seq_workload::{table1_catalog, weather_catalog, WeatherSpec};
 
-const COMMANDS: &str = "\\tables \\explain \\analyze \\stats \\limit \\range \\set \\quit";
+const COMMANDS: &str =
+    "\\tables \\explain \\analyze \\stats \\feedback \\limit \\range \\set \\quit";
 
 struct Shell {
     catalog: Catalog,
@@ -43,6 +49,11 @@ struct Shell {
     limit: usize,
     parallelism: usize,
     pushdown: bool,
+    /// Whether `\analyze` runs refresh the session's statistics overlay and
+    /// later plans price with the measured numbers.
+    feedback: bool,
+    /// Measured per-sequence statistics absorbed from profiled runs.
+    overlay: StatsOverlay,
     /// Session-cumulative executor counters (`\stats` shows them; per-query
     /// contexts share these so every query adds to the same totals).
     exec_stats: ExecStats,
@@ -89,6 +100,9 @@ impl Shell {
                         comp.ratio() * 100.0,
                         encodings.join(",")
                     );
+                    if let Some(fb) = self.overlay.get(name) {
+                        println!("      measured: {}", describe_feedback(fb));
+                    }
                 }
             }
             Some("limit") => match parts.next().and_then(|s| s.parse::<usize>().ok()) {
@@ -122,7 +136,29 @@ impl Shell {
                     self.pushdown = v == "on";
                     println!("selection pushdown: {v}");
                 }
-                _ => println!("usage: \\set parallelism N  |  \\set pushdown on|off"),
+                (Some("feedback"), Some(v @ ("on" | "off"))) => {
+                    self.feedback = v == "on";
+                    println!("statistics feedback: {v}");
+                }
+                _ => println!(
+                    "usage: \\set parallelism N  |  \\set pushdown on|off  |  \\set feedback on|off"
+                ),
+            },
+            Some("feedback") => match parts.next() {
+                Some("clear") => {
+                    self.overlay.clear();
+                    println!("measured statistics discarded");
+                }
+                None => {
+                    if self.overlay.is_empty() {
+                        println!("no measured statistics yet; run \\analyze with feedback on");
+                    } else {
+                        for (name, fb) in self.overlay.iter_sorted() {
+                            println!("  {name}: {}", describe_feedback(fb));
+                        }
+                    }
+                }
+                Some(arg) => println!("usage: \\feedback [clear]  (got {arg:?})"),
             },
             Some("explain") => {
                 let query_text: String = parts.collect::<Vec<_>>().join(" ");
@@ -162,7 +198,13 @@ impl Shell {
         let mut cfg = OptimizerConfig::new(self.range);
         cfg.parallelism = self.parallelism;
         cfg.pushdown = self.pushdown;
-        let optimized = match optimize(&graph, &CatalogRef(&self.catalog), &cfg) {
+        let base = CatalogRef(&self.catalog);
+        let planned = if self.feedback && !self.overlay.is_empty() {
+            optimize(&graph, &WithFeedback::new(&base, &self.overlay), &cfg)
+        } else {
+            optimize(&graph, &base, &cfg)
+        };
+        let optimized = match planned {
             Ok(o) => o,
             Err(e) => {
                 println!("{e}");
@@ -209,14 +251,40 @@ impl Shell {
     }
 
     fn analyze(&mut self, optimized: &Optimized, cfg: &OptimizerConfig) -> Result<(), SeqError> {
-        let mut ctx = ExecContext::with_stats(&self.catalog, self.exec_stats.clone());
-        let report = match explain_analyze(optimized, &mut ctx, &cfg.cost) {
+        let outcome = {
+            let mut ctx = ExecContext::with_stats(&self.catalog, self.exec_stats.clone());
+            let base = CatalogRef(&self.catalog);
+            if self.feedback && !self.overlay.is_empty() {
+                // Estimates in the report come from the same refreshed
+                // statistics the plan was priced with.
+                let info = WithFeedback::new(&base, &self.overlay);
+                explain_analyze_with(optimized, &mut ctx, &cfg.cost, &info)
+            } else {
+                explain_analyze(optimized, &mut ctx, &cfg.cost)
+            }
+        };
+        let mut report = match outcome {
             Ok(r) => r,
             Err(e) => {
                 println!("{e}");
                 return Ok(());
             }
         };
+        if self.feedback {
+            let folded = absorb_feedback(optimized, &report, &mut self.overlay);
+            if folded > 0 {
+                println!(
+                    "feedback: refreshed measured stats for {folded} operator(s) \
+                     (\\tables or \\feedback to inspect)"
+                );
+            }
+            report.refreshed = self
+                .overlay
+                .iter_sorted()
+                .into_iter()
+                .map(|(name, fb)| (name.to_string(), fb.clone()))
+                .collect();
+        }
         print!("{}", report.text);
         if let Some(path) = &self.profile_out {
             let json = report.to_json(&optimized.exec_mode.to_string());
@@ -227,6 +295,23 @@ impl Shell {
         }
         Ok(())
     }
+}
+
+/// One-line rendering of a sequence's measured statistics.
+fn describe_feedback(fb: &FeedbackStats) -> String {
+    let mut parts = Vec::new();
+    if let Some(d) = fb.density {
+        parts.push(format!("density={d:.3}"));
+    }
+    if let Some(s) = fb.selectivity {
+        parts.push(format!("selectivity={s:.3}"));
+    }
+    if let Some(f) = fb.skip_fraction {
+        parts.push(format!("skip_fraction={f:.3}"));
+    }
+    parts.push(format!("rows={}", fb.observed_rows));
+    parts.push(format!("refreshes={}", fb.refreshes));
+    parts.join(" ")
 }
 
 fn main() {
@@ -287,6 +372,8 @@ fn main() {
         limit: 20,
         parallelism: 1,
         pushdown: true,
+        feedback: true,
+        overlay: StatsOverlay::new(),
         exec_stats: ExecStats::new(),
         profile_out,
     };

@@ -66,8 +66,9 @@ pub mod prelude {
         AggFunc, BinOp, Expr, QueryGraph, ReferenceEvaluator, SeqOperator, SeqQuery, Window,
     };
     pub use seq_opt::{
-        explain_analyze, optimize, AnalyzeReport, CatalogRef, CostParams, Optimized,
-        OptimizerConfig,
+        absorb_feedback, explain_analyze, explain_analyze_with, optimize, AnalyzeReport,
+        CatalogRef, CostParams, FeedbackStats, Optimized, OptimizerConfig, StatsOverlay,
+        WithFeedback,
     };
     pub use seq_storage::Catalog;
 }
