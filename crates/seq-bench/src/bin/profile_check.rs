@@ -1,128 +1,19 @@
-//! Validate emitted profile JSON files (CI smoke check).
+//! Validate emitted telemetry JSON files (CI smoke check).
 //!
-//! Usage: `profile_check FILE...` — each file must parse as JSON and contain
-//! either a bare `QueryProfile` export or an EXPLAIN ANALYZE report that
-//! embeds one under `"profile"`. Exits non-zero with a message on the first
-//! violation; prints a one-line summary per valid file.
+//! Usage: `profile_check FILE...` — each file must parse as JSON and
+//! validate as one of the harness's export kinds, dispatched on its
+//! top-level keys (see [`seq_bench::validate`]):
+//!
+//! - a bare `QueryProfile` export or an EXPLAIN ANALYZE report embedding one;
+//! - a `SessionMetrics` snapshot (`metrics_version: 1`);
+//! - a Chrome `trace_event` export (`traceEvents`).
+//!
+//! Exits non-zero with a message on the first violation; prints a one-line
+//! summary per valid file.
 
 use std::process::ExitCode;
 
-use seq_bench::json::{parse, Json};
-
-fn check_file(path: &str) -> Result<String, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
-    let doc = parse(&text)?;
-    // An analyze report embeds the profile; a bare export IS the profile.
-    let profile = doc.get("profile").unwrap_or(&doc);
-    if profile.get("profile_version").and_then(Json::as_f64) != Some(1.0) {
-        return Err("missing or unexpected profile_version".into());
-    }
-    let ops = profile.get("operators").and_then(Json::as_array).ok_or("missing operators array")?;
-    if ops.is_empty() {
-        return Err("empty operators array".into());
-    }
-    for (i, op) in ops.iter().enumerate() {
-        for key in
-            ["rows_out", "calls", "busy_ms", "page_reads", "predicate_evals", "bytes_decoded"]
-        {
-            if op.get(key).and_then(Json::as_f64).is_none() {
-                return Err(format!("operator {i} missing numeric {key:?}"));
-            }
-        }
-        if op.get("label").and_then(Json::as_str).is_none() {
-            return Err(format!("operator {i} missing label"));
-        }
-        match op.get("mode").and_then(Json::as_str) {
-            Some("batch" | "tuple" | "fused") => {}
-            Some(m) => return Err(format!("operator {i} has unknown mode {m:?}")),
-            None => return Err(format!("operator {i} missing mode")),
-        }
-        let children = op.get("children").and_then(Json::as_array).unwrap_or(&[]);
-        for c in children {
-            match c.as_f64() {
-                Some(id) if (id as usize) < ops.len() && id > i as f64 => {}
-                _ => return Err(format!("operator {i} has an out-of-range child id")),
-            }
-        }
-    }
-    let workers = profile.get("workers").and_then(Json::as_array).unwrap_or(&[]);
-    for (i, w) in workers.iter().enumerate() {
-        for key in ["worker", "morsels", "rows", "busy_ms", "claim_wait_ms"] {
-            if w.get(key).and_then(Json::as_f64).is_none() {
-                return Err(format!("worker {i} missing numeric {key:?}"));
-            }
-        }
-    }
-    // Worker rows and morsels must reconcile with the plan totals.
-    if !workers.is_empty() {
-        let claimed: f64 =
-            workers.iter().filter_map(|w| w.get("morsels").and_then(Json::as_f64)).sum();
-        let planned = profile.get("morsels_planned").and_then(Json::as_f64).unwrap_or(0.0);
-        if claimed != planned {
-            return Err(format!("workers claimed {claimed} morsels but {planned} were planned"));
-        }
-        let worker_rows: f64 =
-            workers.iter().filter_map(|w| w.get("rows").and_then(Json::as_f64)).sum();
-        let root_rows = ops[0].get("rows_out").and_then(Json::as_f64).unwrap_or(-1.0);
-        if worker_rows != root_rows {
-            return Err(format!("worker rows {worker_rows} != root rows_out {root_rows}"));
-        }
-    }
-    // EXPLAIN ANALYZE reports (anything that embeds its profile) additionally
-    // carry per-operator estimates with the costed mode decision and its
-    // margin, plus the refreshed-statistics array the feedback loop folds
-    // back into the catalog overlay.
-    let mut n_est = 0;
-    let mut n_fb = 0;
-    if doc.get("profile").is_some() {
-        let ests =
-            doc.get("estimates").and_then(Json::as_array).ok_or("report missing estimates")?;
-        if ests.len() != ops.len() {
-            return Err(format!("{} estimates for {} operators", ests.len(), ops.len()));
-        }
-        for (i, est) in ests.iter().enumerate() {
-            for key in ["id", "mode_margin", "est_rows", "actual_rows"] {
-                if est.get(key).and_then(Json::as_f64).is_none() {
-                    return Err(format!("estimate {i} missing numeric {key:?}"));
-                }
-            }
-            match est.get("mode").and_then(Json::as_str) {
-                Some("batch" | "tuple" | "fused") => {}
-                _ => return Err(format!("estimate {i} missing or unknown mode")),
-            }
-            if !matches!(est.get("divergent"), Some(Json::Bool(_))) {
-                return Err(format!("estimate {i} missing boolean \"divergent\""));
-            }
-        }
-        n_est = ests.len();
-        let fb = doc.get("feedback").and_then(Json::as_array).ok_or("report missing feedback")?;
-        for (i, f) in fb.iter().enumerate() {
-            if f.get("sequence").and_then(Json::as_str).is_none() {
-                return Err(format!("feedback entry {i} missing sequence name"));
-            }
-            for key in ["observed_rows", "refreshes"] {
-                if f.get(key).and_then(Json::as_f64).is_none() {
-                    return Err(format!("feedback entry {i} missing numeric {key:?}"));
-                }
-            }
-            // Measured fractions are per-kind optional: null until observed.
-            for key in ["density", "selectivity", "skip_fraction"] {
-                match f.get(key) {
-                    Some(Json::Null | Json::Num(_)) => {}
-                    _ => return Err(format!("feedback entry {i} missing {key:?}")),
-                }
-            }
-        }
-        n_fb = fb.len();
-    }
-    let rows = ops[0].get("rows_out").and_then(Json::as_f64).unwrap_or(0.0);
-    Ok(format!(
-        "{} operators, {} workers, {n_est} estimates, {n_fb} feedback entries, \
-         root rows_out={rows}",
-        ops.len(),
-        workers.len()
-    ))
-}
+use seq_bench::validate::check_document;
 
 fn main() -> ExitCode {
     let paths: Vec<String> = std::env::args().skip(1).collect();
@@ -131,7 +22,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     for path in &paths {
-        match check_file(path) {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: INVALID: read failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_document(&text) {
             Ok(summary) => println!("{path}: OK ({summary})"),
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");

@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod json;
+pub mod validate;
 
 pub use experiments::*;
 

@@ -9,10 +9,20 @@
 use seq_core::{Record, Result, Span};
 
 use crate::plan::{ExecContext, PhysPlan};
+use crate::telemetry::{instrument, QueryPath};
 
 /// Stream-evaluate the plan, materializing every non-Null output within the
 /// plan's position range, in positional order.
 pub fn execute(plan: &PhysPlan, ctx: &ExecContext<'_>) -> Result<Vec<(i64, Record)>> {
+    instrument(
+        ctx,
+        QueryPath::Tuple,
+        |rows: &Vec<(i64, Record)>| rows.len() as u64,
+        || execute_inner(plan, ctx),
+    )
+}
+
+fn execute_inner(plan: &PhysPlan, ctx: &ExecContext<'_>) -> Result<Vec<(i64, Record)>> {
     let range = plan.range.intersect(&plan.root.span());
     if range.is_empty() {
         return Ok(Vec::new());
@@ -60,6 +70,19 @@ pub fn execute_batched_with(
     ctx: &ExecContext<'_>,
     batch_size: usize,
 ) -> Result<Vec<(i64, Record)>> {
+    instrument(
+        ctx,
+        QueryPath::Batch,
+        |rows: &Vec<(i64, Record)>| rows.len() as u64,
+        || execute_batched_inner(plan, ctx, batch_size),
+    )
+}
+
+fn execute_batched_inner(
+    plan: &PhysPlan,
+    ctx: &ExecContext<'_>,
+    batch_size: usize,
+) -> Result<Vec<(i64, Record)>> {
     let range = plan.range.intersect(&plan.root.span());
     if range.is_empty() {
         return Ok(Vec::new());
@@ -102,6 +125,20 @@ pub fn execute_batched_with(
 /// adapter at the boundary, so any assignment yields identical rows. The
 /// attached profile (if any) reports the assigned labels per operator.
 pub fn execute_batched_assigned(
+    plan: &PhysPlan,
+    ctx: &ExecContext<'_>,
+    batch_size: usize,
+    modes: &[&'static str],
+) -> Result<Vec<(i64, Record)>> {
+    instrument(
+        ctx,
+        QueryPath::Batch,
+        |rows: &Vec<(i64, Record)>| rows.len() as u64,
+        || execute_batched_assigned_inner(plan, ctx, batch_size, modes),
+    )
+}
+
+fn execute_batched_assigned_inner(
     plan: &PhysPlan,
     ctx: &ExecContext<'_>,
     batch_size: usize,
@@ -160,6 +197,19 @@ pub fn execute_parallel(
 /// positions" query form of §4). Positions outside the plan's range yield
 /// `None`.
 pub fn probe_positions(
+    plan: &PhysPlan,
+    ctx: &ExecContext<'_>,
+    positions: &[i64],
+) -> Result<Vec<(i64, Option<Record>)>> {
+    instrument(
+        ctx,
+        QueryPath::Probe,
+        |rows: &Vec<(i64, Option<Record>)>| rows.iter().filter(|(_, r)| r.is_some()).count() as u64,
+        || probe_positions_inner(plan, ctx, positions),
+    )
+}
+
+fn probe_positions_inner(
     plan: &PhysPlan,
     ctx: &ExecContext<'_>,
     positions: &[i64],

@@ -22,7 +22,11 @@
 //! - [`parallel`] — morsel-driven parallel execution of position-
 //!   partitionable plans with an order-preserving bounded merge;
 //! - [`profile`] — seq-trace: opt-in per-operator/per-worker instrumentation
-//!   ([`profile::QueryProfile`]) with hand-rolled JSON export.
+//!   ([`profile::QueryProfile`]) with hand-rolled JSON export;
+//! - [`telemetry`] — the always-on side of seq-trace: the session metrics
+//!   registry ([`telemetry::SessionMetrics`]) with log-bucketed latency
+//!   histograms and a bounded trace ring exportable as Chrome
+//!   `trace_event` JSON.
 
 pub mod aggregate;
 pub mod batch;
@@ -36,6 +40,7 @@ pub mod parallel;
 pub mod plan;
 pub mod profile;
 pub mod stats;
+pub mod telemetry;
 
 pub use aggregate::{CumulativeAggBatchCursor, WholeSpanAggBatchCursor};
 pub use batch::{
@@ -54,3 +59,7 @@ pub use parallel::{execute_parallel_with, plan_morsels, ParallelConfig};
 pub use plan::{AggStrategy, ExecContext, JoinStrategy, PhysNode, PhysPlan, ValueOffsetStrategy};
 pub use profile::{OpReport, QueryProfile, WorkerProfile};
 pub use stats::{ExecSnapshot, ExecStats};
+pub use telemetry::{
+    HistogramSnapshot, LatencyHistogram, MetricsSnapshot, Phase, QueryPath, SessionMetrics,
+    TraceBuffer, TraceEvent,
+};

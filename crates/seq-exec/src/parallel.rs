@@ -273,10 +273,28 @@ pub fn execute_parallel_with(
     if morsels.len() <= 1 {
         return crate::exec::execute_batched_with(plan, ctx, batch_size);
     }
+    // The degenerate paths above record through the batch entry point; only
+    // the true multi-morsel run below records as a parallel-path query.
+    crate::telemetry::instrument(
+        ctx,
+        crate::telemetry::QueryPath::Parallel,
+        |rows: &Vec<(i64, Record)>| rows.len() as u64,
+        || run_parallel(plan, ctx, &morsels, batch_size, config.workers),
+    )
+}
+
+/// The multi-morsel worker/merge loop behind [`execute_parallel_with`].
+fn run_parallel(
+    plan: &PhysPlan,
+    ctx: &ExecContext<'_>,
+    morsels: &[Span],
+    batch_size: usize,
+    workers: usize,
+) -> Result<Vec<(i64, Record)>> {
     if let Some(p) = &ctx.profile {
         p.set_op_modes(plan.root.exec_mode_labels(true));
     }
-    let workers = config.workers.min(morsels.len());
+    let workers = workers.min(morsels.len());
     let queue = MergeQueue::new(morsels.len(), workers * 2 + 2);
     if let Some(p) = &ctx.profile {
         p.record_morsels_planned(morsels.len() as u64);
@@ -285,7 +303,8 @@ pub fn execute_parallel_with(
     let mut out = Vec::new();
     let merged: Result<()> = std::thread::scope(|scope| {
         for w in 0..workers {
-            let (queue, morsels, profile) = (&queue, &morsels, ctx.profile.as_deref());
+            let (queue, profile) = (&queue, ctx.profile.as_deref());
+            let telemetry = ctx.telemetry.as_deref();
             scope.spawn(move || {
                 let mut local = crate::profile::WorkerProfile { worker: w, ..Default::default() };
                 loop {
@@ -299,13 +318,22 @@ pub fn execute_parallel_with(
                         None => queue.claim(),
                     };
                     let Some(idx) = idx else { break };
-                    let busy = profile.map(|_| Instant::now());
+                    let busy = (profile.is_some() || telemetry.is_some()).then(Instant::now);
                     let result = run_morsel(plan, ctx, morsels[idx], batch_size);
                     if let Some(busy) = busy {
-                        local.busy += busy.elapsed();
-                        local.morsels += 1;
-                        if let Ok(batches) = &result {
-                            local.rows += batches.iter().map(|b| b.len() as u64).sum::<u64>();
+                        let elapsed = busy.elapsed();
+                        if let Some(m) = telemetry {
+                            // Per-worker tee: each worker records into the
+                            // shared morsel histogram's atomic buckets, so
+                            // the session slot is the exact fold.
+                            m.record_morsel(elapsed);
+                        }
+                        if profile.is_some() {
+                            local.busy += elapsed;
+                            local.morsels += 1;
+                            if let Ok(batches) = &result {
+                                local.rows += batches.iter().map(|b| b.len() as u64).sum::<u64>();
+                            }
                         }
                     }
                     queue.complete(idx, result);

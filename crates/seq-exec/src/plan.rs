@@ -879,18 +879,41 @@ pub struct ExecContext<'a> {
     /// ([`ExecContext::enable_profiling`]). `None` keeps the open and
     /// execute paths on their uninstrumented fast path.
     pub profile: Option<std::sync::Arc<QueryProfile>>,
+    /// Always-on session telemetry ([`crate::telemetry::SessionMetrics`]):
+    /// query latency histograms, counter folds, and the trace ring. On by
+    /// default (each context gets a fresh registry); shells share one across
+    /// queries via [`ExecContext::share_telemetry`]; benches measuring the
+    /// uninstrumented baseline set it to `None`.
+    pub telemetry: Option<std::sync::Arc<crate::telemetry::SessionMetrics>>,
 }
 
 impl<'a> ExecContext<'a> {
     /// A context over `catalog` with fresh executor counters.
     pub fn new(catalog: &'a seq_storage::Catalog) -> ExecContext<'a> {
-        ExecContext { catalog, stats: ExecStats::new(), profile: None }
+        ExecContext {
+            catalog,
+            stats: ExecStats::new(),
+            profile: None,
+            telemetry: Some(std::sync::Arc::new(crate::telemetry::SessionMetrics::new())),
+        }
     }
 
     /// A context over `catalog` charging into existing executor counters
     /// (e.g. a shell session's cumulative stats).
     pub fn with_stats(catalog: &'a seq_storage::Catalog, stats: ExecStats) -> ExecContext<'a> {
-        ExecContext { catalog, stats, profile: None }
+        ExecContext {
+            catalog,
+            stats,
+            profile: None,
+            telemetry: Some(std::sync::Arc::new(crate::telemetry::SessionMetrics::new())),
+        }
+    }
+
+    /// Replace this context's registry with a shared one, so several
+    /// contexts (a shell session's successive queries, a server's
+    /// connections) fold into the same session-wide slots.
+    pub fn share_telemetry(&mut self, metrics: &std::sync::Arc<crate::telemetry::SessionMetrics>) {
+        self.telemetry = Some(std::sync::Arc::clone(metrics));
     }
 
     /// Attach a fresh [`QueryProfile`] sized for `plan` and return it. Every

@@ -173,9 +173,16 @@ pub fn explain_analyze_with(
     est_rows[0] = root_meta.restrict_span(&range).expected_records();
 
     let profile = ctx.enable_profiling(&opt.plan);
+    let analyze_start = ctx.telemetry.as_ref().map(|m| m.now_nanos());
     let start = Instant::now();
     let result = opt.execute(ctx);
     let wall = start.elapsed();
+    // The profiled run already recorded the query itself through the execute
+    // entry point; the analyze span wraps it so the trace shows the
+    // estimate-vs-actual run as one lifecycle unit.
+    if let (Some(m), Some(t0)) = (&ctx.telemetry, analyze_start) {
+        m.record_span("analyze".to_string(), "phase", t0, wall, 0, Vec::new());
+    }
     ctx.profile = None;
     let rows = result?;
 

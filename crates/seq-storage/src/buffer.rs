@@ -16,6 +16,7 @@
 //! unsharded pool.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::page::PageId;
@@ -71,10 +72,33 @@ impl PoolInner {
     }
 }
 
+/// Per-stripe access counters, kept outside the stripe's mutex so telemetry
+/// reads never take the lock and the hot path pays one relaxed atomic add.
+#[derive(Debug, Default)]
+struct StripeCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Accesses that found the stripe lock held and had to block. A skewed
+    /// stripe hash or too few stripes for the worker count shows up here.
+    contended: AtomicU64,
+}
+
+/// Point-in-time copy of one stripe's access counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StripeStats {
+    /// Accesses served from the stripe's resident set.
+    pub hits: u64,
+    /// Accesses that fetched from storage (charged as page reads).
+    pub misses: u64,
+    /// Accesses that blocked on the stripe lock.
+    pub contended: u64,
+}
+
 /// A shared LRU buffer pool, sized in pages.
 #[derive(Debug)]
 pub struct BufferPool {
     stripes: Vec<Mutex<PoolInner>>,
+    counters: Vec<StripeCounters>,
     capacity: usize,
 }
 
@@ -85,6 +109,7 @@ impl BufferPool {
         let stripes = (capacity / STRIPE_GRAIN).clamp(1, MAX_STRIPES);
         let per = capacity / stripes;
         let extra = capacity % stripes;
+        let counters = (0..stripes).map(|_| StripeCounters::default()).collect();
         let stripes = (0..stripes)
             .map(|i| {
                 // Stripe capacities sum exactly to the requested total.
@@ -92,7 +117,7 @@ impl BufferPool {
                 Mutex::new(PoolInner { resident: HashMap::new(), clock: 0, capacity: cap })
             })
             .collect();
-        BufferPool { stripes, capacity }
+        BufferPool { stripes, counters, capacity }
     }
 
     /// The stripe responsible for `(store, page)` — a fixed function of the
@@ -114,16 +139,49 @@ impl BufferPool {
     /// (evicting the stripe's least recently used page if it is full).
     pub fn access(&self, store: StoreId, page: PageId) -> PageAccess {
         let stripe = self.stripe_of(store, page);
-        self.stripes[stripe].lock().unwrap().access((store, page))
+        let counters = &self.counters[stripe];
+        // An uncontended access takes the lock without blocking; counting
+        // failed try_locks is the contention signal without timers.
+        let mut inner = match self.stripes[stripe].try_lock() {
+            Ok(inner) => inner,
+            Err(_) => {
+                counters.contended.fetch_add(1, Ordering::Relaxed);
+                self.stripes[stripe].lock().unwrap()
+            }
+        };
+        let outcome = inner.access((store, page));
+        drop(inner);
+        match outcome {
+            PageAccess::Hit => counters.hits.fetch_add(1, Ordering::Relaxed),
+            PageAccess::Miss => counters.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        outcome
     }
 
-    /// Drop all resident pages (between benchmark iterations).
+    /// Drop all resident pages and zero the stripe counters (between
+    /// measurements — the pool's counters share the measurement window of
+    /// [`crate::AccessStats`], reset together by `Catalog::reset_measurement`).
     pub fn clear(&self) {
-        for stripe in &self.stripes {
+        for (stripe, counters) in self.stripes.iter().zip(&self.counters) {
             let mut inner = stripe.lock().unwrap();
             inner.resident.clear();
             inner.clock = 0;
+            counters.hits.store(0, Ordering::Relaxed);
+            counters.misses.store(0, Ordering::Relaxed);
+            counters.contended.store(0, Ordering::Relaxed);
         }
+    }
+
+    /// Per-stripe hit/miss/contention counters, in stripe order.
+    pub fn stripe_stats(&self) -> Vec<StripeStats> {
+        self.counters
+            .iter()
+            .map(|c| StripeStats {
+                hits: c.hits.load(Ordering::Relaxed),
+                misses: c.misses.load(Ordering::Relaxed),
+                contended: c.contended.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Number of currently resident pages.
@@ -209,6 +267,51 @@ mod tests {
             }
         }
         assert_eq!(misses2, 100);
+    }
+
+    #[test]
+    fn stripe_stats_account_every_access() {
+        let pool = BufferPool::new(256);
+        assert!(pool.stripe_count() > 1);
+        for page in 0..100u32 {
+            pool.access(0, page); // miss
+            pool.access(0, page); // hit
+        }
+        let stats = pool.stripe_stats();
+        assert_eq!(stats.len(), pool.stripe_count());
+        assert_eq!(stats.iter().map(|s| s.misses).sum::<u64>(), 100);
+        assert_eq!(stats.iter().map(|s| s.hits).sum::<u64>(), 100);
+        // Uncontended single-threaded access never blocks.
+        assert_eq!(stats.iter().map(|s| s.contended).sum::<u64>(), 0);
+        // The SplitMix64 stripe hash spreads sequential pages around: no
+        // stripe owns everything.
+        assert!(stats.iter().filter(|s| s.misses > 0).count() > 1);
+        pool.clear();
+        assert_eq!(pool.stripe_stats().iter().map(|s| s.hits + s.misses).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn stripe_stats_match_global_accounting_under_contention() {
+        // Same shape as the exact-accounting test below, but reconciling the
+        // per-stripe counters against the known totals.
+        const WORKERS: u32 = 8;
+        const PAGES: u32 = 64;
+        let pool = BufferPool::new(MAX_STRIPES * (WORKERS * PAGES) as usize);
+        std::thread::scope(|scope| {
+            for w in 0..WORKERS {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for _ in 0..2 {
+                        for page in 0..PAGES {
+                            pool.access(w, page);
+                        }
+                    }
+                });
+            }
+        });
+        let stats = pool.stripe_stats();
+        assert_eq!(stats.iter().map(|s| s.misses).sum::<u64>(), (WORKERS * PAGES) as u64);
+        assert_eq!(stats.iter().map(|s| s.hits).sum::<u64>(), (WORKERS * PAGES) as u64);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod page;
 pub mod stats;
 pub mod store;
 
-pub use buffer::{BufferPool, PageAccess, StoreId};
+pub use buffer::{BufferPool, PageAccess, StoreId, StripeStats};
 pub use catalog::Catalog;
 pub use column::{strict_eq, ColumnData, PosData};
 pub use filter::ScanFilter;

@@ -17,8 +17,18 @@
 //!   (`batch`/`tuple`/`fused`), actual rows, per-operator timings and
 //!   counters, and estimated-vs-measured cost (`--profile-out FILE` also
 //!   writes the JSON profile export, mode field included);
-//! - `\stats` — show session-cumulative executor + storage counters;
-//!   `\stats reset` zeroes them;
+//! - `\stats` — show session-cumulative executor + storage counters plus the
+//!   phase latency histograms; `\stats reset` zeroes counters, histograms,
+//!   and the trace ring together and stamps a new measurement window, so the
+//!   legacy counters and the telemetry registry can never disagree about
+//!   what they measured;
+//! - `\metrics` — show the always-on session telemetry (query counts per
+//!   execution path, counter folds, p50/p90/p99/max latency histograms for
+//!   parse/optimize/execute/morsel, buffer-pool stripe counters when a pool
+//!   is attached, trace-ring occupancy); `\metrics reset` is the same
+//!   window-stamping reset as `\stats reset` (`--metrics-out FILE` writes
+//!   the JSON snapshot on exit, `--trace-out FILE` writes the Chrome
+//!   `trace_event` export — load it in `chrome://tracing` or Perfetto);
 //! - `\limit N` — cap printed rows (default 20);
 //! - `\range LO HI` — set the query template's position range;
 //! - `\set parallelism N` — worker threads for morsel-driven parallel
@@ -41,7 +51,7 @@ use seqproc::seq_lang::parse_query;
 use seqproc::seq_workload::{table1_catalog, weather_catalog, WeatherSpec};
 
 const COMMANDS: &str =
-    "\\tables \\explain \\analyze \\stats \\feedback \\limit \\range \\set \\quit";
+    "\\tables \\explain \\analyze \\stats \\metrics \\feedback \\limit \\range \\set \\quit";
 
 struct Shell {
     catalog: Catalog,
@@ -59,6 +69,9 @@ struct Shell {
     exec_stats: ExecStats,
     /// Where `\analyze` writes its JSON profile export, if anywhere.
     profile_out: Option<PathBuf>,
+    /// The session's always-on telemetry registry: every query context
+    /// shares it, so histograms and counter folds span the whole session.
+    metrics: std::sync::Arc<SessionMetrics>,
 }
 
 enum QueryMode {
@@ -170,15 +183,28 @@ impl Shell {
             }
             Some("stats") => match parts.next() {
                 None => {
+                    let snap = self.metrics.snapshot();
+                    println!(
+                        "window:   #{} since unix_ms {}",
+                        snap.resets, snap.window_started_unix_ms
+                    );
                     println!("executor: {}", self.exec_stats.snapshot());
                     println!("storage:  {}", self.catalog.stats().snapshot());
+                    for (name, h) in [
+                        ("parse", &snap.parse),
+                        ("optimize", &snap.optimize),
+                        ("execute", &snap.execute),
+                    ] {
+                        println!("latency {name:>8}: {}", h.summary_line());
+                    }
                 }
-                Some("reset") => {
-                    self.exec_stats.reset();
-                    self.catalog.reset_measurement();
-                    println!("stats reset");
-                }
+                Some("reset") => self.reset_measurement(),
                 Some(arg) => println!("usage: \\stats [reset]  (got {arg:?})"),
+            },
+            Some("metrics") => match parts.next() {
+                None => self.print_metrics(),
+                Some("reset") => self.reset_measurement(),
+                Some(arg) => println!("usage: \\metrics [reset]  (got {arg:?})"),
             },
             other => {
                 println!("unknown command \\{}; try {COMMANDS}", other.unwrap_or(""))
@@ -187,8 +213,78 @@ impl Shell {
         Ok(true)
     }
 
+    /// Zero the legacy counters AND the telemetry registry together, and
+    /// stamp a new measurement window — a partial reset would leave the
+    /// histograms and the cumulative counters describing different spans of
+    /// the session.
+    fn reset_measurement(&mut self) {
+        self.exec_stats.reset();
+        self.catalog.reset_measurement();
+        self.metrics.reset();
+        let snap = self.metrics.snapshot();
+        println!(
+            "stats + metrics reset (window #{} from unix_ms {})",
+            snap.resets, snap.window_started_unix_ms
+        );
+    }
+
+    fn print_metrics(&self) {
+        let snap = self.metrics.snapshot();
+        println!("window #{} since unix_ms {}", snap.resets, snap.window_started_unix_ms);
+        println!(
+            "queries: {} ({} failed) | tuple {} batch {} parallel {} probe {}",
+            snap.queries,
+            snap.queries_failed,
+            snap.path_counts[0],
+            snap.path_counts[1],
+            snap.path_counts[2],
+            snap.path_counts[3],
+        );
+        println!(
+            "rows_out {} | page_reads {} (hits {}) | pages_skipped {} | probes {} | \
+             bytes_decoded {}",
+            snap.rows_out,
+            snap.page_reads,
+            snap.page_hits,
+            snap.pages_skipped,
+            snap.probes,
+            snap.bytes_decoded,
+        );
+        println!(
+            "predicate_evals {} | cache {}p/{}s | morsels {}",
+            snap.predicate_evals, snap.cache_probes, snap.cache_stores, snap.morsels
+        );
+        for (name, h) in [
+            ("parse", &snap.parse),
+            ("optimize", &snap.optimize),
+            ("execute", &snap.execute),
+            ("morsel", &snap.morsel),
+        ] {
+            println!("latency {name:>8}: {}", h.summary_line());
+        }
+        match self.catalog.buffer() {
+            Some(pool) => {
+                for (i, s) in pool.stripe_stats().iter().enumerate() {
+                    println!(
+                        "  stripe {i}: hits {} misses {} contended {}",
+                        s.hits, s.misses, s.contended
+                    );
+                }
+            }
+            None => println!("buffer pool: none attached"),
+        }
+        println!(
+            "trace ring: {} recorded, {} dropped, capacity {}",
+            snap.trace_recorded, snap.trace_dropped, snap.trace_capacity
+        );
+    }
+
     fn query(&mut self, text: &str, mode: QueryMode) -> Result<(), SeqError> {
-        let graph = match parse_query(text) {
+        let parse_start = self.metrics.now_nanos();
+        let parse_timer = std::time::Instant::now();
+        let parsed = parse_query(text);
+        self.metrics.record_phase(Phase::Parse, parse_start, parse_timer.elapsed());
+        let graph = match parsed {
             Ok(g) => g,
             Err(e) => {
                 println!("{e}");
@@ -199,11 +295,14 @@ impl Shell {
         cfg.parallelism = self.parallelism;
         cfg.pushdown = self.pushdown;
         let base = CatalogRef(&self.catalog);
+        let opt_start = self.metrics.now_nanos();
+        let opt_timer = std::time::Instant::now();
         let planned = if self.feedback && !self.overlay.is_empty() {
             optimize(&graph, &WithFeedback::new(&base, &self.overlay), &cfg)
         } else {
             optimize(&graph, &base, &cfg)
         };
+        self.metrics.record_phase(Phase::Optimize, opt_start, opt_timer.elapsed());
         let optimized = match planned {
             Ok(o) => o,
             Err(e) => {
@@ -223,7 +322,8 @@ impl Shell {
 
     fn execute(&mut self, optimized: &Optimized) -> Result<(), SeqError> {
         let storage_before = self.catalog.stats().snapshot();
-        let ctx = ExecContext::with_stats(&self.catalog, self.exec_stats.clone());
+        let mut ctx = ExecContext::with_stats(&self.catalog, self.exec_stats.clone());
+        ctx.share_telemetry(&self.metrics);
         let started = std::time::Instant::now();
         let rows = match optimized.execute(&ctx) {
             Ok(r) => r,
@@ -253,6 +353,7 @@ impl Shell {
     fn analyze(&mut self, optimized: &Optimized, cfg: &OptimizerConfig) -> Result<(), SeqError> {
         let outcome = {
             let mut ctx = ExecContext::with_stats(&self.catalog, self.exec_stats.clone());
+            ctx.share_telemetry(&self.metrics);
             let base = CatalogRef(&self.catalog);
             if self.feedback && !self.overlay.is_empty() {
                 // Estimates in the report come from the same refreshed
@@ -320,6 +421,8 @@ fn main() {
     let mut scale = 10i64;
     let mut inline: Vec<String> = Vec::new();
     let mut profile_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -335,12 +438,24 @@ fn main() {
                 profile_out = args.get(i + 1).map(PathBuf::from);
                 i += 2;
             }
+            "--trace-out" => {
+                trace_out = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            "--metrics-out" => {
+                metrics_out = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
             "-e" => {
                 inline.push(args.get(i + 1).cloned().unwrap_or_default());
                 i += 2;
             }
             other => {
-                eprintln!("unknown argument {other:?}; usage: seqsh [--world table1|weather] [--scale N] [--profile-out FILE] [-e QUERY]...");
+                eprintln!(
+                    "unknown argument {other:?}; usage: seqsh [--world table1|weather] \
+                     [--scale N] [--profile-out FILE] [--trace-out FILE] \
+                     [--metrics-out FILE] [-e QUERY]..."
+                );
                 std::process::exit(2);
             }
         }
@@ -376,6 +491,7 @@ fn main() {
         overlay: StatsOverlay::new(),
         exec_stats: ExecStats::new(),
         profile_out,
+        metrics: std::sync::Arc::new(SessionMetrics::new()),
     };
     println!("seqsh — world {world} (scale {scale}), range {range}. \\tables to inspect, \\quit to exit.");
 
@@ -385,6 +501,7 @@ fn main() {
                 eprintln!("{e}");
             }
         }
+        write_telemetry(&shell, trace_out.as_deref(), metrics_out.as_deref());
         return;
     }
 
@@ -404,6 +521,28 @@ fn main() {
                 eprintln!("{e}");
                 break;
             }
+        }
+    }
+    write_telemetry(&shell, trace_out.as_deref(), metrics_out.as_deref());
+}
+
+/// Write the session's telemetry exports on exit: the Chrome `trace_event`
+/// JSON (`--trace-out`) and the metrics snapshot (`--metrics-out`).
+fn write_telemetry(
+    shell: &Shell,
+    trace_out: Option<&std::path::Path>,
+    metrics_out: Option<&std::path::Path>,
+) {
+    if let Some(path) = trace_out {
+        match std::fs::write(path, shell.metrics.trace_to_chrome_json()) {
+            Ok(()) => println!("trace JSON written to {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = metrics_out {
+        match std::fs::write(path, shell.metrics.to_json(shell.catalog.buffer().map(|p| &**p))) {
+            Ok(()) => println!("metrics JSON written to {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
         }
     }
 }
