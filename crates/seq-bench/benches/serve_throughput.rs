@@ -1,0 +1,319 @@
+//! Multi-client serving throughput over the `seqd` wire protocol.
+//!
+//! Starts an in-process server over the Table 1 world and drives it with
+//! 1..N concurrent TCP clients sending a mix of query templates whose
+//! literals vary per request — exactly the workload the normalized plan
+//! cache exists for. Records, per client count, the observed QPS and the
+//! client-side p50/p99 request latency (from the session-metrics
+//! `LatencyHistogram`); server-wide, the plan-cache hit/miss/invalidation
+//! counters (hit rate must be >= 90% on repeated templates); an in-process
+//! cached-vs-uncached plan-resolution latency pair (the cached p50 must be
+//! below the uncached p50 — that is the saved parse+optimize work); and a
+//! deliberately saturated workers=1/queue=1 load-shed run whose admission
+//! accounting must balance. Everything lands in `BENCH_serve.json` and is
+//! validated in-process with the same checker CI runs.
+//!
+//! The host's core count is recorded alongside the sweep: on a single-core
+//! host the concurrency sweep measures time-slicing, not parallel speedup,
+//! and the headline numbers are the hit rate and the cached latency win.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use seq_bench::validate::check_document;
+use seq_core::Span;
+use seq_exec::LatencyHistogram;
+use seq_serve::client::{Client, Response};
+use seq_serve::{serve, Engine, ServerConfig, SessionConfig};
+use seq_workload::table1_catalog;
+
+const SCALE: i64 = 2;
+const QUERIES_PER_CLIENT: usize = 30;
+const CLIENT_COUNTS: [usize; 3] = [1, 2, 4];
+const LATENCY_SAMPLES: usize = 40;
+const MIN_HIT_RATE: f64 = 0.90;
+
+fn range() -> Span {
+    Span::new(1, 750 * SCALE)
+}
+
+/// The mixed workload: template `i % 3` with literals varied by `i`.
+fn query(i: usize) -> String {
+    match i % 3 {
+        0 => format!("(select (> close {}.0) (base HP))", 90 + (i % 17)),
+        1 => format!(
+            "(select (and (> close {}.0) (< close {}.0)) (base IBM))",
+            80 + (i % 11),
+            120 + (i % 13)
+        ),
+        _ => "(agg avg close (trailing 8) (base DEC))".to_string(),
+    }
+}
+
+/// One client session: send `n` queries, fold request latencies into the
+/// shared histogram, return (ok, shed) counts.
+fn drive_client(addr: &str, n: usize, seed: usize, hist: &LatencyHistogram) -> (u64, u64) {
+    let mut client = Client::connect(addr).expect("connect");
+    let (mut ok, mut shed) = (0u64, 0u64);
+    for i in 0..n {
+        let q = query(seed + i);
+        let start = Instant::now();
+        match client.send(&q).expect("send") {
+            Response::Ok(_) => {
+                hist.record(start.elapsed());
+                ok += 1;
+            }
+            Response::Err { code, message } => {
+                if code == "busy" {
+                    shed += 1;
+                } else {
+                    panic!("query failed [{code}]: {message}");
+                }
+            }
+        }
+    }
+    (ok, shed)
+}
+
+struct SweepRow {
+    clients: usize,
+    queries: u64,
+    shed: u64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn sweep() -> (Vec<SweepRow>, u64, u64, u64) {
+    let engine = Engine::new(table1_catalog(SCALE, 42, 64), 64);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 64,
+        cache_capacity: 64,
+        range: range(),
+    };
+    let handle = serve(engine, &config).expect("bind");
+    let addr = handle.addr().to_string();
+
+    // Warm each template once so the sweep measures the steady state the
+    // cache is built for (the misses are still counted and reported).
+    {
+        let hist = LatencyHistogram::new();
+        drive_client(&addr, 3, 0, &hist);
+    }
+
+    let mut rows = Vec::new();
+    for &clients in &CLIENT_COUNTS {
+        let hist = Arc::new(LatencyHistogram::new());
+        let started = Instant::now();
+        let threads: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                let hist = Arc::clone(&hist);
+                std::thread::spawn(move || drive_client(&addr, QUERIES_PER_CLIENT, c * 1000, &hist))
+            })
+            .collect();
+        let (mut ok, mut shed) = (0u64, 0u64);
+        for t in threads {
+            let (o, s) = t.join().expect("client thread");
+            ok += o;
+            shed += s;
+        }
+        let wall = started.elapsed();
+        let snap = hist.snapshot();
+        rows.push(SweepRow {
+            clients,
+            queries: ok,
+            shed,
+            qps: ok as f64 / wall.as_secs_f64(),
+            p50_us: snap.percentile_nanos(0.50).unwrap_or(0) as f64 / 1e3,
+            p99_us: snap.percentile_nanos(0.99).unwrap_or(0) as f64 / 1e3,
+        });
+        println!(
+            "serve_throughput: {clients} client(s) -> {:.0} qps, p50 {:.0}us, p99 {:.0}us",
+            rows.last().unwrap().qps,
+            rows.last().unwrap().p50_us,
+            rows.last().unwrap().p99_us
+        );
+    }
+
+    let engine = handle.join();
+    let snap = engine.metrics.snapshot();
+    (rows, snap.plan_cache_hits, snap.plan_cache_misses, snap.plan_cache_invalidations)
+}
+
+/// Cached vs uncached plan-resolution latency, in-process (no socket or
+/// execution noise — `Engine::resolve` is exactly the pre-execution path of
+/// `run_query`): the cached engine serves every probe from one warmed
+/// entry, paying canonicalize + probe + rebind; the uncached engine has a
+/// capacity-1 cache fed two alternating templates, so every probe misses
+/// and pays the full parse + optimize pipeline. The query is a compose, so
+/// join enumeration makes the planning cost visible. Medians are exact
+/// (sorted raw samples), not histogram-bucket boundaries.
+fn cached_vs_uncached() -> (f64, f64) {
+    let cfg = SessionConfig::new(range());
+    let q = |t: i64| format!("(select (> close {t}.0) (compose (base IBM) (base HP)))");
+    let alt = |t: i64| format!("(select (< close {t}.0) (compose (base IBM) (base DEC)))");
+
+    let exact_p50_us = |mut nanos: Vec<u64>| -> f64 {
+        nanos.sort_unstable();
+        nanos[nanos.len() / 2] as f64 / 1e3
+    };
+
+    let cached_engine = Engine::new(table1_catalog(SCALE, 42, 64), 64);
+    cached_engine.resolve(&q(89), &cfg).expect("warm");
+    let mut cached = Vec::with_capacity(LATENCY_SAMPLES);
+    for i in 0..LATENCY_SAMPLES as i64 {
+        let text = q(90 + (i % 25));
+        let start = Instant::now();
+        let (_, hit) = cached_engine.resolve(&text, &cfg).expect("cached resolve");
+        cached.push(start.elapsed().as_nanos() as u64);
+        assert!(hit, "warmed template must hit");
+    }
+
+    let uncached_engine = Engine::new(table1_catalog(SCALE, 42, 64), 1);
+    let mut uncached = Vec::with_capacity(LATENCY_SAMPLES);
+    for i in 0..LATENCY_SAMPLES as i64 {
+        // Alternate two templates through a capacity-1 cache: every probe
+        // evicts the other's entry, so every probe is a genuine miss.
+        let text = if i % 2 == 0 { q(90 + (i % 25)) } else { alt(90 + (i % 25)) };
+        let start = Instant::now();
+        let (_, hit) = uncached_engine.resolve(&text, &cfg).expect("uncached resolve");
+        uncached.push(start.elapsed().as_nanos() as u64);
+        assert!(!hit, "capacity-1 alternation must miss");
+    }
+
+    (exact_p50_us(cached), exact_p50_us(uncached))
+}
+
+/// Saturate a workers=1/queue=1 server so admissions shed, and return the
+/// (submitted, completed, shed) accounting.
+fn load_shed() -> (u64, u64, u64) {
+    let engine = Engine::new(table1_catalog(1, 42, 64), 8);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 1,
+        cache_capacity: 8,
+        range: Span::new(1, 750),
+    };
+    let handle = serve(engine, &config).expect("bind");
+    let addr = handle.addr().to_string();
+
+    let blocker = std::thread::spawn({
+        let addr = addr.clone();
+        move || Client::connect(&addr).unwrap().send("\\sleep 600")
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    let filler = std::thread::spawn({
+        let addr = addr.clone();
+        move || Client::connect(&addr).unwrap().send("\\sleep 1")
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    let mut flood = Client::connect(&addr).unwrap();
+    let mut shed_seen = 0u64;
+    for _ in 0..8 {
+        if flood.send("(base HP)").expect("flood").is_err_code("busy") {
+            shed_seen += 1;
+        }
+    }
+    blocker.join().unwrap().expect("blocker");
+    filler.join().unwrap().expect("filler");
+    drop(flood);
+    let totals = handle.admission().totals();
+    handle.join();
+    assert!(shed_seen > 0, "saturated queue must shed at least one admission");
+    assert_eq!(totals.0, totals.1 + totals.2, "admission accounting must balance");
+    (totals.0, totals.1, totals.2)
+}
+
+fn bench(c: &mut Criterion) {
+    // Criterion smoke numbers for the two plan-resolution paths.
+    let cfg = SessionConfig::new(range());
+    let warm = Engine::new(table1_catalog(SCALE, 42, 64), 64);
+    warm.run_query("(select (> close 95.0) (base HP))", &cfg).expect("warm");
+    let cold = Engine::new(table1_catalog(SCALE, 42, 64), 1);
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    let mut i = 0i64;
+    group.bench_function("plan_cached", |b| {
+        b.iter(|| {
+            i += 1;
+            let q = format!("(select (> close {}.0) (base HP))", 90 + (i % 20));
+            black_box(warm.run_query(&q, &cfg).expect("query").rows.len())
+        })
+    });
+    group.bench_function("plan_uncached", |b| {
+        b.iter(|| {
+            i += 1;
+            // Alternate shapes through the capacity-1 cache: all misses.
+            let q = if i % 2 == 0 {
+                format!("(select (> close {}.0) (base HP))", 90 + (i % 20))
+            } else {
+                format!("(select (< close {}.0) (base IBM))", 110 + (i % 20))
+            };
+            black_box(cold.run_query(&q, &cfg).expect("query").rows.len())
+        })
+    });
+    group.finish();
+
+    let (rows, hits, misses, invalidations) = sweep();
+    let hit_rate = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
+    assert!(
+        hit_rate >= MIN_HIT_RATE,
+        "repeated templates must hit >= {MIN_HIT_RATE}: got {hit_rate:.3} ({hits}/{misses})"
+    );
+    let (cached_p50_us, uncached_p50_us) = cached_vs_uncached();
+    assert!(
+        cached_p50_us < uncached_p50_us,
+        "cached plan resolution must be faster: cached {cached_p50_us:.1}us vs \
+         uncached {uncached_p50_us:.1}us"
+    );
+    println!(
+        "serve_throughput: hit rate {hit_rate:.3}, cached p50 {cached_p50_us:.0}us vs \
+         uncached {uncached_p50_us:.0}us"
+    );
+    let (submitted, completed, shed) = load_shed();
+
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut client_rows = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        client_rows.push_str(&format!(
+            "{}    {{\"clients\": {}, \"queries\": {}, \"shed\": {}, \"qps\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+            if i > 0 { ",\n" } else { "" },
+            r.clients,
+            r.queries,
+            r.shed,
+            r.qps,
+            r.p50_us,
+            r.p99_us
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve_throughput\",\n  \"serve_version\": 1,\n  \
+         \"host_cores\": {host_cores},\n  \"workers\": 2,\n  \"queue_depth\": 64,\n  \
+         \"scale\": {SCALE},\n  \"queries_per_client\": {QUERIES_PER_CLIENT},\n  \
+         \"clients\": [\n{client_rows}\n  ],\n  \
+         \"plan_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \
+         \"invalidations\": {invalidations}, \"hit_rate\": {hit_rate:.9}}},\n  \
+         \"latency\": {{\"cached_p50_us\": {cached_p50_us:.1}, \
+         \"uncached_p50_us\": {uncached_p50_us:.1}}},\n  \
+         \"load_shed\": {{\"submitted\": {submitted}, \"completed\": {completed}, \
+         \"shed\": {shed}}},\n  \
+         \"note\": \"single-core hosts time-slice the client sweep; the headline numbers \
+         are the plan-cache hit rate and the cached vs uncached plan-resolution p50\"\n}}\n"
+    );
+    check_document(&json).expect("BENCH_serve.json must validate");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

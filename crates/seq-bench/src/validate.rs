@@ -9,7 +9,12 @@
 //!   `metrics_version: 1` ([`check_metrics`]);
 //! - **Chrome traces** — `SessionMetrics::trace_to_chrome_json` output, a
 //!   `traceEvents` array of complete (`"ph": "X"`) events
-//!   ([`check_trace`]).
+//!   ([`check_trace`]);
+//! - **serve benchmarks** — the `serve_throughput` artifact
+//!   (`BENCH_serve.json`, `serve_version: 1`): per-client-count QPS and
+//!   latency rows, plan-cache counters with a consistent hit rate, the
+//!   cached-vs-uncached latency comparison, and the load-shed accounting
+//!   ([`check_serve`]).
 //!
 //! The `profile_check` binary is a thin CLI over [`check_document`]; the
 //! checks live here so integration tests can validate in-process exports
@@ -25,9 +30,87 @@ pub fn check_document(text: &str) -> Result<String, String> {
         check_trace(&doc)
     } else if doc.get("metrics_version").is_some() {
         check_metrics(&doc)
+    } else if doc.get("serve_version").is_some() {
+        check_serve(&doc)
     } else {
         check_profile(&doc)
     }
+}
+
+/// Validate a `serve_throughput` benchmark artifact (`serve_version: 1`):
+/// the per-client-count sweep, plan-cache counters (hit rate must equal
+/// hits / (hits + misses)), the cached-vs-uncached latency pair, and the
+/// load-shed accounting (`submitted == completed + shed`).
+pub fn check_serve(doc: &Json) -> Result<String, String> {
+    if doc.get("serve_version").and_then(Json::as_f64) != Some(1.0) {
+        return Err("missing or unexpected serve_version".into());
+    }
+    for key in ["host_cores", "workers", "queue_depth"] {
+        if doc.get(key).and_then(Json::as_f64).is_none() {
+            return Err(format!("missing numeric {key:?}"));
+        }
+    }
+    let clients = doc.get("clients").and_then(Json::as_array).ok_or("missing clients array")?;
+    if clients.is_empty() {
+        return Err("empty clients array".into());
+    }
+    for (i, row) in clients.iter().enumerate() {
+        for key in ["clients", "queries", "shed", "qps", "p50_us", "p99_us"] {
+            match row.get(key).and_then(Json::as_f64) {
+                Some(n) if n >= 0.0 => {}
+                _ => return Err(format!("clients row {i} missing non-negative {key:?}")),
+            }
+        }
+        let (p50, p99) = (
+            row.get("p50_us").and_then(Json::as_f64).unwrap_or(0.0),
+            row.get("p99_us").and_then(Json::as_f64).unwrap_or(0.0),
+        );
+        if p99 < p50 {
+            return Err(format!("clients row {i}: p99 {p99} below p50 {p50}"));
+        }
+    }
+    let cache = doc.get("plan_cache").ok_or("missing plan_cache")?;
+    let mut counts = [0.0; 3];
+    for (slot, key) in counts.iter_mut().zip(["hits", "misses", "invalidations"]) {
+        match cache.get(key).and_then(Json::as_f64) {
+            Some(n) if n >= 0.0 => *slot = n,
+            _ => return Err(format!("plan_cache missing non-negative {key:?}")),
+        }
+    }
+    let hit_rate = cache.get("hit_rate").and_then(Json::as_f64).ok_or("missing hit_rate")?;
+    let expected = match counts[0] + counts[1] {
+        t if t > 0.0 => counts[0] / t,
+        _ => 0.0,
+    };
+    if (hit_rate - expected).abs() > 1e-6 {
+        return Err(format!("hit_rate {hit_rate} inconsistent with hits/misses ({expected})"));
+    }
+    let latency = doc.get("latency").ok_or("missing latency comparison")?;
+    for key in ["cached_p50_us", "uncached_p50_us"] {
+        match latency.get(key).and_then(Json::as_f64) {
+            Some(n) if n >= 0.0 => {}
+            _ => return Err(format!("latency missing non-negative {key:?}")),
+        }
+    }
+    let shed = doc.get("load_shed").ok_or("missing load_shed")?;
+    let mut totals = [0.0; 3];
+    for (slot, key) in totals.iter_mut().zip(["submitted", "completed", "shed"]) {
+        match shed.get(key).and_then(Json::as_f64) {
+            Some(n) if n >= 0.0 => *slot = n,
+            _ => return Err(format!("load_shed missing non-negative {key:?}")),
+        }
+    }
+    if totals[0] != totals[1] + totals[2] {
+        return Err(format!(
+            "load_shed submitted {} != completed {} + shed {}",
+            totals[0], totals[1], totals[2]
+        ));
+    }
+    Ok(format!(
+        "serve: {} client configs, hit_rate {hit_rate:.3}, {} shed",
+        clients.len(),
+        totals[2]
+    ))
 }
 
 /// Validate a `QueryProfile` export or an EXPLAIN ANALYZE report embedding
@@ -150,7 +233,7 @@ pub fn check_profile(doc: &Json) -> Result<String, String> {
 const HISTOGRAM_NAMES: [&str; 4] = ["parse", "optimize", "execute", "morsel"];
 
 /// The counter keys a metrics snapshot must carry.
-const COUNTER_KEYS: [&str; 13] = [
+const COUNTER_KEYS: [&str; 16] = [
     "queries",
     "queries_failed",
     "rows_out",
@@ -164,6 +247,9 @@ const COUNTER_KEYS: [&str; 13] = [
     "cache_probes",
     "cache_stores",
     "morsels",
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "plan_cache_invalidations",
 ];
 
 /// Validate a `SessionMetrics` snapshot export (`metrics_version: 1`):
@@ -341,6 +427,32 @@ mod tests {
     }
 
     #[test]
+    fn serve_checker_enforces_consistency() {
+        let doc = |hit_rate: &str, shed: &str| {
+            format!(
+                r#"{{"benchmark": "serve_throughput", "serve_version": 1,
+                    "host_cores": 1, "workers": 2, "queue_depth": 4,
+                    "clients": [
+                        {{"clients": 1, "queries": 100, "shed": 0, "qps": 5000.0,
+                          "p50_us": 120.0, "p99_us": 400.0}},
+                        {{"clients": 4, "queries": 350, "shed": 0, "qps": 9000.0,
+                          "p50_us": 300.0, "p99_us": 900.0}}
+                    ],
+                    "plan_cache": {{"hits": 90, "misses": 10, "invalidations": 2,
+                                    "hit_rate": {hit_rate}}},
+                    "latency": {{"cached_p50_us": 100.0, "uncached_p50_us": 350.0}},
+                    "load_shed": {shed}}}"#
+            )
+        };
+        let good = doc("0.9", r#"{"submitted": 10, "completed": 7, "shed": 3}"#);
+        assert!(check_document(&good).is_ok(), "{:?}", check_document(&good));
+        let bad_rate = doc("0.5", r#"{"submitted": 10, "completed": 7, "shed": 3}"#);
+        assert!(check_document(&bad_rate).unwrap_err().contains("hit_rate"));
+        let bad_shed = doc("0.9", r#"{"submitted": 10, "completed": 7, "shed": 1}"#);
+        assert!(check_document(&bad_shed).unwrap_err().contains("load_shed"));
+    }
+
+    #[test]
     fn metrics_checker_rejects_inconsistencies() {
         let doc = |paths: &str, p50: &str| {
             format!(
@@ -349,7 +461,9 @@ mod tests {
                     "counters": {{"queries": 1, "queries_failed": 0, "rows_out": 5,
                         "page_reads": 0, "page_hits": 0, "pages_skipped": 0, "probes": 0,
                         "stream_records": 0, "bytes_decoded": 0, "predicate_evals": 0,
-                        "cache_probes": 0, "cache_stores": 0, "morsels": 0}},
+                        "cache_probes": 0, "cache_stores": 0, "morsels": 0,
+                        "plan_cache_hits": 0, "plan_cache_misses": 0,
+                        "plan_cache_invalidations": 0}},
                     "paths": {paths},
                     "histograms": [
                         {{"name": "parse", "count": 0, "p50_us": null, "p90_us": null,

@@ -378,6 +378,9 @@ pub struct SessionMetrics {
     cache_probes: AtomicU64,
     cache_stores: AtomicU64,
     morsels: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    plan_cache_invalidations: AtomicU64,
     /// Measurement-window marker: how many times the registry was reset…
     resets: AtomicU64,
     /// …and when the current window started (unix milliseconds).
@@ -426,6 +429,9 @@ impl SessionMetrics {
             cache_probes: AtomicU64::new(0),
             cache_stores: AtomicU64::new(0),
             morsels: AtomicU64::new(0),
+            plan_cache_hits: AtomicU64::new(0),
+            plan_cache_misses: AtomicU64::new(0),
+            plan_cache_invalidations: AtomicU64::new(0),
             resets: AtomicU64::new(0),
             window_started_unix_ms: AtomicU64::new(unix_ms()),
             parse_latency: LatencyHistogram::new(),
@@ -544,6 +550,25 @@ impl SessionMetrics {
         );
     }
 
+    /// Tally one normalized-plan-cache lookup: a hit skipped parse+optimize
+    /// for the query, a miss paid the full pipeline. Recorded by servers
+    /// (`seq-serve`) that front the optimizer with a template cache.
+    pub fn record_plan_cache_lookup(&self, hit: bool) {
+        if hit {
+            self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Tally plan-cache entries dropped because their catalog epoch or
+    /// statistics revision went stale.
+    pub fn record_plan_cache_invalidations(&self, n: u64) {
+        if n > 0 {
+            self.plan_cache_invalidations.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Record one morsel's worker-side latency (parallel path). Workers call
     /// this concurrently; the histogram buckets are shared atomics, so the
     /// per-worker recordings fold into the session slot exactly.
@@ -585,6 +610,9 @@ impl SessionMetrics {
             cache_probes: self.cache_probes.load(Ordering::Relaxed),
             cache_stores: self.cache_stores.load(Ordering::Relaxed),
             morsels: self.morsels.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            plan_cache_invalidations: self.plan_cache_invalidations.load(Ordering::Relaxed),
             resets: self.resets.load(Ordering::Relaxed),
             window_started_unix_ms: self.window_started_unix_ms.load(Ordering::Relaxed),
             parse: self.parse_latency.snapshot(),
@@ -618,6 +646,9 @@ impl SessionMetrics {
         self.cache_probes.store(0, Ordering::Relaxed);
         self.cache_stores.store(0, Ordering::Relaxed);
         self.morsels.store(0, Ordering::Relaxed);
+        self.plan_cache_hits.store(0, Ordering::Relaxed);
+        self.plan_cache_misses.store(0, Ordering::Relaxed);
+        self.plan_cache_invalidations.store(0, Ordering::Relaxed);
         self.parse_latency.reset();
         self.optimize_latency.reset();
         self.execute_latency.reset();
@@ -701,6 +732,9 @@ impl SessionMetrics {
             ("cache_probes", snap.cache_probes),
             ("cache_stores", snap.cache_stores),
             ("morsels", snap.morsels),
+            ("plan_cache_hits", snap.plan_cache_hits),
+            ("plan_cache_misses", snap.plan_cache_misses),
+            ("plan_cache_invalidations", snap.plan_cache_invalidations),
         ]
         .iter()
         .enumerate()
@@ -825,6 +859,12 @@ pub struct MetricsSnapshot {
     pub cache_stores: u64,
     /// Morsels run by parallel workers.
     pub morsels: u64,
+    /// Normalized-plan-cache hits (parse+optimize skipped).
+    pub plan_cache_hits: u64,
+    /// Normalized-plan-cache misses (full pipeline paid).
+    pub plan_cache_misses: u64,
+    /// Plan-cache entries dropped for a stale epoch or statistics revision.
+    pub plan_cache_invalidations: u64,
     /// Measurement-window resets so far.
     pub resets: u64,
     /// Unix milliseconds at which the current window started.

@@ -1,0 +1,187 @@
+//! Query normalization for the plan cache.
+//!
+//! Two queries that differ only in comparison literals — `(select (> v 10)
+//! ...)` vs `(select (> v 250) ...)` — optimize to the same plan *shape*:
+//! the same operator tree, modes, and join order, differing only in the
+//! `Expr::Lit` payloads (and the fused-scan terms derived from them). The
+//! canonicalizer turns query text into a `(template, params)` pair at the
+//! *token* level, before any parsing: literals in expression positions are
+//! replaced by `?` markers and collected in source order, and whitespace is
+//! normalized away, so shape-identical queries share one template string.
+//!
+//! Only literals under an expression-operator head (`>`, `and`, `+`, ...)
+//! are parameterized. Structural integers — window widths in `(trailing 8)`,
+//! offsets, projection indices, `const` payloads — change the plan shape
+//! itself (spans, schemas, operator variants) and must stay in the template.
+
+use seq_core::{Result, SeqError, Value};
+use seq_lang::lexer::{tokenize, TokenKind};
+
+/// A canonicalized query: the shape template plus the extracted literals in
+/// source order. The template doubles as the plan-cache key component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonQuery {
+    /// The query text with expression literals replaced by `?` and
+    /// whitespace normalized.
+    pub template: String,
+    /// The literals removed from the template, in source order.
+    pub params: Vec<Value>,
+}
+
+/// Heads whose immediate literal arguments are rebindable `Expr::Lit` sites.
+/// Mirrors the parser's expression grammar (`seq-lang`): comparison,
+/// boolean, and arithmetic operators.
+fn is_expr_head(sym: &str) -> bool {
+    matches!(
+        sym,
+        ">" | ">=" | "<" | "<=" | "=" | "!=" | "and" | "or" | "not" | "+" | "-" | "*" | "/"
+    )
+}
+
+/// Canonicalize query text into a shape template and its literal parameters.
+///
+/// Tokenizes (sharing the parser's lexer, so anything that lexes here parses
+/// identically later), then walks the token stream with a stack of
+/// "is the enclosing list an expression?" flags. Literal tokens directly
+/// inside an expression list become `?` parameters; everything else is
+/// rendered verbatim into the template.
+pub fn canonicalize(text: &str) -> Result<CanonQuery> {
+    let tokens = tokenize(text)?;
+    if tokens.is_empty() {
+        return Err(SeqError::InvalidGraph("empty query".into()));
+    }
+    let mut template = String::with_capacity(text.len());
+    let mut params = Vec::new();
+    // One frame per open `(`/`[`: whether its head symbol is an expression
+    // operator. `[` lists hold structural window bounds, never literals to
+    // parameterize.
+    let mut frames: Vec<bool> = Vec::new();
+    // Set right after `(`: the next symbol is the list head.
+    let mut awaiting_head = false;
+
+    for tok in &tokens {
+        let in_expr = frames.last().copied().unwrap_or(false);
+        match &tok.kind {
+            TokenKind::LParen => {
+                push_sep(&mut template, "(");
+                frames.push(false); // updated when the head symbol arrives
+                awaiting_head = true;
+                continue;
+            }
+            TokenKind::RParen => {
+                frames.pop();
+                template.push(')');
+            }
+            TokenKind::LBracket => {
+                push_sep(&mut template, "[");
+                frames.push(false);
+            }
+            TokenKind::RBracket => {
+                frames.pop();
+                template.push(']');
+            }
+            TokenKind::Symbol(s) => {
+                if awaiting_head {
+                    if let Some(top) = frames.last_mut() {
+                        *top = is_expr_head(s);
+                    }
+                }
+                push_sep(&mut template, s);
+            }
+            TokenKind::Int(i) => {
+                if in_expr {
+                    params.push(Value::Int(*i));
+                    push_sep(&mut template, "?");
+                } else {
+                    push_sep(&mut template, &i.to_string());
+                }
+            }
+            TokenKind::Float(x) => {
+                if in_expr {
+                    params.push(Value::Float(*x));
+                    push_sep(&mut template, "?");
+                } else {
+                    // Canonical float rendering (`{:?}` keeps a decimal
+                    // point, so re-lexing yields a float again).
+                    push_sep(&mut template, &format!("{x:?}"));
+                }
+            }
+            TokenKind::Str(s) => {
+                if in_expr {
+                    params.push(Value::str(s));
+                    push_sep(&mut template, "?");
+                } else {
+                    push_sep(&mut template, &format!("{s:?}"));
+                }
+            }
+        }
+        awaiting_head = false;
+    }
+    Ok(CanonQuery { template, params })
+}
+
+/// Append `piece` with a single separating space unless we are at the start
+/// of the template or right after an opening delimiter.
+fn push_sep(template: &mut String, piece: &str) {
+    if !(template.is_empty() || template.ends_with('(') || template.ends_with('[')) {
+        template.push(' ');
+    }
+    template.push_str(piece);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_in_predicates_are_parameterized() {
+        let a = canonicalize("(select (> close 7.5) (base IBM))").unwrap();
+        let b = canonicalize("(select   (> close 99.25) (base IBM))").unwrap();
+        assert_eq!(a.template, b.template, "shape-identical queries share a template");
+        assert_eq!(a.template, "(select (> close ?) (base IBM))");
+        assert!(matches!(a.params.as_slice(), [Value::Float(x)] if *x == 7.5));
+        assert!(matches!(b.params.as_slice(), [Value::Float(x)] if *x == 99.25));
+    }
+
+    #[test]
+    fn structural_integers_stay_in_the_template() {
+        let a = canonicalize("(agg avg close (trailing 8) (base IBM))").unwrap();
+        let b = canonicalize("(agg avg close (trailing 16) (base IBM))").unwrap();
+        assert_ne!(a.template, b.template, "window width is plan shape, not a parameter");
+        assert!(a.params.is_empty());
+        assert!(b.params.is_empty());
+    }
+
+    #[test]
+    fn nested_expressions_collect_params_in_source_order() {
+        let q = canonicalize("(select (and (> close 5) (< volume 100)) (base IBM))").unwrap();
+        assert_eq!(q.template, "(select (and (> close ?) (< volume ?)) (base IBM))");
+        assert!(
+            matches!(q.params.as_slice(), [Value::Int(5), Value::Int(100)]),
+            "params in source order, got {:?}",
+            q.params
+        );
+    }
+
+    #[test]
+    fn arithmetic_literals_are_parameterized() {
+        let q = canonicalize("(select (> (+ close 1) 7) (base IBM))").unwrap();
+        assert_eq!(q.template, "(select (> (+ close ?) ?) (base IBM))");
+        assert_eq!(q.params.len(), 2);
+    }
+
+    #[test]
+    fn string_literals_parameterize_in_expressions_only() {
+        let q = canonicalize("(select (= city \"Tucson\") (base Weather))").unwrap();
+        assert_eq!(q.template, "(select (= city ?) (base Weather))");
+        assert!(matches!(&q.params[..], [Value::Str(s)] if &**s == "Tucson"));
+    }
+
+    #[test]
+    fn template_normalizes_whitespace_and_comments() {
+        let a = canonicalize("(base IBM) ; trailing comment").unwrap();
+        let b = canonicalize("  (  base   IBM )  ").unwrap();
+        assert_eq!(a.template, b.template);
+        assert_eq!(a.template, "(base IBM)");
+    }
+}

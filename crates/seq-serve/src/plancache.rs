@@ -1,0 +1,315 @@
+//! The normalized plan cache.
+//!
+//! Keyed on the canonical template ([`crate::canon`]) plus everything else
+//! that feeds the optimizer — position range, parallelism, pushdown, and
+//! whether feedback statistics price the plan — so a hit is a plan that the
+//! optimizer *would* have produced for this session configuration, up to
+//! literal values. Entries are stamped with the catalog epoch and the
+//! shared-statistics revision they were planned against; a lookup that
+//! finds a stale stamp removes the entry and counts an invalidation, so
+//! publishes and feedback changes invalidate cached plans without any
+//! broadcast machinery.
+//!
+//! ## Literal rebinding
+//!
+//! A hit must serve the *new* literals, so the cached plan's `Expr::Lit`
+//! sites (and the fused-scan pushdown terms derived from them) are rewritten
+//! by value: at insert the first-seen parameters are recorded, and at hit
+//! every plan literal equal to parameter `i`'s old value is replaced by the
+//! new value of parameter `i`. That mapping is only well-defined when the
+//! first-seen parameters are pairwise distinct and every literal in the plan
+//! traces back to a parameter; inserts verify both, and entries that fail
+//! the check degrade to *exact-only* (they still hit, but only for
+//! literal-identical queries). Cost estimates are the first-seen ones —
+//! standard parametric-plan-cache behavior: the shape is reused even where
+//! re-optimizing with the new literals might have priced differently.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use seq_core::{Span, Value};
+use seq_exec::PhysNode;
+use seq_ops::Expr;
+use seq_opt::Optimized;
+
+/// Everything besides literal values that determines what the optimizer
+/// produces for a query text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical query template (literals parameterized out).
+    pub template: String,
+    /// The Start operator's position range, `(lo, hi)`.
+    pub range: (i64, i64),
+    /// Worker threads the plan was lowered for.
+    pub parallelism: usize,
+    /// Whether selection pushdown was enabled.
+    pub pushdown: bool,
+    /// Whether feedback statistics were eligible to price the plan. (The
+    /// statistics *revision* is stamped on the entry, not the key: a
+    /// revision change invalidates rather than forks.)
+    pub feedback: bool,
+}
+
+struct Entry {
+    /// Catalog epoch the plan was optimized against.
+    epoch: u64,
+    /// Shared-statistics revision the plan was priced with.
+    stats_rev: u64,
+    /// First-seen literal parameters, in canonical (source) order.
+    params: Vec<Value>,
+    /// The cached plan, as optimized for `params`.
+    plan: Arc<Optimized>,
+    /// Rebinding self-check failed: serve only literal-identical queries.
+    exact_only: bool,
+    /// LRU tick of the last hit or insert.
+    last_used: u64,
+}
+
+/// Outcome of a cache probe.
+pub enum Lookup {
+    /// A valid entry served this query; the plan is rebound to the probe's
+    /// literals and ready to execute.
+    Hit(Arc<Optimized>),
+    /// No usable entry; caller should parse + optimize and [`PlanCache::insert`].
+    Miss,
+}
+
+/// A bounded, LRU-evicting map from normalized query shape to optimized
+/// plan, shared by every server session.
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    /// Stale entries removed by lookups since construction (monotone).
+    invalidations: std::sync::atomic::AtomicU64,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (LRU eviction).
+    pub fn new(capacity: usize) -> PlanCache {
+        assert!(capacity > 0, "plan cache capacity must be positive");
+        PlanCache {
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+            capacity,
+            invalidations: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Probe for a plan for `key` with the given literals, valid at
+    /// (`epoch`, `stats_rev`). A stale entry is removed and counted as an
+    /// invalidation (the probe then misses).
+    pub fn lookup(&self, key: &CacheKey, params: &[Value], epoch: u64, stats_rev: u64) -> Lookup {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let Some(entry) = inner.map.get_mut(key) else { return Lookup::Miss };
+        if entry.epoch != epoch || entry.stats_rev != stats_rev {
+            inner.map.remove(key);
+            self.invalidations.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Lookup::Miss;
+        }
+        if entry.params.len() != params.len() {
+            // Same template implies same arity; defensive against drift.
+            return Lookup::Miss;
+        }
+        let identical = entry.params.iter().zip(params).all(|(old, new)| lit_eq(old, new));
+        if identical {
+            entry.last_used = tick;
+            return Lookup::Hit(Arc::clone(&entry.plan));
+        }
+        if entry.exact_only {
+            return Lookup::Miss;
+        }
+        entry.last_used = tick;
+        let mut rebound: Optimized = (*entry.plan).clone();
+        rebind_node(&mut rebound.plan.root, &entry.params, params);
+        Lookup::Hit(Arc::new(rebound))
+    }
+
+    /// Record a freshly optimized plan for `key`. Runs the rebinding
+    /// self-check and evicts the least-recently-used entry at capacity.
+    pub fn insert(
+        &self,
+        key: CacheKey,
+        params: Vec<Value>,
+        plan: Arc<Optimized>,
+        epoch: u64,
+        stats_rev: u64,
+    ) {
+        let exact_only = !rebindable(&plan.plan.root, &params);
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(victim) =
+                inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner
+            .map
+            .insert(key, Entry { epoch, stats_rev, params, plan, exact_only, last_used: tick });
+    }
+
+    /// Stale entries removed by lookups so far.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Exact literal identity: same type, same bits. Floats compare by
+/// `to_bits` (so `0.0` and `-0.0` are distinct, NaN payloads matter) —
+/// rebinding must never conflate values the executor could distinguish.
+pub fn lit_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Str(x), Value::Str(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Insert-time self-check: the old-value → new-value substitution is
+/// well-defined iff the parameters are pairwise distinct and every literal
+/// the plan actually carries matches one of them (a literal matching no
+/// parameter was synthesized by the optimizer, and its dependence on the
+/// parameters is unknown).
+fn rebindable(root: &PhysNode, params: &[Value]) -> bool {
+    for (i, a) in params.iter().enumerate() {
+        if params[i + 1..].iter().any(|b| lit_eq(a, b)) {
+            return false;
+        }
+    }
+    let mut ok = true;
+    visit_literals(root, &mut |v| {
+        if !params.iter().any(|p| lit_eq(p, v)) {
+            ok = false;
+        }
+    });
+    ok
+}
+
+/// Replace every rebindable literal equal to `old[i]` with `new[i]`.
+fn rebind_node(node: &mut PhysNode, old: &[Value], new: &[Value]) {
+    let swap = |v: &mut Value| {
+        if let Some(i) = old.iter().position(|o| lit_eq(o, v)) {
+            *v = new[i].clone();
+        }
+    };
+    match node {
+        PhysNode::Base { .. } | PhysNode::Constant { .. } => {}
+        PhysNode::FusedScan { predicate, terms, .. } => {
+            rebind_expr(predicate, old, new);
+            for (_, _, v) in terms {
+                swap(v);
+            }
+        }
+        PhysNode::Select { input, predicate, .. } => {
+            rebind_expr(predicate, old, new);
+            rebind_node(input, old, new);
+        }
+        PhysNode::Project { input, .. }
+        | PhysNode::PosOffset { input, .. }
+        | PhysNode::ValueOffset { input, .. }
+        | PhysNode::Aggregate { input, .. } => rebind_node(input, old, new),
+        PhysNode::Compose { left, right, predicate, .. } => {
+            if let Some(p) = predicate {
+                rebind_expr(p, old, new);
+            }
+            rebind_node(left, old, new);
+            rebind_node(right, old, new);
+        }
+    }
+}
+
+fn rebind_expr(expr: &mut Expr, old: &[Value], new: &[Value]) {
+    match expr {
+        Expr::Lit(v) => {
+            if let Some(i) = old.iter().position(|o| lit_eq(o, v)) {
+                *v = new[i].clone();
+            }
+        }
+        Expr::Bin(_, l, r) => {
+            rebind_expr(l, old, new);
+            rebind_expr(r, old, new);
+        }
+        Expr::Not(e) => rebind_expr(e, old, new),
+        Expr::Attr(_) | Expr::Col(_) => {}
+    }
+}
+
+/// Visit every rebindable literal site: `Expr::Lit` payloads in predicates
+/// and fused-scan pushdown terms. `Constant` records are *not* visited —
+/// the canonicalizer keeps `const` payloads in the template, so they are
+/// identical across all queries sharing the entry.
+fn visit_literals(node: &PhysNode, f: &mut impl FnMut(&Value)) {
+    match node {
+        PhysNode::Base { .. } | PhysNode::Constant { .. } => {}
+        PhysNode::FusedScan { predicate, terms, .. } => {
+            visit_expr_literals(predicate, f);
+            for (_, _, v) in terms {
+                f(v);
+            }
+        }
+        PhysNode::Select { input, predicate, .. } => {
+            visit_expr_literals(predicate, f);
+            visit_literals(input, f);
+        }
+        PhysNode::Project { input, .. }
+        | PhysNode::PosOffset { input, .. }
+        | PhysNode::ValueOffset { input, .. }
+        | PhysNode::Aggregate { input, .. } => visit_literals(input, f),
+        PhysNode::Compose { left, right, predicate, .. } => {
+            if let Some(p) = predicate {
+                visit_expr_literals(p, f);
+            }
+            visit_literals(left, f);
+            visit_literals(right, f);
+        }
+    }
+}
+
+fn visit_expr_literals(expr: &Expr, f: &mut impl FnMut(&Value)) {
+    match expr {
+        Expr::Lit(v) => f(v),
+        Expr::Bin(_, l, r) => {
+            visit_expr_literals(l, f);
+            visit_expr_literals(r, f);
+        }
+        Expr::Not(e) => visit_expr_literals(e, f),
+        Expr::Attr(_) | Expr::Col(_) => {}
+    }
+}
+
+/// Build a [`CacheKey`] from the session knobs that feed the optimizer.
+pub fn cache_key(
+    template: &str,
+    range: Span,
+    parallelism: usize,
+    pushdown: bool,
+    feedback: bool,
+) -> CacheKey {
+    CacheKey {
+        template: template.to_string(),
+        range: (range.start(), range.end()),
+        parallelism,
+        pushdown,
+        feedback,
+    }
+}

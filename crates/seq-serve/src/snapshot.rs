@@ -1,0 +1,233 @@
+//! Epoch-stamped catalog snapshots with wait-free reader acquisition.
+//!
+//! The server publishes the catalog behind a [`SharedCatalog`]: an atomic
+//! pointer to the current [`Snapshot`] plus a retention list that keeps
+//! every published snapshot alive until the `SharedCatalog` itself drops.
+//! Readers acquire the current snapshot with one atomic load and one
+//! reference-count increment — no lock, no wait — so a publish in progress
+//! can never block a query, and a query in progress can never block a
+//! publish (acceptance: readers never block on publish). Queries then run
+//! entirely against their acquired snapshot: immutable data, stable epoch.
+//!
+//! The retention list is the safety argument for the lock-free read path:
+//! because a strong count is parked in `retained` for every snapshot ever
+//! published, the raw pointer in `current` always points to a live
+//! allocation, which makes the reader's `increment_strong_count` sound even
+//! if a publish lands between its load and its increment. Snapshots are
+//! small (an `Arc<Catalog>` and an epoch), so retaining them for the life
+//! of the server is cheap; a production system would reclaim via epochs.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use seq_opt::{FeedbackStats, StatsOverlay};
+use seq_storage::Catalog;
+
+/// One immutable published version of the served catalog.
+pub struct Snapshot {
+    /// Monotone version stamp; bumped by every publish.
+    pub epoch: u64,
+    /// The catalog as of this epoch. Immutable once published.
+    pub catalog: Arc<Catalog>,
+}
+
+/// Atomic publication point for catalog snapshots (a hand-rolled arc-swap:
+/// the standard library has no lock-free `Arc` cell and this crate takes no
+/// dependencies).
+pub struct SharedCatalog {
+    /// Non-owning pointer to the current snapshot. The pointee's strong
+    /// count is owned by `retained`, never by this field.
+    current: AtomicPtr<Snapshot>,
+    /// Every snapshot ever published, in publish order. Holding one strong
+    /// count per snapshot here keeps `current`'s pointee alive for the
+    /// lock-free read path; only publishers lock it.
+    retained: Mutex<Vec<Arc<Snapshot>>>,
+    /// The epoch of the latest publish.
+    epoch: AtomicU64,
+}
+
+impl SharedCatalog {
+    /// Publish `catalog` as epoch 1.
+    pub fn new(catalog: Catalog) -> SharedCatalog {
+        let snap = Arc::new(Snapshot { epoch: 1, catalog: Arc::new(catalog) });
+        let ptr = Arc::as_ptr(&snap) as *mut Snapshot;
+        SharedCatalog {
+            current: AtomicPtr::new(ptr),
+            retained: Mutex::new(vec![snap]),
+            epoch: AtomicU64::new(1),
+        }
+    }
+
+    /// The epoch of the latest published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Acquire the current snapshot: one atomic load plus one strong-count
+    /// increment. Never locks, never waits on a publisher.
+    pub fn load(&self) -> Arc<Snapshot> {
+        let ptr = self.current.load(Ordering::Acquire);
+        // SAFETY: `ptr` came from `Arc::as_ptr` of a snapshot parked in
+        // `retained`, which holds a strong count for it until `self` drops;
+        // the allocation is therefore live, and incrementing its count then
+        // reconstituting an owning Arc is exactly the documented use of
+        // `increment_strong_count` + `from_raw`.
+        unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        }
+    }
+
+    /// Publish a new catalog version; returns its epoch. Readers switch to
+    /// it atomically; in-flight queries keep their old snapshot.
+    pub fn publish(&self, catalog: Catalog) -> u64 {
+        let mut retained = self.retained.lock().unwrap();
+        let epoch = self.epoch.load(Ordering::Relaxed) + 1;
+        let snap = Arc::new(Snapshot { epoch, catalog: Arc::new(catalog) });
+        let ptr = Arc::as_ptr(&snap) as *mut Snapshot;
+        retained.push(snap); // park the strong count before exposing the ptr
+        self.current.store(ptr, Ordering::Release);
+        self.epoch.store(epoch, Ordering::Release);
+        epoch
+    }
+
+    /// Hold the publisher lock without publishing — pins any concurrent
+    /// `publish` mid-flight. Test hook for the acceptance criterion that
+    /// readers never block on publication: with this guard held, `load`
+    /// must still complete.
+    pub fn hold_publish_lock(&self) -> MutexGuard<'_, Vec<Arc<Snapshot>>> {
+        self.retained.lock().unwrap()
+    }
+
+    /// Number of snapshots published so far (== retained, by construction).
+    pub fn published_count(&self) -> usize {
+        self.retained.lock().unwrap().len()
+    }
+}
+
+/// Cross-session measured statistics, server-side. `\analyze` runs fold
+/// their measured selectivities/densities into one shared overlay so every
+/// session prices later plans with them; the overlay is keyed to the
+/// catalog epoch and discarded when a publish advances it (stale
+/// measurements must not price plans over new data).
+#[derive(Debug)]
+pub struct SharedStats {
+    inner: Mutex<SharedStatsInner>,
+}
+
+#[derive(Debug)]
+struct SharedStatsInner {
+    /// Epoch the overlay's measurements were taken against.
+    epoch: u64,
+    /// Bumped on every absorb *and* every epoch-invalidation; part of the
+    /// plan-cache key material, so feedback changes invalidate cached plans
+    /// naturally (a plan priced with stale stats never serves a hit).
+    rev: u64,
+    overlay: StatsOverlay,
+}
+
+impl SharedStats {
+    /// An empty overlay bound to `epoch`.
+    pub fn new(epoch: u64) -> SharedStats {
+        SharedStats {
+            inner: Mutex::new(SharedStatsInner { epoch, rev: 0, overlay: StatsOverlay::new() }),
+        }
+    }
+
+    /// The current revision, for cache keys. Changes whenever the overlay's
+    /// contents could have changed.
+    pub fn rev(&self) -> u64 {
+        self.inner.lock().unwrap().rev
+    }
+
+    /// Run `f` over the overlay as of `epoch`. If the overlay was measured
+    /// against an older epoch it is cleared first (and the revision bumped)
+    /// — epoch advance invalidates cross-session statistics.
+    pub fn with_overlay<R>(&self, epoch: u64, f: impl FnOnce(&StatsOverlay) -> R) -> R {
+        let mut inner = self.inner.lock().unwrap();
+        inner.invalidate_if_stale(epoch);
+        f(&inner.overlay)
+    }
+
+    /// Fold measured feedback into the overlay on behalf of a session's
+    /// `\analyze` run at `epoch`. Returns the new revision.
+    pub fn absorb(&self, epoch: u64, measured: &[(String, FeedbackStats)]) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        inner.invalidate_if_stale(epoch);
+        for (name, fb) in measured {
+            inner.overlay.record(name.clone(), fb.clone());
+        }
+        if !measured.is_empty() {
+            inner.rev += 1;
+        }
+        inner.rev
+    }
+
+    /// Whether any measured statistics are currently held for `epoch`.
+    pub fn is_empty(&self, epoch: u64) -> bool {
+        self.with_overlay(epoch, |o| o.is_empty())
+    }
+
+    /// Sorted (name, stats) pairs for display, as of `epoch`.
+    pub fn describe(&self, epoch: u64) -> Vec<(String, FeedbackStats)> {
+        self.with_overlay(epoch, |o| {
+            o.iter_sorted().into_iter().map(|(n, fb)| (n.to_string(), fb.clone())).collect()
+        })
+    }
+}
+
+impl SharedStatsInner {
+    fn invalidate_if_stale(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            // Bump the revision only when measurements were actually
+            // discarded: an empty overlay is the same overlay at any epoch,
+            // and a spurious bump would invalidate every cached plan once
+            // per publish for nothing.
+            if !self.overlay.is_empty() {
+                self.overlay.clear();
+                self.rev += 1;
+            }
+            self.epoch = epoch;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_catalog() -> Catalog {
+        use seq_core::{record, schema, AttrType, BaseSequence};
+        let entries = (1..=16i64).map(|p| (p, record![p])).collect();
+        let base = BaseSequence::from_entries(schema(&[("v", AttrType::Int)]), entries).unwrap();
+        let mut cat = Catalog::new();
+        cat.register("S", &base);
+        cat
+    }
+
+    #[test]
+    fn load_returns_latest_and_inflight_readers_keep_their_snapshot() {
+        let shared = SharedCatalog::new(small_catalog());
+        let before = shared.load();
+        assert_eq!(before.epoch, 1);
+        let e2 = shared.publish(small_catalog());
+        assert_eq!(e2, 2);
+        assert_eq!(shared.load().epoch, 2);
+        // The pre-publish reader still sees its own epoch and live data.
+        assert_eq!(before.epoch, 1);
+        assert!(before.catalog.get("S").is_ok());
+        assert_eq!(shared.published_count(), 2);
+    }
+
+    #[test]
+    fn overlay_is_invalidated_by_epoch_advance() {
+        let stats = SharedStats::new(1);
+        let fb = FeedbackStats { observed_rows: 10, refreshes: 1, ..Default::default() };
+        let rev1 = stats.absorb(1, &[("S".into(), fb)]);
+        assert!(rev1 > 0);
+        assert!(!stats.is_empty(1));
+        // Epoch advance: overlay cleared, revision bumped.
+        assert!(stats.is_empty(2));
+        assert!(stats.rev() > rev1);
+    }
+}

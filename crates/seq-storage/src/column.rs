@@ -816,6 +816,55 @@ impl ColumnData {
         }
     }
 
+    /// The `[min, max]` value range of the column, derived from the encoded
+    /// representation (frame-of-reference bounds for zone maps):
+    ///
+    /// - **IntDelta** walks the packed zigzag deltas once with pure integer
+    ///   arithmetic — no `Value` allocation and no `total_cmp` per slot;
+    /// - **RLE** folds over the run representatives only (O(runs));
+    /// - **Dict** folds over the dictionary entries only (O(distinct));
+    /// - **Plain** falls back to a `total_cmp` scan over the values.
+    ///
+    /// Returns `None` for an empty column or when the values are not
+    /// totally ordered against each other (mixed types — only possible for
+    /// Plain, the sole encoding that admits them); such a column gets an
+    /// unbounded zone entry that never justifies a skip. The bounds are
+    /// exactly the ones a plain-value scan would produce: every encoding is
+    /// lossless, and RLE/Dict representatives cover every stored value.
+    pub fn value_bounds(&self) -> Option<(Value, Value)> {
+        fn fold<'v>(values: impl Iterator<Item = &'v Value>) -> Option<(Value, Value)> {
+            let mut best: Option<(&Value, &Value)> = None;
+            for v in values {
+                best = match best {
+                    None => Some((v, v)),
+                    Some((mn, mx)) => match (v.total_cmp(mn), v.total_cmp(mx)) {
+                        (Ok(lo), Ok(hi)) => Some((
+                            if lo == std::cmp::Ordering::Less { v } else { mn },
+                            if hi == std::cmp::Ordering::Greater { v } else { mx },
+                        )),
+                        _ => return None,
+                    },
+                };
+            }
+            best.map(|(mn, mx)| (mn.clone(), mx.clone()))
+        }
+        match self {
+            ColumnData::Plain(v) => fold(v.iter()),
+            ColumnData::IntDelta { first, width, packed } => {
+                let w = *width as usize;
+                let (mut x, mut mn, mut mx) = (*first, *first, *first);
+                for i in 0..packed.len() / w {
+                    x = x.wrapping_add(unzigzag(read_packed(packed, w, i)));
+                    mn = mn.min(x);
+                    mx = mx.max(x);
+                }
+                Some((Value::Int(mn), Value::Int(mx)))
+            }
+            ColumnData::Rle { values, .. } => fold(values.iter()),
+            ColumnData::Dict { dict, .. } => fold(dict.iter()),
+        }
+    }
+
     /// Approximate encoded footprint in bytes.
     pub fn byte_size(&self) -> usize {
         match self {

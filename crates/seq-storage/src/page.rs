@@ -13,8 +13,10 @@
 //! those arrays straight into `RecordBatch` columns, filter kernels evaluate
 //! predicates in place over runs and dictionary codes, and the
 //! tuple-at-a-time path rebuilds a row view per page via
-//! [`Page::decode_rows`]. Zone maps are computed once from the column arrays
-//! at build time, cloning only the final min/max per column.
+//! [`Page::decode_rows`]. Zone maps are derived once at build time from the
+//! *encoded* column arrays ([`ColumnData::value_bounds`]): frame-of-reference
+//! bounds from the delta walk, run representatives for RLE, dictionary
+//! entries for Dict — never a second pass over the plain values.
 
 use std::cmp::Ordering;
 use std::sync::Arc;
@@ -69,30 +71,18 @@ impl ZoneEntry {
     }
 }
 
-/// Zone entry of one column in a single pass over its (still plain) values,
-/// tracking min/max by index and cloning only the final two winners. Mixed
-/// incomparable types poison the entry to unbounded, exactly as the old
-/// row-wise fold did (INT and FLOAT stay comparable cross-type).
-fn build_zone(values: &[Value]) -> ZoneEntry {
-    let mut min = 0usize;
-    let mut max = 0usize;
-    if values.is_empty() {
-        return ZoneEntry::default();
+/// Zone entry of one column derived from its *encoded* array
+/// ([`ColumnData::value_bounds`]): delta columns yield frame-of-reference
+/// integer bounds from one zigzag walk, RLE/Dict columns fold over run
+/// representatives / dictionary entries only, and plain columns scan values
+/// with `total_cmp` exactly as the old pre-encoding fold did. Mixed
+/// incomparable types (plain only) poison the entry to unbounded; INT and
+/// FLOAT stay comparable cross-type.
+fn zone_of(column: &ColumnData) -> ZoneEntry {
+    match column.value_bounds() {
+        Some((min, max)) => ZoneEntry { min: Some(min), max: Some(max), null_count: 0 },
+        None => ZoneEntry::default(),
     }
-    for (i, v) in values.iter().enumerate().skip(1) {
-        match (v.total_cmp(&values[min]), v.total_cmp(&values[max])) {
-            (Ok(lo), Ok(hi)) => {
-                if lo == Ordering::Less {
-                    min = i;
-                }
-                if hi == Ordering::Greater {
-                    max = i;
-                }
-            }
-            _ => return ZoneEntry { min: None, max: None, null_count: 0 },
-        }
-    }
-    ZoneEntry { min: Some(values[min].clone()), max: Some(values[max].clone()), null_count: 0 }
 }
 
 /// One page of a stored sequence: encoded position and column arrays plus
@@ -104,7 +94,7 @@ pub struct Page {
     positions: PosData,
     /// One encoded array per record column.
     columns: Vec<ColumnData>,
-    /// Per-column zone map, computed once at build time from the plain
+    /// Per-column zone map, derived once at build time from the encoded
     /// column arrays. Like `first_pos`, this is header metadata: consulting
     /// it is not a page read.
     zones: Vec<ZoneEntry>,
@@ -129,8 +119,12 @@ impl Page {
         for col in 0..arity {
             let values: Vec<Value> = entries.iter().map(|(_, r)| r.values()[col].clone()).collect();
             plain_bytes += values.iter().map(value_bytes).sum::<usize>();
-            zones.push(build_zone(&values));
-            columns.push(ColumnData::encode(values));
+            // Encode first, then derive the zone entry from the encoded
+            // domain — run representatives and delta frames instead of a
+            // second full pass of `total_cmp` over the plain values.
+            let encoded = ColumnData::encode(values);
+            zones.push(zone_of(&encoded));
+            columns.push(encoded);
         }
         Page { id, positions: PosData::encode(positions), columns, zones, plain_bytes }
     }

@@ -1,0 +1,177 @@
+//! Differential suite for encoded-domain zone derivation.
+//!
+//! Zone-map entries are now derived from the *encoded* column arrays
+//! (`ColumnData::value_bounds`: frame-of-reference bounds from the delta
+//! walk, RLE run representatives, dictionary entries) instead of a second
+//! `total_cmp` pass over the plain values. The contract is bit-exactness:
+//!
+//! 1. for every column shape and every encoding the derived `[min, max]`
+//!    must equal the reference fold over the plain values (mixed-type
+//!    columns stay unbounded);
+//! 2. skip decisions — and therefore `page_reads + pages_skipped`
+//!    accounting — must be unchanged: a filtered scan still touches or
+//!    skips exactly the pages the plain-value zones would have.
+
+use std::cmp::Ordering;
+
+use seq_core::{record, schema, AttrType, BaseSequence, CmpOp, Record, Span, Value};
+use seq_storage::{Catalog, Page, ScanFilter, ZoneEntry};
+
+/// The pre-encoding reference: min/max by `total_cmp` over plain values,
+/// unbounded on any incomparable pair (exactly the old `build_zone`).
+fn reference_zone(values: &[Value]) -> ZoneEntry {
+    let mut min = 0usize;
+    let mut max = 0usize;
+    if values.is_empty() {
+        return ZoneEntry::default();
+    }
+    for (i, v) in values.iter().enumerate().skip(1) {
+        match (v.total_cmp(&values[min]), v.total_cmp(&values[max])) {
+            (Ok(lo), Ok(hi)) => {
+                if lo == Ordering::Less {
+                    min = i;
+                }
+                if hi == Ordering::Greater {
+                    max = i;
+                }
+            }
+            _ => return ZoneEntry { min: None, max: None, null_count: 0 },
+        }
+    }
+    ZoneEntry { min: Some(values[min].clone()), max: Some(values[max].clone()), null_count: 0 }
+}
+
+fn zones_eq(a: &ZoneEntry, b: &ZoneEntry) -> bool {
+    let side = |x: &Option<Value>, y: &Option<Value>| match (x, y) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            x.attr_type() == y.attr_type() && x.total_cmp(y) == Ok(Ordering::Equal)
+        }
+        _ => false,
+    };
+    side(&a.min, &b.min) && side(&a.max, &b.max)
+}
+
+/// Column shapes chosen to exercise every encoding the picker can choose:
+/// delta-friendly walks, long runs (RLE), few distinct strings (dict),
+/// floats (plain), and a mixed-type column (plain, unbounded zone).
+fn shaped_columns() -> Vec<(&'static str, Vec<Value>)> {
+    let mut walk = Vec::new();
+    let mut x = 500i64;
+    for i in 0..257 {
+        x += (i % 7) - 3; // small signed steps → IntDelta
+        walk.push(Value::Int(x));
+    }
+    let runs: Vec<Value> = (0..300).map(|i| Value::Int((i / 50) * 10)).collect();
+    let dict: Vec<Value> =
+        (0..300).map(|i| Value::str(["lo", "mid", "hi"][(i % 3) as usize])).collect();
+    let floats: Vec<Value> = (0..120).map(|i| Value::Float((i as f64 * 0.37).sin())).collect();
+    let mixed: Vec<Value> =
+        (0..60).map(|i| if i % 2 == 0 { Value::Int(i) } else { Value::str("s") }).collect();
+    let negative_walk: Vec<Value> = (0..100).map(|i| Value::Int(-1000 + i * i % 91)).collect();
+    vec![
+        ("delta_walk", walk),
+        ("rle_runs", runs),
+        ("dict_strings", dict),
+        ("plain_floats", floats),
+        ("mixed_types", mixed),
+        ("negative_ints", negative_walk),
+    ]
+}
+
+#[test]
+fn encoded_zone_bounds_match_plain_reference() {
+    for (name, values) in shaped_columns() {
+        let entries: Vec<(i64, Record)> =
+            values.iter().enumerate().map(|(i, v)| (i as i64 + 1, record![v.clone()])).collect();
+        let page = Page::new(0, entries);
+        let derived = page.zone(0).expect("page has one column");
+        let reference = reference_zone(&values);
+        assert!(
+            zones_eq(derived, &reference),
+            "{name}: encoded-derived zone {derived:?} != plain reference {reference:?} \
+             (encoding {})",
+            page.column_encodings().next().unwrap_or("?"),
+        );
+    }
+}
+
+#[test]
+fn skip_decisions_match_plain_reference_zones() {
+    // Every (op, literal) pair must get the same may_match answer from the
+    // encoded-derived zone as from the plain-reference zone — identical
+    // decisions imply identical page_reads + pages_skipped accounting.
+    let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+    for (name, values) in shaped_columns() {
+        let entries: Vec<(i64, Record)> =
+            values.iter().enumerate().map(|(i, v)| (i as i64 + 1, record![v.clone()])).collect();
+        let page = Page::new(0, entries);
+        let derived = page.zone(0).expect("page has one column");
+        let reference = reference_zone(&values);
+        let literals = [
+            Value::Int(-2000),
+            Value::Int(0),
+            Value::Int(495),
+            Value::Int(520),
+            Value::Int(10_000),
+            Value::Float(-0.5),
+            Value::Float(0.0),
+            Value::Float(2.0),
+            Value::str("mid"),
+            Value::str("zzz"),
+        ];
+        for op in ops {
+            for lit in &literals {
+                assert_eq!(
+                    derived.may_match(op, lit),
+                    reference.may_match(op, lit),
+                    "{name}: divergent skip decision for {op:?} {lit:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn filtered_scan_accounting_is_exact_over_encoded_zones() {
+    // End-to-end: a clustered integer sequence (delta-encoded pages) under a
+    // pushed-down range filter. Every candidate page is either read or
+    // skipped — never both, never neither — and the skip never loses a row.
+    let n = 4096i64;
+    let page_cap = 64usize;
+    let sch = schema(&[("time", AttrType::Int), ("v", AttrType::Int)]);
+    // Clustered: v ascends with position, so zone ranges partition cleanly.
+    let entries: Vec<(i64, Record)> = (1..=n).map(|p| (p, record![p, p / 2])).collect();
+    let base = BaseSequence::from_entries(sch, entries).unwrap();
+    let mut catalog = Catalog::new();
+    catalog.set_page_capacity(page_cap);
+    catalog.register("S", &base);
+    let stored = catalog.get("S").unwrap();
+    let span = Span::new(1, n);
+
+    for threshold in [0i64, 512, 1024, 2047, 5000] {
+        catalog.reset_measurement();
+        let filter = ScanFilter::new(vec![(1, CmpOp::Gt, Value::Int(threshold))]);
+        let mut scan = stored.scan_owned_filtered(span, Some(filter));
+        let mut rows = 0u64;
+        while let Some((_, rec)) = scan.next_record() {
+            if rec.values()[1].as_i64().unwrap() > threshold {
+                rows += 1;
+            }
+        }
+        let snap = catalog.stats().snapshot();
+        let candidate_pages = (n as u64).div_ceil(page_cap as u64);
+        assert_eq!(
+            snap.page_reads + snap.pages_skipped,
+            candidate_pages,
+            "threshold {threshold}: reads {} + skips {} must cover every candidate page",
+            snap.page_reads,
+            snap.pages_skipped
+        );
+        let expected_rows = (1..=n).filter(|p| p / 2 > threshold).count() as u64;
+        assert_eq!(rows, expected_rows, "threshold {threshold}: skipped pages lost rows");
+        if threshold == 5000 {
+            assert_eq!(snap.page_reads, 0, "fully-refuted scan must read nothing");
+        }
+    }
+}

@@ -42,6 +42,10 @@
 //!   numbers instead of model defaults (default on; `\tables` shows the
 //!   refreshed stats, `\feedback clear` discards them);
 //! - `\quit` — exit.
+//!
+//! With `--connect HOST:PORT` the shell runs as a thin client to a `seqd`
+//! server instead: lines are forwarded over the wire protocol and the
+//! server's payload is printed (session state then lives server-side).
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
@@ -423,11 +427,16 @@ fn main() {
     let mut profile_out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut connect: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--world" => {
                 world = args.get(i + 1).cloned().unwrap_or_default();
+                i += 2;
+            }
+            "--connect" => {
+                connect = args.get(i + 1).cloned();
                 i += 2;
             }
             "--scale" => {
@@ -454,11 +463,18 @@ fn main() {
                 eprintln!(
                     "unknown argument {other:?}; usage: seqsh [--world table1|weather] \
                      [--scale N] [--profile-out FILE] [--trace-out FILE] \
-                     [--metrics-out FILE] [-e QUERY]..."
+                     [--metrics-out FILE] [--connect HOST:PORT] [-e QUERY]..."
                 );
                 std::process::exit(2);
             }
         }
+    }
+
+    // Client mode: forward lines to a seqd server instead of evaluating
+    // locally (session state like \set and \range then lives server-side).
+    if let Some(addr) = connect {
+        run_remote(&addr, &inline);
+        return;
     }
 
     let (catalog, range) = match world.as_str() {
@@ -524,6 +540,73 @@ fn main() {
         }
     }
     write_telemetry(&shell, trace_out.as_deref(), metrics_out.as_deref());
+}
+
+/// Client mode (`--connect host:port`): forward each input line to a seqd
+/// server over the wire protocol and print the payload. `-e` lines run
+/// first; without them, stdin becomes an interactive remote session.
+fn run_remote(addr: &str, inline: &[String]) {
+    use seqproc::seq_serve::client::{Client, Response};
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("could not connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let send = |client: &mut Client, line: &str| -> bool {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with(';') {
+            return true;
+        }
+        if line == "\\quit" || line == "\\q" {
+            let _ = client.send(line);
+            return false;
+        }
+        match client.send(line) {
+            Ok(Response::Ok(lines)) => {
+                for l in lines {
+                    println!("{l}");
+                }
+                true
+            }
+            Ok(Response::Err { code, message }) => {
+                println!("error [{code}]: {message}");
+                true
+            }
+            Err(e) => {
+                eprintln!("connection lost: {e}");
+                false
+            }
+        }
+    };
+    for q in inline {
+        if !send(&mut client, q) {
+            return;
+        }
+    }
+    if !inline.is_empty() {
+        return;
+    }
+    println!("seqsh — connected to {addr}. \\quit to exit.");
+    let stdin = std::io::stdin();
+    loop {
+        print!("seq> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !send(&mut client, &line) {
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                break;
+            }
+        }
+    }
 }
 
 /// Write the session's telemetry exports on exit: the Chrome `trace_event`

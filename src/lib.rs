@@ -39,7 +39,8 @@
 //! [`seq_storage`] (paged store), [`seq_ops`] (algebra + reference
 //! semantics), [`seq_exec`] (cursors and strategies), [`seq_opt`]
 //! (optimizer), [`seq_relational`] (the Example 1.1 relational baseline),
-//! and [`seq_workload`] (generators).
+//! [`seq_workload`] (generators), and [`seq_serve`] (the `seqd` concurrent
+//! serving layer: plan cache, snapshot reads, admission control).
 
 pub use seq_core;
 pub use seq_exec;
@@ -48,6 +49,7 @@ pub use seq_lang;
 pub use seq_ops;
 pub use seq_opt;
 pub use seq_relational;
+pub use seq_serve;
 pub use seq_storage;
 pub use seq_workload;
 
