@@ -193,7 +193,7 @@ fn bench(c: &mut Criterion) {
     let ticks = ticks_catalog();
     let opt = mixed_plan(&ticks);
     let labels = opt.op_mode_labels();
-    let n_batch = labels.iter().filter(|l| **l == "batch" || **l == "fused").count();
+    let n_batch = labels.iter().filter(|l| l.starts_with("batch") || **l == "fused").count();
     let n_tuple = labels.iter().filter(|l| **l == "tuple").count();
     assert!(
         n_batch > 0 && n_tuple > 0,

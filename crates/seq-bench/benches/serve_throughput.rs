@@ -85,7 +85,7 @@ struct SweepRow {
     p99_us: f64,
 }
 
-fn sweep() -> (Vec<SweepRow>, u64, u64, u64) {
+fn sweep() -> (Vec<SweepRow>, u64, u64, u64, Vec<seq_serve::TemplateReport>) {
     let engine = Engine::new(table1_catalog(SCALE, 42, 64), 64);
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -128,8 +128,8 @@ fn sweep() -> (Vec<SweepRow>, u64, u64, u64) {
             queries: ok,
             shed,
             qps: ok as f64 / wall.as_secs_f64(),
-            p50_us: snap.percentile_nanos(0.50).unwrap_or(0) as f64 / 1e3,
-            p99_us: snap.percentile_nanos(0.99).unwrap_or(0) as f64 / 1e3,
+            p50_us: snap.percentile_nanos(50.0).unwrap_or(0) as f64 / 1e3,
+            p99_us: snap.percentile_nanos(99.0).unwrap_or(0) as f64 / 1e3,
         });
         println!(
             "serve_throughput: {clients} client(s) -> {:.0} qps, p50 {:.0}us, p99 {:.0}us",
@@ -141,7 +141,9 @@ fn sweep() -> (Vec<SweepRow>, u64, u64, u64) {
 
     let engine = handle.join();
     let snap = engine.metrics.snapshot();
-    (rows, snap.plan_cache_hits, snap.plan_cache_misses, snap.plan_cache_invalidations)
+    let hot = engine.hot_templates(5);
+    assert!(!hot.is_empty(), "the sweep's repeated templates must show up as hot");
+    (rows, snap.plan_cache_hits, snap.plan_cache_misses, snap.plan_cache_invalidations, hot)
 }
 
 /// Cached vs uncached plan-resolution latency, in-process (no socket or
@@ -259,7 +261,7 @@ fn bench(c: &mut Criterion) {
     });
     group.finish();
 
-    let (rows, hits, misses, invalidations) = sweep();
+    let (rows, hits, misses, invalidations, hot) = sweep();
     let hit_rate = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
     assert!(
         hit_rate >= MIN_HIT_RATE,
@@ -278,6 +280,19 @@ fn bench(c: &mut Criterion) {
     let (submitted, completed, shed) = load_shed();
 
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut template_rows = String::new();
+    for (i, t) in hot.iter().enumerate() {
+        template_rows.push_str(&format!(
+            "{}    {{\"template\": \"{}\", \"hits\": {}, \"executes\": {}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+            if i > 0 { ",\n" } else { "" },
+            t.template.replace('\\', "\\\\").replace('"', "\\\""),
+            t.hits,
+            t.executes,
+            t.p50_us,
+            t.p99_us
+        ));
+    }
     let mut client_rows = String::new();
     for (i, r) in rows.iter().enumerate() {
         client_rows.push_str(&format!(
@@ -303,6 +318,7 @@ fn bench(c: &mut Criterion) {
          \"uncached_p50_us\": {uncached_p50_us:.1}}},\n  \
          \"load_shed\": {{\"submitted\": {submitted}, \"completed\": {completed}, \
          \"shed\": {shed}}},\n  \
+         \"hot_templates\": [\n{template_rows}\n  ],\n  \
          \"note\": \"single-core hosts time-slice the client sweep; the headline numbers \
          are the plan-cache hit rate and the cached vs uncached plan-resolution p50\"\n}}\n"
     );

@@ -13,8 +13,14 @@
 //! - **serve benchmarks** — the `serve_throughput` artifact
 //!   (`BENCH_serve.json`, `serve_version: 1`): per-client-count QPS and
 //!   latency rows, plan-cache counters with a consistent hit rate, the
-//!   cached-vs-uncached latency comparison, and the load-shed accounting
-//!   ([`check_serve`]).
+//!   cached-vs-uncached latency comparison, the load-shed accounting, and
+//!   (when present) the hottest plan templates with their latency digests
+//!   ([`check_serve`]);
+//! - **selection benchmarks** — the `selection_pipeline` artifact
+//!   (`BENCH_selection.json`, `selection_version: 1`): tuple vs carried vs
+//!   compacted timings per cell, the bytes-decoded drop from late
+//!   materialization, and the differential-equivalence summary
+//!   ([`check_selection`]).
 //!
 //! The `profile_check` binary is a thin CLI over [`check_document`]; the
 //! checks live here so integration tests can validate in-process exports
@@ -32,9 +38,77 @@ pub fn check_document(text: &str) -> Result<String, String> {
         check_metrics(&doc)
     } else if doc.get("serve_version").is_some() {
         check_serve(&doc)
+    } else if doc.get("selection_version").is_some() {
+        check_selection(&doc)
     } else {
         check_profile(&doc)
     }
+}
+
+/// Validate a `selection_pipeline` benchmark artifact (`BENCH_selection.json`,
+/// `selection_version: 1`): per-cell timings for the tuple / carried /
+/// compacted executions of the same filtered scan, the speedup derived from
+/// them, the bytes-decoded comparison showing late materialization paying
+/// off, and the differential summary asserting the three paths produced
+/// bit-identical rows.
+pub fn check_selection(doc: &Json) -> Result<String, String> {
+    if doc.get("selection_version").and_then(Json::as_f64) != Some(1.0) {
+        return Err("missing or unexpected selection_version".into());
+    }
+    for key in ["rows", "batch_size"] {
+        if doc.get(key).and_then(Json::as_f64).is_none() {
+            return Err(format!("missing numeric {key:?}"));
+        }
+    }
+    let cells = doc.get("cells").and_then(Json::as_array).ok_or("missing cells array")?;
+    if cells.is_empty() {
+        return Err("empty cells array".into());
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        if cell.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("cell {i} missing name"));
+        }
+        for key in [
+            "selectivity",
+            "tuple_ms",
+            "carry_ms",
+            "compact_ms",
+            "speedup_vs_tuple",
+            "rows_out",
+            "bytes_decoded_tuple",
+            "bytes_decoded_carry",
+            "columns_pruned",
+            "selections_carried",
+            "slots_compacted",
+        ] {
+            match cell.get(key).and_then(Json::as_f64) {
+                Some(n) if n >= 0.0 => {}
+                _ => return Err(format!("cell {i} missing non-negative {key:?}")),
+            }
+        }
+        // The speedup is derived from the two timings it sits between; a
+        // stale or hand-edited number must not slip through.
+        let tuple_ms = cell.get("tuple_ms").and_then(Json::as_f64).unwrap_or(0.0);
+        let carry_ms = cell.get("carry_ms").and_then(Json::as_f64).unwrap_or(0.0);
+        let speedup = cell.get("speedup_vs_tuple").and_then(Json::as_f64).unwrap_or(0.0);
+        if carry_ms > 0.0 && (speedup - tuple_ms / carry_ms).abs() > 1e-6 * speedup.max(1.0) {
+            return Err(format!(
+                "cell {i}: speedup_vs_tuple {speedup} inconsistent with tuple_ms/carry_ms"
+            ));
+        }
+    }
+    let eq = doc.get("equivalence").ok_or("missing equivalence summary")?;
+    match eq.get("plans").and_then(Json::as_f64) {
+        Some(n) if n > 0.0 => {}
+        _ => return Err("equivalence missing positive plan count".into()),
+    }
+    if !matches!(eq.get("rows_identical"), Some(Json::Bool(true))) {
+        return Err("equivalence.rows_identical must be true".into());
+    }
+    if !matches!(eq.get("counters_exact"), Some(Json::Bool(true))) {
+        return Err("equivalence.counters_exact must be true".into());
+    }
+    Ok(format!("selection: {} cells, equivalence over plans verified", cells.len()))
 }
 
 /// Validate a `serve_throughput` benchmark artifact (`serve_version: 1`):
@@ -106,8 +180,33 @@ pub fn check_serve(doc: &Json) -> Result<String, String> {
             totals[0], totals[1], totals[2]
         ));
     }
+    // Hot-template visibility (optional for older artifacts): the top-N
+    // cached plan templates by hit count, each with its execute-latency
+    // digest. Rows must arrive hottest-first.
+    let mut n_templates = 0;
+    if let Some(templates) = doc.get("hot_templates") {
+        let rows = templates.as_array().ok_or("hot_templates is not an array")?;
+        let mut prev_hits = f64::INFINITY;
+        for (i, t) in rows.iter().enumerate() {
+            if t.get("template").and_then(Json::as_str).is_none() {
+                return Err(format!("hot_templates row {i} missing template text"));
+            }
+            for key in ["hits", "executes", "p50_us", "p99_us"] {
+                match t.get(key).and_then(Json::as_f64) {
+                    Some(n) if n >= 0.0 => {}
+                    _ => return Err(format!("hot_templates row {i} missing non-negative {key:?}")),
+                }
+            }
+            let hits = t.get("hits").and_then(Json::as_f64).unwrap_or(0.0);
+            if hits > prev_hits {
+                return Err(format!("hot_templates row {i} not sorted by descending hits"));
+            }
+            prev_hits = hits;
+        }
+        n_templates = rows.len();
+    }
     Ok(format!(
-        "serve: {} client configs, hit_rate {hit_rate:.3}, {} shed",
+        "serve: {} client configs, hit_rate {hit_rate:.3}, {} shed, {n_templates} hot templates",
         clients.len(),
         totals[2]
     ))
@@ -138,7 +237,7 @@ pub fn check_profile(doc: &Json) -> Result<String, String> {
             return Err(format!("operator {i} missing label"));
         }
         match op.get("mode").and_then(Json::as_str) {
-            Some("batch" | "tuple" | "fused") => {}
+            Some("batch" | "batch+sel" | "batch+compact" | "tuple" | "fused") => {}
             Some(m) => return Err(format!("operator {i} has unknown mode {m:?}")),
             None => return Err(format!("operator {i} missing mode")),
         }
@@ -192,7 +291,7 @@ pub fn check_profile(doc: &Json) -> Result<String, String> {
                 }
             }
             match est.get("mode").and_then(Json::as_str) {
-                Some("batch" | "tuple" | "fused") => {}
+                Some("batch" | "batch+sel" | "batch+compact" | "tuple" | "fused") => {}
                 _ => return Err(format!("estimate {i} missing or unknown mode")),
             }
             if !matches!(est.get("divergent"), Some(Json::Bool(_))) {
@@ -233,7 +332,7 @@ pub fn check_profile(doc: &Json) -> Result<String, String> {
 const HISTOGRAM_NAMES: [&str; 4] = ["parse", "optimize", "execute", "morsel"];
 
 /// The counter keys a metrics snapshot must carry.
-const COUNTER_KEYS: [&str; 16] = [
+const COUNTER_KEYS: [&str; 19] = [
     "queries",
     "queries_failed",
     "rows_out",
@@ -243,7 +342,10 @@ const COUNTER_KEYS: [&str; 16] = [
     "probes",
     "stream_records",
     "bytes_decoded",
+    "columns_pruned",
     "predicate_evals",
+    "selections_carried",
+    "slots_compacted",
     "cache_probes",
     "cache_stores",
     "morsels",
@@ -364,6 +466,28 @@ pub fn check_metrics(doc: &Json) -> Result<String, String> {
             return Err(format!("trace missing numeric {key:?}"));
         }
     }
+    // Serve-level exports splice in the hottest plan templates; bare
+    // registry exports don't carry the section.
+    if let Some(templates) = doc.get("hot_templates") {
+        let rows = templates.as_array().ok_or("hot_templates is not an array")?;
+        let mut prev_hits = f64::INFINITY;
+        for (i, t) in rows.iter().enumerate() {
+            if t.get("template").and_then(Json::as_str).is_none() {
+                return Err(format!("hot_templates row {i} missing template text"));
+            }
+            for key in ["hits", "executes", "p50_us", "p99_us"] {
+                match t.get(key).and_then(Json::as_f64) {
+                    Some(n) if n >= 0.0 => {}
+                    _ => return Err(format!("hot_templates row {i} missing non-negative {key:?}")),
+                }
+            }
+            let hits = t.get("hits").and_then(Json::as_f64).unwrap_or(0.0);
+            if hits > prev_hits {
+                return Err(format!("hot_templates row {i} not sorted by descending hits"));
+            }
+            prev_hits = hits;
+        }
+    }
     Ok(format!("metrics: {queries} queries, {samples} histogram samples"))
 }
 
@@ -453,6 +577,60 @@ mod tests {
     }
 
     #[test]
+    fn serve_checker_validates_hot_templates() {
+        let doc = |templates: &str| {
+            format!(
+                r#"{{"benchmark": "serve_throughput", "serve_version": 1,
+                    "host_cores": 1, "workers": 2, "queue_depth": 4,
+                    "clients": [{{"clients": 1, "queries": 10, "shed": 0, "qps": 100.0,
+                                  "p50_us": 10.0, "p99_us": 20.0}}],
+                    "plan_cache": {{"hits": 1, "misses": 1, "invalidations": 0,
+                                    "hit_rate": 0.5}},
+                    "latency": {{"cached_p50_us": 1.0, "uncached_p50_us": 2.0}},
+                    "load_shed": {{"submitted": 10, "completed": 10, "shed": 0}},
+                    "hot_templates": {templates}}}"#
+            )
+        };
+        let good = doc(r#"[{"template": "select $1", "hits": 9, "executes": 10,
+                 "p50_us": 5.0, "p99_us": 9.0},
+                {"template": "project $1", "hits": 3, "executes": 4,
+                 "p50_us": 2.0, "p99_us": 4.0}]"#);
+        assert!(check_document(&good).unwrap().contains("2 hot templates"));
+        let unsorted =
+            doc(r#"[{"template": "a", "hits": 1, "executes": 1, "p50_us": 1.0, "p99_us": 1.0},
+                {"template": "b", "hits": 5, "executes": 5, "p50_us": 1.0, "p99_us": 1.0}]"#);
+        assert!(check_document(&unsorted).unwrap_err().contains("descending hits"));
+        let missing = doc(r#"[{"template": "a", "hits": 1}]"#);
+        assert!(check_document(&missing).unwrap_err().contains("executes"));
+    }
+
+    #[test]
+    fn selection_checker_enforces_consistency() {
+        let doc = |speedup: &str, identical: &str| {
+            format!(
+                r#"{{"benchmark": "selection_pipeline", "selection_version": 1,
+                    "rows": 100000, "batch_size": 4096,
+                    "cells": [
+                        {{"name": "plain_filter", "selectivity": 0.05,
+                          "tuple_ms": 10.0, "carry_ms": 5.0, "compact_ms": 7.0,
+                          "speedup_vs_tuple": {speedup}, "rows_out": 5000,
+                          "bytes_decoded_tuple": 800000, "bytes_decoded_carry": 200000,
+                          "columns_pruned": 120, "selections_carried": 25,
+                          "slots_compacted": 0}}
+                    ],
+                    "equivalence": {{"plans": 12, "rows_identical": {identical},
+                                     "counters_exact": true}}}}"#
+            )
+        };
+        let good = doc("2.0", "true");
+        assert!(check_document(&good).is_ok(), "{:?}", check_document(&good));
+        let bad_speedup = doc("3.5", "true");
+        assert!(check_document(&bad_speedup).unwrap_err().contains("speedup_vs_tuple"));
+        let bad_rows = doc("2.0", "false");
+        assert!(check_document(&bad_rows).unwrap_err().contains("rows_identical"));
+    }
+
+    #[test]
     fn metrics_checker_rejects_inconsistencies() {
         let doc = |paths: &str, p50: &str| {
             format!(
@@ -460,7 +638,8 @@ mod tests {
                     "window": {{"resets": 0, "started_unix_ms": 1}},
                     "counters": {{"queries": 1, "queries_failed": 0, "rows_out": 5,
                         "page_reads": 0, "page_hits": 0, "pages_skipped": 0, "probes": 0,
-                        "stream_records": 0, "bytes_decoded": 0, "predicate_evals": 0,
+                        "stream_records": 0, "bytes_decoded": 0, "columns_pruned": 0,
+                        "predicate_evals": 0, "selections_carried": 0, "slots_compacted": 0,
                         "cache_probes": 0, "cache_stores": 0, "morsels": 0,
                         "plan_cache_hits": 0, "plan_cache_misses": 0,
                         "plan_cache_invalidations": 0}},

@@ -7,6 +7,39 @@
 //! dispatch and lets statistics counters fold into one atomic add per batch.
 //!
 //! Positions within a batch are strictly increasing, mirroring cursor order.
+//!
+//! # Selection vectors
+//!
+//! A batch may carry an optional **selection vector** (`sel`): a strictly
+//! increasing list of *physical* row indices that survived a filter. When a
+//! selection is present, the logical batch is the selected subset — [`len`],
+//! [`first_pos`], [`row`], [`record`], [`clamp_positions`],
+//! [`append_records_into`] and friends all see only the selected rows — while
+//! the backing position/column vectors stay untouched (no gather copy).
+//! Selection-aware consumers read through [`selection`] / [`physical_len`];
+//! consumers that need dense storage call [`compact`] (a single exact-capacity
+//! gather) at a costed pipeline boundary. Mutating appenders (`push_*`,
+//! `extend_*`, [`parts_mut`]) require a dense batch.
+//!
+//! # Lazily materialized columns
+//!
+//! A column slot may be left **unmaterialized** (an empty vector while the
+//! batch has rows): the scan layer skips decoding columns the plan never
+//! reads. [`column_is_materialized`] reports the state; row materialization
+//! requires every column present ([`record`] debug-asserts it, and
+//! [`RowRef::value`] returns a schema error for a pruned slot).
+//!
+//! [`len`]: RecordBatch::len
+//! [`first_pos`]: RecordBatch::first_pos
+//! [`row`]: RecordBatch::row
+//! [`record`]: RecordBatch::record
+//! [`clamp_positions`]: RecordBatch::clamp_positions
+//! [`append_records_into`]: RecordBatch::append_records_into
+//! [`selection`]: RecordBatch::selection
+//! [`physical_len`]: RecordBatch::physical_len
+//! [`compact`]: RecordBatch::compact
+//! [`parts_mut`]: RecordBatch::parts_mut
+//! [`column_is_materialized`]: RecordBatch::column_is_materialized
 
 use crate::error::{Result, SeqError};
 use crate::record::Record;
@@ -20,11 +53,17 @@ use crate::value::Value;
 pub const DEFAULT_BATCH_SIZE: usize = 4096;
 
 /// A columnar run of records: parallel position vector plus per-column value
-/// vectors. All columns have the same length as `positions`.
+/// vectors, with an optional selection vector marking surviving rows.
+///
+/// Without a selection, all columns have the same length as `positions`
+/// (unless deliberately left unmaterialized — see the module docs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecordBatch {
     positions: Vec<i64>,
     columns: Vec<Vec<Value>>,
+    /// Strictly increasing physical row indices; `None` means dense
+    /// (every physical row is live).
+    sel: Option<Vec<u32>>,
 }
 
 impl RecordBatch {
@@ -38,19 +77,29 @@ impl RecordBatch {
         RecordBatch {
             positions: Vec::with_capacity(cap),
             columns: (0..arity).map(|_| Vec::with_capacity(cap)).collect(),
+            sel: None,
         }
     }
 
-    /// Number of rows.
+    /// Number of logical (selected) rows.
     #[inline]
     pub fn len(&self) -> usize {
-        self.positions.len()
+        match &self.sel {
+            Some(sel) => sel.len(),
+            None => self.positions.len(),
+        }
     }
 
-    /// True when the batch holds no rows.
+    /// True when the batch holds no logical rows.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.positions.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of physical rows backing the batch (≥ [`RecordBatch::len`]).
+    #[inline]
+    pub fn physical_len(&self) -> usize {
+        self.positions.len()
     }
 
     /// Number of columns.
@@ -59,13 +108,45 @@ impl RecordBatch {
         self.columns.len()
     }
 
-    /// The position vector.
+    /// The selection vector, if one is attached: strictly increasing
+    /// physical row indices into [`RecordBatch::positions`] and the columns.
+    #[inline]
+    pub fn selection(&self) -> Option<&[u32]> {
+        self.sel.as_deref()
+    }
+
+    /// True when no selection vector is attached (logical == physical rows).
+    #[inline]
+    pub fn is_dense(&self) -> bool {
+        self.sel.is_none()
+    }
+
+    /// Physical row index of logical row `i`.
+    #[inline]
+    fn phys(&self, i: usize) -> usize {
+        match &self.sel {
+            Some(sel) => sel[i] as usize,
+            None => i,
+        }
+    }
+
+    /// The **physical** position vector (ignores any selection). Use
+    /// [`RecordBatch::position_at`] or [`RecordBatch::selection`] for the
+    /// logical view.
     #[inline]
     pub fn positions(&self) -> &[i64] {
         &self.positions
     }
 
-    /// The value vector of column `idx`.
+    /// Sequence position of logical row `i`.
+    #[inline]
+    pub fn position_at(&self, i: usize) -> i64 {
+        self.positions[self.phys(i)]
+    }
+
+    /// The **physical** value vector of column `idx` (ignores any
+    /// selection; empty when the column was pruned by the scan). Use
+    /// [`RecordBatch::value_at`] for the logical view.
     #[inline]
     pub fn column(&self, idx: usize) -> Result<&[Value]> {
         self.columns
@@ -74,43 +155,122 @@ impl RecordBatch {
             .ok_or_else(|| SeqError::Schema(format!("column index {idx} out of bounds")))
     }
 
-    /// All column vectors.
+    /// The value of column `col` at logical row `i`.
+    #[inline]
+    pub fn value_at(&self, col: usize, i: usize) -> &Value {
+        &self.columns[col][self.phys(i)]
+    }
+
+    /// Logical index of the first row with position `>= lower` (`len()` when
+    /// every row is below). Positions are sorted, so this is a binary search
+    /// whichever view — dense or selected — the batch presents.
+    pub fn lower_bound(&self, lower: i64) -> usize {
+        match &self.sel {
+            Some(sel) => sel.partition_point(|&i| self.positions[i as usize] < lower),
+            None => self.positions.partition_point(|&p| p < lower),
+        }
+    }
+
+    /// True when column `idx`'s values were decoded (false for a slot the
+    /// scan pruned because no operator references it).
+    #[inline]
+    pub fn column_is_materialized(&self, idx: usize) -> bool {
+        match self.columns.get(idx) {
+            Some(c) => c.len() == self.positions.len(),
+            None => false,
+        }
+    }
+
+    /// All column vectors (physical layout).
     pub fn columns(&self) -> &[Vec<Value>] {
         &self.columns
     }
 
     /// Mutable access to the position vector and the column vectors for bulk
     /// appends (the storage layer decodes encoded page columns straight into
-    /// a batch through this). Callers must leave every column exactly as
-    /// long as `positions` — the rectangular invariant is debug-asserted by
+    /// a batch through this). Dense batches only. Callers must leave every
+    /// column exactly as long as `positions` — or exactly empty, for a slot
+    /// deliberately left unmaterialized; the invariant is debug-asserted by
     /// the next read accessor via [`RecordBatch::debug_check_rectangular`].
     pub fn parts_mut(&mut self) -> (&mut Vec<i64>, &mut [Vec<Value>]) {
+        debug_assert!(self.sel.is_none(), "parts_mut on a selection-carrying batch");
         (&mut self.positions, &mut self.columns)
     }
 
-    /// Debug-assert the rectangular invariant after bulk appends.
+    /// Debug-assert the rectangular invariant after bulk appends: every
+    /// column matches the position vector's length, or is empty (pruned).
     #[inline]
     pub fn debug_check_rectangular(&self) {
         debug_assert!(
-            self.columns.iter().all(|c| c.len() == self.positions.len()),
-            "batch columns must match positions length"
+            self.columns.iter().all(|c| c.len() == self.positions.len() || c.is_empty()),
+            "batch columns must match positions length (or be pruned empty)"
         );
     }
 
-    /// Position of the first row, if any.
-    #[inline]
-    pub fn first_pos(&self) -> Option<i64> {
-        self.positions.first().copied()
+    /// Attach a selection vector of physical row indices to a dense batch.
+    /// Indices must be strictly increasing and in bounds.
+    pub fn set_selection(&mut self, sel: Vec<u32>) {
+        debug_assert!(self.sel.is_none(), "set_selection on a selection-carrying batch");
+        debug_assert!(sel.windows(2).all(|w| w[0] < w[1]), "selection must be increasing");
+        debug_assert!(sel.last().is_none_or(|&i| (i as usize) < self.positions.len()));
+        self.sel = Some(sel);
     }
 
-    /// Position of the last row, if any.
+    /// Narrow the batch to the logical rows in `keep` (strictly increasing
+    /// logical indices). Composes with an existing selection without
+    /// touching the physical vectors — this is how stacked filters stay
+    /// zero-copy.
+    pub fn select_logical(&mut self, keep: Vec<u32>) {
+        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]), "selection must be increasing");
+        debug_assert!(keep.last().is_none_or(|&i| (i as usize) < self.len()));
+        self.sel = Some(match self.sel.take() {
+            Some(sel) => keep.into_iter().map(|i| sel[i as usize]).collect(),
+            None => keep,
+        });
+    }
+
+    /// Gather the selected rows into dense storage, dropping the selection.
+    /// One exact-capacity copy per column; unmaterialized (pruned) column
+    /// slots stay pruned. Returns the number of rows copied (0 when the
+    /// batch was already dense — compaction is then a no-op).
+    pub fn compact(&mut self) -> usize {
+        let Some(sel) = self.sel.take() else { return 0 };
+        let n = sel.len();
+        let mut positions = Vec::with_capacity(n);
+        positions.extend(sel.iter().map(|&i| self.positions[i as usize]));
+        for col in &mut self.columns {
+            if col.is_empty() {
+                continue; // pruned slot
+            }
+            let mut dense = Vec::with_capacity(n);
+            dense.extend(sel.iter().map(|&i| col[i as usize].clone()));
+            *col = dense;
+        }
+        self.positions = positions;
+        n
+    }
+
+    /// Position of the first logical row, if any.
+    #[inline]
+    pub fn first_pos(&self) -> Option<i64> {
+        match &self.sel {
+            Some(sel) => sel.first().map(|&i| self.positions[i as usize]),
+            None => self.positions.first().copied(),
+        }
+    }
+
+    /// Position of the last logical row, if any.
     #[inline]
     pub fn last_pos(&self) -> Option<i64> {
-        self.positions.last().copied()
+        match &self.sel {
+            Some(sel) => sel.last().map(|&i| self.positions[i as usize]),
+            None => self.positions.last().copied(),
+        }
     }
 
     /// Append one row from a [`Record`]. The record's arity must match.
     pub fn push_record(&mut self, pos: i64, record: &Record) -> Result<()> {
+        debug_assert!(self.sel.is_none(), "push_record on a selection-carrying batch");
         let values = record.values();
         if values.len() != self.columns.len() {
             return Err(SeqError::Schema(format!(
@@ -129,6 +289,7 @@ impl RecordBatch {
     /// Append one row to a single-column batch without boxing the value.
     #[inline]
     pub fn push_single(&mut self, pos: i64, value: Value) -> Result<()> {
+        debug_assert!(self.sel.is_none(), "push_single on a selection-carrying batch");
         if self.columns.len() != 1 {
             return Err(SeqError::Schema(format!(
                 "push_single on a batch of arity {}",
@@ -143,6 +304,7 @@ impl RecordBatch {
     /// Append a run of `(position, record)` entries, checking arity once and
     /// copying column-wise. This is the bulk-load path for the storage scan.
     pub fn extend_from_entries(&mut self, entries: &[(i64, Record)]) -> Result<()> {
+        debug_assert!(self.sel.is_none(), "extend_from_entries on a selection-carrying batch");
         let arity = self.columns.len();
         if let Some((_, r)) = entries.iter().find(|(_, r)| r.arity() != arity) {
             return Err(SeqError::Schema(format!(
@@ -166,6 +328,7 @@ impl RecordBatch {
 
     /// Append one row from owned values. The arity must match.
     pub fn push_row(&mut self, pos: i64, values: Vec<Value>) -> Result<()> {
+        debug_assert!(self.sel.is_none(), "push_row on a selection-carrying batch");
         if values.len() != self.columns.len() {
             return Err(SeqError::Schema(format!(
                 "batch arity {} but row arity {}",
@@ -183,8 +346,10 @@ impl RecordBatch {
     /// Append the composed rows `left[lidx[k]] ∘ right[ridx[k]]` for every
     /// `k`, column-wise (the positional-join output layout: left columns
     /// first, then right columns; positions taken from the left rows). The
-    /// batch's arity must equal `left.arity() + right.arity()` and the index
-    /// slices must have equal lengths.
+    /// batch's arity must equal `left.arity() + right.arity()`, the index
+    /// slices must have equal lengths, and both inputs must be dense
+    /// (compacted at the join boundary). Capacity is reserved exactly once
+    /// up front, so the per-row pushes never reallocate mid-batch.
     pub fn extend_joined(
         &mut self,
         left: &RecordBatch,
@@ -192,6 +357,8 @@ impl RecordBatch {
         right: &RecordBatch,
         ridx: &[usize],
     ) -> Result<()> {
+        debug_assert!(self.sel.is_none(), "extend_joined on a selection-carrying batch");
+        debug_assert!(left.sel.is_none() && right.sel.is_none());
         if self.columns.len() != left.arity() + right.arity() {
             return Err(SeqError::Schema(format!(
                 "batch arity {} but joined arity {}",
@@ -200,27 +367,37 @@ impl RecordBatch {
             )));
         }
         debug_assert_eq!(lidx.len(), ridx.len());
+        let n = lidx.len();
+        self.positions.reserve(n);
         self.positions.extend(lidx.iter().map(|&i| left.positions[i]));
         let (lcols, rcols) = self.columns.split_at_mut(left.arity());
         for (src, dst) in left.columns.iter().zip(lcols) {
+            dst.reserve(n);
             dst.extend(lidx.iter().map(|&i| src[i].clone()));
         }
         for (src, dst) in right.columns.iter().zip(rcols) {
+            dst.reserve(n);
             dst.extend(ridx.iter().map(|&i| src[i].clone()));
         }
         Ok(())
     }
 
-    /// A borrowed view of row `idx`.
+    /// A borrowed view of logical row `idx`.
     #[inline]
     pub fn row(&self, idx: usize) -> RowRef<'_> {
         debug_assert!(idx < self.len());
-        RowRef { batch: self, row: idx }
+        RowRef { batch: self, row: self.phys(idx) }
     }
 
-    /// Materialize row `idx` as an owned `(position, Record)` pair.
+    /// Materialize logical row `idx` as an owned `(position, Record)` pair.
+    /// Every column must be materialized.
     #[inline]
     pub fn record(&self, idx: usize) -> (i64, Record) {
+        let idx = self.phys(idx);
+        debug_assert!(
+            self.columns.iter().all(|c| idx < c.len()),
+            "record() on a batch with pruned columns"
+        );
         // Build the `Arc<[Value]>` backing store in one allocation; the
         // one- and two-column shapes (every base schema in the benchmarks,
         // and all aggregate outputs) get monomorphic paths.
@@ -232,14 +409,15 @@ impl RecordBatch {
         (self.positions[idx], Record::from_shared(values))
     }
 
-    /// Iterate borrowed rows in position order.
+    /// Iterate borrowed logical rows in position order.
     pub fn rows(&self) -> impl Iterator<Item = RowRef<'_>> {
         (0..self.len()).map(move |i| self.row(i))
     }
 
-    /// Keep only the rows whose index is set in `keep` (a selection vector
-    /// of the same length as the batch). Order is preserved.
+    /// Keep only the rows whose index is set in `keep` (a boolean mask of
+    /// the same length as the dense batch). Order is preserved.
     pub fn filter(&self, keep: &[bool]) -> RecordBatch {
+        debug_assert!(self.sel.is_none(), "filter on a selection-carrying batch");
         debug_assert_eq!(keep.len(), self.len());
         let cap = keep.iter().filter(|&&k| k).count();
         let mut out = RecordBatch::with_capacity(self.arity(), cap);
@@ -250,19 +428,33 @@ impl RecordBatch {
         out
     }
 
-    /// A new batch holding the rows at `indices`, in the given order.
-    /// Indices must be in bounds; the selection path passes ascending runs.
+    /// A new dense batch holding the logical rows at `indices`, in the
+    /// given order. Indices must be in bounds; the selection path passes
+    /// ascending runs. Capacity is reserved exactly up front
+    /// (`with_capacity(indices.len())`), so the column extends never
+    /// reallocate mid-gather.
     pub fn gather(&self, indices: &[usize]) -> RecordBatch {
         let mut out = RecordBatch::with_capacity(self.arity(), indices.len());
-        out.positions.extend(indices.iter().map(|&i| self.positions[i]));
-        for (src, dst) in self.columns.iter().zip(&mut out.columns) {
-            dst.extend(indices.iter().map(|&i| src[i].clone()));
+        match &self.sel {
+            None => {
+                out.positions.extend(indices.iter().map(|&i| self.positions[i]));
+                for (src, dst) in self.columns.iter().zip(&mut out.columns) {
+                    dst.extend(indices.iter().map(|&i| src[i].clone()));
+                }
+            }
+            Some(sel) => {
+                out.positions.extend(indices.iter().map(|&i| self.positions[sel[i] as usize]));
+                for (src, dst) in self.columns.iter().zip(&mut out.columns) {
+                    dst.extend(indices.iter().map(|&i| src[sel[i] as usize].clone()));
+                }
+            }
         }
         out
     }
 
     /// Project onto `indices`, consuming the batch. The first use of a
-    /// column moves its vector; repeats clone.
+    /// column moves its vector; repeats clone. Any selection is preserved
+    /// (projection touches column slots, not rows).
     pub fn project(self, indices: &[usize]) -> Result<RecordBatch> {
         let mut source: Vec<Option<Vec<Value>>> = self.columns.into_iter().map(Some).collect();
         let mut columns = Vec::with_capacity(indices.len());
@@ -284,19 +476,31 @@ impl RecordBatch {
                     .expect("repeated index was materialized earlier"),
             });
         }
-        Ok(RecordBatch { positions: self.positions, columns })
+        Ok(RecordBatch { positions: self.positions, columns, sel: self.sel })
     }
 
     /// Shift every position by `delta` (wrapping like `Span::shift`).
+    /// Physical positions shift, so the logical view shifts with them.
     pub fn shift_positions(&mut self, delta: i64) {
         for p in &mut self.positions {
             *p = p.saturating_add(delta);
         }
     }
 
-    /// Drop rows at positions outside `[lower, upper]`, preserving order.
-    /// Positions are sorted, so this truncates both ends in place.
+    /// Drop logical rows at positions outside `[lower, upper]`, preserving
+    /// order. Positions are sorted, so this truncates both ends — in place
+    /// on a dense batch, and purely on the selection vector (no column
+    /// traffic) when one is attached.
     pub fn clamp_positions(&mut self, lower: i64, upper: i64) {
+        if let Some(sel) = &mut self.sel {
+            let start = sel.partition_point(|&i| self.positions[i as usize] < lower);
+            let end = sel.partition_point(|&i| self.positions[i as usize] <= upper);
+            if start > 0 || end < sel.len() {
+                sel.truncate(end);
+                sel.drain(..start);
+            }
+            return;
+        }
         let start = self.positions.partition_point(|&p| p < lower);
         let end = self.positions.partition_point(|&p| p <= upper);
         if start == 0 && end == self.len() {
@@ -305,41 +509,45 @@ impl RecordBatch {
         self.positions.truncate(end);
         self.positions.drain(..start);
         for col in &mut self.columns {
+            if col.is_empty() {
+                continue; // pruned slot
+            }
             col.truncate(end);
             col.drain(..start);
         }
     }
 
-    /// Materialize every row as `(position, Record)` pairs.
+    /// Materialize every logical row as `(position, Record)` pairs.
     pub fn to_records(&self) -> Vec<(i64, Record)> {
         (0..self.len()).map(|i| self.record(i)).collect()
     }
 
-    /// Append every row to `out` as `(position, Record)` pairs.
+    /// Append every logical row to `out` as `(position, Record)` pairs.
     ///
     /// All rows of the batch are materialized into one shared row-major
     /// buffer: one allocation per batch instead of one per record.
     pub fn append_records_into(&self, out: &mut Vec<(i64, Record)>) {
         let (n, arity) = (self.len(), self.arity());
-        let shared: std::sync::Arc<[Value]> = match self.columns.as_slice() {
+        let shared: std::sync::Arc<[Value]> = match (self.columns.as_slice(), &self.sel) {
             // Single column: the row-major layout equals the column itself, so
             // collect straight into the shared allocation.
-            [col] => col.iter().cloned().collect(),
-            cols => {
+            ([col], None) => col.iter().cloned().collect(),
+            ([col], Some(sel)) => sel.iter().map(|&i| col[i as usize].clone()).collect(),
+            (cols, _) => {
                 let mut flat = Vec::with_capacity(n * arity);
                 for i in 0..n {
+                    let p = self.phys(i);
                     for col in cols {
-                        flat.push(col[i].clone());
+                        flat.push(col[p].clone());
                     }
                 }
                 flat.into()
             }
         };
         out.reserve(n);
-        out.extend(
-            (0..n)
-                .map(|i| (self.positions[i], Record::from_shared_slice(&shared, i * arity, arity))),
-        );
+        out.extend((0..n).map(|i| {
+            (self.positions[self.phys(i)], Record::from_shared_slice(&shared, i * arity, arity))
+        }));
     }
 }
 
@@ -347,6 +555,7 @@ impl RecordBatch {
 #[derive(Debug, Clone, Copy)]
 pub struct RowRef<'a> {
     batch: &'a RecordBatch,
+    /// Physical row index (already resolved through any selection).
     row: usize,
 }
 
@@ -363,14 +572,16 @@ impl RowRef<'_> {
         self.batch.arity()
     }
 
-    /// The value in column `idx`.
+    /// The value in column `idx`. Errors when the column is out of bounds
+    /// or was pruned by the scan (never decoded).
     #[inline]
     pub fn value(&self, idx: usize) -> Result<&Value> {
-        self.batch
-            .columns
-            .get(idx)
-            .map(|c| &c[self.row])
-            .ok_or_else(|| SeqError::Schema(format!("column index {idx} out of bounds")))
+        match self.batch.columns.get(idx) {
+            Some(c) => c.get(self.row).ok_or_else(|| {
+                SeqError::Schema(format!("column {idx} not materialized (pruned by scan)"))
+            }),
+            None => Err(SeqError::Schema(format!("column index {idx} out of bounds"))),
+        }
     }
 }
 
@@ -454,5 +665,106 @@ mod tests {
         let mut b = batch_of(&[(1, &[1]), (4, &[4])]);
         b.shift_positions(-3);
         assert_eq!(b.positions(), &[-2, 1]);
+    }
+
+    #[test]
+    fn selection_narrows_logical_view_without_copying() {
+        let mut b = batch_of(&[(1, &[10]), (2, &[20]), (5, &[50]), (9, &[90])]);
+        b.set_selection(vec![1, 3]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.physical_len(), 4);
+        assert_eq!(b.first_pos(), Some(2));
+        assert_eq!(b.last_pos(), Some(9));
+        assert_eq!(b.position_at(1), 9);
+        assert_eq!(b.value_at(0, 0), &Value::Int(20));
+        let (p, r) = b.record(1);
+        assert_eq!((p, r.values()[0].clone()), (9, Value::Int(90)));
+        // Physical views ignore the selection by contract.
+        assert_eq!(b.positions().len(), 4);
+        assert_eq!(b.column(0).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn select_logical_composes_with_existing_selection() {
+        let mut b = batch_of(&[(1, &[1]), (2, &[2]), (3, &[3]), (4, &[4]), (5, &[5])]);
+        b.set_selection(vec![0, 2, 3, 4]); // positions 1,3,4,5
+        b.select_logical(vec![1, 3]); // logical rows 1 and 3 → physical 2, 4
+        assert_eq!(b.selection(), Some(&[2u32, 4][..]));
+        assert_eq!(b.to_records().iter().map(|(p, _)| *p).collect::<Vec<_>>(), vec![3, 5]);
+    }
+
+    #[test]
+    fn clamp_on_selection_trims_only_the_selection() {
+        let mut b = batch_of(&[(1, &[1]), (3, &[3]), (5, &[5]), (7, &[7]), (9, &[9])]);
+        b.set_selection(vec![0, 1, 2, 3, 4]);
+        b.clamp_positions(3, 7);
+        assert_eq!(b.selection(), Some(&[1u32, 2, 3][..]));
+        assert_eq!(b.physical_len(), 5, "physical rows untouched");
+        assert_eq!(b.first_pos(), Some(3));
+        assert_eq!(b.last_pos(), Some(7));
+    }
+
+    #[test]
+    fn compact_gathers_exactly_once_with_exact_capacity() {
+        let mut b = batch_of(&[(1, &[10, 100]), (2, &[20, 200]), (3, &[30, 300])]);
+        let dense_noop = b.compact();
+        assert_eq!(dense_noop, 0);
+        b.set_selection(vec![0, 2]);
+        let copied = b.compact();
+        assert_eq!(copied, 2);
+        assert!(b.is_dense());
+        assert_eq!(b.positions(), &[1, 3]);
+        assert_eq!(b.column(0).unwrap(), &[Value::Int(10), Value::Int(30)]);
+        assert_eq!(b.column(1).unwrap(), &[Value::Int(100), Value::Int(300)]);
+    }
+
+    #[test]
+    fn pruned_columns_survive_compact_and_error_on_read() {
+        let mut b = RecordBatch::new(2);
+        {
+            let (pos, cols) = b.parts_mut();
+            pos.extend([1i64, 2, 3]);
+            cols[0].extend([Value::Int(10), Value::Int(20), Value::Int(30)]);
+            // cols[1] left unmaterialized (pruned by the scan).
+        }
+        b.debug_check_rectangular();
+        assert!(b.column_is_materialized(0));
+        assert!(!b.column_is_materialized(1));
+        assert!(b.row(1).value(1).is_err());
+        assert_eq!(b.row(1).value(0).unwrap(), &Value::Int(20));
+        b.set_selection(vec![0, 2]);
+        b.compact();
+        assert_eq!(b.column(0).unwrap().len(), 2);
+        assert_eq!(b.column(1).unwrap().len(), 0, "pruned slot stays pruned");
+    }
+
+    #[test]
+    fn append_records_into_sees_only_selected_rows() {
+        let mut b = batch_of(&[(1, &[10, 100]), (2, &[20, 200]), (3, &[30, 300])]);
+        b.select_logical(vec![0, 2]);
+        let mut out = Vec::new();
+        b.append_records_into(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 1);
+        assert_eq!(out[1].0, 3);
+        assert_eq!(out[1].1.values(), &[Value::Int(30), Value::Int(300)]);
+        // Single-column fast path.
+        let mut s = batch_of(&[(1, &[10]), (2, &[20]), (3, &[30])]);
+        s.select_logical(vec![1]);
+        let mut out = Vec::new();
+        s.append_records_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2);
+        assert_eq!(out[0].1.values(), &[Value::Int(20)]);
+    }
+
+    #[test]
+    fn gather_resolves_logical_indices_through_selection() {
+        let mut b = batch_of(&[(1, &[1]), (2, &[2]), (3, &[3]), (4, &[4])]);
+        b.set_selection(vec![1, 2, 3]);
+        let g = b.gather(&[0, 2]);
+        assert!(g.is_dense());
+        assert_eq!(g.positions(), &[2, 4]);
+        assert_eq!(g.column(0).unwrap(), &[Value::Int(2), Value::Int(4)]);
     }
 }

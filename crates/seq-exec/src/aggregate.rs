@@ -1168,7 +1168,12 @@ mod tests {
 
     fn batch_input(c: &Catalog, span: Span, batch_size: usize) -> Box<dyn BatchCursor> {
         let store = c.get("S").unwrap();
-        Box::new(crate::batch::BaseBatchCursor::new(&store, span, batch_size))
+        Box::new(crate::batch::BaseBatchCursor::new(
+            &store,
+            span,
+            batch_size,
+            seq_storage::ColumnSet::All,
+        ))
     }
 
     #[test]

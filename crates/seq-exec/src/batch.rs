@@ -65,13 +65,18 @@ pub struct BaseBatchCursor {
 }
 
 impl BaseBatchCursor {
-    /// A batched stream over `store` restricted to `span`.
+    /// A batched stream over `store` restricted to `span`, decoding only the
+    /// `columns` the plan above references (late materialization — pruned
+    /// column slots stay empty and are never gathered downstream).
     pub fn new(
         store: &std::sync::Arc<seq_storage::StoredSequence>,
         span: Span,
         batch_size: usize,
+        columns: seq_storage::ColumnSet,
     ) -> BaseBatchCursor {
-        BaseBatchCursor { scan: store.scan_batch(span, batch_size) }
+        let mut scan = store.scan_batch(span, batch_size);
+        scan.set_columns(columns);
+        BaseBatchCursor { scan }
     }
 }
 
@@ -86,19 +91,33 @@ impl BatchCursor for BaseBatchCursor {
     }
 }
 
-/// The compiled selection kernel: row indices of `batch` satisfying every
-/// `Col <op> Lit` term, evaluated term-by-term over column slices with
-/// short-circuit semantics (a row refuted by term `k` never evaluates term
-/// `k+1`, matching the expression tree's `And`).
+/// The compiled selection kernel: **logical** row indices of `batch`
+/// satisfying every `Col <op> Lit` term, evaluated term-by-term over column
+/// slices with short-circuit semantics (a row refuted by term `k` never
+/// evaluates term `k+1`, matching the expression tree's `And`). On a
+/// selection-carrying batch only the selected rows are evaluated, so stacked
+/// filters never re-test rows an earlier filter dropped.
 pub(crate) fn conjunction_filter_indices(
     batch: &RecordBatch,
     terms: &[(usize, seq_core::CmpOp, Value)],
-) -> Result<Vec<usize>> {
+) -> Result<Vec<u32>> {
     let (ci, op, lit) = &terms[0];
-    let mut idx = Vec::with_capacity(batch.len());
-    for (i, v) in batch.column(*ci)?.iter().enumerate() {
-        if op.holds(v.total_cmp(lit)?) {
-            idx.push(i);
+    let col = batch.column(*ci)?;
+    let mut idx: Vec<u32> = Vec::with_capacity(batch.len());
+    match batch.selection() {
+        None => {
+            for (i, v) in col.iter().enumerate() {
+                if op.holds(v.total_cmp(lit)?) {
+                    idx.push(i as u32);
+                }
+            }
+        }
+        Some(sel) => {
+            for (i, &s) in sel.iter().enumerate() {
+                if op.holds(col[s as usize].total_cmp(lit)?) {
+                    idx.push(i as u32);
+                }
+            }
         }
     }
     for (ci, op, lit) in &terms[1..] {
@@ -106,15 +125,33 @@ pub(crate) fn conjunction_filter_indices(
             break;
         }
         let col = batch.column(*ci)?;
+        let sel = batch.selection();
         let mut kept = Vec::with_capacity(idx.len());
         for &i in &idx {
-            if op.holds(col[i].total_cmp(lit)?) {
+            let p = match sel {
+                Some(s) => s[i as usize] as usize,
+                None => i as usize,
+            };
+            if op.holds(col[p].total_cmp(lit)?) {
                 kept.push(i);
             }
         }
         idx = kept;
     }
     Ok(idx)
+}
+
+/// How a [`SelectBatchCursor`] hands survivors downstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectPolicy {
+    /// Attach a selection vector to the input batch (zero row copies); the
+    /// consumer reads through it or a downstream boundary compacts.
+    #[default]
+    Carry,
+    /// Gather survivors into a dense batch here (the pre-selection-vector
+    /// behavior), chosen by the costed lowering when a dense consumer sits
+    /// directly above and survivors are few.
+    Compact,
 }
 
 /// σ over a batched stream: one predicate evaluation per row, charged as a
@@ -130,39 +167,56 @@ pub struct SelectBatchCursor {
     /// The conjunctive `(column, op, literal)` terms, when the predicate
     /// decomposes into them.
     compiled: Option<Vec<(usize, seq_core::CmpOp, Value)>>,
+    policy: SelectPolicy,
     stats: ExecStats,
 }
 
 impl SelectBatchCursor {
-    /// Filter the batched input by a bound predicate.
+    /// Filter the batched input by a bound predicate, handing survivors
+    /// downstream per `policy`.
     pub fn new(
         input: Box<dyn BatchCursor>,
         predicate: Expr,
+        policy: SelectPolicy,
         stats: ExecStats,
     ) -> SelectBatchCursor {
         let compiled = predicate.as_conjunctive_col_cmp_lits();
-        SelectBatchCursor { input, predicate, compiled, stats }
+        SelectBatchCursor { input, predicate, compiled, policy, stats }
     }
 
-    fn filter(&mut self, batch: RecordBatch) -> Result<RecordBatch> {
+    fn filter(&mut self, mut batch: RecordBatch) -> Result<RecordBatch> {
         let n = batch.len();
-        let idx = if let Some(terms) = &self.compiled {
+        let keep = if let Some(terms) = &self.compiled {
             conjunction_filter_indices(&batch, terms)?
         } else {
-            let mut idx = Vec::with_capacity(n);
+            let mut keep = Vec::with_capacity(n);
             for (i, row) in batch.rows().enumerate() {
                 if self.predicate.eval_predicate_row(&row)? {
-                    idx.push(i);
+                    keep.push(i as u32);
                 }
             }
-            idx
+            keep
         };
         self.stats.record_predicate_evals(n as u64);
         // Everything passed: hand the batch through without copying.
-        if idx.len() == n {
+        if keep.len() == n {
             return Ok(batch);
         }
-        Ok(batch.gather(&idx))
+        match self.policy {
+            SelectPolicy::Carry => {
+                batch.select_logical(keep);
+                if !batch.is_empty() {
+                    self.stats.record_selection_carried();
+                }
+                Ok(batch)
+            }
+            SelectPolicy::Compact => {
+                batch.select_logical(keep);
+                let copied = batch.compact();
+                self.stats.record_slots_compacted(copied as u64);
+                Ok(batch)
+            }
+        }
     }
 }
 
@@ -212,14 +266,16 @@ impl FusedBaseBatchCursor {
         span: Span,
         batch_size: usize,
         terms: Vec<(usize, seq_core::CmpOp, Value)>,
+        columns: seq_storage::ColumnSet,
         stats: ExecStats,
     ) -> FusedBaseBatchCursor {
         let filter = seq_storage::ScanFilter::new(terms.clone());
-        FusedBaseBatchCursor {
-            scan: store.scan_batch_filtered(span, batch_size, Some(filter)),
-            terms,
-            stats,
-        }
+        let mut scan = store.scan_batch_filtered(span, batch_size, Some(filter));
+        // The terms run over the *encoded* page columns, so the pruned set
+        // need not include the predicate columns — only what the plan above
+        // reads of the survivors is ever decoded.
+        scan.set_columns(columns);
+        FusedBaseBatchCursor { scan, terms, stats }
     }
 }
 
@@ -240,6 +296,45 @@ impl BatchCursor for FusedBaseBatchCursor {
     fn next_batch_from(&mut self, lower: i64) -> Result<Option<RecordBatch>> {
         self.scan.skip_to(lower);
         self.next_batch()
+    }
+}
+
+/// A costed compaction boundary: densifies selection-carrying batches before
+/// a consumer that indexes rows physically (the positional joins, the
+/// aggregate cursors, parallel merge buffers).
+///
+/// Inserted by the plan lowering only on edges whose producer may carry a
+/// selection; rows copied are charged to `slots_compacted`, and batches that
+/// arrive dense pass through untouched (a no-op costing nothing).
+pub struct CompactBatchCursor {
+    input: Box<dyn BatchCursor>,
+    stats: ExecStats,
+}
+
+impl CompactBatchCursor {
+    /// Densify every batch `input` yields.
+    pub fn new(input: Box<dyn BatchCursor>, stats: ExecStats) -> CompactBatchCursor {
+        CompactBatchCursor { input, stats }
+    }
+
+    fn densify(&self, batch: Option<RecordBatch>) -> Option<RecordBatch> {
+        batch.map(|mut b| {
+            let copied = b.compact();
+            self.stats.record_slots_compacted(copied as u64);
+            b
+        })
+    }
+}
+
+impl BatchCursor for CompactBatchCursor {
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        let b = self.input.next_batch()?;
+        Ok(self.densify(b))
+    }
+
+    fn next_batch_from(&mut self, lower: i64) -> Result<Option<RecordBatch>> {
+        let b = self.input.next_batch_from(lower)?;
+        Ok(self.densify(b))
     }
 }
 
@@ -462,7 +557,11 @@ impl WindowAggBatchCursor {
                 return Ok(());
             }
             match self.input.next_batch()? {
-                Some(b) if !b.is_empty() => {
+                Some(mut b) if !b.is_empty() => {
+                    // The run-folding below indexes rows physically; the plan
+                    // lowering inserts a charged compaction boundary upstream,
+                    // so this defensive densify is normally a no-op.
+                    b.compact();
                     self.in_batch = Some(b);
                     self.in_row = 0;
                     return Ok(());
@@ -619,7 +718,10 @@ impl BatchCursor for WindowAggBatchCursor {
                 self.in_row = 0;
                 if !self.input_done {
                     match self.input.next_batch_from(bound)? {
-                        Some(b) => self.in_batch = Some(b),
+                        Some(mut b) => {
+                            b.compact(); // see fill_input: defensive densify
+                            self.in_batch = Some(b);
+                        }
                         None => self.input_done = true,
                     }
                 }
@@ -716,8 +818,9 @@ impl Cursor for BatchToRecordCursor {
         if let Some(b) = &self.buf {
             if b.last_pos().is_some_and(|p| p >= lower) {
                 // The buffered batch still covers `lower`: binary-search
-                // forward within it.
-                let lb = b.positions().partition_point(|&p| p < lower);
+                // forward within it (logical view, so a selection-carrying
+                // batch is consumed natively — no compaction needed here).
+                let lb = b.lower_bound(lower);
                 self.row = self.row.max(lb);
                 return self.next();
             }

@@ -743,7 +743,12 @@ mod tests {
     fn batch_stream(c: &Catalog, name: &str, batch_size: usize) -> Box<dyn BatchCursor> {
         let store = c.get(name).unwrap();
         let span = seq_core::Sequence::meta(store.as_ref()).span;
-        Box::new(crate::batch::BaseBatchCursor::new(&store, span, batch_size))
+        Box::new(crate::batch::BaseBatchCursor::new(
+            &store,
+            span,
+            batch_size,
+            seq_storage::ColumnSet::All,
+        ))
     }
 
     fn collect_batches(mut cur: impl BatchCursor) -> Vec<(i64, Record)> {

@@ -20,8 +20,9 @@ use crate::aggregate::{
     WholeSpanAggBatchCursor, WholeSpanAggCursor, WindowAggCursor,
 };
 use crate::batch::{
-    BaseBatchCursor, BatchCursor, BatchToRecordCursor, FusedBaseBatchCursor, PosOffsetBatchCursor,
-    ProjectBatchCursor, RecordToBatchCursor, SelectBatchCursor, WindowAggBatchCursor,
+    BaseBatchCursor, BatchCursor, BatchToRecordCursor, CompactBatchCursor, FusedBaseBatchCursor,
+    PosOffsetBatchCursor, ProjectBatchCursor, RecordToBatchCursor, SelectBatchCursor, SelectPolicy,
+    WindowAggBatchCursor,
 };
 use crate::compose::{
     ComposeProbe, LockStepJoin, LockStepJoinBatch, StreamProbeJoin, StreamProbeJoinBatch,
@@ -37,6 +38,7 @@ use crate::offset::{
 };
 use crate::profile::QueryProfile;
 use crate::stats::ExecStats;
+use seq_storage::ColumnSet;
 
 /// How a compose is evaluated (§3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,11 +72,14 @@ pub enum ValueOffsetStrategy {
 }
 
 /// A forced per-node execution-mode assignment, indexed by pre-order node
-/// id (the profiler's ids). `"batch"` entries run their native batch kernel
-/// even when entered from the record path (behind a
-/// [`BatchToRecordCursor`]); `"tuple"` entries run their stream cursor even
-/// when entered from the batch path (behind a [`RecordToBatchCursor`]);
-/// `"fused"` and any id past the end leave the structural default in place.
+/// id (the profiler's ids). `"batch"`-family entries (`"batch"`,
+/// `"batch+sel"`, `"batch+compact"`) run their native batch kernel even when
+/// entered from the record path (behind a [`BatchToRecordCursor`]); `"tuple"`
+/// entries run their stream cursor even when entered from the batch path
+/// (behind a [`RecordToBatchCursor`]); `"fused"` and any id past the end
+/// leave the structural default in place. On a Select node the batch-family
+/// suffix picks the [`SelectPolicy`]: `"batch+compact"` gathers survivors
+/// densely at the filter, anything else carries a selection vector.
 /// Adapters are inserted exactly at assignment boundaries, so results are
 /// identical under every assignment.
 #[derive(Debug, Clone, Copy)]
@@ -89,7 +94,15 @@ impl ModeAssignment<'_> {
     }
 
     fn forces_batch(&self, id: usize) -> bool {
-        self.modes.get(id) == Some(&"batch")
+        matches!(self.modes.get(id), Some(m) if m.starts_with("batch"))
+    }
+
+    fn select_policy(&self, id: usize) -> SelectPolicy {
+        if self.modes.get(id) == Some(&"batch+compact") {
+            SelectPolicy::Compact
+        } else {
+            SelectPolicy::Carry
+        }
     }
 }
 
@@ -284,11 +297,14 @@ impl PhysNode {
     ) -> Result<Box<dyn Cursor>> {
         if let Some(a) = assign {
             if a.forces_batch(id) && self.is_batch_capable() {
+                // The record consumer above reads whole rows, so the batch
+                // subtree underneath must materialize every column.
                 return Ok(Box::new(BatchToRecordCursor::new(self.open_batch_native(
                     ctx,
                     a.batch_size,
                     id,
                     assign,
+                    &ColumnSet::All,
                 )?)));
             }
         }
@@ -433,13 +449,15 @@ impl PhysNode {
     }
 
     /// Per-operator execution-mode labels in pre-order (`"batch"`,
-    /// `"tuple"`, or `"fused"`), mirroring exactly how
+    /// `"batch+sel"`, `"tuple"`, or `"fused"`), mirroring exactly how
     /// [`PhysNode::open_batch`] lowers the tree. `vectorized` says whether
     /// the root opens on the batch path at all. A non-batch-capable node
     /// drops its whole subtree to the record path behind an adapter; a
     /// Strategy-A compose keeps its streamed side vectorized while the
     /// probed side is a record-path subtree; a fused scan is its own mode
-    /// on either path (the σ ran inside the storage scan).
+    /// on either path (the σ ran inside the storage scan); a native-batch
+    /// Select is `"batch+sel"` — the structural default carries a selection
+    /// vector (the costed lowering may force `"batch+compact"` instead).
     pub fn exec_mode_labels(&self, vectorized: bool) -> Vec<&'static str> {
         let mut out = Vec::with_capacity(self.subtree_size());
         self.push_mode_labels(vectorized, &mut out);
@@ -450,6 +468,7 @@ impl PhysNode {
         let native = in_batch && self.is_batch_capable();
         let label = match self {
             PhysNode::FusedScan { .. } => "fused",
+            PhysNode::Select { .. } if native => "batch+sel",
             _ if native => "batch",
             _ => "tuple",
         };
@@ -593,6 +612,87 @@ impl PhysNode {
         self.open_batch_at(ctx, batch_size, 0)
     }
 
+    /// The set of input columns each child must materialize for this node:
+    /// a projection reads only the indices it keeps, an aggregate reads only
+    /// its attribute column, a compiled selection additionally reads its term
+    /// columns, and row-at-a-time consumers (value offsets, joins,
+    /// non-compilable predicates) need every column. The batch lowering
+    /// threads this set top-down so the base scan decodes only what some
+    /// operator above actually reads.
+    fn child_column_req(&self, req: &ColumnSet) -> ColumnSet {
+        fn only_sorted(mut cols: Vec<usize>) -> ColumnSet {
+            cols.sort_unstable();
+            cols.dedup();
+            ColumnSet::Only(cols)
+        }
+        match self {
+            PhysNode::Select { predicate, .. } => match predicate.as_conjunctive_col_cmp_lits() {
+                Some(terms) => match req {
+                    ColumnSet::All => ColumnSet::All,
+                    ColumnSet::Only(cols) => only_sorted(
+                        cols.iter().copied().chain(terms.iter().map(|(c, _, _)| *c)).collect(),
+                    ),
+                },
+                // The fallback kernel evaluates the expression over whole
+                // rows, so the input must be fully materialized.
+                None => ColumnSet::All,
+            },
+            PhysNode::Project { indices, .. } => match req {
+                ColumnSet::All => only_sorted(indices.clone()),
+                ColumnSet::Only(cols) => {
+                    only_sorted(cols.iter().filter_map(|&j| indices.get(j).copied()).collect())
+                }
+            },
+            PhysNode::PosOffset { .. } => req.clone(),
+            PhysNode::Aggregate { attr_index, .. } => ColumnSet::Only(vec![*attr_index]),
+            _ => ColumnSet::All,
+        }
+    }
+
+    /// True when this node's batch cursor can yield selection-carrying
+    /// batches under `assign`: a carry-policy Select originates them, the
+    /// selection-transparent unit-scope operators pass them through, and
+    /// everything else (scans, aggregates, joins, adapter fallbacks) emits
+    /// dense batches. The lowering inserts a [`CompactBatchCursor`] boundary
+    /// exactly where this is true and the consumer indexes rows physically.
+    fn may_carry_selection(&self, id: usize, assign: Option<ModeAssignment<'_>>) -> bool {
+        if !self.is_batch_capable() || assign.is_some_and(|a| a.forces_tuple(id)) {
+            return false;
+        }
+        match self {
+            PhysNode::Select { .. } => {
+                assign.map_or(SelectPolicy::Carry, |a| a.select_policy(id)) == SelectPolicy::Carry
+            }
+            PhysNode::Project { input, .. } | PhysNode::PosOffset { input, .. } => {
+                input.may_carry_selection(id + 1, assign)
+            }
+            _ => false,
+        }
+    }
+
+    /// Open `self` (a batch child at pre-order `id`) for a consumer that
+    /// indexes rows physically, densifying behind a charged
+    /// [`CompactBatchCursor`] only when this subtree may actually carry a
+    /// selection. `consumer` is the consuming operator's id — the compaction
+    /// is work the consumer demanded, so its rows are charged there.
+    #[allow(clippy::too_many_arguments)]
+    fn open_batch_dense(
+        &self,
+        ctx: &ExecContext<'_>,
+        batch_size: usize,
+        id: usize,
+        assign: Option<ModeAssignment<'_>>,
+        req: &ColumnSet,
+        consumer: usize,
+    ) -> Result<Box<dyn BatchCursor>> {
+        let cur = self.open_batch_in(ctx, batch_size, id, assign, req)?;
+        Ok(if self.may_carry_selection(id, assign) {
+            Box::new(CompactBatchCursor::new(cur, ctx.op_stats(consumer)))
+        } else {
+            cur
+        })
+    }
+
     /// [`PhysNode::open_batch`] under a forced per-node [`ModeAssignment`]
     /// (pre-order, same ids the profiler uses). Nodes the assignment leaves
     /// at their structural default lower exactly as [`PhysNode::open_batch`];
@@ -604,29 +704,40 @@ impl PhysNode {
         batch_size: usize,
         modes: &[&'static str],
     ) -> Result<Box<dyn BatchCursor>> {
-        self.open_batch_in(ctx, batch_size, 0, Some(ModeAssignment { modes, batch_size }))
+        self.open_batch_in(
+            ctx,
+            batch_size,
+            0,
+            Some(ModeAssignment { modes, batch_size }),
+            &ColumnSet::All,
+        )
     }
 
     /// [`PhysNode::open_batch`] with this node's pre-order id supplied, so a
-    /// profiling context can attribute work to plan nodes.
+    /// profiling context can attribute work to plan nodes. The root always
+    /// materializes every column: the batch drivers hand whole rows to the
+    /// caller.
     fn open_batch_at(
         &self,
         ctx: &ExecContext<'_>,
         batch_size: usize,
         id: usize,
     ) -> Result<Box<dyn BatchCursor>> {
-        self.open_batch_in(ctx, batch_size, id, None)
+        self.open_batch_in(ctx, batch_size, id, None, &ColumnSet::All)
     }
 
-    /// [`PhysNode::open_batch_at`] under an optional forced mode assignment:
-    /// structurally incapable nodes and nodes forced to `"tuple"` run their
-    /// stream cursor behind a [`RecordToBatchCursor`] adapter.
+    /// [`PhysNode::open_batch_at`] under an optional forced mode assignment
+    /// and the consumer's referenced-column set `req`: structurally
+    /// incapable nodes and nodes forced to `"tuple"` run their stream cursor
+    /// behind a [`RecordToBatchCursor`] adapter (which always materializes
+    /// full rows, so `req` stops there).
     fn open_batch_in(
         &self,
         ctx: &ExecContext<'_>,
         batch_size: usize,
         id: usize,
         assign: Option<ModeAssignment<'_>>,
+        req: &ColumnSet,
     ) -> Result<Box<dyn BatchCursor>> {
         let forced_tuple = assign.is_some_and(|a| a.forces_tuple(id));
         if !self.is_batch_capable() || forced_tuple {
@@ -639,23 +750,30 @@ impl PhysNode {
                 batch_size,
             )));
         }
-        self.open_batch_native(ctx, batch_size, id, assign)
+        self.open_batch_native(ctx, batch_size, id, assign, req)
     }
 
     /// This node's native batch kernel (capability already checked), with
-    /// children lowered through the assignment-aware entry points.
+    /// children lowered through the assignment-aware entry points. `req` is
+    /// the set of this node's *output* columns some consumer above reads;
+    /// each arm translates it into the child requirement via
+    /// [`PhysNode::child_column_req`], and consumers that index rows
+    /// physically open their children through
+    /// [`PhysNode::open_batch_dense`].
     fn open_batch_native(
         &self,
         ctx: &ExecContext<'_>,
         batch_size: usize,
         id: usize,
         assign: Option<ModeAssignment<'_>>,
+        req: &ColumnSet,
     ) -> Result<Box<dyn BatchCursor>> {
+        let child_req = self.child_column_req(req);
         let cursor: Box<dyn BatchCursor> = match self {
             PhysNode::Base { name, span } => {
                 let store = ctx.base_store(name, id)?;
                 let clamped = span.intersect(&seq_core::Sequence::meta(store.as_ref()).span);
-                Box::new(BaseBatchCursor::new(&store, clamped, batch_size))
+                Box::new(BaseBatchCursor::new(&store, clamped, batch_size, req.clone()))
             }
             PhysNode::FusedScan { name, terms, span, .. } => {
                 let store = ctx.base_store(name, id)?;
@@ -665,54 +783,61 @@ impl PhysNode {
                     clamped,
                     batch_size,
                     terms.clone(),
+                    req.clone(),
                     ctx.op_stats(id),
                 ))
             }
             PhysNode::Select { input, predicate, .. } => Box::new(SelectBatchCursor::new(
-                input.open_batch_in(ctx, batch_size, id + 1, assign)?,
+                input.open_batch_in(ctx, batch_size, id + 1, assign, &child_req)?,
                 predicate.clone(),
+                assign.map_or(SelectPolicy::Carry, |a| a.select_policy(id)),
                 ctx.op_stats(id),
             )),
             PhysNode::Project { input, indices, .. } => Box::new(ProjectBatchCursor::new(
-                input.open_batch_in(ctx, batch_size, id + 1, assign)?,
+                input.open_batch_in(ctx, batch_size, id + 1, assign, &child_req)?,
                 indices.clone(),
             )),
             PhysNode::PosOffset { input, offset, span } => Box::new(PosOffsetBatchCursor::new(
-                input.open_batch_in(ctx, batch_size, id + 1, assign)?,
+                input.open_batch_in(ctx, batch_size, id + 1, assign, &child_req)?,
                 *offset,
                 *span,
             )),
-            PhysNode::Aggregate { input, func, attr_index, window, strategy, span } => match window
-            {
-                Window::Sliding { .. } => Box::new(WindowAggBatchCursor::new(
-                    input.open_batch_in(ctx, batch_size, id + 1, assign)?,
-                    *func,
-                    *attr_index,
-                    *window,
-                    *span,
-                    *strategy == AggStrategy::CacheAIncremental,
-                    batch_size,
-                )?),
-                Window::Cumulative => Box::new(CumulativeAggBatchCursor::new(
-                    input.open_batch_in(ctx, batch_size, id + 1, assign)?,
-                    *func,
-                    *attr_index,
-                    *span,
-                    batch_size,
-                )?),
-                Window::WholeSpan => Box::new(WholeSpanAggBatchCursor::new(
-                    input.open_batch_in(ctx, batch_size, id + 1, assign)?,
-                    *func,
-                    *attr_index,
-                    *span,
-                    batch_size,
-                )?),
-            },
+            PhysNode::Aggregate { input, func, attr_index, window, strategy, span } => {
+                // The aggregate cursors index their input rows physically, so
+                // a selection-carrying child densifies at a charged boundary.
+                let child =
+                    input.open_batch_dense(ctx, batch_size, id + 1, assign, &child_req, id)?;
+                match window {
+                    Window::Sliding { .. } => Box::new(WindowAggBatchCursor::new(
+                        child,
+                        *func,
+                        *attr_index,
+                        *window,
+                        *span,
+                        *strategy == AggStrategy::CacheAIncremental,
+                        batch_size,
+                    )?),
+                    Window::Cumulative => Box::new(CumulativeAggBatchCursor::new(
+                        child,
+                        *func,
+                        *attr_index,
+                        *span,
+                        batch_size,
+                    )?),
+                    Window::WholeSpan => Box::new(WholeSpanAggBatchCursor::new(
+                        child,
+                        *func,
+                        *attr_index,
+                        *span,
+                        batch_size,
+                    )?),
+                }
+            }
             PhysNode::ValueOffset { input, offset, span, .. } => {
                 // Only IncrementalCacheB is batch-capable; the guard above
                 // routed NaiveProbe through the adapter.
                 Box::new(ValueOffsetBatchCursor::new(
-                    input.open_batch_in(ctx, batch_size, id + 1, assign)?,
+                    input.open_batch_dense(ctx, batch_size, id + 1, assign, &child_req, id)?,
                     *offset,
                     *span,
                     ctx.op_stats(id),
@@ -723,21 +848,23 @@ impl PhysNode {
                 let right_id = id + 1 + left.subtree_size();
                 match strategy {
                     JoinStrategy::LockStep => Box::new(LockStepJoinBatch::new(
-                        left.open_batch_in(ctx, batch_size, id + 1, assign)?,
-                        right.open_batch_in(ctx, batch_size, right_id, assign)?,
+                        left.open_batch_dense(ctx, batch_size, id + 1, assign, &child_req, id)?,
+                        right
+                            .open_batch_dense(ctx, batch_size, right_id, assign, &child_req, id)?,
                         predicate.clone(),
                         ctx.op_stats(id),
                         batch_size,
                     )),
                     JoinStrategy::StreamLeftProbeRight => Box::new(StreamProbeJoinBatch::new(
-                        left.open_batch_in(ctx, batch_size, id + 1, assign)?,
+                        left.open_batch_dense(ctx, batch_size, id + 1, assign, &child_req, id)?,
                         right.open_probe_at(ctx, right_id)?,
                         StreamSide::Left,
                         predicate.clone(),
                         ctx.op_stats(id),
                     )),
                     JoinStrategy::StreamRightProbeLeft => Box::new(StreamProbeJoinBatch::new(
-                        right.open_batch_in(ctx, batch_size, right_id, assign)?,
+                        right
+                            .open_batch_dense(ctx, batch_size, right_id, assign, &child_req, id)?,
                         left.open_probe_at(ctx, id + 1)?,
                         StreamSide::Right,
                         predicate.clone(),

@@ -262,6 +262,8 @@ impl QueryProfile {
             t.predicate_evals += s.predicate_evals;
             t.naive_walk_steps += s.naive_walk_steps;
             t.stat_folds += s.stat_folds;
+            t.selections_carried += s.selections_carried;
+            t.slots_compacted += s.slots_compacted;
         }
         t
     }
@@ -281,6 +283,7 @@ impl QueryProfile {
                 t.scans_opened += s.scans_opened;
                 t.stat_folds += s.stat_folds;
                 t.bytes_decoded += s.bytes_decoded;
+                t.columns_pruned += s.columns_pruned;
             }
         }
         t

@@ -27,6 +27,15 @@ struct ExecStatsInner {
     /// outputs and predicate evaluations once per batch instead of once per
     /// record; this counts those folds so tests can verify the contract.
     stat_folds: AtomicU64,
+    /// Batches emitted carrying a selection vector instead of being gathered
+    /// into a dense batch. Path-dependent (like `bytes_decoded`): it varies
+    /// with the carry-vs-compact lowering and is excluded from the
+    /// cross-path equality contract.
+    selections_carried: AtomicU64,
+    /// Rows copied by compaction boundaries (a [`RecordBatch::compact`]
+    /// gather that densifies a selection-carrying batch before a consumer
+    /// that indexes physically). Path-dependent, like `selections_carried`.
+    slots_compacted: AtomicU64,
 }
 
 /// Cheaply cloneable handle to shared executor counters.
@@ -119,6 +128,26 @@ impl ExecStats {
         }
     }
 
+    /// Charge one batch passed downstream with its selection carried (not
+    /// gathered). Plain add, no fold: the charge is already per batch.
+    pub fn record_selection_carried(&self) {
+        self.inner.selections_carried.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.selections_carried.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge `n` rows copied by a compaction boundary. Plain add, no fold:
+    /// compaction is itself a per-batch event.
+    pub fn record_slots_compacted(&self, n: u64) {
+        if n > 0 {
+            self.inner.slots_compacted.fetch_add(n, Ordering::Relaxed);
+            if let Some(p) = &self.parent {
+                p.slots_compacted.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> ExecSnapshot {
         ExecSnapshot {
@@ -128,6 +157,8 @@ impl ExecStats {
             predicate_evals: self.inner.predicate_evals.load(Ordering::Relaxed),
             naive_walk_steps: self.inner.naive_walk_steps.load(Ordering::Relaxed),
             stat_folds: self.inner.stat_folds.load(Ordering::Relaxed),
+            selections_carried: self.inner.selections_carried.load(Ordering::Relaxed),
+            slots_compacted: self.inner.slots_compacted.load(Ordering::Relaxed),
         }
     }
 
@@ -139,6 +170,8 @@ impl ExecStats {
         self.inner.predicate_evals.store(0, Ordering::Relaxed);
         self.inner.naive_walk_steps.store(0, Ordering::Relaxed);
         self.inner.stat_folds.store(0, Ordering::Relaxed);
+        self.inner.selections_carried.store(0, Ordering::Relaxed);
+        self.inner.slots_compacted.store(0, Ordering::Relaxed);
     }
 }
 
@@ -157,6 +190,11 @@ pub struct ExecSnapshot {
     pub naive_walk_steps: u64,
     /// Folded (per-batch) counter updates performed by the vectorized path.
     pub stat_folds: u64,
+    /// Batches passed downstream carrying a selection vector (path-dependent;
+    /// excluded from cross-path equality like `bytes_decoded`).
+    pub selections_carried: u64,
+    /// Rows copied by compaction boundaries (path-dependent).
+    pub slots_compacted: u64,
 }
 
 impl ExecSnapshot {
@@ -169,6 +207,8 @@ impl ExecSnapshot {
             predicate_evals: self.predicate_evals.saturating_sub(earlier.predicate_evals),
             naive_walk_steps: self.naive_walk_steps.saturating_sub(earlier.naive_walk_steps),
             stat_folds: self.stat_folds.saturating_sub(earlier.stat_folds),
+            selections_carried: self.selections_carried.saturating_sub(earlier.selections_carried),
+            slots_compacted: self.slots_compacted.saturating_sub(earlier.slots_compacted),
         }
     }
 }
@@ -177,12 +217,15 @@ impl fmt::Display for ExecSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "out={} cache_stores={} cache_probes={} preds={} naive_steps={}",
+            "out={} cache_stores={} cache_probes={} preds={} naive_steps={} sel_carried={} \
+             compacted={}",
             self.output_records,
             self.cache_stores,
             self.cache_probes,
             self.predicate_evals,
-            self.naive_walk_steps
+            self.naive_walk_steps,
+            self.selections_carried,
+            self.slots_compacted
         )
     }
 }
@@ -236,6 +279,23 @@ mod tests {
         a.reset();
         assert_eq!(a.snapshot(), ExecSnapshot::default());
         assert_eq!(global.snapshot().predicate_evals, 101);
+    }
+
+    #[test]
+    fn selection_counters_tee_without_folding() {
+        let global = ExecStats::new();
+        let scope = ExecStats::scoped(&global);
+        scope.record_selection_carried();
+        scope.record_selection_carried();
+        scope.record_slots_compacted(37);
+        scope.record_slots_compacted(0); // dense: nothing copied, no charge
+        let (s, g) = (scope.snapshot(), global.snapshot());
+        assert_eq!(s.selections_carried, 2);
+        assert_eq!(s.slots_compacted, 37);
+        assert_eq!(g.selections_carried, 2);
+        assert_eq!(g.slots_compacted, 37);
+        // Per-batch events are plain adds, not folded vector charges.
+        assert_eq!(g.stat_folds, 0);
     }
 
     #[test]

@@ -374,7 +374,10 @@ pub struct SessionMetrics {
     probes: AtomicU64,
     stream_records: AtomicU64,
     bytes_decoded: AtomicU64,
+    columns_pruned: AtomicU64,
     predicate_evals: AtomicU64,
+    selections_carried: AtomicU64,
+    slots_compacted: AtomicU64,
     cache_probes: AtomicU64,
     cache_stores: AtomicU64,
     morsels: AtomicU64,
@@ -425,7 +428,10 @@ impl SessionMetrics {
             probes: AtomicU64::new(0),
             stream_records: AtomicU64::new(0),
             bytes_decoded: AtomicU64::new(0),
+            columns_pruned: AtomicU64::new(0),
             predicate_evals: AtomicU64::new(0),
+            selections_carried: AtomicU64::new(0),
+            slots_compacted: AtomicU64::new(0),
             cache_probes: AtomicU64::new(0),
             cache_stores: AtomicU64::new(0),
             morsels: AtomicU64::new(0),
@@ -518,7 +524,10 @@ impl SessionMetrics {
         self.probes.fetch_add(storage.probes, Ordering::Relaxed);
         self.stream_records.fetch_add(storage.stream_records, Ordering::Relaxed);
         self.bytes_decoded.fetch_add(storage.bytes_decoded, Ordering::Relaxed);
+        self.columns_pruned.fetch_add(storage.columns_pruned, Ordering::Relaxed);
         self.predicate_evals.fetch_add(exec.predicate_evals, Ordering::Relaxed);
+        self.selections_carried.fetch_add(exec.selections_carried, Ordering::Relaxed);
+        self.slots_compacted.fetch_add(exec.slots_compacted, Ordering::Relaxed);
         self.cache_probes.fetch_add(exec.cache_probes, Ordering::Relaxed);
         self.cache_stores.fetch_add(exec.cache_stores, Ordering::Relaxed);
         self.execute_latency.record(dur);
@@ -606,7 +615,10 @@ impl SessionMetrics {
             probes: self.probes.load(Ordering::Relaxed),
             stream_records: self.stream_records.load(Ordering::Relaxed),
             bytes_decoded: self.bytes_decoded.load(Ordering::Relaxed),
+            columns_pruned: self.columns_pruned.load(Ordering::Relaxed),
             predicate_evals: self.predicate_evals.load(Ordering::Relaxed),
+            selections_carried: self.selections_carried.load(Ordering::Relaxed),
+            slots_compacted: self.slots_compacted.load(Ordering::Relaxed),
             cache_probes: self.cache_probes.load(Ordering::Relaxed),
             cache_stores: self.cache_stores.load(Ordering::Relaxed),
             morsels: self.morsels.load(Ordering::Relaxed),
@@ -642,7 +654,10 @@ impl SessionMetrics {
         self.probes.store(0, Ordering::Relaxed);
         self.stream_records.store(0, Ordering::Relaxed);
         self.bytes_decoded.store(0, Ordering::Relaxed);
+        self.columns_pruned.store(0, Ordering::Relaxed);
         self.predicate_evals.store(0, Ordering::Relaxed);
+        self.selections_carried.store(0, Ordering::Relaxed);
+        self.slots_compacted.store(0, Ordering::Relaxed);
         self.cache_probes.store(0, Ordering::Relaxed);
         self.cache_stores.store(0, Ordering::Relaxed);
         self.morsels.store(0, Ordering::Relaxed);
@@ -728,7 +743,10 @@ impl SessionMetrics {
             ("probes", snap.probes),
             ("stream_records", snap.stream_records),
             ("bytes_decoded", snap.bytes_decoded),
+            ("columns_pruned", snap.columns_pruned),
             ("predicate_evals", snap.predicate_evals),
+            ("selections_carried", snap.selections_carried),
+            ("slots_compacted", snap.slots_compacted),
             ("cache_probes", snap.cache_probes),
             ("cache_stores", snap.cache_stores),
             ("morsels", snap.morsels),
@@ -851,8 +869,14 @@ pub struct MetricsSnapshot {
     pub stream_records: u64,
     /// Bytes decoded from encoded columns.
     pub bytes_decoded: u64,
+    /// Column slots left un-decoded by scan-level pruning.
+    pub columns_pruned: u64,
     /// Predicate applications (the paper's K term).
     pub predicate_evals: u64,
+    /// Batches handed downstream with a selection vector still attached.
+    pub selections_carried: u64,
+    /// Rows copied when a selection was densified at a batch boundary.
+    pub slots_compacted: u64,
     /// Operator-cache lookups.
     pub cache_probes: u64,
     /// Operator-cache insertions.

@@ -191,6 +191,30 @@ fn plans() -> Vec<(&'static str, PhysNode)> {
         ),
         ("cumulative-avg", agg(base("D"), AggStrategy::CacheA, Window::Cumulative)),
         ("whole-span-avg", agg(base("S"), AggStrategy::CacheA, Window::WholeSpan)),
+        // Selection-vector stacking: each shape keeps the carried selection
+        // alive across at least one operator hand-off.
+        ("select-over-select", select(Box::new(select(base("D"), 25.0)), 60.0)),
+        (
+            "project-over-select",
+            PhysNode::Project {
+                input: Box::new(select(base("D"), 40.0)),
+                indices: vec![1, 0],
+                span,
+            },
+        ),
+        ("select-over-fused", select(Box::new(fused("D", pred(20.0))), 60.0)),
+        (
+            "posoffset-over-select",
+            PhysNode::PosOffset { input: Box::new(select(base("D"), 35.0)), offset: -3, span },
+        ),
+        (
+            "agg-over-select-compacts",
+            agg(
+                Box::new(select(base("D"), 30.0)),
+                AggStrategy::CacheAIncremental,
+                Window::trailing(5),
+            ),
+        ),
         (
             // Compose + value offset + cumulative aggregate with no block
             // boundary anywhere: the full-native stack the lowering is
@@ -631,4 +655,58 @@ fn empty_span_cursors_yield_nothing_without_touching_input() {
     .unwrap();
     assert!(whole_b.next_batch().unwrap().is_none());
     assert!(whole_b.next_batch_from(0).unwrap().is_none());
+}
+
+#[test]
+fn carried_selections_expose_consistent_logical_views() {
+    // Every batch any plan hands downstream — dense or selection-carrying —
+    // must present one coherent logical view: logical length, per-row
+    // accessors, `to_records`, `lower_bound`, and a forced `compact()` all
+    // agree; selections are strictly increasing physical indices; pruned
+    // column slots stay empty rather than half-materialized.
+    for (name, node) in plans() {
+        let cat = catalog(42);
+        let ctx = ExecContext::new(&cat);
+        let mut cursor = node.open_batch(&ctx, 48).unwrap();
+        let mut saw_selection = false;
+        while let Some(batch) = cursor.next_batch().unwrap() {
+            let n = batch.len();
+            assert!(n > 0, "{name}: empty batch escaped");
+            assert!(n <= batch.physical_len(), "{name}: logical exceeds physical");
+            if let Some(sel) = batch.selection() {
+                saw_selection = true;
+                assert_eq!(sel.len(), n, "{name}: selection length");
+                assert!(
+                    sel.windows(2).all(|w| w[0] < w[1]),
+                    "{name}: selection not strictly increasing: {sel:?}"
+                );
+                assert!(
+                    sel.iter().all(|&i| (i as usize) < batch.physical_len()),
+                    "{name}: selection indexes out of the physical batch"
+                );
+            }
+            let rows = batch.to_records();
+            assert_eq!(rows.len(), n, "{name}: to_records length");
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(row.0, batch.position_at(i), "{name}: position accessor");
+                let (pos, rec) = batch.record(i);
+                assert_eq!((pos, rec), *row, "{name}: record accessor at {i}");
+                // lower_bound is a logical partition point.
+                let lb = batch.lower_bound(row.0);
+                assert!(lb <= i && batch.position_at(lb) == row.0, "{name}: lower_bound");
+            }
+            // Densifying must be an observational no-op.
+            let mut dense = batch.clone();
+            let copied = dense.compact();
+            assert!(dense.selection().is_none(), "{name}: compact left a selection");
+            assert_eq!(dense.to_records(), rows, "{name}: compact changed contents");
+            if copied > 0 {
+                assert_eq!(copied, n, "{name}: compact copied a partial batch");
+            }
+        }
+        // The shapes added for selection stacking must actually carry one.
+        if matches!(name, "select-over-select" | "project-over-select" | "posoffset-over-select") {
+            assert!(saw_selection, "{name}: expected at least one carried selection");
+        }
+    }
 }

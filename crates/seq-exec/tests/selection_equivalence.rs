@@ -1,0 +1,376 @@
+//! Differential audit of selection-vector execution.
+//!
+//! Every plan in a randomized family runs five ways — record-at-a-time,
+//! structurally-lowered batch (selections carried by default), carry-forced,
+//! compact-forced, and parallel — and the paths must agree:
+//!
+//! - **rows bit-identical** across all five executions;
+//! - **path-independent counters exact**: `page_reads`, `pages_skipped`,
+//!   `probes`, and `predicate_evals` do not depend on how survivors are
+//!   represented between operators;
+//! - **path-dependent counters follow the documented taxonomy**:
+//!   `selections_carried` is non-zero exactly when a partially-filtering
+//!   select hands survivors on under the carry policy, `slots_compacted`
+//!   counts the rows copied when a selection is densified (at the filter
+//!   under the compact policy, at a physical consumer's boundary under
+//!   carry), and `bytes_decoded` / `columns_pruned` show the late-
+//!   materialization savings the batch path exists for.
+
+use seq_core::{record, schema, AttrType, BaseSequence, Span};
+use seq_exec::{
+    execute, execute_batched_assigned, execute_batched_with, execute_parallel, AggStrategy,
+    ExecContext, PhysNode, PhysPlan,
+};
+use seq_ops::{AggFunc, Expr, Window};
+use seq_storage::Catalog;
+use seq_workload::Rng;
+
+fn span() -> Span {
+    Span::new(1, 600)
+}
+
+fn catalog(seed: u64) -> Catalog {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut c = Catalog::new();
+    c.set_page_capacity(16);
+    let sch = schema(&[
+        ("time", AttrType::Int),
+        ("close", AttrType::Float),
+        ("vol", AttrType::Float),
+        ("size", AttrType::Int),
+    ]);
+    let mut entries = Vec::new();
+    for p in 1i64..=600 {
+        if rng.gen_bool(0.85) {
+            entries.push((
+                p,
+                record![
+                    p,
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..10_000.0),
+                    rng.gen_range(0..500i64)
+                ],
+            ));
+        }
+    }
+    let seq = BaseSequence::from_entries(sch, entries).unwrap();
+    c.register("T", &seq);
+    c
+}
+
+fn sch() -> seq_core::Schema {
+    schema(&[
+        ("time", AttrType::Int),
+        ("close", AttrType::Float),
+        ("vol", AttrType::Float),
+        ("size", AttrType::Int),
+    ])
+}
+
+fn base() -> Box<PhysNode> {
+    Box::new(PhysNode::Base { name: "T".into(), span: span() })
+}
+
+fn pred_close(t: f64) -> Expr {
+    Expr::attr("close").gt(Expr::lit(t)).bind(&sch()).unwrap()
+}
+
+fn pred_conj(lo: f64, hi: f64) -> Expr {
+    let a = Expr::attr("close").gt(Expr::lit(lo));
+    let b = Expr::attr("vol").lt(Expr::lit(hi));
+    a.and(b).bind(&sch()).unwrap()
+}
+
+fn select(input: Box<PhysNode>, predicate: Expr) -> PhysNode {
+    PhysNode::Select { input, predicate, span: span() }
+}
+
+fn fused(predicate: Expr) -> PhysNode {
+    let terms = predicate.as_conjunctive_col_cmp_lits().expect("pushdown-eligible");
+    PhysNode::FusedScan { name: "T".into(), predicate, terms, span: span() }
+}
+
+/// A plan plus what the taxonomy says its counters must show.
+struct Case {
+    name: &'static str,
+    node: PhysNode,
+    /// The plan filters partially: survivors exist and so do casualties, so
+    /// the carry run must record carried selections and the compact run must
+    /// record copied slots.
+    partial_filter: bool,
+    /// The batch path decodes strictly less than the record path (scan-level
+    /// column pruning or fused survivor-only materialization).
+    late_mat_wins: bool,
+}
+
+fn cases() -> Vec<Case> {
+    let mut cases = vec![
+        Case {
+            name: "select-mid",
+            node: select(base(), pred_close(40.0)),
+            partial_filter: true,
+            late_mat_wins: false,
+        },
+        Case {
+            name: "select-all-filtered",
+            node: select(base(), pred_close(1000.0)),
+            partial_filter: false,
+            late_mat_wins: false,
+        },
+        Case {
+            name: "stacked-selects",
+            node: select(Box::new(select(base(), pred_close(25.0))), pred_conj(40.0, 7000.0)),
+            partial_filter: true,
+            late_mat_wins: false,
+        },
+        Case {
+            // Project narrows the referenced set to {close}; the predicate
+            // column is already in it, so `vol`/`size`/`time` are never
+            // decoded on the batch path while the record path pays for all.
+            name: "project-over-select-prunes",
+            node: PhysNode::Project {
+                input: Box::new(select(base(), pred_close(35.0))),
+                indices: vec![1],
+                span: span(),
+            },
+            partial_filter: true,
+            late_mat_wins: true,
+        },
+        Case {
+            // The fused kernel evaluates the conjunction over the encoded
+            // page and materializes survivors only — low selectivity means
+            // most slots are never decoded.
+            name: "fused-low-selectivity",
+            node: fused(pred_conj(80.0, 2000.0)),
+            partial_filter: false, // fused filters in the scan, not a Select
+            late_mat_wins: true,
+        },
+        Case {
+            name: "project-over-fused",
+            node: PhysNode::Project {
+                input: Box::new(fused(pred_close(75.0))),
+                indices: vec![1, 3],
+                span: span(),
+            },
+            partial_filter: false,
+            late_mat_wins: true,
+        },
+        Case {
+            // A dense consumer above the filter: under carry the boundary
+            // compacts, under compact the filter does — both must agree.
+            name: "agg-over-select-boundary",
+            node: PhysNode::Aggregate {
+                input: Box::new(select(base(), pred_close(30.0))),
+                func: AggFunc::Avg,
+                attr_index: 1,
+                window: Window::trailing(7),
+                strategy: AggStrategy::CacheAIncremental,
+                span: span(),
+            },
+            partial_filter: true,
+            late_mat_wins: false,
+        },
+        Case {
+            name: "posoffset-over-select",
+            node: PhysNode::PosOffset {
+                input: Box::new(select(base(), pred_close(45.0))),
+                offset: -3,
+                span: span(),
+            },
+            partial_filter: true,
+            late_mat_wins: false,
+        },
+    ];
+    // Randomized select stacks: thresholds and depth vary, the contract
+    // does not.
+    for seed in 0..6u64 {
+        let mut rng = Rng::seed_from_u64(0xB00 + seed);
+        let mut node =
+            if rng.gen_bool(0.5) { *base() } else { fused(pred_close(rng.gen_range(10.0..40.0))) };
+        for _ in 0..rng.gen_range(1..=3u32) {
+            let p = if rng.gen_bool(0.5) {
+                pred_close(rng.gen_range(20.0..80.0))
+            } else {
+                pred_conj(rng.gen_range(10.0..60.0), rng.gen_range(3000.0..9000.0))
+            };
+            node = select(Box::new(node), p);
+        }
+        cases.push(Case {
+            name: Box::leak(format!("random-stack-{seed}").into_boxed_str()),
+            node,
+            partial_filter: false, // unknown a priori; carried/compacted checked relationally
+            late_mat_wins: false,
+        });
+    }
+    cases
+}
+
+/// The structural labels with every native select forced to `label`.
+fn forced_labels(node: &PhysNode, label: &'static str) -> Vec<&'static str> {
+    node.exec_mode_labels(true)
+        .into_iter()
+        .map(|l| if l == "batch+sel" || l == "batch+compact" { label } else { l })
+        .collect()
+}
+
+struct Run {
+    rows: Vec<(i64, seq_core::Record)>,
+    storage: seq_storage::StatsSnapshot,
+    exec: seq_exec::ExecSnapshot,
+}
+
+fn run(node: &PhysNode, mode: &str, batch_size: usize) -> Run {
+    let plan = PhysPlan::new(node.clone(), span());
+    let cat = catalog(17);
+    let ctx = ExecContext::new(&cat);
+    let rows = match mode {
+        "tuple" => execute(&plan, &ctx).unwrap(),
+        "batch" => execute_batched_with(&plan, &ctx, batch_size).unwrap(),
+        "carry" => {
+            let labels = forced_labels(node, "batch+sel");
+            execute_batched_assigned(&plan, &ctx, batch_size, &labels).unwrap()
+        }
+        "compact" => {
+            let labels = forced_labels(node, "batch+compact");
+            execute_batched_assigned(&plan, &ctx, batch_size, &labels).unwrap()
+        }
+        "parallel" => execute_parallel(&plan, &ctx, 3).unwrap(),
+        other => unreachable!("unknown mode {other}"),
+    };
+    Run { rows, storage: cat.stats().snapshot(), exec: ctx.stats.snapshot() }
+}
+
+#[test]
+fn all_paths_agree_on_rows_and_shared_counters() {
+    for case in cases() {
+        for batch_size in [7usize, 64, 512] {
+            let tuple = run(&case.node, "tuple", batch_size);
+            let batch = run(&case.node, "batch", batch_size);
+            let carry = run(&case.node, "carry", batch_size);
+            let compact = run(&case.node, "compact", batch_size);
+
+            let name = case.name;
+            assert_eq!(tuple.rows, batch.rows, "{name}/bs={batch_size}: batch rows");
+            assert_eq!(tuple.rows, carry.rows, "{name}/bs={batch_size}: carry rows");
+            assert_eq!(tuple.rows, compact.rows, "{name}/bs={batch_size}: compact rows");
+
+            // Path-independent counters: exact across every representation.
+            for (label, r) in [("batch", &batch), ("carry", &carry), ("compact", &compact)] {
+                assert_eq!(
+                    tuple.storage.page_reads, r.storage.page_reads,
+                    "{name}/bs={batch_size}: {label} page_reads"
+                );
+                assert_eq!(
+                    tuple.storage.pages_skipped, r.storage.pages_skipped,
+                    "{name}/bs={batch_size}: {label} pages_skipped"
+                );
+                assert_eq!(
+                    tuple.storage.probes, r.storage.probes,
+                    "{name}/bs={batch_size}: {label} probes"
+                );
+                assert_eq!(
+                    tuple.exec.predicate_evals, r.exec.predicate_evals,
+                    "{name}/bs={batch_size}: {label} predicate_evals"
+                );
+            }
+
+            // Carry and compact differ only in survivor representation:
+            // identical storage traffic, identical decode, identical pruning.
+            assert_eq!(
+                carry.storage, compact.storage,
+                "{name}/bs={batch_size}: storage snapshots must match across policies"
+            );
+            // The structural default is carry, so the unassigned batch run
+            // must be the carry run.
+            assert_eq!(
+                batch.exec.selections_carried, carry.exec.selections_carried,
+                "{name}/bs={batch_size}: structural default is not carry"
+            );
+
+            // The documented taxonomy.
+            assert_eq!(
+                compact.exec.selections_carried, 0,
+                "{name}/bs={batch_size}: compact-forced run carried a selection"
+            );
+            if case.partial_filter {
+                assert!(
+                    carry.exec.selections_carried > 0,
+                    "{name}/bs={batch_size}: partial filter must carry selections"
+                );
+                assert!(
+                    compact.exec.slots_compacted > 0,
+                    "{name}/bs={batch_size}: compact-forced partial filter must copy rows"
+                );
+            }
+            // Wherever the carry run compacted (a dense boundary), the
+            // compact run compacted at least as many rows at the filter,
+            // plus whatever its own boundaries added.
+            assert!(
+                carry.exec.slots_compacted <= compact.exec.slots_compacted,
+                "{name}/bs={batch_size}: carrying must not copy more than compacting"
+            );
+
+            // Late materialization: the batch pipeline never decodes more
+            // than the record path, and strictly less where pruning or
+            // fused survivor-decode applies.
+            assert!(
+                carry.storage.bytes_decoded <= tuple.storage.bytes_decoded,
+                "{name}/bs={batch_size}: batch decoded more than tuple \
+                 ({} vs {})",
+                carry.storage.bytes_decoded,
+                tuple.storage.bytes_decoded
+            );
+            if case.late_mat_wins {
+                assert!(
+                    carry.storage.bytes_decoded < tuple.storage.bytes_decoded,
+                    "{name}/bs={batch_size}: expected a decode win, got {} vs {}",
+                    carry.storage.bytes_decoded,
+                    tuple.storage.bytes_decoded
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_path_agrees_where_partitionable() {
+    for case in cases() {
+        if !case.node.is_position_partitionable() {
+            continue;
+        }
+        let tuple = run(&case.node, "tuple", 64);
+        let parallel = run(&case.node, "parallel", 64);
+        let name = case.name;
+        assert_eq!(tuple.rows, parallel.rows, "{name}: parallel rows");
+        assert_eq!(
+            tuple.exec.predicate_evals, parallel.exec.predicate_evals,
+            "{name}: parallel predicate_evals"
+        );
+        assert_eq!(tuple.storage.probes, parallel.storage.probes, "{name}: parallel probes");
+        // Page traffic: every page in the span is either read or skipped
+        // exactly once per morsel covering it; with page-aligned morsels the
+        // totals are exact.
+        assert_eq!(
+            tuple.storage.page_reads + tuple.storage.pages_skipped,
+            parallel.storage.page_reads + parallel.storage.pages_skipped,
+            "{name}: parallel read+skip accounting"
+        );
+    }
+}
+
+#[test]
+fn costed_lowering_labels_execute_identically() {
+    // The executor must accept whatever label mix the costed lowering
+    // produces — including "batch+compact" under dense consumers — and
+    // produce the same rows as the structural default.
+    for case in cases() {
+        let labels = forced_labels(&case.node, "batch+compact");
+        let plan = PhysPlan::new(case.node.clone(), span());
+        let cat = catalog(17);
+        let ctx = ExecContext::new(&cat);
+        let via_labels = execute_batched_assigned(&plan, &ctx, 64, &labels).unwrap();
+        let cat2 = catalog(17);
+        let via_default = execute_batched_with(&plan, &ExecContext::new(&cat2), 64).unwrap();
+        assert_eq!(via_labels, via_default, "{}", case.name);
+    }
+}

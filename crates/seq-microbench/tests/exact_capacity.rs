@@ -1,0 +1,69 @@
+//! Micro-asserts for the batch hot loops: `RecordBatch::gather` and
+//! `RecordBatch::extend_joined` must reserve their exact output capacity up
+//! front, so the per-row pushes never reallocate mid-batch. A reallocation
+//! here would not change results — only smear the per-batch copy cost the
+//! benches attribute to the gather itself — so the invariant is pinned by
+//! inspecting `Vec::capacity` from outside the crate rather than by timing.
+
+use seq_core::{record, RecordBatch};
+
+fn batch(n: usize, arity: usize) -> RecordBatch {
+    let mut b = RecordBatch::with_capacity(arity, n);
+    for p in 0..n {
+        let rec = match arity {
+            1 => record![p as i64],
+            2 => record![p as i64, p as f64],
+            _ => record![p as i64, p as f64, (p * 2) as i64],
+        };
+        b.push_record(p as i64 + 1, &rec).unwrap();
+    }
+    b
+}
+
+#[test]
+fn gather_reserves_exact_capacity() {
+    let src = batch(1000, 3);
+    let indices: Vec<usize> = (0..1000).step_by(3).collect();
+    let out = src.gather(&indices);
+    assert_eq!(out.len(), indices.len());
+    for col in out.columns() {
+        assert_eq!(
+            col.capacity(),
+            indices.len(),
+            "gather must allocate each column once, at exactly the survivor count"
+        );
+    }
+}
+
+#[test]
+fn gather_through_selection_reserves_exact_capacity() {
+    let mut src = batch(600, 2);
+    let keep: Vec<u32> = (0..600).filter(|i| i % 7 == 0).collect();
+    src.select_logical(keep);
+    let n = src.len();
+    let indices: Vec<usize> = (0..n).collect();
+    let out = src.gather(&indices);
+    assert_eq!(out.len(), n);
+    for col in out.columns() {
+        assert_eq!(col.capacity(), n, "selection-aware gather must still size exactly");
+    }
+}
+
+#[test]
+fn extend_joined_reserves_exactly_once() {
+    let left = batch(500, 1);
+    let right = batch(500, 2);
+    let lidx: Vec<usize> = (0..500).filter(|i| i % 2 == 0).collect();
+    let ridx = lidx.clone();
+    let mut out = RecordBatch::new(3);
+    out.extend_joined(&left, &lidx, &right, &ridx).unwrap();
+    assert_eq!(out.len(), lidx.len());
+    for col in out.columns() {
+        assert_eq!(
+            col.capacity(),
+            lidx.len(),
+            "extend_joined into an empty batch must reserve the exact match count"
+        );
+        assert_eq!(col.len(), lidx.len());
+    }
+}

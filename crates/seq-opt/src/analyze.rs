@@ -35,8 +35,10 @@ pub struct OpAnalysis {
     /// Pre-order node id (matches [`QueryProfile`] ids).
     pub id: usize,
     /// Execution mode the operator lowered onto: "batch" (native vectorized
-    /// kernel), "tuple" (record-at-a-time, possibly behind an adapter), or
-    /// "fused" (predicate fused into the scan).
+    /// kernel), "batch+sel" / "batch+compact" (a vectorized filter carrying
+    /// a selection vector vs gathering survivors densely — the costed
+    /// carry-vs-compact decision), "tuple" (record-at-a-time, possibly
+    /// behind an adapter), or "fused" (predicate fused into the scan).
     pub mode: &'static str,
     /// Optimizer-estimated output rows (Step 2.a meta-data rules).
     pub est_rows: f64,
@@ -615,7 +617,7 @@ mod tests {
         assert_eq!(report.per_op.len(), opt.plan.root.subtree_size());
         for a in &report.per_op {
             assert!(
-                a.mode == "batch" || a.mode == "fused",
+                a.mode.starts_with("batch") || a.mode == "fused",
                 "operator {} fell back to {} mode — an adapter boundary survived",
                 a.id,
                 a.mode

@@ -117,7 +117,8 @@ pub fn decode_costs_per_record(params: &crate::cost::CostParams, ratio: f64) -> 
 /// and the profile JSON can show next to each node's label.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OpModeDecision {
-    /// The chosen label: `"batch"`, `"tuple"`, or `"fused"`.
+    /// The chosen label: `"batch"`, `"batch+sel"`, `"batch+compact"`,
+    /// `"tuple"`, or `"fused"`.
     pub mode: &'static str,
     /// Per-record cost of this operator on the record-at-a-time path.
     pub tuple_cost: f64,
@@ -151,19 +152,55 @@ pub fn choose_op_modes(
     params: &crate::cost::CostParams,
 ) -> Vec<OpModeDecision> {
     let mut out = Vec::with_capacity(root.subtree_size());
-    push_op_modes(root, in_batch, info, params, &mut out);
+    // The batch drivers (and the batch→record adapter) consume selection
+    // vectors natively, so the root's consumer is never a dense boundary.
+    push_op_modes(root, in_batch, false, info, params, &mut out);
     out
+}
+
+/// The leftmost base sequence a subtree scans, if any — the sequence whose
+/// meta-data (column statistics, feedback selectivity) prices the filters
+/// stacked above it.
+fn scanned_base(node: &PhysNode) -> Option<&str> {
+    match node {
+        PhysNode::Base { name, .. } | PhysNode::FusedScan { name, .. } => Some(name),
+        _ => node.children().into_iter().find_map(scanned_base),
+    }
+}
+
+/// Price the carry-vs-compact choice for a native-batch Select whose
+/// survivors have selectivity `sel` over `arity`-column rows.
+///
+/// Carrying attaches a selection vector (no row copies): each survivor pays
+/// one index indirection at the consumer, plus — when the nearest physical
+/// consumer above indexes rows densely (`dense_above`) — the compaction the
+/// lowering inserts at that boundary anyway. Compacting at the filter
+/// gathers each survivor's `arity` slots once, and everything above runs
+/// dense. Returned as `(carry, compact)` per *input* record so the margin
+/// composes with the other per-record costs.
+fn select_policy_costs(
+    sel: f64,
+    arity: usize,
+    dense_above: bool,
+    params: &crate::cost::CostParams,
+) -> (f64, f64) {
+    let sel = sel.clamp(0.0, 1.0);
+    let compact = sel * arity as f64 * params.sel_compact_cpu;
+    let boundary = if dense_above { compact } else { 0.0 };
+    let carry = sel * params.sel_indirect_cpu + boundary;
+    (carry, compact)
 }
 
 fn push_op_modes(
     node: &PhysNode,
     in_batch: bool,
+    dense_above: bool,
     info: &dyn crate::info::CatalogInfo,
     params: &crate::cost::CostParams,
     out: &mut Vec<OpModeDecision>,
 ) {
     let capable = node.is_batch_capable();
-    let (tuple_cost, batch_cost) = match node {
+    let (mut tuple_cost, mut batch_cost) = match node {
         PhysNode::Base { name, .. } | PhysNode::FusedScan { name, .. } => {
             decode_costs_per_record(params, info.compression_ratio(name))
         }
@@ -172,28 +209,71 @@ fn push_op_modes(
         // behind a RecordToBatch adapter, re-materializing every record.
         _ => (params.record_cpu, params.record_cpu * 2.0),
     };
+    // A native-batch Select additionally chooses how to hand survivors
+    // down: carry a selection vector or gather densely at the filter. Both
+    // sides are priced from the scanned base's statistics (feedback
+    // overlay first, model estimate otherwise) and the cheaper side's
+    // per-record price folds into the batch cost EXPLAIN shows.
+    let mut carry_selection = false;
+    if capable && in_batch {
+        if let PhysNode::Select { input, predicate, .. } = node {
+            let (sel, arity) = match scanned_base(input) {
+                Some(name) => (
+                    info.measured_selectivity(name).unwrap_or_else(|| {
+                        info.meta_of(name)
+                            .map(|m| predicate.estimate_selectivity(&m))
+                            .unwrap_or(1.0)
+                    }),
+                    info.schema_of(name).map(|s| s.arity()).unwrap_or(1),
+                ),
+                None => (1.0, 1),
+            };
+            let (carry, compact) = select_policy_costs(sel, arity, dense_above, params);
+            carry_selection = carry <= compact;
+            batch_cost += carry.min(compact);
+            // The tuple path materializes every surviving record as it
+            // passes the filter — the same per-survivor copy the compact
+            // policy pays, so the selection margin compares like with like.
+            tuple_cost += sel * arity as f64 * params.sel_compact_cpu;
+        }
+    }
     let native = in_batch && capable && batch_cost <= tuple_cost;
     let mode = match node {
         PhysNode::FusedScan { .. } => "fused",
+        PhysNode::Select { .. } if native && carry_selection => "batch+sel",
+        PhysNode::Select { .. } if native => "batch+compact",
         _ if native => "batch",
         _ => "tuple",
     };
     out.push(OpModeDecision { mode, tuple_cost, batch_cost });
+    // What the *child* sees above it: a Select kernel evaluates through its
+    // input's selection vector (and any later compaction is priced at the
+    // Select itself), so it is never a dense boundary; the
+    // selection-transparent unit-scope operators pass the question through
+    // to their own consumer; aggregates, value offsets, and joins index
+    // rows physically.
+    let child_dense = match node {
+        PhysNode::Select { .. } => false,
+        PhysNode::Project { .. } | PhysNode::PosOffset { .. } => dense_above,
+        _ => true,
+    };
     match node {
         PhysNode::Base { .. } | PhysNode::FusedScan { .. } | PhysNode::Constant { .. } => {}
         PhysNode::Select { input, .. }
         | PhysNode::Project { input, .. }
         | PhysNode::PosOffset { input, .. }
         | PhysNode::Aggregate { input, .. }
-        | PhysNode::ValueOffset { input, .. } => push_op_modes(input, native, info, params, out),
+        | PhysNode::ValueOffset { input, .. } => {
+            push_op_modes(input, native, child_dense, info, params, out)
+        }
         PhysNode::Compose { left, right, strategy, .. } => {
             let (l, r) = match strategy {
                 seq_exec::JoinStrategy::LockStep => (native, native),
                 seq_exec::JoinStrategy::StreamLeftProbeRight => (native, false),
                 seq_exec::JoinStrategy::StreamRightProbeLeft => (false, native),
             };
-            push_op_modes(left, l, info, params, out);
-            push_op_modes(right, r, info, params, out);
+            push_op_modes(left, l, child_dense, info, params, out);
+            push_op_modes(right, r, child_dense, info, params, out);
         }
     }
 }
@@ -394,6 +474,91 @@ mod tests {
         // The kernel-less node is the one with a strictly negative margin.
         assert!(decisions[2].margin() < 0.0);
         assert_eq!(decisions[2].mode, "tuple");
+    }
+
+    #[test]
+    fn select_policy_follows_consumer_shape_and_selectivity() {
+        use crate::cost::CostParams;
+        use crate::info::{FeedbackStats, StaticCatalogInfo, StatsOverlay, WithFeedback};
+        use seq_core::{schema, AttrType, SeqMeta};
+        let span = Span::new(1, 1000);
+        let p = CostParams::default();
+        let mut info = StaticCatalogInfo::new(16);
+        info.insert(
+            "A",
+            schema(&[("time", AttrType::Int), ("close", AttrType::Float)]),
+            SeqMeta::with_span(span, 1.0),
+        );
+        let sch = schema(&[("time", AttrType::Int), ("close", AttrType::Float)]);
+        let pred = seq_ops::Expr::attr("close").gt(seq_ops::Expr::lit(10.0)).bind(&sch).unwrap();
+        let select =
+            |input: Box<PhysNode>| PhysNode::Select { input, predicate: pred.clone(), span };
+
+        // Root consumer is sel-aware: carrying the selection is free of any
+        // compaction, so the filter carries.
+        let carried = select(Box::new(PhysNode::Base { name: "A".into(), span }));
+        let modes = choose_op_modes(&carried, true, &info, &p);
+        assert_eq!(modes[0].mode, "batch+sel");
+        // Stacked filters evaluate through each other's selections: both
+        // carry, and the labels match the executor's structural default.
+        let stacked = select(Box::new(select(Box::new(PhysNode::Base { name: "A".into(), span }))));
+        let modes = choose_op_modes(&stacked, true, &info, &p);
+        assert_eq!(
+            modes.iter().map(|d| d.mode).collect::<Vec<_>>(),
+            stacked.exec_mode_labels(true),
+        );
+        assert_eq!(modes[0].mode, "batch+sel");
+        assert_eq!(modes[1].mode, "batch+sel");
+
+        // An aggregate above indexes rows physically: the boundary would
+        // compact anyway, so compacting at the filter is strictly cheaper
+        // than carrying plus the boundary copy.
+        let agg = PhysNode::Aggregate {
+            input: Box::new(select(Box::new(PhysNode::Base { name: "A".into(), span }))),
+            func: seq_ops::AggFunc::Sum,
+            attr_index: 1,
+            window: seq_ops::Window::trailing(4),
+            strategy: AggStrategy::CacheA,
+            span,
+        };
+        let modes = choose_op_modes(&agg, true, &info, &p);
+        assert_eq!(modes[0].mode, "batch");
+        assert_eq!(modes[1].mode, "batch+compact");
+        // A projection between filter and aggregate is selection-transparent:
+        // the dense boundary still reaches the filter through it.
+        let agg_proj = PhysNode::Aggregate {
+            input: Box::new(PhysNode::Project {
+                input: Box::new(select(Box::new(PhysNode::Base { name: "A".into(), span }))),
+                indices: vec![0, 1],
+                span,
+            }),
+            func: seq_ops::AggFunc::Sum,
+            attr_index: 1,
+            window: seq_ops::Window::trailing(4),
+            strategy: AggStrategy::CacheA,
+            span,
+        };
+        let modes = choose_op_modes(&agg_proj, true, &info, &p);
+        assert_eq!(modes[2].mode, "batch+compact");
+
+        // The margin is priced from measured selectivity when feedback is
+        // attached: the carried side's cost scales with survivors.
+        let mut overlay = StatsOverlay::new();
+        overlay.record("A", FeedbackStats { selectivity: Some(0.05), ..Default::default() });
+        let fb = WithFeedback::new(&info, &overlay);
+        let low = choose_op_modes(&carried, true, &fb, &p);
+        let mut dense_overlay = StatsOverlay::new();
+        dense_overlay.record("A", FeedbackStats { selectivity: Some(1.0), ..Default::default() });
+        let fb_hi = WithFeedback::new(&info, &dense_overlay);
+        let high = choose_op_modes(&carried, true, &fb_hi, &p);
+        assert_eq!(low[0].mode, "batch+sel");
+        assert_eq!(high[0].mode, "batch+sel");
+        assert!(low[0].batch_cost < high[0].batch_cost);
+        // Both policies priced explicitly: (carry, compact) per input record.
+        let (carry, compact) = select_policy_costs(0.5, 2, false, &p);
+        assert!(carry < compact);
+        let (carry_dense, compact_dense) = select_policy_costs(0.5, 2, true, &p);
+        assert!(carry_dense > compact_dense);
     }
 
     #[test]

@@ -9,11 +9,12 @@
 //! engine references of their own, so a query is: acquire snapshot, probe
 //! cache, execute.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use seq_core::{Record, Result, Span};
-use seq_exec::{ExecContext, ExecStats, Phase, SessionMetrics};
+use seq_exec::{ExecContext, ExecStats, LatencyHistogram, Phase, SessionMetrics};
 use seq_lang::parse_query;
 use seq_opt::{
     absorb_feedback, explain_analyze_with, optimize, CatalogRef, Optimized, OptimizerConfig,
@@ -63,6 +64,32 @@ pub struct QueryOutcome {
     pub epoch: u64,
 }
 
+/// One cached template's serving history: cache hits, executions, and the
+/// execute-latency distribution. Keyed by the canonical template text, so
+/// every parameter binding of the same shape lands in one row.
+#[derive(Debug, Default)]
+struct TemplateEntry {
+    hits: u64,
+    executes: u64,
+    latency: LatencyHistogram,
+}
+
+/// One row of the hot-template report: a canonical template, how often the
+/// plan cache served it, and its execute-latency digest.
+#[derive(Debug, Clone)]
+pub struct TemplateReport {
+    /// Canonical template text (literals replaced by placeholders).
+    pub template: String,
+    /// Plan-cache hits for this template.
+    pub hits: u64,
+    /// Queries executed through this template (hits and misses).
+    pub executes: u64,
+    /// Median execute latency in microseconds (0 until a sample lands).
+    pub p50_us: f64,
+    /// Tail execute latency in microseconds (0 until a sample lands).
+    pub p99_us: f64,
+}
+
 /// Shared server state: snapshots, plan cache, statistics, telemetry.
 pub struct Engine {
     /// Published catalog versions; every query runs against one snapshot.
@@ -75,6 +102,8 @@ pub struct Engine {
     pub metrics: Arc<SessionMetrics>,
     /// Server-cumulative executor counters (clones share the same totals).
     exec_stats: ExecStats,
+    /// Per-template serving history behind the plan cache.
+    templates: Mutex<HashMap<String, TemplateEntry>>,
 }
 
 impl Engine {
@@ -88,6 +117,7 @@ impl Engine {
             cache: PlanCache::new(cache_capacity),
             metrics: Arc::new(SessionMetrics::new()),
             exec_stats: ExecStats::new(),
+            templates: Mutex::new(HashMap::new()),
         }
     }
 
@@ -101,10 +131,12 @@ impl Engine {
     /// execute it against the current snapshot.
     pub fn run_query(&self, text: &str, config: &SessionConfig) -> Result<QueryOutcome> {
         let snapshot = self.shared.load();
-        let (optimized, cached) = self.plan(text, config, &snapshot)?;
+        let (optimized, cached, template) = self.plan(text, config, &snapshot)?;
         let mut ctx = ExecContext::with_stats(&snapshot.catalog, self.exec_stats.clone());
         ctx.share_telemetry(&self.metrics);
+        let exec_timer = Instant::now();
         let rows = optimized.execute(&ctx)?;
+        self.record_template(&template, cached, exec_timer.elapsed());
         Ok(QueryOutcome {
             rows,
             cached,
@@ -121,7 +153,83 @@ impl Engine {
     /// in isolation.
     pub fn resolve(&self, text: &str, config: &SessionConfig) -> Result<(Arc<Optimized>, bool)> {
         let snapshot = self.shared.load();
-        self.plan(text, config, &snapshot)
+        let (plan, cached, _) = self.plan(text, config, &snapshot)?;
+        Ok((plan, cached))
+    }
+
+    /// Fold one query's serving outcome into its template's history.
+    fn record_template(&self, template: &str, cached: bool, elapsed: std::time::Duration) {
+        let mut templates = self.templates.lock().unwrap();
+        let entry = templates.entry(template.to_string()).or_default();
+        entry.executes += 1;
+        if cached {
+            entry.hits += 1;
+        }
+        entry.latency.record(elapsed);
+    }
+
+    /// The `n` hottest plan templates by cache-hit count (ties broken by
+    /// template text), each with its execute-latency digest.
+    pub fn hot_templates(&self, n: usize) -> Vec<TemplateReport> {
+        let templates = self.templates.lock().unwrap();
+        let mut rows: Vec<TemplateReport> = templates
+            .iter()
+            .map(|(template, entry)| {
+                let snap = entry.latency.snapshot();
+                let us = |q: f64| snap.percentile_nanos(q).map(|n| n as f64 / 1e3).unwrap_or(0.0);
+                TemplateReport {
+                    template: template.clone(),
+                    hits: entry.hits,
+                    executes: entry.executes,
+                    p50_us: us(50.0),
+                    p99_us: us(99.0),
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| b.hits.cmp(&a.hits).then_with(|| a.template.cmp(&b.template)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// The pooled metrics snapshot as JSON, extended with the `n` hottest
+    /// plan templates — what `\metrics` and `--metrics-out` serve.
+    pub fn metrics_json(&self, n: usize) -> String {
+        let snapshot = self.shared.load();
+        let mut json = self.metrics.to_json(snapshot.catalog.buffer().map(|p| &**p));
+        // Splice the serve-level section into the registry's document: drop
+        // the closing brace, append, close again.
+        while json.ends_with(['\n', ' ', '\t']) {
+            json.pop();
+        }
+        json.pop();
+        while json.ends_with(['\n', ' ', '\t']) {
+            json.pop();
+        }
+        json.push_str(",\n  \"hot_templates\": [");
+        for (i, t) in self.hot_templates(n).iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str("\n    {\"template\": \"");
+            for c in t.template.chars() {
+                match c {
+                    '"' => json.push_str("\\\""),
+                    '\\' => json.push_str("\\\\"),
+                    '\n' => json.push_str("\\n"),
+                    '\t' => json.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        json.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => json.push(c),
+                }
+            }
+            json.push_str(&format!(
+                "\", \"hits\": {}, \"executes\": {}, \"p50_us\": {:.3}, \"p99_us\": {:.3}}}",
+                t.hits, t.executes, t.p50_us, t.p99_us
+            ));
+        }
+        json.push_str("\n  ]\n}\n");
+        json
     }
 
     /// The optimizer-pipeline explanation for `text` (never cached: EXPLAIN
@@ -175,7 +283,7 @@ impl Engine {
         text: &str,
         config: &SessionConfig,
         snapshot: &Snapshot,
-    ) -> Result<(Arc<Optimized>, bool)> {
+    ) -> Result<(Arc<Optimized>, bool, String)> {
         let parse_start = self.metrics.now_nanos();
         let parse_timer = Instant::now();
         let canon = canonicalize(text)?;
@@ -200,7 +308,7 @@ impl Engine {
                 self.metrics.record_phase(Phase::Parse, parse_start, parse_timer.elapsed());
                 self.metrics.record_phase(Phase::Optimize, opt_start, opt_timer.elapsed());
                 self.metrics.record_plan_cache_lookup(true);
-                Ok((plan, true))
+                Ok((plan, true, canon.template))
             }
             Lookup::Miss => {
                 let graph = parse_query(text)?;
@@ -212,7 +320,7 @@ impl Engine {
                 self.metrics.record_plan_cache_lookup(false);
                 let plan = Arc::new(optimized);
                 self.cache.insert(key, canon.params, Arc::clone(&plan), snapshot.epoch, stats_rev);
-                Ok((plan, false))
+                Ok((plan, false, canon.template))
             }
         }
     }

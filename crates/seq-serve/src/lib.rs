@@ -28,7 +28,7 @@ pub mod snapshot;
 
 pub use canon::{canonicalize, CanonQuery};
 pub use client::Client;
-pub use engine::{Engine, QueryOutcome, SessionConfig};
+pub use engine::{Engine, QueryOutcome, SessionConfig, TemplateReport};
 pub use plancache::{cache_key, CacheKey, Lookup, PlanCache};
 pub use server::{
     install_signal_handlers, request_signal_shutdown, serve, signal_shutdown_requested, Admission,

@@ -44,6 +44,9 @@ use crate::engine::{Engine, SessionConfig};
 /// How often blocked loops re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(50);
 
+/// How many hot plan templates `\metrics` surfaces.
+const HOT_TEMPLATE_TOP_N: usize = 8;
+
 /// Server construction knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -296,7 +299,7 @@ fn execute(engine: &Engine, command: &Command, config: &SessionConfig) -> Reply 
             Err(e) => Err(("query", e.to_string())),
         },
         Command::Metrics => {
-            let json = engine.metrics.to_json(None);
+            let json = engine.metrics_json(HOT_TEMPLATE_TOP_N);
             Ok(json.lines().map(str::to_string).collect())
         }
         Command::Tables => {

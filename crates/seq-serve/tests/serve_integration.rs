@@ -228,11 +228,39 @@ fn wire_sessions_share_the_plan_cache_and_keep_private_config() {
     let text = metrics.join("\n");
     assert!(text.contains("\"plan_cache_hits\": 1"), "pooled hit count, got:\n{text}");
     assert!(text.contains("\"plan_cache_misses\": 1"));
+    // ...and the hot-template section rides along in the same document.
+    assert!(text.contains("\"hot_templates\""), "hot templates in \\metrics, got:\n{text}");
+    assert!(text.contains("\"hits\": 1"), "the shared template shows its hit:\n{text}");
 
     assert!(matches!(a.send("\\ping").unwrap(), Response::Ok(v) if v == ["pong"]));
     drop(a);
     drop(b);
     handle.join();
+}
+
+#[test]
+fn hot_templates_rank_by_hits_with_latency_digest() {
+    let eng = engine(1);
+    let cfg = config(1);
+    // Three bindings of one select template (1 miss + 2 hits), one aggregate.
+    for t in [95.0, 100.0, 105.0] {
+        eng.run_query(&format!("(select (> close {t}) (base HP))"), &cfg).unwrap();
+    }
+    eng.run_query("(agg avg close (trailing 8) (base DEC))", &cfg).unwrap();
+    let hot = eng.hot_templates(10);
+    assert_eq!(hot.len(), 2, "two distinct templates served");
+    assert_eq!(hot[0].hits, 2, "the repeated select leads: {hot:?}");
+    assert_eq!(hot[0].executes, 3);
+    assert_eq!(hot[1].hits, 0);
+    assert_eq!(hot[1].executes, 1);
+    assert!(hot[0].p99_us >= hot[0].p50_us, "digest is a real distribution");
+    assert!(hot[0].p50_us > 0.0, "executions recorded latency samples");
+    assert_eq!(eng.hot_templates(1).len(), 1, "top-N truncates");
+    // The spliced export stays one JSON document with the section inside.
+    let json = eng.metrics_json(5);
+    assert!(json.contains("\"hot_templates\": ["), "section spliced in:\n{json}");
+    assert!(json.trim_end().ends_with('}'), "document still closes");
+    assert_eq!(json.matches("\"metrics_version\"").count(), 1);
 }
 
 #[test]

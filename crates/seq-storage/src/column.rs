@@ -796,6 +796,55 @@ impl ColumnData {
         Ok(())
     }
 
+    /// The per-entry match bitmap of a dictionary-encoded column for
+    /// `entry op lit`: `mask[code]` is true iff dictionary entry `code`
+    /// satisfies the term. `None` when the column is not
+    /// dictionary-encoded. Building the mask evaluates every entry once
+    /// (the same eager evaluation [`ColumnData::matching_slots`] performs
+    /// for Dict), so a conjunction can AND several term masks together and
+    /// pay one codes pass total instead of one per term.
+    pub fn dict_entry_mask(&self, op: CmpOp, lit: &Value) -> Option<Result<Vec<bool>>> {
+        match self {
+            ColumnData::Dict { dict, .. } => {
+                Some(dict.iter().map(|d| Ok(op.holds(d.total_cmp(lit)?))).collect())
+            }
+            _ => None,
+        }
+    }
+
+    /// Append to `out` every slot in `[start, end)` whose dictionary code
+    /// passes `mask`. Dict columns only; `mask` comes from
+    /// [`ColumnData::dict_entry_mask`] (possibly ANDed across terms).
+    pub fn matching_slots_masked(
+        &self,
+        start: usize,
+        end: usize,
+        mask: &[bool],
+        out: &mut Vec<u32>,
+    ) {
+        match self {
+            ColumnData::Dict { codes, .. } => {
+                for (i, &c) in codes[start..end].iter().enumerate() {
+                    if mask[c as usize] {
+                        out.push((start + i) as u32);
+                    }
+                }
+            }
+            _ => debug_assert!(false, "masked matching on a non-dict column"),
+        }
+    }
+
+    /// Retain only the (ascending) `slots` whose dictionary code passes
+    /// `mask`. Dict columns only.
+    pub fn retain_matching_masked(&self, slots: &mut Vec<u32>, mask: &[bool]) {
+        match self {
+            ColumnData::Dict { codes, .. } => {
+                slots.retain(|&s| mask[codes[s as usize] as usize]);
+            }
+            _ => debug_assert!(false, "masked retain on a non-dict column"),
+        }
+    }
+
     /// Whether *any* value stored in the column could satisfy
     /// `value op lit`, judged entirely in the encoded domain: RLE run
     /// representatives and dictionary entries are compared directly — one

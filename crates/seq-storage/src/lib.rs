@@ -29,6 +29,6 @@ pub use catalog::Catalog;
 pub use column::{strict_eq, ColumnData, PosData};
 pub use filter::ScanFilter;
 pub use index::SparseIndex;
-pub use page::{DecodedRows, Page, PageId, ZoneEntry};
+pub use page::{ColumnSet, DecodedRows, DictMasks, Page, PageId, ZoneEntry};
 pub use stats::{AccessStats, StatsSnapshot};
 pub use store::{OwnedBatchScan, OwnedScan, StoredSequence, DEFAULT_PAGE_CAPACITY};

@@ -28,6 +28,66 @@ use crate::column::{column_range_error, value_bytes, ColumnData, PosData};
 /// Identifier of a page within one stored sequence.
 pub type PageId = u32;
 
+/// The set of record columns a batch scan materializes — the plan's
+/// referenced-column set, threaded down from the lowering layer. `All`
+/// decodes every column (the default, and the only behaviour before late
+/// materialization); `Only` decodes just the listed indices and leaves the
+/// other destination column slots unmaterialized (empty), which the
+/// `columns_pruned` counter accounts for at the scan layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnSet {
+    /// Decode every column.
+    All,
+    /// Decode only these column indices (sorted ascending, deduplicated).
+    Only(Vec<usize>),
+}
+
+impl ColumnSet {
+    /// Whether column `col` is decoded under this set.
+    #[inline]
+    pub fn keeps(&self, col: usize) -> bool {
+        match self {
+            ColumnSet::All => true,
+            ColumnSet::Only(cols) => cols.binary_search(&col).is_ok(),
+        }
+    }
+
+    /// How many of `arity` columns this set leaves undecoded.
+    pub fn pruned_of(&self, arity: usize) -> usize {
+        match self {
+            ColumnSet::All => 0,
+            ColumnSet::Only(cols) => arity - cols.iter().filter(|&&c| c < arity).count(),
+        }
+    }
+}
+
+/// Per-term dictionary bitmaps for one predicate conjunction over one page,
+/// built once at page entry ([`Page::dict_masks`]) and reused by every
+/// batch window on the page ([`Page::filter_slots_masked`]). Terms over the
+/// same dictionary-encoded column are AND-folded into a single bitmap
+/// carried by the first such term, so each window pays one codes pass per
+/// dict column instead of one per term — and no window ever re-evaluates a
+/// term against the dictionary entries.
+///
+/// Mask construction evaluates every term over every entry of its dict
+/// column eagerly (the same eager entry evaluation the unmasked kernels
+/// already perform for Dict), so a type error any window would raise
+/// surfaces at build time.
+#[derive(Debug, Clone, Default)]
+pub struct DictMasks {
+    per_term: Vec<TermMask>,
+}
+
+#[derive(Debug, Clone)]
+enum TermMask {
+    /// Not a dict column on this page: evaluate the term directly.
+    Direct,
+    /// Dict column: match codes against this (possibly AND-folded) bitmap.
+    Mask(Vec<bool>),
+    /// Folded into an earlier term's mask on the same column: skip.
+    Folded,
+}
+
 /// Per-column zone-map entry of one page: the closed `[min, max]` value
 /// range the column takes on the page, plus a count of explicit nulls.
 ///
@@ -204,6 +264,20 @@ impl Page {
     /// position and column vectors, with no per-record materialization.
     /// Returns the plain byte footprint decoded (for `bytes_decoded`).
     pub fn append_range_into(&self, batch: &mut RecordBatch, slot: usize, take: usize) -> usize {
+        self.append_range_into_cols(batch, slot, take, &ColumnSet::All)
+    }
+
+    /// [`Page::append_range_into`] restricted to the columns in `keep`:
+    /// pruned columns are never decoded and their destination slots stay
+    /// empty, so the returned byte footprint covers only positions plus the
+    /// kept columns.
+    pub fn append_range_into_cols(
+        &self,
+        batch: &mut RecordBatch,
+        slot: usize,
+        take: usize,
+        keep: &ColumnSet,
+    ) -> usize {
         debug_assert_eq!(batch.arity(), self.arity(), "batch arity must match page arity");
         if take == 0 {
             return 0;
@@ -212,7 +286,10 @@ impl Page {
         positions.reserve(take);
         self.positions.decode_range_into(positions, slot, take);
         let mut bytes = 8 * take;
-        for (dst, src) in columns.iter_mut().zip(&self.columns) {
+        for (col, (dst, src)) in columns.iter_mut().zip(&self.columns).enumerate() {
+            if !keep.keeps(col) {
+                continue;
+            }
             dst.reserve(take);
             bytes += src.decode_range_into(dst, slot, take);
         }
@@ -262,9 +339,93 @@ impl Page {
         Ok(())
     }
 
+    /// Build the per-term dictionary bitmaps for `terms` over this page's
+    /// encodings: one entry-mask per term whose column is dict-encoded
+    /// here, with same-column masks AND-folded into the first term's bitmap
+    /// (see [`DictMasks`]). Call once per page entry; feed the result to
+    /// [`Page::filter_slots_masked`] for every window on the page.
+    pub fn dict_masks(&self, terms: &[(usize, CmpOp, Value)]) -> Result<DictMasks> {
+        let mut per_term: Vec<TermMask> = Vec::with_capacity(terms.len());
+        for (i, (col, op, lit)) in terms.iter().enumerate() {
+            // An out-of-range column stays Direct; the filter pass raises
+            // the schema error in term order, exactly like the unmasked path.
+            let mask = self.columns.get(*col).and_then(|c| c.dict_entry_mask(*op, lit));
+            match mask {
+                None => per_term.push(TermMask::Direct),
+                Some(mask) => {
+                    let mask = mask?;
+                    let earlier = (0..i)
+                        .find(|&j| terms[j].0 == *col && matches!(per_term[j], TermMask::Mask(_)));
+                    match earlier {
+                        Some(j) => {
+                            let TermMask::Mask(m) = &mut per_term[j] else { unreachable!() };
+                            for (a, b) in m.iter_mut().zip(&mask) {
+                                *a = *a && *b;
+                            }
+                            per_term.push(TermMask::Folded);
+                        }
+                        None => per_term.push(TermMask::Mask(mask)),
+                    }
+                }
+            }
+        }
+        Ok(DictMasks { per_term })
+    }
+
+    /// [`Page::filter_slots_into`] with the page's precomputed dictionary
+    /// bitmaps: dict terms match codes against their (AND-folded) masks —
+    /// no entry is re-evaluated per window — and non-dict terms refine
+    /// exactly as the unmasked kernel does. `masks` must come from
+    /// [`Page::dict_masks`] over the same `terms`.
+    pub fn filter_slots_masked(
+        &self,
+        terms: &[(usize, CmpOp, Value)],
+        masks: &DictMasks,
+        start: usize,
+        end: usize,
+        survivors: &mut Vec<u32>,
+    ) -> Result<()> {
+        debug_assert_eq!(masks.per_term.len(), terms.len(), "masks built for different terms");
+        survivors.clear();
+        let mut first = true;
+        for (i, (col, op, lit)) in terms.iter().enumerate() {
+            if matches!(masks.per_term[i], TermMask::Folded) {
+                continue;
+            }
+            let column =
+                self.columns.get(*col).ok_or_else(|| column_range_error(*col, self.arity()))?;
+            match &masks.per_term[i] {
+                TermMask::Mask(mask) if first => {
+                    column.matching_slots_masked(start, end, mask, survivors)
+                }
+                TermMask::Mask(mask) => column.retain_matching_masked(survivors, mask),
+                TermMask::Direct if first => {
+                    column.matching_slots(start, end, *op, lit, survivors)?
+                }
+                TermMask::Direct => column.retain_matching(survivors, *op, lit)?,
+                TermMask::Folded => unreachable!(),
+            }
+            first = false;
+        }
+        if first {
+            survivors.extend((start..end).map(|s| s as u32));
+        }
+        Ok(())
+    }
+
     /// Bulk-decode the given ascending `slots` into `batch`, decoding only
     /// those survivors. Returns the plain byte footprint decoded.
     pub fn append_slots_into(&self, batch: &mut RecordBatch, slots: &[u32]) -> usize {
+        self.append_slots_into_cols(batch, slots, &ColumnSet::All)
+    }
+
+    /// [`Page::append_slots_into`] restricted to the columns in `keep`.
+    pub fn append_slots_into_cols(
+        &self,
+        batch: &mut RecordBatch,
+        slots: &[u32],
+        keep: &ColumnSet,
+    ) -> usize {
         debug_assert_eq!(batch.arity(), self.arity(), "batch arity must match page arity");
         if slots.is_empty() {
             return 0;
@@ -273,7 +434,10 @@ impl Page {
         positions.reserve(slots.len());
         self.positions.gather_into(positions, slots);
         let mut bytes = 8 * slots.len();
-        for (dst, src) in columns.iter_mut().zip(&self.columns) {
+        for (col, (dst, src)) in columns.iter_mut().zip(&self.columns).enumerate() {
+            if !keep.keeps(col) {
+                continue;
+            }
             dst.reserve(slots.len());
             bytes += src.gather_into(dst, slots);
         }
@@ -289,6 +453,16 @@ impl Page {
     /// only the copy strategy differs — so high-survival filters pay close
     /// to the cost of an unfiltered decode.
     pub fn append_slot_runs_into(&self, batch: &mut RecordBatch, slots: &[u32]) -> usize {
+        self.append_slot_runs_into_cols(batch, slots, &ColumnSet::All)
+    }
+
+    /// [`Page::append_slot_runs_into`] restricted to the columns in `keep`.
+    pub fn append_slot_runs_into_cols(
+        &self,
+        batch: &mut RecordBatch,
+        slots: &[u32],
+        keep: &ColumnSet,
+    ) -> usize {
         if slots.is_empty() {
             return 0;
         }
@@ -297,7 +471,7 @@ impl Page {
         let first = slots[0] as usize;
         let len = slots.len();
         if *slots.last().expect("non-empty") as usize == first + len - 1 {
-            return self.append_range_into(batch, first, len);
+            return self.append_range_into_cols(batch, first, len, keep);
         }
         let mut bytes = 0usize;
         let mut pending = 0usize;
@@ -309,15 +483,15 @@ impl Page {
             }
             if j - i >= Self::MIN_BULK_RUN {
                 if pending < i {
-                    bytes += self.append_slots_into(batch, &slots[pending..i]);
+                    bytes += self.append_slots_into_cols(batch, &slots[pending..i], keep);
                 }
-                bytes += self.append_range_into(batch, slots[i] as usize, j - i);
+                bytes += self.append_range_into_cols(batch, slots[i] as usize, j - i, keep);
                 pending = j;
             }
             i = j;
         }
         if pending < len {
-            bytes += self.append_slots_into(batch, &slots[pending..]);
+            bytes += self.append_slots_into_cols(batch, &slots[pending..], keep);
         }
         bytes
     }
@@ -607,6 +781,81 @@ mod tests {
             }
         }
         assert_eq!(p.append_slot_runs_into(&mut RecordBatch::new(3), &[]), 0);
+    }
+
+    #[test]
+    fn dict_masks_match_unmasked_filter_across_windows() {
+        // Two dict columns (strings, small ints) plus one delta column;
+        // conjunction has two terms on dict col 0 (AND-folded into one
+        // bitmap), one on dict col 1, one on the non-dict col 2.
+        let entries: Vec<(i64, Record)> = (0..48)
+            .map(|i| {
+                (
+                    i,
+                    record![
+                        ["aa", "bb", "cc", "dd"][(i % 4) as usize],
+                        ["x", "y", "z"][(i % 3) as usize],
+                        i * 2
+                    ],
+                )
+            })
+            .collect();
+        let p = Page::new(0, entries);
+        assert_eq!(p.column_encodings().take(2).collect::<Vec<_>>(), vec!["dict", "dict"]);
+        let terms = vec![
+            (0usize, CmpOp::Ge, Value::str("bb")),
+            (0usize, CmpOp::Ne, Value::str("cc")),
+            (1usize, CmpOp::Eq, Value::str("y")),
+            (2usize, CmpOp::Lt, Value::Int(80)),
+        ];
+        let masks = p.dict_masks(&terms).unwrap();
+        for (start, end) in [(0usize, 48usize), (5, 29), (12, 12), (40, 48)] {
+            let mut masked = Vec::new();
+            p.filter_slots_masked(&terms, &masks, start, end, &mut masked).unwrap();
+            let mut unmasked = Vec::new();
+            p.filter_slots_into(&terms, start, end, &mut unmasked).unwrap();
+            assert_eq!(masked, unmasked, "window [{start}, {end})");
+        }
+        // Empty conjunctions pass everything through either path.
+        let empty = p.dict_masks(&[]).unwrap();
+        let mut all = Vec::new();
+        p.filter_slots_masked(&[], &empty, 3, 7, &mut all).unwrap();
+        assert_eq!(all, vec![3, 4, 5, 6]);
+        // A type error any window would raise surfaces at mask build time.
+        assert!(p.dict_masks(&[(0, CmpOp::Eq, Value::Int(9))]).is_err());
+    }
+
+    #[test]
+    fn pruned_decode_skips_columns_and_bytes() {
+        let entries: Vec<(i64, Record)> =
+            (0..32).map(|i| (i, record![i, "payload-string-wide", i as f64])).collect();
+        let p = Page::new(0, entries);
+        let keep = ColumnSet::Only(vec![0]);
+        assert!(keep.keeps(0) && !keep.keeps(1) && !keep.keeps(2));
+        assert_eq!(keep.pruned_of(3), 2);
+        assert_eq!(ColumnSet::All.pruned_of(3), 0);
+
+        let mut full = RecordBatch::new(3);
+        let full_bytes = p.append_range_into(&mut full, 4, 20);
+        let mut pruned = RecordBatch::new(3);
+        let pruned_bytes = p.append_range_into_cols(&mut pruned, 4, 20, &keep);
+        assert!(pruned_bytes < full_bytes, "{pruned_bytes} !< {full_bytes}");
+        assert_eq!(pruned.len(), 20);
+        assert!(pruned.column_is_materialized(0));
+        assert!(!pruned.column_is_materialized(1));
+        assert_eq!(pruned.column(0).unwrap(), full.column(0).unwrap());
+        assert_eq!(pruned.positions(), full.positions());
+
+        // Slot gathers and run-splitting agree with the range decode.
+        let slots: Vec<u32> = vec![1, 2, 3, 9, 14, 15, 16, 17, 18, 19, 20, 21, 22, 30];
+        let mut a = RecordBatch::new(3);
+        let ba = p.append_slots_into_cols(&mut a, &slots, &keep);
+        let mut b = RecordBatch::new(3);
+        let bb = p.append_slot_runs_into_cols(&mut b, &slots, &keep);
+        assert_eq!(ba, bb);
+        assert_eq!(a.column(0).unwrap(), b.column(0).unwrap());
+        assert_eq!(a.positions(), b.positions());
+        assert!(!a.column_is_materialized(2) && !b.column_is_materialized(2));
     }
 
     #[test]

@@ -43,6 +43,12 @@ pub struct AccessStats {
     /// and is deliberately excluded from the cross-path equality contracts
     /// the other counters obey.
     pub bytes_decoded: AtomicU64,
+    /// Column slots a batch scan left undecoded because the plan never
+    /// references them (late materialization). Counted per page visit per
+    /// pruned column. Like `bytes_decoded`, this measures decode work
+    /// *saved* and is path-dependent by design: it is excluded from the
+    /// cross-path equality contracts the access counters obey.
+    pub columns_pruned: AtomicU64,
     /// Parent context every charge is forwarded to (profiling scopes).
     parent: Option<Arc<AccessStats>>,
 }
@@ -130,6 +136,17 @@ impl AccessStats {
         }
     }
 
+    /// Charge `n` column slots skipped by a pruned batch decode. A plain
+    /// add with no fold accounting, mirroring `record_bytes_decoded`.
+    pub fn record_columns_pruned(&self, n: u64) {
+        if n > 0 {
+            self.columns_pruned.fetch_add(n, Ordering::Relaxed);
+            if let Some(p) = &self.parent {
+                p.record_columns_pruned(n);
+            }
+        }
+    }
+
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -141,6 +158,7 @@ impl AccessStats {
             scans_opened: self.scans_opened.load(Ordering::Relaxed),
             stat_folds: self.stat_folds.load(Ordering::Relaxed),
             bytes_decoded: self.bytes_decoded.load(Ordering::Relaxed),
+            columns_pruned: self.columns_pruned.load(Ordering::Relaxed),
         }
     }
 
@@ -154,6 +172,7 @@ impl AccessStats {
         self.scans_opened.store(0, Ordering::Relaxed);
         self.stat_folds.store(0, Ordering::Relaxed);
         self.bytes_decoded.store(0, Ordering::Relaxed);
+        self.columns_pruned.store(0, Ordering::Relaxed);
     }
 }
 
@@ -177,6 +196,8 @@ pub struct StatsSnapshot {
     pub stat_folds: u64,
     /// Plain bytes materialized from encoded page columns.
     pub bytes_decoded: u64,
+    /// Column slots left undecoded by plan-driven pruning.
+    pub columns_pruned: u64,
 }
 
 impl StatsSnapshot {
@@ -191,6 +212,7 @@ impl StatsSnapshot {
             scans_opened: self.scans_opened.saturating_sub(earlier.scans_opened),
             stat_folds: self.stat_folds.saturating_sub(earlier.stat_folds),
             bytes_decoded: self.bytes_decoded.saturating_sub(earlier.bytes_decoded),
+            columns_pruned: self.columns_pruned.saturating_sub(earlier.columns_pruned),
         }
     }
 
@@ -204,14 +226,15 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "page_reads={} page_hits={} pages_skipped={} probes={} stream_records={} scans={} bytes_decoded={}",
+            "page_reads={} page_hits={} pages_skipped={} probes={} stream_records={} scans={} bytes_decoded={} columns_pruned={}",
             self.page_reads,
             self.page_hits,
             self.pages_skipped,
             self.probes,
             self.stream_records,
             self.scans_opened,
-            self.bytes_decoded
+            self.bytes_decoded,
+            self.columns_pruned
         )
     }
 }

@@ -15,7 +15,7 @@ use seq_core::{
 use crate::buffer::{BufferPool, PageAccess, StoreId};
 use crate::filter::ScanFilter;
 use crate::index::SparseIndex;
-use crate::page::{DecodedRows, Page, PageId};
+use crate::page::{ColumnSet, DecodedRows, DictMasks, Page, PageId};
 use crate::stats::AccessStats;
 
 /// Default number of records per page. With ~16-byte records this models a
@@ -356,6 +356,8 @@ impl StoredSequence {
             batch_size: batch_size.max(1),
             filter,
             survivors: Vec::new(),
+            columns: ColumnSet::All,
+            masks: None,
         }
     }
 
@@ -423,9 +425,40 @@ pub struct OwnedBatchScan {
     /// [`OwnedBatchScan::next_batch_selected`], so the hot filtered-scan
     /// loop allocates nothing per window.
     survivors: Vec<u32>,
+    /// Which record columns to materialize into emitted batches
+    /// ([`ColumnSet::All`] unless the planner pruned some); positions are
+    /// always decoded. Pruned columns leave empty (unmaterialized) slots in
+    /// the batch, charged to `columns_pruned` once per page entered.
+    columns: ColumnSet,
+    /// Per-dict-entry match bitmaps for the conjunction last passed to
+    /// [`OwnedBatchScan::next_batch_selected`], cached per entered page
+    /// (keyed by page index) so multi-window visits to one page evaluate
+    /// each dict term against the dictionary exactly once.
+    masks: Option<(usize, DictMasks)>,
 }
 
 impl OwnedBatchScan {
+    /// Restrict which record columns the scan materializes. Positions are
+    /// always decoded; unlisted columns stay unmaterialized in emitted
+    /// batches (reading one through [`RecordBatch`] row accessors is a
+    /// schema error, so callers prune only columns the plan never reads).
+    pub fn set_columns(&mut self, columns: ColumnSet) {
+        self.columns = columns;
+    }
+
+    /// The column restriction currently applied by this scan.
+    pub fn columns(&self) -> &ColumnSet {
+        &self.columns
+    }
+
+    /// Charge the per-page late-materialization saving when entering a page:
+    /// one `columns_pruned` count per column the scan will not decode.
+    fn charge_pruned(&self, arity: usize) {
+        let pruned = self.columns.pruned_of(arity);
+        if pruned > 0 {
+            self.store.stats.record_columns_pruned(pruned as u64);
+        }
+    }
     /// Next run of up to `batch_size` in-span records, or `None` when the
     /// span is exhausted. Charges one folded `stream_records` add per batch.
     pub fn next_batch(&mut self) -> Option<RecordBatch> {
@@ -439,7 +472,10 @@ impl OwnedBatchScan {
                 // the logic shared with the tuple path — see `enter_page`.
                 None => {
                     match self.store.enter_page(page, self.start, self.end, self.filter.as_ref()) {
-                        PageEntry::Enter(s) => s,
+                        PageEntry::Enter(s) => {
+                            self.charge_pruned(arity);
+                            s
+                        }
                         PageEntry::Skip => {
                             self.page_idx += 1;
                             continue;
@@ -456,7 +492,7 @@ impl OwnedBatchScan {
             // materialization.
             let in_span = page.upper_bound(self.end);
             let take = (self.batch_size - batch.len()).min(in_span.saturating_sub(slot));
-            let bytes = page.append_range_into(&mut batch, slot, take);
+            let bytes = page.append_range_into_cols(&mut batch, slot, take, &self.columns);
             self.store.stats.record_bytes_decoded(bytes as u64);
             let slot = slot + take;
             if slot >= page.len() {
@@ -502,7 +538,10 @@ impl OwnedBatchScan {
                 Some(s) => s,
                 None => {
                     match self.store.enter_page(page, self.start, self.end, self.filter.as_ref()) {
-                        PageEntry::Enter(s) => s,
+                        PageEntry::Enter(s) => {
+                            self.charge_pruned(arity);
+                            s
+                        }
                         PageEntry::Skip => {
                             self.page_idx += 1;
                             continue;
@@ -517,11 +556,18 @@ impl OwnedBatchScan {
             let in_span = page.upper_bound(self.end);
             let take = (self.batch_size - scanned).min(in_span.saturating_sub(slot));
             if take > 0 {
+                // Dict-entry bitmaps for this page's dictionary columns are
+                // built once on first use and reused across windows (the
+                // executor drives one cursor with one fixed conjunction).
+                if self.masks.as_ref().is_none_or(|(idx, _)| *idx != self.page_idx) {
+                    self.masks = Some((self.page_idx, page.dict_masks(terms)?));
+                }
+                let masks = &self.masks.as_ref().expect("masks built above").1;
                 let mut survivors = std::mem::take(&mut self.survivors);
-                page.filter_slots_into(terms, slot, slot + take, &mut survivors)?;
+                page.filter_slots_masked(terms, masks, slot, slot + take, &mut survivors)?;
                 // Contiguous survivor runs bulk-decode via the range path;
                 // only scattered survivors pay the per-slot gather.
-                let bytes = page.append_slot_runs_into(&mut batch, &survivors);
+                let bytes = page.append_slot_runs_into_cols(&mut batch, &survivors, &self.columns);
                 self.survivors = survivors;
                 self.store.stats.record_bytes_decoded(bytes as u64);
                 scanned += take;
@@ -1208,6 +1254,98 @@ mod filtered_scan_tests {
         assert_eq!(got_snap.page_reads, want_snap.page_reads);
         assert_eq!(got_snap.pages_skipped, want_snap.pages_skipped);
         assert_eq!(got_snap.stream_records, want_snap.stream_records);
+    }
+
+    /// Positions 1..=n with three columns: position, a wide string, and a
+    /// low-cardinality dict-encodable label.
+    fn stored_wide(n: i64, cap: usize) -> (Arc<StoredSequence>, Arc<AccessStats>) {
+        let entries = (1..=n)
+            .map(|p| (p, record![p, "a-reasonably-wide-payload", ["lo", "hi"][(p % 2) as usize]]))
+            .collect();
+        let base = BaseSequence::from_entries(
+            schema(&[("x", AttrType::Int), ("note", AttrType::Str), ("lvl", AttrType::Str)]),
+            entries,
+        )
+        .unwrap();
+        let stats = AccessStats::new();
+        let s = Arc::new(StoredSequence::from_base(0, "w", &base, cap, stats.clone(), None));
+        (s, stats)
+    }
+
+    #[test]
+    fn column_pruned_scan_decodes_less_and_charges_columns_pruned() {
+        let (s, stats) = stored_wide(100, 16);
+        let span = Span::new(1, 100);
+        let mut full = s.scan_batch(span, 32);
+        while full.next_batch().is_some() {}
+        let full_snap = stats.snapshot();
+
+        stats.reset();
+        let mut pruned = s.scan_batch(span, 32);
+        pruned.set_columns(ColumnSet::Only(vec![0]));
+        let mut rows = 0usize;
+        let mut positions = Vec::new();
+        while let Some(b) = pruned.next_batch() {
+            rows += b.len();
+            positions.extend_from_slice(b.positions());
+            assert!(b.column_is_materialized(0));
+            assert!(!b.column_is_materialized(1) && !b.column_is_materialized(2));
+        }
+        let pruned_snap = stats.snapshot();
+
+        assert_eq!(rows, 100);
+        assert_eq!(positions, (1..=100).collect::<Vec<_>>());
+        // Same page traffic and record counts; only decode volume changes.
+        assert_eq!(pruned_snap.page_accesses(), full_snap.page_accesses());
+        assert_eq!(pruned_snap.stream_records, full_snap.stream_records);
+        assert!(
+            pruned_snap.bytes_decoded * 2 <= full_snap.bytes_decoded,
+            "pruning two of three columns (one wide) should at least halve decode volume: \
+             {} vs {}",
+            pruned_snap.bytes_decoded,
+            full_snap.bytes_decoded
+        );
+        // Two pruned columns, charged once per page entered (7 pages).
+        assert_eq!(pruned_snap.columns_pruned, 2 * 7);
+        assert_eq!(full_snap.columns_pruned, 0);
+    }
+
+    #[test]
+    fn selected_scan_with_dict_terms_and_pruning_matches_reference() {
+        let (s, stats) = stored_wide(100, 16);
+        let span = Span::new(1, 100);
+        let terms =
+            vec![(2usize, CmpOp::Eq, Value::str("hi")), (0usize, CmpOp::Le, Value::Int(80))];
+        // Reference: full decode, filter per row.
+        let mut scan = s.scan_batch(span, 16);
+        let mut want = Vec::new();
+        while let Some(b) = scan.next_batch() {
+            for (p, r) in b.to_records() {
+                if crate::column::strict_eq(&r.values()[2], &Value::str("hi"))
+                    && r.values()[0].total_cmp(&Value::Int(80)).unwrap().is_le()
+                {
+                    want.push((p, r.values()[0].clone()));
+                }
+            }
+        }
+        let want_snap = stats.snapshot();
+
+        stats.reset();
+        let mut scan = s.scan_batch(span, 16);
+        scan.set_columns(ColumnSet::Only(vec![0]));
+        let mut got = Vec::new();
+        while let Some((b, _)) = scan.next_batch_selected(&terms).unwrap() {
+            for i in 0..b.len() {
+                got.push((b.position_at(i), b.value_at(0, i).clone()));
+            }
+        }
+        let got_snap = stats.snapshot();
+
+        assert_eq!(got, want);
+        assert_eq!(got_snap.page_accesses(), want_snap.page_accesses());
+        assert_eq!(got_snap.stream_records, want_snap.stream_records);
+        assert!(got_snap.bytes_decoded < want_snap.bytes_decoded);
+        assert_eq!(got_snap.columns_pruned, 2 * 7);
     }
 
     #[test]

@@ -131,8 +131,7 @@ fn main() {
         }
     }
     if let Some(path) = &metrics_out {
-        let snapshot = engine.shared.load();
-        let json = engine.metrics.to_json(snapshot.catalog.buffer().map(|p| &**p));
+        let json = engine.metrics_json(8);
         match std::fs::write(path, json) {
             Ok(()) => println!("metrics JSON written to {}", path.display()),
             Err(e) => eprintln!("could not write {}: {e}", path.display()),

@@ -258,6 +258,10 @@ impl Shell {
             "predicate_evals {} | cache {}p/{}s | morsels {}",
             snap.predicate_evals, snap.cache_probes, snap.cache_stores, snap.morsels
         );
+        println!(
+            "selections_carried {} | slots_compacted {} | columns_pruned {}",
+            snap.selections_carried, snap.slots_compacted, snap.columns_pruned
+        );
         for (name, h) in [
             ("parse", &snap.parse),
             ("optimize", &snap.optimize),
